@@ -1,0 +1,31 @@
+"""E4 — §4.2 CIFAR experiment: a different domain, same storage math.
+
+The paper finds "the same trends ... scaled to the difference in number
+of parameters" because storage depends almost exclusively on the
+parameter dictionary, not the model type or training data.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS, record_series
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_cifar_storage_trends(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=2, runs=1)
+
+    def run():
+        cifar = run_experiment("cifar", settings).data["series"]
+        ffnn = run_experiment("figure3", settings).data["series"]
+        return cifar, ffnn
+
+    cifar, ffnn = benchmark.pedantic(run, rounds=2, iterations=1)
+    record_series(benchmark, cifar, unit="MB")
+
+    # Same qualitative trends as FFNN-48 (Figure 3).
+    assert cifar["baseline"][0] < cifar["mmlib-base"][0]
+    assert cifar["update"][1] < 0.3 * cifar["baseline"][1]
+    assert cifar["provenance"][1] < 0.01 * cifar["baseline"][1]
+
+    # Parameter-payload scaling: CIFAR/FFNN-48 baseline storage tracks
+    # the 6,882 / 4,993 parameter ratio.
+    ratio = cifar["baseline"][0] / ffnn["baseline"][0]
+    assert abs(ratio - 6_882 / 4_993) < 0.05

@@ -1,0 +1,27 @@
+"""A2 — ablation: compression of Update's delta artifacts (§4.5).
+
+The paper leaves compression as future work, citing ModelHub's delta
+encoding.  This bench measures the storage/TTS/TTR trade-off of DEFLATE
+and byte-plane-shuffled DEFLATE on the delta blobs.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_compression_tradeoff(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=2, runs=1)
+
+    def run():
+        return run_experiment("compression", settings).data["data"]
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["codecs"] = {
+        k: {m: round(v, 5) for m, v in values.items()} for k, values in data.items()
+    }
+
+    # Compression reduces storage (shuffle > plain zlib on float data)
+    # at the cost of save-time compute.
+    assert data["zlib"]["u3_storage_mb"] < data["none"]["u3_storage_mb"]
+    assert data["shuffle-zlib"]["u3_storage_mb"] < data["zlib"]["u3_storage_mb"]
+    assert data["zlib"]["median_u3_tts_s"] > data["none"]["median_u3_tts_s"]

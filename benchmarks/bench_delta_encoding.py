@@ -1,0 +1,29 @@
+"""A6 — PAS-style XOR-delta encoding vs Update (§2.2 / §4.5).
+
+The paper defers "delta encoding and other compression techniques"
+(citing ModelHub) to future work.  This bench measures the trade-off:
+XOR-bit deltas compress unchanged bits *within* retrained layers (which
+Update's exact-layer dedup cannot), at the cost of materializing the
+base set on every save.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_delta_encoding_tradeoff(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=2, runs=1)
+
+    def run():
+        return run_experiment("delta-encoding", settings).data["data"]
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["approaches"] = {
+        name: {metric: round(value, 5) for metric, value in values.items()}
+        for name, values in data.items()
+    }
+
+    # Storage: the XOR encoding wins by a large margin on partial updates.
+    assert data["pas-delta"]["u3_storage_mb"] < 0.8 * data["update"]["u3_storage_mb"]
+    # Save time: deltaing against a materialized base is much slower.
+    assert data["pas-delta"]["median_u3_tts_s"] > 2 * data["update"]["median_u3_tts_s"]

@@ -1,0 +1,31 @@
+"""A5 — Update diff granularity: layer (paper) vs model (strawman).
+
+MMlib "compares related models on a layer granularity" (§2.2).  This
+bench quantifies what that buys: with the paper's default 5% full + 5%
+partial update mix, per-layer deltas cut the stored bytes of every
+partial update to the changed layers only.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_granularity_tradeoff(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=2, runs=1)
+
+    def run():
+        return run_experiment("granularity", settings).data["data"]
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["granularity"] = {
+        mode: {metric: round(value, 5) for metric, value in values.items()}
+        for mode, values in data.items()
+    }
+
+    layer = data["layer"]["u3_storage_mb"]
+    model = data["model"]["u3_storage_mb"]
+    assert layer < model
+    # With partials touching 1 of 4 layers and half the updates being
+    # partial, layer granularity should save roughly a third of the
+    # parameter bytes (hash info is identical for both modes).
+    assert (model - layer) / model > 0.15

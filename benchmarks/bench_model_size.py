@@ -1,0 +1,27 @@
+"""E3 — §4.2 model-size experiment: FFNN-48 vs FFNN-69.
+
+FFNN-69 has 2.02x the parameters.  Paper claims: MMlib-base grows only
+~1.7x (its fixed per-model metadata dilutes the growth), Baseline grows
+~2.0x (almost pure parameters), and Provenance is unaffected.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_model_size_scaling(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=2, runs=1)
+
+    def run():
+        return run_experiment("model-size", settings).data["ratios"]
+
+    ratios = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["ffnn69_over_ffnn48"] = {
+        k: round(v, 3) for k, v in ratios.items()
+    }
+
+    assert 1.5 < ratios["mmlib-base"] < 1.9  # paper: 1.7x
+    assert 1.9 < ratios["baseline"] < 2.1  # paper: ~2.0x
+    assert abs(ratios["provenance"] - 1.0) < 0.05  # paper: unaffected
+    # Update's parameter deltas double; hash info (per layer) does not.
+    assert 1.5 < ratios["update"] < 2.1

@@ -1,0 +1,31 @@
+"""A8 — lossy fp16 storage tier (ModelHub's design point, §2.2).
+
+Half the parameter payload, with the end-to-end quality impact measured
+on a genuinely trained battery model rather than asserted.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_quantization_tier(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=0, runs=1)
+
+    def run():
+        return run_experiment("quantization", settings).data
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["storage_mb"] = {
+        k: round(v, 4) for k, v in data["storage_mb"].items()
+    }
+    benchmark.extra_info["mse"] = {
+        "exact": round(data["exact_mse"], 6),
+        "fp16": round(data["lossy_mse"], 6),
+    }
+
+    # Exactly half the parameter bytes...
+    assert abs(
+        data["storage_mb"]["baseline-fp16"] - data["storage_mb"]["baseline"] / 2
+    ) < 0.01 * data["storage_mb"]["baseline"]
+    # ...for a quality change within noise of the exact model.
+    assert data["lossy_mse"] < data["exact_mse"] * 1.05 + 1e-5

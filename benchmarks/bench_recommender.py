@@ -1,0 +1,29 @@
+"""A3 — ablation: the heuristic approach recommender (§4.5 future work).
+
+Checks that the analytical cost model reproduces the paper's guidance
+(storage-first -> Provenance, balanced -> Update, TTR-first -> Baseline)
+and benchmarks the recommendation latency itself (it must be cheap
+enough to run per save cycle for dynamic strategy switching).
+"""
+
+from repro.bench.runner import ExperimentSettings, run_experiment
+from repro.core.recommender import ApproachRecommender, ScenarioProfile
+
+
+def test_recommendations_cover_three_regimes(benchmark):
+    settings = ExperimentSettings(num_models=10, cycles=2, runs=1)
+
+    def run():
+        return run_experiment("recommender", settings).data["recommendations"]
+
+    picks = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["recommendations"] = picks
+    assert set(picks.values()) == {"provenance", "update", "baseline"}
+
+
+def test_recommendation_latency(benchmark):
+    recommender = ApproachRecommender()
+    profile = ScenarioProfile()
+
+    result = benchmark(lambda: recommender.recommend(profile))
+    assert result in ("provenance", "update", "baseline")

@@ -1,0 +1,40 @@
+"""E9 — set-size sweep: the premise of multi-model management.
+
+"Existing approaches ... are optimized for saving single large models
+but not for simultaneously saving a set of related models" (abstract).
+Per-model save cost should be flat in the set size for MMlib-base and
+amortize toward the raw parameter cost for the set-oriented Baseline.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_set_size_sweep(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=0, runs=2)
+
+    def run():
+        return run_experiment("set-size-sweep", settings).data["data"]
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    sizes = sorted(data)
+    benchmark.extra_info["per_model_kb"] = {
+        str(size): {
+            approach: round(values["bytes_per_model"] / 1e3, 3)
+            for approach, values in data[size].items()
+        }
+        for size in sizes
+    }
+
+    raw_bytes = 4_993 * 4
+    largest = sizes[-1]
+    # Baseline's per-model storage converges to the raw parameter cost...
+    assert data[largest]["baseline"]["bytes_per_model"] < raw_bytes * 1.01
+    # ...while MMlib-base keeps paying its fixed per-model overhead.
+    overhead = data[largest]["mmlib-base"]["bytes_per_model"] - raw_bytes
+    assert overhead > 2_000
+    # Per-model TTS amortizes by at least 5x from n=1 to the largest set.
+    assert (
+        data[sizes[0]]["baseline"]["tts_ms_per_model"]
+        > 5 * data[largest]["baseline"]["tts_ms_per_model"]
+    )

@@ -1,0 +1,32 @@
+"""A4 — single-model recovery vs. full-set recovery.
+
+The deployment scenario "only recover[s] a selected number of models,
+for example, after an accident" (§1).  This bench quantifies how much
+cheaper that is than a full-set recovery under each approach.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_single_model_recovery(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=3, runs=3)
+
+    def run():
+        return run_experiment("single-model", settings).data["data"]
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["per_approach"] = {
+        approach: {metric: round(value, 6) for metric, value in values.items()}
+        for approach, values in data.items()
+    }
+
+    per_model_mb = 4_993 * 4 / 1e6
+    # Baseline reads exactly one model's bytes via a range read.
+    assert abs(data["baseline"]["single_read_mb"] - per_model_mb) < 1e-4
+    # Update reads at most one model slice per chain hop.
+    assert data["update"]["single_read_mb"] <= per_model_mb * (settings.cycles + 1)
+    # Single-model recovery is at least an order of magnitude cheaper
+    # than materializing the whole set, for every approach.
+    for approach, values in data.items():
+        assert values["single_ttr_s"] * 10 < values["full_ttr_s"], approach

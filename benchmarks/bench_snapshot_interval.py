@@ -1,0 +1,29 @@
+"""A1 — ablation: bounding Update's recovery recursion with snapshots.
+
+The paper notes (§2.2) that MMlib's delta chains cause "recursively
+increasing recovery times that can be prevented by saving intermediate
+model snapshots using the baseline approach".  This ablation quantifies
+the storage-vs-TTR trade-off of that snapshot interval.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_snapshot_interval_tradeoff(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=6, runs=1)
+
+    def run():
+        return run_experiment("snapshot-interval", settings).data["data"]
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["intervals"] = {
+        k: {m: round(v, 5) for m, v in values.items()} for k, values in data.items()
+    }
+
+    none = data["none (paper)"]
+    every2 = data["2"]
+    every4 = data["4"]
+    # Snapshots trade storage for recovery time.
+    assert every2["storage_mb"] > every4["storage_mb"] > none["storage_mb"]
+    assert every2["final_ttr_s"] < none["final_ttr_s"]

@@ -1,0 +1,43 @@
+"""E1 — Figure 3: storage consumption per use case, all approaches.
+
+Benchmarks the save path of each approach over the full U1+U3 sequence
+and records the per-use-case storage series.  Shape assertions pin the
+paper's qualitative result: Baseline beats MMlib-base by ~30%, Update
+drops an order of magnitude in U3, Provenance drops by >99%.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_series
+from repro.bench.runner import APPROACH_NAMES, _save_all
+
+
+@pytest.mark.parametrize("approach", APPROACH_NAMES)
+def test_save_sequence_storage(benchmark, cases, settings, approach):
+    def run():
+        _manager, _ids, measurements = _save_all(approach, cases, settings.profile)
+        return [m.bytes_written / 1e6 for m in measurements]
+
+    per_case_mb = benchmark.pedantic(run, rounds=3, iterations=1)
+    record_series(benchmark, {approach: per_case_mb}, unit="MB")
+
+    raw_mb = cases[0].model_set.parameter_bytes / 1e6
+    if approach in ("mmlib-base", "baseline"):
+        # Full snapshots: constant across use cases, at least the raw payload.
+        assert all(v >= raw_mb for v in per_case_mb)
+        assert max(per_case_mb) - min(per_case_mb) < 0.01 * max(per_case_mb)
+    if approach == "update":
+        assert per_case_mb[1] < 0.3 * raw_mb
+    if approach == "provenance":
+        assert per_case_mb[1] < 0.01 * raw_mb
+
+
+def test_baseline_beats_mmlib_base_by_about_30_percent(benchmark, cases, settings):
+    def run():
+        baseline = _save_all("baseline", [cases[0]], settings.profile)[2][0]
+        mmlib = _save_all("mmlib-base", [cases[0]], settings.profile)[2][0]
+        return 1.0 - baseline.bytes_written / mmlib.bytes_written
+
+    improvement = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["improvement_vs_mmlib"] = round(improvement, 4)
+    assert 0.15 < improvement < 0.40  # paper: 29% (server) / 33% (M1)

@@ -1,0 +1,53 @@
+"""E8 — §4.2 byte-level accounting.
+
+Verifies the paper's concrete storage numbers at our scale:
+
+* every approach's U1 cost is dominated by the 4 B/parameter payload
+  (the paper's ~99.9 MB for 5000 x 4,993 params),
+* Baseline/Provenance add only a ~KB-scale per-set overhead (paper: ~4 KB),
+* MMlib-base adds a multi-KB per-model overhead (paper: ~8 KB), and
+* Update's U3 cost decomposes into changed parameters + hash info
+  (paper: ~14 MB per U3 at full scale).
+"""
+
+from repro.bench.runner import run_experiment
+from repro.core.mmlib_base import MMlibBaseApproach
+
+
+def test_storage_breakdown(benchmark, cases, settings):
+    def run():
+        return run_experiment("breakdown", settings).data
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    params_bytes = data["params_bytes"]
+    per_case = data["data"]
+    num_models = len(cases[0].model_set)
+
+    # Raw parameter payload: exactly 4 B per parameter per model.
+    assert params_bytes == num_models * 4_993 * 4
+
+    # Baseline U1: parameters exact + small per-set metadata.
+    baseline_u1 = per_case["baseline"][0]
+    assert baseline_u1["parameters"] == params_bytes
+    assert baseline_u1["metadata"] < 10_000
+    benchmark.extra_info["baseline_set_overhead_bytes"] = baseline_u1["metadata"]
+
+    # MMlib-base: per-model overhead in the paper's ballpark.
+    mmlib_u1 = per_case["mmlib-base"][0]
+    mmlib_overhead = sum(mmlib_u1.values()) - params_bytes
+    per_model = mmlib_overhead / num_models
+    benchmark.extra_info["mmlib_per_model_overhead_bytes"] = round(per_model)
+    assert 2_000 < per_model < 20_000
+    estimate = MMlibBaseApproach.per_model_overhead_bytes(cases[0].model_set)
+    assert abs(per_model - estimate) / estimate < 0.15
+
+    # Update U3: deltas shrink to the updated fraction; hash info is the
+    # price of not loading the previous set.
+    update_u3 = per_case["update"][1]
+    assert update_u3["parameters"] < 0.25 * params_bytes
+    assert update_u3["hash-info"] > 0
+    benchmark.extra_info["update_u3_breakdown"] = update_u3
+
+    # Provenance U3: references only.
+    prov_u3 = per_case["provenance"][1]
+    assert sum(prov_u3.values()) < 0.01 * params_bytes

@@ -1,0 +1,68 @@
+"""E5 — Figure 4: median time-to-save per use case, M1 and server setups.
+
+Times each approach's save path under both hardware latency profiles.
+The paper's trends: MMlib-base is worst everywhere (per-model round
+trips), Baseline is fastest for full saves, Update pays a hashing
+premium over Baseline, and Provenance's U3 saves are near-instant.  The
+M1 profile widens the MMlib-base gap (slower store connection, §4.3).
+"""
+
+import pytest
+
+from benchmarks.conftest import record_series
+from repro.bench.runner import APPROACH_NAMES, _save_all
+from repro.storage.hardware import M1_PROFILE, SERVER_PROFILE
+
+PROFILES = {"server": SERVER_PROFILE, "m1": M1_PROFILE}
+
+
+@pytest.mark.parametrize("profile_name", sorted(PROFILES))
+@pytest.mark.parametrize("approach", APPROACH_NAMES)
+def test_tts_per_use_case(benchmark, cases, approach, profile_name):
+    profile = PROFILES[profile_name]
+
+    def run():
+        _manager, _ids, measurements = _save_all(approach, cases, profile)
+        return [m.total_s for m in measurements]
+
+    tts = benchmark.pedantic(run, rounds=3, iterations=1)
+    record_series(benchmark, {f"{approach}@{profile_name}": tts}, unit="s")
+
+
+def test_mmlib_base_saves_slowest_on_both_setups(benchmark, cases):
+    def run():
+        ratios = {}
+        for name, profile in PROFILES.items():
+            mmlib = sum(
+                m.total_s for m in _save_all("mmlib-base", cases, profile)[2]
+            )
+            baseline = sum(
+                m.total_s for m in _save_all("baseline", cases, profile)[2]
+            )
+            ratios[name] = mmlib / baseline
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["mmlib_vs_baseline_tts_ratio"] = {
+        k: round(v, 2) for k, v in ratios.items()
+    }
+    # Paper: "more than an order of magnitude" on M1; still significant
+    # on the server.
+    assert ratios["m1"] > 3.0
+    assert ratios["server"] > 2.0
+    # The M1's slower document store hurts MMlib-base disproportionately.
+    assert ratios["m1"] > ratios["server"]
+
+
+def test_provenance_u3_save_is_fastest(benchmark, cases):
+    def run():
+        per_approach = {}
+        for approach in APPROACH_NAMES:
+            measurements = _save_all(approach, cases, SERVER_PROFILE)[2]
+            per_approach[approach] = measurements[1].total_s  # U3-1
+        return per_approach
+
+    tts = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert tts["provenance"] < tts["baseline"]
+    assert tts["provenance"] < tts["update"]
+    assert tts["provenance"] < tts["mmlib-base"]

@@ -1,0 +1,32 @@
+"""E2 — §4.2 update-rate sweep: 10% / 20% / 30%.
+
+Only Update's storage should respond to the update rate; MMlib-base and
+Baseline always snapshot everything, and Provenance adds only a few
+hundred extra dataset references.
+"""
+
+from benchmarks.conftest import BENCH_NUM_MODELS
+from repro.bench.runner import ExperimentSettings, run_experiment
+
+
+def test_update_rate_sweep(benchmark):
+    settings = ExperimentSettings(num_models=BENCH_NUM_MODELS, cycles=2, runs=1)
+
+    def run():
+        return run_experiment("update-rates", settings).data["per_rate"]
+
+    per_rate = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["per_rate_mb"] = {
+        rate: {k: round(v, 4) for k, v in values.items()}
+        for rate, values in per_rate.items()
+    }
+
+    # Update scales with the rate ("correlates to the update rate").
+    assert per_rate["30%"]["update"] > 2.0 * per_rate["10%"]["update"]
+    assert per_rate["20%"]["update"] > 1.4 * per_rate["10%"]["update"]
+    # Baseline and MMlib-base are rate-independent.
+    for approach in ("baseline", "mmlib-base"):
+        values = [per_rate[r][approach] for r in ("10%", "20%", "30%")]
+        assert max(values) - min(values) < 0.01 * max(values)
+    # Provenance grows only by the extra references — negligible.
+    assert per_rate["30%"]["provenance"] < 0.05 * per_rate["10%"]["update"]

@@ -1,0 +1,99 @@
+"""Pack digital twin: per-cell models trained from pack telemetry.
+
+The paper's deployment picture (§1) made concrete: an electric-car
+battery pack of series/parallel-connected, individually aging cells is
+simulated; each cell's DL model trains on the telemetry *it actually
+experienced inside the pack* — including the inhomogeneity effects
+(weak cells carry less current) that make per-cell models worthwhile
+over one pack-level model.  Every generation is archived with the
+Provenance approach and the final state is recovered by deterministic
+replay.
+
+Run with::
+
+    python examples/pack_digital_twin.py
+"""
+
+import numpy as np
+
+from repro import ModelSet, MultiModelManager
+from repro.battery.pack import BatteryPack, PackConfig
+from repro.core.save_info import ModelUpdate, UpdateInfo
+from repro.datasets.pack import pack_dataset_ref, simulate_pack_cycle
+from repro.training.pipeline import PipelineConfig, TrainingPipeline
+
+PACK = PackConfig(series_groups=3, parallel_cells=2, seed=11)
+CYCLES = 2
+DURATION_S = 240
+SOH_DECREMENT = 0.02
+
+
+def main() -> None:
+    num_cells = PACK.num_cells
+    print(
+        f"pack: {PACK.series_groups}s{PACK.parallel_cells}p = {num_cells} cells, "
+        f"{CYCLES} update cycles"
+    )
+
+    # Show the inhomogeneity that motivates per-cell models.
+    pack, telemetry = simulate_pack_cycle(PACK, 0, DURATION_S, SOH_DECREMENT)
+    report = pack.imbalance_report(telemetry)
+    print(
+        f"inhomogeneity at cycle 0: current spread "
+        f"{report['current_spread']:.1%}, SoC spread {report['soc_spread']:.2%}"
+    )
+
+    manager = MultiModelManager.with_approach("provenance")
+    models = ModelSet.build("FFNN-48", num_models=num_cells, seed=11)
+    set_ids = [manager.save_set(models)]
+    print(f"U1 archived ({manager.total_stored_bytes() / 1e3:.1f} KB)")
+
+    pipeline = PipelineConfig(
+        learning_rate=0.01, momentum=0.9, epochs=2, batch_size=48, shuffle_seed=1
+    )
+    current = models
+    for cycle in range(1, CYCLES + 1):
+        # Every cell re-trains on its own telemetry from this cycle.
+        derived = current.copy()
+        updates = []
+        for cell in range(num_cells):
+            ref = pack_dataset_ref(
+                cell, cycle, PACK, duration_s=DURATION_S,
+                soh_decrement=SOH_DECREMENT,
+            )
+            model = derived.build_model(cell)
+            dataset = manager.context.dataset_registry.resolve(ref)
+            TrainingPipeline(pipeline).train(model, dataset)
+            derived.states[cell] = model.state_dict()
+            updates.append(ModelUpdate(cell, ref, "full"))
+        info = UpdateInfo(pipelines={"full": pipeline}, updates=tuple(updates))
+        before = manager.total_stored_bytes()
+        set_ids.append(
+            manager.save_set(derived, base_set_id=set_ids[-1], update_info=info)
+        )
+        print(
+            f"U3-{cycle}: {num_cells} models re-trained, archived in "
+            f"+{(manager.total_stored_bytes() - before) / 1e3:.1f} KB"
+        )
+        current = derived
+
+    # Post-accident analysis: replay the full archive.
+    recovered = manager.recover_set(set_ids[-1])
+    assert recovered.equals(current)
+    print("provenance replay of the final pack state is bit-exact")
+
+    # How well does a cell's twin track its telemetry?
+    cell = 0
+    dataset = manager.context.dataset_registry.resolve(
+        pack_dataset_ref(cell, CYCLES, PACK, DURATION_S, SOH_DECREMENT)
+    )
+    model = recovered.build_model(cell)
+    inputs, targets = dataset.arrays()
+    predicted_v = dataset.target_scaler.inverse_transform(model(inputs))
+    actual_v = dataset.target_scaler.inverse_transform(targets)
+    rmse = float(np.sqrt(np.mean((predicted_v - actual_v) ** 2)))
+    print(f"cell #{cell} twin RMSE on its latest pack telemetry: {rmse:.4f} V")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: save, update, and recover a set of models.
+
+Walks through the library's core loop in a couple of dozen lines:
+build a model set, save it (U1), apply an update cycle (U3), save the
+derived set, and recover both — with the Update approach, so the derived
+save only stores the changed layers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MultiModelManager, ModelSet
+from repro.workloads import MultiModelScenario, ScenarioConfig
+
+
+def main() -> None:
+    # A fleet of 100 battery-cell models sharing the FFNN-48 architecture.
+    models = ModelSet.build("FFNN-48", num_models=100, seed=42)
+    print(
+        f"built {len(models)} models x {models.num_parameters_per_model} "
+        f"parameters ({models.parameter_bytes / 1e6:.2f} MB of raw floats)"
+    )
+
+    manager = MultiModelManager.with_approach("update")
+
+    # U1: initial save — full snapshot plus per-layer hash info.
+    initial_id = manager.save_set(models)
+    print(f"U1 saved as {initial_id}: {manager.total_stored_bytes() / 1e6:.2f} MB")
+
+    # U3: one update cycle — 5% of models fully updated, 5% partially.
+    scenario = MultiModelScenario(ScenarioConfig(num_models=100, seed=42))
+    updated, info = scenario.update_cycle(models, cycle=1)
+    print(f"update cycle touched {len(info.updates)} models")
+
+    before = manager.total_stored_bytes()
+    derived_id = manager.save_set(updated, base_set_id=initial_id, update_info=info)
+    delta = manager.total_stored_bytes() - before
+    print(
+        f"U3 saved as {derived_id}: +{delta / 1e6:.3f} MB "
+        f"(vs {updated.parameter_bytes / 1e6:.2f} MB for a full snapshot)"
+    )
+
+    # Recovery reconstructs the exact parameters.
+    recovered = manager.recover_set(derived_id)
+    assert recovered.equals(updated), "recovered parameters must be bit-exact"
+    print("recovered derived set: parameters are bit-exact")
+
+    # Materialize one model and run an inference.
+    model = recovered.build_model(0)
+    from repro.datasets import BatteryCellDataset
+    from repro.battery.datagen import CellDataConfig
+
+    dataset = BatteryCellDataset(0, 1, CellDataConfig(samples_per_cell=64))
+    inputs, _targets = dataset.arrays()
+    prediction = model(inputs[:4])
+    print(f"voltage predictions for 4 samples: {prediction.ravel().round(3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires building an editable wheel (PEP 660), which
+is unavailable offline here; ``python setup.py develop`` provides the
+legacy egg-link editable install instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Model architectures evaluated in the paper.
+
+* :func:`~repro.architectures.ffnn.build_ffnn48` — FFNN-48, the
+  best-performing battery-cell architecture from Heinrich et al. (4 fully
+  connected layers, 4,993 parameters).
+* :func:`~repro.architectures.ffnn.build_ffnn69` — FFNN-69, identical
+  except for layer widths (10,075 parameters).
+* :func:`~repro.architectures.cifar.build_cifar_cnn` — the convolutional
+  CIFAR-10 classifier (6,882 parameters).
+
+The :mod:`~repro.architectures.registry` maps architecture names to
+factories so that a saved model set only needs to persist the name.
+"""
+
+from repro.architectures.cifar import CIFAR_NUM_PARAMETERS, build_cifar_cnn
+from repro.architectures.ffnn import (
+    FFNN48_NUM_PARAMETERS,
+    FFNN69_NUM_PARAMETERS,
+    build_ffnn,
+    build_ffnn48,
+    build_ffnn69,
+)
+from repro.architectures.registry import (
+    ArchitectureSpec,
+    get_architecture,
+    list_architectures,
+    register_architecture,
+)
+
+__all__ = [
+    "ArchitectureSpec",
+    "CIFAR_NUM_PARAMETERS",
+    "FFNN48_NUM_PARAMETERS",
+    "FFNN69_NUM_PARAMETERS",
+    "build_cifar_cnn",
+    "build_ffnn",
+    "build_ffnn48",
+    "build_ffnn69",
+    "get_architecture",
+    "list_architectures",
+    "register_architecture",
+]

@@ -1,0 +1,68 @@
+"""Feed-forward battery-cell models (FFNN-48 and FFNN-69).
+
+The paper adopts one of the best-performing architectures from the
+Volkswagen battery-modeling study by Heinrich et al.: four fully connected
+layers with 4,993 parameters in total ("FFNN-48").  The inputs are the
+cell's excitation current, temperature, charge, and state of charge; the
+output is the predicted voltage response.
+
+The parameter counts work out exactly:
+
+* FFNN-48: ``(4*48+48) + (48*48+48) + (48*48+48) + (48*1+1) = 4,993``
+* FFNN-69: ``(4*69+69) + (69*69+69) + (69*69+69) + (69*1+1) = 10,075``
+
+FFNN-69 is, except for the per-layer widths, identical to FFNN-48 — the
+property the paper's model-size experiment (§4.2) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Sequential, Tanh
+
+#: Input features: current, temperature, charge, state of charge.
+FFNN_INPUT_FEATURES = 4
+#: Output features: predicted voltage response.
+FFNN_OUTPUT_FEATURES = 1
+
+FFNN48_HIDDEN = 48
+FFNN69_HIDDEN = 69
+
+FFNN48_NUM_PARAMETERS = 4_993
+FFNN69_NUM_PARAMETERS = 10_075
+
+
+def build_ffnn(hidden: int, rng: np.random.Generator | None = None) -> Sequential:
+    """Build a four-layer battery FFNN with the given hidden width.
+
+    Parameters
+    ----------
+    hidden:
+        Width of the three hidden layers.
+    rng:
+        Generator for weight initialization; pass a seeded generator for
+        reproducible construction.
+    """
+    if hidden <= 0:
+        raise ValueError(f"hidden width must be positive, got {hidden}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return Sequential(
+        Linear(FFNN_INPUT_FEATURES, hidden, rng=rng),
+        Tanh(),
+        Linear(hidden, hidden, rng=rng),
+        Tanh(),
+        Linear(hidden, hidden, rng=rng),
+        Tanh(),
+        Linear(hidden, FFNN_OUTPUT_FEATURES, rng=rng),
+    )
+
+
+def build_ffnn48(rng: np.random.Generator | None = None) -> Sequential:
+    """Build the FFNN-48 battery model (4,993 parameters)."""
+    return build_ffnn(FFNN48_HIDDEN, rng=rng)
+
+
+def build_ffnn69(rng: np.random.Generator | None = None) -> Sequential:
+    """Build the FFNN-69 battery model (10,075 parameters)."""
+    return build_ffnn(FFNN69_HIDDEN, rng=rng)

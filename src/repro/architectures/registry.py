@@ -1,0 +1,94 @@
+"""Named architecture registry.
+
+A saved model set records only the architecture *name*; at recovery time
+the registry rebuilds a skeleton model and the parameters are loaded into
+it.  The registry also captures each factory's source code, which is the
+"model code" artifact MMlib-base persists redundantly per model (O1).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.architectures.cifar import build_cifar_cnn
+from repro.architectures.ffnn import build_ffnn48, build_ffnn69
+from repro.errors import UnknownArchitectureError
+from repro.nn import Module
+
+Factory = Callable[..., Module]
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A registered architecture: factory plus captured metadata."""
+
+    name: str
+    factory: Factory
+    description: str
+    source_code: str = field(repr=False)
+
+    def build(self, rng: np.random.Generator | None = None) -> Module:
+        """Instantiate the architecture, optionally with a seeded generator."""
+        return self.factory(rng=rng)
+
+    @property
+    def num_parameters(self) -> int:
+        """Parameter count of a freshly built instance."""
+        return self.build(rng=np.random.default_rng(0)).num_parameters()
+
+
+_REGISTRY: dict[str, ArchitectureSpec] = {}
+
+
+def register_architecture(name: str, factory: Factory, description: str = "") -> None:
+    """Register ``factory`` under ``name``; overwrites any previous entry.
+
+    The *entire defining module* is captured as the architecture's source
+    code — the model-code artifact MMlib archives per model needs the
+    full definition (layers, constants, helpers), not just the factory
+    function.
+    """
+    try:
+        module = inspect.getmodule(factory)
+        source = inspect.getsource(module) if module else inspect.getsource(factory)
+    except (OSError, TypeError):
+        source = f"<source unavailable for {factory!r}>"
+    _REGISTRY[name] = ArchitectureSpec(
+        name=name, factory=factory, description=description, source_code=source
+    )
+
+
+def get_architecture(name: str) -> ArchitectureSpec:
+    """Look up a registered architecture by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownArchitectureError(
+            f"unknown architecture {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_architectures() -> list[str]:
+    """Names of all registered architectures, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_architecture(
+    "FFNN-48",
+    build_ffnn48,
+    "4-layer battery-cell FFNN, hidden width 48, 4,993 parameters",
+)
+register_architecture(
+    "FFNN-69",
+    build_ffnn69,
+    "4-layer battery-cell FFNN, hidden width 69, 10,075 parameters",
+)
+register_architecture(
+    "CIFAR",
+    build_cifar_cnn,
+    "convolutional CIFAR-10 classifier, 6,882 parameters",
+)

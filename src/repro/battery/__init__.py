@@ -1,0 +1,49 @@
+"""Battery-cell simulation substrate.
+
+The paper generates its battery training data with "a second-order
+equivalent circuit model of a 18650 battery cell, which maps an input
+current to the voltage response, cell temperature, and cell charge"
+(Neupert & Kowal), excited by real-world driving discharge cycles
+(Steinstraeter) and aged by decrementing the state of health (SoH) every
+update cycle.  This package implements that entire pipeline:
+
+* :mod:`~repro.battery.ecm` — the second-order ECM (OCV curve, ohmic
+  resistance, two RC polarization pairs, lumped thermal model, coulomb
+  counting).
+* :mod:`~repro.battery.drive_cycles` — synthetic but realistic driving
+  current profiles (substitute for the Steinstraeter dataset; DESIGN.md).
+* :mod:`~repro.battery.aging` — SoH decrement schedule over update cycles.
+* :mod:`~repro.battery.noise` — measurement-noise corruption.
+* :mod:`~repro.battery.normalization` — feature scaling before training.
+* :mod:`~repro.battery.datagen` — assembles everything into per-cell
+  training datasets.
+"""
+
+from repro.battery.aging import AgingSchedule
+from repro.battery.datagen import CellDataConfig, generate_cell_samples
+from repro.battery.drive_cycles import (
+    DriveCycle,
+    generate_charge_profile,
+    generate_drive_cycle,
+)
+from repro.battery.ecm import CellParameters, SecondOrderECM, SimulationResult
+from repro.battery.noise import add_measurement_noise
+from repro.battery.normalization import FeatureScaler
+from repro.battery.pack import BatteryPack, PackConfig, PackTelemetry
+
+__all__ = [
+    "AgingSchedule",
+    "BatteryPack",
+    "CellDataConfig",
+    "CellParameters",
+    "DriveCycle",
+    "FeatureScaler",
+    "PackConfig",
+    "PackTelemetry",
+    "SecondOrderECM",
+    "SimulationResult",
+    "add_measurement_noise",
+    "generate_cell_samples",
+    "generate_charge_profile",
+    "generate_drive_cycle",
+]

@@ -1,0 +1,78 @@
+"""State-of-health (SoH) aging schedule over update cycles.
+
+The paper creates training data for the update use cases by decrementing
+the SoH of the batteries every update cycle, "leading to different aging
+trends from the initial SoH until the battery's end-of-life" (§4.1).
+Each cell gets its own aging trend: a per-cell decrement rate drawn from
+a seeded distribution, applied once per update cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: End-of-life threshold commonly used for EV cells.
+END_OF_LIFE_SOH = 0.8
+
+
+@dataclass
+class AgingSchedule:
+    """Deterministic per-cell SoH trajectories.
+
+    Parameters
+    ----------
+    num_cells:
+        Number of cells in the battery (models in the set).
+    seed:
+        Seed for the per-cell decrement rates.
+    initial_soh:
+        SoH of all cells at use case U1.
+    mean_decrement / decrement_spread:
+        Mean SoH loss per update cycle and the relative per-cell spread.
+    """
+
+    num_cells: int
+    seed: int = 0
+    initial_soh: float = 1.0
+    mean_decrement: float = 0.01
+    decrement_spread: float = 0.5
+    _rates: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_cells <= 0:
+            raise ValueError(f"num_cells must be positive, got {self.num_cells}")
+        if not 0.0 < self.initial_soh <= 1.0:
+            raise ValueError(f"initial_soh must be in (0, 1], got {self.initial_soh}")
+        if self.mean_decrement < 0:
+            raise ValueError("mean_decrement must be non-negative")
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 0xA61]))
+        spread = self.mean_decrement * self.decrement_spread
+        self._rates = rng.uniform(
+            max(0.0, self.mean_decrement - spread),
+            self.mean_decrement + spread,
+            size=self.num_cells,
+        )
+
+    def soh_at(self, cell_index: int, update_cycle: int) -> float:
+        """SoH of ``cell_index`` after ``update_cycle`` update cycles.
+
+        Cycle 0 is the initial state (U1); each following cycle applies
+        the cell's decrement rate.  Clamped to a small positive floor so
+        the ECM stays well-defined past end-of-life.
+        """
+        if not 0 <= cell_index < self.num_cells:
+            raise IndexError(f"cell_index {cell_index} out of range")
+        if update_cycle < 0:
+            raise ValueError(f"update_cycle must be non-negative, got {update_cycle}")
+        soh = self.initial_soh - update_cycle * float(self._rates[cell_index])
+        return max(soh, 0.05)
+
+    def cells_past_end_of_life(self, update_cycle: int) -> list[int]:
+        """Indices of cells at or below the end-of-life SoH threshold."""
+        return [
+            cell
+            for cell in range(self.num_cells)
+            if self.soh_at(cell, update_cycle) <= END_OF_LIFE_SOH
+        ]

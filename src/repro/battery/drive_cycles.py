@@ -1,0 +1,146 @@
+"""Synthetic real-world-style driving discharge cycles.
+
+Substitute for the Steinstraeter et al. IEEE-DataPort recordings (see
+DESIGN.md): each cycle is a 1 Hz cell-current profile assembled from
+urban, rural, and highway segments with stochastic accelerations, stops,
+and regenerative-braking (negative-current) events.  Magnitudes are
+scaled to a single 18650 cell inside a large pack (a few amps peak).
+
+Cycles are fully determined by their seed, so dataset references can be
+resolved to bit-identical data — a requirement for the Provenance
+approach's deterministic replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+#: Segment archetypes: (mean current A, current std A, stop probability).
+_SEGMENT_TYPES = {
+    "urban": (1.2, 0.8, 0.25),
+    "rural": (2.0, 0.9, 0.08),
+    "highway": (3.2, 1.0, 0.01),
+}
+#: Probability of a regenerative braking burst at a segment boundary.
+_REGEN_PROBABILITY = 0.35
+#: Peak regenerative (charging) current in amps.
+_REGEN_PEAK_A = 2.0
+
+
+@dataclass(frozen=True)
+class DriveCycle:
+    """One discharge cycle: a current profile plus its provenance."""
+
+    cycle_id: int
+    seed: int
+    current_a: np.ndarray
+
+    @property
+    def duration_s(self) -> int:
+        return int(self.current_a.shape[0])
+
+    @property
+    def mean_current_a(self) -> float:
+        return float(self.current_a.mean())
+
+
+def _segment(
+    rng: np.random.Generator, kind: str, duration_s: int
+) -> np.ndarray:
+    """One driving segment as a smoothed stochastic current trace."""
+    mean_a, std_a, stop_prob = _SEGMENT_TYPES[kind]
+    raw = rng.normal(mean_a, std_a, size=duration_s)
+    # Smooth accelerations with a short moving average.
+    kernel = np.ones(5) / 5.0
+    smooth = np.convolve(raw, kernel, mode="same")
+    # Random stops: zero-current stretches (traffic lights, congestion).
+    step = 0
+    while step < duration_s:
+        if rng.random() < stop_prob:
+            stop_len = int(rng.integers(5, 40))
+            smooth[step : step + stop_len] = 0.0
+            step += stop_len
+        step += int(rng.integers(20, 60))
+    return np.maximum(smooth, 0.0)
+
+
+def generate_drive_cycle(
+    cycle_id: int,
+    seed: int,
+    duration_s: int = 1200,
+) -> DriveCycle:
+    """Generate one deterministic synthetic drive cycle.
+
+    Parameters
+    ----------
+    cycle_id:
+        Identifier recorded in the cycle's provenance.
+    seed:
+        RNG seed; combined with ``cycle_id`` so equal seeds with different
+        ids still yield different traffic.
+    duration_s:
+        Total cycle length in seconds (1 Hz sampling).
+    """
+    if duration_s < 60:
+        raise ValueError(f"duration_s must be at least 60, got {duration_s}")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, cycle_id]))
+    kinds = list(_SEGMENT_TYPES)
+    pieces: list[np.ndarray] = []
+    remaining = duration_s
+    while remaining > 0:
+        kind = kinds[int(rng.integers(len(kinds)))]
+        seg_len = int(min(remaining, rng.integers(120, 420)))
+        pieces.append(_segment(rng, kind, seg_len))
+        remaining -= seg_len
+        # Regenerative braking burst at segment boundaries.
+        if remaining > 15 and rng.random() < _REGEN_PROBABILITY:
+            burst_len = int(rng.integers(5, 15))
+            ramp = np.linspace(0.0, -_REGEN_PEAK_A * rng.random(), burst_len)
+            pieces.append(ramp)
+            remaining -= burst_len
+    current = np.concatenate(pieces)[:duration_s]
+    return DriveCycle(cycle_id=cycle_id, seed=seed, current_a=current)
+
+
+def generate_charge_profile(
+    seed: int,
+    duration_s: int = 3600,
+    cc_current_a: float = 2.5,
+    cv_voltage_fraction: float = 0.75,
+    taper_tau_s: float = 600.0,
+) -> np.ndarray:
+    """A CC-CV charging current profile (negative = charging).
+
+    Constant-current until ``cv_voltage_fraction`` of the duration, then
+    an exponentially tapering constant-voltage phase — the standard
+    lithium charge curve.  Small seeded ripple models charger regulation
+    noise.  Combined with a drive cycle this completes a full daily
+    usage pattern (drive, park, charge).
+    """
+    if duration_s < 60:
+        raise ValueError(f"duration_s must be at least 60, got {duration_s}")
+    if cc_current_a <= 0:
+        raise ValueError("cc_current_a must be positive")
+    if not 0.0 < cv_voltage_fraction < 1.0:
+        raise ValueError("cv_voltage_fraction must be in (0, 1)")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xCCC5]))
+    cc_steps = int(duration_s * cv_voltage_fraction)
+    cv_steps = duration_s - cc_steps
+    cc_phase = np.full(cc_steps, cc_current_a)
+    taper = cc_current_a * np.exp(-np.arange(cv_steps) / taper_tau_s)
+    profile = np.concatenate([cc_phase, taper])
+    ripple = rng.normal(0.0, 0.01 * cc_current_a, size=duration_s)
+    return -(profile + ripple)
+
+
+def iter_drive_cycles(
+    num_cycles: int, seed: int, duration_s: int = 1200
+) -> Iterator[DriveCycle]:
+    """Yield ``num_cycles`` deterministic cycles derived from one seed."""
+    if num_cycles < 0:
+        raise ValueError(f"num_cycles must be non-negative, got {num_cycles}")
+    for cycle_id in range(num_cycles):
+        yield generate_drive_cycle(cycle_id, seed, duration_s)

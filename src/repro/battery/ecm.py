@@ -1,0 +1,199 @@
+"""Second-order equivalent circuit model (ECM) of an 18650 lithium cell.
+
+The model follows the standard 2RC Thevenin structure used by Neupert &
+Kowal for pack-inhomogeneity studies:
+
+.. code-block:: text
+
+    V(t) = OCV(SoC) - I * R0 - V1 - V2
+    dV1/dt = I / C1 - V1 / (R1 * C1)
+    dV2/dt = I / C2 - V2 / (R2 * C2)
+    dSoC/dt = -I / (3600 * capacity_ah)
+
+with a lumped thermal model (Joule heating against convective cooling to
+ambient) and SoH-dependent parameter drift: an aged cell has reduced
+capacity and increased resistances, the dominant aging effects in
+practice.
+
+Sign convention: positive current discharges the cell.
+
+All state integration uses explicit Euler with the caller-supplied time
+step; drive cycles are sampled at 1 Hz, where Euler is well within the
+model's accuracy envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+#: Breakpoints of the open-circuit-voltage curve for a generic NMC 18650
+#: cell (SoC from 0 to 1).  Values follow the familiar flat-middle shape.
+_OCV_SOC_POINTS = np.array([0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+_OCV_VOLTS = np.array(
+    [3.00, 3.25, 3.40, 3.52, 3.60, 3.66, 3.72, 3.80, 3.90, 4.02, 4.10, 4.20]
+)
+
+
+@dataclass(frozen=True)
+class CellParameters:
+    """Electrical and thermal parameters of one cell at SoH = 1.
+
+    Per-cell manufacturing spread is modeled by perturbing these values
+    (see :meth:`perturbed`), matching the paper's "slightly altered model
+    parameters" used to diversify the generated cycles.
+    """
+
+    capacity_ah: float = 2.5
+    r0_ohm: float = 0.035
+    r1_ohm: float = 0.020
+    c1_farad: float = 1_500.0
+    r2_ohm: float = 0.012
+    c2_farad: float = 40_000.0
+    thermal_mass_j_per_k: float = 45.0
+    cooling_w_per_k: float = 0.15
+    ambient_temp_c: float = 25.0
+
+    def perturbed(self, rng: np.random.Generator, spread: float = 0.05) -> "CellParameters":
+        """A copy with parameters jittered by ``±spread`` (relative, uniform)."""
+
+        def jitter(value: float) -> float:
+            return float(value * (1.0 + rng.uniform(-spread, spread)))
+
+        return replace(
+            self,
+            capacity_ah=jitter(self.capacity_ah),
+            r0_ohm=jitter(self.r0_ohm),
+            r1_ohm=jitter(self.r1_ohm),
+            c1_farad=jitter(self.c1_farad),
+            r2_ohm=jitter(self.r2_ohm),
+            c2_farad=jitter(self.c2_farad),
+            thermal_mass_j_per_k=jitter(self.thermal_mass_j_per_k),
+            cooling_w_per_k=jitter(self.cooling_w_per_k),
+        )
+
+    def aged(self, soh: float) -> "CellParameters":
+        """Parameters of the cell at state-of-health ``soh`` in (0, 1].
+
+        Capacity fades proportionally to SoH; resistances grow inversely
+        (a cell at 80% SoH has ~25% higher internal resistance).
+        """
+        if not 0.0 < soh <= 1.0:
+            raise ValueError(f"SoH must be in (0, 1], got {soh}")
+        growth = 1.0 / soh
+        return replace(
+            self,
+            capacity_ah=self.capacity_ah * soh,
+            r0_ohm=self.r0_ohm * growth,
+            r1_ohm=self.r1_ohm * growth,
+            r2_ohm=self.r2_ohm * growth,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Time series produced by one ECM simulation run.
+
+    All arrays share the input current's length.  ``charge_ah`` is the
+    remaining charge (coulomb counter), ``temperature_c`` the cell surface
+    temperature, ``voltage`` the terminal voltage response.
+    """
+
+    current_a: np.ndarray
+    voltage: np.ndarray
+    temperature_c: np.ndarray
+    charge_ah: np.ndarray
+    soc: np.ndarray
+
+
+def open_circuit_voltage(soc: np.ndarray | float) -> np.ndarray | float:
+    """OCV(SoC) via linear interpolation of the NMC curve."""
+    return np.interp(soc, _OCV_SOC_POINTS, _OCV_VOLTS)
+
+
+class SecondOrderECM:
+    """Second-order Thevenin ECM with thermal and SoH dynamics.
+
+    Parameters
+    ----------
+    parameters:
+        Electrical/thermal parameters at full health.
+    soh:
+        State of health in (0, 1]; applied via :meth:`CellParameters.aged`.
+    """
+
+    def __init__(self, parameters: CellParameters | None = None, soh: float = 1.0) -> None:
+        base = parameters if parameters is not None else CellParameters()
+        self.soh = soh
+        self.parameters = base.aged(soh)
+
+    def simulate(
+        self,
+        current_a: np.ndarray,
+        dt_s: float = 1.0,
+        initial_soc: float = 0.95,
+        initial_temp_c: float | None = None,
+    ) -> SimulationResult:
+        """Integrate the cell response to a current profile.
+
+        Parameters
+        ----------
+        current_a:
+            Excitation current per time step (positive = discharge).
+        dt_s:
+            Integration step in seconds.
+        initial_soc:
+            Starting state of charge in [0, 1].
+        initial_temp_c:
+            Starting temperature; defaults to ambient.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be positive, got {dt_s}")
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+        params = self.parameters
+        current = np.asarray(current_a, dtype=np.float64)
+        steps = current.shape[0]
+
+        voltage = np.empty(steps)
+        temperature = np.empty(steps)
+        charge = np.empty(steps)
+        soc_series = np.empty(steps)
+
+        soc = initial_soc
+        temp = params.ambient_temp_c if initial_temp_c is None else initial_temp_c
+        v1 = 0.0
+        v2 = 0.0
+        tau1 = params.r1_ohm * params.c1_farad
+        tau2 = params.r2_ohm * params.c2_farad
+
+        for step in range(steps):
+            amps = current[step]
+            # RC branch voltages (explicit Euler).
+            v1 += dt_s * (amps / params.c1_farad - v1 / tau1)
+            v2 += dt_s * (amps / params.c2_farad - v2 / tau2)
+            # Temperature increases ohmic resistance slightly (0.3%/K above
+            # ambient) — a second-order effect that couples the thermal and
+            # electrical dynamics.
+            r0 = params.r0_ohm * (1.0 + 0.003 * (temp - params.ambient_temp_c))
+            terminal = float(open_circuit_voltage(soc)) - amps * r0 - v1 - v2
+            # Coulomb counting.
+            soc = min(1.0, max(0.0, soc - amps * dt_s / (3600.0 * params.capacity_ah)))
+            # Lumped thermal model: Joule heating vs. convective cooling.
+            heat_w = amps * amps * (r0 + params.r1_ohm + params.r2_ohm)
+            cool_w = params.cooling_w_per_k * (temp - params.ambient_temp_c)
+            temp += dt_s * (heat_w - cool_w) / params.thermal_mass_j_per_k
+
+            voltage[step] = terminal
+            temperature[step] = temp
+            charge[step] = soc * params.capacity_ah
+            soc_series[step] = soc
+
+        return SimulationResult(
+            current_a=current,
+            voltage=voltage,
+            temperature_c=temperature,
+            charge_ah=charge,
+            soc=soc_series,
+        )

@@ -1,0 +1,48 @@
+"""Feature normalization (the paper normalizes "to provide an equal
+feature scale" before training, §4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FeatureScaler:
+    """Z-score scaler with frozen statistics.
+
+    Freezing the statistics (rather than re-fitting at recovery time)
+    keeps the provenance replay deterministic even if the replayed subset
+    of data differs from what the scaler was fitted on.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, features: np.ndarray) -> "FeatureScaler":
+        """Fit per-channel mean/std; zero-variance channels get std 1."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"expected 2-D features, got shape {features.shape}")
+        mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        return cls(mean=mean, std=std)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean) / self.std
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        return features * self.std + self.mean
+
+    def to_json(self) -> dict[str, list[float]]:
+        """JSON representation for provenance documents."""
+        return {"mean": self.mean.tolist(), "std": self.std.tolist()}
+
+    @classmethod
+    def from_json(cls, data: dict[str, list[float]]) -> "FeatureScaler":
+        return cls(mean=np.asarray(data["mean"]), std=np.asarray(data["std"]))

@@ -1,0 +1,271 @@
+"""Battery-pack simulation: many inhomogeneous cells in series/parallel.
+
+The paper's motivating deployment is one DL model per cell of an
+electric-car battery, "consist[ing] of thousands of individual cells"
+(§1), citing Neupert & Kowal's pack-inhomogeneity study.  This module
+simulates that pack so the multi-model workload has a physically
+grounded source:
+
+* a pack is ``series_groups`` groups in series, each of
+  ``parallel_cells`` cells in parallel,
+* every cell is an independently perturbed, independently aged
+  :class:`~repro.battery.ecm.SecondOrderECM`,
+* within a parallel group, the group current splits so all branches see
+  the same terminal voltage — weaker (higher-resistance, lower-OCV)
+  cells carry less current, exactly the inhomogeneity effect the cited
+  study measures, and
+* per-cell telemetry (current, temperature, charge, SoC, voltage) is
+  recorded, which is what the per-cell models train on.
+
+The current split solves the linearized branch equations per time step:
+with branch model ``V = ocv_i - I_i * R_i - pol_i`` and the constraint
+``sum(I_i) = I_group``, the exact split is
+
+.. code-block:: text
+
+    I_i = ((ocv_i - pol_i) - V) / R_i
+    V   = (sum((ocv_j - pol_j) / R_j) - I_group) / sum(1 / R_j)
+
+which is exact for the resistive part and first-order for the RC
+polarization within one 1 Hz step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.battery.ecm import CellParameters, open_circuit_voltage
+
+
+@dataclass(frozen=True)
+class PackConfig:
+    """Geometry and spread of a simulated pack.
+
+    A compact EV-style default: 96 series groups of 4 parallel cells
+    (384 cells).  ``parameter_spread`` is the relative manufacturing
+    spread applied per cell; ``soh`` optionally ages cells individually.
+    """
+
+    series_groups: int = 96
+    parallel_cells: int = 4
+    seed: int = 0
+    parameter_spread: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.series_groups <= 0 or self.parallel_cells <= 0:
+            raise ValueError("pack geometry must be positive")
+        if not 0.0 <= self.parameter_spread < 1.0:
+            raise ValueError("parameter_spread must be in [0, 1)")
+
+    @property
+    def num_cells(self) -> int:
+        return self.series_groups * self.parallel_cells
+
+
+@dataclass
+class PackTelemetry:
+    """Per-cell time series recorded during a pack simulation.
+
+    All arrays have shape ``(steps, num_cells)``; cells are indexed
+    ``group * parallel_cells + branch``.  ``pack_voltage`` has shape
+    ``(steps,)``.
+    """
+
+    current_a: np.ndarray
+    voltage: np.ndarray
+    temperature_c: np.ndarray
+    charge_ah: np.ndarray
+    soc: np.ndarray
+    pack_voltage: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def cell(self, cell_index: int) -> dict[str, np.ndarray]:
+        """One cell's telemetry as named channels."""
+        return {
+            "current_a": self.current_a[:, cell_index],
+            "voltage": self.voltage[:, cell_index],
+            "temperature_c": self.temperature_c[:, cell_index],
+            "charge_ah": self.charge_ah[:, cell_index],
+            "soc": self.soc[:, cell_index],
+        }
+
+
+class _CellState:
+    """Integrator state of one cell inside the pack."""
+
+    __slots__ = ("params", "soc", "temp", "v1", "v2")
+
+    def __init__(self, params: CellParameters, initial_soc: float) -> None:
+        self.params = params
+        self.soc = initial_soc
+        self.temp = params.ambient_temp_c
+        self.v1 = 0.0
+        self.v2 = 0.0
+
+    @property
+    def polarization(self) -> float:
+        return self.v1 + self.v2
+
+    def effective_r0(self) -> float:
+        return self.params.r0_ohm * (
+            1.0 + 0.003 * (self.temp - self.params.ambient_temp_c)
+        )
+
+    def step(self, amps: float, dt_s: float) -> float:
+        """Advance one time step under branch current ``amps``.
+
+        Returns the cell's terminal voltage at the step.
+        """
+        params = self.params
+        tau1 = params.r1_ohm * params.c1_farad
+        tau2 = params.r2_ohm * params.c2_farad
+        self.v1 += dt_s * (amps / params.c1_farad - self.v1 / tau1)
+        self.v2 += dt_s * (amps / params.c2_farad - self.v2 / tau2)
+        r0 = self.effective_r0()
+        terminal = (
+            float(open_circuit_voltage(self.soc)) - amps * r0 - self.v1 - self.v2
+        )
+        self.soc = min(
+            1.0, max(0.0, self.soc - amps * dt_s / (3600.0 * params.capacity_ah))
+        )
+        heat_w = amps * amps * (r0 + params.r1_ohm + params.r2_ohm)
+        cool_w = params.cooling_w_per_k * (self.temp - params.ambient_temp_c)
+        self.temp += dt_s * (heat_w - cool_w) / params.thermal_mass_j_per_k
+        return terminal
+
+
+class BatteryPack:
+    """Series/parallel pack of individually perturbed and aged cells."""
+
+    def __init__(
+        self,
+        config: PackConfig | None = None,
+        soh_per_cell: np.ndarray | list[float] | None = None,
+    ) -> None:
+        self.config = config if config is not None else PackConfig()
+        num_cells = self.config.num_cells
+        if soh_per_cell is None:
+            soh = np.ones(num_cells)
+        else:
+            soh = np.asarray(soh_per_cell, dtype=np.float64)
+            if soh.shape != (num_cells,):
+                raise ValueError(
+                    f"soh_per_cell must have shape ({num_cells},), got {soh.shape}"
+                )
+            if np.any((soh <= 0) | (soh > 1)):
+                raise ValueError("per-cell SoH must be in (0, 1]")
+        self.soh_per_cell = soh
+        base = CellParameters()
+        self._cells: list[_CellState] = []
+        for index in range(num_cells):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.config.seed, index, 0x9ACC])
+            )
+            params = base.perturbed(rng, spread=self.config.parameter_spread)
+            self._cells.append(_CellState(params.aged(float(soh[index])), 0.95))
+
+    @property
+    def num_cells(self) -> int:
+        return self.config.num_cells
+
+    def cell_parameters(self, cell_index: int) -> CellParameters:
+        """The (perturbed, aged) ECM parameters of one cell."""
+        return self._cells[cell_index].params
+
+    def simulate(
+        self, pack_current_a: np.ndarray, dt_s: float = 1.0
+    ) -> PackTelemetry:
+        """Integrate the pack response to a pack-level current profile.
+
+        ``pack_current_a`` is the current through the series string
+        (positive = discharge); each parallel group splits it per the
+        branch equations in the module docstring.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        current = np.asarray(pack_current_a, dtype=np.float64)
+        steps = current.shape[0]
+        parallel = self.config.parallel_cells
+        num_cells = self.num_cells
+
+        cell_current = np.empty((steps, num_cells))
+        cell_voltage = np.empty((steps, num_cells))
+        cell_temp = np.empty((steps, num_cells))
+        cell_charge = np.empty((steps, num_cells))
+        cell_soc = np.empty((steps, num_cells))
+        pack_voltage = np.empty(steps)
+
+        for step in range(steps):
+            group_current = current[step]
+            total_v = 0.0
+            for group in range(self.config.series_groups):
+                cells = self._cells[group * parallel : (group + 1) * parallel]
+                # Exact resistive split with frozen polarization/OCV.
+                inv_r = np.array([1.0 / c.effective_r0() for c in cells])
+                emf = np.array(
+                    [
+                        float(open_circuit_voltage(c.soc)) - c.polarization
+                        for c in cells
+                    ]
+                )
+                group_v = (float(np.dot(emf, inv_r)) - group_current) / float(
+                    inv_r.sum()
+                )
+                branch = (emf - group_v) * inv_r
+                for offset, (cell, amps) in enumerate(zip(cells, branch)):
+                    index = group * parallel + offset
+                    terminal = cell.step(float(amps), dt_s)
+                    cell_current[step, index] = amps
+                    cell_voltage[step, index] = terminal
+                    cell_temp[step, index] = cell.temp
+                    cell_charge[step, index] = cell.soc * cell.params.capacity_ah
+                    cell_soc[step, index] = cell.soc
+                total_v += group_v
+            pack_voltage[step] = total_v
+
+        return PackTelemetry(
+            current_a=cell_current,
+            voltage=cell_voltage,
+            temperature_c=cell_temp,
+            charge_ah=cell_charge,
+            soc=cell_soc,
+            pack_voltage=pack_voltage,
+        )
+
+    # -- pack analytics --------------------------------------------------------
+    def imbalance_report(
+        self, telemetry: PackTelemetry, min_current_a: float = 0.25
+    ) -> dict[str, float]:
+        """Inhomogeneity metrics over a simulation run.
+
+        ``current_spread`` is the mean, over loaded time steps, of the
+        within-group relative current spread — the headline inhomogeneity
+        figure of the cited study.  Steps with |group current| below
+        ``min_current_a`` (stops, coasting) are excluded: tiny circulating
+        currents there would make the relative spread meaningless.
+        """
+        parallel = self.config.parallel_cells
+        groups = telemetry.current_a.reshape(
+            telemetry.current_a.shape[0], self.config.series_groups, parallel
+        )
+        mean_current = np.abs(groups.mean(axis=2))
+        loaded = mean_current >= min_current_a
+        spread = np.zeros_like(mean_current)
+        np.divide(
+            groups.max(axis=2) - groups.min(axis=2),
+            mean_current,
+            out=spread,
+            where=loaded,
+        )
+        current_spread = float(spread[loaded].mean()) if loaded.any() else 0.0
+        return {
+            "current_spread": current_spread,
+            "temperature_spread_c": float(
+                (telemetry.temperature_c.max(axis=1)
+                 - telemetry.temperature_c.min(axis=1)).mean()
+            ),
+            "soc_spread": float(
+                (telemetry.soc.max(axis=1) - telemetry.soc.min(axis=1)).mean()
+            ),
+        }

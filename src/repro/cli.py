@@ -1,0 +1,230 @@
+"""``repro-archive`` — operate a durable model archive from the shell.
+
+Subcommands cover the operator loop demonstrated in
+``examples/archive_operations.py``:
+
+.. code-block:: text
+
+    repro-archive <dir> info                 # sets, sizes, lineage summary
+    repro-archive <dir> lineage              # the derivation chains
+    repro-archive <dir> verify [--deep]      # integrity audit
+    repro-archive <dir> history SET_ID IDX   # one model's drift
+    repro-archive <dir> compact SET_ID       # delta -> full snapshot
+    repro-archive <dir> gc --keep-last K     # retention policy
+    repro-archive <dir> migrate TARGET_DIR --approach update
+
+The archive's approach is auto-detected from the stored set descriptors;
+mixed-approach archives are supported for read-only commands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.approach import SETS_COLLECTION, SaveContext
+from repro.core.lineage import LineageGraph, model_history
+from repro.core.manager import APPROACHES, MultiModelManager
+from repro.core.migration import migrate_archive
+from repro.core.retention import RetentionManager
+from repro.core.verify import ArchiveVerifier
+from repro.errors import ReproError
+from repro.storage.persistent import open_context
+
+
+def _detect_approach(context: SaveContext) -> str | None:
+    """The single approach used by the archive, or None if empty/mixed."""
+    types = {
+        str(doc.get("type"))
+        for doc in context.document_store._collections.get(
+            SETS_COLLECTION, {}
+        ).values()
+    }
+    return types.pop() if len(types) == 1 else None
+
+
+def _manager_for(context: SaveContext, approach: str | None) -> MultiModelManager:
+    detected = _detect_approach(context)
+    name = approach or detected
+    if name is None:
+        raise ReproError(
+            "archive is empty or mixes approaches; pass --approach explicitly"
+        )
+    if name not in APPROACHES:
+        raise ReproError(f"unknown approach {name!r}; known: {sorted(APPROACHES)}")
+    return MultiModelManager.with_approach(name, context=context)
+
+
+# -- subcommands ----------------------------------------------------------------
+
+def _cmd_info(context: SaveContext, args: argparse.Namespace) -> int:
+    lineage = LineageGraph.from_context(context)
+    set_ids = context.document_store.collection_ids(SETS_COLLECTION)
+    print(f"sets: {len(set_ids)}")
+    print(f"stored bytes: {context.total_bytes():,}")
+    print(f"approach: {_detect_approach(context) or 'mixed/empty'}")
+    if set_ids:
+        print(f"roots: {', '.join(lineage.roots())}")
+        print(f"leaves: {', '.join(lineage.leaves())}")
+    return 0
+
+
+def _cmd_lineage(context: SaveContext, args: argparse.Namespace) -> int:
+    lineage = LineageGraph.from_context(context)
+    for set_id in context.document_store.collection_ids(SETS_COLLECTION):
+        info = lineage.node_info(set_id)
+        base = lineage.base_of(set_id)
+        chain = lineage.chain_depth(set_id)
+        parent = f" <- {base}" if base else ""
+        print(
+            f"{set_id}  [{info.get('approach')}/{info.get('kind')}] "
+            f"models={info.get('num_models')} chain_depth={chain}{parent}"
+        )
+    return 0
+
+
+def _cmd_verify(context: SaveContext, args: argparse.Namespace) -> int:
+    report = ArchiveVerifier(context).verify_all(deep=args.deep)
+    print(f"checked {report.sets_checked} sets")
+    if report.ok:
+        print("archive is clean")
+        return 0
+    for issue in report.issues:
+        print(f"ISSUE {issue}")
+    return 1
+
+
+def _cmd_history(context: SaveContext, args: argparse.Namespace) -> int:
+    manager = _manager_for(context, args.approach)
+    lineage = LineageGraph.from_context(context)
+    chain = lineage.recovery_chain(args.set_id)
+    history = model_history(manager, chain, args.model_index)
+    print(f"model {args.model_index} across {len(chain)} generations:")
+    for set_id, drift in zip(history.set_ids, history.drift_from_start):
+        print(f"  {set_id}  drift={drift:.6f}")
+    return 0
+
+
+def _cmd_compact(context: SaveContext, args: argparse.Namespace) -> int:
+    RetentionManager(context).compact(args.set_id)
+    print(f"compacted {args.set_id} into a full snapshot")
+    return 0
+
+
+def _cmd_gc(context: SaveContext, args: argparse.Namespace) -> int:
+    retention = RetentionManager(context)
+    if args.keep_last is not None:
+        report = retention.keep_last(args.keep_last)
+    else:
+        report = retention.collect(keep=args.keep or [])
+    print(f"deleted {len(report.deleted_sets)} sets")
+    for set_id in report.deleted_sets:
+        print(f"  - {set_id}")
+    if report.retained_for_chains:
+        print(f"retained for recovery chains: {report.retained_for_chains}")
+    print(f"reclaimed {report.bytes_reclaimed:,} bytes")
+    return 0
+
+
+def _cmd_export(context: SaveContext, args: argparse.Namespace) -> int:
+    from repro.core.export import export_models
+
+    manager = _manager_for(context, args.approach)
+    indices = args.models if args.models else None
+    manifest = export_models(
+        manager, args.set_id, args.output_dir, model_indices=indices
+    )
+    count = len(indices) if indices else manager.set_info(args.set_id)["num_models"]
+    print(f"exported {count} models to {args.output_dir} (manifest: {manifest})")
+    return 0
+
+
+def _cmd_migrate(context: SaveContext, args: argparse.Namespace) -> int:
+    target = MultiModelManager.open(args.target_dir, args.target_approach)
+    report = migrate_archive(context, target)
+    print(f"migrated {report.sets_migrated} sets to {args.target_dir}")
+    print(
+        f"storage: {report.source_bytes:,} -> {report.target_bytes:,} bytes "
+        f"({report.storage_ratio:.1%})"
+    )
+    for old, new in report.id_map.items():
+        print(f"  {old} -> {new}")
+    return 0
+
+
+# -- entry point --------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-archive", description="Operate a durable model archive."
+    )
+    parser.add_argument("directory", help="archive root directory")
+    parser.add_argument(
+        "--approach",
+        default=None,
+        help="override the auto-detected approach (needed for mixed archives)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="summarize the archive")
+    subparsers.add_parser("lineage", help="print the derivation chains")
+
+    verify = subparsers.add_parser("verify", help="audit archive integrity")
+    verify.add_argument(
+        "--deep", action="store_true", help="also recover sets and recheck hashes"
+    )
+
+    history = subparsers.add_parser("history", help="one model's drift over time")
+    history.add_argument("set_id")
+    history.add_argument("model_index", type=int)
+
+    compact = subparsers.add_parser(
+        "compact", help="rewrite a derived set as a full snapshot"
+    )
+    compact.add_argument("set_id")
+
+    gc = subparsers.add_parser("gc", help="garbage-collect old sets")
+    group = gc.add_mutually_exclusive_group(required=True)
+    group.add_argument("--keep-last", type=int, default=None)
+    group.add_argument("--keep", nargs="+", default=None, metavar="SET_ID")
+
+    export = subparsers.add_parser(
+        "export", help="write models as a self-contained deployment bundle"
+    )
+    export.add_argument("set_id")
+    export.add_argument("output_dir")
+    export.add_argument(
+        "--models", nargs="+", type=int, default=None, metavar="INDEX"
+    )
+
+    migrate = subparsers.add_parser(
+        "migrate", help="re-encode the archive under another approach"
+    )
+    migrate.add_argument("target_dir")
+    migrate.add_argument(
+        "--target-approach",
+        default="update",
+        choices=[n for n in sorted(APPROACHES) if n != "provenance"],
+    )
+
+    args = parser.parse_args(argv)
+    context = open_context(args.directory)
+    commands = {
+        "info": _cmd_info,
+        "lineage": _cmd_lineage,
+        "verify": _cmd_verify,
+        "history": _cmd_history,
+        "compact": _cmd_compact,
+        "gc": _cmd_gc,
+        "export": _cmd_export,
+        "migrate": _cmd_migrate,
+    }
+    try:
+        return commands[args.command](context, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

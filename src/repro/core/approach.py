@@ -1,0 +1,146 @@
+"""The pluggable save-approach API and the shared save context.
+
+Every approach implements the same three operations:
+
+* :meth:`SaveApproach.save_initial` — persist a model set with no base
+  (use case U1),
+* :meth:`SaveApproach.save_derived` — persist a set derived from a
+  previously saved base set (use case U3), and
+* :meth:`SaveApproach.recover` — reconstruct a set from its id.
+
+Approaches are strategies over a shared :class:`SaveContext` holding the
+storage substrates (file store, document store) and the dataset registry,
+so comparative benchmarks run all approaches against identical backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+import itertools
+
+from repro.core.model_set import ModelSet
+from repro.core.save_info import SetMetadata, UpdateInfo
+from repro.datasets.registry import DatasetRegistry, default_registry
+from repro.errors import RecoveryError
+from repro.storage.document_store import DocumentStore
+from repro.storage.file_store import FileStore
+from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+
+#: Document-store collection holding one descriptor document per set.
+SETS_COLLECTION = "model_sets"
+
+
+@dataclass
+class SaveContext:
+    """Bundles the storage substrates an approach writes to and reads from."""
+
+    file_store: FileStore
+    document_store: DocumentStore
+    dataset_registry: DatasetRegistry
+    _set_counter: "itertools.count[int]" = field(
+        default_factory=itertools.count, repr=False
+    )
+
+    @classmethod
+    def create(cls, profile: HardwareProfile = LOCAL_PROFILE) -> "SaveContext":
+        """Fresh in-memory context with the default dataset resolvers."""
+        return cls(
+            file_store=FileStore(profile=profile),
+            document_store=DocumentStore(profile=profile),
+            dataset_registry=default_registry(),
+        )
+
+    def next_set_id(self, approach_name: str) -> str:
+        """Allocate a unique id for a new model set."""
+        return f"set-{approach_name}-{next(self._set_counter):06d}"
+
+    def set_document(self, set_id: str) -> dict:
+        """Fetch a set's descriptor document (charged as a store read)."""
+        return self.document_store.get(SETS_COLLECTION, set_id)
+
+    def total_bytes(self) -> int:
+        """Bytes currently held across both stores."""
+        return self.file_store.total_bytes() + self.document_store.total_bytes()
+
+
+class SaveApproach(ABC):
+    """Strategy interface of a multi-model management approach."""
+
+    #: Short name used in set ids, documents, and benchmark reports.
+    name: str = "abstract"
+
+    def __init__(self, context: SaveContext) -> None:
+        self.context = context
+
+    # -- save ------------------------------------------------------------
+    @abstractmethod
+    def save_initial(
+        self, model_set: ModelSet, metadata: SetMetadata | None = None
+    ) -> str:
+        """Persist an initial model set; returns the new set id."""
+
+    @abstractmethod
+    def save_derived(
+        self,
+        model_set: ModelSet,
+        base_set_id: str,
+        update_info: UpdateInfo | None = None,
+        metadata: SetMetadata | None = None,
+    ) -> str:
+        """Persist a set derived from ``base_set_id``; returns the new id.
+
+        ``update_info`` carries the cycle's provenance; approaches that do
+        not need it may ignore it.
+        """
+
+    def save_initial_streaming(
+        self,
+        architecture: str,
+        states,
+        num_models: int,
+        metadata: SetMetadata | None = None,
+    ) -> str:
+        """Persist an initial set from an *iterable* of state dicts.
+
+        Bounded-memory ingestion: implementations stream models into the
+        parameter artifact one at a time, so saving a 5000-model set
+        never materializes more than one model's parameters (plus the
+        artifact writer's buffer).  This default materializes a
+        :class:`ModelSet` first — subclasses override it with a true
+        single-pass implementation.
+        """
+        return self.save_initial(
+            ModelSet(architecture, list(states)), metadata=metadata
+        )
+
+    # -- recover -----------------------------------------------------------
+    @abstractmethod
+    def recover(self, set_id: str) -> ModelSet:
+        """Reconstruct the full model set saved under ``set_id``."""
+
+    def recover_model(self, set_id: str, model_index: int) -> "OrderedDict":
+        """Reconstruct a single model's parameters from a saved set.
+
+        The paper's scenario recovers "a selected number of models, for
+        example, after an accident" (§1) — far cheaper than a full-set
+        recovery.  Subclasses override this with range-read
+        implementations; this fallback recovers the whole set and slices.
+        """
+        model_set = self.recover(set_id)
+        if not 0 <= model_index < len(model_set):
+            raise IndexError(
+                f"model index {model_index} out of range for a "
+                f"{len(model_set)}-model set"
+            )
+        return model_set.state(model_index)
+
+    # -- shared helpers -----------------------------------------------------
+    def _require_type(self, document: dict, expected: str, set_id: str) -> None:
+        actual = document.get("type")
+        if actual != expected:
+            raise RecoveryError(
+                f"set {set_id!r} was saved by approach {actual!r}, "
+                f"but recovery was attempted with {expected!r}"
+            )

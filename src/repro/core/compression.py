@@ -1,0 +1,124 @@
+"""Optional compression of parameter artifacts (paper future work, §4.5).
+
+The paper notes that Update deduplicates exactly-equal parameters but
+leaves each stored float at 4 bytes, and cites ModelHub's delta encoding
+as evidence that compression can reduce storage further.  This module
+provides pluggable codecs and the ablation bench A2 measures their
+storage/time trade-offs:
+
+* ``none`` — identity (the paper's configuration),
+* ``zlib`` — general-purpose DEFLATE,
+* ``shuffle-zlib`` — byte-plane transposition of the float32 stream
+  followed by DEFLATE.  Grouping the exponent bytes of neighbouring
+  parameters together makes them far more compressible (the same trick
+  HDF5's shuffle filter uses).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from abc import ABC, abstractmethod
+
+from repro.errors import SerializationError
+
+import numpy as np
+
+
+class CompressionCodec(ABC):
+    """Reversible byte-stream codec."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode(self, data: bytes) -> bytes:
+        """Compress ``data``."""
+
+    @abstractmethod
+    def decode(self, data: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+
+
+class NoneCodec(CompressionCodec):
+    """Identity codec (no compression)."""
+
+    name = "none"
+
+    def encode(self, data: bytes) -> bytes:
+        return data
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+
+class ZlibCodec(CompressionCodec):
+    """DEFLATE compression at a configurable level."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError(f"zlib level must be in [1, 9], got {level}")
+        self.level = level
+
+    def encode(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decode(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise SerializationError("corrupt zlib stream") from exc
+
+
+class ShuffleZlibCodec(CompressionCodec):
+    """Byte-plane shuffle of float32 data, then DEFLATE.
+
+    A raw float32 stream interleaves sign/exponent/mantissa bytes, which
+    defeats LZ matching.  Transposing to four contiguous byte planes puts
+    the highly-correlated exponent bytes next to each other, typically
+    doubling the compression ratio on trained-parameter data.
+
+    Only valid for streams whose length is a multiple of 4; the encoder
+    stores the original length so ragged tails round-trip too.
+    """
+
+    name = "shuffle-zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        self._zlib = ZlibCodec(level)
+
+    def encode(self, data: bytes) -> bytes:
+        tail = len(data) % 4
+        body = np.frombuffer(data[: len(data) - tail], dtype=np.uint8)
+        planes = body.reshape(-1, 4).T.copy() if body.size else body
+        shuffled = planes.tobytes() + data[len(data) - tail :]
+        return struct.pack("<I", len(data)) + self._zlib.encode(shuffled)
+
+    def decode(self, data: bytes) -> bytes:
+        if len(data) < 4:
+            raise SerializationError("truncated shuffle-zlib stream")
+        (original_len,) = struct.unpack_from("<I", data, 0)
+        shuffled = self._zlib.decode(data[4:])
+        if len(shuffled) != original_len:
+            raise SerializationError("shuffle-zlib length mismatch")
+        tail = original_len % 4
+        body = np.frombuffer(shuffled[: original_len - tail], dtype=np.uint8)
+        planes = body.reshape(4, -1).T.copy() if body.size else body
+        return planes.tobytes() + shuffled[original_len - tail :]
+
+
+#: Codec registry keyed by name (used by UpdateApproach and bench A2).
+CODECS: dict[str, CompressionCodec] = {
+    "none": NoneCodec(),
+    "zlib": ZlibCodec(),
+    "shuffle-zlib": ShuffleZlibCodec(),
+}
+
+
+def get_codec(name: str) -> CompressionCodec:
+    """Look up a codec by name."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise ValueError(f"unknown codec {name!r}; known: {sorted(CODECS)}") from None

@@ -1,0 +1,104 @@
+"""Deployment bundles: moving models between the archive and devices.
+
+The deployment phase ships models *to* devices and collects updated
+models *from* them (§1).  This module provides the interchange format:
+
+* :func:`export_models` writes selected models of a saved set to a
+  directory, one self-describing binary per model plus a JSON manifest
+  (architecture, set id, per-file checksums) — everything a device or a
+  third-party tool needs, with no dependency on the archive;
+* :func:`import_models` reads such a bundle back into a
+  :class:`~repro.core.model_set.ModelSet` (e.g. updated models collected
+  from devices, ready to be saved as the next generation), verifying
+  checksums and schema consistency.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.core.model_set import ModelSet
+from repro.errors import ReproError, SerializationError
+from repro.nn.serialization import deserialize_state_dict, serialize_state_dict
+from repro.storage.hashing import hash_bytes
+
+#: Name of the bundle's manifest file.
+MANIFEST_NAME = "manifest.json"
+_BUNDLE_VERSION = 1
+
+
+def export_models(
+    manager,
+    set_id: str,
+    directory: str | Path,
+    model_indices: list[int] | None = None,
+) -> Path:
+    """Export models from a saved set as a self-contained bundle.
+
+    ``model_indices`` defaults to all models.  Each model is recovered
+    individually (cheap under range-read approaches) and written as
+    ``model-<index>.bin`` in the self-describing codec.  Returns the
+    manifest path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    info = manager.set_info(set_id)
+    num_models = int(info["num_models"])
+    if model_indices is None:
+        model_indices = list(range(num_models))
+    bad = [i for i in model_indices if not 0 <= i < num_models]
+    if bad:
+        raise IndexError(f"model indices out of range: {bad}")
+
+    files = {}
+    for index in model_indices:
+        state = manager.recover_model(set_id, index)
+        blob = serialize_state_dict(state)
+        name = f"model-{index:06d}.bin"
+        (directory / name).write_bytes(blob)
+        files[str(index)] = {"file": name, "sha256": hash_bytes(blob)}
+
+    manifest = {
+        "bundle_version": _BUNDLE_VERSION,
+        "set_id": set_id,
+        "architecture": str(info["architecture"]),
+        "num_models_in_set": num_models,
+        "models": files,
+    }
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def import_models(directory: str | Path) -> tuple[ModelSet, dict]:
+    """Load a bundle back as a :class:`ModelSet` plus its manifest.
+
+    Models are ordered by their original index.  Checksums are verified;
+    a tampered or truncated file raises :class:`SerializationError`, a
+    missing/invalid manifest raises :class:`ReproError`.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ReproError(f"no {MANIFEST_NAME} in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("bundle_version") != _BUNDLE_VERSION:
+        raise ReproError(
+            f"unsupported bundle version {manifest.get('bundle_version')!r}"
+        )
+    models_entry = manifest.get("models")
+    if not models_entry:
+        raise ReproError("bundle manifest lists no models")
+
+    states: "list[OrderedDict]" = []
+    for index_str in sorted(models_entry, key=int):
+        entry = models_entry[index_str]
+        blob = (directory / entry["file"]).read_bytes()
+        if hash_bytes(blob) != entry["sha256"]:
+            raise SerializationError(
+                f"bundle file {entry['file']} failed checksum verification"
+            )
+        states.append(deserialize_state_dict(blob))
+    return ModelSet(str(manifest["architecture"]), states), manifest

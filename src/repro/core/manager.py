@@ -1,0 +1,183 @@
+"""The :class:`MultiModelManager` facade — the library's main entry point.
+
+Binds one save approach to one storage context and exposes save/recover
+plus storage accounting.  Typical use::
+
+    manager = MultiModelManager.with_approach("update")
+    set_id = manager.save_set(models)                       # U1
+    new_id = manager.save_set(updated, base_set_id=set_id)  # U3
+    recovered = manager.recover_set(new_id)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.approach import SETS_COLLECTION, SaveApproach, SaveContext
+from repro.core.baseline import BaselineApproach
+from repro.core.mmlib_base import MMlibBaseApproach
+from repro.core.model_set import ModelSet
+from repro.core.pas import PasDeltaApproach
+from repro.core.provenance import ProvenanceApproach
+from repro.core.quantized import QuantizedBaselineApproach
+from repro.core.save_info import SetMetadata, UpdateInfo
+from repro.core.update import UpdateApproach
+from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+
+#: Approach name -> class, for :meth:`MultiModelManager.with_approach`.
+APPROACHES: dict[str, type[SaveApproach]] = {
+    BaselineApproach.name: BaselineApproach,
+    UpdateApproach.name: UpdateApproach,
+    ProvenanceApproach.name: ProvenanceApproach,
+    MMlibBaseApproach.name: MMlibBaseApproach,
+    PasDeltaApproach.name: PasDeltaApproach,
+    QuantizedBaselineApproach.name: QuantizedBaselineApproach,
+}
+
+
+class MultiModelManager:
+    """Facade over one :class:`SaveApproach` and its storage context."""
+
+    def __init__(self, approach: SaveApproach) -> None:
+        self.approach = approach
+        self.context = approach.context
+
+    @classmethod
+    def with_approach(
+        cls,
+        name: str,
+        profile: HardwareProfile = LOCAL_PROFILE,
+        context: SaveContext | None = None,
+        **approach_kwargs: Any,
+    ) -> "MultiModelManager":
+        """Create a manager for the named approach.
+
+        Parameters
+        ----------
+        name:
+            One of ``"baseline"``, ``"update"``, ``"provenance"``,
+            ``"mmlib-base"``.
+        profile:
+            Hardware latency profile for a freshly created context
+            (ignored when ``context`` is given).
+        context:
+            Existing context to share with other approaches.
+        approach_kwargs:
+            Extra approach options, e.g. ``snapshot_interval=4`` for the
+            Update approach.
+        """
+        try:
+            approach_cls = APPROACHES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown approach {name!r}; known: {sorted(APPROACHES)}"
+            ) from None
+        if context is None:
+            context = SaveContext.create(profile=profile)
+        return cls(approach_cls(context, **approach_kwargs))
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        approach: str,
+        profile: HardwareProfile = LOCAL_PROFILE,
+        **approach_kwargs: Any,
+    ) -> "MultiModelManager":
+        """Open (or create) a durable archive rooted at ``directory``.
+
+        Artifacts and documents are persisted to disk (atomic writes,
+        checksummed artifacts); reopening the same directory resumes
+        exactly where the previous process left off — including the
+        set-id sequence, so derived saves keep chaining correctly.
+        """
+        from repro.storage.persistent import open_context
+
+        return cls.with_approach(
+            approach,
+            context=open_context(directory, profile=profile),
+            **approach_kwargs,
+        )
+
+    # -- save / recover ------------------------------------------------------
+    def save_set(
+        self,
+        model_set: ModelSet,
+        base_set_id: str | None = None,
+        update_info: UpdateInfo | None = None,
+        metadata: SetMetadata | None = None,
+    ) -> str:
+        """Persist a model set; derived saves pass their ``base_set_id``."""
+        if base_set_id is None:
+            return self.approach.save_initial(model_set, metadata=metadata)
+        return self.approach.save_derived(
+            model_set, base_set_id, update_info=update_info, metadata=metadata
+        )
+
+    def save_set_streaming(
+        self,
+        architecture: str,
+        states,
+        num_models: int,
+        metadata: SetMetadata | None = None,
+    ) -> str:
+        """Persist an initial set from an iterable of state dicts.
+
+        Bounded-memory ingestion for large fleets: models are streamed
+        into the parameter artifact one at a time (Baseline/Update write
+        a true single pass; other approaches fall back to materializing).
+        """
+        return self.approach.save_initial_streaming(
+            architecture, states, num_models, metadata=metadata
+        )
+
+    def recover_set(self, set_id: str) -> ModelSet:
+        """Reconstruct a saved model set."""
+        return self.approach.recover(set_id)
+
+    def recover_model(self, set_id: str, model_index: int):
+        """Reconstruct a single model's parameter dictionary.
+
+        Much cheaper than :meth:`recover_set` for the paper's
+        post-accident-analysis scenario: all approaches use range reads
+        or per-model provenance replay instead of materializing the set.
+        """
+        return self.approach.recover_model(set_id, model_index)
+
+    # -- inspection -----------------------------------------------------------
+    def list_sets(self) -> list[str]:
+        """Ids of all sets saved through this manager's context."""
+        return self.context.document_store.collection_ids(SETS_COLLECTION)
+
+    def set_info(self, set_id: str) -> dict:
+        """The raw descriptor document of a saved set."""
+        return self.context.set_document(set_id)
+
+    def find_sets(
+        self,
+        architecture: str | None = None,
+        approach: str | None = None,
+        use_case: str | None = None,
+    ) -> list[str]:
+        """Ids of saved sets matching the given attributes.
+
+        ``use_case`` matches the set's :class:`SetMetadata.use_case`
+        field; the other filters match descriptor fields directly.
+        """
+        filters: dict[str, Any] = {}
+        if architecture is not None:
+            filters["architecture"] = architecture
+        if approach is not None:
+            filters["type"] = approach
+        matches = self.context.document_store.find(SETS_COLLECTION, **filters)
+        if use_case is not None:
+            matches = [
+                (set_id, doc)
+                for set_id, doc in matches
+                if doc.get("metadata", {}).get("use_case") == use_case
+            ]
+        return sorted(set_id for set_id, _doc in matches)
+
+    def total_stored_bytes(self) -> int:
+        """Bytes currently held across both stores."""
+        return self.context.total_bytes()

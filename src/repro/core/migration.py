@@ -1,0 +1,84 @@
+"""Archive migration between approaches.
+
+A deployment that started on MMlib-base (or Baseline) and wants Update's
+storage profile should not have to discard its history.
+:func:`migrate_archive` re-encodes an existing archive set-by-set, in
+lineage order, so derived relations are preserved: what was a chain of
+full MMlib-base snapshots becomes an Update chain of deltas.
+
+Provenance cannot be a migration *target* for synthetic histories — its
+derived saves need genuine :class:`~repro.core.save_info.UpdateInfo`
+records, which full-snapshot archives do not carry — so migrating *to*
+provenance is rejected unless the source sets carry provenance documents.
+Migrating *from* provenance works (sets are recovered by replay, then
+re-encoded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.approach import SETS_COLLECTION, SaveContext
+from repro.core.lineage import LineageGraph
+from repro.core.manager import APPROACHES, MultiModelManager
+from repro.errors import ReproError
+
+
+@dataclass
+class MigrationReport:
+    """Mapping from old to new set ids plus size accounting."""
+
+    id_map: dict[str, str] = field(default_factory=dict)
+    source_bytes: int = 0
+    target_bytes: int = 0
+
+    @property
+    def sets_migrated(self) -> int:
+        return len(self.id_map)
+
+    @property
+    def storage_ratio(self) -> float:
+        """Target size as a fraction of the source size."""
+        if self.source_bytes == 0:
+            return 1.0
+        return self.target_bytes / self.source_bytes
+
+
+def migrate_archive(
+    source: SaveContext, target_manager: MultiModelManager
+) -> MigrationReport:
+    """Re-encode every set in ``source`` into ``target_manager``'s archive.
+
+    Sets are processed in topological (lineage) order; a set whose base
+    was migrated is saved as *derived from the migrated base*, so the
+    target approach can exploit the relation (Update computes deltas).
+    Returns the old-to-new id mapping.
+    """
+    if target_manager.approach.name == "provenance":
+        raise ReproError(
+            "cannot migrate to the provenance approach: full-snapshot "
+            "archives carry no training provenance to re-encode"
+        )
+    lineage = LineageGraph.from_context(source)
+    ordered = _topological_order(lineage)
+    report = MigrationReport()
+    report.source_bytes = source.total_bytes()
+    for set_id in ordered:
+        document = source.document_store._collections[SETS_COLLECTION][set_id]
+        approach_name = str(document["type"])
+        if approach_name not in APPROACHES:
+            raise ReproError(f"set {set_id!r} has unknown type {approach_name!r}")
+        model_set = APPROACHES[approach_name](source).recover(set_id)
+        base = lineage.base_of(set_id)
+        migrated_base = report.id_map.get(base) if base is not None else None
+        new_id = target_manager.save_set(model_set, base_set_id=migrated_base)
+        report.id_map[set_id] = new_id
+    report.target_bytes = target_manager.total_stored_bytes()
+    return report
+
+
+def _topological_order(lineage: LineageGraph) -> list[str]:
+    """Roots first, every base before its derived sets."""
+    import networkx as nx
+
+    return list(nx.topological_sort(lineage.to_networkx()))

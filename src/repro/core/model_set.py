@@ -1,0 +1,129 @@
+"""The :class:`ModelSet` abstraction.
+
+A model set is the unit of multi-model management: *n* models sharing one
+architecture (and therefore one parameter schema) but holding different
+parameter values.  The set stores parameter dictionaries, not live
+modules — materializing executable models is an explicit, separate step
+(:meth:`ModelSet.build_model`), mirroring how recovery works in MMlib.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.architectures.registry import get_architecture
+from repro.errors import ArchitectureMismatchError
+from repro.nn import Module
+from repro.nn.serialization import StateSchema
+from repro.training.seeds import derive_seed
+
+
+class ModelSet:
+    """An ordered collection of same-architecture parameter dictionaries.
+
+    Parameters
+    ----------
+    architecture:
+        Registered architecture name (e.g. ``"FFNN-48"``).
+    states:
+        One parameter dictionary per model; all must share the same
+        layer names and shapes.
+    """
+
+    def __init__(
+        self,
+        architecture: str,
+        states: "list[OrderedDict[str, np.ndarray]]",
+    ) -> None:
+        if not states:
+            raise ValueError("a model set must contain at least one model")
+        self.architecture = architecture
+        self.schema = StateSchema.from_state_dict(states[0])
+        expected = self.schema.entries
+        for index, state in enumerate(states):
+            entries = tuple((name, tuple(arr.shape)) for name, arr in state.items())
+            if entries != expected:
+                raise ArchitectureMismatchError(
+                    f"model {index} does not match the set schema"
+                )
+        self.states = states
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls, architecture: str, num_models: int, seed: int = 0
+    ) -> "ModelSet":
+        """Build a fresh set of ``num_models`` independently initialized models.
+
+        Each model gets its own derived seed, so models are distinct but
+        the whole set is reproducible from (architecture, num_models, seed).
+        """
+        if num_models <= 0:
+            raise ValueError(f"num_models must be positive, got {num_models}")
+        spec = get_architecture(architecture)
+        states = []
+        for index in range(num_models):
+            rng = np.random.default_rng(derive_seed("model-init", seed, index))
+            states.append(spec.build(rng=rng).state_dict())
+        return cls(architecture, states)
+
+    @classmethod
+    def from_modules(cls, architecture: str, modules: "list[Module]") -> "ModelSet":
+        """Snapshot live modules into a set."""
+        return cls(architecture, [module.state_dict() for module in modules])
+
+    # -- access ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator["OrderedDict[str, np.ndarray]"]:
+        return iter(self.states)
+
+    def state(self, index: int) -> "OrderedDict[str, np.ndarray]":
+        return self.states[index]
+
+    def build_model(self, index: int) -> Module:
+        """Materialize model ``index`` as an executable module."""
+        spec = get_architecture(self.architecture)
+        model = spec.build(rng=np.random.default_rng(0))
+        model.load_state_dict(self.states[index])
+        model.eval()
+        return model
+
+    @property
+    def num_parameters_per_model(self) -> int:
+        return self.schema.num_parameters
+
+    @property
+    def parameter_bytes(self) -> int:
+        """Raw float32 payload of the whole set."""
+        return len(self) * self.schema.num_bytes
+
+    # -- comparison ----------------------------------------------------------
+    def equals(self, other: "ModelSet", atol: float = 0.0) -> bool:
+        """Whether two sets hold identical parameters (bit-exact by default)."""
+        if (
+            self.architecture != other.architecture
+            or len(self) != len(other)
+            or self.schema != other.schema
+        ):
+            return False
+        for mine, theirs in zip(self.states, other.states):
+            for name in mine:
+                if atol == 0.0:
+                    if not np.array_equal(mine[name], theirs[name]):
+                        return False
+                elif not np.allclose(mine[name], theirs[name], atol=atol):
+                    return False
+        return True
+
+    def copy(self) -> "ModelSet":
+        """Deep copy (parameter arrays are duplicated)."""
+        states = [
+            OrderedDict((name, arr.copy()) for name, arr in state.items())
+            for state in self.states
+        ]
+        return ModelSet(self.architecture, states)

@@ -1,0 +1,239 @@
+"""Heuristic approach selection (the paper's future work, §4.5).
+
+The paper concludes that no approach dominates: Provenance wins on
+storage, Baseline on time-to-recover, Update sits in between, and the
+right choice "is a manual choice, but as part of future work, we plan to
+develop heuristic-based approaches that dynamically choose the most
+suitable strategy".  This module implements that heuristic.
+
+It combines an analytical cost model — per-cycle storage, time-to-save,
+and expected time-to-recover, derived from the scenario profile and a
+hardware latency profile — into a single per-cycle cost using two unit
+prices (cost per GB stored, cost per hour of save/recover time).  The
+prices make the storage/time trade-off explicit instead of hiding it in
+opaque weights: an archival deployment prices storage high and time low,
+a recovery-heavy deployment the opposite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.hardware import SERVER_PROFILE, HardwareProfile
+
+#: Approximate metadata overheads measured from the implementation.
+_SET_OVERHEAD_BYTES = 4_000
+_MMLIB_PER_MODEL_OVERHEAD_BYTES = 8_000
+_HASH_BYTES_PER_LAYER = 70
+_DATASET_REF_BYTES = 200
+#: Compute-cost constants of the save/recover paths (bytes per second).
+_HASH_THROUGHPUT_BPS = 0.8e9
+_COPY_THROUGHPUT_BPS = 3.0e9
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """Description of a multi-model management workload.
+
+    Attributes
+    ----------
+    num_models:
+        Models per set.
+    params_per_model:
+        Scalar parameters per model (4 bytes each).
+    layers_per_model:
+        Parameter tensors per model (drives hash-info size).
+    update_rate:
+        Fraction of models updated per cycle (full + partial combined).
+    partial_share:
+        Fraction of updated models that are only partially updated.
+    partial_param_fraction:
+        Fraction of a model's parameters a partial update touches.
+    recoveries_per_cycle:
+        Expected number of set recoveries per update cycle (the paper's
+        scenario: save always, recover rarely — values << 1).
+    expected_chain_length:
+        Typical number of derived sets between a full snapshot and the
+        set being recovered (the recursion depth of Update/Provenance).
+    retrain_s_per_model:
+        Wall-clock seconds to retrain one updated model during a
+        provenance replay.
+    storage_price_per_gb:
+        Cost of keeping one GB of management data (per cycle's worth of
+        retention) — raise it when storage is the scarce resource.
+    time_price_per_hour:
+        Cost of one hour spent saving or recovering.
+    """
+
+    num_models: int = 5000
+    params_per_model: int = 4993
+    layers_per_model: int = 8
+    update_rate: float = 0.10
+    partial_share: float = 0.5
+    partial_param_fraction: float = 0.5
+    recoveries_per_cycle: float = 0.01
+    expected_chain_length: int = 3
+    retrain_s_per_model: float = 60.0
+    storage_price_per_gb: float = 1.0
+    time_price_per_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_models <= 0 or self.params_per_model <= 0:
+            raise ValueError("num_models and params_per_model must be positive")
+        if not 0.0 <= self.update_rate <= 1.0:
+            raise ValueError("update_rate must be in [0, 1]")
+        if not 0.0 <= self.partial_share <= 1.0:
+            raise ValueError("partial_share must be in [0, 1]")
+        if self.storage_price_per_gb < 0 or self.time_price_per_hour < 0:
+            raise ValueError("prices must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Analytical per-cycle costs of one approach under a profile."""
+
+    approach: str
+    storage_bytes_per_cycle: float
+    tts_s: float
+    ttr_s: float
+    cost_per_cycle: float = field(default=0.0, compare=False)
+
+
+class ApproachRecommender:
+    """Ranks approaches for a scenario using an analytical cost model."""
+
+    def __init__(self, hardware: HardwareProfile = SERVER_PROFILE) -> None:
+        self.hardware = hardware
+
+    # -- cost model -----------------------------------------------------------
+    def estimate(self, profile: ScenarioProfile) -> dict[str, CostEstimate]:
+        """Per-approach cost estimates for one steady-state update cycle.
+
+        Time estimates include both the store round-trip/bandwidth costs
+        of the hardware profile and the dominant compute terms (hashing
+        for Update, serialization copies, retraining for Provenance).
+        """
+        n = profile.num_models
+        param_bytes = profile.params_per_model * 4
+        full_set_bytes = n * param_bytes
+        updated = n * profile.update_rate
+        full_updates = updated * (1.0 - profile.partial_share)
+        partial_updates = updated * profile.partial_share
+
+        hw = self.hardware
+        copy_s = full_set_bytes / _COPY_THROUGHPUT_BPS
+        estimates: dict[str, CostEstimate] = {}
+
+        # MMlib-base: full snapshot + ~8 KB overhead, per model.
+        mmlib_bytes = n * (param_bytes + _MMLIB_PER_MODEL_OVERHEAD_BYTES)
+        mmlib_tts = copy_s + n * (
+            hw.doc_write_cost(_MMLIB_PER_MODEL_OVERHEAD_BYTES)
+            + 2 * hw.file_write_cost(param_bytes)
+        )
+        mmlib_ttr = copy_s + n * (
+            hw.doc_read_cost(_MMLIB_PER_MODEL_OVERHEAD_BYTES)
+            + hw.file_read_cost(param_bytes)
+        )
+        estimates["mmlib-base"] = CostEstimate(
+            "mmlib-base", mmlib_bytes, mmlib_tts, mmlib_ttr
+        )
+
+        # Baseline: one document + one artifact for the whole set.
+        baseline_bytes = full_set_bytes + _SET_OVERHEAD_BYTES
+        baseline_tts = (
+            copy_s
+            + hw.doc_write_cost(_SET_OVERHEAD_BYTES)
+            + hw.file_write_cost(full_set_bytes)
+        )
+        baseline_ttr = (
+            copy_s
+            + hw.doc_read_cost(_SET_OVERHEAD_BYTES)
+            + hw.file_read_cost(full_set_bytes)
+        )
+        estimates["baseline"] = CostEstimate(
+            "baseline", baseline_bytes, baseline_tts, baseline_ttr
+        )
+
+        # Update: changed parameters + hash info; recovery walks the chain.
+        delta_bytes = (
+            full_updates * param_bytes
+            + partial_updates * param_bytes * profile.partial_param_fraction
+        )
+        hash_bytes = n * profile.layers_per_model * _HASH_BYTES_PER_LAYER
+        update_bytes = delta_bytes + hash_bytes + _SET_OVERHEAD_BYTES
+        update_tts = (
+            full_set_bytes / _HASH_THROUGHPUT_BPS  # hash every model & layer
+            + hw.doc_write_cost(hash_bytes + _SET_OVERHEAD_BYTES)
+            + hw.file_write_cost(delta_bytes)
+        )
+        update_ttr = baseline_ttr + profile.expected_chain_length * (
+            delta_bytes / _COPY_THROUGHPUT_BPS
+            + hw.doc_read_cost(_SET_OVERHEAD_BYTES)
+            + hw.file_read_cost(delta_bytes)
+        )
+        estimates["update"] = CostEstimate("update", update_bytes, update_tts, update_ttr)
+
+        # Provenance: references only; recovery re-trains the chain.
+        prov_bytes = updated * _DATASET_REF_BYTES + _SET_OVERHEAD_BYTES
+        prov_tts = hw.doc_write_cost(prov_bytes)
+        prov_ttr = baseline_ttr + (
+            profile.expected_chain_length * updated * profile.retrain_s_per_model
+        )
+        estimates["provenance"] = CostEstimate(
+            "provenance", prov_bytes, prov_tts, prov_ttr
+        )
+        return estimates
+
+    # -- ranking --------------------------------------------------------------
+    def rank(self, profile: ScenarioProfile) -> list[CostEstimate]:
+        """Estimates sorted best-first by expected cost per update cycle.
+
+        ``cost = storage_price * GB_written + time_price * hours(tts +
+        recoveries_per_cycle * ttr)`` — an absolute, unit-bearing figure,
+        so a 25-hour provenance replay that happens once in 10,000 cycles
+        is correctly weighed against megabytes saved on every cycle.
+        """
+        scored = []
+        for estimate in self.estimate(profile).values():
+            expected_time_s = (
+                estimate.tts_s + profile.recoveries_per_cycle * estimate.ttr_s
+            )
+            cost = (
+                profile.storage_price_per_gb * estimate.storage_bytes_per_cycle / 1e9
+                + profile.time_price_per_hour * expected_time_s / 3600.0
+            )
+            scored.append(
+                CostEstimate(
+                    estimate.approach,
+                    estimate.storage_bytes_per_cycle,
+                    estimate.tts_s,
+                    estimate.ttr_s,
+                    cost_per_cycle=cost,
+                )
+            )
+        return sorted(scored, key=lambda e: e.cost_per_cycle)
+
+    def recommend(self, profile: ScenarioProfile) -> str:
+        """Name of the best approach for the profile."""
+        return self.rank(profile)[0].approach
+
+    @staticmethod
+    def recommend_by_rules(
+        storage_is_top_priority: bool,
+        recoveries_are_rare: bool,
+        long_recovery_acceptable: bool,
+    ) -> str:
+        """The paper's explicit §4.5 decision rules, verbatim.
+
+        * storage top priority + rare recoveries + long TTR acceptable
+          → Provenance;
+        * storage matters but long TTR unacceptable → Update;
+        * otherwise (TTR has the highest priority) → Baseline.
+        """
+        if storage_is_top_priority and recoveries_are_rare:
+            if long_recovery_acceptable:
+                return "provenance"
+            return "update"
+        if storage_is_top_priority:
+            return "update"
+        return "baseline"

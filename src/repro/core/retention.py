@@ -1,0 +1,179 @@
+"""Retention management: compaction and chain-aware garbage collection.
+
+Two maintenance operations an unbounded archive eventually needs:
+
+* :meth:`RetentionManager.compact` — rewrite a delta (Update) or
+  provenance set as a full snapshot *in place*.  This cuts the set's
+  recovery chain to zero and, crucially, makes its ancestors deletable.
+* :meth:`RetentionManager.collect` — delete every set not in a keep
+  list, **except** sets that kept sets still need for recovery (their
+  chain ancestors).  Deleting a needed base would be data loss; the
+  collector refuses it structurally rather than by convention.
+
+The combination implements the natural policy "keep the last *k*
+generations": compact the *k*-th newest set, then collect with the last
+*k* as the keep list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.approach import SETS_COLLECTION, SaveContext
+from repro.core.lineage import LineageGraph
+from repro.core.manager import APPROACHES
+from repro.core.model_set import ModelSet
+from repro.core.update import HASH_COLLECTION, UpdateApproach, _set_hashes
+from repro.errors import DocumentNotFoundError, ReproError
+from repro.nn.serialization import parameters_to_bytes
+
+
+@dataclass
+class CollectionReport:
+    """What a garbage-collection pass did."""
+
+    deleted_sets: list[str] = field(default_factory=list)
+    retained_for_chains: list[str] = field(default_factory=list)
+    bytes_reclaimed: int = 0
+
+
+class RetentionManager:
+    """Compaction and garbage collection over one save context."""
+
+    def __init__(self, context: SaveContext) -> None:
+        self.context = context
+
+    # -- compaction ---------------------------------------------------------
+    def compact(self, set_id: str) -> None:
+        """Rewrite a derived set as an independent full snapshot.
+
+        The set keeps its id — descendants' base references stay valid —
+        but its descriptor becomes ``kind: full`` with a freshly written
+        parameter artifact, and its recovery no longer touches ancestors.
+        Full sets (Baseline, MMlib-base, snapshots) are left untouched.
+        """
+        store = self.context.document_store
+        try:
+            document = store._collections[SETS_COLLECTION][set_id]
+        except KeyError:
+            raise DocumentNotFoundError(f"unknown set {set_id!r}") from None
+        approach_name = str(document.get("type"))
+        if document.get("kind", "full") == "full":
+            return
+        if approach_name not in ("update", "provenance", "pas-delta"):
+            raise ReproError(
+                f"set {set_id!r} of type {approach_name!r} cannot be compacted"
+            )
+        approach = APPROACHES[approach_name](self.context)
+        model_set = approach.recover(set_id)
+        self._write_snapshot(set_id, document, model_set, approach_name)
+
+    def _write_snapshot(
+        self,
+        set_id: str,
+        document: dict,
+        model_set: ModelSet,
+        approach_name: str,
+    ) -> None:
+        payload = b"".join(parameters_to_bytes(state) for state in model_set.states)
+        artifact_id = self.context.file_store.put(
+            payload, artifact_id=f"{set_id}-compacted-params", category="parameters"
+        )
+        # Drop the now-superseded delta blob, if any.
+        old_artifact = document.get("params_artifact")
+        new_document = {
+            "type": approach_name,
+            "kind": "full",
+            "chain_depth": 0,
+            "architecture": model_set.architecture,
+            "architecture_code": document.get("architecture_code", ""),
+            "num_models": len(model_set),
+            "schema": model_set.schema.to_json(),
+            "params_artifact": artifact_id,
+            "metadata": document.get("metadata", {}),
+            "compacted_from": document.get("base_set"),
+        }
+        self.context.document_store.replace(SETS_COLLECTION, set_id, new_document)
+        if old_artifact is not None and self.context.file_store.exists(old_artifact):
+            self.context.file_store.delete(old_artifact)
+        if approach_name == "update":
+            # Refresh hash info so future derived saves diff correctly.
+            hashes = _set_hashes(model_set)
+            if self.context.document_store.exists(HASH_COLLECTION, set_id):
+                self.context.document_store.replace(
+                    HASH_COLLECTION,
+                    set_id,
+                    {"layers": model_set.schema.layer_names(), "hashes": hashes},
+                )
+            else:
+                self.context.document_store.insert(
+                    HASH_COLLECTION,
+                    {"layers": model_set.schema.layer_names(), "hashes": hashes},
+                    doc_id=set_id,
+                    category="hash-info",
+                )
+
+    # -- garbage collection ------------------------------------------------------
+    def collect(self, keep: list[str]) -> CollectionReport:
+        """Delete all sets except ``keep`` and their recovery chains.
+
+        Returns a report of what was deleted and what survived because a
+        kept set still depends on it.  Unknown ids in ``keep`` raise.
+        """
+        store = self.context.document_store
+        all_ids = set(store.collection_ids(SETS_COLLECTION))
+        unknown = [set_id for set_id in keep if set_id not in all_ids]
+        if unknown:
+            raise DocumentNotFoundError(f"keep list references unknown sets {unknown}")
+
+        lineage = LineageGraph.from_context(self.context)
+        needed: set[str] = set()
+        for set_id in keep:
+            needed.update(lineage.recovery_chain(set_id))
+
+        report = CollectionReport()
+        report.retained_for_chains = sorted(needed - set(keep))
+        for set_id in sorted(all_ids - needed):
+            report.bytes_reclaimed += self._delete_set(set_id)
+            report.deleted_sets.append(set_id)
+        return report
+
+    def keep_last(self, count: int, compact_oldest_kept: bool = True) -> CollectionReport:
+        """Retain the newest ``count`` sets (by id order) and collect the rest.
+
+        With ``compact_oldest_kept`` (default), the oldest kept set is
+        first compacted into a full snapshot so that *no* older set needs
+        to survive for chain reasons — the policy most deployments want.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        all_ids = self.context.document_store.collection_ids(SETS_COLLECTION)
+        keep = all_ids[-count:]
+        if compact_oldest_kept and keep:
+            self.compact(keep[0])
+        return self.collect(keep)
+
+    def _delete_set(self, set_id: str) -> int:
+        """Delete one set's documents and artifacts; returns bytes freed."""
+        store = self.context.document_store
+        file_store = self.context.file_store
+        document = store._collections[SETS_COLLECTION][set_id]
+        freed = 0
+        artifact = document.get("params_artifact")
+        if artifact is not None and file_store.exists(artifact):
+            freed += file_store.size(artifact)
+            file_store.delete(artifact)
+        for model_id in document.get("model_ids", []):
+            model_doc = store._collections.get("mmlib_models", {}).get(model_id)
+            if model_doc is None:
+                continue
+            for key in ("params_artifact", "code_artifact"):
+                model_artifact = model_doc.get(key)
+                if model_artifact and file_store.exists(model_artifact):
+                    freed += file_store.size(model_artifact)
+                    file_store.delete(model_artifact)
+            store.delete("mmlib_models", model_id)
+        if store.exists(HASH_COLLECTION, set_id):
+            store.delete(HASH_COLLECTION, set_id)
+        store.delete(SETS_COLLECTION, set_id)
+        return freed

@@ -1,0 +1,113 @@
+"""Descriptors accompanying a save: set metadata and update provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datasets.registry import DatasetRef
+from repro.training.pipeline import PipelineConfig
+
+
+@dataclass(frozen=True)
+class SetMetadata:
+    """User-facing metadata of one saved model set.
+
+    Kept deliberately small: the paper's Baseline minimizes "the amount of
+    saved metadata" and our accounting should reflect a lean record.
+    """
+
+    use_case: str = ""
+    description: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "use_case": self.use_case,
+            "description": self.description,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "SetMetadata":
+        return cls(
+            use_case=str(data.get("use_case", "")),
+            description=str(data.get("description", "")),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ModelUpdate:
+    """Provenance of one model's update within an update cycle.
+
+    Attributes
+    ----------
+    model_index:
+        Position of the model in the set.
+    dataset_ref:
+        Reference to the (externally stored) training data used.
+    pipeline_key:
+        Key into :attr:`UpdateInfo.pipelines` naming the training
+        procedure variant ("full" or "partial" in the default scenario).
+    """
+
+    model_index: int
+    dataset_ref: DatasetRef
+    pipeline_key: str
+
+    def to_json(self) -> list[Any]:
+        # Compact positional encoding: these records dominate the
+        # Provenance approach's per-model storage cost.
+        return [self.model_index, self.dataset_ref.to_json(), self.pipeline_key]
+
+    @classmethod
+    def from_json(cls, data: list[Any]) -> "ModelUpdate":
+        index, ref, key = data
+        return cls(
+            model_index=int(index),
+            dataset_ref=DatasetRef.from_json(ref),
+            pipeline_key=str(key),
+        )
+
+
+@dataclass(frozen=True)
+class UpdateInfo:
+    """Complete provenance of one update cycle over a model set.
+
+    The training procedure "differs only by the used data" (§3.4,
+    assumption 1) up to a small number of named variants — full and
+    partial updates in the paper's scenario — so pipelines are stored
+    once here and per-model records only carry a key.
+    """
+
+    pipelines: dict[str, PipelineConfig]
+    updates: tuple[ModelUpdate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "updates", tuple(self.updates))
+        missing = {u.pipeline_key for u in self.updates} - set(self.pipelines)
+        if missing:
+            raise ValueError(f"updates reference unknown pipeline keys: {missing}")
+
+    @property
+    def updated_indices(self) -> list[int]:
+        return [update.model_index for update in self.updates]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "pipelines": {
+                key: config.to_json() for key, config in self.pipelines.items()
+            },
+            "updates": [update.to_json() for update in self.updates],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "UpdateInfo":
+        return cls(
+            pipelines={
+                key: PipelineConfig.from_json(config)
+                for key, config in data["pipelines"].items()
+            },
+            updates=tuple(ModelUpdate.from_json(item) for item in data["updates"]),
+        )

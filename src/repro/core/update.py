@@ -1,0 +1,357 @@
+"""The Update approach (§3.3).
+
+Update extends Baseline by exploiting that, per update cycle, (1) not all
+models are updated and (2) some models are only partially updated.  The
+save procedure follows the paper's four steps:
+
+1. save a reference to the base model set and other metadata,
+2. calculate the parameter hashes for every model and layer and save them,
+3. identify all changed parameters by comparing against the base set's
+   hash information and document the changes in a diff list, and
+4. concatenate all changed parameters into a single binary artifact.
+
+The per-layer hash information makes change detection possible *without
+loading the full representation of the previous model set* — it is real
+storage overhead and is accounted as such (the paper's Figure 3 shows
+Update above Baseline in U1 for exactly this reason).
+
+Recovery is recursive: the base set chain is walked back to the nearest
+full snapshot and the diffs are re-applied forward — the cause of the
+staircase-shaped time-to-recover in Figure 5.  The optional
+``snapshot_interval`` bounds the chain by inserting full snapshots
+(the mitigation the paper sketches in §2.2); ``None`` reproduces the
+paper's unbounded behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.approach import SETS_COLLECTION, SaveApproach, SaveContext
+from repro.core.baseline import read_full_set, read_single_model, write_full_set
+from repro.core.compression import get_codec
+from repro.core.model_set import ModelSet
+from repro.core.save_info import SetMetadata, UpdateInfo
+from repro.errors import InvalidUpdatePlanError, RecoveryError
+from repro.nn.serialization import StateSchema
+from repro.storage.hashing import hash_array
+
+#: Collection holding one hash-info document per saved set.
+HASH_COLLECTION = "hash_info"
+
+
+def _set_hashes(model_set: ModelSet) -> list[list[str]]:
+    """Full-length per-layer hashes for every model, in schema order."""
+    return [
+        [hash_array(state[name], length=64) for name, _shape in model_set.schema.entries]
+        for state in model_set.states
+    ]
+
+
+class UpdateApproach(SaveApproach):
+    """Delta saving of changed layers, detected via per-layer hashes."""
+
+    name = "update"
+
+    def __init__(
+        self,
+        context: SaveContext,
+        snapshot_interval: int | None = None,
+        codec: str = "none",
+        granularity: str = "layer",
+    ) -> None:
+        """Create the approach.
+
+        Parameters
+        ----------
+        snapshot_interval:
+            Insert a full snapshot after this many deltas, bounding the
+            recovery recursion; ``None`` reproduces the paper.
+        codec:
+            Compression codec for delta blobs (see
+            :mod:`repro.core.compression`).
+        granularity:
+            Diff granularity: ``"layer"`` (the paper's design — only the
+            layers whose hash changed are stored) or ``"model"`` (any
+            change stores the whole model; ablation A5 quantifies what
+            the per-layer comparison buys for partial updates).
+        """
+        super().__init__(context)
+        if snapshot_interval is not None and snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive or None")
+        if granularity not in ("layer", "model"):
+            raise ValueError(
+                f"granularity must be 'layer' or 'model', got {granularity!r}"
+            )
+        self.snapshot_interval = snapshot_interval
+        self.codec = get_codec(codec)
+        self.granularity = granularity
+
+    # -- save --------------------------------------------------------------
+    def _save_hashes(self, set_id: str, hashes: list[list[str]], schema: StateSchema) -> None:
+        self.context.document_store.insert(
+            HASH_COLLECTION,
+            {"layers": schema.layer_names(), "hashes": hashes},
+            doc_id=set_id,
+            category="hash-info",
+        )
+
+    def save_initial(
+        self, model_set: ModelSet, metadata: SetMetadata | None = None
+    ) -> str:
+        set_id = self.context.next_set_id(self.name)
+        write_full_set(
+            self.context,
+            model_set,
+            set_id,
+            doc_type=self.name,
+            metadata=metadata,
+            extra_fields={"kind": "full", "chain_depth": 0},
+        )
+        self._save_hashes(set_id, _set_hashes(model_set), model_set.schema)
+        return set_id
+
+    def save_initial_streaming(
+        self,
+        architecture: str,
+        states,
+        num_models: int,
+        metadata: SetMetadata | None = None,
+    ) -> str:
+        from repro.core.baseline import write_full_set_streaming
+
+        set_id = self.context.next_set_id(self.name)
+        hashes: list[list[str]] = []
+        layer_names: list[str] = []
+
+        def hash_state(_index: int, state) -> None:
+            if not layer_names:
+                layer_names.extend(state)
+            hashes.append(
+                [hash_array(state[name], length=64) for name in layer_names]
+            )
+
+        write_full_set_streaming(
+            self.context,
+            states,
+            architecture,
+            num_models,
+            set_id,
+            doc_type=self.name,
+            metadata=metadata,
+            extra_fields={"kind": "full", "chain_depth": 0},
+            per_state=hash_state,
+        )
+        self.context.document_store.insert(
+            HASH_COLLECTION,
+            {"layers": layer_names, "hashes": hashes},
+            doc_id=set_id,
+            category="hash-info",
+        )
+        return set_id
+
+    def save_derived(
+        self,
+        model_set: ModelSet,
+        base_set_id: str,
+        update_info: UpdateInfo | None = None,
+        metadata: SetMetadata | None = None,
+    ) -> str:
+        base_doc = self.context.set_document(base_set_id)
+        self._require_type(base_doc, self.name, base_set_id)
+        if int(base_doc["num_models"]) != len(model_set):
+            raise InvalidUpdatePlanError(
+                f"derived set has {len(model_set)} models, base set "
+                f"{base_set_id!r} has {base_doc['num_models']}"
+            )
+        chain_depth = int(base_doc.get("chain_depth", 0)) + 1
+        if self.snapshot_interval is not None and chain_depth >= self.snapshot_interval:
+            # Bound the recovery recursion with a full snapshot.
+            set_id = self.context.next_set_id(self.name)
+            write_full_set(
+                self.context,
+                model_set,
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+                extra_fields={"kind": "full", "chain_depth": 0, "base_set": base_set_id},
+            )
+            self._save_hashes(set_id, _set_hashes(model_set), model_set.schema)
+            return set_id
+
+        set_id = self.context.next_set_id(self.name)
+        metadata = metadata if metadata is not None else SetMetadata()
+
+        # Step 2: hash every model and layer of the new set.
+        new_hashes = _set_hashes(model_set)
+        # Step 3: diff against the base set's stored hash info.
+        base_hashes = self.context.document_store.get(HASH_COLLECTION, base_set_id)[
+            "hashes"
+        ]
+        diff: list[list[Any]] = []
+        all_layers = list(range(len(model_set.schema.entries)))
+        for model_index, (old, new) in enumerate(zip(base_hashes, new_hashes)):
+            changed = [layer for layer, (a, b) in enumerate(zip(old, new)) if a != b]
+            if changed and self.granularity == "model":
+                changed = all_layers
+            if changed:
+                diff.append([model_index, changed])
+        # Step 4: concatenate all changed parameters into one artifact.
+        layer_names = model_set.schema.layer_names()
+        chunks: list[bytes] = []
+        for model_index, changed_layers in diff:
+            state = model_set.state(model_index)
+            for layer in changed_layers:
+                chunks.append(
+                    np.ascontiguousarray(
+                        state[layer_names[layer]], dtype=np.float32
+                    ).tobytes()
+                )
+        params_artifact = self.context.file_store.put(
+            self.codec.encode(b"".join(chunks)),
+            artifact_id=f"{set_id}-delta",
+            category="parameters",
+        )
+
+        # Step 1 (persisted last so the document can reference the blob).
+        self.context.document_store.insert(
+            SETS_COLLECTION,
+            {
+                "type": self.name,
+                "kind": "delta",
+                "base_set": base_set_id,
+                "chain_depth": chain_depth,
+                "architecture": str(base_doc["architecture"]),
+                "num_models": len(model_set),
+                "schema": model_set.schema.to_json(),
+                "diff": diff,
+                "codec": self.codec.name,
+                "granularity": self.granularity,
+                "params_artifact": params_artifact,
+                "metadata": metadata.to_json(),
+            },
+            doc_id=set_id,
+        )
+        self._save_hashes(set_id, new_hashes, model_set.schema)
+        return set_id
+
+    # -- recover -------------------------------------------------------------
+    def recover(self, set_id: str) -> ModelSet:
+        # Walk the chain back to the nearest full snapshot, then re-apply
+        # the deltas forward.  Iterative to keep long chains safe.
+        chain: list[dict] = []
+        current_id = set_id
+        while True:
+            document = self.context.set_document(current_id)
+            self._require_type(document, self.name, current_id)
+            if document["kind"] == "full":
+                base = read_full_set(self.context, document, current_id)
+                break
+            chain.append(document)
+            current_id = str(document["base_set"])
+
+        model_set = base
+        for document in reversed(chain):
+            model_set = self._apply_delta(model_set, document)
+        return model_set
+
+    def recover_model(self, set_id: str, model_index: int):
+        """Recover one model by walking its chain with range reads.
+
+        Only the target model's slice of each artifact is read: the base
+        snapshot contributes one model-sized range read, and each delta
+        along the chain contributes at most one range read covering the
+        model's changed layers (none if the model was untouched in that
+        cycle).  With a compressing codec, range addressing into the blob
+        is impossible and the full delta is read and decoded instead.
+        """
+        chain: list[dict] = []
+        current_id = set_id
+        while True:
+            document = self.context.set_document(current_id)
+            self._require_type(document, self.name, current_id)
+            if document["kind"] == "full":
+                state = read_single_model(
+                    self.context, document, current_id, model_index
+                )
+                break
+            chain.append(document)
+            current_id = str(document["base_set"])
+
+        for document in reversed(chain):
+            self._apply_delta_to_model(state, document, model_index)
+        return state
+
+    def _apply_delta_to_model(
+        self, state, document: dict, model_index: int
+    ) -> None:
+        schema = StateSchema.from_json(document["schema"])
+        if int(document["num_models"]) <= model_index:
+            raise RecoveryError(
+                f"model index {model_index} out of range for delta set"
+            )
+        layer_entries = schema.entries
+        layer_nbytes = [
+            (int(np.prod(shape)) if shape else 1) * 4
+            for _name, shape in layer_entries
+        ]
+        # Locate the target model's contiguous chunk within the blob.
+        offset = 0
+        target_layers: list[int] | None = None
+        for diff_model, changed_layers in document["diff"]:
+            chunk = sum(layer_nbytes[int(layer)] for layer in changed_layers)
+            if int(diff_model) == model_index:
+                target_layers = [int(layer) for layer in changed_layers]
+                break
+            offset += chunk
+        if target_layers is None:
+            return  # model untouched in this cycle
+        length = sum(layer_nbytes[layer] for layer in target_layers)
+        codec_name = str(document.get("codec", "none"))
+        if codec_name == "none":
+            payload = self.context.file_store.get_range(
+                document["params_artifact"], offset=offset, length=length
+            )
+            cursor = 0
+        else:
+            payload = get_codec(codec_name).decode(
+                self.context.file_store.get(document["params_artifact"])
+            )
+            cursor = offset
+        for layer in target_layers:
+            name, shape = layer_entries[layer]
+            size = int(np.prod(shape)) if shape else 1
+            values = np.frombuffer(payload, dtype=np.float32, count=size, offset=cursor)
+            state[name] = values.reshape(shape).copy()
+            cursor += size * 4
+
+    def _apply_delta(self, base: ModelSet, document: dict) -> ModelSet:
+        schema = StateSchema.from_json(document["schema"])
+        if schema != base.schema:
+            raise RecoveryError("delta schema does not match the base set's schema")
+        payload = get_codec(str(document.get("codec", "none"))).decode(
+            self.context.file_store.get(document["params_artifact"])
+        )
+        layer_entries = schema.entries
+        derived = base.copy()
+        cursor = 0
+        for model_index, changed_layers in document["diff"]:
+            state = derived.state(int(model_index))
+            for layer in changed_layers:
+                name, shape = layer_entries[int(layer)]
+                size = int(np.prod(shape)) if shape else 1
+                nbytes = size * 4
+                if cursor + nbytes > len(payload):
+                    raise RecoveryError("delta artifact is shorter than the diff list")
+                values = np.frombuffer(
+                    payload, dtype=np.float32, count=size, offset=cursor
+                )
+                state[name] = values.reshape(shape).copy()
+                cursor += nbytes
+        if cursor != len(payload):
+            raise RecoveryError(
+                f"delta artifact has {len(payload) - cursor} unused trailing bytes"
+            )
+        return derived

@@ -1,0 +1,29 @@
+"""Datasets, data loaders, and the dataset reference registry.
+
+The paper's Provenance approach relies on the assumption that "the
+training data are saved regardless of the model management" (§3.4) —
+manufacturers keep the data for analytics anyway.  The
+:class:`~repro.datasets.registry.DatasetRegistry` models that external
+data world: datasets are addressed by small JSON *references*, and
+resolving a reference deterministically reproduces the exact samples.
+"""
+
+from repro.datasets.base import ArrayDataset, DataLoader, Dataset
+from repro.datasets.battery import BatteryCellDataset, battery_dataset_ref
+from repro.datasets.pack import PackCellDataset, pack_dataset_ref
+from repro.datasets.registry import DatasetRef, DatasetRegistry
+from repro.datasets.synthetic_cifar import SyntheticCifarDataset, cifar_dataset_ref
+
+__all__ = [
+    "ArrayDataset",
+    "BatteryCellDataset",
+    "DataLoader",
+    "Dataset",
+    "DatasetRef",
+    "DatasetRegistry",
+    "PackCellDataset",
+    "SyntheticCifarDataset",
+    "battery_dataset_ref",
+    "cifar_dataset_ref",
+    "pack_dataset_ref",
+]

@@ -1,0 +1,100 @@
+"""Dataset and DataLoader abstractions with deterministic shuffling."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal map-style dataset: indexed access to (input, target) pairs."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the full dataset as ``(inputs, targets)`` arrays."""
+        inputs, targets = zip(*(self[i] for i in range(len(self))))
+        return np.stack(inputs), np.stack(targets)
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays with matching first dimension."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray) -> None:
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets)
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"inputs ({inputs.shape[0]}) and targets ({targets.shape[0]}) "
+                "must have equal length"
+            )
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.targets[index]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.inputs, self.targets
+
+
+class DataLoader:
+    """Mini-batch iterator with seed-deterministic shuffling.
+
+    Shuffling draws a fresh permutation per epoch from a generator derived
+    from ``seed`` and the epoch counter, so iterating the loader twice
+    from construction yields identical batch sequences — required for
+    provenance replay.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.drop_last = drop_last
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        if self.shuffle:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, self._epoch])
+            )
+            order = rng.permutation(n)
+        else:
+            order = np.arange(n)
+        self._epoch += 1
+        inputs, targets = self.dataset.arrays()
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and batch.shape[0] < self.batch_size:
+                return
+            yield inputs[batch], targets[batch]
+
+    def reset_epochs(self) -> None:
+        """Rewind the epoch counter so shuffling replays from the start."""
+        self._epoch = 0

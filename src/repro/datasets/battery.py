@@ -1,0 +1,76 @@
+"""Battery-cell datasets and their reference format."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.battery.datagen import CellDataConfig, generate_cell_samples
+from repro.battery.normalization import FeatureScaler
+from repro.datasets.base import ArrayDataset
+from repro.datasets.registry import DatasetRef
+
+
+class BatteryCellDataset(ArrayDataset):
+    """Training samples of one cell at one update cycle, normalized.
+
+    Features are (current, temperature, charge, SoC); the target is the
+    noisy terminal voltage.  Both sides are z-scored ("we normalize the
+    data to provide an equal feature scale", §4.1) with deterministic,
+    per-dataset statistics; :meth:`voltage_from_normalized` maps model
+    outputs back to volts.
+    """
+
+    def __init__(
+        self, cell_index: int, update_cycle: int, config: CellDataConfig
+    ) -> None:
+        aging = config.aging_schedule(num_cells=cell_index + 1)
+        features, targets = generate_cell_samples(
+            cell_index, update_cycle, config, aging
+        )
+        self.scaler = FeatureScaler.fit(features)
+        self.target_scaler = FeatureScaler.fit(targets)
+        super().__init__(
+            self.scaler.transform(features).astype(np.float32),
+            self.target_scaler.transform(targets).astype(np.float32),
+        )
+        self.cell_index = cell_index
+        self.update_cycle = update_cycle
+        self.config = config
+
+    def voltage_from_normalized(self, normalized: np.ndarray) -> np.ndarray:
+        """Map normalized model outputs back to terminal voltage in volts."""
+        return self.target_scaler.inverse_transform(normalized)
+
+
+def battery_dataset_ref(
+    cell_index: int, update_cycle: int, config: CellDataConfig
+) -> DatasetRef:
+    """Build the JSON-serializable reference for one cell's dataset."""
+    return DatasetRef(
+        kind="battery-cell",
+        params={
+            "cell_index": int(cell_index),
+            "update_cycle": int(update_cycle),
+            "seed": int(config.seed),
+            "samples_per_cell": int(config.samples_per_cell),
+            "cycle_duration_s": int(config.cycle_duration_s),
+            "mean_soh_decrement": float(config.mean_soh_decrement),
+        },
+    )
+
+
+def resolve_battery_ref(params: dict[str, Any]) -> BatteryCellDataset:
+    """Resolver registered under the ``battery-cell`` kind."""
+    config = CellDataConfig(
+        seed=int(params["seed"]),
+        samples_per_cell=int(params["samples_per_cell"]),
+        cycle_duration_s=int(params["cycle_duration_s"]),
+        mean_soh_decrement=float(params["mean_soh_decrement"]),
+    )
+    return BatteryCellDataset(
+        cell_index=int(params["cell_index"]),
+        update_cycle=int(params["update_cycle"]),
+        config=config,
+    )

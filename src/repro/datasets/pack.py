@@ -1,0 +1,143 @@
+"""Datasets derived from battery-pack telemetry.
+
+Where :mod:`repro.datasets.battery` generates each cell's data from an
+isolated ECM, this module trains cells from *pack* telemetry: the cell's
+current is whatever the pack's parallel-group current split gave it, so
+inhomogeneity effects (weak cells loafing, temperature spread) are in
+the data.  References are deterministic, hence provenance-replayable.
+
+Resolving a reference simulates the whole (small) pack; the registry
+cache amortizes that across the cells of one pack/cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.battery.drive_cycles import generate_drive_cycle
+from repro.battery.noise import DEFAULT_NOISE_SIGMA, add_measurement_noise
+from repro.battery.normalization import FeatureScaler
+from repro.battery.pack import BatteryPack, PackConfig
+from repro.datasets.base import ArrayDataset
+from repro.datasets.registry import DatasetRef
+from repro.training.seeds import derive_seed
+
+
+def simulate_pack_cycle(
+    config: PackConfig, update_cycle: int, duration_s: int, soh_decrement: float
+):
+    """Deterministically simulate one update cycle of a pack.
+
+    SoH decreases uniformly per cycle here (per-cell rates come from the
+    pack's parameter spread interacting with the load); the drive cycle
+    is scaled to the pack's parallel count so per-cell currents stay in
+    the single-cell range.
+    """
+    steps = max(duration_s, 60)
+    soh = max(0.05, 1.0 - update_cycle * soh_decrement)
+    pack = BatteryPack(
+        config, soh_per_cell=np.full(config.num_cells, soh)
+    )
+    cycle = generate_drive_cycle(
+        cycle_id=update_cycle, seed=config.seed, duration_s=steps
+    )
+    telemetry = pack.simulate(cycle.current_a * config.parallel_cells)
+    return pack, telemetry
+
+
+class PackCellDataset(ArrayDataset):
+    """One cell's training samples extracted from pack telemetry."""
+
+    def __init__(
+        self,
+        cell_index: int,
+        update_cycle: int,
+        pack_config: PackConfig,
+        duration_s: int = 300,
+        soh_decrement: float = 0.01,
+    ) -> None:
+        if not 0 <= cell_index < pack_config.num_cells:
+            raise IndexError(
+                f"cell_index {cell_index} out of range for a "
+                f"{pack_config.num_cells}-cell pack"
+            )
+        _pack, telemetry = simulate_pack_cycle(
+            pack_config, update_cycle, duration_s, soh_decrement
+        )
+        channels = telemetry.cell(cell_index)
+        features = np.stack(
+            [
+                channels["current_a"],
+                channels["temperature_c"],
+                channels["charge_ah"],
+                channels["soc"],
+            ],
+            axis=1,
+        )
+        targets = channels["voltage"][:, None]
+        noise_rng = np.random.default_rng(
+            derive_seed("pack-noise", pack_config.seed, cell_index, update_cycle)
+        )
+        features = add_measurement_noise(
+            features,
+            noise_rng,
+            sigma=[
+                DEFAULT_NOISE_SIGMA["current_a"],
+                DEFAULT_NOISE_SIGMA["temperature_c"],
+                DEFAULT_NOISE_SIGMA["charge_ah"],
+                0.002,
+            ],
+        )
+        targets = add_measurement_noise(
+            targets, noise_rng, sigma=[DEFAULT_NOISE_SIGMA["voltage"]]
+        )
+        self.scaler = FeatureScaler.fit(features)
+        self.target_scaler = FeatureScaler.fit(targets)
+        super().__init__(
+            self.scaler.transform(features).astype(np.float32),
+            self.target_scaler.transform(targets).astype(np.float32),
+        )
+        self.cell_index = cell_index
+        self.update_cycle = update_cycle
+
+
+def pack_dataset_ref(
+    cell_index: int,
+    update_cycle: int,
+    pack_config: PackConfig,
+    duration_s: int = 300,
+    soh_decrement: float = 0.01,
+) -> DatasetRef:
+    """Reference fully determining one cell's pack-telemetry dataset."""
+    return DatasetRef(
+        kind="pack-cell",
+        params={
+            "cell_index": int(cell_index),
+            "update_cycle": int(update_cycle),
+            "series_groups": int(pack_config.series_groups),
+            "parallel_cells": int(pack_config.parallel_cells),
+            "pack_seed": int(pack_config.seed),
+            "parameter_spread": float(pack_config.parameter_spread),
+            "duration_s": int(duration_s),
+            "soh_decrement": float(soh_decrement),
+        },
+    )
+
+
+def resolve_pack_ref(params: dict[str, Any]) -> PackCellDataset:
+    """Resolver registered under the ``pack-cell`` kind."""
+    config = PackConfig(
+        series_groups=int(params["series_groups"]),
+        parallel_cells=int(params["parallel_cells"]),
+        seed=int(params["pack_seed"]),
+        parameter_spread=float(params["parameter_spread"]),
+    )
+    return PackCellDataset(
+        cell_index=int(params["cell_index"]),
+        update_cycle=int(params["update_cycle"]),
+        pack_config=config,
+        duration_s=int(params["duration_s"]),
+        soh_decrement=float(params["soh_decrement"]),
+    )

@@ -1,0 +1,108 @@
+"""Content-addressed dataset references and their resolver registry.
+
+A :class:`DatasetRef` is a small, JSON-serializable descriptor that fully
+determines a dataset (generator kind + parameters).  The Provenance
+approach saves only these references — the storage cost the paper counts
+per model in U3 — and resolves them back to bit-identical samples at
+recovery time.
+
+Resolvers for new dataset kinds can be registered at runtime, which is
+how the battery and CIFAR generators plug in without this module
+importing them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.datasets.base import Dataset
+from repro.errors import DatasetNotFoundError
+
+Resolver = Callable[[dict[str, Any]], Dataset]
+
+
+@dataclass(frozen=True)
+class DatasetRef:
+    """Reference to a deterministic dataset: kind plus parameters."""
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": self.params}
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "DatasetRef":
+        return cls(kind=str(data["kind"]), params=dict(data["params"]))
+
+    def canonical(self) -> str:
+        """Stable string form (sorted keys) used as identity."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatasetRef):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+
+class DatasetRegistry:
+    """Resolves :class:`DatasetRef` objects to concrete datasets.
+
+    Instances keep a small cache keyed on the canonical reference string;
+    recovery of a model set resolves many references against the same
+    registry, and regenerating identical battery data repeatedly would
+    dominate the measurement otherwise.
+    """
+
+    def __init__(self, cache_size: int = 64) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self._resolvers: dict[str, Resolver] = {}
+        self._cache: dict[str, Dataset] = {}
+        self._cache_size = cache_size
+
+    def register(self, kind: str, resolver: Resolver) -> None:
+        """Register (or replace) the resolver for a dataset kind."""
+        self._resolvers[kind] = resolver
+
+    def kinds(self) -> list[str]:
+        return sorted(self._resolvers)
+
+    def resolve(self, ref: DatasetRef) -> Dataset:
+        """Materialize the dataset a reference points to."""
+        key = ref.canonical()
+        if key in self._cache:
+            return self._cache[key]
+        try:
+            resolver = self._resolvers[ref.kind]
+        except KeyError:
+            raise DatasetNotFoundError(
+                f"no resolver for dataset kind {ref.kind!r}; known: {self.kinds()}"
+            ) from None
+        dataset = resolver(ref.params)
+        if self._cache_size:
+            if len(self._cache) >= self._cache_size:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = dataset
+        return dataset
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def default_registry() -> DatasetRegistry:
+    """Registry with the battery, pack, and synthetic-CIFAR resolvers."""
+    from repro.datasets.battery import resolve_battery_ref
+    from repro.datasets.pack import resolve_pack_ref
+    from repro.datasets.synthetic_cifar import resolve_cifar_ref
+
+    registry = DatasetRegistry()
+    registry.register("battery-cell", resolve_battery_ref)
+    registry.register("pack-cell", resolve_pack_ref)
+    registry.register("synthetic-cifar", resolve_cifar_ref)
+    return registry

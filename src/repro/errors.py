@@ -1,0 +1,56 @@
+"""Exception hierarchy shared across the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SerializationError(ReproError):
+    """Raised when encoding or decoding a binary artifact fails."""
+
+
+class ArchitectureMismatchError(ReproError):
+    """Raised when parameters do not fit the declared model architecture."""
+
+
+class UnknownArchitectureError(ReproError):
+    """Raised when an architecture name is not present in the registry."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-substrate failures."""
+
+
+class ArtifactNotFoundError(StorageError):
+    """Raised when a requested artifact id is absent from a store."""
+
+
+class DocumentNotFoundError(StorageError):
+    """Raised when a requested document id is absent from a store."""
+
+
+class DuplicateArtifactError(StorageError):
+    """Raised when writing an artifact id that already exists."""
+
+
+class RecoveryError(ReproError):
+    """Raised when a model set cannot be recovered."""
+
+
+class ProvenanceReplayError(RecoveryError):
+    """Raised when replaying a training pipeline fails or diverges."""
+
+
+class DatasetNotFoundError(ReproError):
+    """Raised when a dataset reference cannot be resolved."""
+
+
+class InvalidUpdatePlanError(ReproError):
+    """Raised when an update plan is inconsistent with the model set."""

@@ -1,0 +1,60 @@
+"""A compact, deterministic deep-learning framework built on numpy.
+
+This package stands in for PyTorch in the reproduction (see DESIGN.md,
+substitution table).  It provides everything the multi-model management
+approaches need from a DL framework:
+
+* :class:`~repro.nn.module.Module` hierarchies with ordered, named
+  parameter dictionaries (``state_dict`` / ``load_state_dict``),
+* forward *and* backward passes for fully-connected and convolutional
+  models so the Provenance approach can deterministically re-train,
+* optimizers (:class:`~repro.nn.optim.SGD`, :class:`~repro.nn.optim.Adam`),
+* losses (:class:`~repro.nn.loss.MSELoss`,
+  :class:`~repro.nn.loss.CrossEntropyLoss`),
+* seeded weight initialization, and
+* a binary ``state_dict`` codec (:mod:`repro.nn.serialization`).
+
+All computation is float32, matching the paper's 4-byte-per-parameter
+storage accounting.
+"""
+
+from repro.nn.activations import ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.init import kaiming_uniform, xavier_uniform
+from repro.nn.layers import AvgPool2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d
+from repro.nn.loss import CrossEntropyLoss, Loss, MSELoss
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.serialization import (
+    deserialize_state_dict,
+    serialize_state_dict,
+    state_dict_num_bytes,
+    state_dict_num_parameters,
+)
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "Linear",
+    "Loss",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "deserialize_state_dict",
+    "kaiming_uniform",
+    "serialize_state_dict",
+    "state_dict_num_bytes",
+    "state_dict_num_parameters",
+    "xavier_uniform",
+]

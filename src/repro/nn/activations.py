@@ -1,0 +1,98 @@
+"""Parameter-free activation modules with explicit backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import DTYPE, Module
+
+
+class ReLU(Module):
+    """Rectified linear unit: ``max(0, x)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_out, dtype=DTYPE) * self._mask
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(np.asarray(x, dtype=DTYPE))
+        return self._output
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_out, dtype=DTYPE) * (1.0 - self._output**2)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        # Branch on sign so neither exp() overflows.
+        output = np.empty_like(x)
+        positive = x >= 0
+        output[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        output[~positive] = exp_x / (1.0 + exp_x)
+        self._output = output
+        return output
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_out, dtype=DTYPE) * self._output * (1.0 - self._output)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=DTYPE)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class Softmax(Module):
+    """Softmax over the last axis.
+
+    Intended for inference-time probability output.  For training, prefer
+    :class:`repro.nn.loss.CrossEntropyLoss`, which fuses softmax with the
+    log-likelihood for a numerically stable gradient.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = softmax(x)
+        return self._output
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=DTYPE)
+        dot = (grad_out * self._output).sum(axis=-1, keepdims=True)
+        return self._output * (grad_out - dot)

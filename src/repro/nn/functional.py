@@ -1,0 +1,46 @@
+"""Stateless helper functions used across the framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import DTYPE, Module
+
+
+def predict(model: Module, x: np.ndarray) -> np.ndarray:
+    """Run a forward pass in evaluation mode and restore the previous mode."""
+    was_training = model.training
+    model.eval()
+    try:
+        return model(np.asarray(x, dtype=DTYPE))
+    finally:
+        if was_training:
+            model.train()
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the integer target."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.shape != (logits.shape[0],):
+        raise ValueError("accuracy expects (batch, classes) logits and (batch,) targets")
+    return float(np.mean(logits.argmax(axis=1) == targets))
+
+
+def clip_grad_norm(model: Module, max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    params = list(model.parameters())
+    for param in params:
+        total += float(np.sum(param.grad.astype(np.float64) ** 2))
+    norm = total**0.5
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            param.grad *= scale
+    return norm

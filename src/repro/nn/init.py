@@ -1,0 +1,47 @@
+"""Seeded weight-initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+model construction is fully deterministic — a prerequisite for the
+Provenance approach, which must reproduce training bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.module import DTYPE
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-uniform initialization, suitable for ReLU networks.
+
+    Samples from ``U(-bound, bound)`` with ``bound = sqrt(6 / fan_in)``.
+    """
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(DTYPE)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot-uniform initialization, suitable for tanh/sigmoid networks."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got {fan_in}, {fan_out}")
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(DTYPE)
+
+
+def bias_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """PyTorch-style bias initialization: ``U(-1/sqrt(fan_in), 1/sqrt(fan_in))``."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = 1.0 / math.sqrt(fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(DTYPE)

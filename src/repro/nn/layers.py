@@ -1,0 +1,354 @@
+"""Trainable and structural layers: Linear, Conv2d, pooling, Flatten, Dropout.
+
+Convolutions are implemented with an im2col lowering so both the forward
+and the backward pass are expressed as dense matrix products — fast enough
+in numpy for the small CIFAR-scale models the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import bias_uniform, kaiming_uniform
+from repro.nn.module import DTYPE, Module, Parameter
+
+
+def _default_rng(rng: np.random.Generator | None) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(0)
+
+
+class Linear(Module):
+    """Fully-connected layer computing ``y = x @ W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to include an additive bias term.
+    rng:
+        Generator used for weight initialization; defaults to a fixed seed
+        so un-seeded construction is still deterministic.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = _default_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_uniform((out_features, in_features), fan_in=in_features, rng=rng)
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(bias_uniform((out_features,), in_features, rng))
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        out = x @ self.weight.data.T
+        if self.has_bias:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=DTYPE)
+        self.weight.grad += grad_out.T @ self._input
+        if self.has_bias:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Lower (N, C, H, W) into (N, out_h * out_w, C * kernel * kernel)."""
+    batch, channels, height, width = x.shape
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`_im2col`."""
+    batch, channels, height, width = x_shape
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=DTYPE
+    )
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols[
+                :, :, :, :, ky, kx
+            ].transpose(0, 3, 1, 2)
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) inputs with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = _default_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+                rng=rng,
+            )
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(bias_uniform((out_channels,), fan_in, rng))
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride, self.padding)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        flat_weight = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ flat_weight.T
+        if self.has_bias:
+            out = out + self.bias.data
+        return out.transpose(0, 2, 1).reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._x_shape[0]
+        out_h, out_w = self._out_hw
+        grad_flat = (
+            np.asarray(grad_out, dtype=DTYPE)
+            .reshape(batch, self.out_channels, out_h * out_w)
+            .transpose(0, 2, 1)
+        )
+        flat_weight = self.weight.data.reshape(self.out_channels, -1)
+        grad_weight = np.einsum("bpo,bpk->ok", grad_flat, self._cols)
+        self.weight.grad += grad_weight.reshape(self.weight.data.shape)
+        if self.has_bias:
+            self.bias.grad += grad_flat.sum(axis=(0, 1))
+        grad_cols = grad_flat @ flat_weight
+        return _col2im(
+            grad_cols,
+            self._x_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling with a square window; stride defaults to the window size."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        batch, channels, _height, _width = x.shape
+        merged = x.reshape(batch * channels, 1, *x.shape[2:])
+        cols, out_h, out_w = _im2col(merged, self.kernel_size, self.stride, 0)
+        cols = cols.reshape(batch * channels, out_h * out_w, -1)
+        argmax = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, argmax[:, :, None], axis=2).squeeze(2)
+        mask = np.zeros_like(cols)
+        np.put_along_axis(mask, argmax[:, :, None], 1.0, axis=2)
+        self._mask = mask
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return out.reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._x_shape
+        out_h, out_w = self._out_hw
+        grad_flat = np.asarray(grad_out, dtype=DTYPE).reshape(
+            batch * channels, out_h * out_w, 1
+        )
+        grad_cols = self._mask * grad_flat
+        grad_merged = _col2im(
+            grad_cols,
+            (batch * channels, 1, height, width),
+            self.kernel_size,
+            self.stride,
+            0,
+            out_h,
+            out_w,
+        )
+        return grad_merged.reshape(batch, channels, height, width)
+
+
+class AvgPool2d(Module):
+    """Average pooling with a square window; stride defaults to the window."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        batch, channels, _height, _width = x.shape
+        merged = x.reshape(batch * channels, 1, *x.shape[2:])
+        cols, out_h, out_w = _im2col(merged, self.kernel_size, self.stride, 0)
+        out = cols.mean(axis=2)
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return out.reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._x_shape
+        out_h, out_w = self._out_hw
+        window = self.kernel_size * self.kernel_size
+        grad_flat = np.asarray(grad_out, dtype=DTYPE).reshape(
+            batch * channels, out_h * out_w, 1
+        )
+        grad_cols = np.repeat(grad_flat / window, window, axis=2)
+        grad_merged = _col2im(
+            grad_cols,
+            (batch * channels, 1, height, width),
+            self.kernel_size,
+            self.stride,
+            0,
+            out_h,
+            out_w,
+        )
+        return grad_merged.reshape(batch, channels, height, width)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions into one."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_out, dtype=DTYPE).reshape(self._x_shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode.
+
+    The mask generator must be supplied explicitly when determinism across
+    replays is required (the training pipeline does so).
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = _default_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep).astype(DTYPE) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=DTYPE)
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

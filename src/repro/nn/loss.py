@@ -1,0 +1,83 @@
+"""Loss functions with fused forward/backward computation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import softmax
+from repro.nn.module import DTYPE
+
+
+class Loss:
+    """Base class: ``forward`` returns a scalar, ``backward`` the input grad."""
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+
+class MSELoss(Loss):
+    """Mean squared error, averaged over all elements.
+
+    The battery voltage-regression models train with this loss.
+    """
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=DTYPE)
+        target = np.asarray(target, dtype=DTYPE)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+        self._diff = prediction - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return (2.0 / self._diff.size) * self._diff
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross entropy over integer class targets.
+
+    ``prediction`` holds raw logits of shape ``(batch, classes)``;
+    ``target`` holds integer class indices of shape ``(batch,)``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._target: np.ndarray | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=DTYPE)
+        target = np.asarray(target)
+        if prediction.ndim != 2:
+            raise ValueError(f"expected 2-D logits, got shape {prediction.shape}")
+        if target.shape != (prediction.shape[0],):
+            raise ValueError(
+                f"expected target shape ({prediction.shape[0]},), got {target.shape}"
+            )
+        if target.min() < 0 or target.max() >= prediction.shape[1]:
+            raise ValueError("target class index out of range")
+        self._probs = softmax(prediction)
+        self._target = target.astype(np.int64)
+        batch = prediction.shape[0]
+        picked = self._probs[np.arange(batch), self._target]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._target] -= 1.0
+        return grad / batch

@@ -1,0 +1,197 @@
+"""Module base class, parameter container, and sequential composition.
+
+The design deliberately mirrors PyTorch's ``nn.Module`` where it matters
+for the paper: modules expose an *ordered* mapping from dotted layer names
+to float32 arrays via :meth:`Module.state_dict`, and parameters can be
+loaded back with :meth:`Module.load_state_dict`.  The multi-model
+management approaches operate exclusively on this interface.
+
+Unlike PyTorch there is no autograd tape; each layer implements an
+explicit ``backward`` that consumes the upstream gradient and accumulates
+parameter gradients into ``Parameter.grad``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ArchitectureMismatchError
+
+DTYPE = np.float32
+
+
+class Parameter:
+    """A trainable tensor with an associated gradient buffer.
+
+    Parameters
+    ----------
+    data:
+        Initial value.  Copied and cast to float32.
+    """
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.ascontiguousarray(data, dtype=DTYPE)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer to zero in place."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses register parameters and sub-modules simply by assigning
+    them as attributes; registration order is preserved, which keeps
+    ``state_dict`` keys deterministic — a property the Update approach's
+    per-layer hashing relies on.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- attribute-based registration ----------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- forward / backward --------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate ``grad_out`` backwards, accumulating parameter grads.
+
+        Returns the gradient with respect to the module input.  Modules
+        without parameters may simply transform the gradient.
+        """
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- training-mode switches ----------------------------------------
+    def train(self) -> "Module":
+        """Put this module and all sub-modules into training mode."""
+        self.training = True
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module and all sub-modules into evaluation mode."""
+        self.training = False
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    # -- parameter access ------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs in registration order."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters in registration order."""
+        for _name, param in self.named_parameters():
+            yield param
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient in the module tree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict -------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return an ordered mapping from dotted names to parameter copies."""
+        return OrderedDict(
+            (name, param.data.copy()) for name, param in self.named_parameters()
+        )
+
+    def load_state_dict(self, state: "OrderedDict[str, np.ndarray] | dict") -> None:
+        """Load parameter values from ``state``.
+
+        The keys and shapes must match this module's parameters exactly;
+        otherwise :class:`ArchitectureMismatchError` is raised.
+        """
+        own = OrderedDict(self.named_parameters())
+        own_keys = list(own)
+        new_keys = list(state)
+        if own_keys != new_keys:
+            raise ArchitectureMismatchError(
+                f"state dict keys {new_keys!r} do not match module keys {own_keys!r}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=DTYPE)
+            if value.shape != param.data.shape:
+                raise ArchitectureMismatchError(
+                    f"parameter {name!r}: expected shape {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data = np.ascontiguousarray(value)
+
+    def layer_names(self) -> list[str]:
+        """Dotted names of all parameters, in deterministic order."""
+        return [name for name, _param in self.named_parameters()]
+
+
+class Sequential(Module):
+    """Compose modules into a feed-forward chain.
+
+    Sub-modules are named by their position (``"0"``, ``"1"``, ...), so a
+    ``Sequential(Linear(...), ReLU(), Linear(...))`` yields state-dict keys
+    like ``"0.weight"`` and ``"2.bias"`` — the same convention PyTorch uses.
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: list[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, str(index), module)
+            self._layers.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self._layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out

@@ -1,0 +1,119 @@
+"""Deterministic optimizers: SGD (with momentum) and Adam.
+
+Optimizer state is kept per-parameter in plain numpy arrays, so a training
+run is exactly reproducible given identical initial parameters, data order,
+and hyper-parameters — the invariant the Provenance approach depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import DTYPE, Module, Parameter
+
+
+class Optimizer:
+    """Base class binding an optimizer to parameters.
+
+    Accepts either a :class:`Module` (all of its parameters are optimized)
+    or an iterable of :class:`Parameter` objects — the latter is how the
+    training pipeline implements *partial* updates that only adjust a
+    subset of layers.
+    """
+
+    def __init__(self, module: "Module | Iterable[Parameter]") -> None:
+        if isinstance(module, Module):
+            self._params: list[Parameter] = list(module.parameters())
+        else:
+            self._params = list(module)
+            if any(not isinstance(p, Parameter) for p in self._params):
+                raise TypeError("expected a Module or an iterable of Parameters")
+        if not self._params:
+            raise ValueError("no parameters to optimize")
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every managed parameter."""
+        for param in self._params:
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(module)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self._params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self._params, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= (self.lr * grad).astype(DTYPE)
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(module)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self._params]
+        self._v = [np.zeros_like(p.data) for p in self._params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self._params, self._m, self._v):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(DTYPE)

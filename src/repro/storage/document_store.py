@@ -1,0 +1,142 @@
+"""JSON document store (the metadata store of the paper's approaches).
+
+Models a MongoDB-style service: named collections of JSON documents, each
+insert/fetch being one round trip.  Document size is measured as the
+compact-JSON encoding, which is what the storage-consumption metric counts
+for metadata.
+
+MMlib-base performs one insert per model; the set-oriented approaches
+perform O(1) inserts per set — the operation counters make that O3
+(write-overhead) difference directly observable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any
+
+from repro.errors import DocumentNotFoundError
+from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+from repro.storage.stats import StorageStats
+
+JsonDocument = dict[str, Any]
+
+
+def document_num_bytes(document: JsonDocument) -> int:
+    """Compact-JSON byte size of ``document`` (UTF-8)."""
+    return len(json.dumps(document, separators=(",", ":")).encode("utf-8"))
+
+
+class DocumentStore:
+    """Collection-based JSON document store with byte/op accounting."""
+
+    def __init__(self, profile: HardwareProfile = LOCAL_PROFILE) -> None:
+        self.profile = profile
+        self.stats = StorageStats()
+        self._collections: dict[str, dict[str, JsonDocument]] = {}
+        self._id_counter = itertools.count()
+
+    # -- write -----------------------------------------------------------
+    def insert(
+        self,
+        collection: str,
+        document: JsonDocument,
+        doc_id: str | None = None,
+        category: str = "metadata",
+    ) -> str:
+        """Insert ``document`` and return its id.
+
+        The document is deep-copied via JSON round trip, both to enforce
+        JSON-serializability and to decouple the store from caller-held
+        references (as a real remote store would).
+        """
+        encoded = json.dumps(document, separators=(",", ":"))
+        if doc_id is None:
+            doc_id = f"doc-{next(self._id_counter):08d}"
+        self._collections.setdefault(collection, {})[doc_id] = json.loads(encoded)
+        num_bytes = len(encoded.encode("utf-8"))
+        self.stats.record_write(
+            num_bytes, self.profile.doc_write_cost(num_bytes), category
+        )
+        return doc_id
+
+    # -- read ------------------------------------------------------------
+    def get(self, collection: str, doc_id: str) -> JsonDocument:
+        """Fetch one document; raises :class:`DocumentNotFoundError`."""
+        try:
+            document = self._collections[collection][doc_id]
+        except KeyError:
+            raise DocumentNotFoundError(
+                f"no document {doc_id!r} in collection {collection!r}"
+            ) from None
+        num_bytes = document_num_bytes(document)
+        self.stats.record_read(num_bytes, self.profile.doc_read_cost(num_bytes))
+        return json.loads(json.dumps(document))
+
+    def find(
+        self, collection: str, **equals: Any
+    ) -> list[tuple[str, JsonDocument]]:
+        """Scan a collection for documents whose top-level fields match.
+
+        Equality filters only (``find("model_sets", type="update")``).
+        Matching documents are charged as reads, mirroring a real query
+        that returns them; the scan itself is server-side.
+        """
+        matches: list[tuple[str, JsonDocument]] = []
+        for doc_id, document in self._collections.get(collection, {}).items():
+            if all(document.get(key) == value for key, value in equals.items()):
+                num_bytes = document_num_bytes(document)
+                self.stats.record_read(
+                    num_bytes, self.profile.doc_read_cost(num_bytes)
+                )
+                matches.append((doc_id, json.loads(json.dumps(document))))
+        return matches
+
+    # -- management plane (not charged) --------------------------------------
+    def delete(self, collection: str, doc_id: str) -> None:
+        """Remove a document (used by garbage collection)."""
+        try:
+            del self._collections[collection][doc_id]
+        except KeyError:
+            raise DocumentNotFoundError(
+                f"no document {doc_id!r} in collection {collection!r}"
+            ) from None
+
+    def replace(self, collection: str, doc_id: str, document: JsonDocument) -> None:
+        """Overwrite an existing document in place (charged as a write).
+
+        Used by compaction, which rewrites a delta/provenance set
+        descriptor as a full snapshot.
+        """
+        if doc_id not in self._collections.get(collection, {}):
+            raise DocumentNotFoundError(
+                f"no document {doc_id!r} in collection {collection!r}"
+            )
+        encoded = json.dumps(document, separators=(",", ":"))
+        self._collections[collection][doc_id] = json.loads(encoded)
+        num_bytes = len(encoded.encode("utf-8"))
+        self.stats.record_write(
+            num_bytes, self.profile.doc_write_cost(num_bytes), "metadata"
+        )
+
+    # -- inspection (management plane, not charged) -----------------------
+    def exists(self, collection: str, doc_id: str) -> bool:
+        return doc_id in self._collections.get(collection, {})
+
+    def collection_ids(self, collection: str) -> list[str]:
+        return sorted(self._collections.get(collection, {}))
+
+    def collections(self) -> list[str]:
+        return sorted(self._collections)
+
+    def count(self, collection: str) -> int:
+        return len(self._collections.get(collection, {}))
+
+    def total_bytes(self) -> int:
+        """Compact-JSON bytes of all documents currently stored."""
+        return sum(
+            document_num_bytes(doc)
+            for collection in self._collections.values()
+            for doc in collection.values()
+        )

@@ -1,0 +1,195 @@
+"""Binary artifact store (the "file store" of the paper's approaches).
+
+Artifacts are immutable byte blobs addressed by an explicit id or, when no
+id is given, by content hash.  The store keeps data in memory by default
+and can optionally spill to a directory on disk, which the benchmark
+harness uses when measuring real I/O.
+
+Every operation updates a :class:`~repro.storage.stats.StorageStats`
+instance and is charged simulated latency according to the active
+:class:`~repro.storage.hardware.HardwareProfile`.
+
+Large artifacts can be produced incrementally through
+:meth:`FileStore.open_writer` — the streaming-ingestion path uses it to
+save a 5000-model parameter artifact without holding all models' bytes
+at once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ArtifactNotFoundError, DuplicateArtifactError, StorageError
+from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+from repro.storage.hashing import hash_bytes
+from repro.storage.stats import StorageStats
+
+
+class ArtifactWriter:
+    """Incremental artifact writer; finalize with :meth:`close`.
+
+    Accounting mirrors a single :meth:`FileStore.put`: one write
+    operation charged at close, covering the total bytes.  Usable as a
+    context manager — an exception inside the block abandons the
+    artifact without storing anything.
+    """
+
+    def __init__(self, store: "FileStore", artifact_id: str, category: str) -> None:
+        self._store = store
+        self._artifact_id = artifact_id
+        self._category = category
+        self._chunks: list[bytes] = []
+        self._closed = False
+
+    def write(self, chunk: bytes) -> None:
+        if self._closed:
+            raise StorageError("writer already closed")
+        self._chunks.append(bytes(chunk))
+
+    def close(self) -> str:
+        """Finalize the artifact; returns its id."""
+        if self._closed:
+            raise StorageError("writer already closed")
+        self._closed = True
+        return self._store.put(
+            b"".join(self._chunks),
+            artifact_id=self._artifact_id,
+            category=self._category,
+        )
+
+    def abort(self) -> None:
+        """Discard everything written so far."""
+        self._closed = True
+        self._chunks.clear()
+
+    def __enter__(self) -> "ArtifactWriter":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.close()
+
+
+class FileStore:
+    """Immutable binary artifact store with byte/op accounting.
+
+    Parameters
+    ----------
+    profile:
+        Latency profile charged per operation; defaults to zero-latency.
+    directory:
+        Optional spill directory.  When given, artifacts are written to
+        and read from disk (named ``<artifact_id>.bin``), so real I/O cost
+        is incurred in addition to the simulated charge.
+    """
+
+    def __init__(
+        self,
+        profile: HardwareProfile = LOCAL_PROFILE,
+        directory: str | Path | None = None,
+    ) -> None:
+        self.profile = profile
+        self.stats = StorageStats()
+        self._blobs: dict[str, bytes] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    # -- write -----------------------------------------------------------
+    def put(
+        self, data: bytes, artifact_id: str | None = None, category: str = "binary"
+    ) -> str:
+        """Store ``data`` and return its artifact id.
+
+        When ``artifact_id`` is omitted the blob is content-addressed by
+        its SHA-256; re-putting identical content under the derived id is
+        then a no-op that still charges the write (matching a real store,
+        which cannot skip the round trip).
+        """
+        derived = artifact_id is None
+        if derived:
+            artifact_id = "sha256-" + hash_bytes(data)
+        if not derived and artifact_id in self._blobs:
+            raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
+        self._blobs[artifact_id] = data
+        if self._directory is not None:
+            (self._directory / f"{artifact_id}.bin").write_bytes(data)
+        self.stats.record_write(
+            len(data), self.profile.file_write_cost(len(data)), category
+        )
+        return artifact_id
+
+    def open_writer(
+        self, artifact_id: str, category: str = "binary"
+    ) -> ArtifactWriter:
+        """Open an incremental writer for a new artifact."""
+        if artifact_id in self._blobs:
+            raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
+        return ArtifactWriter(self, artifact_id, category)
+
+    # -- read ------------------------------------------------------------
+    def get(self, artifact_id: str) -> bytes:
+        """Fetch an artifact's bytes; raises :class:`ArtifactNotFoundError`."""
+        if artifact_id not in self._blobs:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        if self._directory is not None:
+            data = (self._directory / f"{artifact_id}.bin").read_bytes()
+        else:
+            data = self._blobs[artifact_id]
+        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
+        return data
+
+    def get_range(self, artifact_id: str, offset: int, length: int) -> bytes:
+        """Fetch ``length`` bytes of an artifact starting at ``offset``.
+
+        Range reads power single-model recovery: recovering one model out
+        of a 5000-model Baseline artifact reads ~20 KB instead of ~100 MB.
+        Only the requested bytes are charged against the latency model.
+        """
+        if artifact_id not in self._blobs:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        size = len(self._blobs[artifact_id])
+        if offset + length > size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) exceeds artifact size {size}"
+            )
+        if self._directory is not None:
+            with open(self._directory / f"{artifact_id}.bin", "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(length)
+        else:
+            data = self._blobs[artifact_id][offset : offset + length]
+        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
+        return data
+
+    # -- management plane (not charged) ------------------------------------
+    def delete(self, artifact_id: str) -> None:
+        """Remove an artifact (used by garbage collection)."""
+        if artifact_id not in self._blobs:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        del self._blobs[artifact_id]
+        if self._directory is not None:
+            (self._directory / f"{artifact_id}.bin").unlink(missing_ok=True)
+
+    # -- inspection (not charged: management-plane operations) -----------
+    def exists(self, artifact_id: str) -> bool:
+        return artifact_id in self._blobs
+
+    def size(self, artifact_id: str) -> int:
+        if artifact_id not in self._blobs:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        return len(self._blobs[artifact_id])
+
+    def ids(self) -> list[str]:
+        return sorted(self._blobs)
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by the store."""
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def __len__(self) -> int:
+        return len(self._blobs)

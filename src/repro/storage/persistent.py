@@ -1,0 +1,328 @@
+"""Disk-backed store implementations for durable model archives.
+
+The in-memory stores are ideal for benchmarking (exact accounting, no
+host-I/O noise), but a production archive must survive the process.
+This module provides drop-in persistent variants:
+
+* :class:`PersistentFileStore` — artifacts as ``<id>.bin`` files with
+  ``<id>.sha256`` checksums, written atomically (temp file + rename) and
+  read lazily; the constructor only scans the index.
+* :class:`PersistentDocumentStore` — documents as
+  ``<collection>/<id>.json``, also written atomically; existing
+  documents are loaded on open.
+
+Both charge the same latency model and accounting as their in-memory
+counterparts, so measurements remain comparable.
+``open_context`` assembles a durable :class:`~repro.core.approach.SaveContext`
+(used by ``MultiModelManager.open``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import (
+    ArtifactNotFoundError,
+    DuplicateArtifactError,
+    StorageError,
+)
+from repro.storage.document_store import DocumentStore
+from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+from repro.storage.hashing import hash_bytes
+from repro.storage.stats import StorageStats
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    temp = path.with_suffix(path.suffix + ".tmp")
+    temp.write_bytes(data)
+    os.replace(temp, path)
+
+
+class PersistentFileStore:
+    """Artifact store persisted to a directory, read lazily from disk.
+
+    Interface-compatible with :class:`~repro.storage.file_store.FileStore`
+    (put/get/get_range/exists/size/ids/total_bytes/len, ``stats``,
+    ``profile``).  Every artifact carries a SHA-256 sidecar; ``get``
+    verifies it and raises :class:`StorageError` on mismatch, so silent
+    on-disk corruption of an archived model set cannot go unnoticed.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        profile: HardwareProfile = LOCAL_PROFILE,
+        verify_checksums: bool = True,
+    ) -> None:
+        self.profile = profile
+        self.stats = StorageStats()
+        self.verify_checksums = verify_checksums
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._sizes: dict[str, int] = {
+            path.stem: path.stat().st_size
+            for path in self._directory.glob("*.bin")
+        }
+
+    def _path(self, artifact_id: str) -> Path:
+        if "/" in artifact_id or artifact_id.startswith("."):
+            raise StorageError(f"invalid artifact id {artifact_id!r}")
+        return self._directory / f"{artifact_id}.bin"
+
+    # -- write -----------------------------------------------------------
+    def put(
+        self, data: bytes, artifact_id: str | None = None, category: str = "binary"
+    ) -> str:
+        derived = artifact_id is None
+        if derived:
+            artifact_id = "sha256-" + hash_bytes(data)
+        if not derived and artifact_id in self._sizes:
+            raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
+        path = self._path(artifact_id)
+        _atomic_write(path, data)
+        _atomic_write(
+            path.with_suffix(".sha256"), hash_bytes(data).encode("ascii")
+        )
+        self._sizes[artifact_id] = len(data)
+        self.stats.record_write(
+            len(data), self.profile.file_write_cost(len(data)), category
+        )
+        return artifact_id
+
+    def open_writer(self, artifact_id: str, category: str = "binary"):
+        """Open a disk-backed incremental writer (bounded memory).
+
+        Chunks stream to a temp file with an incrementally updated
+        SHA-256; close atomically renames and records the checksum, and
+        charges the accounting of one write.  An exception inside a
+        ``with`` block deletes the temp file.
+        """
+        if artifact_id in self._sizes:
+            raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
+        return _DiskArtifactWriter(self, artifact_id, category)
+
+    # -- read ------------------------------------------------------------
+    def get(self, artifact_id: str) -> bytes:
+        if artifact_id not in self._sizes:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        data = self._path(artifact_id).read_bytes()
+        if self.verify_checksums:
+            recorded = self._path(artifact_id).with_suffix(".sha256")
+            if recorded.exists() and recorded.read_text() != hash_bytes(data):
+                raise StorageError(
+                    f"artifact {artifact_id!r} failed checksum verification"
+                )
+        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
+        return data
+
+    def get_range(self, artifact_id: str, offset: int, length: int) -> bytes:
+        if artifact_id not in self._sizes:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        if offset + length > self._sizes[artifact_id]:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) exceeds artifact size "
+                f"{self._sizes[artifact_id]}"
+            )
+        with open(self._path(artifact_id), "rb") as handle:
+            handle.seek(offset)
+            data = handle.read(length)
+        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
+        return data
+
+    # -- management plane ---------------------------------------------------
+    def delete(self, artifact_id: str) -> None:
+        """Remove an artifact and its checksum (used by garbage collection)."""
+        if artifact_id not in self._sizes:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        self._path(artifact_id).unlink(missing_ok=True)
+        self._path(artifact_id).with_suffix(".sha256").unlink(missing_ok=True)
+        del self._sizes[artifact_id]
+
+    def exists(self, artifact_id: str) -> bool:
+        return artifact_id in self._sizes
+
+    def size(self, artifact_id: str) -> int:
+        if artifact_id not in self._sizes:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        return self._sizes[artifact_id]
+
+    def ids(self) -> list[str]:
+        return sorted(self._sizes)
+
+    def total_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+
+class _DiskArtifactWriter:
+    """Streaming writer used by :meth:`PersistentFileStore.open_writer`."""
+
+    def __init__(
+        self, store: PersistentFileStore, artifact_id: str, category: str
+    ) -> None:
+        import hashlib
+
+        self._store = store
+        self._artifact_id = artifact_id
+        self._category = category
+        self._path = store._path(artifact_id)
+        self._temp = self._path.with_suffix(self._path.suffix + ".tmp")
+        self._handle = open(self._temp, "wb")
+        self._hasher = hashlib.sha256()
+        self._bytes = 0
+        self._closed = False
+
+    def write(self, chunk: bytes) -> None:
+        if self._closed:
+            raise StorageError("writer already closed")
+        self._handle.write(chunk)
+        self._hasher.update(chunk)
+        self._bytes += len(chunk)
+
+    def close(self) -> str:
+        if self._closed:
+            raise StorageError("writer already closed")
+        self._closed = True
+        self._handle.close()
+        os.replace(self._temp, self._path)
+        _atomic_write(
+            self._path.with_suffix(".sha256"),
+            self._hasher.hexdigest().encode("ascii"),
+        )
+        store = self._store
+        store._sizes[self._artifact_id] = self._bytes
+        store.stats.record_write(
+            self._bytes,
+            store.profile.file_write_cost(self._bytes),
+            self._category,
+        )
+        return self._artifact_id
+
+    def abort(self) -> None:
+        self._closed = True
+        self._handle.close()
+        self._temp.unlink(missing_ok=True)
+
+    def __enter__(self) -> "_DiskArtifactWriter":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.close()
+
+
+class PersistentDocumentStore(DocumentStore):
+    """Document store persisted as ``<collection>/<id>.json`` files.
+
+    Existing documents are loaded (without charging the latency model) on
+    open; inserts write through atomically.
+    """
+
+    def __init__(
+        self, directory: str | Path, profile: HardwareProfile = LOCAL_PROFILE
+    ) -> None:
+        super().__init__(profile=profile)
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        max_counter = -1
+        for collection_dir in self._directory.iterdir():
+            if not collection_dir.is_dir():
+                continue
+            collection = collection_dir.name
+            for doc_path in collection_dir.glob("*.json"):
+                doc_id = doc_path.stem
+                self._collections.setdefault(collection, {})[doc_id] = json.loads(
+                    doc_path.read_text()
+                )
+                if doc_id.startswith("doc-"):
+                    try:
+                        max_counter = max(max_counter, int(doc_id[4:]))
+                    except ValueError:
+                        pass
+        # Resume auto-ids beyond anything already on disk.
+        import itertools
+
+        self._id_counter = itertools.count(max_counter + 1)
+
+    def insert(
+        self,
+        collection: str,
+        document: dict,
+        doc_id: str | None = None,
+        category: str = "metadata",
+    ) -> str:
+        doc_id = super().insert(collection, document, doc_id=doc_id, category=category)
+        if "/" in doc_id or "/" in collection:
+            raise StorageError(f"invalid document id {doc_id!r} or collection")
+        collection_dir = self._directory / collection
+        collection_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            collection_dir / f"{doc_id}.json",
+            json.dumps(
+                self._collections[collection][doc_id], separators=(",", ":")
+            ).encode("utf-8"),
+        )
+        return doc_id
+
+    def replace(self, collection: str, doc_id: str, document: dict) -> None:
+        super().replace(collection, doc_id, document)
+        _atomic_write(
+            self._directory / collection / f"{doc_id}.json",
+            json.dumps(
+                self._collections[collection][doc_id], separators=(",", ":")
+            ).encode("utf-8"),
+        )
+
+    def delete(self, collection: str, doc_id: str) -> None:
+        """Remove a document from memory and disk (garbage collection)."""
+        try:
+            del self._collections[collection][doc_id]
+        except KeyError:
+            from repro.errors import DocumentNotFoundError
+
+            raise DocumentNotFoundError(
+                f"no document {doc_id!r} in collection {collection!r}"
+            ) from None
+        (self._directory / collection / f"{doc_id}.json").unlink(missing_ok=True)
+
+
+def open_context(
+    directory: str | Path, profile: HardwareProfile = LOCAL_PROFILE
+):
+    """Open (or create) a durable save context rooted at ``directory``."""
+    from repro.core.approach import SaveContext
+    from repro.datasets.registry import default_registry
+
+    root = Path(directory)
+    context = SaveContext(
+        file_store=PersistentFileStore(root / "artifacts", profile=profile),
+        document_store=PersistentDocumentStore(root / "documents", profile=profile),
+        dataset_registry=default_registry(),
+    )
+    _resume_set_counter(context)
+    return context
+
+
+def _resume_set_counter(context) -> None:
+    """Advance the context's set-id counter past persisted ids."""
+    import itertools
+
+    from repro.core.approach import SETS_COLLECTION
+
+    max_counter = -1
+    for set_id in context.document_store.collection_ids(SETS_COLLECTION):
+        suffix = set_id.rsplit("-", 1)[-1]
+        try:
+            max_counter = max(max_counter, int(suffix))
+        except ValueError:
+            continue
+    context._set_counter = itertools.count(max_counter + 1)

@@ -1,0 +1,67 @@
+"""Byte- and operation-level accounting for the storage substrates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StorageStats:
+    """Mutable counters a store updates on every operation.
+
+    ``simulated_*_s`` accumulate the latency-model time charged by the
+    active :class:`~repro.storage.hardware.HardwareProfile`; the benchmark
+    harness adds them to measured compute time to obtain TTS/TTR.
+    """
+
+    writes: int = 0
+    reads: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    simulated_write_s: float = 0.0
+    simulated_read_s: float = 0.0
+    #: Bytes currently stored, keyed by a caller-chosen category label
+    #: (e.g. "parameters", "metadata", "hash-info") for breakdown reports.
+    bytes_by_category: dict[str, int] = field(default_factory=dict)
+
+    def record_write(self, num_bytes: int, simulated_s: float, category: str) -> None:
+        self.writes += 1
+        self.bytes_written += num_bytes
+        self.simulated_write_s += simulated_s
+        self.bytes_by_category[category] = (
+            self.bytes_by_category.get(category, 0) + num_bytes
+        )
+
+    def record_read(self, num_bytes: int, simulated_s: float) -> None:
+        self.reads += 1
+        self.bytes_read += num_bytes
+        self.simulated_read_s += simulated_s
+
+    def snapshot(self) -> "StorageStats":
+        """Copy of the current counters (for before/after deltas)."""
+        return StorageStats(
+            writes=self.writes,
+            reads=self.reads,
+            bytes_written=self.bytes_written,
+            bytes_read=self.bytes_read,
+            simulated_write_s=self.simulated_write_s,
+            simulated_read_s=self.simulated_read_s,
+            bytes_by_category=dict(self.bytes_by_category),
+        )
+
+    def delta_since(self, earlier: "StorageStats") -> "StorageStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        categories = {
+            key: self.bytes_by_category.get(key, 0)
+            - earlier.bytes_by_category.get(key, 0)
+            for key in set(self.bytes_by_category) | set(earlier.bytes_by_category)
+        }
+        return StorageStats(
+            writes=self.writes - earlier.writes,
+            reads=self.reads - earlier.reads,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            simulated_write_s=self.simulated_write_s - earlier.simulated_write_s,
+            simulated_read_s=self.simulated_read_s - earlier.simulated_read_s,
+            bytes_by_category={k: v for k, v in categories.items() if v},
+        )

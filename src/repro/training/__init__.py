@@ -1,0 +1,29 @@
+"""Deterministic, replayable model training.
+
+The Provenance approach stands or falls with training determinism: saving
+provenance information instead of parameters is only sound if repeating
+the training "based on the provenance information starting from the last
+fully saved model" (§2.2) reproduces the parameters exactly.  This
+package provides:
+
+* :class:`~repro.training.pipeline.TrainingPipeline` — a fully
+  JSON-describable training procedure (loss, optimizer, hyper-parameters,
+  shuffle seed, optional trainable-layer subset) whose ``train`` method is
+  a pure function of (initial parameters, dataset, config),
+* :mod:`~repro.training.environment` — capture of the soft/hardware
+  environment that provenance records (and that MMlib-base redundantly
+  saves per model), and
+* :mod:`~repro.training.seeds` — helpers for derived, collision-free seeds.
+"""
+
+from repro.training.environment import EnvironmentInfo, capture_environment
+from repro.training.pipeline import PipelineConfig, TrainingPipeline
+from repro.training.seeds import derive_seed
+
+__all__ = [
+    "EnvironmentInfo",
+    "PipelineConfig",
+    "TrainingPipeline",
+    "capture_environment",
+    "derive_seed",
+]

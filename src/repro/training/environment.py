@@ -1,0 +1,59 @@
+"""Capture of the training environment.
+
+Provenance information includes "detailed soft and hardware information"
+(§2.2) so a recovered training run can verify it executes in a compatible
+environment.  MMlib-base saves this same record *per model* — one of the
+redundancies (O1/O2) the set-oriented approaches eliminate.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EnvironmentInfo:
+    """Software and hardware description of a training environment."""
+
+    python_version: str
+    numpy_version: str
+    platform: str
+    machine: str
+    processor: str
+    library_version: str
+
+    def to_json(self) -> dict[str, str]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict[str, str]) -> "EnvironmentInfo":
+        return cls(**data)
+
+    def is_compatible_with(self, other: "EnvironmentInfo") -> bool:
+        """Whether deterministic replay across the two environments is safe.
+
+        Bit-exact float32 replay requires matching numpy and Python
+        versions; the hardware fields are informational.
+        """
+        return (
+            self.numpy_version == other.numpy_version
+            and self.python_version == other.python_version
+        )
+
+
+def capture_environment() -> EnvironmentInfo:
+    """Capture the current process's environment."""
+    from repro import __version__
+
+    return EnvironmentInfo(
+        python_version=sys.version.split()[0],
+        numpy_version=np.__version__,
+        platform=platform.platform(),
+        machine=platform.machine(),
+        processor=platform.processor() or "unknown",
+        library_version=__version__,
+    )

@@ -1,0 +1,210 @@
+"""Replayable training pipeline.
+
+A :class:`TrainingPipeline` is fully described by its
+:class:`PipelineConfig` — a JSON-serializable record of loss, optimizer,
+hyper-parameters, shuffle seed, and (for partial updates) the subset of
+trainable layers.  Given the same initial parameters and dataset, ``train``
+produces bit-identical parameters on every invocation, which is the
+determinism contract the Provenance approach depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datasets.base import DataLoader, Dataset
+from repro.errors import ProvenanceReplayError
+from repro.nn import SGD, Adam, CrossEntropyLoss, Loss, MSELoss, Module, Optimizer
+
+_LOSSES = {"mse": MSELoss, "cross-entropy": CrossEntropyLoss}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Complete, serializable description of one training procedure.
+
+    Attributes
+    ----------
+    loss:
+        ``"mse"`` or ``"cross-entropy"``.
+    optimizer:
+        ``"sgd"`` or ``"adam"``.
+    learning_rate, momentum, weight_decay:
+        Optimizer hyper-parameters (momentum only applies to SGD).
+    epochs, batch_size:
+        Training length and batching.
+    shuffle_seed:
+        Seed of the data loader's deterministic shuffling.
+    trainable_layers:
+        Dotted parameter-name prefixes to train; ``None`` trains all
+        layers (a *full* update), a subset yields a *partial* update.
+    """
+
+    loss: str = "mse"
+    optimizer: str = "sgd"
+    learning_rate: float = 0.01
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    epochs: int = 1
+    batch_size: int = 64
+    shuffle_seed: int = 0
+    trainable_layers: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.loss not in _LOSSES:
+            raise ValueError(f"unknown loss {self.loss!r}; known: {sorted(_LOSSES)}")
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.trainable_layers is not None:
+            object.__setattr__(
+                self, "trainable_layers", tuple(self.trainable_layers)
+            )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "loss": self.loss,
+            "optimizer": self.optimizer,
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "shuffle_seed": self.shuffle_seed,
+            "trainable_layers": (
+                list(self.trainable_layers)
+                if self.trainable_layers is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "PipelineConfig":
+        layers = data.get("trainable_layers")
+        return cls(
+            loss=str(data["loss"]),
+            optimizer=str(data["optimizer"]),
+            learning_rate=float(data["learning_rate"]),
+            momentum=float(data.get("momentum", 0.0)),
+            weight_decay=float(data.get("weight_decay", 0.0)),
+            epochs=int(data["epochs"]),
+            batch_size=int(data["batch_size"]),
+            shuffle_seed=int(data["shuffle_seed"]),
+            trainable_layers=tuple(layers) if layers is not None else None,
+        )
+
+    def with_layers(self, layers: tuple[str, ...] | None) -> "PipelineConfig":
+        """Copy of this config with a different trainable-layer subset."""
+        return PipelineConfig(
+            loss=self.loss,
+            optimizer=self.optimizer,
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            shuffle_seed=self.shuffle_seed,
+            trainable_layers=layers,
+        )
+
+
+@dataclass
+class TrainingResult:
+    """Summary of one training run."""
+
+    epochs: int
+    batches: int
+    final_loss: float
+    loss_history: list[float] = field(default_factory=list)
+
+
+class TrainingPipeline:
+    """Executes a :class:`PipelineConfig` deterministically."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def _build_loss(self) -> Loss:
+        return _LOSSES[self.config.loss]()
+
+    def _select_parameters(self, model: Module) -> list:
+        """Parameters matching the trainable-layer prefixes (or all)."""
+        selected_names = self.trainable_parameter_names(model)
+        named = dict(model.named_parameters())
+        return [named[name] for name in selected_names]
+
+    def trainable_parameter_names(self, model: Module) -> list[str]:
+        """Dotted names of the parameters this pipeline will adjust."""
+        all_names = model.layer_names()
+        prefixes = self.config.trainable_layers
+        if prefixes is None:
+            return all_names
+        selected = [
+            name
+            for name in all_names
+            if any(name == p or name.startswith(p + ".") for p in prefixes)
+        ]
+        if not selected:
+            raise ProvenanceReplayError(
+                f"trainable_layers {prefixes!r} match no parameter of the model "
+                f"(parameters: {all_names})"
+            )
+        return selected
+
+    def _build_optimizer(self, model: Module) -> Optimizer:
+        params = self._select_parameters(model)
+        if self.config.optimizer == "sgd":
+            return SGD(
+                params,
+                lr=self.config.learning_rate,
+                momentum=self.config.momentum,
+                weight_decay=self.config.weight_decay,
+            )
+        return Adam(
+            params,
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+
+    def train(self, model: Module, dataset: Dataset) -> TrainingResult:
+        """Train ``model`` in place on ``dataset`` per the config.
+
+        The data loader is constructed fresh with the config's shuffle
+        seed, so repeated calls with identical inputs replay identically.
+        """
+        loader = DataLoader(
+            dataset,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            seed=self.config.shuffle_seed,
+        )
+        loss_fn = self._build_loss()
+        optimizer = self._build_optimizer(model)
+        model.train()
+        history: list[float] = []
+        batches = 0
+        last_loss = float("nan")
+        for _epoch in range(self.config.epochs):
+            epoch_loss = 0.0
+            epoch_batches = 0
+            for inputs, targets in loader:
+                if self.config.loss == "cross-entropy":
+                    targets = targets.reshape(-1)
+                loss_value = loss_fn(model(inputs), targets)
+                model.zero_grad()
+                model.backward(loss_fn.backward())
+                optimizer.step()
+                epoch_loss += loss_value
+                epoch_batches += 1
+                batches += 1
+            last_loss = epoch_loss / max(epoch_batches, 1)
+            history.append(last_loss)
+        model.eval()
+        return TrainingResult(
+            epochs=self.config.epochs,
+            batches=batches,
+            final_loss=last_loss,
+            loss_history=history,
+        )

@@ -1,0 +1,26 @@
+"""Workload generation: the paper's U1/U3 use-case sequence (§4.1, Fig. 2).
+
+A scenario starts with one iteration of U1 (initial save of *n* models)
+followed by iterations of U3 in which a seeded subset of models is fully
+or partially updated.  The generator produces, per use case, the new
+model set plus the :class:`~repro.core.save_info.UpdateInfo` describing
+the cycle's provenance — everything an approach needs to save it.
+"""
+
+from repro.workloads.monitor import (
+    DivergenceSelector,
+    FleetReport,
+    evaluate_fleet,
+)
+from repro.workloads.scenario import MultiModelScenario, ScenarioConfig, UseCase
+from repro.workloads.update_plan import UpdatePlan
+
+__all__ = [
+    "DivergenceSelector",
+    "FleetReport",
+    "MultiModelScenario",
+    "ScenarioConfig",
+    "UpdatePlan",
+    "UseCase",
+    "evaluate_fleet",
+]

@@ -1,0 +1,233 @@
+"""The evaluation scenario: U1 followed by iterations of U3 (Fig. 2).
+
+Two update modes are supported:
+
+* ``train_updates=True`` — every updated model is genuinely re-trained on
+  its referenced dataset with the recorded pipeline.  This is the mode
+  whose saved provenance replays bit-exactly, so it is what the
+  Provenance correctness tests and TTR benches use.  Like the paper
+  (which trains "one model with reduced data per iteration" to keep
+  provenance TTR runs feasible, §4.4), use small model counts here.
+* ``train_updates=False`` — updated layers are perturbed with seeded
+  noise instead of trained.  Parameter *values* are then arbitrary, but
+  the change *pattern* (which models, which layers) is identical, which
+  is all the storage/TTS/TTR benchmarks of MMlib-base, Baseline, and
+  Update depend on.  This keeps 5000-model runs cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.battery.datagen import CellDataConfig
+from repro.core.model_set import ModelSet
+from repro.core.save_info import ModelUpdate, UpdateInfo
+from repro.datasets.battery import battery_dataset_ref
+from repro.datasets.registry import DatasetRef, DatasetRegistry, default_registry
+from repro.training.pipeline import PipelineConfig, TrainingPipeline
+from repro.training.seeds import derive_seed
+from repro.workloads.update_plan import UpdatePlan
+
+#: Builds the dataset reference for (model_index, update_cycle).
+RefFactory = Callable[[int, int], DatasetRef]
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One step of the scenario: a set to save plus its provenance."""
+
+    name: str
+    model_set: ModelSet
+    base_index: int | None
+    update_info: UpdateInfo | None
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters of the evaluation scenario (§4.1 defaults)."""
+
+    num_models: int = 5000
+    architecture: str = "FFNN-48"
+    num_update_cycles: int = 3
+    full_update_fraction: float = 0.05
+    partial_update_fraction: float = 0.05
+    seed: int = 0
+    data: CellDataConfig = field(default_factory=CellDataConfig)
+    train_updates: bool = False
+    #: Sequential-layer prefixes a partial update re-trains (FFNN default:
+    #: the third Linear layer).
+    partial_layers: tuple[str, ...] = ("4",)
+    #: How updated models are chosen: ``"random"`` (seeded sampling, the
+    #: evaluation default) or ``"monitored"`` (measure every model's
+    #: divergence on its fresh cycle data and update the worst — see
+    #: :mod:`repro.workloads.monitor`).
+    selection: str = "random"
+    pipeline: PipelineConfig = field(
+        default_factory=lambda: PipelineConfig(
+            loss="mse",
+            optimizer="sgd",
+            learning_rate=0.01,
+            momentum=0.9,
+            epochs=1,
+            batch_size=128,
+        )
+    )
+    dataset_ref_factory: RefFactory | None = None
+
+    def __post_init__(self) -> None:
+        if self.selection not in ("random", "monitored"):
+            raise ValueError(
+                f"selection must be 'random' or 'monitored', got "
+                f"{self.selection!r}"
+            )
+        if self.num_models <= 0:
+            raise ValueError("num_models must be positive")
+        if self.num_update_cycles < 0:
+            raise ValueError("num_update_cycles must be non-negative")
+
+    def ref_for(self, model_index: int, cycle: int) -> DatasetRef:
+        if self.dataset_ref_factory is not None:
+            return self.dataset_ref_factory(model_index, cycle)
+        return battery_dataset_ref(model_index, cycle, self.data)
+
+    def pipelines_for_cycle(self, cycle: int) -> dict[str, PipelineConfig]:
+        """The cycle's two pipeline variants, with a cycle-derived seed.
+
+        All models within a cycle share the same variants; their training
+        "differs only by the used data" (§3.4 assumption 1).
+        """
+        base = PipelineConfig(
+            loss=self.pipeline.loss,
+            optimizer=self.pipeline.optimizer,
+            learning_rate=self.pipeline.learning_rate,
+            momentum=self.pipeline.momentum,
+            weight_decay=self.pipeline.weight_decay,
+            epochs=self.pipeline.epochs,
+            batch_size=self.pipeline.batch_size,
+            shuffle_seed=derive_seed("pipeline-shuffle", self.seed, cycle),
+            trainable_layers=None,
+        )
+        return {"full": base, "partial": base.with_layers(self.partial_layers)}
+
+
+class MultiModelScenario:
+    """Generates the U1 + U3-1..U3-k sequence of model sets."""
+
+    def __init__(
+        self, config: ScenarioConfig, registry: DatasetRegistry | None = None
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else default_registry()
+
+    # -- building blocks ------------------------------------------------------
+    def initial_set(self) -> ModelSet:
+        """The U1 model set: ``num_models`` independently seeded models."""
+        return ModelSet.build(
+            self.config.architecture, self.config.num_models, seed=self.config.seed
+        )
+
+    def update_plan(
+        self, cycle: int, base_set: ModelSet | None = None
+    ) -> UpdatePlan:
+        """Which models to update this cycle.
+
+        ``"random"`` selection draws the paper's seeded sample;
+        ``"monitored"`` evaluates ``base_set`` (required) on the cycle's
+        fresh data and picks the worst-diverged models.
+        """
+        if self.config.selection == "monitored":
+            if base_set is None:
+                raise ValueError("monitored selection needs the current model set")
+            from repro.workloads.monitor import DivergenceSelector, evaluate_fleet
+
+            report = evaluate_fleet(base_set, cycle, self.config.data)
+            selector = DivergenceSelector(
+                full_fraction=self.config.full_update_fraction,
+                partial_fraction=self.config.partial_update_fraction,
+            )
+            return selector.select(report)
+        return UpdatePlan.sample(
+            self.config.num_models,
+            self.config.full_update_fraction,
+            self.config.partial_update_fraction,
+            self.config.seed,
+            cycle,
+        )
+
+    def update_cycle(
+        self, base_set: ModelSet, cycle: int
+    ) -> tuple[ModelSet, UpdateInfo]:
+        """Apply one U3 iteration to ``base_set``.
+
+        Returns the derived set and the provenance of the cycle.  The
+        returned :class:`UpdateInfo` is valid for the Provenance approach
+        only in trained mode.
+        """
+        plan = self.update_plan(cycle, base_set)
+        pipelines = self.config.pipelines_for_cycle(cycle)
+        derived = base_set.copy()
+        updates: list[ModelUpdate] = []
+        for kind, indices in (
+            ("full", plan.full_indices),
+            ("partial", plan.partial_indices),
+        ):
+            pipeline_config = pipelines[kind]
+            for model_index in indices:
+                ref = self.config.ref_for(model_index, cycle)
+                if self.config.train_updates:
+                    self._train_model(derived, model_index, pipeline_config, ref)
+                else:
+                    self._perturb_model(derived, model_index, pipeline_config, cycle)
+                updates.append(
+                    ModelUpdate(
+                        model_index=model_index, dataset_ref=ref, pipeline_key=kind
+                    )
+                )
+        return derived, UpdateInfo(pipelines=pipelines, updates=tuple(updates))
+
+    def _train_model(
+        self,
+        model_set: ModelSet,
+        model_index: int,
+        pipeline_config: PipelineConfig,
+        ref: DatasetRef,
+    ) -> None:
+        model = model_set.build_model(model_index)
+        dataset = self.registry.resolve(ref)
+        TrainingPipeline(pipeline_config).train(model, dataset)
+        model_set.states[model_index] = model.state_dict()
+
+    def _perturb_model(
+        self,
+        model_set: ModelSet,
+        model_index: int,
+        pipeline_config: PipelineConfig,
+        cycle: int,
+    ) -> None:
+        """Synthetic update: seeded noise on exactly the trainable layers."""
+        model = model_set.build_model(model_index)
+        trainable = set(
+            TrainingPipeline(pipeline_config).trainable_parameter_names(model)
+        )
+        rng = np.random.default_rng(
+            derive_seed("synthetic-update", self.config.seed, cycle, model_index)
+        )
+        state = model_set.state(model_index)
+        for name in state:
+            if name in trainable:
+                noise = rng.normal(0.0, 0.01, size=state[name].shape)
+                state[name] = (state[name] + noise).astype(np.float32)
+
+    # -- the full sequence ------------------------------------------------------
+    def use_cases(self) -> Iterator[UseCase]:
+        """Yield U1, U3-1, ..., U3-k in order."""
+        current = self.initial_set()
+        yield UseCase("U1", current, base_index=None, update_info=None)
+        for cycle in range(1, self.config.num_update_cycles + 1):
+            current, info = self.update_cycle(current, cycle)
+            yield UseCase(
+                f"U3-{cycle}", current, base_index=cycle - 1, update_info=info
+            )

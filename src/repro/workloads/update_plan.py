@@ -1,0 +1,62 @@
+"""Sampling which models get updated, and how, in one update cycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidUpdatePlanError
+from repro.training.seeds import derive_seed
+
+
+@dataclass(frozen=True)
+class UpdatePlan:
+    """Disjoint sets of fully and partially updated model indices."""
+
+    full_indices: tuple[int, ...]
+    partial_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.full_indices) & set(self.partial_indices)
+        if overlap:
+            raise InvalidUpdatePlanError(
+                f"models cannot be both fully and partially updated: {sorted(overlap)}"
+            )
+
+    @property
+    def num_updated(self) -> int:
+        return len(self.full_indices) + len(self.partial_indices)
+
+    @classmethod
+    def sample(
+        cls,
+        num_models: int,
+        full_fraction: float,
+        partial_fraction: float,
+        seed: int,
+        cycle: int,
+    ) -> "UpdatePlan":
+        """Draw the paper's update plan for one cycle.
+
+        "We assume that for 5% of all models, a partial update of the
+        parameters is necessary, and for another 5%, a full update"
+        (§4.1) — i.e. two disjoint seeded samples.  Counts are rounded to
+        the nearest integer of ``fraction * num_models``.
+        """
+        if num_models <= 0:
+            raise InvalidUpdatePlanError("num_models must be positive")
+        if full_fraction < 0 or partial_fraction < 0:
+            raise InvalidUpdatePlanError("update fractions must be non-negative")
+        if full_fraction + partial_fraction > 1.0:
+            raise InvalidUpdatePlanError(
+                "full and partial fractions may not exceed 1.0 combined"
+            )
+        num_full = round(num_models * full_fraction)
+        num_partial = round(num_models * partial_fraction)
+        rng = np.random.default_rng(derive_seed("update-plan", seed, cycle))
+        chosen = rng.choice(num_models, size=num_full + num_partial, replace=False)
+        return cls(
+            full_indices=tuple(int(i) for i in sorted(chosen[:num_full])),
+            partial_indices=tuple(int(i) for i in sorted(chosen[num_full:])),
+        )

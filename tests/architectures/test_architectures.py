@@ -1,0 +1,117 @@
+"""Tests for the model architectures and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.architectures import (
+    CIFAR_NUM_PARAMETERS,
+    FFNN48_NUM_PARAMETERS,
+    FFNN69_NUM_PARAMETERS,
+    build_cifar_cnn,
+    build_ffnn,
+    build_ffnn48,
+    build_ffnn69,
+    get_architecture,
+    list_architectures,
+    register_architecture,
+)
+from repro.architectures.cifar import CIFAR_INPUT_SHAPE, CIFAR_NUM_CLASSES
+from repro.architectures.ffnn import FFNN_INPUT_FEATURES, FFNN_OUTPUT_FEATURES
+from repro.errors import UnknownArchitectureError
+
+
+class TestFFNN:
+    def test_ffnn48_parameter_count_matches_paper(self):
+        assert build_ffnn48().num_parameters() == FFNN48_NUM_PARAMETERS == 4_993
+
+    def test_ffnn69_parameter_count_matches_paper(self):
+        assert build_ffnn69().num_parameters() == FFNN69_NUM_PARAMETERS == 10_075
+
+    def test_identical_layer_structure_except_widths(self):
+        # "FFNN-69 is, except for the number of parameters per layer,
+        # identical to FFNN-48" (§4.1).
+        names48 = build_ffnn48().layer_names()
+        names69 = build_ffnn69().layer_names()
+        assert names48 == names69
+
+    def test_forward_shape(self, rng):
+        model = build_ffnn48(rng=rng)
+        out = model(rng.normal(size=(7, FFNN_INPUT_FEATURES)).astype(np.float32))
+        assert out.shape == (7, FFNN_OUTPUT_FEATURES)
+
+    def test_seeded_construction_is_deterministic(self):
+        a = build_ffnn48(rng=np.random.default_rng(3)).state_dict()
+        b = build_ffnn48(rng=np.random.default_rng(3)).state_dict()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_different_seeds_give_different_models(self):
+        a = build_ffnn48(rng=np.random.default_rng(1)).state_dict()
+        b = build_ffnn48(rng=np.random.default_rng(2)).state_dict()
+        assert any(not np.array_equal(a[k], b[k]) for k in a)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            build_ffnn(0)
+
+    def test_trainable_end_to_end(self, rng):
+        from repro.nn import MSELoss, SGD
+
+        model = build_ffnn48(rng=rng)
+        x = rng.normal(size=(32, 4)).astype(np.float32)
+        y = rng.normal(size=(32, 1)).astype(np.float32)
+        loss = MSELoss()
+        optimizer = SGD(model, lr=0.05, momentum=0.9)
+        first = loss(model(x), y)
+        for _ in range(50):
+            value = loss(model(x), y)
+            model.zero_grad()
+            model.backward(loss.backward())
+            optimizer.step()
+        assert value < first * 0.5
+
+
+class TestCifarCNN:
+    def test_parameter_count_matches_paper(self):
+        assert build_cifar_cnn().num_parameters() == CIFAR_NUM_PARAMETERS == 6_882
+
+    def test_forward_shape(self, rng):
+        model = build_cifar_cnn(rng=rng)
+        out = model(rng.normal(size=(3, *CIFAR_INPUT_SHAPE)).astype(np.float32))
+        assert out.shape == (3, CIFAR_NUM_CLASSES)
+
+    def test_backward_runs(self, rng):
+        model = build_cifar_cnn(rng=rng)
+        out = model(rng.normal(size=(2, *CIFAR_INPUT_SHAPE)).astype(np.float32))
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == (2, *CIFAR_INPUT_SHAPE)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"FFNN-48", "FFNN-69", "CIFAR"} <= set(list_architectures())
+
+    def test_get_returns_spec_with_counts(self):
+        spec = get_architecture("FFNN-48")
+        assert spec.num_parameters == 4_993
+        assert "Sequential" in spec.source_code
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownArchitectureError):
+            get_architecture("resnet-152")
+
+    def test_build_accepts_seed(self):
+        spec = get_architecture("CIFAR")
+        a = spec.build(rng=np.random.default_rng(0)).state_dict()
+        b = spec.build(rng=np.random.default_rng(0)).state_dict()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_register_custom_architecture(self):
+        from repro.nn import Linear, Sequential
+
+        def build_tiny(rng=None):
+            return Sequential(Linear(2, 1, rng=rng))
+
+        register_architecture("tiny-test", build_tiny, "test-only")
+        spec = get_architecture("tiny-test")
+        assert spec.num_parameters == 3
+        assert spec.description == "test-only"

@@ -1,0 +1,60 @@
+"""Tests for the SoH aging schedule."""
+
+import pytest
+
+from repro.battery.aging import END_OF_LIFE_SOH, AgingSchedule
+
+
+class TestAgingSchedule:
+    def test_initial_cycle_is_initial_soh(self):
+        schedule = AgingSchedule(num_cells=10, initial_soh=0.98)
+        assert all(schedule.soh_at(cell, 0) == 0.98 for cell in range(10))
+
+    def test_soh_decreases_monotonically(self):
+        schedule = AgingSchedule(num_cells=5, seed=1)
+        for cell in range(5):
+            values = [schedule.soh_at(cell, cycle) for cycle in range(10)]
+            assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_per_cell_rates_differ(self):
+        schedule = AgingSchedule(num_cells=50, seed=0)
+        at_ten = {round(schedule.soh_at(cell, 10), 6) for cell in range(50)}
+        assert len(at_ten) > 10  # "different aging trends" (§4.1)
+
+    def test_deterministic_per_seed(self):
+        a = AgingSchedule(num_cells=8, seed=3)
+        b = AgingSchedule(num_cells=8, seed=3)
+        assert all(a.soh_at(c, 5) == b.soh_at(c, 5) for c in range(8))
+
+    def test_rate_independent_of_population_size(self):
+        # Cell i's trajectory must not change when the schedule covers
+        # more cells (datasets are resolved with per-cell schedules).
+        small = AgingSchedule(num_cells=3, seed=7)
+        large = AgingSchedule(num_cells=100, seed=7)
+        for cell in range(3):
+            assert small.soh_at(cell, 4) == large.soh_at(cell, 4)
+
+    def test_floor_prevents_nonpositive_soh(self):
+        schedule = AgingSchedule(num_cells=1, seed=0, mean_decrement=0.5)
+        assert schedule.soh_at(0, 1000) == pytest.approx(0.05)
+
+    def test_end_of_life_detection(self):
+        schedule = AgingSchedule(num_cells=10, seed=0, mean_decrement=0.05)
+        none_dead = schedule.cells_past_end_of_life(0)
+        all_dead = schedule.cells_past_end_of_life(100)
+        assert none_dead == []
+        assert all_dead == list(range(10))
+        assert END_OF_LIFE_SOH == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingSchedule(num_cells=0)
+        with pytest.raises(ValueError):
+            AgingSchedule(num_cells=1, initial_soh=1.5)
+        with pytest.raises(ValueError):
+            AgingSchedule(num_cells=1, mean_decrement=-0.1)
+        schedule = AgingSchedule(num_cells=2)
+        with pytest.raises(IndexError):
+            schedule.soh_at(2, 0)
+        with pytest.raises(ValueError):
+            schedule.soh_at(0, -1)

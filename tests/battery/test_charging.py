@@ -1,0 +1,62 @@
+"""Tests for CC-CV charging profiles and charging physics."""
+
+import numpy as np
+import pytest
+
+from repro.battery.drive_cycles import generate_charge_profile
+from repro.battery.ecm import SecondOrderECM
+
+
+class TestChargeProfile:
+    def test_entirely_charging_current(self):
+        profile = generate_charge_profile(seed=0, duration_s=600)
+        assert profile.shape == (600,)
+        assert np.all(profile < 0.1)  # charging (allowing ripple near taper end)
+        assert profile[:300].mean() < -2.0  # CC phase near -2.5 A
+
+    def test_cc_phase_constant_then_tapers(self):
+        profile = generate_charge_profile(
+            seed=0, duration_s=1000, cc_current_a=3.0, cv_voltage_fraction=0.6
+        )
+        cc = -profile[:600]
+        cv = -profile[600:]
+        assert cc.std() < 0.1  # flat apart from ripple
+        assert cv[-1] < cc.mean() * 0.6  # tapered well below CC level
+
+    def test_deterministic(self):
+        a = generate_charge_profile(seed=5)
+        b = generate_charge_profile(seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_charge_profile(seed=0, duration_s=10)
+        with pytest.raises(ValueError):
+            generate_charge_profile(seed=0, cc_current_a=0.0)
+        with pytest.raises(ValueError):
+            generate_charge_profile(seed=0, cv_voltage_fraction=1.0)
+
+
+class TestChargingPhysics:
+    def test_charging_raises_soc_and_voltage(self):
+        ecm = SecondOrderECM()
+        profile = generate_charge_profile(seed=0, duration_s=1800)
+        result = ecm.simulate(profile, initial_soc=0.3)
+        assert result.soc[-1] > 0.3
+        # Terminal voltage above OCV while charging (reverse IR drop).
+        from repro.battery.ecm import open_circuit_voltage
+
+        assert result.voltage[100] > float(open_circuit_voltage(result.soc[100]))
+
+    def test_full_day_cycle_drive_then_charge(self):
+        from repro.battery.drive_cycles import generate_drive_cycle
+
+        ecm = SecondOrderECM()
+        drive = generate_drive_cycle(0, seed=1, duration_s=1800).current_a
+        charge = generate_charge_profile(seed=1, duration_s=2400)
+        day = np.concatenate([drive, charge])
+        result = ecm.simulate(day, initial_soc=0.8)
+        lowest = result.soc[: len(drive)].min()
+        assert result.soc[len(drive) - 1] < 0.8  # drained while driving
+        assert result.soc[-1] > result.soc[len(drive) - 1]  # recharged
+        assert result.soc[-1] > lowest

@@ -1,0 +1,79 @@
+"""Tests for per-cell training-data generation."""
+
+import numpy as np
+import pytest
+
+from repro.battery.datagen import (
+    FEATURE_NAMES,
+    CellDataConfig,
+    generate_cell_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CellDataConfig(seed=3, samples_per_cell=200, cycle_duration_s=200)
+
+
+@pytest.fixture(scope="module")
+def aging(config):
+    return config.aging_schedule(num_cells=10)
+
+
+class TestGenerateCellSamples:
+    def test_shapes(self, config, aging):
+        features, targets = generate_cell_samples(0, 0, config, aging)
+        assert features.shape == (200, len(FEATURE_NAMES))
+        assert targets.shape == (200, 1)
+        assert features.dtype == np.float32
+        assert targets.dtype == np.float32
+
+    def test_pure_function_of_arguments(self, config, aging):
+        a = generate_cell_samples(2, 1, config, aging)
+        b = generate_cell_samples(2, 1, config, aging)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_cells_get_different_data(self, config, aging):
+        a = generate_cell_samples(0, 0, config, aging)
+        b = generate_cell_samples(1, 0, config, aging)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_cycles_get_different_data(self, config, aging):
+        # "we corrupt the data ... to prevent models from training with
+        # equal data" (§4.1) — and SoH decrements change the physics too.
+        a = generate_cell_samples(0, 0, config, aging)
+        b = generate_cell_samples(0, 1, config, aging)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_voltage_in_physical_range(self, config, aging):
+        _features, targets = generate_cell_samples(0, 0, config, aging)
+        assert targets.min() > 2.0
+        assert targets.max() < 4.5
+
+    def test_aged_cell_shows_lower_voltage(self):
+        # Same cell, same update cycle (hence identical drive-cycle
+        # excitation), but a heavily aged vs. non-aging schedule: the aged
+        # cell's higher resistance and lower capacity depress the voltage.
+        base = dict(seed=3, samples_per_cell=400, cycle_duration_s=400)
+        fresh_config = CellDataConfig(mean_soh_decrement=0.0, **base)
+        aged_config = CellDataConfig(mean_soh_decrement=0.03, **base)
+        fresh_aging = fresh_config.aging_schedule(num_cells=1)
+        aged_aging = aged_config.aging_schedule(num_cells=1)
+        _f, fresh_v = generate_cell_samples(0, 8, fresh_config, fresh_aging)
+        _f, aged_v = generate_cell_samples(0, 8, aged_config, aged_aging)
+        assert aged_aging.soh_at(0, 8) < 0.9
+        assert aged_v.mean() < fresh_v.mean()
+
+    def test_rejects_nonpositive_samples(self, aging):
+        bad = CellDataConfig(samples_per_cell=0)
+        with pytest.raises(ValueError):
+            generate_cell_samples(0, 0, bad, aging)
+
+    def test_feature_channels_are_plausible(self, config, aging):
+        features, _targets = generate_cell_samples(0, 0, config, aging)
+        current, temperature, charge, soc = features.T
+        assert current.max() < 12.0
+        assert 15.0 < temperature.mean() < 45.0
+        assert np.all(charge >= -0.2)
+        assert np.all((soc >= -0.05) & (soc <= 1.05))

@@ -1,0 +1,69 @@
+"""Tests for synthetic drive-cycle generation."""
+
+import numpy as np
+import pytest
+
+from repro.battery.drive_cycles import (
+    DriveCycle,
+    generate_drive_cycle,
+    iter_drive_cycles,
+)
+
+
+class TestGenerateDriveCycle:
+    def test_requested_duration(self):
+        cycle = generate_drive_cycle(0, seed=1, duration_s=900)
+        assert cycle.duration_s == 900
+
+    def test_deterministic_per_seed_and_id(self):
+        a = generate_drive_cycle(3, seed=42)
+        b = generate_drive_cycle(3, seed=42)
+        assert np.array_equal(a.current_a, b.current_a)
+
+    def test_different_ids_differ(self):
+        a = generate_drive_cycle(0, seed=42)
+        b = generate_drive_cycle(1, seed=42)
+        assert not np.array_equal(a.current_a, b.current_a)
+
+    def test_different_seeds_differ(self):
+        a = generate_drive_cycle(0, seed=1)
+        b = generate_drive_cycle(0, seed=2)
+        assert not np.array_equal(a.current_a, b.current_a)
+
+    def test_mostly_discharge_with_some_regen(self):
+        cycle = generate_drive_cycle(0, seed=0, duration_s=3600)
+        positive = np.sum(cycle.current_a > 0)
+        negative = np.sum(cycle.current_a < 0)
+        assert positive > negative  # driving dominates braking
+        assert negative > 0  # regenerative braking occurs
+
+    def test_contains_stops(self):
+        cycle = generate_drive_cycle(0, seed=0, duration_s=3600)
+        assert np.sum(cycle.current_a == 0.0) > 10
+
+    def test_realistic_cell_current_magnitudes(self):
+        cycle = generate_drive_cycle(0, seed=0, duration_s=3600)
+        assert cycle.current_a.max() < 10.0
+        assert cycle.current_a.min() > -5.0
+        assert 0.2 < cycle.mean_current_a < 4.0
+
+    def test_rejects_too_short_duration(self):
+        with pytest.raises(ValueError):
+            generate_drive_cycle(0, seed=0, duration_s=10)
+
+    def test_provenance_fields(self):
+        cycle = generate_drive_cycle(7, seed=9)
+        assert cycle.cycle_id == 7
+        assert cycle.seed == 9
+
+
+class TestIterDriveCycles:
+    def test_yields_requested_count(self):
+        cycles = list(iter_drive_cycles(5, seed=0, duration_s=120))
+        assert len(cycles) == 5
+        assert all(isinstance(c, DriveCycle) for c in cycles)
+        assert [c.cycle_id for c in cycles] == [0, 1, 2, 3, 4]
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            list(iter_drive_cycles(-1, seed=0))

@@ -1,0 +1,121 @@
+"""Tests for the second-order equivalent circuit model."""
+
+import numpy as np
+import pytest
+
+from repro.battery.ecm import (
+    CellParameters,
+    SecondOrderECM,
+    open_circuit_voltage,
+)
+
+
+class TestOpenCircuitVoltage:
+    def test_monotonically_increasing_in_soc(self):
+        soc = np.linspace(0, 1, 101)
+        ocv = open_circuit_voltage(soc)
+        assert np.all(np.diff(ocv) >= 0)
+
+    def test_range_matches_nmc_cell(self):
+        assert open_circuit_voltage(0.0) == pytest.approx(3.0)
+        assert open_circuit_voltage(1.0) == pytest.approx(4.2)
+
+
+class TestCellParameters:
+    def test_perturbed_stays_within_spread(self):
+        base = CellParameters()
+        jittered = base.perturbed(np.random.default_rng(0), spread=0.05)
+        assert abs(jittered.capacity_ah - base.capacity_ah) <= 0.05 * base.capacity_ah
+        assert abs(jittered.r0_ohm - base.r0_ohm) <= 0.05 * base.r0_ohm
+
+    def test_perturbed_is_deterministic(self):
+        base = CellParameters()
+        a = base.perturbed(np.random.default_rng(5))
+        b = base.perturbed(np.random.default_rng(5))
+        assert a == b
+
+    def test_aging_reduces_capacity_and_raises_resistance(self):
+        base = CellParameters()
+        aged = base.aged(0.8)
+        assert aged.capacity_ah == pytest.approx(base.capacity_ah * 0.8)
+        assert aged.r0_ohm == pytest.approx(base.r0_ohm / 0.8)
+
+    def test_aged_rejects_invalid_soh(self):
+        with pytest.raises(ValueError):
+            CellParameters().aged(0.0)
+        with pytest.raises(ValueError):
+            CellParameters().aged(1.5)
+
+
+class TestSimulation:
+    def test_output_lengths_match_input(self):
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.ones(100))
+        for series in (
+            result.voltage,
+            result.temperature_c,
+            result.charge_ah,
+            result.soc,
+        ):
+            assert series.shape == (100,)
+
+    def test_discharge_reduces_soc_and_charge(self):
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.full(600, 2.0), initial_soc=0.9)
+        assert result.soc[-1] < 0.9
+        assert np.all(np.diff(result.soc) <= 1e-12)
+        assert result.charge_ah[-1] < result.charge_ah[0]
+
+    def test_charging_current_raises_soc(self):
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.full(600, -2.0), initial_soc=0.5)
+        assert result.soc[-1] > 0.5
+
+    def test_terminal_voltage_sags_under_load(self):
+        ecm = SecondOrderECM()
+        rest = ecm.simulate(np.zeros(10), initial_soc=0.8)
+        load = ecm.simulate(np.full(10, 5.0), initial_soc=0.8)
+        assert load.voltage[0] < rest.voltage[0]
+
+    def test_temperature_rises_under_sustained_load(self):
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.full(1800, 4.0))
+        assert result.temperature_c[-1] > result.temperature_c[0] + 1.0
+
+    def test_temperature_relaxes_to_ambient_at_rest(self):
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.zeros(3600), initial_temp_c=40.0)
+        ambient = ecm.parameters.ambient_temp_c
+        assert abs(result.temperature_c[-1] - ambient) < abs(40.0 - ambient)
+
+    def test_aged_cell_sags_more(self):
+        current = np.full(60, 3.0)
+        fresh = SecondOrderECM(soh=1.0).simulate(current, initial_soc=0.8)
+        aged = SecondOrderECM(soh=0.8).simulate(current, initial_soc=0.8)
+        assert aged.voltage.mean() < fresh.voltage.mean()
+
+    def test_soc_clamped_to_unit_interval(self):
+        ecm = SecondOrderECM()
+        # Massive discharge would push SoC below zero without clamping.
+        result = ecm.simulate(np.full(7200, 10.0), initial_soc=0.2)
+        assert np.all((result.soc >= 0.0) & (result.soc <= 1.0))
+
+    def test_deterministic(self):
+        current = np.sin(np.linspace(0, 10, 500)) * 2 + 2
+        a = SecondOrderECM().simulate(current)
+        b = SecondOrderECM().simulate(current)
+        assert np.array_equal(a.voltage, b.voltage)
+
+    def test_rejects_bad_arguments(self):
+        ecm = SecondOrderECM()
+        with pytest.raises(ValueError):
+            ecm.simulate(np.ones(10), dt_s=0.0)
+        with pytest.raises(ValueError):
+            ecm.simulate(np.ones(10), initial_soc=1.5)
+
+    def test_rc_polarization_builds_up(self):
+        # Under a current step, the RC branches make voltage keep sagging
+        # after the instantaneous IR drop.
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.full(300, 3.0), initial_soc=0.8)
+        assert result.voltage[120] < result.voltage[1]

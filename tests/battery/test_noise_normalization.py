@@ -1,0 +1,76 @@
+"""Tests for measurement noise and feature normalization."""
+
+import numpy as np
+import pytest
+
+from repro.battery.noise import add_measurement_noise
+from repro.battery.normalization import FeatureScaler
+
+
+class TestMeasurementNoise:
+    def test_changes_values_but_preserves_shape(self, rng):
+        features = np.zeros((50, 3))
+        noisy = add_measurement_noise(features, rng, sigma=[0.1, 0.1, 0.1])
+        assert noisy.shape == features.shape
+        assert not np.array_equal(noisy, features)
+
+    def test_noise_magnitude_matches_sigma(self):
+        rng = np.random.default_rng(0)
+        features = np.zeros((100_000, 2))
+        noisy = add_measurement_noise(features, rng, sigma=[0.5, 2.0])
+        assert np.isclose(noisy[:, 0].std(), 0.5, rtol=0.05)
+        assert np.isclose(noisy[:, 1].std(), 2.0, rtol=0.05)
+
+    def test_deterministic_per_seed(self):
+        features = np.ones((10, 2))
+        a = add_measurement_noise(features, np.random.default_rng(4), sigma=0.1)
+        b = add_measurement_noise(features, np.random.default_rng(4), sigma=0.1)
+        assert np.array_equal(a, b)
+
+    def test_default_sigma_scales_with_channel_std(self):
+        rng = np.random.default_rng(0)
+        features = np.column_stack(
+            [np.linspace(0, 1, 1000), np.linspace(0, 100, 1000)]
+        )
+        noisy = add_measurement_noise(features, rng)
+        deltas = noisy - features
+        assert deltas[:, 1].std() > deltas[:, 0].std() * 10
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            add_measurement_noise(np.zeros(5), rng)
+        with pytest.raises(ValueError):
+            add_measurement_noise(np.zeros((5, 2)), rng, sigma=[1.0, 1.0, 1.0])
+
+
+class TestFeatureScaler:
+    def test_transform_standardizes(self, rng):
+        features = rng.normal(5.0, 3.0, size=(1000, 4))
+        scaler = FeatureScaler.fit(features)
+        scaled = scaler.transform(features)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_transform_roundtrips(self, rng):
+        features = rng.normal(size=(100, 3)) * 7 + 2
+        scaler = FeatureScaler.fit(features)
+        assert np.allclose(
+            scaler.inverse_transform(scaler.transform(features)), features
+        )
+
+    def test_constant_channel_gets_unit_std(self):
+        features = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaler = FeatureScaler.fit(features)
+        assert scaler.std[0] == 1.0
+        scaled = scaler.transform(features)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_json_roundtrip(self, rng):
+        scaler = FeatureScaler.fit(rng.normal(size=(50, 2)))
+        restored = FeatureScaler.from_json(scaler.to_json())
+        assert np.allclose(restored.mean, scaler.mean)
+        assert np.allclose(restored.std, scaler.std)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            FeatureScaler.fit(np.zeros(10))

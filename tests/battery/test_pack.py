@@ -1,0 +1,143 @@
+"""Tests for the battery-pack simulation."""
+
+import numpy as np
+import pytest
+
+from repro.battery.drive_cycles import generate_drive_cycle
+from repro.battery.pack import BatteryPack, PackConfig
+
+
+@pytest.fixture(scope="module")
+def small_pack():
+    return BatteryPack(PackConfig(series_groups=3, parallel_cells=2, seed=0))
+
+
+@pytest.fixture(scope="module")
+def telemetry(small_pack):
+    current = generate_drive_cycle(0, seed=1, duration_s=120).current_a
+    return small_pack.simulate(current * small_pack.config.parallel_cells)
+
+
+class TestPackConfig:
+    def test_num_cells(self):
+        assert PackConfig(series_groups=96, parallel_cells=4).num_cells == 384
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PackConfig(series_groups=0)
+        with pytest.raises(ValueError):
+            PackConfig(parallel_cells=-1)
+        with pytest.raises(ValueError):
+            PackConfig(parameter_spread=1.0)
+
+
+class TestConstruction:
+    def test_cells_are_perturbed_individually(self, small_pack):
+        params = [small_pack.cell_parameters(i) for i in range(small_pack.num_cells)]
+        capacities = {round(p.capacity_ah, 6) for p in params}
+        assert len(capacities) == small_pack.num_cells
+
+    def test_deterministic_per_seed(self):
+        config = PackConfig(series_groups=2, parallel_cells=2, seed=7)
+        a = BatteryPack(config).cell_parameters(3)
+        b = BatteryPack(config).cell_parameters(3)
+        assert a == b
+
+    def test_per_cell_soh_applied(self):
+        config = PackConfig(series_groups=1, parallel_cells=2, seed=0)
+        soh = [1.0, 0.8]
+        pack = BatteryPack(config, soh_per_cell=soh)
+        fresh = BatteryPack(config)
+        assert pack.cell_parameters(1).capacity_ah == pytest.approx(
+            fresh.cell_parameters(1).capacity_ah * 0.8
+        )
+
+    def test_soh_validation(self):
+        config = PackConfig(series_groups=1, parallel_cells=2)
+        with pytest.raises(ValueError):
+            BatteryPack(config, soh_per_cell=[1.0])
+        with pytest.raises(ValueError):
+            BatteryPack(config, soh_per_cell=[1.0, 1.5])
+
+
+class TestSimulation:
+    def test_telemetry_shapes(self, small_pack, telemetry):
+        assert telemetry.current_a.shape == (120, small_pack.num_cells)
+        assert telemetry.pack_voltage.shape == (120,)
+
+    def test_current_conservation_per_group(self, small_pack, telemetry):
+        parallel = small_pack.config.parallel_cells
+        pack_current = telemetry.current_a[:, :parallel].sum(axis=1)
+        for group in range(1, small_pack.config.series_groups):
+            start = group * parallel
+            group_current = telemetry.current_a[:, start : start + parallel].sum(
+                axis=1
+            )
+            assert np.allclose(group_current, pack_current, atol=1e-9)
+
+    def test_pack_voltage_is_sum_of_group_voltages(self, small_pack, telemetry):
+        # Series string: pack voltage ~ groups x single-cell voltage.
+        per_group = telemetry.pack_voltage / small_pack.config.series_groups
+        assert np.all((per_group > 2.0) & (per_group < 4.5))
+
+    def test_weak_cell_carries_less_current(self):
+        config = PackConfig(series_groups=1, parallel_cells=2, seed=0,
+                            parameter_spread=0.0)
+        pack = BatteryPack(config, soh_per_cell=[1.0, 0.7])
+        current = np.full(300, 6.0)
+        telemetry = pack.simulate(current)
+        healthy = telemetry.current_a[:, 0].mean()
+        weak = telemetry.current_a[:, 1].mean()
+        assert weak < healthy
+
+    def test_weak_cell_sits_at_lower_soc_under_load(self):
+        config = PackConfig(series_groups=1, parallel_cells=2, seed=0,
+                            parameter_spread=0.0)
+        pack = BatteryPack(config, soh_per_cell=[1.0, 0.7])
+        telemetry = pack.simulate(np.full(1800, 5.0))
+        # Lower capacity drains faster even at reduced current share.
+        assert telemetry.soc[-1, 1] < telemetry.soc[-1, 0]
+
+    def test_deterministic(self):
+        config = PackConfig(series_groups=2, parallel_cells=2, seed=3)
+        current = np.full(60, 4.0)
+        a = BatteryPack(config).simulate(current)
+        b = BatteryPack(config).simulate(current)
+        assert np.array_equal(a.voltage, b.voltage)
+        assert np.array_equal(a.current_a, b.current_a)
+
+    def test_cell_accessor(self, telemetry):
+        channels = telemetry.cell(0)
+        assert set(channels) == {
+            "current_a", "voltage", "temperature_c", "charge_ah", "soc"
+        }
+        assert channels["voltage"].shape == (120,)
+
+    def test_rejects_bad_dt(self, small_pack):
+        with pytest.raises(ValueError):
+            small_pack.simulate(np.ones(10), dt_s=0.0)
+
+
+class TestImbalanceReport:
+    def test_homogeneous_fresh_pack_is_balanced(self):
+        config = PackConfig(series_groups=2, parallel_cells=3, seed=0,
+                            parameter_spread=0.0)
+        pack = BatteryPack(config)
+        telemetry = pack.simulate(np.full(120, 6.0))
+        report = pack.imbalance_report(telemetry)
+        assert report["current_spread"] < 1e-9
+        assert report["soc_spread"] < 1e-9
+
+    def test_spread_grows_with_inhomogeneity(self):
+        current = np.full(300, 6.0)
+        tight = BatteryPack(
+            PackConfig(series_groups=2, parallel_cells=3, seed=0,
+                       parameter_spread=0.01)
+        )
+        loose = BatteryPack(
+            PackConfig(series_groups=2, parallel_cells=3, seed=0,
+                       parameter_spread=0.10)
+        )
+        tight_report = tight.imbalance_report(tight.simulate(current))
+        loose_report = loose.imbalance_report(loose.simulate(current))
+        assert loose_report["current_spread"] > tight_report["current_spread"]

@@ -1,0 +1,129 @@
+"""Physics-consistency tests for the battery substrate.
+
+These pin down quantitative behaviours (energy bookkeeping, time-step
+robustness, pack-vs-single-cell consistency) rather than interfaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.battery.ecm import CellParameters, SecondOrderECM, open_circuit_voltage
+from repro.battery.pack import BatteryPack, PackConfig
+
+
+class TestCoulombCounting:
+    def test_discharged_charge_matches_integral(self):
+        ecm = SecondOrderECM()
+        amps, seconds = 2.0, 1800
+        result = ecm.simulate(np.full(seconds, amps), initial_soc=0.9)
+        expected_ah = amps * seconds / 3600.0
+        actual_ah = result.charge_ah[0] - result.charge_ah[-1]
+        # First step already subtracts one dt of charge; tolerance covers it.
+        assert actual_ah == pytest.approx(expected_ah, rel=0.01)
+
+    def test_charge_discharge_cycle_returns_to_soc(self):
+        ecm = SecondOrderECM()
+        current = np.concatenate([np.full(600, 2.0), np.full(600, -2.0)])
+        result = ecm.simulate(current, initial_soc=0.5)
+        assert result.soc[-1] == pytest.approx(0.5, abs=1e-6)
+
+    def test_smaller_capacity_drains_faster(self):
+        small = SecondOrderECM(CellParameters(capacity_ah=1.5))
+        large = SecondOrderECM(CellParameters(capacity_ah=3.0))
+        current = np.full(1200, 2.0)
+        soc_small = small.simulate(current, initial_soc=0.9).soc[-1]
+        soc_large = large.simulate(current, initial_soc=0.9).soc[-1]
+        assert soc_small < soc_large
+
+
+class TestVoltagePhysics:
+    def test_ir_drop_proportional_to_current(self):
+        ecm = SecondOrderECM()
+        v1 = ecm.simulate(np.array([1.0]), initial_soc=0.8).voltage[0]
+        v2 = ecm.simulate(np.array([2.0]), initial_soc=0.8).voltage[0]
+        ocv = float(open_circuit_voltage(0.8))
+        # Instantaneous drop dominated by I*R0: doubling I doubles it.
+        assert (ocv - v2) == pytest.approx(2 * (ocv - v1), rel=0.05)
+
+    def test_relaxation_after_load_recovers_voltage(self):
+        ecm = SecondOrderECM()
+        current = np.concatenate([np.full(300, 3.0), np.zeros(600)])
+        result = ecm.simulate(current, initial_soc=0.8)
+        v_under_load = result.voltage[299]
+        v_relaxed = result.voltage[-1]
+        assert v_relaxed > v_under_load  # polarization decays at rest
+
+    def test_voltage_tracks_ocv_at_rest(self):
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.zeros(60), initial_soc=0.6)
+        assert result.voltage[-1] == pytest.approx(
+            float(open_circuit_voltage(result.soc[-1])), abs=1e-3
+        )
+
+
+class TestThermal:
+    def test_steady_state_temperature_matches_power_balance(self):
+        params = CellParameters()
+        ecm = SecondOrderECM(params)
+        amps = 3.0
+        result = ecm.simulate(np.full(7200, amps))
+        # At equilibrium: I^2 * R_total = cooling * (T - ambient).
+        r_total = (
+            params.r0_ohm
+            * (1 + 0.003 * (result.temperature_c[-1] - params.ambient_temp_c))
+            + params.r1_ohm
+            + params.r2_ohm
+        )
+        expected_rise = amps**2 * r_total / params.cooling_w_per_k
+        actual_rise = result.temperature_c[-1] - params.ambient_temp_c
+        assert actual_rise == pytest.approx(expected_rise, rel=0.05)
+
+    def test_no_heating_at_rest(self):
+        ecm = SecondOrderECM()
+        result = ecm.simulate(np.zeros(600))
+        assert np.allclose(result.temperature_c, ecm.parameters.ambient_temp_c)
+
+
+class TestPackConsistency:
+    def test_identical_parallel_cells_split_evenly(self):
+        config = PackConfig(series_groups=1, parallel_cells=4, seed=0,
+                            parameter_spread=0.0)
+        pack = BatteryPack(config)
+        telemetry = pack.simulate(np.full(120, 8.0))
+        assert np.allclose(telemetry.current_a, 2.0, atol=1e-9)
+
+    def test_single_branch_pack_matches_single_cell(self):
+        """A 1s1p unperturbed pack must reproduce the standalone ECM."""
+        config = PackConfig(series_groups=1, parallel_cells=1, seed=0,
+                            parameter_spread=0.0)
+        pack = BatteryPack(config)
+        current = np.sin(np.linspace(0, 6, 300)) + 1.5
+        pack_result = pack.simulate(current)
+        solo = SecondOrderECM(CellParameters()).simulate(current)
+        assert np.allclose(pack_result.voltage[:, 0], solo.voltage, atol=1e-6)
+        assert np.allclose(pack_result.soc[:, 0], solo.soc, atol=1e-9)
+
+    def test_series_groups_share_identical_string_current(self):
+        config = PackConfig(series_groups=3, parallel_cells=1, seed=1)
+        pack = BatteryPack(config)
+        telemetry = pack.simulate(np.full(60, 2.5))
+        for group in range(3):
+            assert np.allclose(telemetry.current_a[:, group], 2.5, atol=1e-9)
+
+    def test_regen_braking_charges_all_branches(self):
+        config = PackConfig(series_groups=1, parallel_cells=2, seed=0)
+        pack = BatteryPack(config)
+        telemetry = pack.simulate(np.full(60, -4.0))
+        assert np.all(telemetry.current_a < 0)
+        assert np.all(telemetry.soc[-1] > telemetry.soc[0])
+
+
+class TestTimestepRobustness:
+    def test_halved_dt_converges_to_same_trajectory(self):
+        ecm = SecondOrderECM()
+        coarse = ecm.simulate(np.full(600, 2.0), dt_s=1.0)
+        fine_current = np.full(1200, 2.0)
+        fine = SecondOrderECM().simulate(fine_current, dt_s=0.5)
+        # Same simulated timespan: endpoints agree within integrator error.
+        assert fine.soc[-1] == pytest.approx(coarse.soc[-1], abs=1e-4)
+        assert fine.voltage[-1] == pytest.approx(coarse.voltage[-1], abs=5e-3)

@@ -1,0 +1,237 @@
+"""Tests for the experiment driver: every experiment reproduces its
+paper artifact's *shape* at small scale."""
+
+import pytest
+
+from repro.bench.runner import (
+    APPROACH_NAMES,
+    EXPERIMENTS,
+    ExperimentSettings,
+    main,
+    run_experiment,
+)
+
+SMALL = ExperimentSettings(num_models=40, cycles=2, runs=1)
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    return run_experiment("figure3", SMALL)
+
+
+class TestFigure3:
+    def test_all_approaches_reported(self, figure3_result):
+        assert set(figure3_result.data["series"]) == set(APPROACH_NAMES)
+
+    def test_mmlib_base_worst_in_every_use_case(self, figure3_result):
+        series = figure3_result.data["series"]
+        for index in range(3):
+            for approach in ("baseline", "update", "provenance"):
+                assert series[approach][index] < series["mmlib-base"][index]
+
+    def test_baseline_constant_across_use_cases(self, figure3_result):
+        values = figure3_result.data["series"]["baseline"]
+        assert max(values) - min(values) < 0.01 * max(values)
+
+    def test_update_above_baseline_in_u1_then_far_below(self, figure3_result):
+        series = figure3_result.data["series"]
+        assert series["update"][0] > series["baseline"][0]
+        assert series["update"][1] < 0.3 * series["baseline"][1]
+
+    def test_provenance_u3_reduction_over_99_percent(self, figure3_result):
+        series = figure3_result.data["series"]
+        assert series["provenance"][1] < 0.01 * series["mmlib-base"][1]
+
+    def test_baseline_beats_mmlib_by_20_to_35_percent(self, figure3_result):
+        # Paper: 29% (server) / 33% (M1).
+        series = figure3_result.data["series"]
+        improvement = 1 - series["baseline"][0] / series["mmlib-base"][0]
+        assert 0.15 < improvement < 0.40
+
+
+class TestOtherExperiments:
+    def test_update_rates_only_update_scales(self):
+        result = run_experiment("update-rates", SMALL)
+        per_rate = result.data["per_rate"]
+        assert per_rate["30%"]["update"] > 2 * per_rate["10%"]["update"]
+        assert per_rate["30%"]["baseline"] == pytest.approx(
+            per_rate["10%"]["baseline"], rel=0.01
+        )
+        assert per_rate["30%"]["provenance"] < 0.05 * per_rate["10%"]["update"]
+
+    def test_model_size_ratios_match_paper(self):
+        result = run_experiment("model-size", SMALL)
+        ratios = result.data["ratios"]
+        assert 1.5 < ratios["mmlib-base"] < 1.9  # paper: 1.7
+        assert 1.9 < ratios["baseline"] < 2.1  # paper: ~2.0
+        assert ratios["provenance"] == pytest.approx(1.0, abs=0.05)
+
+    def test_cifar_same_trends(self):
+        result = run_experiment("cifar", SMALL)
+        series = result.data["series"]
+        assert series["baseline"][0] < series["mmlib-base"][0]
+        assert series["provenance"][1] < 0.01 * series["baseline"][1]
+
+    def test_figure4_tts_ordering(self):
+        result = run_experiment("figure4", SMALL)
+        series = result.data["series"]
+        for index in range(3):
+            assert series["baseline"][index] < series["mmlib-base"][index]
+        # Update pays for hashing on top of Baseline's save path.
+        assert series["update"][0] > series["baseline"][0]
+
+    def test_figure5_staircase_and_constants(self):
+        result = run_experiment("figure5", SMALL)
+        series = result.data["series"]
+        # Update TTR grows along the chain; baseline stays flat.
+        assert series["update"][2] > series["update"][0]
+        baseline = series["baseline"]
+        assert max(baseline) < 3 * min(baseline) + 1e-3
+        assert len(series["provenance"]) == 3
+
+    def test_breakdown_accounts_parameters_exactly(self):
+        result = run_experiment("breakdown", SMALL)
+        baseline_u1 = result.data["data"]["baseline"][0]
+        assert baseline_u1["parameters"] == result.data["params_bytes"]
+
+    def test_snapshot_interval_tradeoff(self):
+        result = run_experiment("snapshot-interval", SMALL)
+        data = result.data["data"]
+        # Snapshots cost storage but bound recovery time.
+        assert data["2"]["storage_mb"] > data["none (paper)"]["storage_mb"]
+        assert data["2"]["final_ttr_s"] <= data["none (paper)"]["final_ttr_s"] * 1.5
+
+    def test_compression_preserves_recovery_and_reduces_storage(self):
+        result = run_experiment("compression", SMALL)
+        data = result.data["data"]
+        assert data["shuffle-zlib"]["u3_storage_mb"] < data["none"]["u3_storage_mb"]
+
+    def test_recommender_covers_three_regimes(self):
+        result = run_experiment("recommender", SMALL)
+        picks = set(result.data["recommendations"].values())
+        assert picks == {"provenance", "update", "baseline"}
+
+    def test_quantization_halves_storage_with_negligible_quality_loss(self):
+        result = run_experiment("quantization", SMALL)
+        storage = result.data["storage_mb"]
+        assert storage["baseline-fp16"] == pytest.approx(
+            storage["baseline"] / 2, rel=0.01
+        )
+        assert result.data["lossy_mse"] < result.data["exact_mse"] * 1.05 + 1e-5
+
+    def test_timeline_validates_recommender_ordering(self):
+        result = run_experiment("timeline", SMALL)
+        assert (
+            result.data["predicted_storage_order"]
+            == result.data["measured_storage_order"]
+        )
+        measured = result.data["measured"]
+        # MMlib-base is worst on both axes, as the paper concludes.
+        assert measured["mmlib-base"]["storage_mb"] == max(
+            values["storage_mb"] for values in measured.values()
+        )
+        assert measured["mmlib-base"]["time_s"] == max(
+            values["time_s"] for values in measured.values()
+        )
+
+    def test_delta_encoding_trades_storage_for_save_time(self):
+        result = run_experiment("delta-encoding", SMALL)
+        data = result.data["data"]
+        assert data["pas-delta"]["u3_storage_mb"] < data["update"]["u3_storage_mb"]
+        assert data["pas-delta"]["median_u3_tts_s"] > data["update"]["median_u3_tts_s"]
+
+    def test_snapshot_placement_optimum_is_feasible_and_cheapest(self):
+        result = run_experiment("snapshot-placement", SMALL)
+        data = result.data["data"]
+        bound = result.data["bound_s"]
+        assert data["optimal"]["max_recovery_s"] <= bound + 1e-9
+        for key, values in data.items():
+            if key != "optimal" and values.get("feasible"):
+                assert data["optimal"]["storage_mb"] <= values["storage_mb"] + 1e-9
+
+    def test_set_size_sweep_shows_amortization(self):
+        result = run_experiment("set-size-sweep", SMALL)
+        data = result.data["data"]
+        sizes = sorted(data)
+        raw_bytes = 4_993 * 4
+        # MMlib-base per-model cost is flat in n; Baseline amortizes its
+        # per-set overhead down to the raw parameter cost.
+        mmlib_small = data[sizes[0]]["mmlib-base"]["bytes_per_model"]
+        mmlib_large = data[sizes[-1]]["mmlib-base"]["bytes_per_model"]
+        assert abs(mmlib_large - mmlib_small) < 0.05 * mmlib_small
+        baseline_large = data[sizes[-1]]["baseline"]["bytes_per_model"]
+        assert baseline_large < raw_bytes * 1.01
+        assert (
+            data[sizes[0]]["baseline"]["bytes_per_model"] > baseline_large
+        )
+
+    def test_layer_granularity_beats_model_granularity(self):
+        result = run_experiment("granularity", SMALL)
+        data = result.data["data"]
+        assert data["layer"]["u3_storage_mb"] < data["model"]["u3_storage_mb"]
+
+    def test_single_model_recovery_cheaper_than_full_set(self):
+        result = run_experiment("single-model", SMALL)
+        data = result.data["data"]
+        per_model_mb = 4_993 * 4 / 1e6
+        for approach in ("mmlib-base", "baseline", "update"):
+            assert data[approach]["single_ttr_s"] < data[approach]["full_ttr_s"]
+        # Baseline range-reads exactly one model's bytes.
+        assert data["baseline"]["single_read_mb"] == pytest.approx(
+            per_model_mb, rel=0.01
+        )
+
+    def test_provenance_training_staircase(self):
+        result = run_experiment(
+            "provenance-training", ExperimentSettings(num_models=3, cycles=3, runs=1)
+        )
+        ttr = result.data["ttr"]
+        # U1 < U3-1 < U3-2 < U3-3 — each recovery replays one more cycle.
+        assert ttr[0] < ttr[1] < ttr[2] < ttr[3]
+        # Roughly linear staircase (paper: 6h/12h/18h = 1:2:3).
+        assert 1.5 < ttr[3] / ttr[1] < 4.0
+
+
+class TestCli:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("figure99", SMALL)
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "figure3",
+            "figure4",
+            "figure5",
+            "update-rates",
+            "model-size",
+            "cifar",
+            "provenance-training",
+            "breakdown",
+            "snapshot-interval",
+            "compression",
+            "recommender",
+            "single-model",
+            "granularity",
+            "set-size-sweep",
+            "delta-encoding",
+            "snapshot-placement",
+            "timeline",
+            "quantization",
+        }
+
+    def test_main_runs_one_experiment(self, capsys):
+        exit_code = main(["recommender", "--num-models", "10"])
+        assert exit_code == 0
+        assert "Ablation A3" in capsys.readouterr().out
+
+    def test_main_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "results.json"
+        exit_code = main(
+            ["recommender", "--num-models", "10", "--json", str(out_file)]
+        )
+        assert exit_code == 0
+        payload = json.loads(out_file.read_text())
+        assert "recommender" in payload
+        assert "recommendations" in payload["recommender"]

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (scenario use-case sequences, trained scenarios) are
+session-scoped; anything mutated by tests is function-scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.battery.datagen import CellDataConfig
+from repro.core.approach import SaveContext
+from repro.core.model_set import ModelSet
+from repro.training.pipeline import PipelineConfig
+from repro.workloads.scenario import MultiModelScenario, ScenarioConfig, UseCase
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def context() -> SaveContext:
+    """Fresh in-memory save context (zero-latency profile)."""
+    return SaveContext.create()
+
+
+@pytest.fixture(scope="session")
+def small_model_set() -> ModelSet:
+    """20 FFNN-48 models; session-scoped, treat as read-only."""
+    return ModelSet.build("FFNN-48", num_models=20, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_data_config() -> CellDataConfig:
+    return CellDataConfig(seed=5, samples_per_cell=96, cycle_duration_s=96)
+
+
+@pytest.fixture(scope="session")
+def synthetic_cases() -> list[UseCase]:
+    """U1 + 2 update cycles over 30 models, synthetic (perturbed) updates."""
+    config = ScenarioConfig(
+        num_models=30,
+        num_update_cycles=2,
+        full_update_fraction=0.1,
+        partial_update_fraction=0.1,
+        seed=0,
+        train_updates=False,
+    )
+    return list(MultiModelScenario(config).use_cases())
+
+
+@pytest.fixture(scope="session")
+def trained_cases(tiny_data_config: CellDataConfig) -> list[UseCase]:
+    """U1 + 2 genuinely trained update cycles over 6 models."""
+    config = ScenarioConfig(
+        num_models=6,
+        num_update_cycles=2,
+        full_update_fraction=1 / 6,
+        partial_update_fraction=1 / 6,
+        seed=0,
+        train_updates=True,
+        data=tiny_data_config,
+        pipeline=PipelineConfig(
+            loss="mse",
+            optimizer="sgd",
+            learning_rate=0.01,
+            momentum=0.9,
+            epochs=1,
+            batch_size=32,
+        ),
+    )
+    return list(MultiModelScenario(config).use_cases())
+
+
+def save_sequence(manager, cases: list[UseCase]) -> list[str]:
+    """Save a use-case sequence through a manager; returns the set ids."""
+    set_ids: list[str] = []
+    for case in cases:
+        base = set_ids[case.base_index] if case.base_index is not None else None
+        set_ids.append(
+            manager.save_set(
+                case.model_set, base_set_id=base, update_info=case.update_info
+            )
+        )
+    return set_ids

@@ -1,0 +1,146 @@
+"""Tests for deployment bundles (export/import) and set queries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.export import MANIFEST_NAME, export_models, import_models
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.core.save_info import SetMetadata
+from repro.errors import ReproError, SerializationError
+
+
+@pytest.fixture
+def manager_with_set():
+    manager = MultiModelManager.with_approach("baseline")
+    models = ModelSet.build("FFNN-48", num_models=6, seed=3)
+    set_id = manager.save_set(models, metadata=SetMetadata(use_case="U1"))
+    return manager, set_id, models
+
+
+class TestExport:
+    def test_export_all_and_reimport(self, manager_with_set, tmp_path):
+        manager, set_id, models = manager_with_set
+        export_models(manager, set_id, tmp_path)
+        imported, manifest = import_models(tmp_path)
+        assert imported.equals(models)
+        assert manifest["set_id"] == set_id
+        assert manifest["architecture"] == "FFNN-48"
+
+    def test_export_subset(self, manager_with_set, tmp_path):
+        manager, set_id, models = manager_with_set
+        export_models(manager, set_id, tmp_path, model_indices=[1, 4])
+        imported, manifest = import_models(tmp_path)
+        assert len(imported) == 2
+        assert sorted(manifest["models"]) == ["1", "4"]
+        for position, original_index in enumerate([1, 4]):
+            state = imported.state(position)
+            expected = models.state(original_index)
+            assert all(np.array_equal(state[k], expected[k]) for k in expected)
+
+    def test_manifest_is_plain_json(self, manager_with_set, tmp_path):
+        manager, set_id, _models = manager_with_set
+        manifest_path = export_models(manager, set_id, tmp_path)
+        payload = json.loads(manifest_path.read_text())
+        assert payload["num_models_in_set"] == 6
+
+    def test_out_of_range_index_rejected(self, manager_with_set, tmp_path):
+        manager, set_id, _models = manager_with_set
+        with pytest.raises(IndexError):
+            export_models(manager, set_id, tmp_path, model_indices=[99])
+
+    def test_bundle_roundtrips_through_next_generation(
+        self, manager_with_set, tmp_path
+    ):
+        """Devices return updated models; the bundle becomes the next set."""
+        manager, set_id, models = manager_with_set
+        export_models(manager, set_id, tmp_path)
+        fleet, _manifest = import_models(tmp_path)
+        fleet.state(2)["4.weight"] = (
+            fleet.state(2)["4.weight"] + 0.5
+        ).astype(np.float32)
+        new_id = manager.save_set(fleet, base_set_id=set_id)
+        assert manager.recover_set(new_id).equals(fleet)
+
+
+class TestImportErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            import_models(tmp_path)
+
+    def test_tampered_model_file_detected(self, manager_with_set, tmp_path):
+        manager, set_id, _models = manager_with_set
+        export_models(manager, set_id, tmp_path, model_indices=[0])
+        target = tmp_path / "model-000000.bin"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(SerializationError):
+            import_models(tmp_path)
+
+    def test_unsupported_version_rejected(self, manager_with_set, tmp_path):
+        manager, set_id, _models = manager_with_set
+        export_models(manager, set_id, tmp_path, model_indices=[0])
+        manifest_path = tmp_path / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["bundle_version"] = 99
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError):
+            import_models(tmp_path)
+
+    def test_empty_bundle_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"bundle_version": 1, "architecture": "FFNN-48",
+                        "models": {}})
+        )
+        with pytest.raises(ReproError):
+            import_models(tmp_path)
+
+
+class TestFindSets:
+    def test_filter_by_architecture(self):
+        manager = MultiModelManager.with_approach("baseline")
+        small = manager.save_set(ModelSet.build("FFNN-48", 2, seed=0))
+        large = manager.save_set(ModelSet.build("FFNN-69", 2, seed=0))
+        assert manager.find_sets(architecture="FFNN-48") == [small]
+        assert manager.find_sets(architecture="FFNN-69") == [large]
+
+    def test_filter_by_use_case(self):
+        manager = MultiModelManager.with_approach("baseline")
+        models = ModelSet.build("FFNN-48", 2, seed=0)
+        first = manager.save_set(models, metadata=SetMetadata(use_case="U1"))
+        manager.save_set(
+            models, base_set_id=first, metadata=SetMetadata(use_case="U3-1")
+        )
+        assert manager.find_sets(use_case="U1") == [first]
+
+    def test_filter_by_approach_on_shared_context(self):
+        from repro.core.approach import SaveContext
+
+        context = SaveContext.create()
+        baseline = MultiModelManager.with_approach("baseline", context=context)
+        update = MultiModelManager.with_approach("update", context=context)
+        models = ModelSet.build("FFNN-48", 2, seed=0)
+        id_a = baseline.save_set(models)
+        id_b = update.save_set(models)
+        assert baseline.find_sets(approach="baseline") == [id_a]
+        assert baseline.find_sets(approach="update") == [id_b]
+
+    def test_no_filters_returns_everything(self):
+        manager = MultiModelManager.with_approach("baseline")
+        ids = [manager.save_set(ModelSet.build("FFNN-48", 2, seed=i))
+               for i in range(3)]
+        assert manager.find_sets() == sorted(ids)
+
+    def test_document_store_find_charges_reads(self):
+        from repro.storage.document_store import DocumentStore
+
+        store = DocumentStore()
+        store.insert("c", {"kind": "a"})
+        store.insert("c", {"kind": "b"})
+        reads_before = store.stats.reads
+        matches = store.find("c", kind="a")
+        assert len(matches) == 1
+        assert store.stats.reads == reads_before + 1

@@ -1,0 +1,164 @@
+"""Tests for archive migration and the repro-archive CLI."""
+
+import pytest
+
+from repro.cli import main as archive_main
+from repro.core.approach import SaveContext
+from repro.core.lineage import LineageGraph
+from repro.core.manager import MultiModelManager
+from repro.core.migration import migrate_archive
+from repro.errors import ReproError
+from tests.conftest import save_sequence
+
+
+@pytest.fixture
+def mmlib_source(synthetic_cases):
+    manager = MultiModelManager.with_approach("mmlib-base")
+    set_ids = save_sequence(manager, synthetic_cases)
+    return manager, set_ids
+
+
+class TestMigration:
+    def test_mmlib_to_update_preserves_content(self, mmlib_source, synthetic_cases):
+        source_manager, set_ids = mmlib_source
+        target = MultiModelManager.with_approach("update")
+        report = migrate_archive(source_manager.context, target)
+        assert report.sets_migrated == len(set_ids)
+        for old_id, case in zip(set_ids, synthetic_cases):
+            assert target.recover_set(report.id_map[old_id]).equals(case.model_set)
+
+    def test_migration_builds_delta_chain(self, mmlib_source):
+        source_manager, set_ids = mmlib_source
+        target = MultiModelManager.with_approach("update")
+        report = migrate_archive(source_manager.context, target)
+        lineage = LineageGraph.from_context(target.context)
+        last_new = report.id_map[set_ids[-1]]
+        assert lineage.chain_depth(last_new) == len(set_ids) - 1
+
+    def test_migration_shrinks_storage(self, mmlib_source):
+        source_manager, _ids = mmlib_source
+        target = MultiModelManager.with_approach("update")
+        report = migrate_archive(source_manager.context, target)
+        assert report.storage_ratio < 0.6
+        assert report.target_bytes == target.total_stored_bytes()
+
+    def test_baseline_to_update(self, synthetic_cases):
+        source = MultiModelManager.with_approach("baseline")
+        set_ids = save_sequence(source, synthetic_cases)
+        target = MultiModelManager.with_approach("update")
+        report = migrate_archive(source.context, target)
+        assert target.recover_set(report.id_map[set_ids[-1]]).equals(
+            synthetic_cases[-1].model_set
+        )
+
+    def test_update_to_baseline(self, synthetic_cases):
+        source = MultiModelManager.with_approach("update")
+        set_ids = save_sequence(source, synthetic_cases)
+        target = MultiModelManager.with_approach("baseline")
+        report = migrate_archive(source.context, target)
+        # Every migrated set is now independently recoverable.
+        lineage = LineageGraph.from_context(target.context)
+        for old_id in set_ids:
+            assert lineage.recovery_chain(report.id_map[old_id]) == [
+                report.id_map[old_id]
+            ]
+
+    def test_provenance_target_rejected(self, mmlib_source):
+        source_manager, _ids = mmlib_source
+        target = MultiModelManager.with_approach("provenance")
+        with pytest.raises(ReproError):
+            migrate_archive(source_manager.context, target)
+
+    def test_empty_source_is_noop(self):
+        source = SaveContext.create()
+        target = MultiModelManager.with_approach("update")
+        report = migrate_archive(source, target)
+        assert report.sets_migrated == 0
+
+
+@pytest.fixture
+def durable_archive(tmp_path, synthetic_cases):
+    manager = MultiModelManager.open(str(tmp_path / "arch"), "update")
+    set_ids = save_sequence(manager, synthetic_cases)
+    return str(tmp_path / "arch"), set_ids
+
+
+class TestCli:
+    def test_info(self, durable_archive, capsys):
+        path, set_ids = durable_archive
+        assert archive_main([path, "info"]) == 0
+        out = capsys.readouterr().out
+        assert f"sets: {len(set_ids)}" in out
+        assert "approach: update" in out
+
+    def test_lineage(self, durable_archive, capsys):
+        path, set_ids = durable_archive
+        assert archive_main([path, "lineage"]) == 0
+        out = capsys.readouterr().out
+        assert f"{set_ids[1]}  [update/delta]" in out
+        assert f"<- {set_ids[0]}" in out
+
+    def test_verify_clean(self, durable_archive, capsys):
+        path, _ids = durable_archive
+        assert archive_main([path, "verify", "--deep"]) == 0
+        assert "archive is clean" in capsys.readouterr().out
+
+    def test_verify_detects_missing_artifact(self, durable_archive, capsys, tmp_path):
+        path, set_ids = durable_archive
+        from pathlib import Path
+
+        artifact = next(Path(path, "artifacts").glob(f"{set_ids[0]}-params.bin"))
+        artifact.unlink()
+        assert archive_main([path, "verify"]) == 1
+        assert "ISSUE" in capsys.readouterr().out
+
+    def test_history(self, durable_archive, capsys):
+        path, set_ids = durable_archive
+        assert archive_main([path, "history", set_ids[-1], "0"]) == 0
+        out = capsys.readouterr().out
+        assert "drift=" in out
+        assert set_ids[0] in out
+
+    def test_compact_and_gc(self, durable_archive, capsys):
+        path, set_ids = durable_archive
+        assert archive_main([path, "compact", set_ids[-1]]) == 0
+        assert archive_main([path, "gc", "--keep-last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed" in out
+        reopened = MultiModelManager.open(path, "update")
+        assert reopened.list_sets() == [set_ids[-1]]
+
+    def test_gc_keep_explicit(self, durable_archive, capsys):
+        path, set_ids = durable_archive
+        assert archive_main([path, "gc", "--keep", set_ids[-1]]) == 0
+        # Chain ancestors survive without compaction.
+        assert "retained for recovery chains" in capsys.readouterr().out
+
+    def test_migrate(self, durable_archive, tmp_path, capsys):
+        path, set_ids = durable_archive
+        target_dir = str(tmp_path / "migrated")
+        assert archive_main(
+            [path, "migrate", target_dir, "--target-approach", "baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"migrated {len(set_ids)} sets" in out
+        target = MultiModelManager.open(target_dir, "baseline")
+        assert len(target.list_sets()) == len(set_ids)
+
+    def test_export_bundle(self, durable_archive, tmp_path, capsys):
+        from repro.core.export import import_models
+
+        path, set_ids = durable_archive
+        out_dir = str(tmp_path / "bundle")
+        assert archive_main(
+            [path, "export", set_ids[-1], out_dir, "--models", "0", "3"]
+        ) == 0
+        assert "exported 2 models" in capsys.readouterr().out
+        imported, manifest = import_models(out_dir)
+        assert len(imported) == 2
+        assert manifest["set_id"] == set_ids[-1]
+
+    def test_empty_archive_needs_explicit_approach(self, tmp_path, capsys):
+        path = str(tmp_path / "empty")
+        assert archive_main([path, "history", "x", "0"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Tests for the MMlib-base comparator (§2.2)."""
+
+import pytest
+
+from repro.core.mmlib_base import MODELS_COLLECTION, MMlibBaseApproach
+from repro.core.model_set import ModelSet
+from repro.errors import RecoveryError
+
+
+@pytest.fixture
+def approach(context):
+    return MMlibBaseApproach(context)
+
+
+@pytest.fixture
+def models():
+    return ModelSet.build("FFNN-48", num_models=8, seed=0)
+
+
+class TestSave:
+    def test_roundtrip(self, approach, models):
+        set_id = approach.save_initial(models)
+        assert approach.recover(set_id).equals(models)
+
+    def test_one_document_per_model(self, approach, models):
+        approach.save_initial(models)
+        assert approach.context.document_store.count(MODELS_COLLECTION) == len(models)
+
+    def test_two_artifacts_per_model(self, approach, models):
+        # Parameter blob + model code, per model (O1/O3 redundancy).
+        approach.save_initial(models)
+        assert approach.context.file_store.stats.writes == 2 * len(models)
+
+    def test_write_count_scales_with_set_size(self, approach):
+        # Per model: one document + two artifacts; plus one set-index doc.
+        small = ModelSet.build("FFNN-48", num_models=2, seed=0)
+        approach.save_initial(small)
+        writes_small = (
+            approach.context.document_store.stats.writes
+            + approach.context.file_store.stats.writes
+        )
+        assert writes_small == 3 * 2 + 1
+        large = ModelSet.build("FFNN-48", num_models=6, seed=0)
+        approach.save_initial(large)
+        writes_total = (
+            approach.context.document_store.stats.writes
+            + approach.context.file_store.stats.writes
+        )
+        assert writes_total - writes_small == 3 * 6 + 1
+
+    def test_per_model_overhead_is_kilobytes(self, approach, models):
+        # "an overhead of approximately 8 KB per model" (§4.2).
+        overhead = MMlibBaseApproach.per_model_overhead_bytes(models)
+        assert 2_000 < overhead < 20_000
+
+    def test_measured_overhead_matches_estimate(self, approach, models):
+        approach.save_initial(models)
+        total = (
+            approach.context.document_store.stats.bytes_written
+            + approach.context.file_store.stats.bytes_written
+        )
+        params = models.parameter_bytes
+        per_model = (total - params) / len(models)
+        estimate = MMlibBaseApproach.per_model_overhead_bytes(models)
+        assert per_model == pytest.approx(estimate, rel=0.15)
+
+    def test_derived_save_identical_to_initial(self, approach, models):
+        first = approach.save_initial(models)
+        bytes_initial = (
+            approach.context.document_store.stats.bytes_written
+            + approach.context.file_store.stats.bytes_written
+        )
+        approach.save_derived(models.copy(), first)
+        bytes_total = (
+            approach.context.document_store.stats.bytes_written
+            + approach.context.file_store.stats.bytes_written
+        )
+        assert bytes_total == pytest.approx(2 * bytes_initial, rel=0.01)
+
+
+class TestRecover:
+    def test_reads_scale_with_set_size(self, approach, models):
+        set_id = approach.save_initial(models)
+        approach.recover(set_id)
+        # One set doc + per model: one doc read + one artifact read.
+        assert approach.context.document_store.stats.reads == 1 + len(models)
+        assert approach.context.file_store.stats.reads == len(models)
+
+    def test_wrong_type_rejected(self, context, models):
+        from repro.core.baseline import BaselineApproach
+
+        baseline_id = BaselineApproach(context).save_initial(models)
+        with pytest.raises(RecoveryError):
+            MMlibBaseApproach(context).recover(baseline_id)
+
+    def test_model_order_preserved(self, approach, models):
+        set_id = approach.save_initial(models)
+        recovered = approach.recover(set_id)
+        for index in range(len(models)):
+            state_a, state_b = models.state(index), recovered.state(index)
+            import numpy as np
+
+            assert all(np.array_equal(state_a[k], state_b[k]) for k in state_a)

@@ -1,0 +1,122 @@
+"""Tests for the ModelSet abstraction."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core.model_set import ModelSet
+from repro.errors import ArchitectureMismatchError
+
+
+class TestBuild:
+    def test_builds_requested_count(self):
+        models = ModelSet.build("FFNN-48", num_models=5, seed=0)
+        assert len(models) == 5
+
+    def test_models_are_distinct(self):
+        models = ModelSet.build("FFNN-48", num_models=3, seed=0)
+        a, b = models.state(0), models.state(1)
+        assert any(not np.array_equal(a[k], b[k]) for k in a)
+
+    def test_build_is_deterministic(self):
+        a = ModelSet.build("FFNN-48", num_models=3, seed=9)
+        b = ModelSet.build("FFNN-48", num_models=3, seed=9)
+        assert a.equals(b)
+
+    def test_different_seeds_differ(self):
+        a = ModelSet.build("FFNN-48", num_models=2, seed=1)
+        b = ModelSet.build("FFNN-48", num_models=2, seed=2)
+        assert not a.equals(b)
+
+    def test_prefix_stability_across_sizes(self):
+        # Model i must be identical whether the set has 3 or 10 models —
+        # set size must not reshuffle per-model seeds.
+        small = ModelSet.build("FFNN-48", num_models=3, seed=0)
+        large = ModelSet.build("FFNN-48", num_models=10, seed=0)
+        for index in range(3):
+            for key in small.state(index):
+                assert np.array_equal(
+                    small.state(index)[key], large.state(index)[key]
+                )
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            ModelSet.build("FFNN-48", num_models=0)
+
+    def test_rejects_empty_states(self):
+        with pytest.raises(ValueError):
+            ModelSet("FFNN-48", [])
+
+    def test_rejects_schema_mismatch(self):
+        good = ModelSet.build("FFNN-48", num_models=1).state(0)
+        bad = OrderedDict(good)
+        bad["0.weight"] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ArchitectureMismatchError):
+            ModelSet("FFNN-48", [good, bad])
+
+
+class TestAccessors:
+    def test_schema_and_counts(self):
+        models = ModelSet.build("FFNN-48", num_models=4)
+        assert models.num_parameters_per_model == 4993
+        assert models.parameter_bytes == 4 * 4993 * 4
+
+    def test_iteration_yields_states(self):
+        models = ModelSet.build("FFNN-48", num_models=3)
+        assert len(list(models)) == 3
+
+    def test_build_model_materializes_parameters(self):
+        models = ModelSet.build("FFNN-48", num_models=2, seed=0)
+        module = models.build_model(1)
+        state = module.state_dict()
+        for key in state:
+            assert np.array_equal(state[key], models.state(1)[key])
+
+    def test_build_model_runs_inference(self, rng):
+        models = ModelSet.build("CIFAR", num_models=1)
+        module = models.build_model(0)
+        out = module(rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        assert out.shape == (2, 10)
+
+    def test_from_modules(self):
+        from repro.architectures import build_ffnn48
+
+        modules = [build_ffnn48(rng=np.random.default_rng(i)) for i in range(3)]
+        models = ModelSet.from_modules("FFNN-48", modules)
+        assert len(models) == 3
+        assert np.array_equal(
+            models.state(2)["0.weight"], modules[2].state_dict()["0.weight"]
+        )
+
+
+class TestEqualsAndCopy:
+    def test_equals_detects_single_float_change(self):
+        a = ModelSet.build("FFNN-48", num_models=2, seed=0)
+        b = a.copy()
+        assert a.equals(b)
+        b.state(1)["4.weight"][0, 0] += 1e-7
+        assert not a.equals(b)
+
+    def test_equals_with_tolerance(self):
+        a = ModelSet.build("FFNN-48", num_models=1, seed=0)
+        b = a.copy()
+        b.state(0)["0.bias"][0] += 1e-6
+        assert not a.equals(b)
+        assert a.equals(b, atol=1e-4)
+
+    def test_equals_rejects_different_sizes(self):
+        a = ModelSet.build("FFNN-48", num_models=2, seed=0)
+        b = ModelSet.build("FFNN-48", num_models=3, seed=0)
+        assert not a.equals(b)
+
+    def test_equals_rejects_different_architectures(self):
+        a = ModelSet.build("FFNN-48", num_models=1, seed=0)
+        b = ModelSet.build("FFNN-69", num_models=1, seed=0)
+        assert not a.equals(b)
+
+    def test_copy_is_deep(self):
+        a = ModelSet.build("FFNN-48", num_models=1, seed=0)
+        b = a.copy()
+        b.state(0)["0.weight"][:] = 0.0
+        assert not np.array_equal(a.state(0)["0.weight"], b.state(0)["0.weight"])

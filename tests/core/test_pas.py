@@ -1,0 +1,152 @@
+"""Tests for the PAS-style XOR-delta approach."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.core.pas import PasDeltaApproach
+from repro.errors import InvalidUpdatePlanError, RecoveryError
+from tests.conftest import save_sequence
+
+
+@pytest.fixture
+def approach(context):
+    return PasDeltaApproach(context)
+
+
+@pytest.fixture
+def models():
+    return ModelSet.build("FFNN-48", num_models=10, seed=0)
+
+
+class TestRoundtrip:
+    def test_initial_roundtrip(self, approach, models):
+        set_id = approach.save_initial(models)
+        assert approach.recover(set_id).equals(models)
+
+    def test_derived_roundtrip_bit_exact(self, approach, models):
+        base_id = approach.save_initial(models)
+        derived = models.copy()
+        derived.state(3)["2.weight"] = (
+            derived.state(3)["2.weight"] * 1.0001
+        ).astype(np.float32)
+        set_id = approach.save_derived(derived, base_id)
+        recovered = approach.recover(set_id)
+        # XOR deltas guarantee bit exactness even for tiny float changes
+        # (an arithmetic float delta could not).
+        assert recovered.equals(derived)
+
+    def test_chain_roundtrip(self, approach, models):
+        ids = [approach.save_initial(models)]
+        current = models
+        for step in range(3):
+            current = current.copy()
+            state = current.state(step)
+            state["0.weight"] = (state["0.weight"] + 0.1).astype(np.float32)
+            ids.append(approach.save_derived(current, ids[-1]))
+        assert approach.recover(ids[-1]).equals(current)
+        assert approach.recover(ids[1]).equals
+
+    def test_full_scenario(self, approach, synthetic_cases):
+        manager = MultiModelManager.with_approach("pas-delta")
+        set_ids = save_sequence(manager, synthetic_cases)
+        for set_id, case in zip(set_ids, synthetic_cases):
+            assert manager.recover_set(set_id).equals(case.model_set)
+
+    def test_special_float_values_roundtrip(self, approach, models):
+        base_id = approach.save_initial(models)
+        derived = models.copy()
+        state = derived.state(0)
+        weights = state["0.weight"].copy()
+        weights[0, 0] = np.float32("nan")
+        weights[0, 1] = np.float32("inf")
+        weights[0, 2] = np.float32("-0.0")
+        state["0.weight"] = weights
+        set_id = approach.save_derived(derived, base_id)
+        recovered = approach.recover(set_id)
+        got = recovered.state(0)["0.weight"]
+        assert np.isnan(got[0, 0])
+        assert np.isinf(got[0, 1])
+        assert got.tobytes() == weights.tobytes()
+
+
+class TestStorageBehaviour:
+    def test_unchanged_sets_compress_to_near_nothing(self, approach, models):
+        base_id = approach.save_initial(models)
+        before = approach.context.file_store.stats.bytes_written
+        approach.save_derived(models.copy(), base_id)
+        written = approach.context.file_store.stats.bytes_written - before
+        # All-zero XOR words: kilobytes, not the 200 KB raw payload.
+        assert written < 0.01 * models.parameter_bytes
+
+    def test_partial_changes_beat_update_storage(self, synthetic_cases):
+        """XOR-compression exploits unchanged bits *within* trained
+        layers, which Update's exact-layer dedup cannot."""
+        deltas = {}
+        for name in ("update", "pas-delta"):
+            manager = MultiModelManager.with_approach(name)
+            base_id = manager.save_set(synthetic_cases[0].model_set)
+            before = manager.context.file_store.stats.bytes_written
+            manager.save_set(
+                synthetic_cases[1].model_set, base_set_id=base_id
+            )
+            deltas[name] = (
+                manager.context.file_store.stats.bytes_written - before
+            )
+        assert deltas["pas-delta"] < deltas["update"]
+
+    def test_save_requires_base_recovery(self, approach, models):
+        # The PAS trade-off: deltaing needs the materialized base.
+        base_id = approach.save_initial(models)
+        reads_before = approach.context.file_store.stats.reads
+        approach.save_derived(models.copy(), base_id)
+        assert approach.context.file_store.stats.reads > reads_before
+
+    def test_snapshot_interval_bounds_chain(self, context, models):
+        approach = PasDeltaApproach(context, snapshot_interval=2)
+        ids = [approach.save_initial(models)]
+        current = models
+        for step in range(4):
+            current = current.copy()
+            state = current.state(0)
+            state["0.bias"] = (state["0.bias"] + 0.1).astype(np.float32)
+            ids.append(approach.save_derived(current, ids[-1]))
+        kinds = [context.set_document(i)["kind"] for i in ids]
+        assert kinds.count("full") >= 2
+        assert approach.recover(ids[-1]).equals(current)
+
+
+class TestErrors:
+    def test_size_mismatch_rejected(self, approach, models):
+        base_id = approach.save_initial(models)
+        smaller = ModelSet.build("FFNN-48", num_models=5, seed=0)
+        with pytest.raises(InvalidUpdatePlanError):
+            approach.save_derived(smaller, base_id)
+
+    def test_schema_mismatch_rejected(self, approach, models):
+        base_id = approach.save_initial(models)
+        other = ModelSet.build("FFNN-69", num_models=10, seed=0)
+        with pytest.raises(InvalidUpdatePlanError):
+            approach.save_derived(other, base_id)
+
+    def test_corrupt_delta_length_detected(self, approach, models):
+        base_id = approach.save_initial(models)
+        derived = models.copy()
+        derived.state(0)["0.bias"] = (
+            derived.state(0)["0.bias"] + 1.0
+        ).astype(np.float32)
+        set_id = approach.save_derived(derived, base_id)
+        document = approach.context.set_document(set_id)
+        artifact = document["params_artifact"]
+        from repro.core.compression import get_codec
+
+        codec = get_codec(document["codec"])
+        payload = codec.decode(approach.context.file_store._blobs[artifact])
+        approach.context.file_store._blobs[artifact] = codec.encode(payload[:-8])
+        with pytest.raises(RecoveryError):
+            approach.recover(set_id)
+
+    def test_interval_validation(self, context):
+        with pytest.raises(ValueError):
+            PasDeltaApproach(context, snapshot_interval=0)

@@ -1,0 +1,175 @@
+"""Tests for the snapshot-placement optimizer."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import MultiModelManager
+from repro.core.placement import (
+    PlacementProblem,
+    evaluate_placement,
+    optimal_placement,
+    optimize_archive,
+    problem_from_chain,
+)
+from repro.errors import ReproError
+from tests.conftest import save_sequence
+
+
+@pytest.fixture
+def uniform_problem():
+    return PlacementProblem.uniform(
+        10, full_bytes=100.0, delta_bytes=10.0, full_read_s=1.0, delta_apply_s=0.5
+    )
+
+
+class TestProblem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementProblem(0.0, 1.0, (), ())
+        with pytest.raises(ValueError):
+            PlacementProblem(1.0, 1.0, (1.0,), ())
+        with pytest.raises(ValueError):
+            PlacementProblem(1.0, 1.0, (-1.0,), (0.1,))
+
+    def test_num_versions(self, uniform_problem):
+        assert uniform_problem.num_versions == 11
+
+
+class TestEvaluate:
+    def test_all_snapshots(self, uniform_problem):
+        placement = evaluate_placement(
+            uniform_problem, set(range(uniform_problem.num_versions))
+        )
+        assert placement.total_bytes == 11 * 100.0
+        assert placement.max_recovery_s == 1.0
+
+    def test_no_extra_snapshots(self, uniform_problem):
+        placement = evaluate_placement(uniform_problem, {0})
+        assert placement.total_bytes == 100.0 + 10 * 10.0
+        assert placement.max_recovery_s == pytest.approx(1.0 + 10 * 0.5)
+
+    def test_version_zero_always_snapshot(self, uniform_problem):
+        placement = evaluate_placement(uniform_problem, set())
+        assert 0 in placement.snapshot_versions
+
+    def test_out_of_range_rejected(self, uniform_problem):
+        with pytest.raises(ValueError):
+            evaluate_placement(uniform_problem, {99})
+
+
+class TestOptimal:
+    def test_loose_bound_needs_only_initial_snapshot(self, uniform_problem):
+        placement = optimal_placement(uniform_problem, max_recovery_s=100.0)
+        assert placement.snapshot_versions == (0,)
+
+    def test_tight_bound_snapshots_everything(self, uniform_problem):
+        # Budget below one delta-apply: every version must be a snapshot.
+        placement = optimal_placement(uniform_problem, max_recovery_s=1.2)
+        assert placement.snapshot_versions == tuple(range(11))
+
+    def test_bound_below_full_read_rejected(self, uniform_problem):
+        with pytest.raises(ReproError):
+            optimal_placement(uniform_problem, max_recovery_s=0.5)
+
+    def test_respects_bound(self, uniform_problem):
+        placement = optimal_placement(uniform_problem, max_recovery_s=2.0)
+        assert placement.max_recovery_s <= 2.0
+
+    def test_expensive_delta_attracts_snapshot(self):
+        problem = PlacementProblem(
+            full_bytes=100.0,
+            full_read_s=1.0,
+            delta_bytes=(10.0, 10.0, 90.0, 10.0, 10.0),
+            delta_apply_s=(0.2, 0.2, 3.0, 0.2, 0.2),
+        )
+        placement = optimal_placement(problem, max_recovery_s=2.0)
+        # Version 3's delta is both huge and infeasible: snapshot it.
+        assert 3 in placement.snapshot_versions
+        fixed = evaluate_placement(problem, {0, 2, 4})
+        assert placement.total_bytes < fixed.total_bytes
+
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        num_deltas=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, seed, num_deltas):
+        rng = np.random.default_rng(seed)
+        problem = PlacementProblem(
+            full_bytes=float(rng.uniform(50, 150)),
+            full_read_s=float(rng.uniform(0.1, 1.0)),
+            delta_bytes=tuple(float(x) for x in rng.uniform(1, 120, num_deltas)),
+            delta_apply_s=tuple(
+                float(x) for x in rng.uniform(0.05, 2.0, num_deltas)
+            ),
+        )
+        bound = problem.full_read_s + float(rng.uniform(0, 4))
+        best = None
+        for mask in itertools.product([0, 1], repeat=num_deltas):
+            snaps = {0} | {i + 1 for i, bit in enumerate(mask) if bit}
+            candidate = evaluate_placement(problem, snaps)
+            if candidate.max_recovery_s <= bound + 1e-9:
+                if best is None or candidate.total_bytes < best.total_bytes:
+                    best = candidate
+        assert best is not None  # bound >= full_read_s: all-snapshots works
+        placement = optimal_placement(problem, bound)
+        assert placement.total_bytes == pytest.approx(best.total_bytes)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_tighter_bound_never_cheaper(self, seed):
+        rng = np.random.default_rng(seed)
+        num_deltas = int(rng.integers(2, 8))
+        problem = PlacementProblem(
+            full_bytes=float(rng.uniform(50, 150)),
+            full_read_s=0.5,
+            delta_bytes=tuple(float(x) for x in rng.uniform(1, 100, num_deltas)),
+            delta_apply_s=tuple(
+                float(x) for x in rng.uniform(0.05, 1.0, num_deltas)
+            ),
+        )
+        loose = optimal_placement(problem, max_recovery_s=50.0)
+        tight = optimal_placement(problem, max_recovery_s=1.0)
+        assert tight.total_bytes >= loose.total_bytes - 1e-9
+
+
+class TestArchiveIntegration:
+    @pytest.fixture
+    def archive(self, synthetic_cases):
+        manager = MultiModelManager.with_approach("update")
+        set_ids = save_sequence(manager, synthetic_cases)
+        return manager, set_ids
+
+    def test_problem_built_from_real_sizes(self, archive, synthetic_cases):
+        manager, set_ids = archive
+        problem, chain = problem_from_chain(manager.context, set_ids[-1])
+        assert chain == set_ids
+        assert problem.full_bytes == synthetic_cases[0].model_set.parameter_bytes
+        assert len(problem.delta_bytes) == len(set_ids) - 1
+
+    def test_optimize_without_apply_changes_nothing(self, archive):
+        manager, set_ids = archive
+        before = manager.total_stored_bytes()
+        _placement, to_compact = optimize_archive(
+            manager.context, set_ids[-1], max_recovery_s=1e9
+        )
+        assert to_compact == []
+        assert manager.total_stored_bytes() == before
+
+    def test_optimize_apply_meets_bound(self, archive, synthetic_cases):
+        manager, set_ids = archive
+        problem, _chain = problem_from_chain(manager.context, set_ids[-1])
+        # Bound tight enough to force at least one extra snapshot.
+        bound = problem.full_read_s + problem.delta_apply_s[0] * 1.5
+        placement, to_compact = optimize_archive(
+            manager.context, set_ids[-1], max_recovery_s=bound, apply=True
+        )
+        assert placement.max_recovery_s <= bound
+        assert to_compact  # something was compacted
+        # Every set still recovers bit-exactly after compaction.
+        for set_id, case in zip(set_ids, synthetic_cases):
+            assert manager.recover_set(set_id).equals(case.model_set)

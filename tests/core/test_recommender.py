@@ -1,0 +1,129 @@
+"""Tests for the heuristic approach recommender (§4.5 future work)."""
+
+import pytest
+
+from repro.core.recommender import ApproachRecommender, ScenarioProfile
+from repro.storage.hardware import M1_PROFILE, SERVER_PROFILE
+
+
+@pytest.fixture
+def recommender():
+    return ApproachRecommender(hardware=SERVER_PROFILE)
+
+
+class TestCostModel:
+    def test_estimates_cover_all_approaches(self, recommender):
+        estimates = recommender.estimate(ScenarioProfile())
+        assert set(estimates) == {"mmlib-base", "baseline", "update", "provenance"}
+
+    def test_storage_ordering_matches_paper(self, recommender):
+        estimates = recommender.estimate(ScenarioProfile())
+        assert (
+            estimates["provenance"].storage_bytes_per_cycle
+            < estimates["update"].storage_bytes_per_cycle
+            < estimates["baseline"].storage_bytes_per_cycle
+            < estimates["mmlib-base"].storage_bytes_per_cycle
+        )
+
+    def test_ttr_ordering_matches_paper(self, recommender):
+        estimates = recommender.estimate(ScenarioProfile())
+        assert estimates["baseline"].ttr_s < estimates["mmlib-base"].ttr_s
+        assert estimates["provenance"].ttr_s > 100 * estimates["update"].ttr_s
+
+    def test_mmlib_tts_dominated_by_round_trips(self, recommender):
+        estimates = recommender.estimate(ScenarioProfile())
+        assert estimates["mmlib-base"].tts_s > 5 * estimates["baseline"].tts_s
+
+    def test_update_storage_scales_with_update_rate(self, recommender):
+        low = recommender.estimate(ScenarioProfile(update_rate=0.1))["update"]
+        high = recommender.estimate(ScenarioProfile(update_rate=0.3))["update"]
+        assert high.storage_bytes_per_cycle > 2 * low.storage_bytes_per_cycle
+
+    def test_provenance_storage_insensitive_to_model_size(self, recommender):
+        small = recommender.estimate(ScenarioProfile(params_per_model=4993))
+        large = recommender.estimate(ScenarioProfile(params_per_model=10075))
+        assert (
+            small["provenance"].storage_bytes_per_cycle
+            == large["provenance"].storage_bytes_per_cycle
+        )
+
+
+class TestRanking:
+    def test_archival_profile_picks_provenance(self, recommender):
+        profile = ScenarioProfile(
+            storage_price_per_gb=100.0,
+            time_price_per_hour=0.1,
+            recoveries_per_cycle=1e-5,
+        )
+        assert recommender.recommend(profile) == "provenance"
+
+    def test_balanced_profile_picks_update(self, recommender):
+        profile = ScenarioProfile(
+            storage_price_per_gb=10.0,
+            time_price_per_hour=10.0,
+            recoveries_per_cycle=0.01,
+        )
+        assert recommender.recommend(profile) == "update"
+
+    def test_recovery_heavy_profile_picks_baseline(self, recommender):
+        profile = ScenarioProfile(
+            storage_price_per_gb=0.01,
+            time_price_per_hour=100.0,
+            recoveries_per_cycle=2.0,
+            expected_chain_length=10,
+        )
+        assert recommender.recommend(profile) == "baseline"
+
+    def test_mmlib_base_never_recommended(self, recommender):
+        # The paper's headline: the set-oriented Baseline dominates
+        # MMlib-base on every metric.
+        for storage_price in (0.01, 1.0, 100.0):
+            for time_price in (0.01, 1.0, 100.0):
+                profile = ScenarioProfile(
+                    storage_price_per_gb=storage_price,
+                    time_price_per_hour=time_price,
+                )
+                ranking = recommender.rank(profile)
+                assert ranking[0].approach != "mmlib-base"
+
+    def test_rank_sorted_by_cost(self, recommender):
+        ranking = recommender.rank(ScenarioProfile())
+        costs = [estimate.cost_per_cycle for estimate in ranking]
+        assert costs == sorted(costs)
+
+    def test_hardware_profile_changes_time_estimates(self):
+        profile = ScenarioProfile()
+        server = ApproachRecommender(SERVER_PROFILE).estimate(profile)
+        laptop = ApproachRecommender(M1_PROFILE).estimate(profile)
+        assert laptop["mmlib-base"].tts_s > server["mmlib-base"].tts_s
+
+
+class TestPaperRules:
+    def test_rule_table(self):
+        rules = ApproachRecommender.recommend_by_rules
+        assert rules(True, True, True) == "provenance"
+        assert rules(True, True, False) == "update"
+        assert rules(True, False, True) == "update"
+        assert rules(False, False, False) == "baseline"
+
+    def test_rules_agree_with_cost_model_on_extremes(self, recommender):
+        archival = ScenarioProfile(
+            storage_price_per_gb=100.0,
+            time_price_per_hour=0.1,
+            recoveries_per_cycle=1e-5,
+        )
+        assert recommender.recommend(archival) == (
+            ApproachRecommender.recommend_by_rules(True, True, True)
+        )
+
+
+class TestValidation:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioProfile(num_models=0)
+        with pytest.raises(ValueError):
+            ScenarioProfile(update_rate=1.5)
+        with pytest.raises(ValueError):
+            ScenarioProfile(partial_share=-0.1)
+        with pytest.raises(ValueError):
+            ScenarioProfile(storage_price_per_gb=-1.0)

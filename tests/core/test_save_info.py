@@ -1,0 +1,83 @@
+"""Tests for SetMetadata, ModelUpdate, and UpdateInfo descriptors."""
+
+import pytest
+
+from repro.core.save_info import ModelUpdate, SetMetadata, UpdateInfo
+from repro.datasets.registry import DatasetRef
+from repro.training.pipeline import PipelineConfig
+
+
+@pytest.fixture
+def ref():
+    return DatasetRef(kind="battery-cell", params={"cell_index": 3, "seed": 0})
+
+
+@pytest.fixture
+def pipelines():
+    base = PipelineConfig()
+    return {"full": base, "partial": base.with_layers(("4",))}
+
+
+class TestSetMetadata:
+    def test_json_roundtrip(self):
+        metadata = SetMetadata(
+            use_case="U3-1", description="cycle one", extra={"operator": "bot"}
+        )
+        assert SetMetadata.from_json(metadata.to_json()) == metadata
+
+    def test_defaults_are_empty(self):
+        metadata = SetMetadata()
+        assert metadata.use_case == ""
+        assert metadata.extra == {}
+
+    def test_from_json_tolerates_missing_fields(self):
+        assert SetMetadata.from_json({}) == SetMetadata()
+
+
+class TestModelUpdate:
+    def test_json_roundtrip(self, ref):
+        update = ModelUpdate(model_index=7, dataset_ref=ref, pipeline_key="full")
+        assert ModelUpdate.from_json(update.to_json()) == update
+
+    def test_json_encoding_is_compact_positional(self, ref):
+        update = ModelUpdate(model_index=7, dataset_ref=ref, pipeline_key="full")
+        encoded = update.to_json()
+        assert isinstance(encoded, list)
+        assert encoded[0] == 7
+        assert encoded[2] == "full"
+
+
+class TestUpdateInfo:
+    def test_json_roundtrip(self, ref, pipelines):
+        info = UpdateInfo(
+            pipelines=pipelines,
+            updates=(
+                ModelUpdate(0, ref, "full"),
+                ModelUpdate(5, ref, "partial"),
+            ),
+        )
+        restored = UpdateInfo.from_json(info.to_json())
+        assert restored.updates == info.updates
+        assert restored.pipelines == info.pipelines
+
+    def test_updated_indices(self, ref, pipelines):
+        info = UpdateInfo(
+            pipelines=pipelines,
+            updates=(ModelUpdate(4, ref, "full"), ModelUpdate(1, ref, "partial")),
+        )
+        assert info.updated_indices == [4, 1]
+
+    def test_rejects_unknown_pipeline_key(self, ref, pipelines):
+        with pytest.raises(ValueError):
+            UpdateInfo(
+                pipelines=pipelines,
+                updates=(ModelUpdate(0, ref, "turbo"),),
+            )
+
+    def test_empty_updates_allowed(self, pipelines):
+        info = UpdateInfo(pipelines=pipelines, updates=())
+        assert info.updated_indices == []
+
+    def test_updates_coerced_to_tuple(self, ref, pipelines):
+        info = UpdateInfo(pipelines=pipelines, updates=[ModelUpdate(0, ref, "full")])
+        assert isinstance(info.updates, tuple)

@@ -1,0 +1,92 @@
+"""Tests for the Update approach's diff granularity (ablation A5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_set import ModelSet
+from repro.core.update import UpdateApproach
+
+
+@pytest.fixture
+def models():
+    return ModelSet.build("FFNN-48", num_models=8, seed=0)
+
+
+def partial_change(models, model_index):
+    derived = models.copy()
+    derived.state(model_index)["4.weight"] = (
+        derived.state(model_index)["4.weight"] + 0.5
+    ).astype(np.float32)
+    return derived
+
+
+class TestModelGranularity:
+    def test_roundtrip(self, context, models):
+        approach = UpdateApproach(context, granularity="model")
+        base_id = approach.save_initial(models)
+        derived = partial_change(models, 3)
+        set_id = approach.save_derived(derived, base_id)
+        assert approach.recover(set_id).equals(derived)
+
+    def test_stores_whole_model_on_any_change(self, context, models):
+        approach = UpdateApproach(context, granularity="model")
+        base_id = approach.save_initial(models)
+        derived = partial_change(models, 3)
+        before = context.file_store.stats.bytes_written
+        approach.save_derived(derived, base_id)
+        written = context.file_store.stats.bytes_written - before
+        assert written == models.schema.num_bytes  # full model, not one layer
+
+    def test_layer_granularity_stores_less_for_partial_updates(
+        self, context, models
+    ):
+        layer = UpdateApproach(type(context).create(), granularity="layer")
+        model = UpdateApproach(type(context).create(), granularity="model")
+        results = {}
+        for name, approach in (("layer", layer), ("model", model)):
+            base_id = approach.save_initial(models)
+            derived = partial_change(models, 2)
+            before = approach.context.file_store.stats.bytes_written
+            approach.save_derived(derived, base_id)
+            results[name] = (
+                approach.context.file_store.stats.bytes_written - before
+            )
+        assert results["layer"] < results["model"]
+
+    def test_equal_cost_for_full_updates(self, context, models):
+        # When every layer changed, the granularities converge.
+        layer = UpdateApproach(type(context).create(), granularity="layer")
+        model = UpdateApproach(type(context).create(), granularity="model")
+        results = {}
+        for name, approach in (("layer", layer), ("model", model)):
+            base_id = approach.save_initial(models)
+            derived = models.copy()
+            for key in derived.state(5):
+                derived.state(5)[key] = (derived.state(5)[key] + 1.0).astype(
+                    np.float32
+                )
+            before = approach.context.file_store.stats.bytes_written
+            approach.save_derived(derived, base_id)
+            results[name] = (
+                approach.context.file_store.stats.bytes_written - before
+            )
+        assert results["layer"] == results["model"]
+
+    def test_granularity_recorded_in_document(self, context, models):
+        approach = UpdateApproach(context, granularity="model")
+        base_id = approach.save_initial(models)
+        set_id = approach.save_derived(partial_change(models, 0), base_id)
+        assert context.set_document(set_id)["granularity"] == "model"
+
+    def test_invalid_granularity_rejected(self, context):
+        with pytest.raises(ValueError):
+            UpdateApproach(context, granularity="tensor")
+
+    def test_single_model_recovery_under_model_granularity(self, context, models):
+        approach = UpdateApproach(context, granularity="model")
+        base_id = approach.save_initial(models)
+        derived = partial_change(models, 3)
+        set_id = approach.save_derived(derived, base_id)
+        state = approach.recover_model(set_id, 3)
+        expected = derived.state(3)
+        assert all(np.array_equal(state[k], expected[k]) for k in expected)

@@ -1,0 +1,103 @@
+"""Tests for Dataset/ArrayDataset/DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ArrayDataset, DataLoader, Dataset
+
+
+@pytest.fixture
+def dataset(rng):
+    inputs = rng.normal(size=(23, 4)).astype(np.float32)
+    targets = rng.normal(size=(23, 1)).astype(np.float32)
+    return ArrayDataset(inputs, targets)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self, dataset):
+        assert len(dataset) == 23
+        x, y = dataset[5]
+        assert np.array_equal(x, dataset.inputs[5])
+        assert np.array_equal(y, dataset.targets[5])
+
+    def test_arrays_returns_backing_store(self, dataset):
+        inputs, targets = dataset.arrays()
+        assert inputs is dataset.inputs
+        assert targets is dataset.targets
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros((4, 1)))
+
+    def test_abstract_dataset_raises(self):
+        base = Dataset()
+        with pytest.raises(NotImplementedError):
+            len(base)
+        with pytest.raises(NotImplementedError):
+            base[0]
+
+
+class TestDataLoader:
+    def test_batches_cover_all_samples(self, dataset):
+        loader = DataLoader(dataset, batch_size=5, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == 5  # ceil(23 / 5)
+        total = sum(batch[0].shape[0] for batch in batches)
+        assert total == 23
+
+    def test_drop_last_discards_ragged_tail(self, dataset):
+        loader = DataLoader(dataset, batch_size=5, shuffle=False, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert all(batch[0].shape[0] == 5 for batch in batches)
+
+    def test_len_matches_iteration(self, dataset):
+        for drop_last in (False, True):
+            loader = DataLoader(dataset, batch_size=4, drop_last=drop_last)
+            assert len(loader) == len(list(loader))
+
+    def test_unshuffled_preserves_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=23, shuffle=False)
+        (inputs, _targets), = list(loader)
+        assert np.array_equal(inputs, dataset.inputs)
+
+    def test_shuffle_permutes_within_epoch(self, dataset):
+        loader = DataLoader(dataset, batch_size=23, shuffle=True, seed=0)
+        (inputs, _), = list(loader)
+        assert not np.array_equal(inputs, dataset.inputs)
+        assert np.array_equal(
+            np.sort(inputs, axis=0), np.sort(dataset.inputs, axis=0)
+        )
+
+    def test_epochs_get_different_permutations(self, dataset):
+        loader = DataLoader(dataset, batch_size=23, shuffle=True, seed=0)
+        (first, _), = list(loader)
+        (second, _), = list(loader)
+        assert not np.array_equal(first, second)
+
+    def test_same_seed_replays_identical_batches(self, dataset):
+        def collect():
+            loader = DataLoader(dataset, batch_size=7, shuffle=True, seed=11)
+            return [batch[0] for epoch in range(3) for batch in loader]
+
+        first, second = collect(), collect()
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_reset_epochs_rewinds_shuffling(self, dataset):
+        loader = DataLoader(dataset, batch_size=23, shuffle=True, seed=5)
+        (first, _), = list(loader)
+        list(loader)  # advance an epoch
+        loader.reset_epochs()
+        (replayed, _), = list(loader)
+        assert np.array_equal(first, replayed)
+
+    def test_rejects_nonpositive_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)
+
+    def test_pairs_stay_aligned_under_shuffle(self, rng):
+        inputs = np.arange(40, dtype=np.float32).reshape(40, 1)
+        targets = inputs * 10
+        loader = DataLoader(ArrayDataset(inputs, targets), batch_size=8, seed=2)
+        for batch_x, batch_y in loader:
+            assert np.array_equal(batch_y, batch_x * 10)

@@ -1,0 +1,113 @@
+"""Tests for dataset references and the resolver registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ArrayDataset
+from repro.datasets.registry import DatasetRef, DatasetRegistry, default_registry
+from repro.errors import DatasetNotFoundError
+
+
+def toy_resolver(params):
+    size = int(params["size"])
+    values = np.full((size, 1), float(params.get("value", 0.0)), dtype=np.float32)
+    return ArrayDataset(values, values.copy())
+
+
+class TestDatasetRef:
+    def test_json_roundtrip(self):
+        ref = DatasetRef(kind="toy", params={"size": 3, "value": 1.5})
+        assert DatasetRef.from_json(ref.to_json()) == ref
+
+    def test_canonical_is_key_order_independent(self):
+        a = DatasetRef(kind="toy", params={"a": 1, "b": 2})
+        b = DatasetRef(kind="toy", params={"b": 2, "a": 1})
+        assert a.canonical() == b.canonical()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_params_are_unequal(self):
+        a = DatasetRef(kind="toy", params={"size": 1})
+        b = DatasetRef(kind="toy", params={"size": 2})
+        assert a != b
+
+    def test_equality_against_other_types(self):
+        assert DatasetRef(kind="toy") != "toy"
+
+
+class TestDatasetRegistry:
+    def test_resolve_uses_registered_resolver(self):
+        registry = DatasetRegistry()
+        registry.register("toy", toy_resolver)
+        dataset = registry.resolve(DatasetRef("toy", {"size": 4, "value": 2.0}))
+        assert len(dataset) == 4
+        assert dataset[0][0][0] == 2.0
+
+    def test_unknown_kind_raises(self):
+        registry = DatasetRegistry()
+        with pytest.raises(DatasetNotFoundError):
+            registry.resolve(DatasetRef("missing", {}))
+
+    def test_cache_returns_same_object(self):
+        registry = DatasetRegistry()
+        registry.register("toy", toy_resolver)
+        ref = DatasetRef("toy", {"size": 2})
+        assert registry.resolve(ref) is registry.resolve(ref)
+
+    def test_cache_disabled_with_zero_size(self):
+        registry = DatasetRegistry(cache_size=0)
+        registry.register("toy", toy_resolver)
+        ref = DatasetRef("toy", {"size": 2})
+        assert registry.resolve(ref) is not registry.resolve(ref)
+
+    def test_cache_evicts_oldest(self):
+        registry = DatasetRegistry(cache_size=2)
+        registry.register("toy", toy_resolver)
+        first = registry.resolve(DatasetRef("toy", {"size": 1}))
+        registry.resolve(DatasetRef("toy", {"size": 2}))
+        registry.resolve(DatasetRef("toy", {"size": 3}))  # evicts size=1
+        assert registry.resolve(DatasetRef("toy", {"size": 1})) is not first
+
+    def test_clear_cache(self):
+        registry = DatasetRegistry()
+        registry.register("toy", toy_resolver)
+        ref = DatasetRef("toy", {"size": 2})
+        first = registry.resolve(ref)
+        registry.clear_cache()
+        assert registry.resolve(ref) is not first
+
+    def test_rejects_negative_cache_size(self):
+        with pytest.raises(ValueError):
+            DatasetRegistry(cache_size=-1)
+
+    def test_kinds_sorted(self):
+        registry = DatasetRegistry()
+        registry.register("zeta", toy_resolver)
+        registry.register("alpha", toy_resolver)
+        assert registry.kinds() == ["alpha", "zeta"]
+
+
+class TestDefaultRegistry:
+    def test_has_builtin_resolvers(self):
+        registry = default_registry()
+        assert registry.kinds() == ["battery-cell", "pack-cell", "synthetic-cifar"]
+
+    def test_battery_ref_resolves_to_identical_data(self):
+        from repro.battery.datagen import CellDataConfig
+        from repro.datasets.battery import battery_dataset_ref
+
+        config = CellDataConfig(seed=1, samples_per_cell=64, cycle_duration_s=64)
+        ref = battery_dataset_ref(2, 1, config)
+        registry = default_registry()
+        a = registry.resolve(ref)
+        registry.clear_cache()
+        b = registry.resolve(ref)
+        assert np.array_equal(a.inputs, b.inputs)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_cifar_ref_resolves(self):
+        from repro.datasets.synthetic_cifar import cifar_dataset_ref
+
+        registry = default_registry()
+        dataset = registry.resolve(cifar_dataset_ref(num_samples=8, seed=1))
+        assert len(dataset) == 8

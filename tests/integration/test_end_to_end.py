@@ -1,0 +1,140 @@
+"""Cross-module integration tests: full scenario through every approach."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import MultiModelManager
+from repro.storage.hardware import M1_PROFILE, SERVER_PROFILE
+from tests.conftest import save_sequence
+
+APPROACHES = ("mmlib-base", "baseline", "update", "provenance")
+
+
+class TestFullScenarioRoundtrips:
+    @pytest.mark.parametrize("approach", ("mmlib-base", "baseline", "update"))
+    def test_every_use_case_recovers_exactly(self, approach, synthetic_cases):
+        manager = MultiModelManager.with_approach(approach)
+        set_ids = save_sequence(manager, synthetic_cases)
+        for set_id, case in zip(set_ids, synthetic_cases):
+            assert manager.recover_set(set_id).equals(case.model_set), case.name
+
+    def test_provenance_recovers_trained_scenario_exactly(self, trained_cases):
+        manager = MultiModelManager.with_approach("provenance")
+        set_ids = save_sequence(manager, trained_cases)
+        for set_id, case in zip(set_ids, trained_cases):
+            assert manager.recover_set(set_id).equals(case.model_set), case.name
+
+    def test_update_recovers_trained_scenario_exactly(self, trained_cases):
+        # Update must be agnostic to *how* models changed.
+        manager = MultiModelManager.with_approach("update")
+        set_ids = save_sequence(manager, trained_cases)
+        assert manager.recover_set(set_ids[-1]).equals(trained_cases[-1].model_set)
+
+    def test_all_approaches_recover_identical_content(self, synthetic_cases):
+        recovered = {}
+        for approach in ("mmlib-base", "baseline", "update"):
+            manager = MultiModelManager.with_approach(approach)
+            set_ids = save_sequence(manager, synthetic_cases)
+            recovered[approach] = manager.recover_set(set_ids[-1])
+        assert recovered["baseline"].equals(recovered["mmlib-base"])
+        assert recovered["baseline"].equals(recovered["update"])
+
+
+class TestStorageInvariants:
+    def test_paper_storage_ordering_u1(self, synthetic_cases):
+        """Figure 3, U1: provenance == baseline < update < mmlib-base."""
+        sizes = {}
+        for approach in APPROACHES:
+            manager = MultiModelManager.with_approach(approach)
+            manager.save_set(synthetic_cases[0].model_set)
+            sizes[approach] = manager.total_stored_bytes()
+        # Provenance's full save carries only a tiny lineage marker
+        # (kind/chain_depth) on top of the Baseline document.
+        assert abs(sizes["baseline"] - sizes["provenance"]) < 100
+        assert sizes["baseline"] < sizes["update"] < sizes["mmlib-base"]
+
+    def test_paper_storage_ordering_u3(self, synthetic_cases):
+        """Figure 3, U3: provenance << update << baseline < mmlib-base."""
+        deltas = {}
+        for approach in APPROACHES:
+            manager = MultiModelManager.with_approach(approach)
+            set_ids = save_sequence(manager, synthetic_cases[:2])
+            total = manager.total_stored_bytes()
+            manager_initial = MultiModelManager.with_approach(approach)
+            manager_initial.save_set(synthetic_cases[0].model_set)
+            deltas[approach] = total - manager_initial.total_stored_bytes()
+        assert deltas["provenance"] < 0.1 * deltas["update"]
+        assert deltas["update"] < 0.5 * deltas["baseline"]
+        assert deltas["baseline"] < deltas["mmlib-base"]
+
+    def test_every_parameter_byte_accounted(self, synthetic_cases):
+        manager = MultiModelManager.with_approach("baseline")
+        manager.save_set(synthetic_cases[0].model_set)
+        stored = manager.context.file_store.total_bytes()
+        assert stored == synthetic_cases[0].model_set.parameter_bytes
+
+
+class TestWriteCountInvariants:
+    def test_set_oriented_approaches_write_o1_documents(self, synthetic_cases):
+        """O3: saving n models must not take n round trips."""
+        for approach in ("baseline", "update", "provenance"):
+            manager = MultiModelManager.with_approach(approach)
+            save_sequence(manager, synthetic_cases)
+            writes = (
+                manager.context.document_store.stats.writes
+                + manager.context.file_store.stats.writes
+            )
+            assert writes <= 8 * len(synthetic_cases), approach
+
+    def test_mmlib_base_writes_scale_with_models(self, synthetic_cases):
+        manager = MultiModelManager.with_approach("mmlib-base")
+        manager.save_set(synthetic_cases[0].model_set)
+        writes = (
+            manager.context.document_store.stats.writes
+            + manager.context.file_store.stats.writes
+        )
+        assert writes >= 3 * len(synthetic_cases[0].model_set)
+
+
+class TestHardwareProfiles:
+    def test_m1_simulated_time_exceeds_server(self, synthetic_cases):
+        times = {}
+        for name, profile in (("server", SERVER_PROFILE), ("m1", M1_PROFILE)):
+            manager = MultiModelManager.with_approach("mmlib-base", profile=profile)
+            manager.save_set(synthetic_cases[0].model_set)
+            stats = manager.context.document_store.stats
+            file_stats = manager.context.file_store.stats
+            times[name] = (
+                stats.simulated_write_s + file_stats.simulated_write_s
+            )
+        assert times["m1"] > 2 * times["server"]
+
+    def test_mmlib_benefits_most_from_fast_stores(self, synthetic_cases):
+        """§4.3: the server's faster document store mostly helps MMlib-base."""
+        gains = {}
+        for approach in ("mmlib-base", "baseline"):
+            sim = {}
+            for name, profile in (("server", SERVER_PROFILE), ("m1", M1_PROFILE)):
+                manager = MultiModelManager.with_approach(approach, profile=profile)
+                manager.save_set(synthetic_cases[0].model_set)
+                sim[name] = (
+                    manager.context.document_store.stats.simulated_write_s
+                    + manager.context.file_store.stats.simulated_write_s
+                )
+            gains[approach] = sim["m1"] - sim["server"]
+        assert gains["mmlib-base"] > 10 * gains["baseline"]
+
+
+class TestCrossDomain:
+    def test_cifar_models_roundtrip_through_update(self):
+        from repro.core.model_set import ModelSet
+
+        models = ModelSet.build("CIFAR", num_models=6, seed=1)
+        manager = MultiModelManager.with_approach("update")
+        first = manager.save_set(models)
+        derived = models.copy()
+        derived.state(2)["10.weight"] = (
+            derived.state(2)["10.weight"] * 1.1
+        ).astype(np.float32)
+        second = manager.save_set(derived, base_set_id=first)
+        assert manager.recover_set(second).equals(derived)

@@ -1,0 +1,105 @@
+"""Tests for activation modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.activations import softmax
+from tests.nn.test_layers import numerical_gradient
+
+
+class TestReLU:
+    def test_forward_clamps_negatives(self):
+        out = ReLU()(np.array([[-1.0, 0.0, 2.0]], dtype=np.float32))
+        assert np.array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_negatives(self):
+        layer = ReLU()
+        layer(np.array([[-1.0, 3.0]], dtype=np.float32))
+        grad = layer.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+
+
+class TestTanh:
+    def test_forward_matches_numpy(self, rng):
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        assert np.allclose(Tanh()(x), np.tanh(x), atol=1e-6)
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = Tanh()
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer(x) ** 2))
+
+        out = layer(x)
+        grad = layer.backward(2.0 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.zeros((1, 1)))
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        layer = Sigmoid()
+        out = layer(np.array([[-100.0, 0.0, 100.0]], dtype=np.float32))
+        assert np.all((out >= 0) & (out <= 1))
+        assert np.isclose(out[0, 1], 0.5)
+
+    def test_numerically_stable_for_large_negatives(self):
+        out = Sigmoid()(np.array([[-500.0]], dtype=np.float32))
+        assert np.isfinite(out).all()
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = Sigmoid()
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer(x) ** 2))
+
+        out = layer(x)
+        grad = layer.backward(2.0 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Sigmoid().backward(np.zeros((1, 1)))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = Softmax()(rng.normal(size=(5, 7)).astype(np.float32))
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_stable_for_large_logits(self):
+        out = softmax(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        assert np.allclose(out, 0.5)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        assert np.allclose(softmax(x), softmax(x + 10.0), atol=1e-5)
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = Softmax()
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        weights = rng.normal(size=(2, 4)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(weights * layer(x)))
+
+        layer(x)
+        grad = layer.backward(weights)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Softmax().backward(np.zeros((1, 2)))

@@ -1,0 +1,69 @@
+"""Tests for stateless helpers: predict, accuracy, clip_grad_norm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Sequential
+from repro.nn.functional import accuracy, clip_grad_norm, predict
+
+
+class TestPredict:
+    def test_runs_in_eval_mode_and_restores(self):
+        model = Sequential(Linear(4, 4, rng=np.random.default_rng(0)), Dropout(0.9))
+        model.train()
+        x = np.ones((8, 4), dtype=np.float32)
+        out = predict(model, x)
+        # Dropout disabled during predict: output equals the linear part.
+        assert np.array_equal(out, model[0](x))
+        assert model.training  # mode restored
+
+    def test_does_not_enable_training_on_eval_model(self):
+        model = Sequential(Linear(2, 2))
+        model.eval()
+        predict(model, np.zeros((1, 2), dtype=np.float32))
+        assert not model.training
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_fractional(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1, 1, 0])) == 0.5
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(4), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        layer = Linear(2, 2)
+        layer.weight.grad[:] = 0.1
+        before = layer.weight.grad.copy()
+        norm = clip_grad_norm(layer, max_norm=100.0)
+        assert np.array_equal(layer.weight.grad, before)
+        assert norm < 100.0
+
+    def test_clips_to_max_norm(self):
+        layer = Linear(3, 3)
+        layer.weight.grad[:] = 10.0
+        layer.bias.grad[:] = 10.0
+        clip_grad_norm(layer, max_norm=1.0)
+        total = sum(float(np.sum(p.grad**2)) for p in layer.parameters())
+        assert np.isclose(total**0.5, 1.0, rtol=1e-4)
+
+    def test_returns_preclip_norm(self):
+        layer = Linear(1, 1)
+        layer.weight.grad[:] = 3.0
+        layer.bias.grad[:] = 4.0
+        assert np.isclose(clip_grad_norm(layer, 1.0), 5.0, rtol=1e-5)
+
+    def test_rejects_nonpositive_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm(Linear(1, 1), 0.0)

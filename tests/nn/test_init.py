@@ -1,0 +1,64 @@
+"""Tests for seeded weight initialization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.init import bias_uniform, kaiming_uniform, xavier_uniform
+
+
+class TestKaimingUniform:
+    def test_values_within_bound(self, rng):
+        fan_in = 50
+        values = kaiming_uniform((200, fan_in), fan_in, rng)
+        bound = math.sqrt(6.0 / fan_in)
+        assert np.all(np.abs(values) <= bound)
+
+    def test_dtype_is_float32(self, rng):
+        assert kaiming_uniform((3, 3), 3, rng).dtype == np.float32
+
+    def test_deterministic_per_seed(self):
+        a = kaiming_uniform((4, 4), 4, np.random.default_rng(9))
+        b = kaiming_uniform((4, 4), 4, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = kaiming_uniform((4, 4), 4, np.random.default_rng(1))
+        b = kaiming_uniform((4, 4), 4, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_rejects_nonpositive_fan_in(self, rng):
+        with pytest.raises(ValueError):
+            kaiming_uniform((2, 2), 0, rng)
+
+
+class TestXavierUniform:
+    def test_values_within_bound(self, rng):
+        fan_in, fan_out = 30, 20
+        values = xavier_uniform((fan_out, fan_in), fan_in, fan_out, rng)
+        bound = math.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(values) <= bound)
+
+    def test_rejects_nonpositive_fans(self, rng):
+        with pytest.raises(ValueError):
+            xavier_uniform((2, 2), 0, 2, rng)
+        with pytest.raises(ValueError):
+            xavier_uniform((2, 2), 2, -1, rng)
+
+
+class TestBiasUniform:
+    def test_values_within_bound(self, rng):
+        fan_in = 16
+        values = bias_uniform((100,), fan_in, rng)
+        assert np.all(np.abs(values) <= 1.0 / math.sqrt(fan_in))
+
+    def test_rejects_nonpositive_fan_in(self, rng):
+        with pytest.raises(ValueError):
+            bias_uniform((2,), 0, rng)
+
+    def test_roughly_uniform_spread(self):
+        values = bias_uniform((10_000,), 4, np.random.default_rng(0))
+        # Mean near zero, spread near the uniform std of bound/sqrt(3).
+        assert abs(values.mean()) < 0.02
+        assert abs(values.std() - 0.5 / math.sqrt(3)) < 0.02

@@ -1,0 +1,210 @@
+"""Deeper coverage: layer combinations, geometry edge cases, and
+end-to-end gradient checks through composed networks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    MSELoss,
+    ReLU,
+    Sequential,
+    SGD,
+    Tanh,
+)
+from tests.nn.test_layers import numerical_gradient
+
+
+class TestConvGeometry:
+    @pytest.mark.parametrize(
+        "kernel,stride,padding,in_hw,out_hw",
+        [
+            (3, 1, 0, 8, 6),
+            (3, 1, 1, 8, 8),
+            (3, 2, 1, 8, 4),
+            (5, 1, 2, 8, 8),
+            (2, 2, 0, 8, 4),
+            (1, 1, 0, 8, 8),
+        ],
+    )
+    def test_output_geometry(self, rng, kernel, stride, padding, in_hw, out_hw):
+        layer = Conv2d(2, 3, kernel_size=kernel, stride=stride, padding=padding,
+                       rng=rng)
+        out = layer(rng.normal(size=(1, 2, in_hw, in_hw)).astype(np.float32))
+        assert out.shape == (1, 3, out_hw, out_hw)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (1, 2)])
+    def test_gradcheck_across_geometries(self, rng, stride, padding):
+        layer = Conv2d(1, 2, kernel_size=3, stride=stride, padding=padding,
+                       rng=rng)
+        x = rng.normal(size=(2, 1, 6, 6)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer(x) ** 2))
+
+        out = layer(x)
+        layer.zero_grad()
+        grad_in = layer.backward(2.0 * out)
+        assert np.allclose(
+            grad_in, numerical_gradient(loss, x), rtol=3e-2, atol=3e-2
+        )
+        assert np.allclose(
+            layer.weight.grad,
+            numerical_gradient(loss, layer.weight.data),
+            rtol=3e-2,
+            atol=3e-2,
+        )
+
+    def test_kernel_one_equals_per_pixel_linear(self, rng):
+        conv = Conv2d(3, 2, kernel_size=1, rng=rng)
+        x = rng.normal(size=(1, 3, 4, 4)).astype(np.float32)
+        out = conv(x)
+        flat_w = conv.weight.data.reshape(2, 3)
+        manual = np.einsum("oc,bchw->bohw", flat_w, x) + conv.bias.data[
+            None, :, None, None
+        ]
+        assert np.allclose(out, manual, atol=1e-5)
+
+
+class TestPoolingGeometry:
+    def test_maxpool_stride_smaller_than_kernel(self, rng):
+        pool = MaxPool2d(3, stride=1)
+        x = rng.normal(size=(1, 1, 5, 5)).astype(np.float32)
+        out = pool(x)
+        assert out.shape == (1, 1, 3, 3)
+        assert out[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+    def test_overlapping_maxpool_gradcheck(self, rng):
+        pool = MaxPool2d(2, stride=1)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(pool(x) ** 2))
+
+        out = pool(x)
+        grad = pool.backward(2.0 * out)
+        assert np.allclose(
+            grad, numerical_gradient(loss, x), rtol=3e-2, atol=3e-2
+        )
+
+    def test_avgpool_gradcheck(self, rng):
+        pool = AvgPool2d(2)
+        x = rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(pool(x) ** 2))
+
+        out = pool(x)
+        grad = pool.backward(2.0 * out)
+        assert np.allclose(
+            grad, numerical_gradient(loss, x), rtol=2e-2, atol=2e-2
+        )
+
+
+class TestComposedNetworks:
+    def test_cnn_head_gradcheck(self, rng):
+        model = Sequential(
+            Conv2d(1, 2, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(2 * 3 * 3, 4, rng=rng),
+            Tanh(),
+            Linear(4, 2, rng=rng),
+        )
+        x = rng.normal(size=(3, 1, 6, 6)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(model(x) ** 2))
+
+        out = model(x)
+        model.zero_grad()
+        grad_in = model.backward(2.0 * out)
+        assert np.allclose(
+            grad_in, numerical_gradient(loss, x), rtol=4e-2, atol=4e-2
+        )
+        first_conv = model[0]
+        assert np.allclose(
+            first_conv.weight.grad,
+            numerical_gradient(loss, first_conv.weight.data),
+            rtol=4e-2,
+            atol=4e-2,
+        )
+
+    def test_deep_mlp_trains_xor(self):
+        # A classic non-linear task end-to-end through the framework.
+        x = np.array(
+            [[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float32
+        )
+        y = np.array([[0], [1], [1], [0]], dtype=np.float32)
+        rng = np.random.default_rng(3)
+        model = Sequential(
+            Linear(2, 8, rng=rng), Tanh(), Linear(8, 8, rng=rng), Tanh(),
+            Linear(8, 1, rng=rng),
+        )
+        loss = MSELoss()
+        optimizer = SGD(model, lr=0.2, momentum=0.9)
+        for _step in range(400):
+            value = loss(model(x), y)
+            model.zero_grad()
+            model.backward(loss.backward())
+            optimizer.step()
+        assert value < 0.01
+        prediction = model(x)
+        assert np.all((prediction > 0.5) == (y > 0.5))
+
+    def test_gradient_flow_through_frozen_layers(self, rng):
+        # Only training the last layer still needs correct gradient
+        # propagation *through* the earlier layers to reach it -- but
+        # here we check the converse: updating only the first layer
+        # requires grads flowing all the way back.
+        model = Sequential(
+            Linear(3, 4, rng=rng), Tanh(), Linear(4, 1, rng=rng)
+        )
+        first = model[0]
+        optimizer = SGD([first.weight, first.bias], lr=0.1)
+        x = rng.normal(size=(8, 3)).astype(np.float32)
+        y = rng.normal(size=(8, 1)).astype(np.float32)
+        loss = MSELoss()
+        last_before = model[2].weight.data.copy()
+        first_before = first.weight.data.copy()
+        for _step in range(5):
+            value = loss(model(x), y)
+            model.zero_grad()
+            model.backward(loss.backward())
+            optimizer.step()
+        assert not np.array_equal(first.weight.data, first_before)
+        assert np.array_equal(model[2].weight.data, last_before)
+
+
+class TestOptimizerInteractions:
+    def test_momentum_plus_weight_decay(self):
+        from repro.nn import Parameter
+
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, momentum=0.5, weight_decay=0.1)
+        param.grad[:] = 0.0
+        optimizer.step()  # grad = 0 + wd*1.0 = 0.1; v = 0.1; p = 1 - 0.01
+        assert np.isclose(param.data[0], 0.99, atol=1e-6)
+        param.grad[:] = 0.0
+        optimizer.step()  # grad = wd*0.99 = 0.099; v = 0.05+0.099 = 0.149
+        assert np.isclose(param.data[0], 0.99 - 0.1 * 0.149, atol=1e-5)
+
+    def test_adam_step_size_shrinks_near_optimum(self):
+        from repro.nn import Adam, Parameter
+
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.1)
+        steps = []
+        for _step in range(50):
+            previous = float(param.data[0])
+            param.grad[:] = 2.0 * param.data  # d/dp of p^2
+            optimizer.step()
+            steps.append(abs(float(param.data[0]) - previous))
+        # Converging: late steps much smaller than early ones.
+        assert np.mean(steps[-5:]) < 0.5 * np.mean(steps[:5])
+        assert abs(float(param.data[0])) < 0.5

@@ -1,0 +1,266 @@
+"""Tests for trainable/structural layers, including numerical grad checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d
+
+
+def numerical_gradient(fn, array, eps=1e-3):
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn()
+        flat[i] = original - eps
+        minus = fn()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x), expected, atol=1e-6)
+
+    def test_forward_without_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert list(dict(layer.named_parameters())) == ["weight"]
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        assert np.allclose(layer(x), x @ layer.weight.data.T, atol=1e-6)
+
+    def test_rejects_bad_input_shape(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((4, 5), dtype=np.float32))
+        with pytest.raises(ValueError):
+            layer(np.zeros((3,), dtype=np.float32))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+        with pytest.raises(ValueError):
+            Linear(2, -1)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer(x) ** 2))
+
+        out = layer(x)
+        layer.zero_grad()
+        layer.backward(2.0 * out)
+        numeric = numerical_gradient(loss, layer.weight.data)
+        assert np.allclose(layer.weight.grad, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer(x) ** 2))
+
+        out = layer(x)
+        layer.zero_grad()
+        grad_in = layer.backward(2.0 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_gradients_accumulate_across_backwards(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        out = layer(x)
+        layer.zero_grad()
+        layer.backward(np.ones_like(out))
+        first = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(np.ones_like(out))
+        assert np.allclose(layer.weight.grad, 2 * first, atol=1e-6)
+
+
+class TestConv2d:
+    def test_output_shape_with_padding(self, rng):
+        layer = Conv2d(3, 5, kernel_size=3, padding=1, rng=rng)
+        out = layer(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_output_shape_with_stride(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, stride=2, rng=rng)
+        out = layer(rng.normal(size=(1, 1, 9, 9)).astype(np.float32))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_matches_direct_convolution(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        out = layer(x)
+        # Direct computation at one output position.
+        patch = x[0, :, 1:4, 2:5]
+        expected = np.sum(layer.weight.data[1] * patch) + layer.bias.data[1]
+        assert np.isclose(out[0, 1, 1, 2], expected, atol=1e-5)
+
+    def test_rejects_wrong_channel_count(self, rng):
+        layer = Conv2d(3, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_rejects_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, kernel_size=0)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, kernel_size=3, stride=0)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, kernel_size=3, padding=-1)
+
+    def test_backward_before_forward_raises(self):
+        layer = Conv2d(1, 1, kernel_size=3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 1, 1), dtype=np.float32))
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Conv2d(2, 2, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 4, 4)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer(x) ** 2))
+
+        out = layer(x)
+        layer.zero_grad()
+        layer.backward(2.0 * out)
+        numeric = numerical_gradient(loss, layer.weight.data)
+        assert np.allclose(layer.weight.grad, numeric, rtol=2e-2, atol=2e-2)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, rng=rng)
+        x = rng.normal(size=(1, 1, 5, 5)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer(x) ** 2))
+
+        out = layer(x)
+        layer.zero_grad()
+        grad_in = layer.backward(2.0 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, rtol=2e-2, atol=2e-2)
+
+    def test_bias_gradient(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, rng=rng)
+        x = rng.normal(size=(2, 1, 5, 5)).astype(np.float32)
+        out = layer(x)
+        layer.zero_grad()
+        layer.backward(np.ones_like(out))
+        # d(sum)/d(bias_c) = number of output positions times batch.
+        positions = out.shape[0] * out.shape[2] * out.shape[3]
+        assert np.allclose(layer.bias.grad, positions, atol=1e-4)
+
+
+class TestPooling:
+    def test_maxpool_selects_maximum(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2)(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        pool = MaxPool2d(2)
+        out = pool(x)
+        grad = pool.backward(np.ones_like(out))
+        expected = np.zeros((4, 4), dtype=np.float32)
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.array_equal(grad[0, 0], expected)
+
+    def test_avgpool_averages(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2)(x)
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_backward_spreads_uniformly(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        pool = AvgPool2d(2)
+        out = pool(x)
+        grad = pool.backward(np.full_like(out, 4.0))
+        assert np.allclose(grad, 1.0)
+
+    def test_pool_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(0)
+        with pytest.raises(ValueError):
+            AvgPool2d(-1)
+
+    def test_pool_backward_before_forward_raises(self):
+        for pool in (MaxPool2d(2), AvgPool2d(2)):
+            with pytest.raises(RuntimeError):
+                pool.backward(np.zeros((1, 1, 1, 1), dtype=np.float32))
+
+    def test_maxpool_gradient_matches_numerical(self, rng):
+        pool = MaxPool2d(2)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(pool(x) ** 2))
+
+        out = pool(x)
+        grad = pool.backward(2.0 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad, numeric, rtol=2e-2, atol=2e-2)
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 5)).astype(np.float32)
+        out = layer(x)
+        assert out.shape == (2, 60)
+        grad = layer.backward(out)
+        assert grad.shape == x.shape
+        assert np.array_equal(grad, x)
+
+    def test_flatten_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Flatten().backward(np.zeros((1, 2)))
+
+    def test_dropout_identity_in_eval_mode(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(8, 8)).astype(np.float32)
+        assert np.array_equal(layer(x), x)
+
+    def test_dropout_zero_p_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(8, 8)).astype(np.float32)
+        assert np.array_equal(layer(x), x)
+
+    def test_dropout_scales_survivors(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((1000, 1), dtype=np.float32)
+        out = layer(x)
+        survivors = out[out != 0]
+        assert np.allclose(survivors, 2.0)
+        # Expectation preserved within sampling tolerance.
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_dropout_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 1), dtype=np.float32)
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad != 0, out != 0)
+
+    def test_dropout_rejects_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

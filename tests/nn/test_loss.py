@@ -1,0 +1,96 @@
+"""Tests for loss functions: values, gradients, and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss
+from tests.nn.test_layers import numerical_gradient
+
+
+class TestMSELoss:
+    def test_value_matches_manual(self, rng):
+        loss = MSELoss()
+        pred = rng.normal(size=(4, 2)).astype(np.float32)
+        target = rng.normal(size=(4, 2)).astype(np.float32)
+        assert np.isclose(loss(pred, target), np.mean((pred - target) ** 2), atol=1e-6)
+
+    def test_zero_for_equal_inputs(self, rng):
+        x = rng.normal(size=(3, 3)).astype(np.float32)
+        assert MSELoss()(x, x.copy()) == 0.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MSELoss().backward()
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = MSELoss()
+        pred = rng.normal(size=(3, 2)).astype(np.float32)
+        target = rng.normal(size=(3, 2)).astype(np.float32)
+
+        def value():
+            return loss(pred, target)
+
+        loss(pred, target)
+        grad = loss.backward()
+        numeric = numerical_gradient(value, pred)
+        assert np.allclose(grad, numeric, rtol=1e-2, atol=1e-3)
+
+
+class TestCrossEntropyLoss:
+    def test_perfect_prediction_has_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32)
+        assert loss(logits, np.array([0, 1])) < 1e-5
+
+    def test_uniform_logits_give_log_classes(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10), dtype=np.float32)
+        assert np.isclose(loss(logits, np.zeros(4, dtype=int)), np.log(10), atol=1e-5)
+
+    def test_rejects_non_2d_logits(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros(5), np.zeros(5, dtype=int))
+
+    def test_rejects_target_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_rejects_out_of_range_targets(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.array([-1, 0]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(4, 5)).astype(np.float32)
+        targets = np.array([0, 2, 4, 1])
+
+        def value():
+            return loss(logits, targets)
+
+        loss(logits, targets)
+        grad = loss.backward()
+        numeric = numerical_gradient(value, logits)
+        assert np.allclose(grad, numeric, rtol=1e-2, atol=1e-3)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(3, 4)).astype(np.float32)
+        loss(logits, np.array([0, 1, 2]))
+        grad = loss.backward()
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_no_nan_for_extreme_logits(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[1e9, -1e9]], dtype=np.float32)
+        value = loss(logits, np.array([1]))
+        assert np.isfinite(value)

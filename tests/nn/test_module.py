@@ -1,0 +1,175 @@
+"""Tests for Module/Parameter/Sequential: registration, state dicts, modes."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.errors import ArchitectureMismatchError
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential, Tanh
+
+
+class TwoLayer(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self.first = Linear(3, 4, rng=np.random.default_rng(0))
+        self.act = ReLU()
+        self.second = Linear(4, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.second(self.act(self.first(x)))
+
+    def backward(self, grad):
+        return self.first.backward(self.act.backward(self.second.backward(grad)))
+
+
+class TestParameter:
+    def test_data_cast_to_float32(self):
+        param = Parameter(np.ones((2, 2), dtype=np.float64))
+        assert param.data.dtype == np.float32
+
+    def test_grad_initialized_to_zero(self):
+        param = Parameter(np.ones((3,)))
+        assert np.all(param.grad == 0)
+        assert param.grad.shape == (3,)
+
+    def test_zero_grad_resets_in_place(self):
+        param = Parameter(np.ones((3,)))
+        grad_ref = param.grad
+        param.grad += 5.0
+        param.zero_grad()
+        assert param.grad is grad_ref
+        assert np.all(param.grad == 0)
+
+    def test_shape_and_size(self):
+        param = Parameter(np.zeros((4, 5)))
+        assert param.shape == (4, 5)
+        assert param.size == 20
+
+
+class TestModuleRegistration:
+    def test_named_parameters_order_is_registration_order(self):
+        model = TwoLayer()
+        names = [name for name, _p in model.named_parameters()]
+        assert names == ["first.weight", "first.bias", "second.weight", "second.bias"]
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
+
+    def test_layer_names_match_state_dict_keys(self):
+        model = TwoLayer()
+        assert model.layer_names() == list(model.state_dict())
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        for param in model.parameters():
+            param.grad += 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+class TestTrainEvalModes:
+    def test_train_propagates_to_children(self):
+        model = TwoLayer().eval()
+        assert not model.first.training
+        model.train()
+        assert model.training and model.first.training and model.second.training
+
+    def test_eval_propagates_to_children(self):
+        model = TwoLayer().train()
+        model.eval()
+        assert not model.training and not model.first.training
+
+
+class TestStateDict:
+    def test_state_dict_returns_copies(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][:] = 99.0
+        assert not np.any(model.first.weight.data == 99.0)
+
+    def test_roundtrip_is_exact(self):
+        model_a, model_b = TwoLayer(), TwoLayer()
+        model_b.load_state_dict(model_a.state_dict())
+        for (name_a, p_a), (name_b, p_b) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            assert name_a == name_b
+            assert np.array_equal(p_a.data, p_b.data)
+
+    def test_load_rejects_missing_key(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["second.bias"]
+        with pytest.raises(ArchitectureMismatchError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_extra_key(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["ghost"] = np.zeros(3, dtype=np.float32)
+        with pytest.raises(ArchitectureMismatchError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_reordered_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        reordered = OrderedDict(reversed(list(state.items())))
+        with pytest.raises(ArchitectureMismatchError):
+            model.load_state_dict(reordered)
+
+    def test_load_rejects_wrong_shape(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ArchitectureMismatchError):
+            model.load_state_dict(state)
+
+    def test_load_casts_dtype(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.bias"] = state["first.bias"].astype(np.float64) + 1.0
+        model.load_state_dict(state)
+        assert model.first.bias.data.dtype == np.float32
+
+
+class TestSequential:
+    def test_state_dict_uses_positional_names(self):
+        model = Sequential(Linear(2, 3), Tanh(), Linear(3, 1))
+        assert list(model.state_dict()) == [
+            "0.weight",
+            "0.bias",
+            "2.weight",
+            "2.bias",
+        ]
+
+    def test_len_iter_getitem(self):
+        layers = [Linear(2, 2), ReLU(), Linear(2, 2)]
+        model = Sequential(*layers)
+        assert len(model) == 3
+        assert list(model) == layers
+        assert model[1] is layers[1]
+
+    def test_forward_chains_layers(self):
+        model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+        x = np.array([[1.0, -1.0]], dtype=np.float32)
+        manual = model[1](model[0](x))
+        assert np.array_equal(model(x), manual)
+
+    def test_backward_reverses_layers(self):
+        model = Sequential(
+            Linear(2, 3, rng=np.random.default_rng(0)),
+            Tanh(),
+            Linear(3, 1, rng=np.random.default_rng(1)),
+        )
+        out = model(np.array([[0.5, -0.5]], dtype=np.float32))
+        grad_in = model.backward(np.ones_like(out))
+        assert grad_in.shape == (1, 2)
+
+    def test_abstract_module_raises(self):
+        module = Module()
+        with pytest.raises(NotImplementedError):
+            module.forward(np.zeros((1, 1)))
+        with pytest.raises(NotImplementedError):
+            module.backward(np.zeros((1, 1)))

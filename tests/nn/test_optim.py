@@ -1,0 +1,136 @@
+"""Tests for SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, MSELoss, Parameter, Sequential, Tanh
+
+
+def quadratic_step(optimizer_cls, steps=200, **kwargs):
+    """Minimize ||Wx - y||^2 with the given optimizer; returns final loss."""
+    rng = np.random.default_rng(0)
+    model = Sequential(Linear(4, 8, rng=rng), Tanh(), Linear(8, 1, rng=rng))
+    x = rng.normal(size=(16, 4)).astype(np.float32)
+    y = rng.normal(size=(16, 1)).astype(np.float32)
+    loss = MSELoss()
+    optimizer = optimizer_cls(model, **kwargs)
+    value = None
+    for _ in range(steps):
+        value = loss(model(x), y)
+        model.zero_grad()
+        model.backward(loss.backward())
+        optimizer.step()
+    return value
+
+
+class TestOptimizerBase:
+    def test_rejects_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_non_parameters(self):
+        with pytest.raises(TypeError):
+            SGD([np.zeros(3)], lr=0.1)
+
+    def test_accepts_module_or_parameter_list(self):
+        layer = Linear(2, 2)
+        SGD(layer, lr=0.1)
+        SGD([layer.weight], lr=0.1)
+
+    def test_zero_grad_clears_managed_params(self):
+        layer = Linear(2, 2)
+        optimizer = SGD(layer, lr=0.1)
+        layer.weight.grad += 1.0
+        optimizer.zero_grad()
+        assert np.all(layer.weight.grad == 0)
+
+
+class TestSGD:
+    def test_plain_step_formula(self):
+        param = Parameter(np.array([1.0, 2.0], dtype=np.float32))
+        param.grad[:] = [0.5, -0.5]
+        SGD([param], lr=0.1).step()
+        assert np.allclose(param.data, [0.95, 2.05], atol=1e-6)
+
+    def test_momentum_accumulates_velocity(self):
+        param = Parameter(np.array([0.0], dtype=np.float32))
+        optimizer = SGD([param], lr=1.0, momentum=0.9)
+        param.grad[:] = 1.0
+        optimizer.step()  # velocity = 1, param = -1
+        param.grad[:] = 1.0
+        optimizer.step()  # velocity = 1.9, param = -2.9
+        assert np.isclose(param.data[0], -2.9, atol=1e-6)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([10.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad[:] = 0.0
+        optimizer.step()
+        assert np.isclose(param.data[0], 10.0 - 0.1 * 0.5 * 10.0, atol=1e-5)
+
+    def test_converges_on_regression(self):
+        assert quadratic_step(SGD, lr=0.05, momentum=0.9) < 0.05
+
+    def test_rejects_bad_hyperparameters(self):
+        layer = Linear(2, 2)
+        with pytest.raises(ValueError):
+            SGD(layer, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(layer, lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(layer, lr=0.1, weight_decay=-1.0)
+
+    def test_only_selected_parameters_move(self):
+        layer_a = Linear(2, 2, rng=np.random.default_rng(0))
+        layer_b = Linear(2, 2, rng=np.random.default_rng(1))
+        before_b = layer_b.weight.data.copy()
+        optimizer = SGD([layer_a.weight, layer_a.bias], lr=0.1)
+        layer_a.weight.grad += 1.0
+        layer_b.weight.grad += 1.0
+        optimizer.step()
+        assert not np.array_equal(layer_a.weight.data, layer_a.weight.data * 0)
+        assert np.array_equal(layer_b.weight.data, before_b)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in the gradient
+        # direction regardless of gradient magnitude.
+        param = Parameter(np.array([0.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.01)
+        param.grad[:] = 123.0
+        optimizer.step()
+        assert np.isclose(param.data[0], -0.01, rtol=1e-4)
+
+    def test_converges_on_regression(self):
+        assert quadratic_step(Adam, lr=0.02) < 0.05
+
+    def test_rejects_bad_hyperparameters(self):
+        layer = Linear(2, 2)
+        with pytest.raises(ValueError):
+            Adam(layer, lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam(layer, betas=(1.0, 0.999))
+
+    def test_deterministic_across_runs(self):
+        results = []
+        for _ in range(2):
+            rng = np.random.default_rng(7)
+            layer = Linear(3, 1, rng=rng)
+            optimizer = Adam(layer, lr=0.01)
+            x = np.ones((4, 3), dtype=np.float32)
+            loss = MSELoss()
+            for _ in range(10):
+                value = loss(layer(x), np.zeros((4, 1), dtype=np.float32))
+                layer.zero_grad()
+                layer.backward(loss.backward())
+                optimizer.step()
+            results.append(layer.weight.data.copy())
+        assert np.array_equal(results[0], results[1])
+
+    def test_weight_decay_applied(self):
+        param = Parameter(np.array([10.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        param.grad[:] = 0.0
+        optimizer.step()
+        assert param.data[0] < 10.0

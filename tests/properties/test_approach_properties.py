@@ -1,0 +1,99 @@
+"""Property-based tests over the newer approaches and their invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.approach import SaveContext
+from repro.core.model_set import ModelSet
+from repro.core.pas import PasDeltaApproach
+from repro.core.quantized import QuantizedBaselineApproach
+
+#: Arbitrary float32 bit patterns, including NaN/Inf/subnormals: the
+#: XOR-delta codec must round-trip *any* parameter value bit-exactly.
+float_bits = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def bits_to_model_set(bit_lists):
+    """Build a 2-model FFNN-48 set whose first-layer bias carries the
+    given raw bit patterns (48 values per model)."""
+    models = ModelSet.build("FFNN-48", num_models=2, seed=0)
+    for model_index, bits in enumerate(bit_lists):
+        values = np.array(bits, dtype=np.uint32).view(np.float32)
+        state = models.state(model_index)
+        state["0.bias"] = values.reshape(state["0.bias"].shape).copy()
+    return models
+
+
+class TestPasDeltaProperties:
+    @given(
+        base_bits=st.lists(float_bits, min_size=48, max_size=48),
+        new_bits=st.lists(float_bits, min_size=48, max_size=48),
+    )
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_xor_delta_roundtrips_any_bit_pattern(self, base_bits, new_bits):
+        base = bits_to_model_set([base_bits, base_bits])
+        derived = bits_to_model_set([new_bits, base_bits])
+        approach = PasDeltaApproach(SaveContext.create())
+        base_id = approach.save_initial(base)
+        set_id = approach.save_derived(derived, base_id)
+        recovered = approach.recover(set_id)
+        for index in range(2):
+            for name in derived.state(index):
+                assert (
+                    recovered.state(index)[name].tobytes()
+                    == derived.state(index)[name].tobytes()
+                ), name
+
+    @given(
+        chain_length=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_chain_of_any_length_recovers(self, chain_length, seed):
+        rng = np.random.default_rng(seed)
+        approach = PasDeltaApproach(SaveContext.create())
+        current = ModelSet.build("FFNN-48", num_models=3, seed=0)
+        ids = [approach.save_initial(current)]
+        history = [current]
+        for _step in range(chain_length):
+            current = current.copy()
+            model_index = int(rng.integers(3))
+            state = current.state(model_index)
+            state["2.weight"] = (
+                state["2.weight"] + rng.normal(0, 0.1, size=state["2.weight"].shape)
+            ).astype(np.float32)
+            ids.append(approach.save_derived(current, ids[-1]))
+            history.append(current)
+        # Every generation along the chain recovers bit-exactly.
+        for set_id, expected in zip(ids, history):
+            assert approach.recover(set_id).equals(expected)
+
+
+class TestQuantizedProperties:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_fp16_error_always_bounded(self, seed):
+        models = ModelSet.build("FFNN-48", num_models=2, seed=seed)
+        approach = QuantizedBaselineApproach(SaveContext.create())
+        set_id = approach.save_initial(models)
+        recovered = approach.recover(set_id)
+        # Kaiming-initialized weights are well inside fp16's normal
+        # range, so the roundtrip error obeys the half-precision epsilon.
+        assert recovered.equals(models, atol=1e-3)
+        assert not recovered.equals(models)  # and is genuinely lossy
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_quantization_is_idempotent(self, seed):
+        """Saving an already-quantized set loses nothing further."""
+        models = ModelSet.build("FFNN-48", num_models=1, seed=seed)
+        approach = QuantizedBaselineApproach(SaveContext.create())
+        once = approach.recover(approach.save_initial(models))
+        twice = approach.recover(approach.save_initial(once))
+        assert twice.equals(once)  # bit-exact the second time

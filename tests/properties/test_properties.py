@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import CODECS
+from repro.nn.serialization import (
+    StateSchema,
+    bytes_to_parameters,
+    deserialize_state_dict,
+    parameters_to_bytes,
+    serialize_state_dict,
+)
+from repro.storage.hashing import hash_array
+
+# -- strategies -------------------------------------------------------------
+
+layer_names = st.lists(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="._"),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+
+shapes = st.lists(st.integers(min_value=1, max_value=5), min_size=0, max_size=3).map(
+    tuple
+)
+
+
+@st.composite
+def state_dicts(draw):
+    names = draw(layer_names)
+    state = OrderedDict()
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    for name in names:
+        shape = draw(shapes)
+        state[name] = rng.normal(size=shape).astype(np.float32)
+    return state
+
+
+byte_payloads = st.binary(min_size=0, max_size=4096)
+
+
+# -- serialization ------------------------------------------------------------
+
+class TestSerializationProperties:
+    @given(state=state_dicts())
+    @settings(max_examples=60, deadline=None)
+    def test_self_describing_roundtrip(self, state):
+        decoded = deserialize_state_dict(serialize_state_dict(state))
+        assert list(decoded) == list(state)
+        for key in state:
+            assert np.array_equal(decoded[key], state[key])
+            assert decoded[key].shape == state[key].shape
+
+    @given(state=state_dicts())
+    @settings(max_examples=60, deadline=None)
+    def test_schema_split_roundtrip(self, state):
+        schema = StateSchema.from_state_dict(state)
+        decoded = bytes_to_parameters(parameters_to_bytes(state), schema)
+        for key in state:
+            assert np.array_equal(decoded[key], state[key])
+
+    @given(state=state_dicts())
+    @settings(max_examples=40, deadline=None)
+    def test_schema_json_roundtrip(self, state):
+        schema = StateSchema.from_state_dict(state)
+        assert StateSchema.from_json(schema.to_json()) == schema
+
+    @given(state=state_dicts(), count=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_concatenated_stream_slices_cleanly(self, state, count):
+        schema = StateSchema.from_state_dict(state)
+        stream = parameters_to_bytes(state) * count
+        for index in range(count):
+            decoded = bytes_to_parameters(
+                stream, schema, offset=index * schema.num_bytes
+            )
+            for key in state:
+                assert np.array_equal(decoded[key], state[key])
+
+
+# -- hashing -------------------------------------------------------------------
+
+class TestHashingProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hash_deterministic(self, seed, size):
+        values = np.random.default_rng(seed).normal(size=size).astype(np.float32)
+        assert hash_array(values) == hash_array(values.copy())
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        size=st.integers(min_value=1, max_value=64),
+        position=st.integers(min_value=0, max_value=63),
+        delta=st.floats(
+            min_value=1e-5, max_value=10.0, allow_nan=False, allow_infinity=False
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_change_detected(self, seed, size, position, delta):
+        values = np.random.default_rng(seed).normal(size=size).astype(np.float32)
+        changed = values.copy()
+        changed[position % size] += np.float32(delta)
+        if not np.array_equal(values, changed):
+            assert hash_array(values) != hash_array(changed)
+
+
+# -- compression ----------------------------------------------------------------
+
+class TestCompressionProperties:
+    @given(data=byte_payloads, codec_name=st.sampled_from(sorted(CODECS)))
+    @settings(max_examples=80, deadline=None)
+    def test_all_codecs_roundtrip_arbitrary_bytes(self, data, codec_name):
+        codec = CODECS[codec_name]
+        assert codec.decode(codec.encode(data)) == data
+
+
+# -- update-plan sampling ----------------------------------------------------------
+
+class TestUpdatePlanProperties:
+    @given(
+        num_models=st.integers(min_value=1, max_value=300),
+        full=st.floats(min_value=0.0, max_value=0.5),
+        partial=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=1000),
+        cycle=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_plans_always_disjoint_and_in_range(
+        self, num_models, full, partial, seed, cycle
+    ):
+        from repro.workloads.update_plan import UpdatePlan
+
+        plan = UpdatePlan.sample(num_models, full, partial, seed, cycle)
+        combined = plan.full_indices + plan.partial_indices
+        assert len(set(combined)) == len(combined)
+        assert all(0 <= index < num_models for index in combined)
+        assert len(plan.full_indices) == round(num_models * full)
+        assert len(plan.partial_indices) == round(num_models * partial)
+
+
+# -- delta save/recover ------------------------------------------------------------
+
+class TestUpdateApproachProperties:
+    @given(
+        changes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),  # model index
+                st.integers(min_value=0, max_value=7),  # layer index
+            ),
+            min_size=0,
+            max_size=10,
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_arbitrary_layer_changes_roundtrip(self, changes, seed):
+        """Whatever subset of (model, layer) cells changes, Update's
+        delta save must recover the derived set bit-exactly."""
+        from repro.core.approach import SaveContext
+        from repro.core.model_set import ModelSet
+        from repro.core.update import UpdateApproach
+
+        models = ModelSet.build("FFNN-48", num_models=6, seed=0)
+        approach = UpdateApproach(SaveContext.create())
+        base_id = approach.save_initial(models)
+        derived = models.copy()
+        rng = np.random.default_rng(seed)
+        layer_names = models.schema.layer_names()
+        for model_index, layer_index in changes:
+            name = layer_names[layer_index]
+            state = derived.state(model_index)
+            state[name] = (
+                state[name] + rng.normal(0, 0.1, size=state[name].shape)
+            ).astype(np.float32)
+        set_id = approach.save_derived(derived, base_id)
+        assert approach.recover(set_id).equals(derived)

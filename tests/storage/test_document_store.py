@@ -1,0 +1,103 @@
+"""Tests for the JSON document store."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError
+from repro.storage.document_store import DocumentStore, document_num_bytes
+from repro.storage.hardware import SERVER_PROFILE
+
+
+class TestInsertGet:
+    def test_roundtrip(self):
+        store = DocumentStore()
+        doc_id = store.insert("models", {"name": "m1", "params": 42})
+        assert store.get("models", doc_id) == {"name": "m1", "params": 42}
+
+    def test_explicit_doc_id(self):
+        store = DocumentStore()
+        assert store.insert("c", {"a": 1}, doc_id="chosen") == "chosen"
+        assert store.get("c", "chosen") == {"a": 1}
+
+    def test_generated_ids_are_unique(self):
+        store = DocumentStore()
+        ids = {store.insert("c", {"i": i}) for i in range(100)}
+        assert len(ids) == 100
+
+    def test_missing_document_raises(self):
+        store = DocumentStore()
+        store.insert("c", {})
+        with pytest.raises(DocumentNotFoundError):
+            store.get("c", "ghost")
+        with pytest.raises(DocumentNotFoundError):
+            store.get("other-collection", "ghost")
+
+    def test_returned_document_is_a_copy(self):
+        store = DocumentStore()
+        doc_id = store.insert("c", {"nested": {"x": 1}})
+        fetched = store.get("c", doc_id)
+        fetched["nested"]["x"] = 99
+        assert store.get("c", doc_id)["nested"]["x"] == 1
+
+    def test_inserted_document_decoupled_from_caller(self):
+        store = DocumentStore()
+        document = {"values": [1, 2]}
+        doc_id = store.insert("c", document)
+        document["values"].append(3)
+        assert store.get("c", doc_id)["values"] == [1, 2]
+
+    def test_non_json_document_rejected(self):
+        store = DocumentStore()
+        with pytest.raises(TypeError):
+            store.insert("c", {"bad": object()})
+
+
+class TestInspection:
+    def test_collections_and_counts(self):
+        store = DocumentStore()
+        store.insert("b", {}, doc_id="1")
+        store.insert("a", {}, doc_id="2")
+        store.insert("a", {}, doc_id="3")
+        assert store.collections() == ["a", "b"]
+        assert store.count("a") == 2
+        assert store.collection_ids("a") == ["2", "3"]
+        assert store.exists("b", "1") and not store.exists("b", "9")
+
+    def test_total_bytes_matches_compact_json(self):
+        store = DocumentStore()
+        doc = {"k": "v", "n": 1}
+        store.insert("c", doc)
+        assert store.total_bytes() == document_num_bytes(doc)
+
+
+class TestAccounting:
+    def test_write_counts_compact_json_bytes(self):
+        store = DocumentStore()
+        doc = {"key": "value"}
+        store.insert("c", doc, category="metadata")
+        expected = document_num_bytes(doc)
+        assert store.stats.bytes_written == expected
+        assert store.stats.bytes_by_category == {"metadata": expected}
+
+    def test_read_counts(self):
+        store = DocumentStore()
+        doc_id = store.insert("c", {"key": "value"})
+        store.get("c", doc_id)
+        assert store.stats.reads == 1
+        assert store.stats.bytes_read == document_num_bytes({"key": "value"})
+
+    def test_per_operation_latency(self):
+        store = DocumentStore(profile=SERVER_PROFILE)
+        for i in range(10):
+            store.insert("c", {"i": i})
+        # 10 round trips: the fixed per-op latency dominates tiny docs.
+        assert store.stats.simulated_write_s >= 10 * SERVER_PROFILE.doc_write_latency_s
+
+    def test_delta_since_snapshot(self):
+        store = DocumentStore()
+        store.insert("c", {"a": 1})
+        before = store.stats.snapshot()
+        store.insert("c", {"b": 2}, category="hash-info")
+        delta = store.stats.delta_since(before)
+        assert delta.writes == 1
+        assert delta.bytes_written == document_num_bytes({"b": 2})
+        assert delta.bytes_by_category == {"hash-info": document_num_bytes({"b": 2})}

@@ -1,0 +1,113 @@
+"""Tests for the binary artifact store."""
+
+import pytest
+
+from repro.errors import ArtifactNotFoundError, DuplicateArtifactError
+from repro.storage.file_store import FileStore
+from repro.storage.hardware import M1_PROFILE
+
+
+class TestPutGet:
+    def test_roundtrip_with_explicit_id(self):
+        store = FileStore()
+        store.put(b"hello", artifact_id="greeting")
+        assert store.get("greeting") == b"hello"
+
+    def test_content_addressing_without_id(self):
+        store = FileStore()
+        artifact_id = store.put(b"payload")
+        assert artifact_id.startswith("sha256-")
+        assert store.get(artifact_id) == b"payload"
+
+    def test_same_content_same_derived_id(self):
+        store = FileStore()
+        assert store.put(b"x") == store.put(b"x")
+
+    def test_duplicate_explicit_id_rejected(self):
+        store = FileStore()
+        store.put(b"a", artifact_id="one")
+        with pytest.raises(DuplicateArtifactError):
+            store.put(b"b", artifact_id="one")
+
+    def test_missing_artifact_raises(self):
+        store = FileStore()
+        with pytest.raises(ArtifactNotFoundError):
+            store.get("ghost")
+        with pytest.raises(ArtifactNotFoundError):
+            store.size("ghost")
+
+    def test_empty_payload(self):
+        store = FileStore()
+        store.put(b"", artifact_id="empty")
+        assert store.get("empty") == b""
+
+
+class TestInspection:
+    def test_exists_size_ids_len(self):
+        store = FileStore()
+        store.put(b"abc", artifact_id="z")
+        store.put(b"defg", artifact_id="a")
+        assert store.exists("z") and not store.exists("q")
+        assert store.size("a") == 4
+        assert store.ids() == ["a", "z"]
+        assert len(store) == 2
+
+    def test_total_bytes(self):
+        store = FileStore()
+        store.put(b"abc", artifact_id="x")
+        store.put(b"de", artifact_id="y")
+        assert store.total_bytes() == 5
+
+
+class TestAccounting:
+    def test_write_counters(self):
+        store = FileStore()
+        store.put(b"12345", artifact_id="x", category="parameters")
+        assert store.stats.writes == 1
+        assert store.stats.bytes_written == 5
+        assert store.stats.bytes_by_category == {"parameters": 5}
+
+    def test_read_counters(self):
+        store = FileStore()
+        store.put(b"12345", artifact_id="x")
+        store.get("x")
+        assert store.stats.reads == 1
+        assert store.stats.bytes_read == 5
+
+    def test_inspection_not_charged(self):
+        store = FileStore()
+        store.put(b"12345", artifact_id="x")
+        store.exists("x")
+        store.size("x")
+        store.ids()
+        assert store.stats.reads == 0
+
+    def test_latency_charged_per_profile(self):
+        store = FileStore(profile=M1_PROFILE)
+        payload = b"x" * 1_000_000
+        store.put(payload, artifact_id="big")
+        expected = M1_PROFILE.file_write_cost(len(payload))
+        assert store.stats.simulated_write_s == pytest.approx(expected)
+        store.get("big")
+        assert store.stats.simulated_read_s == pytest.approx(
+            M1_PROFILE.file_read_cost(len(payload))
+        )
+
+    def test_zero_latency_profile_charges_nothing(self):
+        store = FileStore()
+        store.put(b"x" * 100, artifact_id="x")
+        assert store.stats.simulated_write_s == 0.0
+
+
+class TestDiskSpill:
+    def test_artifacts_written_to_directory(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        store.put(b"on-disk", artifact_id="file1")
+        assert (tmp_path / "file1.bin").read_bytes() == b"on-disk"
+
+    def test_reads_come_from_disk(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        store.put(b"payload", artifact_id="file1")
+        # Tamper with the file to prove reads hit the disk copy.
+        (tmp_path / "file1.bin").write_bytes(b"tampered")
+        assert store.get("file1") == b"tampered"

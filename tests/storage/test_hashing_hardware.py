@@ -1,0 +1,83 @@
+"""Tests for hashing helpers and hardware profiles."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.storage.hardware import LOCAL_PROFILE, M1_PROFILE, SERVER_PROFILE
+from repro.storage.hashing import (
+    LAYER_HASH_LENGTH,
+    hash_array,
+    hash_bytes,
+    hash_state_dict_layers,
+)
+
+
+class TestHashing:
+    def test_hash_bytes_is_sha256(self):
+        import hashlib
+
+        assert hash_bytes(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+    def test_truncation(self):
+        assert len(hash_bytes(b"abc", length=16)) == 16
+
+    def test_equal_arrays_hash_equal(self, rng):
+        values = rng.normal(size=(4, 4)).astype(np.float32)
+        assert hash_array(values) == hash_array(values.copy())
+
+    def test_single_element_change_detected(self, rng):
+        values = rng.normal(size=(8, 8)).astype(np.float32)
+        changed = values.copy()
+        changed[3, 3] += 1e-6
+        assert hash_array(values) != hash_array(changed)
+
+    def test_hash_ignores_contiguity(self, rng):
+        values = rng.normal(size=(6, 6)).astype(np.float32)
+        strided = np.asfortranarray(values)
+        assert hash_array(values) == hash_array(strided)
+
+    def test_hash_casts_to_float32(self):
+        a = np.ones(3, dtype=np.float64)
+        b = np.ones(3, dtype=np.float32)
+        assert hash_array(a) == hash_array(b)
+
+    def test_default_layer_hash_length(self, rng):
+        values = rng.normal(size=3).astype(np.float32)
+        assert len(hash_array(values)) == LAYER_HASH_LENGTH
+
+    def test_state_dict_hashes_preserve_order(self, rng):
+        state = OrderedDict(
+            [("b", rng.normal(size=2).astype(np.float32)),
+             ("a", rng.normal(size=2).astype(np.float32))]
+        )
+        hashes = hash_state_dict_layers(state)
+        assert list(hashes) == ["b", "a"]
+
+
+class TestHardwareProfiles:
+    def test_m1_slower_than_server(self):
+        assert M1_PROFILE.doc_write_latency_s > SERVER_PROFILE.doc_write_latency_s
+        assert M1_PROFILE.write_bandwidth_bps < SERVER_PROFILE.write_bandwidth_bps
+
+    def test_local_profile_is_free(self):
+        assert LOCAL_PROFILE.doc_write_cost(10**9) == 0.0
+        assert LOCAL_PROFILE.file_read_cost(10**9) == 0.0
+
+    def test_cost_combines_latency_and_bandwidth(self):
+        cost = SERVER_PROFILE.file_write_cost(2 * 10**9)
+        expected = SERVER_PROFILE.file_write_latency_s + 2e9 / 2.0e9
+        assert cost == pytest.approx(expected)
+
+    def test_cost_monotonic_in_size(self):
+        small = SERVER_PROFILE.doc_write_cost(100)
+        large = SERVER_PROFILE.doc_write_cost(10**8)
+        assert large > small
+
+    def test_per_model_round_trips_dominate_for_small_docs(self):
+        # The O3 effect: 5000 tiny writes cost ~5000 round trips, one
+        # bundled write costs ~one.
+        per_model = 5000 * SERVER_PROFILE.doc_write_cost(2_000)
+        bundled = SERVER_PROFILE.doc_write_cost(5000 * 2_000)
+        assert per_model > 50 * bundled

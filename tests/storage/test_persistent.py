@@ -1,0 +1,166 @@
+"""Tests for the disk-backed stores and the durable manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.errors import (
+    ArtifactNotFoundError,
+    DocumentNotFoundError,
+    DuplicateArtifactError,
+    StorageError,
+)
+from repro.storage.persistent import (
+    PersistentDocumentStore,
+    PersistentFileStore,
+    open_context,
+)
+
+
+class TestPersistentFileStore:
+    def test_roundtrip_across_reopen(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(b"payload", artifact_id="a1")
+        reopened = PersistentFileStore(tmp_path)
+        assert reopened.get("a1") == b"payload"
+        assert reopened.size("a1") == 7
+        assert reopened.ids() == ["a1"]
+
+    def test_content_addressing(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        artifact_id = store.put(b"xyz")
+        assert artifact_id.startswith("sha256-")
+        assert store.get(artifact_id) == b"xyz"
+
+    def test_duplicate_rejected(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(b"a", artifact_id="dup")
+        with pytest.raises(DuplicateArtifactError):
+            store.put(b"b", artifact_id="dup")
+
+    def test_duplicate_rejected_across_reopen(self, tmp_path):
+        PersistentFileStore(tmp_path).put(b"a", artifact_id="dup")
+        with pytest.raises(DuplicateArtifactError):
+            PersistentFileStore(tmp_path).put(b"b", artifact_id="dup")
+
+    def test_checksum_detects_corruption(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(b"important-model-bytes", artifact_id="a1")
+        blob_path = tmp_path / "a1.bin"
+        data = bytearray(blob_path.read_bytes())
+        data[0] ^= 0xFF
+        blob_path.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            PersistentFileStore(tmp_path).get("a1")
+
+    def test_checksum_verification_can_be_disabled(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(b"bytes", artifact_id="a1")
+        (tmp_path / "a1.bin").write_bytes(b"tampered")
+        lax = PersistentFileStore(tmp_path, verify_checksums=False)
+        assert lax.get("a1") == b"tampered"
+
+    def test_get_range_reads_from_disk(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(bytes(range(100)), artifact_id="a1")
+        assert store.get_range("a1", 50, 10) == bytes(range(50, 60))
+        with pytest.raises(ValueError):
+            store.get_range("a1", 95, 10)
+
+    def test_delete_removes_files(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(b"bye", artifact_id="a1")
+        store.delete("a1")
+        assert not store.exists("a1")
+        assert not (tmp_path / "a1.bin").exists()
+        assert not (tmp_path / "a1.sha256").exists()
+        with pytest.raises(ArtifactNotFoundError):
+            store.get("a1")
+
+    def test_invalid_artifact_id_rejected(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        with pytest.raises(StorageError):
+            store.put(b"x", artifact_id="../escape")
+
+    def test_accounting_matches_in_memory_store(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(b"12345", artifact_id="a1", category="parameters")
+        assert store.stats.writes == 1
+        assert store.stats.bytes_written == 5
+        assert store.stats.bytes_by_category == {"parameters": 5}
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = PersistentFileStore(tmp_path)
+        store.put(b"x" * 100, artifact_id="a1")
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestPersistentDocumentStore:
+    def test_roundtrip_across_reopen(self, tmp_path):
+        store = PersistentDocumentStore(tmp_path)
+        doc_id = store.insert("models", {"n": 1})
+        reopened = PersistentDocumentStore(tmp_path)
+        assert reopened.get("models", doc_id) == {"n": 1}
+
+    def test_auto_ids_resume_after_reopen(self, tmp_path):
+        store = PersistentDocumentStore(tmp_path)
+        first = store.insert("c", {})
+        second = PersistentDocumentStore(tmp_path).insert("c", {})
+        assert second != first
+
+    def test_delete_removes_file(self, tmp_path):
+        store = PersistentDocumentStore(tmp_path)
+        store.insert("c", {"a": 1}, doc_id="d1")
+        store.delete("c", "d1")
+        assert not (tmp_path / "c" / "d1.json").exists()
+        with pytest.raises(DocumentNotFoundError):
+            store.get("c", "d1")
+
+    def test_replace_persists(self, tmp_path):
+        store = PersistentDocumentStore(tmp_path)
+        store.insert("c", {"v": 1}, doc_id="d1")
+        store.replace("c", "d1", {"v": 2})
+        assert PersistentDocumentStore(tmp_path).get("c", "d1") == {"v": 2}
+
+    def test_replace_missing_raises(self, tmp_path):
+        store = PersistentDocumentStore(tmp_path)
+        with pytest.raises(DocumentNotFoundError):
+            store.replace("c", "ghost", {})
+
+
+class TestDurableManager:
+    def test_full_lifecycle_across_reopen(self, tmp_path):
+        models = ModelSet.build("FFNN-48", num_models=6, seed=0)
+        manager = MultiModelManager.open(str(tmp_path), "update")
+        first = manager.save_set(models)
+        derived = models.copy()
+        derived.state(1)["2.weight"][:] += 0.5
+        second = manager.save_set(derived, base_set_id=first)
+
+        reopened = MultiModelManager.open(str(tmp_path), "update")
+        assert reopened.recover_set(second).equals(derived)
+        assert reopened.recover_set(first).equals(models)
+
+    def test_set_id_sequence_resumes(self, tmp_path):
+        models = ModelSet.build("FFNN-48", num_models=2, seed=0)
+        manager = MultiModelManager.open(str(tmp_path), "baseline")
+        first = manager.save_set(models)
+        reopened = MultiModelManager.open(str(tmp_path), "baseline")
+        second = reopened.save_set(models)
+        assert second != first
+        assert reopened.list_sets() == sorted([first, second])
+
+    def test_single_model_recovery_from_disk(self, tmp_path):
+        models = ModelSet.build("FFNN-48", num_models=5, seed=0)
+        manager = MultiModelManager.open(str(tmp_path), "baseline")
+        set_id = manager.save_set(models)
+        reopened = MultiModelManager.open(str(tmp_path), "baseline")
+        state = reopened.recover_model(set_id, 4)
+        assert all(np.array_equal(state[k], models.state(4)[k]) for k in state)
+
+    def test_open_context_directory_layout(self, tmp_path):
+        context = open_context(tmp_path)
+        assert (tmp_path / "artifacts").is_dir()
+        assert (tmp_path / "documents").is_dir()
+        assert context.total_bytes() == 0

@@ -1,0 +1,62 @@
+"""Tests for environment capture and derived seeds."""
+
+import pytest
+
+from repro.training.environment import EnvironmentInfo, capture_environment
+from repro.training.seeds import derive_seed
+
+
+class TestEnvironment:
+    def test_capture_fields_populated(self):
+        env = capture_environment()
+        assert env.python_version
+        assert env.numpy_version
+        assert env.platform
+        assert env.library_version
+
+    def test_json_roundtrip(self):
+        env = capture_environment()
+        assert EnvironmentInfo.from_json(env.to_json()) == env
+
+    def test_compatible_with_itself(self):
+        env = capture_environment()
+        assert env.is_compatible_with(env)
+
+    def test_incompatible_on_numpy_mismatch(self):
+        env = capture_environment()
+        other = EnvironmentInfo.from_json({**env.to_json(), "numpy_version": "0.0.1"})
+        assert not env.is_compatible_with(other)
+
+    def test_hardware_fields_do_not_affect_compatibility(self):
+        env = capture_environment()
+        other = EnvironmentInfo.from_json({**env.to_json(), "machine": "quantum-42"})
+        assert env.is_compatible_with(other)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("ns", 1, 2) == derive_seed("ns", 1, 2)
+
+    def test_namespace_separates_streams(self):
+        assert derive_seed("a", 1) != derive_seed("b", 1)
+
+    def test_components_matter_and_do_not_concatenate(self):
+        # (1, 23) must differ from (12, 3): components are fixed-width.
+        assert derive_seed("ns", 1, 23) != derive_seed("ns", 12, 3)
+
+    def test_result_fits_in_63_bits(self):
+        for i in range(100):
+            seed = derive_seed("range-check", i)
+            assert 0 <= seed < 2**63
+
+    def test_no_obvious_collisions(self):
+        seeds = {derive_seed("collision", i, j) for i in range(50) for j in range(50)}
+        assert len(seeds) == 2500
+
+    def test_usable_as_numpy_seed(self):
+        import numpy as np
+
+        rng = np.random.default_rng(derive_seed("np", 7))
+        assert rng.random() == pytest.approx(
+            np.random.default_rng(derive_seed("np", 7)).random()
+        )

@@ -1,0 +1,163 @@
+"""Tests for the replayable training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.architectures import build_ffnn48
+from repro.datasets.base import ArrayDataset
+from repro.errors import ProvenanceReplayError
+from repro.training.pipeline import PipelineConfig, TrainingPipeline
+
+
+@pytest.fixture
+def dataset(rng):
+    inputs = rng.normal(size=(64, 4)).astype(np.float32)
+    targets = rng.normal(size=(64, 1)).astype(np.float32)
+    return ArrayDataset(inputs, targets)
+
+
+def fresh_model(seed=0):
+    return build_ffnn48(rng=np.random.default_rng(seed))
+
+
+class TestPipelineConfig:
+    def test_json_roundtrip(self):
+        config = PipelineConfig(
+            loss="mse",
+            optimizer="adam",
+            learning_rate=0.003,
+            weight_decay=0.01,
+            epochs=4,
+            batch_size=16,
+            shuffle_seed=99,
+            trainable_layers=("2", "4"),
+        )
+        assert PipelineConfig.from_json(config.to_json()) == config
+
+    def test_json_roundtrip_with_all_layers(self):
+        config = PipelineConfig(trainable_layers=None)
+        assert PipelineConfig.from_json(config.to_json()).trainable_layers is None
+
+    def test_with_layers_copies_everything_else(self):
+        config = PipelineConfig(learning_rate=0.5, epochs=7)
+        partial = config.with_layers(("0",))
+        assert partial.trainable_layers == ("0",)
+        assert partial.learning_rate == 0.5
+        assert partial.epochs == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(loss="hinge")
+        with pytest.raises(ValueError):
+            PipelineConfig(optimizer="lbfgs")
+        with pytest.raises(ValueError):
+            PipelineConfig(epochs=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(batch_size=-1)
+
+
+class TestTrainDeterminism:
+    def test_replay_is_bit_exact(self, dataset):
+        config = PipelineConfig(
+            learning_rate=0.01, momentum=0.9, epochs=3, batch_size=16, shuffle_seed=5
+        )
+        model_a, model_b = fresh_model(), fresh_model()
+        TrainingPipeline(config).train(model_a, dataset)
+        TrainingPipeline(config).train(model_b, dataset)
+        state_a, state_b = model_a.state_dict(), model_b.state_dict()
+        assert all(np.array_equal(state_a[k], state_b[k]) for k in state_a)
+
+    def test_replay_from_serialized_config(self, dataset):
+        config = PipelineConfig(epochs=2, batch_size=8, shuffle_seed=3)
+        restored = PipelineConfig.from_json(config.to_json())
+        model_a, model_b = fresh_model(), fresh_model()
+        TrainingPipeline(config).train(model_a, dataset)
+        TrainingPipeline(restored).train(model_b, dataset)
+        state_a, state_b = model_a.state_dict(), model_b.state_dict()
+        assert all(np.array_equal(state_a[k], state_b[k]) for k in state_a)
+
+    def test_different_shuffle_seeds_diverge(self, dataset):
+        model_a, model_b = fresh_model(), fresh_model()
+        TrainingPipeline(PipelineConfig(shuffle_seed=1, epochs=2)).train(
+            model_a, dataset
+        )
+        TrainingPipeline(PipelineConfig(shuffle_seed=2, epochs=2)).train(
+            model_b, dataset
+        )
+        state_a, state_b = model_a.state_dict(), model_b.state_dict()
+        assert any(not np.array_equal(state_a[k], state_b[k]) for k in state_a)
+
+    def test_adam_pipeline_deterministic(self, dataset):
+        config = PipelineConfig(optimizer="adam", learning_rate=1e-3, epochs=2)
+        model_a, model_b = fresh_model(), fresh_model()
+        TrainingPipeline(config).train(model_a, dataset)
+        TrainingPipeline(config).train(model_b, dataset)
+        state_a, state_b = model_a.state_dict(), model_b.state_dict()
+        assert all(np.array_equal(state_a[k], state_b[k]) for k in state_a)
+
+
+class TestPartialUpdates:
+    def test_only_selected_layers_change(self, dataset):
+        config = PipelineConfig(epochs=1, trainable_layers=("4",))
+        model = fresh_model()
+        before = model.state_dict()
+        TrainingPipeline(config).train(model, dataset)
+        after = model.state_dict()
+        for name in before:
+            changed = not np.array_equal(before[name], after[name])
+            assert changed == name.startswith("4."), name
+
+    def test_prefix_matches_whole_segment_only(self, dataset):
+        # Prefix "4" must not match a hypothetical layer "40.weight".
+        pipeline = TrainingPipeline(PipelineConfig(trainable_layers=("4",)))
+        names = pipeline.trainable_parameter_names(fresh_model())
+        assert names == ["4.weight", "4.bias"]
+
+    def test_unmatched_prefix_raises(self, dataset):
+        pipeline = TrainingPipeline(PipelineConfig(trainable_layers=("99",)))
+        with pytest.raises(ProvenanceReplayError):
+            pipeline.train(fresh_model(), dataset)
+
+    def test_full_update_trains_all_layers(self, dataset):
+        config = PipelineConfig(epochs=1, learning_rate=0.05)
+        model = fresh_model()
+        before = model.state_dict()
+        TrainingPipeline(config).train(model, dataset)
+        after = model.state_dict()
+        assert all(not np.array_equal(before[k], after[k]) for k in before)
+
+
+class TestTrainingResult:
+    def test_result_fields(self, dataset):
+        config = PipelineConfig(epochs=3, batch_size=16)
+        result = TrainingPipeline(config).train(fresh_model(), dataset)
+        assert result.epochs == 3
+        assert result.batches == 3 * 4  # 64 samples / 16 per batch
+        assert len(result.loss_history) == 3
+        assert result.final_loss == result.loss_history[-1]
+
+    def test_loss_decreases_on_learnable_data(self, rng):
+        inputs = rng.normal(size=(128, 4)).astype(np.float32)
+        targets = (inputs.sum(axis=1, keepdims=True) * 0.2).astype(np.float32)
+        dataset = ArrayDataset(inputs, targets)
+        config = PipelineConfig(learning_rate=0.02, momentum=0.9, epochs=10)
+        result = TrainingPipeline(config).train(fresh_model(), dataset)
+        assert result.loss_history[-1] < result.loss_history[0] * 0.5
+
+    def test_model_left_in_eval_mode(self, dataset):
+        model = fresh_model()
+        TrainingPipeline(PipelineConfig()).train(model, dataset)
+        assert not model.training
+
+    def test_cross_entropy_pipeline(self, rng):
+        from repro.architectures import build_cifar_cnn
+        from repro.datasets.synthetic_cifar import SyntheticCifarDataset
+
+        dataset = SyntheticCifarDataset(num_samples=32, seed=0)
+        config = PipelineConfig(
+            loss="cross-entropy", optimizer="adam", learning_rate=1e-3,
+            epochs=1, batch_size=16,
+        )
+        model = build_cifar_cnn(rng=rng)
+        result = TrainingPipeline(config).train(model, dataset)
+        assert np.isfinite(result.final_loss)

@@ -1,0 +1,162 @@
+"""Tests for fleet monitoring and divergence-based update selection."""
+
+import numpy as np
+import pytest
+
+from repro.battery.datagen import CellDataConfig
+from repro.core.model_set import ModelSet
+from repro.datasets.battery import BatteryCellDataset
+from repro.training.pipeline import PipelineConfig, TrainingPipeline
+from repro.workloads.monitor import (
+    DivergenceSelector,
+    FleetReport,
+    evaluate_fleet,
+)
+from repro.workloads.scenario import MultiModelScenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def data_config():
+    return CellDataConfig(seed=9, samples_per_cell=96, cycle_duration_s=96)
+
+
+@pytest.fixture(scope="module")
+def trained_fleet(data_config):
+    """6 models, each genuinely trained on its own cell's cycle-0 data."""
+    models = ModelSet.build("FFNN-48", num_models=6, seed=9)
+    pipeline = PipelineConfig(
+        learning_rate=0.02, momentum=0.9, epochs=30, batch_size=32, shuffle_seed=2
+    )
+    for cell in range(6):
+        dataset = BatteryCellDataset(cell, 0, data_config)
+        model = models.build_model(cell)
+        TrainingPipeline(pipeline).train(model, dataset)
+        models.states[cell] = model.state_dict()
+    return models
+
+
+class TestFleetReport:
+    def test_worst_orders_by_loss(self):
+        report = FleetReport(update_cycle=1, losses=(0.1, 0.9, 0.5, 0.3))
+        assert report.worst_model == 1
+        assert report.worst(2) == [1, 2]
+        assert report.worst(0) == []
+
+    def test_mean_loss(self):
+        report = FleetReport(update_cycle=0, losses=(1.0, 3.0))
+        assert report.mean_loss == 2.0
+
+    def test_worst_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FleetReport(update_cycle=0, losses=(1.0,)).worst(-1)
+
+
+class TestEvaluateFleet:
+    def test_trained_models_score_well_on_their_cycle(
+        self, trained_fleet, data_config
+    ):
+        report = evaluate_fleet(trained_fleet, 0, data_config)
+        assert len(report.losses) == 6
+        assert report.mean_loss < 0.1  # fit their training data
+
+    def test_untrained_models_score_poorly(self, data_config):
+        fresh = ModelSet.build("FFNN-48", num_models=6, seed=9)
+        report = evaluate_fleet(fresh, 0, data_config)
+        assert report.mean_loss > 0.5  # near the unit variance of targets
+
+    def test_divergence_grows_with_cycles(self, trained_fleet, data_config):
+        # Models trained at cycle 0, evaluated on progressively aged data.
+        strong_aging = CellDataConfig(
+            seed=9, samples_per_cell=96, cycle_duration_s=96,
+            mean_soh_decrement=0.03,
+        )
+        now = evaluate_fleet(trained_fleet, 0, strong_aging)
+        later = evaluate_fleet(trained_fleet, 6, strong_aging)
+        assert later.mean_loss > now.mean_loss
+
+    def test_deterministic(self, trained_fleet, data_config):
+        a = evaluate_fleet(trained_fleet, 1, data_config)
+        b = evaluate_fleet(trained_fleet, 1, data_config)
+        assert a.losses == b.losses
+
+
+class TestDivergenceSelector:
+    def test_selects_worst_models(self):
+        report = FleetReport(
+            update_cycle=1, losses=(0.1, 0.9, 0.5, 0.3, 0.8, 0.2, 0.05, 0.02,
+                                    0.01, 0.015)
+        )
+        selector = DivergenceSelector(full_fraction=0.1, partial_fraction=0.1)
+        plan = selector.select(report)
+        assert plan.full_indices == (1,)   # worst
+        assert plan.partial_indices == (4,)  # second worst
+
+    def test_threshold_exempts_healthy_models(self):
+        report = FleetReport(update_cycle=1, losses=(0.01, 0.02, 0.03, 0.04))
+        selector = DivergenceSelector(
+            full_fraction=0.25, partial_fraction=0.25, loss_threshold=0.1
+        )
+        plan = selector.select(report)
+        assert plan.num_updated == 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            DivergenceSelector(full_fraction=-0.1)
+        with pytest.raises(ValueError):
+            DivergenceSelector(full_fraction=0.6, partial_fraction=0.6)
+
+    def test_plan_is_disjoint_and_sorted(self):
+        losses = tuple(np.random.default_rng(0).random(40))
+        report = FleetReport(update_cycle=2, losses=losses)
+        plan = DivergenceSelector(0.1, 0.1).select(report)
+        assert not set(plan.full_indices) & set(plan.partial_indices)
+        assert list(plan.full_indices) == sorted(plan.full_indices)
+
+
+class TestMonitoredScenario:
+    def test_monitored_selection_targets_diverged_models(
+        self, trained_fleet, data_config
+    ):
+        """With per-cell aging spread, the monitored plan must pick the
+        models whose measured loss is actually worst."""
+        config = ScenarioConfig(
+            num_models=6,
+            num_update_cycles=1,
+            full_update_fraction=1 / 6,
+            partial_update_fraction=1 / 6,
+            seed=9,
+            selection="monitored",
+            data=data_config,
+        )
+        scenario = MultiModelScenario(config)
+        plan = scenario.update_plan(3, trained_fleet)
+        report = evaluate_fleet(trained_fleet, 3, data_config)
+        assert set(plan.full_indices) == {report.worst(1)[0]}
+        assert plan.num_updated == 2
+
+    def test_monitored_requires_model_set(self, data_config):
+        config = ScenarioConfig(
+            num_models=4, selection="monitored", data=data_config
+        )
+        scenario = MultiModelScenario(config)
+        with pytest.raises(ValueError):
+            scenario.update_plan(1)
+
+    def test_invalid_selection_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(selection="oracle")
+
+    def test_monitored_use_cases_run_end_to_end(self, data_config):
+        config = ScenarioConfig(
+            num_models=5,
+            num_update_cycles=2,
+            full_update_fraction=0.2,
+            partial_update_fraction=0.2,
+            seed=9,
+            selection="monitored",
+            data=data_config,
+        )
+        cases = list(MultiModelScenario(config).use_cases())
+        assert len(cases) == 3
+        for case in cases[1:]:
+            assert 1 <= len(case.update_info.updates) <= 2

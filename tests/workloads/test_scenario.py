@@ -1,0 +1,140 @@
+"""Tests for the U1/U3 scenario generator."""
+
+import numpy as np
+import pytest
+
+from repro.training.pipeline import TrainingPipeline
+from repro.workloads.scenario import MultiModelScenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ScenarioConfig(
+        num_models=20,
+        num_update_cycles=2,
+        full_update_fraction=0.1,
+        partial_update_fraction=0.1,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def cases(config):
+    return list(MultiModelScenario(config).use_cases())
+
+
+class TestUseCaseSequence:
+    def test_names_follow_paper_figure2(self, cases):
+        assert [case.name for case in cases] == ["U1", "U3-1", "U3-2"]
+
+    def test_u1_has_no_update_info(self, cases):
+        assert cases[0].update_info is None
+        assert cases[0].base_index is None
+
+    def test_u3_chains_to_previous_case(self, cases):
+        assert cases[1].base_index == 0
+        assert cases[2].base_index == 1
+
+    def test_update_counts_match_fractions(self, cases):
+        for case in cases[1:]:
+            assert len(case.update_info.updates) == 4  # 10% + 10% of 20
+
+    def test_update_info_has_full_and_partial_variants(self, cases):
+        info = cases[1].update_info
+        assert set(info.pipelines) == {"full", "partial"}
+        assert info.pipelines["full"].trainable_layers is None
+        assert info.pipelines["partial"].trainable_layers == ("4",)
+
+    def test_scenario_is_deterministic(self, config, cases):
+        replay = list(MultiModelScenario(config).use_cases())
+        for original, repeated in zip(cases, replay):
+            assert original.model_set.equals(repeated.model_set)
+
+    def test_sets_are_independent_objects(self, cases):
+        # Mutating a later set must not corrupt an earlier one.
+        assert cases[0].model_set is not cases[1].model_set
+
+
+class TestSyntheticUpdates:
+    def test_exactly_planned_models_change(self, cases):
+        base, derived = cases[0].model_set, cases[1].model_set
+        updated = set(cases[1].update_info.updated_indices)
+        for index in range(len(base)):
+            changed = any(
+                not np.array_equal(base.state(index)[k], derived.state(index)[k])
+                for k in base.state(index)
+            )
+            assert changed == (index in updated)
+
+    def test_partial_updates_touch_only_partial_layers(self, cases, config):
+        base, derived = cases[0].model_set, cases[1].model_set
+        info = cases[1].update_info
+        partial_indices = [
+            u.model_index for u in info.updates if u.pipeline_key == "partial"
+        ]
+        pipeline = TrainingPipeline(info.pipelines["partial"])
+        trainable = set(
+            pipeline.trainable_parameter_names(base.build_model(partial_indices[0]))
+        )
+        for index in partial_indices:
+            for key in base.state(index):
+                changed = not np.array_equal(
+                    base.state(index)[key], derived.state(index)[key]
+                )
+                assert changed == (key in trainable)
+
+    def test_dataset_refs_point_to_cell_and_cycle(self, cases):
+        for update in cases[2].update_info.updates:
+            assert update.dataset_ref.kind == "battery-cell"
+            assert update.dataset_ref.params["cell_index"] == update.model_index
+            assert update.dataset_ref.params["update_cycle"] == 2
+
+
+class TestTrainedUpdates:
+    def test_trained_cycle_changes_exactly_planned_models(self, trained_cases):
+        base, derived = trained_cases[0].model_set, trained_cases[1].model_set
+        updated = set(trained_cases[1].update_info.updated_indices)
+        for index in range(len(base)):
+            changed = any(
+                not np.array_equal(base.state(index)[k], derived.state(index)[k])
+                for k in base.state(index)
+            )
+            assert changed == (index in updated)
+
+    def test_trained_updates_are_replayable(self, trained_cases, tiny_data_config):
+        # Re-applying the recorded pipelines to the recorded data must
+        # reproduce the scenario's own output — the provenance contract.
+        from repro.datasets.registry import default_registry
+
+        registry = default_registry()
+        base = trained_cases[0].model_set
+        info = trained_cases[1].update_info
+        replayed = base.copy()
+        for update in info.updates:
+            model = replayed.build_model(update.model_index)
+            dataset = registry.resolve(update.dataset_ref)
+            TrainingPipeline(info.pipelines[update.pipeline_key]).train(
+                model, dataset
+            )
+            replayed.states[update.model_index] = model.state_dict()
+        assert replayed.equals(trained_cases[1].model_set)
+
+
+class TestCustomRefFactory:
+    def test_factory_overrides_battery_refs(self):
+        from repro.datasets.synthetic_cifar import cifar_dataset_ref
+
+        config = ScenarioConfig(
+            num_models=10,
+            num_update_cycles=1,
+            full_update_fraction=0.2,
+            partial_update_fraction=0.0,
+            architecture="CIFAR",
+            partial_layers=("10",),
+            dataset_ref_factory=lambda index, cycle: cifar_dataset_ref(
+                num_samples=16, seed=index + cycle
+            ),
+        )
+        cases = list(MultiModelScenario(config).use_cases())
+        for update in cases[1].update_info.updates:
+            assert update.dataset_ref.kind == "synthetic-cifar"

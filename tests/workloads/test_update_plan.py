@@ -1,0 +1,55 @@
+"""Tests for update-plan sampling."""
+
+import pytest
+
+from repro.errors import InvalidUpdatePlanError
+from repro.workloads.update_plan import UpdatePlan
+
+
+class TestSample:
+    def test_counts_match_fractions(self):
+        plan = UpdatePlan.sample(1000, 0.05, 0.05, seed=0, cycle=1)
+        assert len(plan.full_indices) == 50
+        assert len(plan.partial_indices) == 50
+        assert plan.num_updated == 100
+
+    def test_full_and_partial_disjoint(self):
+        plan = UpdatePlan.sample(200, 0.2, 0.2, seed=0, cycle=1)
+        assert not set(plan.full_indices) & set(plan.partial_indices)
+
+    def test_indices_in_range_and_sorted(self):
+        plan = UpdatePlan.sample(100, 0.1, 0.1, seed=3, cycle=2)
+        for indices in (plan.full_indices, plan.partial_indices):
+            assert all(0 <= i < 100 for i in indices)
+            assert list(indices) == sorted(indices)
+
+    def test_deterministic_per_seed_and_cycle(self):
+        a = UpdatePlan.sample(100, 0.1, 0.1, seed=7, cycle=1)
+        b = UpdatePlan.sample(100, 0.1, 0.1, seed=7, cycle=1)
+        assert a == b
+
+    def test_cycles_draw_different_models(self):
+        a = UpdatePlan.sample(500, 0.1, 0.1, seed=7, cycle=1)
+        b = UpdatePlan.sample(500, 0.1, 0.1, seed=7, cycle=2)
+        assert a != b
+
+    def test_zero_fractions_yield_empty_plan(self):
+        plan = UpdatePlan.sample(100, 0.0, 0.0, seed=0, cycle=1)
+        assert plan.num_updated == 0
+
+    def test_rounding_small_sets(self):
+        plan = UpdatePlan.sample(10, 0.05, 0.05, seed=0, cycle=1)
+        # 0.5 rounds bankers-style; both groups get 0 or 1.
+        assert plan.num_updated <= 2
+
+    def test_validation(self):
+        with pytest.raises(InvalidUpdatePlanError):
+            UpdatePlan.sample(0, 0.1, 0.1, seed=0, cycle=0)
+        with pytest.raises(InvalidUpdatePlanError):
+            UpdatePlan.sample(10, -0.1, 0.1, seed=0, cycle=0)
+        with pytest.raises(InvalidUpdatePlanError):
+            UpdatePlan.sample(10, 0.6, 0.6, seed=0, cycle=0)
+
+    def test_overlap_rejected_at_construction(self):
+        with pytest.raises(InvalidUpdatePlanError):
+            UpdatePlan(full_indices=(1, 2), partial_indices=(2, 3))
