@@ -164,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override the auto-detected approach (needed for mixed archives)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallelism of the save/recover engine (1 serial, 0 = one "
+        "lane per CPU); results are byte-identical at any setting",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("info", help="summarize the archive")
@@ -209,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     context = open_context(args.directory)
+    context.workers = args.workers
     commands = {
         "info": _cmd_info,
         "lineage": _cmd_lineage,

@@ -34,22 +34,33 @@ SETS_COLLECTION = "model_sets"
 
 @dataclass
 class SaveContext:
-    """Bundles the storage substrates an approach writes to and reads from."""
+    """Bundles the storage substrates an approach writes to and reads from.
+
+    ``workers`` is the parallelism knob of the save/recover engine: the
+    number of lanes used for per-model hashing/serialization/decoding and
+    for striped or vectored store transfers.  ``1`` (the default) is the
+    fully serial engine; ``0`` means one lane per CPU.  Results are
+    byte-identical at any setting.
+    """
 
     file_store: FileStore
     document_store: DocumentStore
     dataset_registry: DatasetRegistry
+    workers: int = 1
     _set_counter: "itertools.count[int]" = field(
         default_factory=itertools.count, repr=False
     )
 
     @classmethod
-    def create(cls, profile: HardwareProfile = LOCAL_PROFILE) -> "SaveContext":
+    def create(
+        cls, profile: HardwareProfile = LOCAL_PROFILE, workers: int = 1
+    ) -> "SaveContext":
         """Fresh in-memory context with the default dataset resolvers."""
         return cls(
             file_store=FileStore(profile=profile),
             document_store=DocumentStore(profile=profile),
             dataset_registry=default_registry(),
+            workers=workers,
         )
 
     def next_set_id(self, approach_name: str) -> str:

@@ -25,6 +25,7 @@ from typing import Any
 from repro.architectures.registry import get_architecture
 from repro.core.approach import SETS_COLLECTION, SaveApproach, SaveContext
 from repro.core.model_set import ModelSet
+from repro.core.parallel import parallel_map
 from repro.core.save_info import SetMetadata, UpdateInfo
 from repro.errors import RecoveryError
 from repro.nn.serialization import (
@@ -49,9 +50,17 @@ def write_full_set(
     save) piggyback additional per-set data onto the same document.
     """
     metadata = metadata if metadata is not None else SetMetadata()
-    payload = b"".join(parameters_to_bytes(state) for state in model_set.states)
+    # Per-model serialization is independent, so it runs on the context's
+    # worker lanes; concatenation order is model order either way, and the
+    # put is striped across the same lanes.
+    payload = b"".join(
+        parallel_map(parameters_to_bytes, model_set.states, context.workers)
+    )
     params_artifact = context.file_store.put(
-        payload, artifact_id=f"{set_id}-params", category="parameters"
+        payload,
+        artifact_id=f"{set_id}-params",
+        category="parameters",
+        workers=context.workers,
     )
     spec = get_architecture(model_set.architecture)
     document: dict[str, Any] = {
@@ -95,7 +104,7 @@ def write_full_set_streaming(
     schema: StateSchema | None = None
     count = 0
     with context.file_store.open_writer(
-        f"{set_id}-params", category="parameters"
+        f"{set_id}-params", category="parameters", workers=context.workers
     ) as writer:
         for state in states:
             if schema is None:
@@ -165,17 +174,22 @@ def read_full_set(context: SaveContext, document: dict, set_id: str) -> ModelSet
     """Reconstruct a set saved by :func:`write_full_set`."""
     schema = StateSchema.from_json(document["schema"])
     num_models = int(document["num_models"])
-    payload = context.file_store.get(document["params_artifact"])
+    payload = context.file_store.get(
+        document["params_artifact"], workers=context.workers
+    )
     expected = num_models * schema.num_bytes
     if len(payload) != expected:
         raise RecoveryError(
             f"set {set_id!r}: parameter artifact has {len(payload)} bytes, "
             f"expected {expected}"
         )
-    states = [
-        bytes_to_parameters(payload, schema, offset=index * schema.num_bytes)
-        for index in range(num_models)
-    ]
+    states = parallel_map(
+        lambda index: bytes_to_parameters(
+            payload, schema, offset=index * schema.num_bytes
+        ),
+        range(num_models),
+        context.workers,
+    )
     return ModelSet(str(document["architecture"]), states)
 
 

@@ -205,11 +205,18 @@ def model_history(manager, set_ids: list[str], model_index: int) -> ModelHistory
 
     ``manager`` is a :class:`~repro.core.manager.MultiModelManager`; only
     the target model is recovered from each set, so the cost is
-    independent of the set size for range-read approaches.
+    independent of the set size for range-read approaches.  The per-set
+    recoveries are independent and run on the context's worker lanes.
     """
+    from repro.core.parallel import parallel_map
+
     if not set_ids:
         raise ValueError("set_ids must be non-empty")
-    states = [manager.recover_model(set_id, model_index) for set_id in set_ids]
+    states = parallel_map(
+        lambda set_id: manager.recover_model(set_id, model_index),
+        set_ids,
+        manager.context.workers,
+    )
     first = states[0]
     step_l2 = []
     drift = []

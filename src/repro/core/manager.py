@@ -48,6 +48,7 @@ class MultiModelManager:
         name: str,
         profile: HardwareProfile = LOCAL_PROFILE,
         context: SaveContext | None = None,
+        workers: int | None = None,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Create a manager for the named approach.
@@ -62,6 +63,10 @@ class MultiModelManager:
             (ignored when ``context`` is given).
         context:
             Existing context to share with other approaches.
+        workers:
+            Parallelism of the save/recover engine (``1`` serial, ``0``
+            one lane per CPU).  When given together with ``context``,
+            overrides the context's setting.
         approach_kwargs:
             Extra approach options, e.g. ``snapshot_interval=4`` for the
             Update approach.
@@ -73,7 +78,11 @@ class MultiModelManager:
                 f"unknown approach {name!r}; known: {sorted(APPROACHES)}"
             ) from None
         if context is None:
-            context = SaveContext.create(profile=profile)
+            context = SaveContext.create(
+                profile=profile, workers=1 if workers is None else workers
+            )
+        elif workers is not None:
+            context.workers = workers
         return cls(approach_cls(context, **approach_kwargs))
 
     @classmethod
@@ -82,6 +91,7 @@ class MultiModelManager:
         directory: str,
         approach: str,
         profile: HardwareProfile = LOCAL_PROFILE,
+        workers: int | None = None,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Open (or create) a durable archive rooted at ``directory``.
@@ -96,6 +106,7 @@ class MultiModelManager:
         return cls.with_approach(
             approach,
             context=open_context(directory, profile=profile),
+            workers=workers,
             **approach_kwargs,
         )
 

@@ -1,0 +1,53 @@
+"""Shared thread-pool helpers for the parallel save/recover engine.
+
+The hot paths of saving and recovering a model set are embarrassingly
+parallel per model: hashing (hashlib releases the GIL on buffers larger
+than ~2 KiB), serialization, and parameter decoding are all independent
+across models.  ``parallel_map`` runs such per-item work on a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor` while preserving input
+order, so parallel and serial execution produce byte-identical results.
+
+``workers`` semantics everywhere in the library:
+
+* ``1`` (the default) — serial execution, no executor is created;
+* ``n > 1`` — up to ``n`` concurrent lanes;
+* ``0`` or ``None`` — auto: one lane per available CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` knob to a concrete lane count (>= 1)."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def parallel_map(
+    fn: Callable[[_ItemT], _ResultT],
+    items: "Sequence[_ItemT] | Iterable[_ItemT]",
+    workers: int | None = 1,
+) -> list[_ResultT]:
+    """Apply ``fn`` to every item, in order, on up to ``workers`` threads.
+
+    Falls back to a plain loop for a single worker (or fewer than two
+    items), so the serial path pays no executor overhead.  Exceptions
+    raised by ``fn`` propagate to the caller exactly as in a serial loop.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    # Chunk the work so per-future bookkeeping does not dominate the
+    # (often sub-millisecond) per-item cost.
+    chunksize = max(1, len(items) // (workers * 4))
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, items, chunksize=chunksize))

@@ -3,24 +3,39 @@
 Artifacts are immutable byte blobs addressed by an explicit id or, when no
 id is given, by content hash.  The store keeps data in memory by default
 and can optionally spill to a directory on disk, which the benchmark
-harness uses when measuring real I/O.
+harness uses when measuring real I/O.  In spill mode only a size index is
+kept in memory — artifact bytes live on disk exclusively, so archiving a
+5000-model fleet does not also hold it resident.
 
 Every operation updates a :class:`~repro.storage.stats.StorageStats`
 instance and is charged simulated latency according to the active
-:class:`~repro.storage.hardware.HardwareProfile`.
+:class:`~repro.storage.hardware.HardwareProfile`.  Operations issued by
+the parallel engine (``workers > 1``) model striped/vectored transfers:
+the simulated charge is the :func:`~repro.storage.hardware.makespan` of
+the per-stripe costs across the worker lanes, not their sum.
 
 Large artifacts can be produced incrementally through
 :meth:`FileStore.open_writer` — the streaming-ingestion path uses it to
 save a 5000-model parameter artifact without holding all models' bytes
-at once.
+at once.  In spill mode the writer streams chunks straight to the spill
+file and hashes incrementally, so no contiguous buffer of the final
+artifact ever exists in memory.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+import os
 from pathlib import Path
 
 from repro.errors import ArtifactNotFoundError, DuplicateArtifactError, StorageError
-from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+from repro.storage.hardware import (
+    LOCAL_PROFILE,
+    HardwareProfile,
+    makespan,
+    stripe_sizes,
+)
 from repro.storage.hashing import hash_bytes
 from repro.storage.stats import StorageStats
 
@@ -32,35 +47,85 @@ class ArtifactWriter:
     operation charged at close, covering the total bytes.  Usable as a
     context manager — an exception inside the block abandons the
     artifact without storing anything.
+
+    In spill mode chunks are streamed to a temporary file next to the
+    final artifact and the content hash is maintained incrementally;
+    the writer therefore never materializes the joined artifact.  In
+    memory mode the store must ultimately hold the final bytes, so the
+    chunks are joined once at close.
     """
 
-    def __init__(self, store: "FileStore", artifact_id: str, category: str) -> None:
+    def __init__(
+        self,
+        store: "FileStore",
+        artifact_id: str | None,
+        category: str,
+        workers: int = 1,
+    ) -> None:
         self._store = store
         self._artifact_id = artifact_id
         self._category = category
-        self._chunks: list[bytes] = []
+        self._workers = workers
+        self._hasher = hashlib.sha256()
+        self._num_bytes = 0
         self._closed = False
+        self._chunks: list[bytes] | None = None
+        self._handle = None
+        self._temp: Path | None = None
+        if store._directory is not None:
+            self._temp = store._directory / (
+                f".writer-{next(store._temp_counter)}.tmp"
+            )
+            self._handle = open(self._temp, "wb")
+        else:
+            self._chunks = []
 
     def write(self, chunk: bytes) -> None:
         if self._closed:
             raise StorageError("writer already closed")
-        self._chunks.append(bytes(chunk))
+        chunk = bytes(chunk)
+        self._hasher.update(chunk)
+        self._num_bytes += len(chunk)
+        if self._handle is not None:
+            self._handle.write(chunk)
+        else:
+            self._chunks.append(chunk)
 
     def close(self) -> str:
         """Finalize the artifact; returns its id."""
         if self._closed:
             raise StorageError("writer already closed")
         self._closed = True
-        return self._store.put(
-            b"".join(self._chunks),
-            artifact_id=self._artifact_id,
-            category=self._category,
+        store = self._store
+        derived = self._artifact_id is None
+        artifact_id = (
+            "sha256-" + self._hasher.hexdigest() if derived else self._artifact_id
         )
+        if not derived and store.exists(artifact_id):
+            self.abort()
+            raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
+        if self._handle is not None:
+            self._handle.close()
+            os.replace(self._temp, store._directory / f"{artifact_id}.bin")
+            store._sizes[artifact_id] = self._num_bytes
+        else:
+            store._blobs[artifact_id] = b"".join(self._chunks)
+            self._chunks = None
+        store.stats.record_write(
+            self._num_bytes,
+            store._write_cost(self._num_bytes, self._workers),
+            self._category,
+        )
+        return artifact_id
 
     def abort(self) -> None:
         """Discard everything written so far."""
         self._closed = True
-        self._chunks.clear()
+        if self._handle is not None:
+            self._handle.close()
+            self._temp.unlink(missing_ok=True)
+        else:
+            self._chunks = []
 
     def __enter__(self) -> "ArtifactWriter":
         return self
@@ -81,8 +146,9 @@ class FileStore:
         Latency profile charged per operation; defaults to zero-latency.
     directory:
         Optional spill directory.  When given, artifacts are written to
-        and read from disk (named ``<artifact_id>.bin``), so real I/O cost
-        is incurred in addition to the simulated charge.
+        and read from disk (named ``<artifact_id>.bin``) and only a size
+        index is kept in memory, so real I/O cost is incurred in addition
+        to the simulated charge and memory stays bounded by the index.
     """
 
     def __init__(
@@ -92,53 +158,100 @@ class FileStore:
     ) -> None:
         self.profile = profile
         self.stats = StorageStats()
+        #: Memory mode: id -> bytes.  Empty in spill mode.
         self._blobs: dict[str, bytes] = {}
+        #: Spill mode: id -> size index (the only in-memory footprint).
+        self._sizes: dict[str, int] = {}
+        self._temp_counter = itertools.count()
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
 
+    # -- cost model -------------------------------------------------------
+    def _write_cost(self, num_bytes: int, workers: int = 1) -> float:
+        """Simulated cost of one (possibly striped) artifact write."""
+        if workers <= 1:
+            return self.profile.file_write_cost(num_bytes)
+        stripes = stripe_sizes(num_bytes, workers)
+        return makespan(
+            [self.profile.file_write_cost(size) for size in stripes], workers
+        )
+
+    def _read_cost(self, num_bytes: int, workers: int = 1) -> float:
+        """Simulated cost of one (possibly striped) artifact read."""
+        if workers <= 1:
+            return self.profile.file_read_cost(num_bytes)
+        stripes = stripe_sizes(num_bytes, workers)
+        return makespan(
+            [self.profile.file_read_cost(size) for size in stripes], workers
+        )
+
+    def _size_of(self, artifact_id: str) -> int:
+        if self._directory is not None:
+            return self._sizes[artifact_id]
+        return len(self._blobs[artifact_id])
+
     # -- write -----------------------------------------------------------
     def put(
-        self, data: bytes, artifact_id: str | None = None, category: str = "binary"
+        self,
+        data: bytes,
+        artifact_id: str | None = None,
+        category: str = "binary",
+        workers: int = 1,
     ) -> str:
         """Store ``data`` and return its artifact id.
 
         When ``artifact_id`` is omitted the blob is content-addressed by
         its SHA-256; re-putting identical content under the derived id is
         then a no-op that still charges the write (matching a real store,
-        which cannot skip the round trip).
+        which cannot skip the round trip).  ``workers > 1`` models a
+        striped parallel upload: the simulated charge is the makespan of
+        the stripes, still accounted as one write operation.
         """
         derived = artifact_id is None
         if derived:
             artifact_id = "sha256-" + hash_bytes(data)
-        if not derived and artifact_id in self._blobs:
+        if not derived and self.exists(artifact_id):
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
-        self._blobs[artifact_id] = data
         if self._directory is not None:
             (self._directory / f"{artifact_id}.bin").write_bytes(data)
+            self._sizes[artifact_id] = len(data)
+        else:
+            self._blobs[artifact_id] = data
         self.stats.record_write(
-            len(data), self.profile.file_write_cost(len(data)), category
+            len(data), self._write_cost(len(data), workers), category
         )
         return artifact_id
 
     def open_writer(
-        self, artifact_id: str, category: str = "binary"
+        self,
+        artifact_id: str | None,
+        category: str = "binary",
+        workers: int = 1,
     ) -> ArtifactWriter:
-        """Open an incremental writer for a new artifact."""
-        if artifact_id in self._blobs:
+        """Open an incremental writer for a new artifact.
+
+        ``artifact_id=None`` content-addresses the artifact at close from
+        the incrementally maintained SHA-256.
+        """
+        if artifact_id is not None and self.exists(artifact_id):
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
-        return ArtifactWriter(self, artifact_id, category)
+        return ArtifactWriter(self, artifact_id, category, workers=workers)
 
     # -- read ------------------------------------------------------------
-    def get(self, artifact_id: str) -> bytes:
-        """Fetch an artifact's bytes; raises :class:`ArtifactNotFoundError`."""
-        if artifact_id not in self._blobs:
+    def get(self, artifact_id: str, workers: int = 1) -> bytes:
+        """Fetch an artifact's bytes; raises :class:`ArtifactNotFoundError`.
+
+        ``workers > 1`` models a striped parallel download (one read
+        operation, makespan-charged).
+        """
+        if not self.exists(artifact_id):
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
         if self._directory is not None:
             data = (self._directory / f"{artifact_id}.bin").read_bytes()
         else:
             data = self._blobs[artifact_id]
-        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
+        self.stats.record_read(len(data), self._read_cost(len(data), workers))
         return data
 
     def get_range(self, artifact_id: str, offset: int, length: int) -> bytes:
@@ -148,48 +261,86 @@ class FileStore:
         of a 5000-model Baseline artifact reads ~20 KB instead of ~100 MB.
         Only the requested bytes are charged against the latency model.
         """
-        if artifact_id not in self._blobs:
+        return self.get_ranges(artifact_id, [(offset, length)])[0]
+
+    def get_ranges(
+        self,
+        artifact_id: str,
+        ranges: "list[tuple[int, int]]",
+        workers: int = 1,
+    ) -> "list[bytes]":
+        """Vectored range read: fetch ``(offset, length)`` slices at once.
+
+        Accounted as a single read operation covering the summed bytes;
+        the simulated charge is the makespan of the per-range costs
+        across ``workers`` lanes (a parallel engine issues independent
+        range requests concurrently).  Compacted chain recovery uses this
+        to fetch exactly the final bytes of every model and layer.
+        """
+        if not self.exists(artifact_id):
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
-        if offset < 0 or length < 0:
-            raise ValueError("offset and length must be non-negative")
-        size = len(self._blobs[artifact_id])
-        if offset + length > size:
-            raise ValueError(
-                f"range [{offset}, {offset + length}) exceeds artifact size {size}"
-            )
+        if not ranges:
+            return []
+        size = self._size_of(artifact_id)
+        for offset, length in ranges:
+            if offset < 0 or length < 0:
+                raise ValueError("offset and length must be non-negative")
+            if offset + length > size:
+                raise ValueError(
+                    f"range [{offset}, {offset + length}) exceeds artifact "
+                    f"size {size}"
+                )
         if self._directory is not None:
+            chunks = []
             with open(self._directory / f"{artifact_id}.bin", "rb") as handle:
-                handle.seek(offset)
-                data = handle.read(length)
+                for offset, length in ranges:
+                    handle.seek(offset)
+                    chunks.append(handle.read(length))
         else:
-            data = self._blobs[artifact_id][offset : offset + length]
-        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
-        return data
+            blob = self._blobs[artifact_id]
+            chunks = [blob[offset : offset + length] for offset, length in ranges]
+        total = sum(len(chunk) for chunk in chunks)
+        cost = makespan(
+            [self.profile.file_read_cost(len(chunk)) for chunk in chunks],
+            workers,
+        )
+        self.stats.record_read(total, cost)
+        return chunks
 
     # -- management plane (not charged) ------------------------------------
     def delete(self, artifact_id: str) -> None:
         """Remove an artifact (used by garbage collection)."""
-        if artifact_id not in self._blobs:
+        if not self.exists(artifact_id):
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
-        del self._blobs[artifact_id]
         if self._directory is not None:
+            del self._sizes[artifact_id]
             (self._directory / f"{artifact_id}.bin").unlink(missing_ok=True)
+        else:
+            del self._blobs[artifact_id]
 
     # -- inspection (not charged: management-plane operations) -----------
     def exists(self, artifact_id: str) -> bool:
+        if self._directory is not None:
+            return artifact_id in self._sizes
         return artifact_id in self._blobs
 
     def size(self, artifact_id: str) -> int:
-        if artifact_id not in self._blobs:
+        if not self.exists(artifact_id):
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
-        return len(self._blobs[artifact_id])
+        return self._size_of(artifact_id)
 
     def ids(self) -> list[str]:
+        if self._directory is not None:
+            return sorted(self._sizes)
         return sorted(self._blobs)
 
     def total_bytes(self) -> int:
-        """Bytes currently held by the store."""
+        """Bytes currently held by the store (index sizes in spill mode)."""
+        if self._directory is not None:
+            return sum(self._sizes.values())
         return sum(len(blob) for blob in self._blobs.values())
 
     def __len__(self) -> int:
+        if self._directory is not None:
+            return len(self._sizes)
         return len(self._blobs)

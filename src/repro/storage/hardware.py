@@ -86,6 +86,21 @@ M1_PROFILE = HardwareProfile(
     read_bandwidth_bps=1.5e9,
 )
 
+#: Archival tier: object-store-like per-operation latency and modest
+#: per-stream bandwidth.  Single-stream throughput is the bottleneck in
+#: this regime, which is exactly where the parallel save/recover engine
+#: (striped writes, vectored range reads across ``workers`` lanes) pays
+#: off; ``bench_parallel_scaling.py`` uses it.
+ARCHIVE_PROFILE = HardwareProfile(
+    name="archive",
+    doc_write_latency_s=2.0e-3,
+    doc_read_latency_s=1.5e-3,
+    file_write_latency_s=4.0e-3,
+    file_read_latency_s=3.0e-3,
+    write_bandwidth_bps=8.0e7,
+    read_bandwidth_bps=1.0e8,
+)
+
 #: Zero-latency profile for unit tests and functional use.
 LOCAL_PROFILE = HardwareProfile(
     name="local",
@@ -96,3 +111,44 @@ LOCAL_PROFILE = HardwareProfile(
     write_bandwidth_bps=float("inf"),
     read_bandwidth_bps=float("inf"),
 )
+
+
+# ---------------------------------------------------------------------------
+# concurrency-aware cost aggregation
+# ---------------------------------------------------------------------------
+
+def makespan(costs: "list[float]", workers: int = 1) -> float:
+    """Simulated wall-clock seconds of running ``costs`` on parallel lanes.
+
+    A parallel engine overlaps independent store operations, so the
+    honest simulated charge for a batch is not the *sum* of per-operation
+    costs but the completion time of ``workers`` concurrent lanes.  Jobs
+    are assigned greedily (each to the least-loaded lane, in order),
+    which is deterministic and within 4/3 of the optimal makespan.
+
+    ``workers <= 1`` degenerates to the serial sum, keeping existing
+    single-lane accounting bit-for-bit unchanged.
+    """
+    if workers <= 1 or len(costs) <= 1:
+        return sum(costs)
+    lanes = [0.0] * min(int(workers), len(costs))
+    for cost in costs:
+        index = lanes.index(min(lanes))
+        lanes[index] += cost
+    return max(lanes)
+
+
+def stripe_sizes(num_bytes: int, lanes: int) -> "list[int]":
+    """Split ``num_bytes`` into up to ``lanes`` near-equal stripes.
+
+    Models a striped (multipart) artifact transfer: each stripe pays the
+    per-operation latency, but the stripes move concurrently.  Always
+    returns at least one stripe so zero-byte artifacts still charge one
+    operation's latency.
+    """
+    lanes = max(1, int(lanes))
+    if num_bytes <= 0 or lanes == 1:
+        return [max(0, num_bytes)]
+    lanes = min(lanes, num_bytes)
+    base, remainder = divmod(num_bytes, lanes)
+    return [base + (1 if index < remainder else 0) for index in range(lanes)]

@@ -38,3 +38,24 @@ def hash_state_dict_layers(
 ) -> "OrderedDict[str, str]":
     """Per-layer hashes of a parameter dictionary, preserving order."""
     return OrderedDict((name, hash_array(arr)) for name, arr in state.items())
+
+
+def hash_states(
+    states: "list[OrderedDict[str, np.ndarray]]",
+    layer_names: "list[str]",
+    length: int | None = None,
+    workers: int = 1,
+) -> "list[list[str]]":
+    """Per-layer hashes for a list of state dicts, in schema order.
+
+    The per-model work is independent and hashlib releases the GIL on
+    buffers larger than ~2 KiB, so with ``workers > 1`` the models are
+    hashed on a thread pool.  Order (and therefore every produced hash
+    document) is identical to the serial path.
+    """
+    from repro.core.parallel import parallel_map
+
+    def hash_state(state: "OrderedDict[str, np.ndarray]") -> "list[str]":
+        return [hash_array(state[name], length=length) for name in layer_names]
+
+    return parallel_map(hash_state, states, workers)

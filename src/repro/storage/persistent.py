@@ -29,7 +29,12 @@ from repro.errors import (
     StorageError,
 )
 from repro.storage.document_store import DocumentStore
-from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+from repro.storage.hardware import (
+    LOCAL_PROFILE,
+    HardwareProfile,
+    makespan,
+    stripe_sizes,
+)
 from repro.storage.hashing import hash_bytes
 from repro.storage.stats import StorageStats
 
@@ -72,9 +77,32 @@ class PersistentFileStore:
             raise StorageError(f"invalid artifact id {artifact_id!r}")
         return self._directory / f"{artifact_id}.bin"
 
+    # -- cost model -------------------------------------------------------
+    def _write_cost(self, num_bytes: int, workers: int = 1) -> float:
+        """Simulated cost of one (possibly striped) artifact write."""
+        if workers <= 1:
+            return self.profile.file_write_cost(num_bytes)
+        stripes = stripe_sizes(num_bytes, workers)
+        return makespan(
+            [self.profile.file_write_cost(size) for size in stripes], workers
+        )
+
+    def _read_cost(self, num_bytes: int, workers: int = 1) -> float:
+        """Simulated cost of one (possibly striped) artifact read."""
+        if workers <= 1:
+            return self.profile.file_read_cost(num_bytes)
+        stripes = stripe_sizes(num_bytes, workers)
+        return makespan(
+            [self.profile.file_read_cost(size) for size in stripes], workers
+        )
+
     # -- write -----------------------------------------------------------
     def put(
-        self, data: bytes, artifact_id: str | None = None, category: str = "binary"
+        self,
+        data: bytes,
+        artifact_id: str | None = None,
+        category: str = "binary",
+        workers: int = 1,
     ) -> str:
         derived = artifact_id is None
         if derived:
@@ -88,11 +116,13 @@ class PersistentFileStore:
         )
         self._sizes[artifact_id] = len(data)
         self.stats.record_write(
-            len(data), self.profile.file_write_cost(len(data)), category
+            len(data), self._write_cost(len(data), workers), category
         )
         return artifact_id
 
-    def open_writer(self, artifact_id: str, category: str = "binary"):
+    def open_writer(
+        self, artifact_id: str, category: str = "binary", workers: int = 1
+    ):
         """Open a disk-backed incremental writer (bounded memory).
 
         Chunks stream to a temp file with an incrementally updated
@@ -102,10 +132,10 @@ class PersistentFileStore:
         """
         if artifact_id in self._sizes:
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
-        return _DiskArtifactWriter(self, artifact_id, category)
+        return _DiskArtifactWriter(self, artifact_id, category, workers=workers)
 
     # -- read ------------------------------------------------------------
-    def get(self, artifact_id: str) -> bytes:
+    def get(self, artifact_id: str, workers: int = 1) -> bytes:
         if artifact_id not in self._sizes:
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
         data = self._path(artifact_id).read_bytes()
@@ -115,24 +145,49 @@ class PersistentFileStore:
                 raise StorageError(
                     f"artifact {artifact_id!r} failed checksum verification"
                 )
-        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
+        self.stats.record_read(len(data), self._read_cost(len(data), workers))
         return data
 
     def get_range(self, artifact_id: str, offset: int, length: int) -> bytes:
+        return self.get_ranges(artifact_id, [(offset, length)])[0]
+
+    def get_ranges(
+        self,
+        artifact_id: str,
+        ranges: "list[tuple[int, int]]",
+        workers: int = 1,
+    ) -> "list[bytes]":
+        """Vectored range read; one charged operation, makespan-costed.
+
+        Matches :meth:`FileStore.get_ranges`: all slices are served from
+        one open file handle, the summed bytes are recorded as a single
+        read, and ``workers`` lanes bound the simulated completion time.
+        """
         if artifact_id not in self._sizes:
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
-        if offset < 0 or length < 0:
-            raise ValueError("offset and length must be non-negative")
-        if offset + length > self._sizes[artifact_id]:
-            raise ValueError(
-                f"range [{offset}, {offset + length}) exceeds artifact size "
-                f"{self._sizes[artifact_id]}"
-            )
+        if not ranges:
+            return []
+        size = self._sizes[artifact_id]
+        for offset, length in ranges:
+            if offset < 0 or length < 0:
+                raise ValueError("offset and length must be non-negative")
+            if offset + length > size:
+                raise ValueError(
+                    f"range [{offset}, {offset + length}) exceeds artifact "
+                    f"size {size}"
+                )
+        chunks = []
         with open(self._path(artifact_id), "rb") as handle:
-            handle.seek(offset)
-            data = handle.read(length)
-        self.stats.record_read(len(data), self.profile.file_read_cost(len(data)))
-        return data
+            for offset, length in ranges:
+                handle.seek(offset)
+                chunks.append(handle.read(length))
+        total = sum(len(chunk) for chunk in chunks)
+        cost = makespan(
+            [self.profile.file_read_cost(len(chunk)) for chunk in chunks],
+            workers,
+        )
+        self.stats.record_read(total, cost)
+        return chunks
 
     # -- management plane ---------------------------------------------------
     def delete(self, artifact_id: str) -> None:
@@ -165,13 +220,18 @@ class _DiskArtifactWriter:
     """Streaming writer used by :meth:`PersistentFileStore.open_writer`."""
 
     def __init__(
-        self, store: PersistentFileStore, artifact_id: str, category: str
+        self,
+        store: PersistentFileStore,
+        artifact_id: str,
+        category: str,
+        workers: int = 1,
     ) -> None:
         import hashlib
 
         self._store = store
         self._artifact_id = artifact_id
         self._category = category
+        self._workers = workers
         self._path = store._path(artifact_id)
         self._temp = self._path.with_suffix(self._path.suffix + ".tmp")
         self._handle = open(self._temp, "wb")
@@ -200,7 +260,7 @@ class _DiskArtifactWriter:
         store._sizes[self._artifact_id] = self._bytes
         store.stats.record_write(
             self._bytes,
-            store.profile.file_write_cost(self._bytes),
+            store._write_cost(self._bytes, self._workers),
             self._category,
         )
         return self._artifact_id

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -12,6 +13,10 @@ class StorageStats:
     ``simulated_*_s`` accumulate the latency-model time charged by the
     active :class:`~repro.storage.hardware.HardwareProfile`; the benchmark
     harness adds them to measured compute time to obtain TTS/TTR.
+
+    Recording is guarded by a lock: the parallel save/recover engine
+    issues store operations from worker threads, and the counters must
+    stay exact (they back deterministic benchmark assertions).
     """
 
     writes: int = 0
@@ -23,19 +28,24 @@ class StorageStats:
     #: Bytes currently stored, keyed by a caller-chosen category label
     #: (e.g. "parameters", "metadata", "hash-info") for breakdown reports.
     bytes_by_category: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record_write(self, num_bytes: int, simulated_s: float, category: str) -> None:
-        self.writes += 1
-        self.bytes_written += num_bytes
-        self.simulated_write_s += simulated_s
-        self.bytes_by_category[category] = (
-            self.bytes_by_category.get(category, 0) + num_bytes
-        )
+        with self._lock:
+            self.writes += 1
+            self.bytes_written += num_bytes
+            self.simulated_write_s += simulated_s
+            self.bytes_by_category[category] = (
+                self.bytes_by_category.get(category, 0) + num_bytes
+            )
 
     def record_read(self, num_bytes: int, simulated_s: float) -> None:
-        self.reads += 1
-        self.bytes_read += num_bytes
-        self.simulated_read_s += simulated_s
+        with self._lock:
+            self.reads += 1
+            self.bytes_read += num_bytes
+            self.simulated_read_s += simulated_s
 
     def snapshot(self) -> "StorageStats":
         """Copy of the current counters (for before/after deltas)."""

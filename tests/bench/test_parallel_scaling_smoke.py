@@ -1,0 +1,36 @@
+"""Tier-1 smoke iteration of the parallel-scaling benchmark.
+
+One reduced-scale pass of :func:`repro.bench.scaling.run_parallel_scaling`
+verifying the benchmark's deterministic claims.  Wall-clock speedup is
+host-dependent (a single-core runner cannot parallelize the compute
+part), so the assertions target the *simulated* store time, which is
+deterministic at any scale above the latency floor, plus byte-exact
+compaction accounting.
+"""
+
+from repro.bench.scaling import run_parallel_scaling
+
+
+def test_scaling_smoke():
+    report = run_parallel_scaling(num_models=120, chain_depth=3, workers=(1, 4))
+
+    # Striped transfers pay the stripe makespan: simulated U1 save and
+    # chain-recovery time drop >= 2x with four lanes.  (The deltas'
+    # writes are latency-bound at this scale, so the U1 save — the
+    # transfer-dominated operation — carries the scaling claim.)
+    save, recover = report["save"], report["recover"]
+    assert save["1"]["u1_simulated_s"] / save["4"]["u1_simulated_s"] >= 2.0
+    assert recover["1"]["simulated_s"] / recover["4"]["simulated_s"] >= 2.0
+
+    # Byte-identical recoveries across worker counts.
+    assert recover["1"]["digest"] == recover["4"]["digest"]
+
+    # Compaction reads strictly fewer parameter bytes than the recursive
+    # replay at depth >= 3, and recovers the identical set.
+    compaction = report["compaction"]
+    assert compaction["chain_depth"] == 3
+    assert (
+        compaction["compact_file_bytes_read"]
+        < compaction["replay_file_bytes_read"]
+    )
+    assert compaction["identical"]

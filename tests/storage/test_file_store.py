@@ -111,3 +111,111 @@ class TestDiskSpill:
         # Tamper with the file to prove reads hit the disk copy.
         (tmp_path / "file1.bin").write_bytes(b"tampered")
         assert store.get("file1") == b"tampered"
+
+    def test_spill_mode_keeps_only_size_index_in_memory(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        store.put(b"x" * 4096, artifact_id="big")
+        # The bytes live on disk exclusively; memory holds just the index.
+        assert store._blobs == {}
+        assert store._sizes == {"big": 4096}
+        assert store.size("big") == 4096
+        assert store.total_bytes() == 4096
+        store.delete("big")
+        assert store._sizes == {}
+        assert not (tmp_path / "big.bin").exists()
+
+    def test_streaming_writer_spills_without_joining(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        with store.open_writer("streamed") as writer:
+            for _ in range(8):
+                writer.write(b"chunk" * 100)
+            # Chunks go straight to the temp file, never a joined buffer.
+            assert writer._chunks is None
+        assert store._blobs == {}
+        assert store.get("streamed") == b"chunk" * 800
+        # The temp file was renamed away, not left behind.
+        assert list(tmp_path.glob(".writer-*.tmp")) == []
+
+    def test_streaming_writer_content_addresses_incrementally(self, tmp_path):
+        reference = FileStore()
+        expected = reference.put(b"alpha" + b"beta")
+        store = FileStore(directory=tmp_path)
+        with store.open_writer(None) as writer:
+            writer.write(b"alpha")
+            writer.write(b"beta")
+        assert store.ids() == [expected]
+
+    def test_aborted_writer_leaves_no_trace(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        writer = store.open_writer("doomed")
+        writer.write(b"partial")
+        writer.abort()
+        assert store.ids() == []
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestGetRanges:
+    def test_vectored_read_returns_each_slice(self):
+        store = FileStore()
+        store.put(b"0123456789", artifact_id="digits")
+        assert store.get_ranges("digits", [(0, 3), (5, 2), (9, 1)]) == [
+            b"012",
+            b"56",
+            b"9",
+        ]
+
+    def test_counts_as_one_read_of_the_summed_bytes(self):
+        store = FileStore()
+        store.put(b"0123456789", artifact_id="digits")
+        reads_before = store.stats.reads
+        store.get_ranges("digits", [(0, 3), (5, 2)])
+        assert store.stats.reads == reads_before + 1
+        assert store.stats.bytes_read == 5
+
+    def test_empty_range_list_is_uncharged(self):
+        store = FileStore()
+        store.put(b"0123456789", artifact_id="digits")
+        assert store.get_ranges("digits", []) == []
+        assert store.stats.reads == 0
+
+    def test_out_of_bounds_range_rejected(self):
+        store = FileStore()
+        store.put(b"0123456789", artifact_id="digits")
+        with pytest.raises(ValueError):
+            store.get_ranges("digits", [(0, 3), (8, 5)])
+        with pytest.raises(ValueError):
+            store.get_ranges("digits", [(-1, 3)])
+
+    def test_spill_mode_reads_from_disk(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        store.put(b"0123456789", artifact_id="digits")
+        assert store.get_ranges("digits", [(2, 4), (8, 2)]) == [b"2345", b"89"]
+
+    def test_worker_lanes_reduce_simulated_cost(self):
+        store = FileStore(profile=M1_PROFILE)
+        store.put(b"x" * 1_000_000, artifact_id="big")
+        ranges = [(i * 100_000, 100_000) for i in range(10)]
+        store.get_ranges("big", ranges)
+        serial = store.stats.simulated_read_s
+        store.get_ranges("big", ranges, workers=4)
+        striped = store.stats.simulated_read_s - serial
+        assert striped < serial
+        # Same bytes and op count either way.
+        assert store.stats.bytes_read == 2_000_000
+        assert store.stats.reads == 2
+
+
+class TestStripedTransfers:
+    def test_striped_put_and_get_charge_makespan(self):
+        serial = FileStore(profile=M1_PROFILE)
+        striped = FileStore(profile=M1_PROFILE)
+        payload = b"x" * 1_000_000
+        serial.put(payload, artifact_id="a")
+        striped.put(payload, artifact_id="a", workers=4)
+        assert striped.stats.simulated_write_s < serial.stats.simulated_write_s
+        serial.get("a")
+        striped.get("a", workers=4)
+        assert striped.stats.simulated_read_s < serial.stats.simulated_read_s
+        # Accounting stays one op / full bytes, so storage math is unchanged.
+        assert striped.stats.writes == serial.stats.writes == 1
+        assert striped.stats.bytes_written == serial.stats.bytes_written
