@@ -58,6 +58,8 @@ def _manager_for(context: SaveContext, approach: str | None) -> MultiModelManage
 # -- subcommands ----------------------------------------------------------------
 
 def _cmd_info(context: SaveContext, args: argparse.Namespace) -> int:
+    from repro.storage.chunk_index import PACKS_COLLECTION
+
     lineage = LineageGraph.from_context(context)
     set_ids = context.document_store.collection_ids(SETS_COLLECTION)
     print(f"sets: {len(set_ids)}")
@@ -66,6 +68,16 @@ def _cmd_info(context: SaveContext, args: argparse.Namespace) -> int:
     if set_ids:
         print(f"roots: {', '.join(lineage.roots())}")
         print(f"leaves: {', '.join(lineage.leaves())}")
+    if context.document_store._collections.get(PACKS_COLLECTION):
+        chunks = context.chunk_store()
+        print(
+            f"chunks: {len(chunks)} unique, {chunks.total_references():,} "
+            f"references (dedup ratio {chunks.dedup_ratio():.1%})"
+        )
+        print(
+            f"chunk bytes: {chunks.live_bytes():,} live, "
+            f"{chunks.dead_bytes():,} reclaimable"
+        )
     return 0
 
 
@@ -122,6 +134,8 @@ def _cmd_gc(context: SaveContext, args: argparse.Namespace) -> int:
         print(f"  - {set_id}")
     if report.retained_for_chains:
         print(f"retained for recovery chains: {report.retained_for_chains}")
+    if report.chunks_reclaimed:
+        print(f"swept {report.chunks_reclaimed} zero-reference chunks")
     print(f"reclaimed {report.bytes_reclaimed:,} bytes")
     return 0
 
@@ -140,13 +154,22 @@ def _cmd_export(context: SaveContext, args: argparse.Namespace) -> int:
 
 
 def _cmd_migrate(context: SaveContext, args: argparse.Namespace) -> int:
-    target = MultiModelManager.open(args.target_dir, args.target_approach)
+    target = MultiModelManager.open(
+        args.target_dir, args.target_approach, dedup=args.dedup
+    )
     report = migrate_archive(context, target)
     print(f"migrated {report.sets_migrated} sets to {args.target_dir}")
     print(
         f"storage: {report.source_bytes:,} -> {report.target_bytes:,} bytes "
         f"({report.storage_ratio:.1%})"
     )
+    stats = target.context.file_store.stats
+    if stats.chunks_total:
+        print(
+            f"chunks: {stats.chunks_total:,} written, "
+            f"{stats.chunks_deduped:,} deduplicated "
+            f"({stats.dedup_ratio:.1%})"
+        )
     for old, new in report.id_map.items():
         print(f"  {old} -> {new}")
     return 0
@@ -212,6 +235,12 @@ def main(argv: list[str] | None = None) -> int:
         "--target-approach",
         default="update",
         choices=[n for n in sorted(APPROACHES) if n != "provenance"],
+    )
+    migrate.add_argument(
+        "--dedup",
+        action="store_true",
+        help="store the target archive through the content-addressed "
+        "chunk layer (identical layer tensors stored once)",
     )
 
     args = parser.parse_args(argv)

@@ -24,6 +24,7 @@ from repro.core.model_set import ModelSet
 from repro.core.save_info import SetMetadata, UpdateInfo
 from repro.datasets.registry import DatasetRegistry, default_registry
 from repro.errors import RecoveryError
+from repro.storage.chunk_index import ChunkStore
 from repro.storage.document_store import DocumentStore
 from repro.storage.file_store import FileStore
 from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
@@ -39,21 +40,29 @@ class SaveContext:
     ``workers`` is the parallelism knob of the save/recover engine: the
     number of lanes used for per-model hashing/serialization/decoding and
     for striped or vectored store transfers.  ``1`` (the default) is the
-    fully serial engine; ``0`` means one lane per CPU.  Results are
-    byte-identical at any setting.
+    fully serial engine; ``0`` means one lane per CPU.  ``dedup`` routes
+    parameter writes through the content-addressed chunk layer
+    (:class:`~repro.storage.chunk_index.ChunkStore`): every layer tensor
+    is stored once, refcounted, and fetched once on recovery.  Results
+    are byte-identical at any setting of either knob.
     """
 
     file_store: FileStore
     document_store: DocumentStore
     dataset_registry: DatasetRegistry
     workers: int = 1
+    dedup: bool = False
     _set_counter: "itertools.count[int]" = field(
         default_factory=itertools.count, repr=False
     )
+    _chunk_store: ChunkStore | None = field(default=None, repr=False)
 
     @classmethod
     def create(
-        cls, profile: HardwareProfile = LOCAL_PROFILE, workers: int = 1
+        cls,
+        profile: HardwareProfile = LOCAL_PROFILE,
+        workers: int = 1,
+        dedup: bool = False,
     ) -> "SaveContext":
         """Fresh in-memory context with the default dataset resolvers."""
         return cls(
@@ -61,7 +70,14 @@ class SaveContext:
             document_store=DocumentStore(profile=profile),
             dataset_registry=default_registry(),
             workers=workers,
+            dedup=dedup,
         )
+
+    def chunk_store(self) -> ChunkStore:
+        """The context's chunk layer (created on first use, then shared)."""
+        if self._chunk_store is None:
+            self._chunk_store = ChunkStore(self.file_store, self.document_store)
+        return self._chunk_store
 
     def next_set_id(self, approach_name: str) -> str:
         """Allocate a unique id for a new model set."""

@@ -20,7 +20,10 @@ their initial (and snapshot) saves, exactly as the paper describes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any
+
+import numpy as np
 
 from repro.architectures.registry import get_architecture
 from repro.core.approach import SETS_COLLECTION, SaveApproach, SaveContext
@@ -33,6 +36,7 @@ from repro.nn.serialization import (
     bytes_to_parameters,
     parameters_to_bytes,
 )
+from repro.storage.hashing import hash_bytes
 
 
 def write_full_set(
@@ -193,6 +197,177 @@ def read_full_set(context: SaveContext, document: dict, set_id: str) -> ModelSet
     return ModelSet(str(document["architecture"]), states)
 
 
+# ---------------------------------------------------------------------------
+# content-addressed (deduplicated) set representation
+# ---------------------------------------------------------------------------
+
+def _layer_bytes(array: np.ndarray, dtype: str) -> bytes:
+    """One layer tensor's serialized chunk bytes (the dedup unit)."""
+    values = np.asarray(array, dtype=np.float32)
+    if dtype == "float16":
+        values = values.astype(np.float16)
+    return values.tobytes()
+
+
+def _layer_from_bytes(raw: bytes, shape: "tuple[int, ...]", dtype: str) -> np.ndarray:
+    size = int(np.prod(shape)) if shape else 1
+    if dtype == "float16":
+        values = np.frombuffer(raw, dtype=np.float16, count=size)
+        return values.astype(np.float32).reshape(shape)
+    return np.frombuffer(raw, dtype=np.float32, count=size).reshape(shape).copy()
+
+
+def write_chunked_set(
+    context: SaveContext,
+    states,
+    architecture: str,
+    num_models: int,
+    set_id: str,
+    doc_type: str,
+    metadata: SetMetadata | None,
+    extra_fields: dict[str, Any] | None = None,
+    digests: "list[list[str]] | None" = None,
+    dtype: str = "float32",
+    store_digests_in_doc: bool = True,
+) -> "list[list[str]]":
+    """Persist a set through the content-addressed chunk layer.
+
+    Every layer tensor becomes one chunk keyed by the SHA-256 of its
+    serialized bytes; chunks already held by the context's
+    :class:`~repro.storage.chunk_index.ChunkStore` — identical layers
+    across the models of this set, across derivation chains, or across
+    unrelated sets — are elided, charging only metadata cost.  ``states``
+    is any iterable of parameter dictionaries, consumed in a single pass
+    with bounded memory.  ``digests`` supplies precomputed full-length
+    per-layer hashes (the Update hash pass) so the bytes are never hashed
+    twice; when omitted the digests are computed here, once.  Returns the
+    digest matrix actually used, one row per model.
+    """
+    from repro.errors import ArchitectureMismatchError
+
+    metadata = metadata if metadata is not None else SetMetadata()
+    chunk_store = context.chunk_store()
+    schema: StateSchema | None = None
+    matrix: list[list[str]] = []
+    count = 0
+    with chunk_store.open_ingest(
+        f"{set_id}-chunks", category="parameters", workers=context.workers
+    ) as session:
+        for state in states:
+            if schema is None:
+                schema = StateSchema.from_json(
+                    StateSchema.from_state_dict(state).to_json()
+                )
+            else:
+                entries = tuple(
+                    (name, tuple(arr.shape)) for name, arr in state.items()
+                )
+                if entries != schema.entries:
+                    raise ArchitectureMismatchError(
+                        f"model {count} does not match the set schema"
+                    )
+            row: list[str] = []
+            for layer, name in enumerate(schema.layer_names()):
+                if digests is not None and dtype == "float32":
+                    digest = digests[count][layer]
+                    session.add(digest, lambda n=name: _layer_bytes(state[n], dtype))
+                else:
+                    payload = _layer_bytes(state[name], dtype)
+                    digest = hash_bytes(payload)
+                    session.add(digest, payload)
+                row.append(digest)
+            matrix.append(row)
+            count += 1
+        if schema is None or count != num_models:
+            session.abort()
+            raise ValueError(
+                f"declared num_models={num_models} but the iterable yielded "
+                f"{count} models"
+            )
+        session.close()
+
+    spec = get_architecture(architecture)
+    document: dict[str, Any] = {
+        "type": doc_type,
+        "storage": "chunked",
+        "architecture": architecture,
+        "architecture_code": spec.source_code,
+        "num_models": num_models,
+        "schema": schema.to_json(),
+        "metadata": metadata.to_json(),
+    }
+    if dtype != "float32":
+        document["param_dtype"] = dtype
+    if store_digests_in_doc:
+        document["chunk_digests"] = matrix
+    if extra_fields:
+        document.update(extra_fields)
+    context.document_store.insert(SETS_COLLECTION, document, doc_id=set_id)
+    return matrix
+
+
+def _chunked_digests(context: SaveContext, document: dict, set_id: str) -> list:
+    """The digest matrix of a chunked set (from its descriptor or, for
+    Update sets, from the hash-info document that doubles as one)."""
+    if "chunk_digests" in document:
+        return document["chunk_digests"]
+    from repro.core.update import HASH_COLLECTION
+
+    return context.document_store.get(HASH_COLLECTION, set_id)["hashes"]
+
+
+def read_chunked_set(context: SaveContext, document: dict, set_id: str) -> ModelSet:
+    """Reconstruct a set saved by :func:`write_chunked_set`.
+
+    Single-fetch fan-out: each *unique* chunk is fetched once (vectored
+    range reads per pack artifact) and copied into every referencing
+    (model, layer) slot; assembly parallelizes across the worker lanes.
+    """
+    schema = StateSchema.from_json(document["schema"])
+    num_models = int(document["num_models"])
+    dtype = str(document.get("param_dtype", "float32"))
+    matrix = _chunked_digests(context, document, set_id)
+    if len(matrix) != num_models:
+        raise RecoveryError(
+            f"set {set_id!r}: digest matrix has {len(matrix)} rows, "
+            f"expected {num_models}"
+        )
+    values = context.chunk_store().fetch(
+        (digest for row in matrix for digest in row), workers=context.workers
+    )
+    entries = schema.entries
+
+    def build_state(model_index: int) -> "OrderedDict[str, np.ndarray]":
+        row = matrix[model_index]
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for layer, (name, shape) in enumerate(entries):
+            state[name] = _layer_from_bytes(values[row[layer]], shape, dtype)
+        return state
+
+    states = parallel_map(build_state, range(num_models), context.workers)
+    return ModelSet(str(document["architecture"]), states)
+
+
+def read_chunked_model(
+    context: SaveContext, document: dict, set_id: str, model_index: int
+):
+    """Read one model of a chunked set (only its chunks are fetched)."""
+    num_models = int(document["num_models"])
+    if not 0 <= model_index < num_models:
+        raise IndexError(
+            f"model index {model_index} out of range for set {set_id!r} "
+            f"({num_models} models)"
+        )
+    schema = StateSchema.from_json(document["schema"])
+    dtype = str(document.get("param_dtype", "float32"))
+    row = _chunked_digests(context, document, set_id)[model_index]
+    values = context.chunk_store().fetch(row, workers=context.workers)
+    state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for layer, (name, shape) in enumerate(schema.entries):
+        state[name] = _layer_from_bytes(values[row[layer]], shape, dtype)
+    return state
+
+
 class BaselineApproach(SaveApproach):
     """Full-snapshot, set-oriented saving (the paper's Baseline)."""
 
@@ -202,6 +377,17 @@ class BaselineApproach(SaveApproach):
         self, model_set: ModelSet, metadata: SetMetadata | None = None
     ) -> str:
         set_id = self.context.next_set_id(self.name)
+        if self.context.dedup:
+            write_chunked_set(
+                self.context,
+                model_set.states,
+                model_set.architecture,
+                len(model_set),
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+            )
+            return set_id
         return write_full_set(
             self.context, model_set, set_id, doc_type=self.name, metadata=metadata
         )
@@ -214,6 +400,18 @@ class BaselineApproach(SaveApproach):
         metadata: SetMetadata | None = None,
     ) -> str:
         set_id = self.context.next_set_id(self.name)
+        if self.context.dedup:
+            # write_chunked_set consumes the iterable in one bounded pass.
+            write_chunked_set(
+                self.context,
+                states,
+                architecture,
+                num_models,
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+            )
+            return set_id
         return write_full_set_streaming(
             self.context,
             states,
@@ -234,8 +432,22 @@ class BaselineApproach(SaveApproach):
         # Baseline takes no advantage of the relation to the base set: it
         # always saves complete representations (its storage consumption
         # therefore does not change across use cases, Figure 3).  The base
-        # reference is recorded for lineage only.
+        # reference is recorded for lineage only.  With dedup on, the
+        # chunk layer recovers the redundancy anyway: unchanged layers
+        # are elided because their chunks already exist.
         set_id = self.context.next_set_id(self.name)
+        if self.context.dedup:
+            write_chunked_set(
+                self.context,
+                model_set.states,
+                model_set.architecture,
+                len(model_set),
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+                extra_fields={"base_set": base_set_id},
+            )
+            return set_id
         return write_full_set(
             self.context,
             model_set,
@@ -248,9 +460,13 @@ class BaselineApproach(SaveApproach):
     def recover(self, set_id: str) -> ModelSet:
         document = self.context.set_document(set_id)
         self._require_type(document, self.name, set_id)
+        if document.get("storage") == "chunked":
+            return read_chunked_set(self.context, document, set_id)
         return read_full_set(self.context, document, set_id)
 
     def recover_model(self, set_id: str, model_index: int):
         document = self.context.set_document(set_id)
         self._require_type(document, self.name, set_id)
+        if document.get("storage") == "chunked":
+            return read_chunked_model(self.context, document, set_id, model_index)
         return read_single_model(self.context, document, set_id, model_index)

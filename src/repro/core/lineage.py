@@ -47,10 +47,14 @@ class LineageGraph:
                 set_id,
                 approach=document.get("type"),
                 kind=document.get("kind", "full"),
+                storage=document.get("storage", "plain"),
                 num_models=document.get("num_models"),
             )
             base = document.get("base_set")
-            if base is not None:
+            if base is not None and store.exists(SETS_COLLECTION, base):
+                # A recorded base whose document is gone (a GC'd ancestor
+                # of a chunked set) is provenance only — materialising it
+                # as a node would list deleted sets in roots()/ancestors().
                 graph.add_edge(base, set_id)
         return cls(graph)
 
@@ -100,12 +104,21 @@ class LineageGraph:
 
         Full snapshots cut the chain: Baseline/MMlib-base sets are their
         own chain, and an Update set saved with a snapshot interval stops
-        at the nearest ``kind == "full"`` ancestor.
+        at the nearest ``kind == "full"`` ancestor.  Chunked sets cut it
+        too — their digest matrix recovers in one hop, with the chunk
+        layer's refcounts (not chain ancestry) keeping shared bytes alive.
         """
         self._require(set_id)
         chain = [set_id]
         current = set_id
-        while self._graph.nodes[current].get("kind", "full") != "full":
+
+        def _chained(node: dict) -> bool:
+            return (
+                node.get("kind", "full") != "full"
+                and node.get("storage", "plain") != "chunked"
+            )
+
+        while _chained(self._graph.nodes[current]):
             base = self.base_of(current)
             if base is None:
                 raise ReproError(

@@ -49,6 +49,7 @@ class MultiModelManager:
         profile: HardwareProfile = LOCAL_PROFILE,
         context: SaveContext | None = None,
         workers: int | None = None,
+        dedup: bool | None = None,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Create a manager for the named approach.
@@ -67,6 +68,11 @@ class MultiModelManager:
             Parallelism of the save/recover engine (``1`` serial, ``0``
             one lane per CPU).  When given together with ``context``,
             overrides the context's setting.
+        dedup:
+            Route parameter writes through the content-addressed chunk
+            layer (identical layer tensors stored once, refcounted).
+            Recovery output is byte-identical either way.  When given
+            together with ``context``, overrides the context's setting.
         approach_kwargs:
             Extra approach options, e.g. ``snapshot_interval=4`` for the
             Update approach.
@@ -79,10 +85,15 @@ class MultiModelManager:
             ) from None
         if context is None:
             context = SaveContext.create(
-                profile=profile, workers=1 if workers is None else workers
+                profile=profile,
+                workers=1 if workers is None else workers,
+                dedup=bool(dedup),
             )
-        elif workers is not None:
-            context.workers = workers
+        else:
+            if workers is not None:
+                context.workers = workers
+            if dedup is not None:
+                context.dedup = dedup
         return cls(approach_cls(context, **approach_kwargs))
 
     @classmethod
@@ -92,6 +103,7 @@ class MultiModelManager:
         approach: str,
         profile: HardwareProfile = LOCAL_PROFILE,
         workers: int | None = None,
+        dedup: bool | None = None,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Open (or create) a durable archive rooted at ``directory``.
@@ -99,7 +111,8 @@ class MultiModelManager:
         Artifacts and documents are persisted to disk (atomic writes,
         checksummed artifacts); reopening the same directory resumes
         exactly where the previous process left off — including the
-        set-id sequence, so derived saves keep chaining correctly.
+        set-id sequence and the chunk index, so derived saves keep
+        chaining (and deduplicating) correctly.
         """
         from repro.storage.persistent import open_context
 
@@ -107,6 +120,7 @@ class MultiModelManager:
             approach,
             context=open_context(directory, profile=profile),
             workers=workers,
+            dedup=dedup,
             **approach_kwargs,
         )
 

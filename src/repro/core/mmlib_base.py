@@ -26,7 +26,7 @@ import sys
 from functools import lru_cache
 
 from repro.architectures.registry import get_architecture
-from repro.core.approach import SETS_COLLECTION, SaveApproach, SaveContext
+from repro.core.approach import SETS_COLLECTION, SaveApproach
 from repro.core.model_set import ModelSet
 from repro.core.save_info import SetMetadata, UpdateInfo
 from repro.errors import RecoveryError

@@ -45,6 +45,25 @@ class QuantizedBaselineApproach(SaveApproach):
     ) -> str:
         metadata = metadata if metadata is not None else SetMetadata()
         set_id = self.context.next_set_id(self.name)
+        if self.context.dedup:
+            # Chunks are the half-precision layer tensors, keyed by the
+            # SHA-256 of their fp16 bytes (fp32 and fp16 encodings of the
+            # same layer never collide — different bytes, different key).
+            from repro.core.baseline import write_chunked_set
+
+            extra = {"base_set": base_set_id} if base_set_id is not None else None
+            write_chunked_set(
+                self.context,
+                model_set.states,
+                model_set.architecture,
+                len(model_set),
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+                extra_fields=extra,
+                dtype="float16",
+            )
+            return set_id
         payload = b"".join(
             np.asarray(arr, dtype=np.float32).astype(np.float16).tobytes()
             for state in model_set.states
@@ -101,6 +120,10 @@ class QuantizedBaselineApproach(SaveApproach):
     def recover(self, set_id: str) -> ModelSet:
         document = self.context.set_document(set_id)
         self._require_type(document, self.name, set_id)
+        if document.get("storage") == "chunked":
+            from repro.core.baseline import read_chunked_set
+
+            return read_chunked_set(self.context, document, set_id)
         schema = StateSchema.from_json(document["schema"])
         num_models = int(document["num_models"])
         payload = self.context.file_store.get(document["params_artifact"])
@@ -119,6 +142,12 @@ class QuantizedBaselineApproach(SaveApproach):
     def recover_model(self, set_id: str, model_index: int):
         document = self.context.set_document(set_id)
         self._require_type(document, self.name, set_id)
+        if document.get("storage") == "chunked":
+            from repro.core.baseline import read_chunked_model
+
+            return read_chunked_model(
+                self.context, document, set_id, model_index
+            )
         num_models = int(document["num_models"])
         if not 0 <= model_index < num_models:
             raise IndexError(

@@ -23,7 +23,7 @@ from repro.core.approach import SETS_COLLECTION, SaveContext
 from repro.core.lineage import LineageGraph
 from repro.core.manager import APPROACHES
 from repro.core.model_set import ModelSet
-from repro.core.update import HASH_COLLECTION, UpdateApproach, _set_hashes
+from repro.core.update import HASH_COLLECTION, _set_hashes
 from repro.errors import DocumentNotFoundError, ReproError
 from repro.nn.serialization import parameters_to_bytes
 
@@ -35,6 +35,9 @@ class CollectionReport:
     deleted_sets: list[str] = field(default_factory=list)
     retained_for_chains: list[str] = field(default_factory=list)
     bytes_reclaimed: int = 0
+    #: Zero-reference chunks reclaimed by the chunk-layer sweep (dedup
+    #: archives only); their bytes are included in ``bytes_reclaimed``.
+    chunks_reclaimed: int = 0
 
 
 class RetentionManager:
@@ -59,6 +62,12 @@ class RetentionManager:
             raise DocumentNotFoundError(f"unknown set {set_id!r}") from None
         approach_name = str(document.get("type"))
         if document.get("kind", "full") == "full":
+            return
+        if document.get("storage") == "chunked":
+            # Chunked deltas already recover in one hop (the digest matrix
+            # is the whole recipe) and their bases are deletable — the
+            # refcounts protect shared chunks — so there is nothing for
+            # compaction to improve.
             return
         if approach_name not in ("update", "provenance", "pas-delta"):
             raise ReproError(
@@ -133,9 +142,16 @@ class RetentionManager:
 
         report = CollectionReport()
         report.retained_for_chains = sorted(needed - set(keep))
+        released_chunks = False
         for set_id in sorted(all_ids - needed):
+            document = store._collections[SETS_COLLECTION][set_id]
+            released_chunks |= document.get("storage") == "chunked"
             report.bytes_reclaimed += self._delete_set(set_id)
             report.deleted_sets.append(set_id)
+        if released_chunks:
+            sweep = self.context.chunk_store().sweep(workers=self.context.workers)
+            report.bytes_reclaimed += sweep.bytes_reclaimed
+            report.chunks_reclaimed = sweep.chunks_reclaimed
         return report
 
     def keep_last(self, count: int, compact_oldest_kept: bool = True) -> CollectionReport:
@@ -154,11 +170,22 @@ class RetentionManager:
         return self.collect(keep)
 
     def _delete_set(self, set_id: str) -> int:
-        """Delete one set's documents and artifacts; returns bytes freed."""
+        """Delete one set's documents and artifacts; returns bytes freed.
+
+        Chunked sets only *release* their chunk references here; the
+        shared bytes are reclaimed by the sweep :meth:`collect` runs after
+        all deletions, so a chunk stays alive while any surviving set
+        still references it.
+        """
         store = self.context.document_store
         file_store = self.context.file_store
         document = store._collections[SETS_COLLECTION][set_id]
         freed = 0
+        if document.get("storage") == "chunked":
+            matrix = self._chunk_digest_matrix(document, set_id)
+            self.context.chunk_store().release(
+                digest for row in matrix for digest in row
+            )
         artifact = document.get("params_artifact")
         if artifact is not None and file_store.exists(artifact):
             freed += file_store.size(artifact)
@@ -177,3 +204,15 @@ class RetentionManager:
             store.delete(HASH_COLLECTION, set_id)
         store.delete(SETS_COLLECTION, set_id)
         return freed
+
+    def _chunk_digest_matrix(self, document: dict, set_id: str) -> list:
+        """A chunked set's digest matrix, read on the management plane."""
+        if "chunk_digests" in document:
+            return document["chunk_digests"]
+        store = self.context.document_store
+        hash_doc = store._collections.get(HASH_COLLECTION, {}).get(set_id)
+        if hash_doc is None:
+            raise ReproError(
+                f"chunked set {set_id!r} has neither chunk_digests nor hash info"
+            )
+        return hash_doc["hashes"]

@@ -43,7 +43,14 @@ from typing import Any
 import numpy as np
 
 from repro.core.approach import SETS_COLLECTION, SaveApproach, SaveContext
-from repro.core.baseline import read_full_set, read_single_model, write_full_set
+from repro.core.baseline import (
+    read_chunked_model,
+    read_chunked_set,
+    read_full_set,
+    read_single_model,
+    write_chunked_set,
+    write_full_set,
+)
 from repro.core.compression import get_codec
 from repro.core.model_set import ModelSet
 from repro.core.parallel import parallel_map
@@ -172,6 +179,23 @@ class UpdateApproach(SaveApproach):
         self, model_set: ModelSet, metadata: SetMetadata | None = None
     ) -> str:
         set_id = self.context.next_set_id(self.name)
+        if self.context.dedup:
+            # The chunk layer hashes every layer exactly once; the digest
+            # matrix it returns IS the hash info (full-length SHA-256 of
+            # the same serialized bytes), so no separate hash pass runs.
+            matrix = write_chunked_set(
+                self.context,
+                model_set.states,
+                model_set.architecture,
+                len(model_set),
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+                extra_fields={"kind": "full", "chain_depth": 0},
+                store_digests_in_doc=False,
+            )
+            self._save_hashes(set_id, matrix, model_set.schema)
+            return set_id
         write_full_set(
             self.context,
             model_set,
@@ -195,6 +219,25 @@ class UpdateApproach(SaveApproach):
         from repro.core.baseline import write_full_set_streaming
 
         set_id = self.context.next_set_id(self.name)
+        if self.context.dedup:
+            matrix = write_chunked_set(
+                self.context,
+                states,
+                architecture,
+                num_models,
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+                extra_fields={"kind": "full", "chain_depth": 0},
+                store_digests_in_doc=False,
+            )
+            document = self.context.document_store._collections[SETS_COLLECTION][
+                set_id
+            ]
+            self._save_hashes(
+                set_id, matrix, StateSchema.from_json(document["schema"])
+            )
+            return set_id
         hashes: list[list[str]] = []
         layer_names: list[str] = []
 
@@ -239,10 +282,33 @@ class UpdateApproach(SaveApproach):
                 f"{base_set_id!r} has {base_doc['num_models']}"
             )
         workers = self.context.workers
+        if not self.context.dedup and base_doc.get("storage") == "chunked":
+            raise InvalidUpdatePlanError(
+                f"base set {base_set_id!r} is stored deduplicated; enable "
+                "dedup on the context to derive from it"
+            )
         chain_depth = int(base_doc.get("chain_depth", 0)) + 1
         if self.snapshot_interval is not None and chain_depth >= self.snapshot_interval:
             # Bound the recovery recursion with a full snapshot.
             set_id = self.context.next_set_id(self.name)
+            if self.context.dedup:
+                matrix = write_chunked_set(
+                    self.context,
+                    model_set.states,
+                    model_set.architecture,
+                    len(model_set),
+                    set_id,
+                    doc_type=self.name,
+                    metadata=metadata,
+                    extra_fields={
+                        "kind": "full",
+                        "chain_depth": 0,
+                        "base_set": base_set_id,
+                    },
+                    store_digests_in_doc=False,
+                )
+                self._save_hashes(set_id, matrix, model_set.schema)
+                return set_id
             write_full_set(
                 self.context,
                 model_set,
@@ -273,6 +339,36 @@ class UpdateApproach(SaveApproach):
                 changed = all_layers
             if changed:
                 diff.append([model_index, changed])
+
+        if self.context.dedup:
+            # Step 4, deduplicated: every layer is referenced through the
+            # chunk store under the digest the hash pass just computed
+            # (no re-hash); unchanged layers and cross-model duplicates
+            # are elided, so only genuinely new bytes are written.  The
+            # derived set holds its own references to *all* its chunks,
+            # which is what lets retention delete the base set without
+            # endangering shared layers.
+            write_chunked_set(
+                self.context,
+                model_set.states,
+                model_set.architecture,
+                len(model_set),
+                set_id,
+                doc_type=self.name,
+                metadata=metadata,
+                extra_fields={
+                    "kind": "delta",
+                    "base_set": base_set_id,
+                    "chain_depth": chain_depth,
+                    "diff": diff,
+                    "granularity": self.granularity,
+                },
+                digests=new_hashes,
+                store_digests_in_doc=False,
+            )
+            self._save_hashes(set_id, new_hashes, model_set.schema)
+            return set_id
+
         # Step 4: concatenate all changed parameters into one artifact.
         # Per-entry serialization is independent, so it runs on the
         # worker lanes; the concatenation order matches the diff list.
@@ -319,7 +415,21 @@ class UpdateApproach(SaveApproach):
         return set_id
 
     # -- recover -------------------------------------------------------------
+    def _peek_document(self, set_id: str) -> dict | None:
+        """Uncharged descriptor peek, for storage-format dispatch only."""
+        return self.context.document_store._collections.get(
+            SETS_COLLECTION, {}
+        ).get(set_id)
+
     def recover(self, set_id: str) -> ModelSet:
+        peek = self._peek_document(set_id)
+        if peek is not None and peek.get("storage") == "chunked":
+            # Deduplicated sets recover without walking the chain at all:
+            # the set's hash-info document is its digest matrix, and every
+            # unique chunk is fetched exactly once.
+            document = self.context.set_document(set_id)
+            self._require_type(document, self.name, set_id)
+            return read_chunked_set(self.context, document, set_id)
         if self.recovery == "replay":
             return self._recover_replay(set_id)
         return self._recover_compact(set_id)
@@ -515,6 +625,11 @@ class UpdateApproach(SaveApproach):
         full delta is read and decoded instead.  ``"replay"`` recovery
         applies the chain forward with per-delta range reads.
         """
+        peek = self._peek_document(set_id)
+        if peek is not None and peek.get("storage") == "chunked":
+            document = self.context.set_document(set_id)
+            self._require_type(document, self.name, set_id)
+            return read_chunked_model(self.context, document, set_id, model_index)
         if self.recovery == "replay":
             return self._recover_model_replay(set_id, model_index)
         base_doc, base_id, deltas = self._chain_documents(set_id)

@@ -106,6 +106,8 @@ class ArchiveVerifier:
         self, set_id: str, document: dict, report: VerificationReport
     ) -> None:
         file_store = self.context.file_store
+        if document.get("storage") == "chunked":
+            self._check_chunk_references(set_id, document, report)
         artifact = document.get("params_artifact")
         if artifact is not None:
             if not file_store.exists(artifact):
@@ -147,14 +149,80 @@ class ArchiveVerifier:
                         f"delta blob has {actual} bytes, diff list implies {expected}",
                     )
         base = document.get("base_set")
-        if base is not None and not self.context.document_store.exists(
-            SETS_COLLECTION, base
+        if (
+            base is not None
+            and document.get("storage") != "chunked"
+            and not self.context.document_store.exists(SETS_COLLECTION, base)
         ):
+            # For chunked sets the base reference is lineage provenance
+            # only — recovery reads the digest matrix, never the base —
+            # so a garbage-collected base is not a broken chain.
             report.add(set_id, "broken-chain", f"base set {base!r} missing")
         if document.get("type") == "mmlib-base":
             for model_id in document.get("model_ids", []):
                 if not self.context.document_store.exists("mmlib_models", model_id):
                     report.add(set_id, "missing-model-doc", model_id)
+
+    def _check_chunk_references(
+        self, set_id: str, document: dict, report: VerificationReport
+    ) -> None:
+        """Audit a chunked set: every digest indexed, every length right."""
+        store = self.context.document_store
+        if "chunk_digests" in document:
+            matrix = document["chunk_digests"]
+        else:
+            hash_doc = store._collections.get(HASH_COLLECTION, {}).get(set_id)
+            if hash_doc is None:
+                report.add(
+                    set_id,
+                    "missing-chunk-digests",
+                    "chunked set has neither chunk_digests nor hash info",
+                )
+                return
+            matrix = hash_doc["hashes"]
+        if len(matrix) != int(document.get("num_models", len(matrix))):
+            report.add(
+                set_id,
+                "count-mismatch",
+                f"digest matrix has {len(matrix)} rows, descriptor says "
+                f"{document.get('num_models')}",
+            )
+            return
+        chunk_store = self.context.chunk_store()
+        schema = StateSchema.from_json(document["schema"])
+        item_bytes = 2 if document.get("param_dtype") == "float16" else 4
+        sizes = [
+            (int(np.prod(shape)) if shape else 1) * item_bytes
+            for _name, shape in schema.entries
+        ]
+        for model, row in enumerate(matrix):
+            for layer, digest in enumerate(row):
+                if digest not in chunk_store:
+                    report.add(
+                        set_id,
+                        "missing-chunk",
+                        f"model {model} layer {layer}: chunk {digest[:12]}… "
+                        "not in the chunk index",
+                    )
+                    return
+                actual = chunk_store.chunk_length(digest)
+                if actual != sizes[layer]:
+                    report.add(
+                        set_id,
+                        "length-mismatch",
+                        f"model {model} layer {layer}: chunk has {actual} "
+                        f"bytes, schema implies {sizes[layer]}",
+                    )
+                    return
+                if chunk_store.references(digest) <= 0:
+                    report.add(
+                        set_id,
+                        "dangling-chunk-ref",
+                        f"model {model} layer {layer}: chunk {digest[:12]}… "
+                        "has zero references but is still referenced by "
+                        "this set",
+                    )
+                    return
 
     # -- deep checks ---------------------------------------------------------------
     def _check_recovery(

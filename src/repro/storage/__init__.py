@@ -8,6 +8,7 @@ charge a configurable simulated latency per operation so that the paper's
 host (see DESIGN.md, substitution table).
 """
 
+from repro.storage.chunk_index import ChunkStore, IngestReport, SweepReport
 from repro.storage.document_store import DocumentStore
 from repro.storage.file_store import FileStore
 from repro.storage.hardware import (
@@ -20,8 +21,11 @@ from repro.storage.hashing import hash_array, hash_bytes, hash_state_dict_layers
 from repro.storage.stats import StorageStats
 
 __all__ = [
+    "ChunkStore",
     "DocumentStore",
     "FileStore",
+    "IngestReport",
+    "SweepReport",
     "HardwareProfile",
     "LOCAL_PROFILE",
     "M1_PROFILE",

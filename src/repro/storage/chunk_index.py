@@ -1,0 +1,429 @@
+"""Content-addressed, refcounted chunk layer over the artifact stores.
+
+The paper's O1 observation — thousands of same-architecture models share
+most of their bytes — is exploited here at the finest useful grain: one
+**chunk** per layer tensor, keyed by the SHA-256 of its serialized bytes.
+A chunk is stored exactly once, no matter how many models (in one set,
+across a derivation chain, or across sibling chains) reference it.
+
+Layout
+------
+* Chunk *bytes* live in the regular file store, packed: each save appends
+  only its **new** unique chunks, concatenated in first-seen order, as one
+  "pack" artifact (``<set-id>-chunks``).  Elided chunks cost no file-store
+  operation at all — only the metadata below — which is what makes the
+  simulated time-to-save gain deterministic.
+* The chunk *index* lives in the document store, so persistent archives
+  reopen with the index intact:
+
+  - ``chunk_packs``: one document per pack artifact with the digests and
+    lengths of its chunks (offsets are the running sum), and
+  - ``chunk_refs``: a single ledger document mapping digest → reference
+    count, rewritten whenever counts change (the "metadata cost" charged
+    for a deduplicated save).
+
+Reads use the **single-fetch fan-out**: :meth:`ChunkStore.fetch` groups
+the requested digests by pack, coalesces adjacent ranges, and issues one
+vectored :meth:`get_ranges` per pack — each unique chunk crosses the wire
+once, and the caller copies it into every referencing (model, layer) slot.
+
+Garbage collection is refcount-driven: deleting a set releases its
+references (:meth:`release`), and :meth:`sweep` mark-and-sweeps the index
+— packs whose chunks are all dead are deleted outright, packs holding a
+mix are rewritten to contain only their live chunks, so the bytes
+reclaimed equal exactly the bytes of zero-reference chunks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import StorageError
+
+#: Collection holding one layout document per pack artifact.
+PACKS_COLLECTION = "chunk_packs"
+
+#: Collection holding the single refcount ledger document.
+REFS_COLLECTION = "chunk_refs"
+
+#: Document id of the refcount ledger.
+REFS_DOC_ID = "refcounts"
+
+
+@dataclass
+class _Chunk:
+    """Index entry: where a chunk's bytes live and how many refs hold it."""
+
+    artifact_id: str
+    offset: int
+    length: int
+    refs: int = 0
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one ingest (save) did at the chunk layer."""
+
+    chunks_total: int
+    chunks_new: int
+    chunks_deduped: int
+    bytes_new: int
+    bytes_deduped: int
+    pack_artifact: str | None
+
+
+@dataclass
+class SweepReport:
+    """What one mark-and-sweep pass reclaimed."""
+
+    chunks_reclaimed: int = 0
+    bytes_reclaimed: int = 0
+    packs_deleted: list[str] = field(default_factory=list)
+    packs_rewritten: list[str] = field(default_factory=list)
+
+
+class IngestSession:
+    """Streaming ingest of one save's chunk references.
+
+    References are added one at a time (:meth:`add`), so a 5000-model save
+    never holds more than one new chunk's bytes beyond the pack writer's
+    buffer.  The pack artifact writer is opened lazily on the first *new*
+    chunk: a fully deduplicated save performs no file-store operation.
+    Close with :meth:`close`; usable as a context manager (an exception
+    aborts the pack without storing anything).
+    """
+
+    def __init__(
+        self,
+        store: "ChunkStore",
+        pack_id: str,
+        category: str = "parameters",
+        workers: int = 1,
+    ) -> None:
+        self._store = store
+        self._pack_id = pack_id
+        self._category = category
+        self._workers = workers
+        self._writer = None
+        #: digests first stored by this session, in pack order.
+        self._new: list[tuple[str, int]] = []
+        self._new_lengths: dict[str, int] = {}
+        self._offset = 0
+        self._refs: dict[str, int] = {}
+        self._total = 0
+        self._deduped = 0
+        self._bytes_new = 0
+        self._bytes_deduped = 0
+        self._closed = False
+
+    def add(self, digest: str, data: bytes | Callable[[], bytes]) -> None:
+        """Reference one chunk; stores its bytes only if not yet present.
+
+        ``data`` may be the bytes themselves or a zero-argument callable
+        producing them — the callable is only invoked for chunks that
+        actually need storing, so callers can defer serialization.
+        """
+        if self._closed:
+            raise StorageError("ingest session already closed")
+        self._total += 1
+        self._refs[digest] = self._refs.get(digest, 0) + 1
+        known = self._store._chunks.get(digest)
+        if known is not None or digest in self._new_lengths:
+            length = known.length if known is not None else self._new_lengths[digest]
+            self._deduped += 1
+            self._bytes_deduped += length
+            return
+        payload = data() if callable(data) else bytes(data)
+        if self._writer is None:
+            self._writer = self._store.file_store.open_writer(
+                self._pack_id, category=self._category, workers=self._workers
+            )
+        self._writer.write(payload)
+        self._new.append((digest, len(payload)))
+        self._new_lengths[digest] = len(payload)
+        self._offset += len(payload)
+        self._bytes_new += len(payload)
+
+    def close(self) -> IngestReport:
+        """Finalize the pack (if any) and commit index + refcounts."""
+        if self._closed:
+            raise StorageError("ingest session already closed")
+        self._closed = True
+        store = self._store
+        pack_artifact: str | None = None
+        if self._writer is not None:
+            pack_artifact = self._writer.close()
+            offset = 0
+            for digest, length in self._new:
+                store._chunks[digest] = _Chunk(pack_artifact, offset, length)
+                offset += length
+            store.document_store.insert(
+                PACKS_COLLECTION,
+                {
+                    "artifact": pack_artifact,
+                    "digests": [digest for digest, _ in self._new],
+                    "lengths": [length for _, length in self._new],
+                },
+                doc_id=pack_artifact,
+                category="chunk-index",
+            )
+        for digest, count in self._refs.items():
+            store._chunks[digest].refs += count
+        store._persist_refs()
+        store.file_store.stats.record_chunks(
+            self._total, self._deduped, self._bytes_deduped
+        )
+        return IngestReport(
+            chunks_total=self._total,
+            chunks_new=len(self._new),
+            chunks_deduped=self._deduped,
+            bytes_new=self._bytes_new,
+            bytes_deduped=self._bytes_deduped,
+            pack_artifact=pack_artifact,
+        )
+
+    def abort(self) -> None:
+        """Discard the session: no pack, no index or refcount changes."""
+        self._closed = True
+        if self._writer is not None:
+            self._writer.abort()
+
+    def __enter__(self) -> "IngestSession":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.close()
+
+
+class ChunkStore:
+    """Refcounted content-addressed chunk index over one store pair.
+
+    One instance per :class:`~repro.core.approach.SaveContext`; the index
+    is rebuilt from the document store on construction (management plane,
+    uncharged), so persistent archives resume deduplicating against
+    everything they already hold.
+    """
+
+    def __init__(self, file_store, document_store) -> None:
+        self.file_store = file_store
+        self.document_store = document_store
+        self._chunks: dict[str, _Chunk] = {}
+        packs = document_store._collections.get(PACKS_COLLECTION, {})
+        for doc in packs.values():
+            offset = 0
+            for digest, length in zip(doc["digests"], doc["lengths"]):
+                self._chunks[digest] = _Chunk(
+                    str(doc["artifact"]), offset, int(length)
+                )
+                offset += int(length)
+        refs_doc = document_store._collections.get(REFS_COLLECTION, {}).get(
+            REFS_DOC_ID
+        )
+        if refs_doc:
+            for digest, refs in refs_doc["refs"].items():
+                if digest in self._chunks:
+                    self._chunks[digest].refs = int(refs)
+
+    # -- write ----------------------------------------------------------------
+    def open_ingest(
+        self, pack_id: str, category: str = "parameters", workers: int = 1
+    ) -> IngestSession:
+        """Begin ingesting one save's chunk references (see IngestSession)."""
+        return IngestSession(self, pack_id, category=category, workers=workers)
+
+    def ingest(
+        self,
+        references: Iterable[tuple[str, bytes | Callable[[], bytes]]],
+        pack_id: str,
+        category: str = "parameters",
+        workers: int = 1,
+    ) -> IngestReport:
+        """Convenience wrapper: ingest an iterable of (digest, data) refs."""
+        with self.open_ingest(pack_id, category=category, workers=workers) as session:
+            for digest, data in references:
+                session.add(digest, data)
+            return session.close()
+
+    def _persist_refs(self) -> None:
+        """Rewrite the refcount ledger document (the metadata charge)."""
+        document = {
+            "refs": {
+                digest: chunk.refs
+                for digest, chunk in sorted(self._chunks.items())
+            }
+        }
+        if self.document_store.exists(REFS_COLLECTION, REFS_DOC_ID):
+            self.document_store.replace(REFS_COLLECTION, REFS_DOC_ID, document)
+        else:
+            self.document_store.insert(
+                REFS_COLLECTION, document, doc_id=REFS_DOC_ID, category="chunk-index"
+            )
+
+    # -- read -----------------------------------------------------------------
+    def fetch(self, digests: Iterable[str], workers: int = 1) -> dict[str, bytes]:
+        """Fetch the bytes of every *unique* digest, one pass per pack.
+
+        Requested digests are grouped by pack artifact and sorted by
+        offset; exactly adjacent chunks are coalesced into one range, and
+        each pack is served by a single vectored :meth:`get_ranges` call.
+        Each unique chunk is read once regardless of how many (model,
+        layer) slots the caller fans it out to.
+        """
+        unique = dict.fromkeys(digests)
+        by_pack: dict[str, list[tuple[int, int, str]]] = {}
+        for digest in unique:
+            try:
+                chunk = self._chunks[digest]
+            except KeyError:
+                raise StorageError(f"unknown chunk {digest!r}") from None
+            by_pack.setdefault(chunk.artifact_id, []).append(
+                (chunk.offset, chunk.length, digest)
+            )
+        out: dict[str, bytes] = {}
+        for artifact_id, entries in by_pack.items():
+            entries.sort()
+            ranges: list[tuple[int, int]] = []
+            groups: list[list[tuple[int, int, str]]] = []
+            for offset, length, digest in entries:
+                if ranges and offset == ranges[-1][0] + ranges[-1][1]:
+                    ranges[-1] = (ranges[-1][0], ranges[-1][1] + length)
+                    groups[-1].append((offset, length, digest))
+                else:
+                    ranges.append((offset, length))
+                    groups.append([(offset, length, digest)])
+            blobs = self.file_store.get_ranges(artifact_id, ranges, workers=workers)
+            for blob, (range_offset, _), group in zip(blobs, ranges, groups):
+                view = memoryview(blob)
+                for offset, length, digest in group:
+                    relative = offset - range_offset
+                    out[digest] = bytes(view[relative : relative + length])
+        return out
+
+    # -- reference management -------------------------------------------------
+    def release(self, digests: Iterable[str]) -> None:
+        """Drop one reference per digest (set deletion); persists the ledger."""
+        changed = False
+        for digest in digests:
+            chunk = self._chunks.get(digest)
+            if chunk is None:
+                raise StorageError(f"release of unknown chunk {digest!r}")
+            chunk.refs -= 1
+            changed = True
+        if changed:
+            self._persist_refs()
+
+    # -- garbage collection ---------------------------------------------------
+    def sweep(self, workers: int = 1) -> SweepReport:
+        """Mark-and-sweep: reclaim the bytes of zero-reference chunks.
+
+        Dead chunks are removed from the index; a pack whose chunks are
+        all dead is deleted, and a pack holding both live and dead chunks
+        is rewritten with only its live bytes (the rewrite I/O is charged
+        honestly).  Afterwards the store holds exactly the live chunks.
+        """
+        report = SweepReport()
+        by_pack: dict[str, list[tuple[str, _Chunk]]] = {}
+        for digest, chunk in self._chunks.items():
+            by_pack.setdefault(chunk.artifact_id, []).append((digest, chunk))
+        for artifact_id, entries in sorted(by_pack.items()):
+            dead = [(d, c) for d, c in entries if c.refs <= 0]
+            if not dead:
+                continue
+            live = [(d, c) for d, c in entries if c.refs > 0]
+            report.chunks_reclaimed += len(dead)
+            report.bytes_reclaimed += sum(c.length for _, c in dead)
+            for digest, _ in dead:
+                del self._chunks[digest]
+            if not live:
+                self.file_store.delete(artifact_id)
+                self.document_store.delete(PACKS_COLLECTION, artifact_id)
+                report.packs_deleted.append(artifact_id)
+                continue
+            # Rewrite the pack with only its live chunks, preserving order.
+            live.sort(key=lambda item: item[1].offset)
+            blobs = self.file_store.get_ranges(
+                artifact_id,
+                [(c.offset, c.length) for _, c in live],
+                workers=workers,
+            )
+            new_id = f"{artifact_id}-gc"
+            while self.file_store.exists(new_id):
+                new_id += "-gc"
+            hasher = hashlib.sha256()
+            for blob in blobs:
+                hasher.update(blob)
+            self.file_store.put(
+                b"".join(blobs),
+                artifact_id=new_id,
+                category="parameters",
+                workers=workers,
+                digest=hasher.hexdigest(),
+            )
+            self.file_store.delete(artifact_id)
+            offset = 0
+            for digest, chunk in live:
+                self._chunks[digest] = _Chunk(
+                    new_id, offset, chunk.length, refs=chunk.refs
+                )
+                offset += chunk.length
+            self.document_store.delete(PACKS_COLLECTION, artifact_id)
+            self.document_store.insert(
+                PACKS_COLLECTION,
+                {
+                    "artifact": new_id,
+                    "digests": [digest for digest, _ in live],
+                    "lengths": [chunk.length for _, chunk in live],
+                },
+                doc_id=new_id,
+                category="chunk-index",
+            )
+            report.packs_rewritten.append(new_id)
+        if report.chunks_reclaimed:
+            self._persist_refs()
+        return report
+
+    # -- inspection (management plane, not charged) ---------------------------
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._chunks
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def references(self, digest: str) -> int:
+        """Current reference count of one chunk (0 if unknown)."""
+        chunk = self._chunks.get(digest)
+        return chunk.refs if chunk is not None else 0
+
+    def chunk_length(self, digest: str) -> int:
+        """Stored byte length of one chunk (raises for unknown digests)."""
+        try:
+            return self._chunks[digest].length
+        except KeyError:
+            raise StorageError(f"unknown chunk {digest!r}") from None
+
+    def total_references(self) -> int:
+        return sum(chunk.refs for chunk in self._chunks.values())
+
+    def live_bytes(self) -> int:
+        """Bytes held by chunks with at least one reference."""
+        return sum(c.length for c in self._chunks.values() if c.refs > 0)
+
+    def dead_bytes(self) -> int:
+        """Bytes held by zero-reference chunks (reclaimable by sweep)."""
+        return sum(c.length for c in self._chunks.values() if c.refs <= 0)
+
+    def stored_bytes(self) -> int:
+        """Bytes of all indexed chunks, live or dead."""
+        return sum(c.length for c in self._chunks.values())
+
+    def dedup_ratio(self) -> float:
+        """1 - unique/references: the fraction of references served free."""
+        refs = self.total_references()
+        if refs == 0:
+            return 0.0
+        return 1.0 - len(self._chunks) / refs

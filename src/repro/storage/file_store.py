@@ -198,19 +198,22 @@ class FileStore:
         artifact_id: str | None = None,
         category: str = "binary",
         workers: int = 1,
+        digest: str | None = None,
     ) -> str:
         """Store ``data`` and return its artifact id.
 
         When ``artifact_id`` is omitted the blob is content-addressed by
         its SHA-256; re-putting identical content under the derived id is
         then a no-op that still charges the write (matching a real store,
-        which cannot skip the round trip).  ``workers > 1`` models a
+        which cannot skip the round trip).  A caller that already hashed
+        the bytes (the Update hash pass, the chunk layer) passes the hex
+        ``digest`` to skip re-hashing them here.  ``workers > 1`` models a
         striped parallel upload: the simulated charge is the makespan of
         the stripes, still accounted as one write operation.
         """
         derived = artifact_id is None
         if derived:
-            artifact_id = "sha256-" + hash_bytes(data)
+            artifact_id = "sha256-" + (digest if digest is not None else hash_bytes(data))
         if not derived and self.exists(artifact_id):
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
         if self._directory is not None:

@@ -103,17 +103,21 @@ class PersistentFileStore:
         artifact_id: str | None = None,
         category: str = "binary",
         workers: int = 1,
+        digest: str | None = None,
     ) -> str:
+        """Store ``data``; an already-computed hex ``digest`` is reused for
+        both the derived content address and the sidecar checksum, so the
+        bytes are hashed at most once end to end."""
+        if digest is None:
+            digest = hash_bytes(data)
         derived = artifact_id is None
         if derived:
-            artifact_id = "sha256-" + hash_bytes(data)
+            artifact_id = "sha256-" + digest
         if not derived and artifact_id in self._sizes:
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
         path = self._path(artifact_id)
         _atomic_write(path, data)
-        _atomic_write(
-            path.with_suffix(".sha256"), hash_bytes(data).encode("ascii")
-        )
+        _atomic_write(path.with_suffix(".sha256"), digest.encode("ascii"))
         self._sizes[artifact_id] = len(data)
         self.stats.record_write(
             len(data), self._write_cost(len(data), workers), category
@@ -356,9 +360,16 @@ class PersistentDocumentStore(DocumentStore):
 
 
 def open_context(
-    directory: str | Path, profile: HardwareProfile = LOCAL_PROFILE
+    directory: str | Path,
+    profile: HardwareProfile = LOCAL_PROFILE,
+    dedup: bool = False,
 ):
-    """Open (or create) a durable save context rooted at ``directory``."""
+    """Open (or create) a durable save context rooted at ``directory``.
+
+    With ``dedup=True`` parameter writes go through the content-addressed
+    chunk layer; the chunk index itself lives in the document store, so a
+    reopened archive resumes deduplicating against everything on disk.
+    """
     from repro.core.approach import SaveContext
     from repro.datasets.registry import default_registry
 
@@ -367,6 +378,7 @@ def open_context(
         file_store=PersistentFileStore(root / "artifacts", profile=profile),
         document_store=PersistentDocumentStore(root / "documents", profile=profile),
         dataset_registry=default_registry(),
+        dedup=dedup,
     )
     _resume_set_counter(context)
     return context

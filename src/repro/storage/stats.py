@@ -25,6 +25,13 @@ class StorageStats:
     bytes_read: int = 0
     simulated_write_s: float = 0.0
     simulated_read_s: float = 0.0
+    #: Chunk references processed by the dedup layer (one per layer tensor
+    #: stored through a :class:`~repro.storage.chunk_index.ChunkStore`).
+    chunks_total: int = 0
+    #: References whose bytes were already present and therefore elided.
+    chunks_deduped: int = 0
+    #: Parameter bytes the dedup layer did not have to write.
+    chunk_bytes_deduped: int = 0
     #: Bytes currently stored, keyed by a caller-chosen category label
     #: (e.g. "parameters", "metadata", "hash-info") for breakdown reports.
     bytes_by_category: dict[str, int] = field(default_factory=dict)
@@ -47,6 +54,20 @@ class StorageStats:
             self.bytes_read += num_bytes
             self.simulated_read_s += simulated_s
 
+    def record_chunks(self, total: int, deduped: int, bytes_deduped: int) -> None:
+        """Account one dedup-layer ingest: references seen vs. elided."""
+        with self._lock:
+            self.chunks_total += total
+            self.chunks_deduped += deduped
+            self.chunk_bytes_deduped += bytes_deduped
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of chunk references served without storing new bytes."""
+        if self.chunks_total == 0:
+            return 0.0
+        return self.chunks_deduped / self.chunks_total
+
     def snapshot(self) -> "StorageStats":
         """Copy of the current counters (for before/after deltas)."""
         return StorageStats(
@@ -56,6 +77,9 @@ class StorageStats:
             bytes_read=self.bytes_read,
             simulated_write_s=self.simulated_write_s,
             simulated_read_s=self.simulated_read_s,
+            chunks_total=self.chunks_total,
+            chunks_deduped=self.chunks_deduped,
+            chunk_bytes_deduped=self.chunk_bytes_deduped,
             bytes_by_category=dict(self.bytes_by_category),
         )
 
@@ -73,5 +97,9 @@ class StorageStats:
             bytes_read=self.bytes_read - earlier.bytes_read,
             simulated_write_s=self.simulated_write_s - earlier.simulated_write_s,
             simulated_read_s=self.simulated_read_s - earlier.simulated_read_s,
+            chunks_total=self.chunks_total - earlier.chunks_total,
+            chunks_deduped=self.chunks_deduped - earlier.chunks_deduped,
+            chunk_bytes_deduped=self.chunk_bytes_deduped
+            - earlier.chunk_bytes_deduped,
             bytes_by_category={k: v for k, v in categories.items() if v},
         )

@@ -102,5 +102,5 @@ class TestReportFormatting:
         assert "[MB]" in text
         assert "U3-1" in text
         lines = text.splitlines()
-        baseline_line = next(l for l in lines if l.startswith("baseline"))
+        baseline_line = next(line for line in lines if line.startswith("baseline"))
         assert "1.000" in baseline_line

@@ -1,6 +1,5 @@
 """Tests for the Baseline approach (§3.2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.approach import SETS_COLLECTION

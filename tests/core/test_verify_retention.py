@@ -1,16 +1,14 @@
 """Tests for archive verification and retention (compaction + GC)."""
 
-import numpy as np
 import pytest
 
 from repro.core.approach import SETS_COLLECTION
 from repro.core.lineage import LineageGraph
 from repro.core.manager import MultiModelManager
-from repro.core.model_set import ModelSet
 from repro.core.retention import RetentionManager
 from repro.core.update import HASH_COLLECTION
 from repro.core.verify import ArchiveVerifier
-from repro.errors import DocumentNotFoundError, ReproError
+from repro.errors import DocumentNotFoundError
 from tests.conftest import save_sequence
 
 

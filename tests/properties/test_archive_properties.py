@@ -2,7 +2,6 @@
 and lineage invariants under randomized histories."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,205 @@
+"""Unit tests of the content-addressed chunk layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.chunk_index import (
+    PACKS_COLLECTION,
+    REFS_COLLECTION,
+    REFS_DOC_ID,
+    ChunkStore,
+)
+from repro.storage.document_store import DocumentStore
+from repro.storage.file_store import FileStore
+from repro.storage.hashing import hash_bytes
+
+
+def make_store():
+    return ChunkStore(FileStore(), DocumentStore())
+
+
+def refs(payloads):
+    """(digest, bytes) reference pairs for a list of payloads."""
+    return [(hash_bytes(p), p) for p in payloads]
+
+
+class TestIngest:
+    def test_unique_chunks_stored_once(self):
+        store = make_store()
+        a, b = b"alpha" * 100, b"beta" * 100
+        report = store.ingest(refs([a, b, a, a, b]), pack_id="p0")
+        assert report.chunks_total == 5
+        assert report.chunks_new == 2
+        assert report.chunks_deduped == 3
+        assert report.bytes_new == len(a) + len(b)
+        assert report.bytes_deduped == 2 * len(a) + len(b)
+        assert len(store) == 2
+        assert store.total_references() == 5
+
+    def test_cross_pack_dedup_elides_file_ops(self):
+        store = make_store()
+        a = b"shared" * 200
+        store.ingest(refs([a]), pack_id="p0")
+        writes_before = store.file_store.stats.writes
+        report = store.ingest(refs([a, a]), pack_id="p1")
+        # Fully deduplicated save: no pack artifact, no file write at all.
+        assert report.pack_artifact is None
+        assert store.file_store.stats.writes == writes_before
+        assert store.references(hash_bytes(a)) == 3
+
+    def test_deferred_serialization_only_for_new_chunks(self):
+        store = make_store()
+        a = b"x" * 64
+        store.ingest(refs([a]), pack_id="p0")
+        calls = []
+
+        def produce():
+            calls.append(1)
+            return a
+
+        with store.open_ingest("p1") as session:
+            session.add(hash_bytes(a), produce)
+        assert not calls  # dedup hit: bytes never materialized
+
+    def test_abort_leaves_no_trace(self):
+        store = make_store()
+        with pytest.raises(RuntimeError):
+            with store.open_ingest("p0") as session:
+                session.add(hash_bytes(b"data"), b"data")
+                raise RuntimeError("boom")
+        assert len(store) == 0
+        assert store.file_store.total_bytes() == 0
+        assert not store.document_store._collections.get(PACKS_COLLECTION)
+
+    def test_stats_counters(self):
+        store = make_store()
+        a, b = b"one" * 50, b"two" * 50
+        store.ingest(refs([a, b, a]), pack_id="p0")
+        stats = store.file_store.stats
+        assert stats.chunks_total == 3
+        assert stats.chunks_deduped == 1
+        assert stats.chunk_bytes_deduped == len(a)
+        assert stats.dedup_ratio == pytest.approx(1 / 3)
+
+
+class TestFetch:
+    def test_roundtrip_and_single_read_per_pack(self):
+        store = make_store()
+        payloads = [bytes([i]) * (100 + i) for i in range(8)]
+        store.ingest(refs(payloads), pack_id="p0")
+        reads_before = store.file_store.stats.reads
+        out = store.fetch([hash_bytes(p) for p in payloads])
+        # All chunks of one pack are adjacent: one vectored read.
+        assert store.file_store.stats.reads == reads_before + 1
+        for p in payloads:
+            assert out[hash_bytes(p)] == p
+
+    def test_duplicate_requests_fetched_once(self):
+        store = make_store()
+        a = b"dup" * 100
+        store.ingest(refs([a]), pack_id="p0")
+        bytes_before = store.file_store.stats.bytes_read
+        out = store.fetch([hash_bytes(a)] * 10)
+        assert store.file_store.stats.bytes_read == bytes_before + len(a)
+        assert out == {hash_bytes(a): a}
+
+    def test_unknown_digest_raises(self):
+        store = make_store()
+        with pytest.raises(StorageError):
+            store.fetch(["0" * 64])
+
+
+class TestRefcountsAndSweep:
+    def test_release_then_sweep_reclaims_exactly_dead_bytes(self):
+        store = make_store()
+        a, b, c = b"a" * 100, b"b" * 200, b"c" * 300
+        store.ingest(refs([a, b]), pack_id="p0")
+        store.ingest(refs([b, c]), pack_id="p1")
+        # Drop the first save's references; b stays alive via the second.
+        store.release([hash_bytes(a), hash_bytes(b)])
+        assert store.dead_bytes() == len(a)
+        report = store.sweep()
+        assert report.chunks_reclaimed == 1
+        assert report.bytes_reclaimed == len(a)
+        assert store.dead_bytes() == 0
+        assert hash_bytes(a) not in store
+        # Survivors still fetch correctly after the pack rewrite.
+        out = store.fetch([hash_bytes(b), hash_bytes(c)])
+        assert out[hash_bytes(b)] == b and out[hash_bytes(c)] == c
+
+    def test_sweep_deletes_fully_dead_packs(self):
+        store = make_store()
+        a, b = b"a" * 100, b"b" * 100
+        r0 = store.ingest(refs([a]), pack_id="p0")
+        r1 = store.ingest(refs([b]), pack_id="p1")
+        store.release([hash_bytes(a)])
+        report = store.sweep()
+        assert report.packs_deleted == [r0.pack_artifact]
+        assert not report.packs_rewritten
+        assert not store.file_store.exists(r0.pack_artifact)
+        assert store.file_store.exists(r1.pack_artifact)
+
+    def test_sweep_rewrites_mixed_packs(self):
+        store = make_store()
+        a, b, c = b"a" * 100, b"b" * 100, b"c" * 100
+        r0 = store.ingest(refs([a, b, c]), pack_id="p0")
+        store.release([hash_bytes(b)])
+        report = store.sweep()
+        assert report.packs_rewritten == [f"{r0.pack_artifact}-gc"]
+        assert not store.file_store.exists(r0.pack_artifact)
+        assert store.file_store.total_bytes() == len(a) + len(c)
+        out = store.fetch([hash_bytes(a), hash_bytes(c)])
+        assert out[hash_bytes(a)] == a and out[hash_bytes(c)] == c
+
+    def test_sweep_noop_when_everything_alive(self):
+        store = make_store()
+        store.ingest(refs([b"live" * 50]), pack_id="p0")
+        report = store.sweep()
+        assert report.chunks_reclaimed == 0
+        assert not report.packs_deleted and not report.packs_rewritten
+
+    def test_release_unknown_digest_raises(self):
+        store = make_store()
+        with pytest.raises(StorageError):
+            store.release(["f" * 64])
+
+
+class TestPersistence:
+    def test_index_rebuilds_from_document_store(self):
+        file_store, document_store = FileStore(), DocumentStore()
+        store = ChunkStore(file_store, document_store)
+        a, b = b"a" * 123, b"b" * 456
+        store.ingest(refs([a, b, a]), pack_id="p0")
+        # A second ChunkStore over the same substrates sees everything.
+        reopened = ChunkStore(file_store, document_store)
+        assert len(reopened) == 2
+        assert reopened.references(hash_bytes(a)) == 2
+        assert reopened.references(hash_bytes(b)) == 1
+        out = reopened.fetch([hash_bytes(a), hash_bytes(b)])
+        assert out[hash_bytes(a)] == a and out[hash_bytes(b)] == b
+        # And continues deduplicating against the persisted index.
+        report = reopened.ingest(refs([a]), pack_id="p1")
+        assert report.chunks_new == 0 and report.chunks_deduped == 1
+
+    def test_ledger_document_tracks_refcounts(self):
+        store = make_store()
+        a = b"a" * 100
+        store.ingest(refs([a, a]), pack_id="p0")
+        ledger = store.document_store._collections[REFS_COLLECTION][REFS_DOC_ID]
+        assert ledger["refs"][hash_bytes(a)] == 2
+        store.release([hash_bytes(a)])
+        ledger = store.document_store._collections[REFS_COLLECTION][REFS_DOC_ID]
+        assert ledger["refs"][hash_bytes(a)] == 1
+
+
+class TestNumpyKeys:
+    def test_float32_layer_digest_matches_hash_array(self):
+        # The Update approach's full-length layer hashes double as chunk
+        # keys: sha256(tobytes of the contiguous float32 array).
+        from repro.storage.hashing import hash_array
+
+        rng = np.random.default_rng(7)
+        arr = rng.normal(size=(16, 3)).astype(np.float32)
+        payload = np.ascontiguousarray(arr, dtype=np.float32).tobytes()
+        assert hash_array(arr, length=64) == hash_bytes(payload)
