@@ -8,6 +8,7 @@ Subcommands cover the operator loop demonstrated in
     repro-archive <dir> info                 # sets, sizes, lineage summary
     repro-archive <dir> lineage              # the derivation chains
     repro-archive <dir> verify [--deep]      # integrity audit
+    repro-archive <dir> fsck [--deep]        # consistency audit + bitrot scan
     repro-archive <dir> history SET_ID IDX   # one model's drift
     repro-archive <dir> compact SET_ID       # delta -> full snapshot
     repro-archive <dir> gc --keep-last K     # retention policy
@@ -106,6 +107,37 @@ def _cmd_verify(context: SaveContext, args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_fsck(context: SaveContext, args: argparse.Namespace) -> int:
+    from repro.core.fsck import ArchiveFsck
+
+    report = ArchiveFsck(context).run(deep=args.deep)
+    print(
+        f"checked {report.sets_checked} sets, {report.artifacts_checked} "
+        f"artifacts, {report.chunks_checked} chunks"
+    )
+    if report.ok:
+        print("archive is consistent")
+        return 0
+    for txn in report.pending_journal:
+        print(f"PENDING-TXN {txn} (reopen the archive to roll it back)")
+    for entry in report.missing_artifacts:
+        print(f"MISSING {entry['artifact']} (referenced by {entry['set_id']})")
+    for artifact in report.orphan_artifacts:
+        print(f"ORPHAN {artifact}")
+    for entry in report.refcount_mismatches:
+        print(
+            f"REFCOUNT {entry['digest'][:16]}… expected {entry['expected']}, "
+            f"ledger says {entry['actual']}"
+        )
+    for artifact in report.corrupt_artifacts:
+        print(f"CORRUPT {artifact}")
+    for digest in report.corrupt_chunks:
+        print(f"CORRUPT-CHUNK {digest[:16]}…")
+    for digest in report.quarantined_chunks:
+        print(f"QUARANTINED {digest[:16]}…")
+    return 1
+
+
 def _cmd_history(context: SaveContext, args: argparse.Namespace) -> int:
     manager = _manager_for(context, args.approach)
     lineage = LineageGraph.from_context(context)
@@ -146,8 +178,25 @@ def _cmd_export(context: SaveContext, args: argparse.Namespace) -> int:
     manager = _manager_for(context, args.approach)
     indices = args.models if args.models else None
     manifest = export_models(
-        manager, args.set_id, args.output_dir, model_indices=indices
+        manager,
+        args.set_id,
+        args.output_dir,
+        model_indices=indices,
+        salvage=args.salvage,
     )
+    if args.salvage:
+        import json
+
+        bundle = json.loads(manifest.read_text())
+        exported = len(bundle["models"])
+        skipped = bundle.get("salvage", {}).get("skipped", [])
+        print(
+            f"exported {exported} models to {args.output_dir} "
+            f"(manifest: {manifest})"
+        )
+        for entry in skipped:
+            print(f"SKIPPED model {entry['model']}: {entry['reason']}")
+        return 1 if skipped else 0
     count = len(indices) if indices else manager.set_info(args.set_id)["num_models"]
     print(f"exported {count} models to {args.output_dir} (manifest: {manifest})")
     return 0
@@ -204,6 +253,15 @@ def main(argv: list[str] | None = None) -> int:
         "--deep", action="store_true", help="also recover sets and recheck hashes"
     )
 
+    fsck = subparsers.add_parser(
+        "fsck", help="audit archive consistency (journal, orphans, refcounts)"
+    )
+    fsck.add_argument(
+        "--deep",
+        action="store_true",
+        help="also re-hash every artifact and chunk against its checksum",
+    )
+
     history = subparsers.add_parser("history", help="one model's drift over time")
     history.add_argument("set_id")
     history.add_argument("model_index", type=int)
@@ -225,6 +283,12 @@ def main(argv: list[str] | None = None) -> int:
     export.add_argument("output_dir")
     export.add_argument(
         "--models", nargs="+", type=int, default=None, metavar="INDEX"
+    )
+    export.add_argument(
+        "--salvage",
+        action="store_true",
+        help="tolerate corruption: export every model that still verifies "
+        "and record the skipped ones in the manifest",
     )
 
     migrate = subparsers.add_parser(
@@ -250,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "lineage": _cmd_lineage,
         "verify": _cmd_verify,
+        "fsck": _cmd_fsck,
         "history": _cmd_history,
         "compact": _cmd_compact,
         "gc": _cmd_gc,

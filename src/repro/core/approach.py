@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
 import itertools
+from typing import TYPE_CHECKING
 
 from repro.core.model_set import ModelSet
 from repro.core.save_info import SetMetadata, UpdateInfo
@@ -28,6 +29,9 @@ from repro.storage.chunk_index import ChunkStore
 from repro.storage.document_store import DocumentStore
 from repro.storage.file_store import FileStore
 from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+
+if TYPE_CHECKING:
+    from repro.storage.journal import RecoveryReport, SaveJournal
 
 #: Document-store collection holding one descriptor document per set.
 SETS_COLLECTION = "model_sets"
@@ -52,6 +56,11 @@ class SaveContext:
     dataset_registry: DatasetRegistry
     workers: int = 1
     dedup: bool = False
+    #: Write-ahead journal making every save an atomic commit (attached by
+    #: ``open_context``/``attach_journal``); ``None`` runs saves unjournaled.
+    journal: "SaveJournal | None" = field(default=None, repr=False)
+    #: What crash recovery repaired when this context was opened.
+    recovery_report: "RecoveryReport | None" = field(default=None, repr=False)
     _set_counter: "itertools.count[int]" = field(
         default_factory=itertools.count, repr=False
     )
@@ -78,6 +87,18 @@ class SaveContext:
         if self._chunk_store is None:
             self._chunk_store = ChunkStore(self.file_store, self.document_store)
         return self._chunk_store
+
+    def _invalidate_chunk_store(self) -> None:
+        """Drop the cached chunk index (a rollback restored older docs)."""
+        self._chunk_store = None
+
+    def save_transaction(self, kind: str = "save", approach: str | None = None):
+        """A journal transaction for one save/GC pass (no-op unjournaled)."""
+        if self.journal is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.journal.begin(kind, approach)
 
     def next_set_id(self, approach_name: str) -> str:
         """Allocate a unique id for a new model set."""

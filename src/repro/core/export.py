@@ -34,6 +34,7 @@ def export_models(
     set_id: str,
     directory: str | Path,
     model_indices: list[int] | None = None,
+    salvage: bool = False,
 ) -> Path:
     """Export models from a saved set as a self-contained bundle.
 
@@ -41,6 +42,12 @@ def export_models(
     individually (cheap under range-read approaches) and written as
     ``model-<index>.bin`` in the self-describing codec.  Returns the
     manifest path.
+
+    With ``salvage=True`` a corrupted archive does not abort the export:
+    the set is recovered through
+    :func:`~repro.core.fsck.salvage_recover`, only the models that still
+    verify are written, and the manifest's ``salvage`` section records
+    exactly which requested models were skipped and why.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -52,10 +59,34 @@ def export_models(
     if bad:
         raise IndexError(f"model indices out of range: {bad}")
 
+    salvage_section = None
+    if salvage:
+        report = manager.recover_set(set_id, salvage=True)
+        reasons = {entry["model"]: entry["reason"] for entry in report.failed}
+        skipped = [
+            {"model": index, "reason": reasons[index]}
+            for index in model_indices
+            if index in reasons
+        ]
+        states = {
+            index: report.models[index]
+            for index in model_indices
+            if index in report.models
+        }
+        salvage_section = {
+            "requested": len(model_indices),
+            "skipped": skipped,
+            "repaired_chunks": report.repaired_chunks,
+        }
+        model_indices = sorted(states)
+        recover = states.__getitem__
+    else:
+        # One model in memory at a time (range reads where supported).
+        recover = lambda index: manager.recover_model(set_id, index)  # noqa: E731
+
     files = {}
     for index in model_indices:
-        state = manager.recover_model(set_id, index)
-        blob = serialize_state_dict(state)
+        blob = serialize_state_dict(recover(index))
         name = f"model-{index:06d}.bin"
         (directory / name).write_bytes(blob)
         files[str(index)] = {"file": name, "sha256": hash_bytes(blob)}
@@ -67,6 +98,8 @@ def export_models(
         "num_models_in_set": num_models,
         "models": files,
     }
+    if salvage_section is not None:
+        manifest["salvage"] = salvage_section
     manifest_path = directory / MANIFEST_NAME
     manifest_path.write_text(json.dumps(manifest, indent=2))
     return manifest_path

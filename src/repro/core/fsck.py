@@ -1,0 +1,468 @@
+"""Archive fsck and corruption-tolerant (salvage) recovery.
+
+Two complementary tools for the "after an accident" half of the paper's
+archival story:
+
+* :class:`ArchiveFsck` — a structural audit of the whole archive:
+  leftover journal transactions, set descriptors referencing missing
+  artifacts, artifacts referenced by nothing (orphans a rolled-back save
+  should have reclaimed), and a full refcount audit of the chunk ledger
+  against the digest matrices of every chunked set.  ``deep=True`` also
+  re-hashes every artifact against its recorded checksum and every chunk
+  against its content digest.
+* :func:`salvage_recover` — recovery that does not abort on the first
+  corrupt byte.  Every model that still verifies is returned; the report
+  lists exactly which models were lost and why.  For deduplicated sets
+  the damage is isolated to the *chunk*: corrupt chunks are quarantined
+  and, where another set stores the same layer bytes in a full artifact,
+  repaired in place from that replica before any model is given up on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.approach import SETS_COLLECTION, SaveContext
+from repro.core.baseline import _chunked_digests, _layer_from_bytes
+from repro.core.mmlib_base import MODELS_COLLECTION
+from repro.core.update import HASH_COLLECTION, _layer_nbytes
+from repro.errors import DocumentNotFoundError
+from repro.nn.serialization import StateSchema, deserialize_state_dict
+from repro.storage.chunk_index import PACKS_COLLECTION
+from repro.storage.hashing import hash_array, hash_bytes
+from repro.storage.journal import JOURNAL_COLLECTION
+
+
+# ---------------------------------------------------------------------------
+# fsck
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FsckReport:
+    """Outcome of an archive consistency audit."""
+
+    sets_checked: int = 0
+    artifacts_checked: int = 0
+    chunks_checked: int = 0
+    #: Journal transactions still on disk — a crashed process whose
+    #: cleanup has not run yet (``open()`` repairs these automatically).
+    pending_journal: list[str] = field(default_factory=list)
+    #: ``{"set_id", "artifact"}`` — referenced but absent from the store.
+    missing_artifacts: list[dict] = field(default_factory=list)
+    #: Stored artifacts no set, model document, or chunk pack references.
+    orphan_artifacts: list[str] = field(default_factory=list)
+    #: ``{"digest", "expected", "actual"}`` — ledger refcount disagrees
+    #: with the count implied by the surviving digest matrices.
+    refcount_mismatches: list[dict] = field(default_factory=list)
+    #: Artifacts whose bytes no longer match their recorded checksum
+    #: (deep scan only).
+    corrupt_artifacts: list[str] = field(default_factory=list)
+    #: Chunks whose bytes no longer hash to their digest (deep scan only).
+    corrupt_chunks: list[str] = field(default_factory=list)
+    #: Chunks already quarantined before this run.
+    quarantined_chunks: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.pending_journal
+            or self.missing_artifacts
+            or self.orphan_artifacts
+            or self.refcount_mismatches
+            or self.corrupt_artifacts
+            or self.corrupt_chunks
+            or self.quarantined_chunks
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"clean: {self.sets_checked} sets, "
+                f"{self.artifacts_checked} artifacts, "
+                f"{self.chunks_checked} chunks"
+            )
+        parts = []
+        for label, items in (
+            ("pending journal entries", self.pending_journal),
+            ("missing artifacts", self.missing_artifacts),
+            ("orphan artifacts", self.orphan_artifacts),
+            ("refcount mismatches", self.refcount_mismatches),
+            ("corrupt artifacts", self.corrupt_artifacts),
+            ("corrupt chunks", self.corrupt_chunks),
+            ("quarantined chunks", self.quarantined_chunks),
+        ):
+            if items:
+                parts.append(f"{len(items)} {label}")
+        return "; ".join(parts)
+
+
+class ArchiveFsck:
+    """Structural (and optionally byte-level) audit of one save context."""
+
+    def __init__(self, context: SaveContext) -> None:
+        self.context = context
+
+    def _collection(self, name: str) -> dict:
+        return self.context.document_store._collections.get(name, {})
+
+    def _referenced_artifacts(self) -> dict[str, str]:
+        """artifact id -> the document that references it."""
+        referenced: dict[str, str] = {}
+        for set_id, doc in self._collection(SETS_COLLECTION).items():
+            artifact = doc.get("params_artifact")
+            if artifact is not None:
+                referenced[str(artifact)] = set_id
+        for model_id, doc in self._collection(MODELS_COLLECTION).items():
+            for key in ("params_artifact", "code_artifact"):
+                artifact = doc.get(key)
+                if artifact is not None:
+                    referenced[str(artifact)] = model_id
+        for pack_id, doc in self._collection(PACKS_COLLECTION).items():
+            referenced[str(doc["artifact"])] = pack_id
+        return referenced
+
+    def _expected_chunk_refs(self) -> dict[str, int]:
+        """Reference counts implied by the surviving chunked sets.
+
+        Mirrors the ingest accounting: every (model, layer) occurrence of
+        a digest is one reference, duplicates within a set included.
+        """
+        expected: dict[str, int] = {}
+        for set_id, doc in self._collection(SETS_COLLECTION).items():
+            if doc.get("storage") != "chunked":
+                continue
+            try:
+                matrix = _chunked_digests(self.context, doc, set_id)
+            except DocumentNotFoundError:
+                continue  # reported as missing-chunk-digests by verify
+            for row in matrix:
+                for digest in row:
+                    expected[digest] = expected.get(digest, 0) + 1
+        return expected
+
+    def run(self, deep: bool = False) -> FsckReport:
+        """Audit the archive; ``deep=True`` re-hashes every stored byte."""
+        report = FsckReport()
+        file_store = self.context.file_store
+        report.pending_journal = sorted(
+            self._collection(JOURNAL_COLLECTION)
+        )
+        report.sets_checked = len(self._collection(SETS_COLLECTION))
+
+        referenced = self._referenced_artifacts()
+        for artifact, owner in sorted(referenced.items()):
+            if not file_store.exists(artifact):
+                report.missing_artifacts.append(
+                    {"set_id": owner, "artifact": artifact}
+                )
+        report.orphan_artifacts = sorted(
+            set(file_store.ids()) - set(referenced)
+        )
+        report.artifacts_checked = len(referenced)
+
+        if self._collection(PACKS_COLLECTION):
+            chunk_store = self.context.chunk_store()
+            expected = self._expected_chunk_refs()
+            for digest in sorted(set(expected) | {
+                d for d in chunk_store._chunks
+            }):
+                want = expected.get(digest, 0)
+                have = chunk_store.references(digest)
+                if want != have:
+                    report.refcount_mismatches.append(
+                        {"digest": digest, "expected": want, "actual": have}
+                    )
+            report.quarantined_chunks = chunk_store.quarantined_digests()
+            report.chunks_checked = len(chunk_store)
+
+        if deep:
+            self._deep_scan(report, referenced)
+        return report
+
+    def _deep_scan(self, report: FsckReport, referenced: dict[str, str]) -> None:
+        file_store = self.context.file_store
+        pack_artifacts = {
+            str(doc["artifact"]) for doc in self._collection(PACKS_COLLECTION).values()
+        }
+        for artifact in sorted(referenced):
+            # Pack artifacts are verified per chunk below — finer grain,
+            # and a single flipped byte blames one chunk, not the pack.
+            if artifact in pack_artifacts or not file_store.exists(artifact):
+                continue
+            if not file_store.verify_artifact(artifact):
+                report.corrupt_artifacts.append(artifact)
+        if self._collection(PACKS_COLLECTION):
+            chunk_store = self.context.chunk_store()
+            digests = [
+                d for d, c in chunk_store._chunks.items() if not c.quarantined
+            ]
+            _values, corrupted = chunk_store.fetch_verified(
+                digests, workers=self.context.workers, quarantine=False
+            )
+            report.corrupt_chunks = sorted(corrupted)
+
+
+# ---------------------------------------------------------------------------
+# salvage recovery
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SalvageReport:
+    """Result of a corruption-tolerant recovery of one set.
+
+    ``models`` holds every model that recovered *and verified*; ``failed``
+    lists exactly the models that were lost, each with a reason.  For
+    deduplicated sets ``corrupt_chunks`` names the damaged digests and
+    ``repaired_chunks`` the ones healed from replicas before recovery.
+    """
+
+    set_id: str
+    approach: str
+    num_models: int
+    models: "dict[int, OrderedDict]" = field(default_factory=dict)
+    failed: list[dict] = field(default_factory=list)
+    corrupt_chunks: list[str] = field(default_factory=list)
+    repaired_chunks: list[str] = field(default_factory=list)
+
+    @property
+    def recovered_indices(self) -> list[int]:
+        return sorted(self.models)
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return sorted(entry["model"] for entry in self.failed)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed and len(self.models) == self.num_models
+
+
+def salvage_recover(context: SaveContext, set_id: str) -> SalvageReport:
+    """Recover every intact model of ``set_id``, reporting the rest.
+
+    Dispatches on the set's storage format: chunked sets verify (and
+    where possible repair) individual chunks, MMlib sets isolate damage
+    to single model artifacts, and artifact-based sets fall back to
+    per-model recovery checked against stored hash info when available.
+    """
+    document = context.document_store._collections.get(
+        SETS_COLLECTION, {}
+    ).get(set_id)
+    if document is None:
+        raise DocumentNotFoundError(f"unknown set {set_id!r}")
+    approach_name = str(document.get("type"))
+    report = SalvageReport(
+        set_id=set_id,
+        approach=approach_name,
+        num_models=int(document.get("num_models", 0)),
+    )
+    if document.get("storage") == "chunked":
+        _salvage_chunked(context, set_id, document, report)
+    elif approach_name == "mmlib-base":
+        _salvage_mmlib(context, document, report)
+    else:
+        _salvage_artifact_based(context, set_id, document, approach_name, report)
+    return report
+
+
+def _salvage_chunked(
+    context: SaveContext, set_id: str, document: dict, report: SalvageReport
+) -> None:
+    """Chunk-precise salvage: damage is isolated to (model, layer) slots."""
+    schema = StateSchema.from_json(document["schema"])
+    dtype = str(document.get("param_dtype", "float32"))
+    matrix = _chunked_digests(context, document, set_id)
+    chunk_store = context.chunk_store()
+    unique = dict.fromkeys(digest for row in matrix for digest in row)
+    known = [digest for digest in unique if digest in chunk_store]
+    missing = set(unique) - set(known)
+    values, corrupted = chunk_store.fetch_verified(
+        known, workers=context.workers, quarantine=True
+    )
+    if corrupted:
+        repaired = _repair_from_replicas(context, sorted(corrupted))
+        if repaired:
+            healed, still_bad = chunk_store.fetch_verified(
+                repaired, workers=context.workers, quarantine=True
+            )
+            values.update(healed)
+            corrupted -= set(healed)
+            corrupted |= still_bad
+            report.repaired_chunks = sorted(healed)
+    report.corrupt_chunks = sorted(corrupted)
+
+    entries = schema.entries
+    for index, row in enumerate(matrix):
+        bad = [digest for digest in row if digest not in values]
+        if bad:
+            kinds = "missing" if all(d in missing for d in bad) else "corrupt"
+            report.failed.append(
+                {
+                    "model": index,
+                    "reason": f"{len(bad)} {kinds} chunk(s)",
+                    "digests": sorted({d[:16] for d in bad}),
+                }
+            )
+            continue
+        state: "OrderedDict[str, Any]" = OrderedDict()
+        for layer, (name, shape) in enumerate(entries):
+            state[name] = _layer_from_bytes(values[row[layer]], shape, dtype)
+        report.models[index] = state
+
+
+def _repair_from_replicas(context: SaveContext, digests: list[str]) -> list[str]:
+    """Heal corrupt chunks from full artifacts storing the same bytes.
+
+    Any non-chunked full float32 set whose hash info lists one of the
+    damaged digests holds a byte-identical replica of that layer at a
+    computable offset; the slice is range-read, verified against the
+    digest, and fed to :meth:`ChunkStore.repair`.  Returns the digests
+    actually repaired.
+    """
+    remaining = set(digests)
+    repaired: list[str] = []
+    if not remaining:
+        return repaired
+    store = context.document_store
+    chunk_store = context.chunk_store()
+    sets = store._collections.get(SETS_COLLECTION, {})
+    hash_docs = store._collections.get(HASH_COLLECTION, {})
+    for other_id in sorted(sets):
+        if not remaining:
+            break
+        doc = sets[other_id]
+        if doc.get("storage") == "chunked":
+            continue  # same chunk store — same corrupt bytes
+        if doc.get("kind", "full") != "full" or "schema" not in doc:
+            continue
+        if doc.get("param_dtype", "float32") != "float32":
+            continue
+        hash_doc = hash_docs.get(other_id)
+        if hash_doc is None:
+            continue
+        artifact = doc.get("params_artifact")
+        if artifact is None or not context.file_store.exists(artifact):
+            continue
+        schema = StateSchema.from_json(doc["schema"])
+        nbytes = _layer_nbytes(schema)
+        offsets = [0] * len(nbytes)
+        for layer in range(1, len(nbytes)):
+            offsets[layer] = offsets[layer - 1] + nbytes[layer - 1]
+        for model_index, row in enumerate(hash_doc["hashes"]):
+            for layer, digest in enumerate(row):
+                if digest not in remaining:
+                    continue
+                try:
+                    data = context.file_store.get_range(
+                        artifact,
+                        offset=model_index * schema.num_bytes + offsets[layer],
+                        length=nbytes[layer],
+                    )
+                except Exception:
+                    continue  # replica itself unreadable — keep looking
+                if hash_bytes(data) != digest:
+                    continue  # replica damaged too
+                chunk_store.repair(digest, data)
+                remaining.discard(digest)
+                repaired.append(digest)
+    return repaired
+
+
+def _salvage_mmlib(
+    context: SaveContext, document: dict, report: SalvageReport
+) -> None:
+    """Per-model salvage: MMlib's one-artifact-per-model layout isolates
+    damage to individual models by construction."""
+    store = context.document_store
+    file_store = context.file_store
+    for index, model_id in enumerate(document.get("model_ids", [])):
+        model_doc = store._collections.get(MODELS_COLLECTION, {}).get(model_id)
+        if model_doc is None:
+            report.failed.append(
+                {"model": index, "reason": f"model document {model_id!r} missing"}
+            )
+            continue
+        artifact = model_doc.get("params_artifact")
+        if artifact is None or not file_store.exists(artifact):
+            report.failed.append(
+                {"model": index, "reason": "parameter artifact missing"}
+            )
+            continue
+        if not file_store.verify_artifact(artifact):
+            report.failed.append(
+                {
+                    "model": index,
+                    "reason": "parameter artifact failed checksum verification",
+                }
+            )
+            continue
+        try:
+            payload = file_store.get(artifact)
+            report.models[index] = deserialize_state_dict(payload)
+        except Exception as exc:
+            report.failed.append({"model": index, "reason": str(exc)})
+
+
+def _salvage_artifact_based(
+    context: SaveContext,
+    set_id: str,
+    document: dict,
+    approach_name: str,
+    report: SalvageReport,
+) -> None:
+    """Salvage for full/delta artifact sets (baseline, update, …).
+
+    Models are recovered one at a time so a failure (torn artifact,
+    broken chain link) only loses the models it actually touches.  Sets
+    with stored hash info (Update) verify every recovered model layer by
+    layer — precise corruption attribution; sets without it fall back to
+    the whole-artifact checksum, which can only vouch for all-or-nothing.
+    """
+    from repro.core.manager import APPROACHES
+
+    approach = APPROACHES[approach_name](context)
+    num_models = int(document.get("num_models", 0))
+    hash_doc = context.document_store._collections.get(HASH_COLLECTION, {}).get(
+        set_id
+    )
+
+    if hash_doc is None:
+        # No per-model hashes: the artifact checksum is the only oracle.
+        artifact = document.get("params_artifact")
+        if artifact is not None and context.file_store.exists(artifact):
+            if not context.file_store.verify_artifact(artifact):
+                report.failed = [
+                    {
+                        "model": index,
+                        "reason": "parameter artifact failed checksum "
+                        "verification and the set stores no per-model "
+                        "hashes to isolate the damage",
+                    }
+                    for index in range(num_models)
+                ]
+                return
+
+    layer_names = None
+    if hash_doc is not None:
+        layer_names = list(hash_doc.get("layers", []))
+    for index in range(num_models):
+        try:
+            state = approach.recover_model(set_id, index)
+        except Exception as exc:
+            report.failed.append({"model": index, "reason": str(exc)})
+            continue
+        if hash_doc is not None:
+            names = layer_names or list(state)
+            recomputed = [hash_array(state[name], length=64) for name in names]
+            if recomputed != list(hash_doc["hashes"][index]):
+                report.failed.append(
+                    {
+                        "model": index,
+                        "reason": "recovered parameters do not match the "
+                        "stored per-layer hash info",
+                    }
+                )
+                continue
+        report.models[index] = state

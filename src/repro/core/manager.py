@@ -104,6 +104,8 @@ class MultiModelManager:
         profile: HardwareProfile = LOCAL_PROFILE,
         workers: int | None = None,
         dedup: bool | None = None,
+        journal: bool = True,
+        retry: Any | None = None,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Open (or create) a durable archive rooted at ``directory``.
@@ -113,16 +115,35 @@ class MultiModelManager:
         exactly where the previous process left off — including the
         set-id sequence and the chunk index, so derived saves keep
         chaining (and deduplicating) correctly.
+
+        With ``journal=True`` (default) every save runs as an atomic
+        write-ahead transaction, and opening first repairs anything a
+        crashed process left behind — see :attr:`recovery_report` for
+        what was rolled back.  ``retry`` takes a
+        :class:`~repro.storage.faults.RetryPolicy` for transient-error
+        resilience.
         """
         from repro.storage.persistent import open_context
 
         return cls.with_approach(
             approach,
-            context=open_context(directory, profile=profile),
+            context=open_context(
+                directory, profile=profile, journal=journal, retry=retry
+            ),
             workers=workers,
             dedup=dedup,
             **approach_kwargs,
         )
+
+    @property
+    def recovery_report(self):
+        """What crash recovery repaired when this archive was opened.
+
+        ``None`` for unjournaled contexts; otherwise a
+        :class:`~repro.storage.journal.RecoveryReport` whose ``clean``
+        flag is ``False`` when a torn save was rolled back.
+        """
+        return self.context.recovery_report
 
     # -- save / recover ------------------------------------------------------
     def save_set(
@@ -132,12 +153,18 @@ class MultiModelManager:
         update_info: UpdateInfo | None = None,
         metadata: SetMetadata | None = None,
     ) -> str:
-        """Persist a model set; derived saves pass their ``base_set_id``."""
-        if base_set_id is None:
-            return self.approach.save_initial(model_set, metadata=metadata)
-        return self.approach.save_derived(
-            model_set, base_set_id, update_info=update_info, metadata=metadata
-        )
+        """Persist a model set; derived saves pass their ``base_set_id``.
+
+        On a journaled context the save is one atomic commit: a crash at
+        any point leaves the archive exactly as before the call (rolled
+        back at the next :meth:`open`).
+        """
+        with self.context.save_transaction("save", self.approach.name):
+            if base_set_id is None:
+                return self.approach.save_initial(model_set, metadata=metadata)
+            return self.approach.save_derived(
+                model_set, base_set_id, update_info=update_info, metadata=metadata
+            )
 
     def save_set_streaming(
         self,
@@ -152,12 +179,25 @@ class MultiModelManager:
         into the parameter artifact one at a time (Baseline/Update write
         a true single pass; other approaches fall back to materializing).
         """
-        return self.approach.save_initial_streaming(
-            architecture, states, num_models, metadata=metadata
-        )
+        with self.context.save_transaction("save", self.approach.name):
+            return self.approach.save_initial_streaming(
+                architecture, states, num_models, metadata=metadata
+            )
 
-    def recover_set(self, set_id: str) -> ModelSet:
-        """Reconstruct a saved model set."""
+    def recover_set(self, set_id: str, salvage: bool = False):
+        """Reconstruct a saved model set.
+
+        The plain path returns a :class:`ModelSet` and raises on any
+        corruption.  With ``salvage=True`` corruption does not abort the
+        recovery: the return value is a
+        :class:`~repro.core.fsck.SalvageReport` carrying every model that
+        still verifies plus a structured account of exactly which models
+        were lost and why.
+        """
+        if salvage:
+            from repro.core.fsck import salvage_recover
+
+            return salvage_recover(self.context, set_id)
         return self.approach.recover(set_id)
 
     def recover_model(self, set_id: str, model_index: int):

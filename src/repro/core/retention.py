@@ -54,6 +54,8 @@ class RetentionManager:
         but its descriptor becomes ``kind: full`` with a freshly written
         parameter artifact, and its recovery no longer touches ancestors.
         Full sets (Baseline, MMlib-base, snapshots) are left untouched.
+        On a journaled context the rewrite is one atomic commit: a crash
+        mid-compaction rolls back to the original delta set on reopen.
         """
         store = self.context.document_store
         try:
@@ -75,7 +77,8 @@ class RetentionManager:
             )
         approach = APPROACHES[approach_name](self.context)
         model_set = approach.recover(set_id)
-        self._write_snapshot(set_id, document, model_set, approach_name)
+        with self.context.save_transaction("compact", approach_name):
+            self._write_snapshot(set_id, document, model_set, approach_name)
 
     def _write_snapshot(
         self,
@@ -143,15 +146,23 @@ class RetentionManager:
         report = CollectionReport()
         report.retained_for_chains = sorted(needed - set(keep))
         released_chunks = False
-        for set_id in sorted(all_ids - needed):
-            document = store._collections[SETS_COLLECTION][set_id]
-            released_chunks |= document.get("storage") == "chunked"
-            report.bytes_reclaimed += self._delete_set(set_id)
-            report.deleted_sets.append(set_id)
-        if released_chunks:
-            sweep = self.context.chunk_store().sweep(workers=self.context.workers)
-            report.bytes_reclaimed += sweep.bytes_reclaimed
-            report.chunks_reclaimed = sweep.chunks_reclaimed
+        # One atomic commit for the whole pass: document deletions are
+        # journaled with their prior contents and artifact deletes are
+        # deferred to commit, so a crash mid-collection (even mid-sweep)
+        # rolls back to the archive exactly as it was — no half-released
+        # refcounts, no packs missing live chunks.
+        with self.context.save_transaction("gc"):
+            for set_id in sorted(all_ids - needed):
+                document = store._collections[SETS_COLLECTION][set_id]
+                released_chunks |= document.get("storage") == "chunked"
+                report.bytes_reclaimed += self._delete_set(set_id)
+                report.deleted_sets.append(set_id)
+            if released_chunks:
+                sweep = self.context.chunk_store().sweep(
+                    workers=self.context.workers
+                )
+                report.bytes_reclaimed += sweep.bytes_reclaimed
+                report.chunks_reclaimed = sweep.chunks_reclaimed
         return report
 
     def keep_last(self, count: int, compact_oldest_kept: bool = True) -> CollectionReport:

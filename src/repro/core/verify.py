@@ -98,6 +98,7 @@ class ArchiveVerifier:
 
         self._check_references(set_id, document, report)
         if deep:
+            self._check_integrity(set_id, document, report)
             self._check_recovery(set_id, document, approach_name, report)
         return report
 
@@ -223,8 +224,57 @@ class ArchiveVerifier:
                         "this set",
                     )
                     return
+                if chunk_store._chunks[digest].quarantined:
+                    report.add(
+                        set_id,
+                        "quarantined-chunk",
+                        f"model {model} layer {layer}: chunk {digest[:12]}… "
+                        "is quarantined as corrupt (repair or re-save to heal)",
+                    )
+                    return
 
     # -- deep checks ---------------------------------------------------------------
+    def _check_integrity(
+        self, set_id: str, document: dict, report: VerificationReport
+    ) -> None:
+        """Re-hash the set's artifacts against their recorded checksums.
+
+        Chunked sets are covered at finer grain by recovery (every chunk
+        is digest-addressed); this check covers the monolithic artifacts
+        whose in-memory reads do not verify on their own.
+        """
+        file_store = self.context.file_store
+        artifact = document.get("params_artifact")
+        if (
+            artifact is not None
+            and file_store.exists(artifact)
+            and not file_store.verify_artifact(artifact)
+        ):
+            report.add(
+                set_id,
+                "corrupt-artifact",
+                f"{artifact}: bytes do not match the recorded checksum",
+            )
+        for model_id in document.get("model_ids", []):
+            model_doc = self.context.document_store._collections.get(
+                "mmlib_models", {}
+            ).get(model_id)
+            if model_doc is None:
+                continue
+            for key in ("params_artifact", "code_artifact"):
+                model_artifact = model_doc.get(key)
+                if (
+                    model_artifact
+                    and file_store.exists(model_artifact)
+                    and not file_store.verify_artifact(model_artifact)
+                ):
+                    report.add(
+                        set_id,
+                        "corrupt-artifact",
+                        f"{model_artifact}: bytes do not match the recorded "
+                        "checksum",
+                    )
+
     def _check_recovery(
         self,
         set_id: str,

@@ -40,6 +40,43 @@ class DuplicateArtifactError(StorageError):
     """Raised when writing an artifact id that already exists."""
 
 
+class TransientStorageError(StorageError):
+    """A store operation failed but may succeed if retried.
+
+    Models the recoverable failures of a remote store (timeouts, dropped
+    connections, throttling).  The retry policy in
+    :mod:`repro.storage.faults` catches exactly this class.
+    """
+
+
+class PermanentStorageError(StorageError):
+    """A store operation failed and retrying cannot help."""
+
+
+class ArtifactCorruptionError(StorageError):
+    """Stored bytes no longer match their recorded digest (bitrot)."""
+
+
+class ChunkCorruptionError(ArtifactCorruptionError):
+    """One or more content-addressed chunks failed digest verification."""
+
+    def __init__(self, message: str, digests: "tuple[str, ...]" = ()) -> None:
+        super().__init__(message)
+        #: The digests that failed verification (or are quarantined).
+        self.digests = tuple(digests)
+
+
+class SimulatedCrashError(ReproError):
+    """A fault-injected process kill.
+
+    Raised by the fault harness to model the process dying mid-operation:
+    unlike every other exception, the save journal performs **no**
+    in-process rollback when unwinding through it — cleanup must happen
+    on the next :meth:`MultiModelManager.open`, exactly as after a real
+    crash.
+    """
+
+
 class RecoveryError(ReproError):
     """Raised when a model set cannot be recovered."""
 

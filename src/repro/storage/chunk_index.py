@@ -40,7 +40,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.errors import StorageError
+from repro.errors import ChunkCorruptionError, StorageError
+from repro.storage.hashing import hash_bytes
 
 #: Collection holding one layout document per pack artifact.
 PACKS_COLLECTION = "chunk_packs"
@@ -60,6 +61,10 @@ class _Chunk:
     offset: int
     length: int
     refs: int = 0
+    #: Stored bytes failed digest verification; reads refuse the chunk,
+    #: refcounts are preserved, and the next ingest or an explicit repair
+    #: re-stores clean bytes.
+    quarantined: bool = False
 
 
 @dataclass(frozen=True)
@@ -130,6 +135,11 @@ class IngestSession:
         self._total += 1
         self._refs[digest] = self._refs.get(digest, 0) + 1
         known = self._store._chunks.get(digest)
+        # A quarantined chunk counts as absent: its stored bytes are
+        # corrupt, so this save re-stores a clean copy (healing the index
+        # for every set referencing the digest).
+        if known is not None and known.quarantined:
+            known = None
         if known is not None or digest in self._new_lengths:
             length = known.length if known is not None else self._new_lengths[digest]
             self._deduped += 1
@@ -157,7 +167,19 @@ class IngestSession:
             pack_artifact = self._writer.close()
             offset = 0
             for digest, length in self._new:
-                store._chunks[digest] = _Chunk(pack_artifact, offset, length)
+                prior = store._chunks.get(digest)
+                if prior is not None:
+                    # Re-store of a quarantined chunk: the clean copy takes
+                    # over the digest, keeping accumulated references, and
+                    # the corrupt location is disowned so an index rebuild
+                    # cannot resurrect it.
+                    store._mark_superseded(digest, prior)
+                store._chunks[digest] = _Chunk(
+                    pack_artifact,
+                    offset,
+                    length,
+                    refs=prior.refs if prior is not None else 0,
+                )
                 offset += length
             store.document_store.insert(
                 PACKS_COLLECTION,
@@ -214,12 +236,21 @@ class ChunkStore:
         self.document_store = document_store
         self._chunks: dict[str, _Chunk] = {}
         packs = document_store._collections.get(PACKS_COLLECTION, {})
-        for doc in packs.values():
+        # Deterministic rebuild: repair packs apply last so a repaired
+        # digest always resolves to its clean copy, and a pack's
+        # ``superseded`` digests (disowned by a later re-store or repair)
+        # never claim the digest back.
+        ordered = sorted(
+            packs.values(), key=lambda doc: bool(doc.get("repair", False))
+        )
+        for doc in ordered:
+            superseded = set(doc.get("superseded", []))
             offset = 0
             for digest, length in zip(doc["digests"], doc["lengths"]):
-                self._chunks[digest] = _Chunk(
-                    str(doc["artifact"]), offset, int(length)
-                )
+                if digest not in superseded:
+                    self._chunks[digest] = _Chunk(
+                        str(doc["artifact"]), offset, int(length)
+                    )
                 offset += int(length)
         refs_doc = document_store._collections.get(REFS_COLLECTION, {}).get(
             REFS_DOC_ID
@@ -228,6 +259,9 @@ class ChunkStore:
             for digest, refs in refs_doc["refs"].items():
                 if digest in self._chunks:
                     self._chunks[digest].refs = int(refs)
+            for digest in refs_doc.get("quarantined", []):
+                if digest in self._chunks:
+                    self._chunks[digest].quarantined = True
 
     # -- write ----------------------------------------------------------------
     def open_ingest(
@@ -257,12 +291,34 @@ class ChunkStore:
                 for digest, chunk in sorted(self._chunks.items())
             }
         }
+        quarantined = sorted(
+            digest for digest, chunk in self._chunks.items() if chunk.quarantined
+        )
+        if quarantined:
+            document["quarantined"] = quarantined
         if self.document_store.exists(REFS_COLLECTION, REFS_DOC_ID):
             self.document_store.replace(REFS_COLLECTION, REFS_DOC_ID, document)
         else:
             self.document_store.insert(
                 REFS_COLLECTION, document, doc_id=REFS_DOC_ID, category="chunk-index"
             )
+
+    def _mark_superseded(self, digest: str, old_chunk: _Chunk) -> None:
+        """Disown ``digest``'s old location in its pack's layout document.
+
+        The digest (and its offset math) stays in the pack document so the
+        surviving chunks' offsets remain valid, but an index rebuild will
+        never resolve the digest to the disowned (corrupt) bytes again.
+        """
+        doc = self.document_store._read_raw(PACKS_COLLECTION, old_chunk.artifact_id)
+        if doc is None:
+            return
+        superseded = set(doc.get("superseded", []))
+        if digest in superseded:
+            return
+        superseded.add(digest)
+        doc["superseded"] = sorted(superseded)
+        self.document_store.replace(PACKS_COLLECTION, old_chunk.artifact_id, doc)
 
     # -- read -----------------------------------------------------------------
     def fetch(self, digests: Iterable[str], workers: int = 1) -> dict[str, bytes]:
@@ -275,6 +331,17 @@ class ChunkStore:
         layer) slots the caller fans it out to.
         """
         unique = dict.fromkeys(digests)
+        quarantined = [
+            digest
+            for digest in unique
+            if digest in self._chunks and self._chunks[digest].quarantined
+        ]
+        if quarantined:
+            raise ChunkCorruptionError(
+                f"{len(quarantined)} requested chunk(s) are quarantined as "
+                "corrupt; use fetch_verified/salvage to recover the rest",
+                digests=tuple(quarantined),
+            )
         by_pack: dict[str, list[tuple[int, int, str]]] = {}
         for digest in unique:
             try:
@@ -303,6 +370,121 @@ class ChunkStore:
                     relative = offset - range_offset
                     out[digest] = bytes(view[relative : relative + length])
         return out
+
+    # -- corruption handling ---------------------------------------------------
+    def fetch_verified(
+        self, digests: Iterable[str], workers: int = 1, quarantine: bool = True
+    ) -> tuple[dict[str, bytes], set[str]]:
+        """Fetch unique digests, verifying every chunk against its digest.
+
+        Returns ``(values, corrupted)``: corrupted digests are absent from
+        ``values`` instead of aborting the whole read, which is what lets
+        salvage recovery return every intact model.  Already-quarantined
+        chunks are reported corrupted without touching the bytes; freshly
+        discovered corruption (bitrot, unreadable pack regions) is
+        quarantined and persisted when ``quarantine=True`` so subsequent
+        plain :meth:`fetch` calls refuse fast.
+        """
+        unique = dict.fromkeys(digests)
+        corrupted: set[str] = set()
+        to_read: list[str] = []
+        for digest in unique:
+            chunk = self._chunks.get(digest)
+            if chunk is None:
+                raise StorageError(f"unknown chunk {digest!r}")
+            if chunk.quarantined:
+                corrupted.add(digest)
+            else:
+                to_read.append(digest)
+        values: dict[str, bytes] = {}
+        newly: list[str] = []
+        if to_read:
+            try:
+                values = self.fetch(to_read, workers=workers)
+            except (StorageError, OSError):
+                # A pack is unreadable (missing, truncated) — fall back to
+                # per-digest reads so one bad pack only loses its own chunks.
+                for digest in to_read:
+                    try:
+                        values.update(self.fetch([digest]))
+                    except (StorageError, OSError):
+                        corrupted.add(digest)
+                        newly.append(digest)
+        for digest in to_read:
+            data = values.get(digest)
+            if data is None:
+                continue
+            if hash_bytes(data) != digest:
+                corrupted.add(digest)
+                newly.append(digest)
+                del values[digest]
+        if newly and quarantine:
+            self.quarantine(newly)
+        return values, corrupted
+
+    def quarantine(self, digests: Iterable[str]) -> None:
+        """Mark chunks' stored bytes as corrupt (persisted in the ledger).
+
+        Reads refuse quarantined chunks until a clean copy takes over the
+        digest — via :meth:`repair` or simply the next save that stores it.
+        Reference counts are untouched: the *identity* is fine, only the
+        bytes at the current location are bad.
+        """
+        changed = False
+        for digest in digests:
+            chunk = self._chunks.get(digest)
+            if chunk is None:
+                raise StorageError(f"quarantine of unknown chunk {digest!r}")
+            if not chunk.quarantined:
+                chunk.quarantined = True
+                changed = True
+        if changed:
+            self._persist_refs()
+
+    def repair(self, digest: str, data: bytes) -> None:
+        """Replace a quarantined chunk's bytes with a verified clean copy.
+
+        The payload must hash to ``digest`` (salvage finds candidates in
+        replicas: another set's full artifact holding the same layer
+        bytes).  The clean copy is stored as a single-chunk repair pack,
+        the corrupt location is disowned, and the digest keeps its
+        accumulated reference count.
+        """
+        chunk = self._chunks.get(digest)
+        if chunk is None:
+            raise StorageError(f"repair of unknown chunk {digest!r}")
+        payload = bytes(data)
+        if hash_bytes(payload) != digest:
+            raise ChunkCorruptionError(
+                f"repair payload does not hash to {digest[:16]}...",
+                digests=(digest,),
+            )
+        pack_id = f"repair-{digest[:16]}"
+        while self.file_store.exists(pack_id):
+            pack_id += "-r"
+        self.file_store.put(
+            payload, artifact_id=pack_id, category="parameters", digest=digest
+        )
+        self.document_store.insert(
+            PACKS_COLLECTION,
+            {
+                "artifact": pack_id,
+                "digests": [digest],
+                "lengths": [len(payload)],
+                "repair": True,
+            },
+            doc_id=pack_id,
+            category="chunk-index",
+        )
+        self._mark_superseded(digest, chunk)
+        self._chunks[digest] = _Chunk(
+            pack_id, 0, len(payload), refs=chunk.refs, quarantined=False
+        )
+        self._persist_refs()
+
+    def quarantined_digests(self) -> list[str]:
+        """Digests currently refusing reads (management plane)."""
+        return sorted(d for d, c in self._chunks.items() if c.quarantined)
 
     # -- reference management -------------------------------------------------
     def release(self, digests: Iterable[str]) -> None:
@@ -368,7 +550,11 @@ class ChunkStore:
             offset = 0
             for digest, chunk in live:
                 self._chunks[digest] = _Chunk(
-                    new_id, offset, chunk.length, refs=chunk.refs
+                    new_id,
+                    offset,
+                    chunk.length,
+                    refs=chunk.refs,
+                    quarantined=chunk.quarantined,
                 )
                 offset += chunk.length
             self.document_store.delete(PACKS_COLLECTION, artifact_id)

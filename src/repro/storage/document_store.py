@@ -94,6 +94,28 @@ class DocumentStore:
         return matches
 
     # -- management plane (not charged) --------------------------------------
+    def _write_raw(self, collection: str, doc_id: str, document: JsonDocument) -> None:
+        """Write a document without charging the latency model.
+
+        Used by the save journal for its begin/commit records and by
+        crash recovery when restoring a document's prior contents —
+        bookkeeping of the durability machinery itself, not archive data.
+        Persistent stores override this to also write through to disk.
+        """
+        encoded = json.dumps(document, separators=(",", ":"))
+        self._collections.setdefault(collection, {})[doc_id] = json.loads(encoded)
+
+    def _delete_raw(self, collection: str, doc_id: str) -> None:
+        """Remove a document without charging; missing ids are a no-op."""
+        self._collections.get(collection, {}).pop(doc_id, None)
+
+    def _read_raw(self, collection: str, doc_id: str) -> JsonDocument | None:
+        """Fetch a document copy without charging; ``None`` when missing."""
+        document = self._collections.get(collection, {}).get(doc_id)
+        if document is None:
+            return None
+        return json.loads(json.dumps(document))
+
     def delete(self, collection: str, doc_id: str) -> None:
         """Remove a document (used by garbage collection)."""
         try:

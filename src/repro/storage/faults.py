@@ -1,0 +1,494 @@
+"""Deterministic fault injection and retry policies for the stores.
+
+The crash-consistency guarantees of the save journal are only as good as
+the failure model they are tested against.  This module provides that
+model: store wrappers that inject, from a **seeded** schedule,
+
+* **process kills** (:class:`~repro.errors.SimulatedCrashError`) at an
+  exact mutating-operation ordinal (``crash_at``), before the operation
+  applies, after it applies, or — for artifact puts — as a *torn write*
+  that persists only a prefix of the bytes under the final artifact id;
+* **transient errors** (:class:`~repro.errors.TransientStorageError`),
+  raised either before or after the operation applied, so a retry policy
+  must cope with "failed but actually succeeded" (the idempotent-re-put
+  case);
+* **permanent failures** (:class:`~repro.errors.PermanentStorageError`)
+  pinned to specific artifact ids; and
+* **silent bit corruption** on write (``corrupt_rate``): the stored bytes
+  are flipped while the recorded digest stays honest, exactly the
+  signature of bitrot that ``verify_artifact``/``fsck`` must catch.
+
+Determinism: every decision is drawn from ``random.Random(seed)`` in
+operation order, so the same seed over the same (serial) workload yields
+the same fault at the same point — which is what lets the crash-matrix
+benchmark enumerate *every* fault point of every approach.
+
+The wrappers follow the ``_inner`` proxy convention and compose with the
+journal: :func:`inject_faults` splices the faulty layer at the *bottom*
+of the proxy chain, so journal bookkeeping (written directly to the real
+stores) is never torn by the harness — mirroring a WAL on a device with
+stronger ordering guarantees than the data it protects.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DuplicateArtifactError,
+    PermanentStorageError,
+    SimulatedCrashError,
+    TransientStorageError,
+)
+from repro.storage.hashing import hash_bytes
+
+
+@dataclass
+class FaultInjector:
+    """Seeded schedule of storage faults, shared by a store-wrapper pair.
+
+    ``crash_at`` names the ordinal (0-based) of the mutating operation to
+    kill the process at; ``crash_mode`` is ``"auto"`` (seeded choice among
+    before/after/torn), or one of ``"before"``/``"after"``/``"torn"``.
+    Rates are per-operation probabilities.  The injector counts mutating
+    operations in :attr:`ops` even when no fault fires, so a dry run of a
+    workload measures how many fault points it has.
+    """
+
+    seed: int = 0
+    crash_at: int | None = None
+    crash_mode: str = "auto"
+    transient_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    permanent_ids: frozenset[str] = frozenset()
+    #: Mutating operations observed so far (put/writer-close/insert/...).
+    ops: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- decision points ---------------------------------------------------
+    def _check_permanent(self, ids) -> None:
+        for item in ids:
+            if item in self.permanent_ids:
+                raise PermanentStorageError(
+                    f"injected permanent failure for {item!r}"
+                )
+
+    def mutation(self, apply, torn_apply=None, ids=()):
+        """Route one mutating operation through the fault schedule.
+
+        ``apply`` performs the real operation; ``torn_apply`` (puts only)
+        persists a prefix of the bytes under the final id.  Returns
+        ``apply()``'s result when no fault fires.
+        """
+        self._check_permanent(ids)
+        with self._lock:
+            ordinal = self.ops
+            self.ops += 1
+            crash = self.crash_at is not None and ordinal == self.crash_at
+            mode = None
+            if crash:
+                if self.crash_mode == "auto":
+                    modes = ["before", "after"]
+                    if torn_apply is not None:
+                        modes.append("torn")
+                    mode = self._rng.choice(modes)
+                else:
+                    mode = self.crash_mode
+                    if mode == "torn" and torn_apply is None:
+                        mode = "before"
+            transient = (
+                not crash
+                and self.transient_rate > 0
+                and self._rng.random() < self.transient_rate
+            )
+            transient_after = transient and self._rng.random() < 0.5
+        if crash:
+            if mode == "before":
+                raise SimulatedCrashError(
+                    f"injected crash before mutation {ordinal}"
+                )
+            if mode == "torn":
+                torn_apply()
+                raise SimulatedCrashError(
+                    f"injected torn write at mutation {ordinal}"
+                )
+            apply()
+            raise SimulatedCrashError(f"injected crash after mutation {ordinal}")
+        if transient and not transient_after:
+            raise TransientStorageError(
+                f"injected transient failure before mutation {ordinal}"
+            )
+        result = apply()
+        if transient:
+            # The operation *applied*; the caller just never hears back.
+            raise TransientStorageError(
+                f"injected transient failure after mutation {ordinal}"
+            )
+        return result
+
+    def read(self, apply, ids=()):
+        """Route one read through the schedule (transient/permanent only)."""
+        self._check_permanent(ids)
+        with self._lock:
+            transient = (
+                self.transient_rate > 0
+                and self._rng.random() < self.transient_rate
+            )
+        if transient:
+            raise TransientStorageError("injected transient read failure")
+        return apply()
+
+    def maybe_corrupt(self, data: bytes) -> bytes:
+        """Flip one byte of ``data`` with probability ``corrupt_rate``."""
+        with self._lock:
+            if self.corrupt_rate <= 0 or self._rng.random() >= self.corrupt_rate:
+                return data
+            if not data:
+                return data
+            index = self._rng.randrange(len(data))
+        corrupted = bytearray(data)
+        corrupted[index] ^= 0xFF
+        return bytes(corrupted)
+
+
+class _FaultProxy:
+    """Base for fault-wrapping store proxies (``_inner`` delegation)."""
+
+    def __init__(self, inner, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+class _FaultyWriter:
+    """Writer wrapper: the finalizing close is one schedulable mutation."""
+
+    def __init__(self, writer, injector: FaultInjector) -> None:
+        self._writer = writer
+        self._injector = injector
+
+    def write(self, chunk: bytes) -> None:
+        self._writer.write(chunk)
+
+    def close(self) -> str:
+        return self._injector.mutation(self._writer.close)
+
+    def abort(self) -> None:
+        self._writer.abort()
+
+    def __enter__(self) -> "_FaultyWriter":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._writer._closed:
+            self.close()
+
+
+class FaultyFileStore(_FaultProxy):
+    """File-store wrapper injecting crashes, torn writes, and bitrot."""
+
+    def put(
+        self,
+        data: bytes,
+        artifact_id: str | None = None,
+        category: str = "binary",
+        workers: int = 1,
+        digest: str | None = None,
+    ) -> str:
+        # The honest digest is fixed before any corruption: a torn or
+        # bit-flipped write still lands under the id (and with the
+        # recorded checksum) the *intended* bytes would have had, which
+        # is how a real object store fails and what makes the damage
+        # detectable afterwards.
+        if digest is None:
+            digest = hash_bytes(data)
+        target = artifact_id if artifact_id is not None else "sha256-" + digest
+        stored = self._injector.maybe_corrupt(data)
+
+        def apply():
+            return self._inner.put(
+                stored,
+                artifact_id=artifact_id,
+                category=category,
+                workers=workers,
+                digest=digest,
+            )
+
+        def torn_apply():
+            if not self._inner.exists(target):
+                self._inner.put(
+                    stored[: max(1, len(stored) // 2)],
+                    artifact_id=target,
+                    category=category,
+                    workers=workers,
+                    digest=digest,
+                )
+
+        return self._injector.mutation(apply, torn_apply=torn_apply, ids=(target,))
+
+    def open_writer(
+        self,
+        artifact_id: str | None,
+        category: str = "binary",
+        workers: int = 1,
+    ):
+        if artifact_id is not None:
+            self._injector._check_permanent((artifact_id,))
+        return _FaultyWriter(
+            self._inner.open_writer(artifact_id, category=category, workers=workers),
+            self._injector,
+        )
+
+    def get(self, artifact_id: str, workers: int = 1) -> bytes:
+        return self._injector.read(
+            lambda: self._inner.get(artifact_id, workers=workers),
+            ids=(artifact_id,),
+        )
+
+    def get_range(self, artifact_id: str, offset: int, length: int) -> bytes:
+        return self._injector.read(
+            lambda: self._inner.get_range(artifact_id, offset, length),
+            ids=(artifact_id,),
+        )
+
+    def get_ranges(self, artifact_id: str, ranges, workers: int = 1):
+        return self._injector.read(
+            lambda: self._inner.get_ranges(artifact_id, ranges, workers=workers),
+            ids=(artifact_id,),
+        )
+
+    def delete(self, artifact_id: str) -> None:
+        return self._injector.mutation(
+            lambda: self._inner.delete(artifact_id), ids=(artifact_id,)
+        )
+
+
+class FaultyDocumentStore(_FaultProxy):
+    """Document-store wrapper injecting crashes and transient errors."""
+
+    def insert(
+        self,
+        collection: str,
+        document: dict,
+        doc_id: str | None = None,
+        category: str = "metadata",
+    ) -> str:
+        return self._injector.mutation(
+            lambda: self._inner.insert(
+                collection, document, doc_id=doc_id, category=category
+            )
+        )
+
+    def replace(self, collection: str, doc_id: str, document: dict) -> None:
+        return self._injector.mutation(
+            lambda: self._inner.replace(collection, doc_id, document)
+        )
+
+    def delete(self, collection: str, doc_id: str) -> None:
+        return self._injector.mutation(
+            lambda: self._inner.delete(collection, doc_id)
+        )
+
+    def get(self, collection: str, doc_id: str) -> dict:
+        return self._injector.read(lambda: self._inner.get(collection, doc_id))
+
+    def find(self, collection: str, **equals):
+        return self._injector.read(
+            lambda: self._inner.find(collection, **equals)
+        )
+
+
+# -- retry policy ----------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget for transient store failures.
+
+    ``attempts`` bounds the total tries; backoff before retry *n* (1-based)
+    is ``base_delay_s * multiplier**(n - 1)``, charged to the stats as
+    simulated latency (``retries``/``simulated_retry_s``) rather than
+    slept, keeping benchmarks fast and deterministic.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+
+    def backoff_s(self, retry_index: int) -> float:
+        return self.base_delay_s * (self.multiplier ** (retry_index - 1))
+
+
+class _RetryProxy:
+    def __init__(self, inner, policy: RetryPolicy) -> None:
+        self._inner = inner
+        self._policy = policy
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def _with_retries(self, apply, on_duplicate=None):
+        last: Exception | None = None
+        for attempt in range(1, self._policy.attempts + 1):
+            if attempt > 1:
+                self._inner.stats.record_retry(self._policy.backoff_s(attempt - 1))
+            try:
+                return apply()
+            except TransientStorageError as error:
+                last = error
+            except DuplicateArtifactError:
+                if attempt > 1 and on_duplicate is not None:
+                    # A prior try reported failure *after* applying: the
+                    # artifact is already durable, so the re-put is a
+                    # success, not a conflict.
+                    return on_duplicate()
+                raise
+        assert last is not None
+        raise last
+
+
+class RetryingFileStore(_RetryProxy):
+    """File-store wrapper retrying transient failures with backoff."""
+
+    def put(
+        self,
+        data: bytes,
+        artifact_id: str | None = None,
+        category: str = "binary",
+        workers: int = 1,
+        digest: str | None = None,
+    ) -> str:
+        if digest is None:
+            digest = hash_bytes(data)
+        target = artifact_id if artifact_id is not None else "sha256-" + digest
+        return self._with_retries(
+            lambda: self._inner.put(
+                data,
+                artifact_id=artifact_id,
+                category=category,
+                workers=workers,
+                digest=digest,
+            ),
+            on_duplicate=lambda: target,
+        )
+
+    def get(self, artifact_id: str, workers: int = 1) -> bytes:
+        return self._with_retries(
+            lambda: self._inner.get(artifact_id, workers=workers)
+        )
+
+    def get_range(self, artifact_id: str, offset: int, length: int) -> bytes:
+        return self._with_retries(
+            lambda: self._inner.get_range(artifact_id, offset, length)
+        )
+
+    def get_ranges(self, artifact_id: str, ranges, workers: int = 1):
+        return self._with_retries(
+            lambda: self._inner.get_ranges(artifact_id, ranges, workers=workers)
+        )
+
+    def delete(self, artifact_id: str) -> None:
+        return self._with_retries(lambda: self._inner.delete(artifact_id))
+
+
+class RetryingDocumentStore(_RetryProxy):
+    """Document-store wrapper retrying transient failures with backoff."""
+
+    def insert(
+        self,
+        collection: str,
+        document: dict,
+        doc_id: str | None = None,
+        category: str = "metadata",
+    ) -> str:
+        return self._with_retries(
+            lambda: self._inner.insert(
+                collection, document, doc_id=doc_id, category=category
+            )
+        )
+
+    def replace(self, collection: str, doc_id: str, document: dict) -> None:
+        return self._with_retries(
+            lambda: self._inner.replace(collection, doc_id, document)
+        )
+
+    def delete(self, collection: str, doc_id: str) -> None:
+        return self._with_retries(lambda: self._inner.delete(collection, doc_id))
+
+    def get(self, collection: str, doc_id: str) -> dict:
+        return self._with_retries(lambda: self._inner.get(collection, doc_id))
+
+    def find(self, collection: str, **equals):
+        return self._with_retries(lambda: self._inner.find(collection, **equals))
+
+
+# -- wiring ----------------------------------------------------------------
+def _splice_bottom(store, wrap):
+    """Wrap the innermost real store of a proxy chain; returns the top."""
+    if not hasattr(store, "_inner"):
+        return wrap(store)
+    proxy = store
+    while hasattr(proxy._inner, "_inner"):
+        proxy = proxy._inner
+    proxy._inner = wrap(proxy._inner)
+    return store
+
+
+def inject_faults(context, injector: FaultInjector) -> FaultInjector:
+    """Splice fault wrappers beneath any journal/retry layers of a context.
+
+    The journal's own records bypass the faulty layer by design (they are
+    written straight to the real stores), so every injected fault lands on
+    archive data — the thing the journal must protect.
+    """
+    context.file_store = _splice_bottom(
+        context.file_store, lambda real: FaultyFileStore(real, injector)
+    )
+    context.document_store = _splice_bottom(
+        context.document_store, lambda real: FaultyDocumentStore(real, injector)
+    )
+    context._chunk_store = None
+    return injector
+
+
+def attach_retries(context, policy: RetryPolicy) -> None:
+    """Wrap a context's stores in retrying proxies (beneath the journal)."""
+    context.file_store = RetryingFileStore(context.file_store, policy)
+    context.document_store = RetryingDocumentStore(context.document_store, policy)
+    context._chunk_store = None
+
+
+def corrupt_artifact(file_store, artifact_id: str, offset: int = 0) -> None:
+    """Flip one stored byte of an artifact in place (test-only bitrot).
+
+    Bypasses all accounting and checksums — afterwards the artifact fails
+    ``verify_artifact`` and digest-verified reads, which is the point.
+    """
+    from repro.storage.journal import innermost
+
+    store = innermost(file_store)
+    if getattr(store, "_blobs", None) is not None and artifact_id in store._blobs:
+        data = bytearray(store._blobs[artifact_id])
+        data[offset] ^= 0xFF
+        store._blobs[artifact_id] = bytes(data)
+        return
+    path = store._directory / f"{artifact_id}.bin"
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))

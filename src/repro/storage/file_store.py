@@ -98,19 +98,24 @@ class ArtifactWriter:
         self._closed = True
         store = self._store
         derived = self._artifact_id is None
-        artifact_id = (
-            "sha256-" + self._hasher.hexdigest() if derived else self._artifact_id
-        )
+        digest = self._hasher.hexdigest()
+        artifact_id = "sha256-" + digest if derived else self._artifact_id
         if not derived and store.exists(artifact_id):
-            self.abort()
+            self._discard()
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
         if self._handle is not None:
-            self._handle.close()
-            os.replace(self._temp, store._directory / f"{artifact_id}.bin")
+            try:
+                self._handle.close()
+                os.replace(self._temp, store._directory / f"{artifact_id}.bin")
+            except OSError:
+                # A failed finalize must not leak the spill temp file.
+                self._discard()
+                raise
             store._sizes[artifact_id] = self._num_bytes
         else:
             store._blobs[artifact_id] = b"".join(self._chunks)
             self._chunks = None
+        store._digests[artifact_id] = digest
         store.stats.record_write(
             self._num_bytes,
             store._write_cost(self._num_bytes, self._workers),
@@ -121,9 +126,21 @@ class ArtifactWriter:
     def abort(self) -> None:
         """Discard everything written so far."""
         self._closed = True
+        self._discard()
+
+    def _discard(self) -> None:
+        """Drop buffered chunks and, in spill mode, the temp file.
+
+        The unlink runs even if closing the handle fails: the temp file
+        must never outlive the writer, or reopening the same spill
+        directory would accumulate ``.writer-*.tmp`` garbage.
+        """
         if self._handle is not None:
-            self._handle.close()
-            self._temp.unlink(missing_ok=True)
+            try:
+                self._handle.close()
+            finally:
+                if self._temp is not None:
+                    self._temp.unlink(missing_ok=True)
         else:
             self._chunks = []
 
@@ -162,10 +179,17 @@ class FileStore:
         self._blobs: dict[str, bytes] = {}
         #: Spill mode: id -> size index (the only in-memory footprint).
         self._sizes: dict[str, int] = {}
+        #: id -> SHA-256 hex digest recorded at write time, so silent
+        #: corruption of stored bytes is detectable (:meth:`verify_artifact`).
+        self._digests: dict[str, str] = {}
         self._temp_counter = itertools.count()
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            # A crashed process can leave abandoned writer temp files;
+            # they are garbage by definition (never renamed into place).
+            for leftover in self._directory.glob(".writer-*.tmp"):
+                leftover.unlink(missing_ok=True)
 
     # -- cost model -------------------------------------------------------
     def _write_cost(self, num_bytes: int, workers: int = 1) -> float:
@@ -211,9 +235,11 @@ class FileStore:
         striped parallel upload: the simulated charge is the makespan of
         the stripes, still accounted as one write operation.
         """
+        if digest is None:
+            digest = hash_bytes(data)
         derived = artifact_id is None
         if derived:
-            artifact_id = "sha256-" + (digest if digest is not None else hash_bytes(data))
+            artifact_id = "sha256-" + digest
         if not derived and self.exists(artifact_id):
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
         if self._directory is not None:
@@ -221,6 +247,7 @@ class FileStore:
             self._sizes[artifact_id] = len(data)
         else:
             self._blobs[artifact_id] = data
+        self._digests[artifact_id] = digest
         self.stats.record_write(
             len(data), self._write_cost(len(data), workers), category
         )
@@ -320,6 +347,31 @@ class FileStore:
             (self._directory / f"{artifact_id}.bin").unlink(missing_ok=True)
         else:
             del self._blobs[artifact_id]
+        self._digests.pop(artifact_id, None)
+
+    # -- integrity (management plane, not charged) ------------------------
+    def recorded_digest(self, artifact_id: str) -> str | None:
+        """The SHA-256 hex digest recorded when the artifact was written."""
+        return self._digests.get(artifact_id)
+
+    def verify_artifact(self, artifact_id: str) -> bool:
+        """Recompute an artifact's digest and compare with the recorded one.
+
+        Returns ``True`` when the bytes still match (or no digest was
+        recorded, e.g. for artifacts written by an older version); used by
+        ``fsck`` and the salvage path to detect silent corruption without
+        charging the latency model.
+        """
+        if not self.exists(artifact_id):
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        recorded = self._digests.get(artifact_id)
+        if recorded is None:
+            return True
+        if self._directory is not None:
+            data = (self._directory / f"{artifact_id}.bin").read_bytes()
+        else:
+            data = self._blobs[artifact_id]
+        return hash_bytes(data) == recorded
 
     # -- inspection (not charged: management-plane operations) -----------
     def exists(self, artifact_id: str) -> bool:

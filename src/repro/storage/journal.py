@@ -1,0 +1,497 @@
+"""Write-ahead save journal: atomic multi-artifact saves with crash recovery.
+
+Every save in this library is a *multi-artifact* operation — a parameter
+blob (or several chunk packs), a descriptor document, hash-info documents,
+refcount-ledger updates.  A process that dies between any two of those
+writes leaves a torn set: artifacts without descriptors, refcounts without
+packs, descriptors referencing bytes that were never written.  The
+:class:`SaveJournal` turns each save (and each retention/GC pass) into an
+atomic commit:
+
+1. :meth:`SaveJournal.begin` durably writes a ``pending`` journal entry
+   *before* the first mutation.
+2. The :class:`JournaledFileStore` / :class:`JournaledDocumentStore`
+   proxies log every mutation's **undo information** into the entry
+   *before* applying it (write-ahead), and **defer** physical artifact
+   deletes until commit so a rollback never has to resurrect bytes.
+3. Commit flips the entry to ``committing``, applies the deferred
+   deletes, and removes the entry.  Rollback (any in-process exception)
+   undoes the logged operations in reverse.  A crash —
+   :class:`~repro.errors.SimulatedCrashError` in the fault harness, a real
+   ``kill -9`` in production — leaves the entry behind; the next
+   :meth:`SaveJournal.recover` (run by ``MultiModelManager.open``) rolls
+   ``pending`` entries back and re-applies the deferred deletes of
+   ``committing`` entries, so reopening an archive always lands on a
+   consistent prefix of its save history.
+
+Journal records are management-plane bookkeeping: they are written through
+the stores' uncharged ``_write_raw``/``_delete_raw`` paths, so the
+benchmark accounting of every approach is byte-for-byte identical with
+journaling on or off.  For the same reason the journal holds references to
+the *innermost* (real) stores — its records bypass any fault-injection or
+retry wrappers layered on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SimulatedCrashError, StorageError
+from repro.storage.hashing import hash_bytes
+
+#: Document-store collection holding one entry per open transaction.
+JOURNAL_COLLECTION = "save_journal"
+
+#: Mirrors :data:`repro.core.approach.SETS_COLLECTION`.  Not imported:
+#: the core package depends on this module, not the other way around.
+_SETS_COLLECTION = "model_sets"
+
+
+def innermost(store):
+    """Unwrap a proxy chain (``_inner`` convention) down to the real store."""
+    while hasattr(store, "_inner"):
+        store = store._inner
+    return store
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`SaveJournal.recover` found and repaired at open time."""
+
+    #: One summary dict per torn save rolled back: ``txn``, ``kind``,
+    #: ``approach``, ``set_id``, ``artifacts_removed``,
+    #: ``documents_restored``.
+    rolled_back: list[dict] = field(default_factory=list)
+    #: Entry ids whose deferred deletes were re-applied (crash mid-commit).
+    redone: list[str] = field(default_factory=list)
+    #: Orphaned artifacts reclaimed across all rolled-back entries.
+    artifacts_removed: list[str] = field(default_factory=list)
+    #: Documents restored to their pre-transaction contents.
+    documents_restored: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the archive needed no repair."""
+        return not (self.rolled_back or self.redone)
+
+
+class SaveTransaction:
+    """One open journal entry; used as a context manager around a save.
+
+    Exits commit on success and roll back on failure — except for
+    :class:`~repro.errors.SimulatedCrashError`, which unwinds **without**
+    touching the stores: the entry stays durable and cleanup happens at
+    the next open, exactly as after a real process kill.
+    """
+
+    def __init__(self, journal: "SaveJournal", txn_id: str, entry: dict) -> None:
+        self._journal = journal
+        self.txn_id = txn_id
+        self._entry = entry
+        self.closed = False
+
+    @property
+    def set_id(self) -> str | None:
+        """The set id this transaction created, once known."""
+        return self._entry.get("set_id")
+
+    def log_op(self, op: dict) -> None:
+        """Durably record one mutation's undo info *before* it applies."""
+        if self.closed:
+            raise StorageError(f"transaction {self.txn_id} already closed")
+        self._entry["ops"].append(op)
+        self._journal._flush(self)
+
+    def defer_delete(self, artifact_id: str) -> None:
+        """Schedule a physical artifact delete for commit time."""
+        if self.closed:
+            raise StorageError(f"transaction {self.txn_id} already closed")
+        self._entry["deletes"].append(artifact_id)
+        self._journal._flush(self)
+
+    def note_set(self, set_id: str) -> None:
+        """Tag the entry with the set id it is creating (for reports)."""
+        if self._entry.get("set_id") is None:
+            self._entry["set_id"] = set_id
+
+    def __enter__(self) -> "SaveTransaction":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        if self.closed:
+            return False
+        if exc_type is None:
+            self._journal.commit(self)
+        elif issubclass(exc_type, SimulatedCrashError):
+            # Process "died": no in-process cleanup, entry stays on disk.
+            self._journal.detach(self)
+        else:
+            self._journal.rollback(self)
+        return False
+
+
+class _NestedTransaction:
+    """No-op context returned for a begin() inside an open transaction.
+
+    The inner scope joins the outer transaction: its mutations are logged
+    against the outer entry and commit/rollback happen at the outer exit.
+    """
+
+    def __enter__(self) -> "_NestedTransaction":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        return False
+
+
+class SaveJournal:
+    """Single-writer write-ahead journal over one (file, document) store pair."""
+
+    def __init__(self, file_store, document_store) -> None:
+        # Journal records must bypass fault/retry wrappers: a save's
+        # durability bookkeeping cannot itself be torn by the harness.
+        self._file_store = innermost(file_store)
+        self._document_store = innermost(document_store)
+        self._txn: SaveTransaction | None = None
+        #: Called after any rollback (in-process or at recover), so the
+        #: owner can drop caches rebuilt from store state (chunk index).
+        self.on_rollback = None
+        highest = -1
+        for entry_id in self._document_store.collection_ids(JOURNAL_COLLECTION):
+            if entry_id.startswith("txn-"):
+                try:
+                    highest = max(highest, int(entry_id[4:]))
+                except ValueError:
+                    pass
+        self._counter = itertools.count(highest + 1)
+
+    # -- transaction lifecycle ---------------------------------------------
+    def active_txn(self) -> SaveTransaction | None:
+        return self._txn
+
+    def begin(self, kind: str = "save", approach: str | None = None):
+        """Open a transaction; nested begins join the outer transaction."""
+        if self._txn is not None:
+            return _NestedTransaction()
+        txn_id = f"txn-{next(self._counter):06d}"
+        entry = {
+            "status": "pending",
+            "kind": kind,
+            "approach": approach,
+            "set_id": None,
+            "ops": [],
+            "deletes": [],
+        }
+        txn = SaveTransaction(self, txn_id, entry)
+        self._flush(txn)
+        self._txn = txn
+        return txn
+
+    def commit(self, txn: SaveTransaction) -> None:
+        """Apply deferred deletes and retire the entry."""
+        entry = txn._entry
+        if entry["deletes"]:
+            entry["status"] = "committing"
+            self._flush(txn)
+            self._apply_deletes(entry["deletes"])
+        self._document_store._delete_raw(JOURNAL_COLLECTION, txn.txn_id)
+        txn.closed = True
+        self._txn = None
+
+    def rollback(self, txn: SaveTransaction) -> tuple[list[str], int]:
+        """Undo every logged operation in reverse; deferred deletes never ran."""
+        removed, restored = self._undo(txn._entry)
+        self._document_store._delete_raw(JOURNAL_COLLECTION, txn.txn_id)
+        txn.closed = True
+        self._txn = None
+        if self.on_rollback is not None:
+            self.on_rollback()
+        return removed, restored
+
+    def detach(self, txn: SaveTransaction) -> None:
+        """Abandon a transaction in-process (simulated crash): no cleanup."""
+        txn.closed = True
+        self._txn = None
+
+    # -- crash recovery ----------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Repair every entry a dead process left behind (run at open)."""
+        report = RecoveryReport()
+        entry_ids = sorted(
+            self._document_store.collection_ids(JOURNAL_COLLECTION), reverse=True
+        )
+        for entry_id in entry_ids:
+            entry = self._document_store._read_raw(JOURNAL_COLLECTION, entry_id)
+            if entry is None:
+                continue
+            status = entry.get("status")
+            if status == "committing":
+                # All mutations applied; only the deferred deletes may be
+                # partial.  Re-applying them is idempotent.
+                self._apply_deletes(entry.get("deletes", []))
+                report.redone.append(entry_id)
+            elif status == "pending":
+                removed, restored = self._undo(entry)
+                report.artifacts_removed.extend(removed)
+                report.documents_restored += restored
+                report.rolled_back.append(
+                    {
+                        "txn": entry_id,
+                        "kind": entry.get("kind"),
+                        "approach": entry.get("approach"),
+                        "set_id": entry.get("set_id"),
+                        "artifacts_removed": removed,
+                        "documents_restored": restored,
+                    }
+                )
+            self._document_store._delete_raw(JOURNAL_COLLECTION, entry_id)
+        if not report.clean and self.on_rollback is not None:
+            self.on_rollback()
+        return report
+
+    def pending_entries(self) -> list[str]:
+        """Ids of unretired journal entries (normally empty)."""
+        return self._document_store.collection_ids(JOURNAL_COLLECTION)
+
+    # -- internals ---------------------------------------------------------
+    def _flush(self, txn: SaveTransaction) -> None:
+        self._document_store._write_raw(JOURNAL_COLLECTION, txn.txn_id, txn._entry)
+
+    def _apply_deletes(self, artifact_ids: list[str]) -> None:
+        for artifact_id in artifact_ids:
+            if self._file_store.exists(artifact_id):
+                self._file_store.delete(artifact_id)
+
+    def _undo(self, entry: dict) -> tuple[list[str], int]:
+        artifacts_removed: list[str] = []
+        documents_restored = 0
+        for op in reversed(entry.get("ops", [])):
+            kind = op["op"]
+            if kind == "put_artifact":
+                artifact_id = op["artifact_id"]
+                # Absent means the crash hit before the write applied.
+                if self._file_store.exists(artifact_id):
+                    self._file_store.delete(artifact_id)
+                    artifacts_removed.append(artifact_id)
+            elif kind == "insert_doc":
+                self._document_store._delete_raw(op["collection"], op["doc_id"])
+            elif kind in ("replace_doc", "delete_doc"):
+                self._document_store._write_raw(
+                    op["collection"], op["doc_id"], op["prior"]
+                )
+                documents_restored += 1
+        return artifacts_removed, documents_restored
+
+
+class _StoreProxy:
+    """Base for transparent store wrappers (``_inner`` delegation)."""
+
+    def __init__(self, inner, journal: SaveJournal) -> None:
+        self._inner = inner
+        self._journal = journal
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+class _JournaledWriter:
+    """Wraps an artifact writer to log content-addressed ids at close.
+
+    A derived-id artifact's name is its SHA-256, unknown until the last
+    byte — the wrapper mirrors the hash incrementally so the put intent
+    can be logged *before* the inner close makes the artifact visible.
+    """
+
+    def __init__(self, writer, txn: SaveTransaction, store) -> None:
+        self._writer = writer
+        self._txn = txn
+        self._store = store
+        self._hasher = hashlib.sha256()
+
+    def write(self, chunk: bytes) -> None:
+        chunk = bytes(chunk)
+        self._hasher.update(chunk)
+        self._writer.write(chunk)
+
+    def close(self) -> str:
+        artifact_id = "sha256-" + self._hasher.hexdigest()
+        # An id that already exists predates this transaction: re-putting
+        # identical content is a no-op and must not be undone by rollback.
+        if not self._store.exists(artifact_id):
+            self._txn.log_op({"op": "put_artifact", "artifact_id": artifact_id})
+        return self._writer.close()
+
+    def abort(self) -> None:
+        self._writer.abort()
+
+    def __enter__(self) -> "_JournaledWriter":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._writer._closed:
+            self.close()
+
+
+class JournaledFileStore(_StoreProxy):
+    """File-store proxy logging put intents and deferring deletes."""
+
+    def put(
+        self,
+        data: bytes,
+        artifact_id: str | None = None,
+        category: str = "binary",
+        workers: int = 1,
+        digest: str | None = None,
+    ) -> str:
+        txn = self._journal.active_txn()
+        if txn is None:
+            return self._inner.put(
+                data,
+                artifact_id=artifact_id,
+                category=category,
+                workers=workers,
+                digest=digest,
+            )
+        if digest is None:
+            digest = hash_bytes(data)
+        target = artifact_id if artifact_id is not None else "sha256-" + digest
+        # Only log ids this put will create: a pre-existing explicit id is
+        # about to raise DuplicateArtifactError, and a pre-existing derived
+        # id is an idempotent re-put — neither must be undone by rollback.
+        if not self._inner.exists(target):
+            txn.log_op({"op": "put_artifact", "artifact_id": target})
+        return self._inner.put(
+            data,
+            artifact_id=artifact_id,
+            category=category,
+            workers=workers,
+            digest=digest,
+        )
+
+    def open_writer(
+        self,
+        artifact_id: str | None,
+        category: str = "binary",
+        workers: int = 1,
+    ):
+        txn = self._journal.active_txn()
+        if txn is None or (
+            artifact_id is not None and self._inner.exists(artifact_id)
+        ):
+            # Pass through; the inner store raises DuplicateArtifactError.
+            return self._inner.open_writer(
+                artifact_id, category=category, workers=workers
+            )
+        if artifact_id is not None:
+            # Logged at open: until close only a temp file exists, so the
+            # undo (delete-if-present) is correct at every crash point.
+            txn.log_op({"op": "put_artifact", "artifact_id": artifact_id})
+            return self._inner.open_writer(
+                artifact_id, category=category, workers=workers
+            )
+        return _JournaledWriter(
+            self._inner.open_writer(artifact_id, category=category, workers=workers),
+            txn,
+            self._inner,
+        )
+
+    def delete(self, artifact_id: str) -> None:
+        txn = self._journal.active_txn()
+        if txn is None:
+            return self._inner.delete(artifact_id)
+        if not self._inner.exists(artifact_id):
+            from repro.errors import ArtifactNotFoundError
+
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        # Deferred to commit: rollback must be able to keep the bytes, and
+        # bytes are far too large to stage in the journal entry.
+        txn.defer_delete(artifact_id)
+
+
+class JournaledDocumentStore(_StoreProxy):
+    """Document-store proxy logging insert/replace/delete undo info."""
+
+    def insert(
+        self,
+        collection: str,
+        document: dict,
+        doc_id: str | None = None,
+        category: str = "metadata",
+    ) -> str:
+        txn = self._journal.active_txn()
+        if txn is None:
+            return self._inner.insert(
+                collection, document, doc_id=doc_id, category=category
+            )
+        if doc_id is None:
+            # Pre-draw the auto id from the inner counter so the intent
+            # can be logged write-ahead; the inner insert then stores
+            # under exactly this id.
+            doc_id = f"doc-{next(self._inner._id_counter):08d}"
+        if collection == _SETS_COLLECTION:
+            txn.note_set(doc_id)
+        txn.log_op({"op": "insert_doc", "collection": collection, "doc_id": doc_id})
+        return self._inner.insert(
+            collection, document, doc_id=doc_id, category=category
+        )
+
+    def replace(self, collection: str, doc_id: str, document: dict) -> None:
+        txn = self._journal.active_txn()
+        if txn is None:
+            return self._inner.replace(collection, doc_id, document)
+        prior = self._inner._read_raw(collection, doc_id)
+        if prior is None:
+            # Let the inner store raise its DocumentNotFoundError.
+            return self._inner.replace(collection, doc_id, document)
+        txn.log_op(
+            {
+                "op": "replace_doc",
+                "collection": collection,
+                "doc_id": doc_id,
+                "prior": prior,
+            }
+        )
+        return self._inner.replace(collection, doc_id, document)
+
+    def delete(self, collection: str, doc_id: str) -> None:
+        txn = self._journal.active_txn()
+        if txn is None:
+            return self._inner.delete(collection, doc_id)
+        prior = self._inner._read_raw(collection, doc_id)
+        if prior is None:
+            return self._inner.delete(collection, doc_id)
+        txn.log_op(
+            {
+                "op": "delete_doc",
+                "collection": collection,
+                "doc_id": doc_id,
+                "prior": prior,
+            }
+        )
+        return self._inner.delete(collection, doc_id)
+
+
+def attach_journal(context) -> SaveJournal:
+    """Wire a :class:`SaveJournal` into a save context's store pair.
+
+    Idempotent.  The context's stores are wrapped in journaled proxies
+    (composing with any fault/retry wrappers already present), the chunk
+    index cache is invalidated on rollback, and the journal is exposed as
+    ``context.journal`` for ``SaveContext.save_transaction``.
+    """
+    if getattr(context, "journal", None) is not None:
+        return context.journal
+    journal = SaveJournal(context.file_store, context.document_store)
+    context.file_store = JournaledFileStore(context.file_store, journal)
+    context.document_store = JournaledDocumentStore(context.document_store, journal)
+    journal.on_rollback = context._invalidate_chunk_store
+    context._chunk_store = None
+    context.journal = journal
+    return journal

@@ -67,10 +67,19 @@ class PersistentFileStore:
         self.verify_checksums = verify_checksums
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        self.sweep_temp_files()
         self._sizes: dict[str, int] = {
             path.stem: path.stat().st_size
             for path in self._directory.glob("*.bin")
         }
+
+    def sweep_temp_files(self) -> int:
+        """Remove crash-leftover ``*.tmp`` files; returns how many."""
+        removed = 0
+        for leftover in self._directory.glob("*.tmp"):
+            leftover.unlink(missing_ok=True)
+            removed += 1
+        return removed
 
     def _path(self, artifact_id: str) -> Path:
         if "/" in artifact_id or artifact_id.startswith("."):
@@ -202,6 +211,28 @@ class PersistentFileStore:
         self._path(artifact_id).with_suffix(".sha256").unlink(missing_ok=True)
         del self._sizes[artifact_id]
 
+    # -- integrity (management plane, not charged) --------------------------
+    def recorded_digest(self, artifact_id: str) -> str | None:
+        """The SHA-256 sidecar contents, or ``None`` if no sidecar exists."""
+        sidecar = self._path(artifact_id).with_suffix(".sha256")
+        if not sidecar.exists():
+            return None
+        return sidecar.read_text().strip()
+
+    def verify_artifact(self, artifact_id: str) -> bool:
+        """Recompute an artifact's digest against its sidecar, uncharged.
+
+        Returns ``True`` when the on-disk bytes still hash to the sidecar
+        value (or no sidecar was recorded).  The ``fsck`` scan uses this
+        to find bitrot without charging the latency model.
+        """
+        if artifact_id not in self._sizes:
+            raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        recorded = self.recorded_digest(artifact_id)
+        if recorded is None:
+            return True
+        return hash_bytes(self._path(artifact_id).read_bytes()) == recorded
+
     def exists(self, artifact_id: str) -> bool:
         return artifact_id in self._sizes
 
@@ -254,8 +285,13 @@ class _DiskArtifactWriter:
         if self._closed:
             raise StorageError("writer already closed")
         self._closed = True
-        self._handle.close()
-        os.replace(self._temp, self._path)
+        try:
+            self._handle.close()
+            os.replace(self._temp, self._path)
+        except OSError:
+            # A failed finalize must not leak the temp file.
+            self._temp.unlink(missing_ok=True)
+            raise
         _atomic_write(
             self._path.with_suffix(".sha256"),
             self._hasher.hexdigest().encode("ascii"),
@@ -271,8 +307,10 @@ class _DiskArtifactWriter:
 
     def abort(self) -> None:
         self._closed = True
-        self._handle.close()
-        self._temp.unlink(missing_ok=True)
+        try:
+            self._handle.close()
+        finally:
+            self._temp.unlink(missing_ok=True)
 
     def __enter__(self) -> "_DiskArtifactWriter":
         return self
@@ -358,17 +396,42 @@ class PersistentDocumentStore(DocumentStore):
             ) from None
         (self._directory / collection / f"{doc_id}.json").unlink(missing_ok=True)
 
+    def _write_raw(self, collection: str, doc_id: str, document: dict) -> None:
+        """Uncharged durable write (journal records, rollback restores)."""
+        super()._write_raw(collection, doc_id, document)
+        collection_dir = self._directory / collection
+        collection_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            collection_dir / f"{doc_id}.json",
+            json.dumps(
+                self._collections[collection][doc_id], separators=(",", ":")
+            ).encode("utf-8"),
+        )
+
+    def _delete_raw(self, collection: str, doc_id: str) -> None:
+        super()._delete_raw(collection, doc_id)
+        (self._directory / collection / f"{doc_id}.json").unlink(missing_ok=True)
+
 
 def open_context(
     directory: str | Path,
     profile: HardwareProfile = LOCAL_PROFILE,
     dedup: bool = False,
+    journal: bool = True,
+    retry: "object | None" = None,
 ):
     """Open (or create) a durable save context rooted at ``directory``.
 
     With ``dedup=True`` parameter writes go through the content-addressed
     chunk layer; the chunk index itself lives in the document store, so a
     reopened archive resumes deduplicating against everything on disk.
+
+    ``journal=True`` (the default for durable archives) attaches the
+    write-ahead save journal and immediately runs crash recovery: torn
+    saves left by a dead process are rolled back and reported on the
+    returned context's ``recovery_report``.  ``retry`` accepts a
+    :class:`~repro.storage.faults.RetryPolicy` to re-issue transiently
+    failing store operations with exponential backoff.
     """
     from repro.core.approach import SaveContext
     from repro.datasets.registry import default_registry
@@ -381,6 +444,14 @@ def open_context(
         dedup=dedup,
     )
     _resume_set_counter(context)
+    if retry is not None:
+        from repro.storage.faults import attach_retries
+
+        attach_retries(context, retry)
+    if journal:
+        from repro.storage.journal import attach_journal
+
+        context.recovery_report = attach_journal(context).recover()
     return context
 
 

@@ -32,6 +32,10 @@ class StorageStats:
     chunks_deduped: int = 0
     #: Parameter bytes the dedup layer did not have to write.
     chunk_bytes_deduped: int = 0
+    #: Store operations re-issued by the retry policy after a transient
+    #: failure (each backoff sleep is charged as simulated latency).
+    retries: int = 0
+    simulated_retry_s: float = 0.0
     #: Bytes currently stored, keyed by a caller-chosen category label
     #: (e.g. "parameters", "metadata", "hash-info") for breakdown reports.
     bytes_by_category: dict[str, int] = field(default_factory=dict)
@@ -61,6 +65,12 @@ class StorageStats:
             self.chunks_deduped += deduped
             self.chunk_bytes_deduped += bytes_deduped
 
+    def record_retry(self, backoff_s: float) -> None:
+        """Account one retried operation and its simulated backoff wait."""
+        with self._lock:
+            self.retries += 1
+            self.simulated_retry_s += backoff_s
+
     @property
     def dedup_ratio(self) -> float:
         """Fraction of chunk references served without storing new bytes."""
@@ -80,6 +90,8 @@ class StorageStats:
             chunks_total=self.chunks_total,
             chunks_deduped=self.chunks_deduped,
             chunk_bytes_deduped=self.chunk_bytes_deduped,
+            retries=self.retries,
+            simulated_retry_s=self.simulated_retry_s,
             bytes_by_category=dict(self.bytes_by_category),
         )
 
@@ -101,5 +113,7 @@ class StorageStats:
             chunks_deduped=self.chunks_deduped - earlier.chunks_deduped,
             chunk_bytes_deduped=self.chunk_bytes_deduped
             - earlier.chunk_bytes_deduped,
+            retries=self.retries - earlier.retries,
+            simulated_retry_s=self.simulated_retry_s - earlier.simulated_retry_s,
             bytes_by_category={k: v for k, v in categories.items() if v},
         )

@@ -52,8 +52,14 @@ class UpdatePlan:
             raise InvalidUpdatePlanError(
                 "full and partial fractions may not exceed 1.0 combined"
             )
-        num_full = round(num_models * full_fraction)
-        num_partial = round(num_models * partial_fraction)
+        num_full = min(round(num_models * full_fraction), num_models)
+        # Both counts round independently, so their sum can overshoot a
+        # small fleet (3 models at 0.5+0.5 rounds to 2+2); the partial
+        # sample yields the overflow since full updates are the stronger
+        # requirement.
+        num_partial = min(
+            round(num_models * partial_fraction), num_models - num_full
+        )
         rng = np.random.default_rng(derive_seed("update-plan", seed, cycle))
         chosen = rng.choice(num_models, size=num_full + num_partial, replace=False)
         return cls(

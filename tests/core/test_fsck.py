@@ -1,0 +1,330 @@
+"""Tests of archive fsck and corruption-tolerant (salvage) recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.approach import SaveContext
+from repro.core.baseline import _chunked_digests
+from repro.core.fsck import ArchiveFsck, SalvageReport, salvage_recover
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.errors import DocumentNotFoundError
+from repro.nn.serialization import StateSchema
+from repro.storage.faults import corrupt_artifact
+from repro.storage.journal import JOURNAL_COLLECTION, innermost
+
+
+def make_manager(approach, dedup=False):
+    context = SaveContext.create(dedup=dedup)
+    return MultiModelManager.with_approach(approach, context=context)
+
+
+def models_fixture(num=4):
+    return ModelSet.build("FFNN-48", num_models=num, seed=0)
+
+
+def unique_digest_of_model(context, set_id, model_index):
+    """A chunk digest referenced only by one model of one chunked set."""
+    store = context.document_store
+    from repro.core.approach import SETS_COLLECTION
+
+    matrices = {
+        sid: _chunked_digests(context, doc, sid)
+        for sid, doc in store._collections[SETS_COLLECTION].items()
+        if doc.get("storage") == "chunked"
+    }
+    others = {
+        digest
+        for sid, matrix in matrices.items()
+        for row_index, row in enumerate(matrix)
+        for digest in row
+        if not (sid == set_id and row_index == model_index)
+    }
+    candidates = [
+        digest
+        for digest in matrices[set_id][model_index]
+        if digest not in others
+    ]
+    assert candidates, "no chunk unique to the target model"
+    return candidates[0]
+
+
+def corrupt_chunk(context, digest):
+    chunk = context.chunk_store()._chunks[digest]
+    corrupt_artifact(context.file_store, chunk.artifact_id, offset=chunk.offset)
+    context._invalidate_chunk_store()
+
+
+class TestFsckClean:
+    @pytest.mark.parametrize("dedup", [False, True])
+    def test_clean_archive_is_ok(self, dedup):
+        manager = make_manager("update", dedup=dedup)
+        models = models_fixture()
+        base = manager.save_set(models)
+        derived = models.copy()
+        derived.state(0)["0.bias"][:] += 1.0
+        manager.save_set(derived, base_set_id=base)
+        report = ArchiveFsck(manager.context).run(deep=True)
+        assert report.ok
+        assert report.sets_checked == 2
+        assert report.artifacts_checked > 0
+        assert report.summary().startswith("clean")
+
+
+class TestFsckFindings:
+    def test_orphan_artifact(self):
+        manager = make_manager("baseline")
+        manager.save_set(models_fixture())
+        manager.context.file_store.put(b"\x00" * 64, artifact_id="stray")
+        report = ArchiveFsck(manager.context).run()
+        assert report.orphan_artifacts == ["stray"]
+        assert not report.ok
+        assert "orphan" in report.summary()
+
+    def test_missing_artifact(self):
+        manager = make_manager("baseline")
+        set_id = manager.save_set(models_fixture())
+        artifact = manager.set_info(set_id)["params_artifact"]
+        innermost(manager.context.file_store).delete(artifact)
+        report = ArchiveFsck(manager.context).run()
+        assert report.missing_artifacts == [
+            {"set_id": set_id, "artifact": artifact}
+        ]
+
+    def test_pending_journal_entry(self):
+        manager = make_manager("baseline")
+        manager.save_set(models_fixture())
+        innermost(manager.context.document_store)._write_raw(
+            JOURNAL_COLLECTION, "txn-000042", {"status": "pending", "ops": []}
+        )
+        report = ArchiveFsck(manager.context).run()
+        assert report.pending_journal == ["txn-000042"]
+
+    def test_refcount_mismatch(self):
+        manager = make_manager("update", dedup=True)
+        set_id = manager.save_set(models_fixture())
+        digest = unique_digest_of_model(manager.context, set_id, 0)
+        manager.context.chunk_store().release([digest])
+        report = ArchiveFsck(manager.context).run()
+        assert any(
+            entry["digest"] == digest and entry["actual"] == entry["expected"] - 1
+            for entry in report.refcount_mismatches
+        )
+
+    def test_deep_scan_flags_corrupt_artifact(self):
+        manager = make_manager("baseline")
+        set_id = manager.save_set(models_fixture())
+        artifact = manager.set_info(set_id)["params_artifact"]
+        corrupt_artifact(manager.context.file_store, artifact, offset=10)
+        assert ArchiveFsck(manager.context).run().ok  # shallow: undetected
+        report = ArchiveFsck(manager.context).run(deep=True)
+        assert report.corrupt_artifacts == [artifact]
+
+    def test_deep_scan_flags_corrupt_chunk(self):
+        manager = make_manager("update", dedup=True)
+        set_id = manager.save_set(models_fixture())
+        digest = unique_digest_of_model(manager.context, set_id, 1)
+        corrupt_chunk(manager.context, digest)
+        report = ArchiveFsck(manager.context).run(deep=True)
+        assert report.corrupt_chunks == [digest]
+        # The deep scan only reports; nothing was quarantined.
+        assert report.quarantined_chunks == []
+
+    def test_quarantined_chunks_reported(self):
+        manager = make_manager("update", dedup=True)
+        set_id = manager.save_set(models_fixture())
+        digest = unique_digest_of_model(manager.context, set_id, 1)
+        manager.context.chunk_store().quarantine([digest])
+        report = ArchiveFsck(manager.context).run()
+        assert report.quarantined_chunks == [digest]
+
+
+class TestSalvageChunked:
+    def test_single_corrupt_chunk_loses_exactly_one_model(self):
+        manager = make_manager("update", dedup=True)
+        models = models_fixture()
+        base = manager.save_set(models)
+        derived = models.copy()
+        derived.state(1)["0.weight"][:] *= 1.5
+        derived_id = manager.save_set(derived, base_set_id=base)
+
+        digest = unique_digest_of_model(manager.context, derived_id, 1)
+        corrupt_chunk(manager.context, digest)
+
+        report = manager.recover_set(derived_id, salvage=True)
+        assert isinstance(report, SalvageReport)
+        assert report.failed_indices == [1]
+        assert report.failed[0]["reason"] == "1 corrupt chunk(s)"
+        assert report.failed[0]["digests"] == [digest[:16]]
+        assert report.recovered_indices == [0, 2, 3]
+        assert report.corrupt_chunks == [digest]
+        for index in report.recovered_indices:
+            for name, value in derived.state(index).items():
+                assert np.array_equal(report.models[index][name], value)
+        # The damage was confined to the derived set: the base still
+        # recovers completely (its chunks predate the mutation).
+        base_report = manager.recover_set(base, salvage=True)
+        assert base_report.complete
+
+    def test_corrupt_chunk_is_quarantined_for_fsck(self):
+        manager = make_manager("update", dedup=True)
+        set_id = manager.save_set(models_fixture())
+        digest = unique_digest_of_model(manager.context, set_id, 2)
+        corrupt_chunk(manager.context, digest)
+        manager.recover_set(set_id, salvage=True)
+        report = ArchiveFsck(manager.context).run()
+        assert report.quarantined_chunks == [digest]
+
+    def test_repair_from_full_replica(self):
+        # The same layer bytes live both as a chunk (dedup save) and
+        # inside a full artifact with hash info (plain Update save):
+        # salvage heals the chunk from the replica instead of failing.
+        context = SaveContext.create(dedup=True)
+        manager = MultiModelManager.with_approach("update", context=context)
+        models = models_fixture()
+        chunked_id = manager.save_set(models)
+        context.dedup = False
+        full_id = manager.save_set(models.copy())
+
+        digest = unique_digest_of_model(context, chunked_id, 1)
+        corrupt_chunk(context, digest)
+
+        report = manager.recover_set(chunked_id, salvage=True)
+        assert report.complete
+        assert report.repaired_chunks == [digest]
+        assert report.corrupt_chunks == []
+        for index in range(len(models)):
+            for name, value in models.state(index).items():
+                assert np.array_equal(report.models[index][name], value)
+        # After the repair the plain recovery path works again too.
+        assert manager.recover_set(chunked_id).equals(models)
+        assert manager.recover_set(full_id).equals(models)
+        assert ArchiveFsck(context).run(deep=True).ok
+
+    def test_unknown_set_raises(self):
+        manager = make_manager("update", dedup=True)
+        with pytest.raises(DocumentNotFoundError):
+            manager.recover_set("set-update-000099", salvage=True)
+
+
+class TestSalvageMMlib:
+    def test_damage_is_isolated_per_model(self):
+        manager = make_manager("mmlib-base")
+        models = models_fixture(num=3)
+        set_id = manager.save_set(models)
+        document = manager.set_info(set_id)
+        victim = document["model_ids"][1]
+        artifact = manager.context.document_store.get("mmlib_models", victim)[
+            "params_artifact"
+        ]
+        corrupt_artifact(manager.context.file_store, artifact, offset=40)
+
+        report = manager.recover_set(set_id, salvage=True)
+        assert report.failed_indices == [1]
+        assert "checksum" in report.failed[0]["reason"]
+        assert report.recovered_indices == [0, 2]
+        for index in report.recovered_indices:
+            for name, value in models.state(index).items():
+                assert np.array_equal(report.models[index][name], value)
+
+
+class TestSalvageArtifactBased:
+    def test_update_hash_info_isolates_the_damaged_model(self):
+        manager = make_manager("update")
+        models = models_fixture()
+        set_id = manager.save_set(models)
+        document = manager.set_info(set_id)
+        schema = StateSchema.from_json(document["schema"])
+        corrupt_artifact(
+            manager.context.file_store,
+            document["params_artifact"],
+            offset=1 * schema.num_bytes + 8,  # inside model 1's region
+        )
+        report = manager.recover_set(set_id, salvage=True)
+        assert report.failed_indices == [1]
+        assert "hash info" in report.failed[0]["reason"]
+        assert report.recovered_indices == [0, 2, 3]
+
+    def test_baseline_without_hashes_fails_conservatively(self):
+        manager = make_manager("baseline")
+        models = models_fixture(num=3)
+        set_id = manager.save_set(models)
+        corrupt_artifact(
+            manager.context.file_store,
+            manager.set_info(set_id)["params_artifact"],
+            offset=5,
+        )
+        report = manager.recover_set(set_id, salvage=True)
+        assert report.failed_indices == [0, 1, 2]
+        assert report.models == {}
+        assert "no per-model hashes" in report.failed[0]["reason"]
+
+    def test_clean_set_salvages_completely(self):
+        manager = make_manager("baseline")
+        models = models_fixture(num=3)
+        set_id = manager.save_set(models)
+        report = salvage_recover(manager.context, set_id)
+        assert report.complete
+        assert report.recovered_indices == [0, 1, 2]
+
+
+class TestCLI:
+    def _build_archive(self, directory, approach="mmlib-base"):
+        manager = MultiModelManager.open(str(directory), approach)
+        models = models_fixture(num=3)
+        set_id = manager.save_set(models)
+        return manager, models, set_id
+
+    def test_fsck_clean_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._build_archive(tmp_path)
+        assert main([str(tmp_path), "fsck", "--deep"]) == 0
+        assert "archive is consistent" in capsys.readouterr().out
+
+    def test_fsck_reports_corruption(self, tmp_path, capsys):
+        from repro.cli import main
+
+        manager, _models, set_id = self._build_archive(tmp_path)
+        victim = manager.set_info(set_id)["model_ids"][0]
+        artifact = manager.context.document_store.get("mmlib_models", victim)[
+            "params_artifact"
+        ]
+        corrupt_artifact(manager.context.file_store, artifact, offset=16)
+        assert main([str(tmp_path), "fsck", "--deep"]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_fsck_reports_orphans(self, tmp_path, capsys):
+        from repro.cli import main
+
+        manager, _models, _set_id = self._build_archive(tmp_path)
+        manager.context.file_store.put(b"\x00" * 32, artifact_id="stray")
+        assert main([str(tmp_path), "fsck"]) == 1
+        assert "ORPHAN stray" in capsys.readouterr().out
+
+    def test_export_salvage_skips_damaged_models(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.export import import_models
+
+        archive = tmp_path / "archive"
+        bundle = tmp_path / "bundle"
+        manager, models, set_id = self._build_archive(archive)
+        victim = manager.set_info(set_id)["model_ids"][1]
+        artifact = manager.context.document_store.get("mmlib_models", victim)[
+            "params_artifact"
+        ]
+        corrupt_artifact(manager.context.file_store, artifact, offset=16)
+
+        # Plain export aborts; salvage export ships what survives.
+        assert main([str(archive), "export", set_id, str(bundle)]) in (1, 2)
+        code = main([str(archive), "export", set_id, str(bundle), "--salvage"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SKIPPED model 1" in out
+
+        recovered, manifest = import_models(bundle)
+        assert sorted(manifest["models"]) == ["0", "2"]
+        assert manifest["salvage"]["skipped"][0]["model"] == 1
+        for state, index in zip(recovered.states, (0, 2)):
+            for name, value in models.state(index).items():
+                assert np.array_equal(state[name], value)

@@ -1,0 +1,240 @@
+"""Acceptance crash matrix: kill a save at *every* fault point.
+
+For each approach x {initial, derived} x dedup {off, on}, the matrix
+enumerates the save's mutating operations with a dry run, then replays
+the save once per operation with an injected process kill at exactly
+that point.  After each crash, journal recovery (the same code path
+``MultiModelManager.open`` runs) must leave the archive on the previous
+consistent state: the torn set rolled back, prior sets byte-identical,
+and the fsck audit clean — no dangling artifacts, no refcount drift.
+
+The in-memory sweeps cover the full matrix cheaply; the persistent
+sweeps additionally exercise a real process boundary (reopen from disk)
+and the parallel engine (``workers=4``).
+
+``REPRO_FAULT_SEED`` offsets every injector seed, changing which crash
+mode (before / after / torn) fires at each point — CI sweeps the matrix
+under more than one schedule without the test code hardcoding them.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.battery.datagen import CellDataConfig
+from repro.core.approach import SaveContext
+from repro.core.fsck import ArchiveFsck
+from repro.core.manager import APPROACHES, MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.core.save_info import ModelUpdate, UpdateInfo
+from repro.datasets.battery import battery_dataset_ref
+from repro.errors import SimulatedCrashError
+from repro.storage.faults import FaultInjector, inject_faults
+from repro.storage.journal import attach_journal
+from repro.training.pipeline import PipelineConfig, TrainingPipeline
+
+NUM_MODELS = 3
+SEED_BASE = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+_DATA_CONFIG = CellDataConfig(seed=4, samples_per_cell=64, cycle_duration_s=64)
+_PIPELINES = {
+    "full": PipelineConfig(
+        learning_rate=0.01, momentum=0.9, epochs=1, batch_size=32, shuffle_seed=8
+    )
+}
+
+
+def base_models():
+    return ModelSet.build("FFNN-48", num_models=NUM_MODELS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model_sets():
+    """(base, derived-by-mutation, derived-by-training, update_info)."""
+    models = base_models()
+    mutated = models.copy()
+    mutated.state(0)["0.bias"][:] += 1.0
+    mutated.state(2)["4.weight"][:] *= 1.25
+
+    info = UpdateInfo(
+        pipelines=_PIPELINES,
+        updates=(ModelUpdate(1, battery_dataset_ref(1, 1, _DATA_CONFIG), "full"),),
+    )
+    trained = models.copy()
+    from repro.datasets.registry import default_registry
+
+    registry = default_registry()
+    for update in info.updates:
+        model = trained.build_model(update.model_index)
+        dataset = registry.resolve(update.dataset_ref)
+        TrainingPipeline(info.pipelines[update.pipeline_key]).train(model, dataset)
+        trained.states[update.model_index] = model.state_dict()
+    return models, mutated, trained, info
+
+
+def make_manager(approach, dedup):
+    context = SaveContext.create(dedup=dedup)
+    attach_journal(context)
+    return MultiModelManager.with_approach(approach, context=context)
+
+
+def derived_args(approach, model_sets):
+    """(derived set, update_info) appropriate for the approach."""
+    _models, mutated, trained, info = model_sets
+    if approach == "provenance":
+        return trained, info
+    return mutated, None
+
+
+def run_sweep(approach, dedup, phase, model_sets, workers=1):
+    """Crash an identical save at every fault point; verify each aftermath."""
+    models = model_sets[0]
+    derived, info = derived_args(approach, model_sets)
+
+    # Dry run: count the target save's fault points and record what a
+    # clean save recovers to (lossy approaches round, e.g. fp16).
+    probe = make_manager(approach, dedup)
+    probe.context.workers = workers
+    probe_base = probe.save_set(models) if phase == "derived" else None
+    injector = inject_faults(probe.context, FaultInjector())
+    if phase == "initial":
+        probe_id = probe.save_set(models)
+    else:
+        probe_id = probe.save_set(derived, base_set_id=probe_base, update_info=info)
+    ops = injector.ops
+    assert ops > 0, f"{approach} {phase} save has no mutating operations"
+    ref_target = probe.recover_set(probe_id)
+    ref_base = probe.recover_set(probe_base) if probe_base else None
+
+    for point in range(ops):
+        manager = make_manager(approach, dedup)
+        manager.context.workers = workers
+        expected_sets = []
+        if phase == "derived":
+            base_id = manager.save_set(models)
+            expected_sets = [base_id]
+        inject_faults(
+            manager.context, FaultInjector(seed=SEED_BASE + point, crash_at=point)
+        )
+        with pytest.raises(SimulatedCrashError):
+            if phase == "initial":
+                manager.save_set(models)
+            else:
+                manager.save_set(
+                    derived, base_set_id=expected_sets[0], update_info=info
+                )
+
+        # The "reopen": exactly what MultiModelManager.open runs.
+        report = manager.context.journal.recover()
+        assert not report.clean, f"crash at op {point} left no journal entry"
+        assert manager.list_sets() == expected_sets, (
+            f"crash at op {point} left a torn set behind"
+        )
+        if expected_sets:
+            assert manager.recover_set(expected_sets[0]).equals(ref_base)
+        fsck = ArchiveFsck(manager.context).run()
+        assert fsck.ok, f"crash at op {point}: {fsck.summary()}"
+
+        # The archive is fully usable again: the same save now succeeds.
+        if point == ops - 1:
+            if phase == "initial":
+                retry_id = manager.save_set(models)
+            else:
+                retry_id = manager.save_set(
+                    derived, base_set_id=expected_sets[0], update_info=info
+                )
+            assert manager.recover_set(retry_id).equals(ref_target)
+
+
+@pytest.mark.parametrize("dedup", [False, True], ids=["plain", "dedup"])
+@pytest.mark.parametrize("approach", sorted(APPROACHES))
+class TestCrashMatrixInMemory:
+    def test_initial_save(self, approach, dedup, model_sets):
+        run_sweep(approach, dedup, "initial", model_sets)
+
+    def test_derived_save(self, approach, dedup, model_sets):
+        run_sweep(approach, dedup, "derived", model_sets)
+
+
+class TestCrashMatrixPersistent:
+    """Real process boundary: the crashed archive is reopened from disk."""
+
+    @pytest.mark.parametrize(
+        "approach,dedup",
+        [("baseline", False), ("update", True), ("mmlib-base", False)],
+    )
+    def test_every_fault_point_rolls_back_on_reopen(
+        self, tmp_path, approach, dedup, model_sets
+    ):
+        models = model_sets[0]
+        derived, info = derived_args(approach, model_sets)
+
+        template = tmp_path / "template"
+        manager = MultiModelManager.open(str(template), approach, dedup=dedup)
+        base_id = manager.save_set(models)
+
+        probe_dir = tmp_path / "probe"
+        shutil.copytree(template, probe_dir)
+        probe = MultiModelManager.open(str(probe_dir), approach, dedup=dedup)
+        injector = inject_faults(probe.context, FaultInjector())
+        probe.save_set(derived, base_set_id=base_id, update_info=info)
+        ops = injector.ops
+        assert ops > 0
+
+        for point in range(ops):
+            workdir = tmp_path / f"crash-{point}"
+            shutil.copytree(template, workdir)
+            victim = MultiModelManager.open(str(workdir), approach, dedup=dedup)
+            inject_faults(
+                victim.context, FaultInjector(seed=SEED_BASE + point, crash_at=point)
+            )
+            with pytest.raises(SimulatedCrashError):
+                victim.save_set(derived, base_set_id=base_id, update_info=info)
+
+            reopened = MultiModelManager.open(str(workdir), approach, dedup=dedup)
+            assert not reopened.recovery_report.clean
+            assert reopened.list_sets() == [base_id]
+            assert reopened.recover_set(base_id).equals(models)
+            fsck = ArchiveFsck(reopened.context).run()
+            assert fsck.ok, f"crash at op {point}: {fsck.summary()}"
+
+    def test_parallel_engine_crashes_roll_back(self, tmp_path, model_sets):
+        """workers=4: fault ordinals interleave nondeterministically, but
+        every aftermath must still recover to the base state."""
+        models = model_sets[0]
+        derived, _ = derived_args("update", model_sets)
+
+        template = tmp_path / "template"
+        manager = MultiModelManager.open(
+            str(template), "update", dedup=True, workers=4
+        )
+        base_id = manager.save_set(models)
+
+        probe_dir = tmp_path / "probe"
+        shutil.copytree(template, probe_dir)
+        probe = MultiModelManager.open(
+            str(probe_dir), "update", dedup=True, workers=4
+        )
+        injector = inject_faults(probe.context, FaultInjector())
+        probe.save_set(derived, base_set_id=base_id)
+        ops = injector.ops
+        assert ops > 0
+
+        for point in range(ops):
+            workdir = tmp_path / f"crash-{point}"
+            shutil.copytree(template, workdir)
+            victim = MultiModelManager.open(
+                str(workdir), "update", dedup=True, workers=4
+            )
+            inject_faults(
+                victim.context, FaultInjector(seed=SEED_BASE + point, crash_at=point)
+            )
+            with pytest.raises(SimulatedCrashError):
+                victim.save_set(derived, base_set_id=base_id)
+
+            reopened = MultiModelManager.open(
+                str(workdir), "update", dedup=True, workers=4
+            )
+            assert reopened.list_sets() == [base_id]
+            assert reopened.recover_set(base_id).equals(models)
+            assert ArchiveFsck(reopened.context).run().ok

@@ -147,8 +147,13 @@ class TestUpdatePlanProperties:
         combined = plan.full_indices + plan.partial_indices
         assert len(set(combined)) == len(combined)
         assert all(0 <= index < num_models for index in combined)
-        assert len(plan.full_indices) == round(num_models * full)
-        assert len(plan.partial_indices) == round(num_models * partial)
+        num_full = min(round(num_models * full), num_models)
+        assert len(plan.full_indices) == num_full
+        # Independent rounding can overshoot a small fleet; the partial
+        # sample absorbs the overflow so the plan never exceeds it.
+        assert len(plan.partial_indices) == min(
+            round(num_models * partial), num_models - num_full
+        )
 
 
 # -- delta save/recover ------------------------------------------------------------

@@ -203,3 +203,196 @@ class TestNumpyKeys:
         arr = rng.normal(size=(16, 3)).astype(np.float32)
         payload = np.ascontiguousarray(arr, dtype=np.float32).tobytes()
         assert hash_array(arr, length=64) == hash_bytes(payload)
+
+
+class TestQuarantineAndRepair:
+    def test_fetch_refuses_quarantined_chunks(self):
+        from repro.errors import ChunkCorruptionError
+
+        store = make_store()
+        a = b"healthy" * 100
+        store.ingest(refs([a]), pack_id="p0")
+        store.quarantine([hash_bytes(a)])
+        with pytest.raises(ChunkCorruptionError):
+            store.fetch([hash_bytes(a)])
+        assert store.quarantined_digests() == [hash_bytes(a)]
+
+    def test_quarantine_unknown_digest_raises(self):
+        store = make_store()
+        with pytest.raises(StorageError):
+            store.quarantine(["0" * 64])
+
+    def test_fetch_verified_detects_and_quarantines(self):
+        from repro.storage.faults import corrupt_artifact
+
+        store = make_store()
+        a, b = b"alpha" * 100, b"beta" * 100
+        report = store.ingest(refs([a, b]), pack_id="p0")
+        chunk = store._chunks[hash_bytes(a)]
+        corrupt_artifact(store.file_store, report.pack_artifact, offset=chunk.offset)
+        values, corrupted = store.fetch_verified([hash_bytes(a), hash_bytes(b)])
+        assert corrupted == {hash_bytes(a)}
+        assert values == {hash_bytes(b): b}
+        assert store.quarantined_digests() == [hash_bytes(a)]
+        # Already-quarantined chunks are reported without a read.
+        _values, again = store.fetch_verified([hash_bytes(a)])
+        assert again == {hash_bytes(a)}
+
+    def test_fetch_verified_survives_a_missing_pack(self):
+        store = make_store()
+        a, b = b"alpha" * 100, b"beta" * 100
+        r0 = store.ingest(refs([a]), pack_id="p0")
+        store.ingest(refs([b]), pack_id="p1")
+        store.file_store.delete(r0.pack_artifact)
+        values, corrupted = store.fetch_verified([hash_bytes(a), hash_bytes(b)])
+        # Only the chunks of the lost pack are damaged.
+        assert corrupted == {hash_bytes(a)}
+        assert values == {hash_bytes(b): b}
+
+    def test_quarantine_survives_index_rebuild(self):
+        file_store, document_store = FileStore(), DocumentStore()
+        store = ChunkStore(file_store, document_store)
+        a = b"alpha" * 100
+        store.ingest(refs([a]), pack_id="p0")
+        store.quarantine([hash_bytes(a)])
+        reopened = ChunkStore(file_store, document_store)
+        assert reopened.quarantined_digests() == [hash_bytes(a)]
+
+    def test_reingest_heals_a_quarantined_chunk(self):
+        store = make_store()
+        a = b"alpha" * 100
+        store.ingest(refs([a, a]), pack_id="p0")
+        store.quarantine([hash_bytes(a)])
+        report = store.ingest(refs([a]), pack_id="p1")
+        # The quarantined copy counts as absent: the bytes are re-stored.
+        assert report.chunks_new == 1
+        assert store.quarantined_digests() == []
+        assert store.references(hash_bytes(a)) == 3  # prior refs preserved
+        assert store.fetch([hash_bytes(a)])[hash_bytes(a)] == a
+
+    def test_healed_chunk_survives_index_rebuild(self):
+        # The old pack's entry is marked superseded, so a rebuild must
+        # resolve the digest to the healthy replacement copy — not
+        # resurrect the corrupt location.
+        from repro.storage.faults import corrupt_artifact
+
+        file_store, document_store = FileStore(), DocumentStore()
+        store = ChunkStore(file_store, document_store)
+        a, b = b"alpha" * 100, b"beta" * 100
+        r0 = store.ingest(refs([a, b]), pack_id="p0")
+        chunk = store._chunks[hash_bytes(a)]
+        corrupt_artifact(file_store, r0.pack_artifact, offset=chunk.offset)
+        store.quarantine([hash_bytes(a)])
+        store.ingest(refs([a]), pack_id="p1")
+        reopened = ChunkStore(file_store, document_store)
+        assert reopened.quarantined_digests() == []
+        out = reopened.fetch([hash_bytes(a), hash_bytes(b)])
+        assert out[hash_bytes(a)] == a and out[hash_bytes(b)] == b
+
+    def test_repair_replaces_the_bytes_in_place(self):
+        from repro.storage.faults import corrupt_artifact
+
+        file_store, document_store = FileStore(), DocumentStore()
+        store = ChunkStore(file_store, document_store)
+        a = b"alpha" * 100
+        r0 = store.ingest(refs([a, a, a]), pack_id="p0")
+        corrupt_artifact(file_store, r0.pack_artifact)
+        store.quarantine([hash_bytes(a)])
+        store.repair(hash_bytes(a), a)
+        assert store.quarantined_digests() == []
+        assert store.references(hash_bytes(a)) == 3
+        assert store.fetch([hash_bytes(a)])[hash_bytes(a)] == a
+        # And the repair wins over the superseded pack after a rebuild.
+        reopened = ChunkStore(file_store, document_store)
+        assert reopened.fetch([hash_bytes(a)])[hash_bytes(a)] == a
+
+    def test_repair_rejects_wrong_bytes(self):
+        from repro.errors import ChunkCorruptionError
+
+        store = make_store()
+        a = b"alpha" * 100
+        store.ingest(refs([a]), pack_id="p0")
+        with pytest.raises(ChunkCorruptionError):
+            store.repair(hash_bytes(a), b"not the content")
+
+    def test_sweep_preserves_quarantine_flags(self):
+        store = make_store()
+        a, b, c = b"a" * 100, b"b" * 100, b"c" * 100
+        store.ingest(refs([a, b, c]), pack_id="p0")
+        store.quarantine([hash_bytes(a)])
+        store.release([hash_bytes(b)])
+        store.sweep()
+        assert store.quarantined_digests() == [hash_bytes(a)]
+
+
+class TestGCCrashConsistency:
+    """Satellite: a crash mid-GC (even mid-sweep) must neither leak
+    zero-reference chunks nor delete chunks a surviving set still uses."""
+
+    def _build_archive(self, directory):
+        from repro.core.manager import MultiModelManager
+        from repro.core.model_set import ModelSet
+
+        manager = MultiModelManager.open(str(directory), "update", dedup=True)
+        models = ModelSet.build("FFNN-48", num_models=3, seed=0)
+        base = manager.save_set(models)
+        derived = models.copy()
+        derived.state(0)["0.bias"][:] += 1.0
+        derived.state(2)["4.weight"][:] *= 1.5
+        second = manager.save_set(derived, base_set_id=base)
+        return base, second, models, derived
+
+    def test_crash_at_every_gc_fault_point_recovers_consistent(self, tmp_path):
+        import shutil
+
+        from repro.core.fsck import ArchiveFsck
+        from repro.core.manager import MultiModelManager
+        from repro.core.retention import RetentionManager
+        from repro.errors import SimulatedCrashError
+        from repro.storage.faults import FaultInjector, inject_faults
+
+        template = tmp_path / "template"
+        base, second, models, derived = self._build_archive(template)
+
+        # Dry run: count the pass's fault points without firing any.
+        probe = tmp_path / "probe"
+        shutil.copytree(template, probe)
+        probe_manager = MultiModelManager.open(str(probe), "update", dedup=True)
+        injector = inject_faults(probe_manager.context, FaultInjector())
+        RetentionManager(probe_manager.context).keep_last(1)
+        ops = injector.ops
+        assert ops > 0
+
+        for point in range(ops):
+            workdir = tmp_path / f"crash-{point}"
+            shutil.copytree(template, workdir)
+            manager = MultiModelManager.open(str(workdir), "update", dedup=True)
+            inject_faults(
+                manager.context, FaultInjector(seed=point, crash_at=point)
+            )
+            with pytest.raises(SimulatedCrashError):
+                RetentionManager(manager.context).keep_last(1)
+
+            reopened = MultiModelManager.open(str(workdir), "update", dedup=True)
+            assert not reopened.recovery_report.clean
+            # Both sets survive (the GC never half-applies) and recover
+            # byte-identically; the chunk ledger balances exactly.
+            assert reopened.list_sets() == [base, second]
+            assert reopened.recover_set(base).equals(models)
+            assert reopened.recover_set(second).equals(derived)
+            report = ArchiveFsck(reopened.context).run()
+            assert report.ok, f"crash at op {point}: {report.summary()}"
+
+    def test_completed_gc_passes_fsck(self, tmp_path):
+        from repro.core.fsck import ArchiveFsck
+        from repro.core.manager import MultiModelManager
+        from repro.core.retention import RetentionManager
+
+        base, second, _models, derived = self._build_archive(tmp_path)
+        manager = MultiModelManager.open(str(tmp_path), "update", dedup=True)
+        RetentionManager(manager.context).keep_last(1)
+        reopened = MultiModelManager.open(str(tmp_path), "update", dedup=True)
+        assert reopened.list_sets() == [second]
+        assert reopened.recover_set(second).equals(derived)
+        report = ArchiveFsck(reopened.context).run()
+        assert report.ok, report.summary()

@@ -219,3 +219,96 @@ class TestStripedTransfers:
         # Accounting stays one op / full bytes, so storage math is unchanged.
         assert striped.stats.writes == serial.stats.writes == 1
         assert striped.stats.bytes_written == serial.stats.bytes_written
+
+
+class TestWriterAbandon:
+    """Satellite: an abandoned spill-mode writer must never leak its
+    ``.writer-*.tmp`` file — not on exception, not across reopen."""
+
+    def test_exception_in_spill_writer_unlinks_temp(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        with pytest.raises(RuntimeError):
+            with store.open_writer("doomed") as writer:
+                writer.write(b"partial")
+                raise RuntimeError("caller dies mid-stream")
+        assert list(tmp_path.glob(".writer-*.tmp")) == []
+        assert not store.exists("doomed")
+
+    def test_abort_unlinks_temp(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        writer = store.open_writer(None)
+        writer.write(b"partial")
+        writer.abort()
+        assert list(tmp_path.glob(".writer-*.tmp")) == []
+
+    def test_memory_mode_abandon_stores_nothing(self):
+        store = FileStore()
+        with pytest.raises(RuntimeError):
+            with store.open_writer("doomed") as writer:
+                writer.write(b"partial")
+                raise RuntimeError("boom")
+        assert not store.exists("doomed")
+        assert store.total_bytes() == 0
+
+    def test_reopen_sweeps_a_crash_leftover_temp(self, tmp_path):
+        store = FileStore(directory=tmp_path)
+        store.put(b"real", artifact_id="kept")
+        # A kill -9 between writes leaves the temp behind.
+        (tmp_path / ".writer-99.tmp").write_bytes(b"garbage")
+        FileStore(directory=tmp_path)
+        assert list(tmp_path.glob(".writer-*.tmp")) == []
+        # The real artifact's bytes are untouched by the sweep.
+        assert (tmp_path / "kept.bin").read_bytes() == b"real"
+
+    def test_persistent_writer_abort_leaves_no_temp(self, tmp_path):
+        from repro.storage.persistent import PersistentFileStore
+
+        store = PersistentFileStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            with store.open_writer("doomed") as writer:
+                writer.write(b"partial")
+                raise RuntimeError("boom")
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert not store.exists("doomed")
+
+
+class TestDuplicateParity:
+    """Satellite: DuplicateArtifactError semantics must be identical in
+    memory and spill modes."""
+
+    @pytest.fixture(params=["memory", "spill"])
+    def store(self, request, tmp_path):
+        if request.param == "memory":
+            return FileStore()
+        return FileStore(directory=tmp_path)
+
+    def test_put_twice_raises_and_keeps_original(self, store):
+        store.put(b"original", artifact_id="one")
+        with pytest.raises(DuplicateArtifactError):
+            store.put(b"other", artifact_id="one")
+        assert store.get("one") == b"original"
+
+    def test_open_writer_to_existing_id_raises(self, store):
+        store.put(b"original", artifact_id="one")
+        with pytest.raises(DuplicateArtifactError):
+            store.open_writer("one")
+        assert store.get("one") == b"original"
+
+    def test_writer_racing_a_put_raises_at_close(self, store):
+        # The id is free at open but claimed before close: the late
+        # check protects the stored bytes in both modes, and a spill
+        # writer must still clean up its temp file.
+        writer = store.open_writer("one")
+        writer.write(b"streamed")
+        store.put(b"original", artifact_id="one")
+        with pytest.raises(DuplicateArtifactError):
+            writer.close()
+        assert store.get("one") == b"original"
+        if store._directory is not None:
+            assert list(store._directory.glob(".writer-*.tmp")) == []
+
+    def test_derived_id_reput_is_idempotent(self, store):
+        first = store.put(b"same content")
+        second = store.put(b"same content")
+        assert first == second
+        assert store.get(first) == b"same content"

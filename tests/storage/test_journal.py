@@ -1,0 +1,320 @@
+"""Unit tests of the write-ahead save journal."""
+
+import pytest
+
+from repro.core.approach import SETS_COLLECTION, SaveContext
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.errors import (
+    DuplicateArtifactError,
+    SimulatedCrashError,
+    StorageError,
+)
+from repro.storage.faults import FaultInjector, inject_faults
+from repro.storage.journal import (
+    JOURNAL_COLLECTION,
+    JournaledDocumentStore,
+    JournaledFileStore,
+    attach_journal,
+    innermost,
+)
+
+
+def make_context(dedup=False):
+    context = SaveContext.create(dedup=dedup)
+    attach_journal(context)
+    return context
+
+
+class TestAttachJournal:
+    def test_wraps_both_stores(self):
+        context = make_context()
+        assert isinstance(context.file_store, JournaledFileStore)
+        assert isinstance(context.document_store, JournaledDocumentStore)
+        assert context.journal is not None
+
+    def test_idempotent(self):
+        context = make_context()
+        journal = context.journal
+        assert attach_journal(context) is journal
+        assert isinstance(context.file_store, JournaledFileStore)
+        assert not isinstance(context.file_store._inner, JournaledFileStore)
+
+    def test_unjournaled_operations_pass_through(self):
+        context = make_context()
+        context.file_store.put(b"free", artifact_id="loose")
+        assert context.file_store.exists("loose")
+        assert context.journal.pending_entries() == []
+
+
+class TestTransactionLifecycle:
+    def test_successful_save_retires_the_entry(self):
+        context = make_context()
+        manager = MultiModelManager.with_approach("baseline", context=context)
+        set_id = manager.save_set(ModelSet.build("FFNN-48", num_models=2, seed=0))
+        assert context.journal.pending_entries() == []
+        assert manager.list_sets() == [set_id]
+
+    def test_entry_is_durable_before_first_mutation(self):
+        context = make_context()
+        with context.journal.begin("save", "baseline") as txn:
+            raw = innermost(context.document_store)._read_raw(
+                JOURNAL_COLLECTION, txn.txn_id
+            )
+            assert raw is not None and raw["status"] == "pending"
+
+    def test_exception_rolls_back_every_mutation(self):
+        context = make_context()
+        context.document_store.insert(
+            "notes", {"v": 1}, doc_id="kept"
+        )
+        with pytest.raises(RuntimeError):
+            with context.save_transaction("save", "baseline"):
+                context.file_store.put(b"data", artifact_id="torn")
+                context.document_store.insert(
+                    SETS_COLLECTION, {"type": "baseline"}, doc_id="set-x"
+                )
+                context.document_store.replace("notes", "kept", {"v": 2})
+                raise RuntimeError("boom")
+        assert not context.file_store.exists("torn")
+        assert not context.document_store.exists(SETS_COLLECTION, "set-x")
+        assert context.document_store.get("notes", "kept") == {"v": 1}
+        assert context.journal.pending_entries() == []
+
+    def test_nested_begin_joins_the_outer_transaction(self):
+        context = make_context()
+        with pytest.raises(RuntimeError):
+            with context.save_transaction("save") as outer:
+                with context.save_transaction("gc"):
+                    # Still the same open transaction underneath.
+                    assert context.journal.active_txn() is outer
+                    context.file_store.put(b"inner", artifact_id="inner-blob")
+                # The inner exit must not have committed anything.
+                assert context.journal.active_txn() is outer
+                raise RuntimeError("outer fails")
+        assert not context.file_store.exists("inner-blob")
+
+    def test_log_op_after_close_raises(self):
+        context = make_context()
+        with context.journal.begin() as txn:
+            pass
+        with pytest.raises(StorageError):
+            txn.log_op({"op": "put_artifact", "artifact_id": "late"})
+
+    def test_rollback_invalidates_chunk_store_cache(self):
+        context = make_context(dedup=True)
+        manager = MultiModelManager.with_approach("update", context=context)
+        manager.save_set(ModelSet.build("FFNN-48", num_models=2, seed=0))
+        cached = context.chunk_store()
+        assert context._chunk_store is cached
+        with pytest.raises(RuntimeError):
+            with context.save_transaction():
+                context.file_store.put(b"x", artifact_id="y")
+                raise RuntimeError("boom")
+        assert context._chunk_store is None
+
+
+class TestCrashRecovery:
+    def test_simulated_crash_leaves_the_entry_behind(self):
+        context = make_context()
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction("save", "baseline"):
+                context.file_store.put(b"data", artifact_id="torn")
+                raise SimulatedCrashError("kill -9")
+        # No in-process cleanup: both the entry and the orphan persist,
+        # exactly the state a reopened archive must repair.
+        assert context.journal.pending_entries() == ["txn-000000"]
+        assert context.file_store.exists("torn")
+
+    def test_recover_rolls_back_a_pending_entry(self):
+        context = make_context()
+        context.document_store.insert("notes", {"v": 1}, doc_id="kept")
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction("save", "baseline"):
+                context.file_store.put(b"data", artifact_id="torn")
+                context.document_store.insert(
+                    SETS_COLLECTION, {"type": "baseline"}, doc_id="set-x"
+                )
+                context.document_store.replace("notes", "kept", {"v": 2})
+                raise SimulatedCrashError("kill -9")
+        report = context.journal.recover()
+        assert not report.clean
+        assert [entry["txn"] for entry in report.rolled_back] == ["txn-000000"]
+        assert report.rolled_back[0]["set_id"] == "set-x"
+        assert report.artifacts_removed == ["torn"]
+        assert report.documents_restored == 1
+        assert not context.file_store.exists("torn")
+        assert not context.document_store.exists(SETS_COLLECTION, "set-x")
+        assert context.document_store.get("notes", "kept") == {"v": 1}
+        assert context.journal.pending_entries() == []
+
+    def test_recover_redoes_deletes_of_a_committing_entry(self):
+        context = make_context()
+        context.file_store.put(b"old", artifact_id="victim")
+        innermost(context.document_store)._write_raw(
+            JOURNAL_COLLECTION,
+            "txn-000007",
+            {
+                "status": "committing",
+                "kind": "gc",
+                "approach": None,
+                "set_id": None,
+                "ops": [],
+                "deletes": ["victim"],
+            },
+        )
+        report = context.journal.recover()
+        assert report.redone == ["txn-000007"]
+        assert not context.file_store.exists("victim")
+        assert context.journal.pending_entries() == []
+
+    def test_recover_on_clean_archive_reports_clean(self):
+        context = make_context()
+        report = context.journal.recover()
+        assert report.clean
+        assert report.rolled_back == [] and report.redone == []
+
+    def test_crash_rolls_back_only_the_torn_save(self):
+        context = make_context()
+        manager = MultiModelManager.with_approach("update", context=context)
+        models = ModelSet.build("FFNN-48", num_models=3, seed=0)
+        base_id = manager.save_set(models)
+        derived = models.copy()
+        derived.state(1)["0.bias"][:] += 1.0
+        inject_faults(context, FaultInjector(seed=3, crash_at=1))
+        with pytest.raises(SimulatedCrashError):
+            manager.save_set(derived, base_set_id=base_id)
+        report = context.journal.recover()
+        assert not report.clean
+        assert manager.list_sets() == [base_id]
+        assert manager.recover_set(base_id).equals(models)
+
+
+class TestUndoSemantics:
+    def test_preexisting_derived_id_reput_is_not_undone(self):
+        context = make_context()
+        derived_id = context.file_store.put(b"shared content")
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction():
+                assert context.file_store.put(b"shared content") == derived_id
+                raise SimulatedCrashError("kill -9")
+        context.journal.recover()
+        # The artifact predates the transaction; rollback must keep it.
+        assert context.file_store.exists(derived_id)
+
+    def test_preexisting_explicit_id_raises_and_survives_rollback(self):
+        context = make_context()
+        context.file_store.put(b"original", artifact_id="claimed")
+        with pytest.raises(DuplicateArtifactError):
+            with context.save_transaction():
+                context.file_store.put(b"other", artifact_id="claimed")
+        assert context.file_store.get("claimed") == b"original"
+
+    def test_reput_succeeds_after_rollback_freed_the_id(self):
+        # A put racing a journal rollback: the first transaction claims
+        # the id and dies; recovery frees it; the retry must not see a
+        # phantom duplicate.
+        context = make_context()
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction():
+                context.file_store.put(b"first try", artifact_id="contested")
+                raise SimulatedCrashError("kill -9")
+        context.journal.recover()
+        with context.save_transaction():
+            context.file_store.put(b"second try", artifact_id="contested")
+        assert context.file_store.get("contested") == b"second try"
+
+    def test_delete_is_deferred_until_commit(self):
+        context = make_context()
+        context.file_store.put(b"bytes", artifact_id="doomed")
+        with context.save_transaction():
+            context.file_store.delete("doomed")
+            # Physically still present: rollback may need to keep it.
+            assert innermost(context.file_store).exists("doomed")
+        assert not context.file_store.exists("doomed")
+
+    def test_deferred_delete_survives_rollback(self):
+        context = make_context()
+        context.file_store.put(b"bytes", artifact_id="doomed")
+        with pytest.raises(RuntimeError):
+            with context.save_transaction():
+                context.file_store.delete("doomed")
+                raise RuntimeError("boom")
+        assert context.file_store.get("doomed") == b"bytes"
+
+    def test_document_delete_restores_prior_content(self):
+        context = make_context()
+        context.document_store.insert("notes", {"v": 1}, doc_id="kept")
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction():
+                context.document_store.delete("notes", "kept")
+                raise SimulatedCrashError("kill -9")
+        context.journal.recover()
+        assert context.document_store.get("notes", "kept") == {"v": 1}
+
+    def test_auto_document_ids_are_logged_write_ahead(self):
+        context = make_context()
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction():
+                doc_id = context.document_store.insert("notes", {"v": 1})
+                assert context.document_store.exists("notes", doc_id)
+                raise SimulatedCrashError("kill -9")
+        context.journal.recover()
+        assert not context.document_store.exists("notes", doc_id)
+
+
+class TestJournaledWriters:
+    def test_derived_id_writer_is_rolled_back(self):
+        context = make_context()
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction():
+                writer = context.file_store.open_writer(None)
+                writer.write(b"stream")
+                writer.write(b"ed bytes")
+                artifact_id = writer.close()
+                assert context.file_store.exists(artifact_id)
+                raise SimulatedCrashError("kill -9")
+        context.journal.recover()
+        assert not context.file_store.exists(artifact_id)
+
+    def test_explicit_id_writer_is_rolled_back(self):
+        context = make_context()
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction():
+                writer = context.file_store.open_writer("streamed")
+                writer.write(b"payload")
+                writer.close()
+                raise SimulatedCrashError("kill -9")
+        context.journal.recover()
+        assert not context.file_store.exists("streamed")
+
+    def test_derived_id_writer_preexisting_content_survives(self):
+        context = make_context()
+        derived_id = context.file_store.put(b"already stored")
+        with pytest.raises(SimulatedCrashError):
+            with context.save_transaction():
+                writer = context.file_store.open_writer(None)
+                writer.write(b"already stored")
+                assert writer.close() == derived_id
+                raise SimulatedCrashError("kill -9")
+        context.journal.recover()
+        assert context.file_store.exists(derived_id)
+
+
+class TestAccountingNeutrality:
+    def test_journal_records_are_uncharged(self):
+        models = ModelSet.build("FFNN-48", num_models=3, seed=0)
+        plain = SaveContext.create()
+        MultiModelManager.with_approach("update", context=plain).save_set(models)
+        journaled = make_context()
+        MultiModelManager.with_approach("update", context=journaled).save_set(
+            models
+        )
+        assert (
+            journaled.file_store.stats.bytes_written
+            == plain.file_store.stats.bytes_written
+        )
+        assert (
+            journaled.document_store.stats.bytes_written
+            == plain.document_store.stats.bytes_written
+        )
