@@ -21,11 +21,19 @@ import os
 from pathlib import Path
 
 from repro.bench.faults import format_report, run_fault_benchmark, write_report
+from repro.bench.replication import (
+    format_report as format_replication_report,
+    run_replication_benchmark,
+    write_report as write_replication_report,
+)
 
 NUM_MODELS = int(os.environ.get("REPRO_BENCH_FAULT_MODELS", "6"))
 SEEDS = (7, 9)
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "faults.json"
+REPLICATION_RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "replication.json"
+)
 
 
 def test_fault_sweep(benchmark):
@@ -57,3 +65,43 @@ def test_fault_sweep(benchmark):
     assert salvage["models_lost"] == [0]
     assert salvage["models_recovered"] == NUM_MODELS - 1
     assert salvage["base_set_complete"]
+
+
+def test_replication_sweep(benchmark):
+    """N=3 quorum replication: degraded saves, hedged reads, scrub cost.
+
+    Claims asserted (seeded fault schedules, simulated latencies):
+
+    * a save with one of three replicas crashed still commits at W=2,
+      recovery is byte-identical, and the quorum write path is no
+      slower than a fully healthy save;
+    * when the preferred read replica degrades 50x, hedged reads
+      restore near-healthy recovery latency (hedging off pays the
+      full degraded cost);
+    * one anti-entropy pass copies the missed save onto the revived
+      replica, a second pass finds nothing, and a deep fsck is clean.
+    """
+    report = benchmark.pedantic(
+        lambda: run_replication_benchmark(num_models=NUM_MODELS),
+        rounds=1,
+        iterations=1,
+    )
+    write_replication_report(report, REPLICATION_RESULTS_PATH)
+    print(format_replication_report(report))
+    benchmark.extra_info["report"] = report
+
+    degraded = report["degraded_save"]
+    assert degraded["save_succeeded"] and degraded["recovery_identical"]
+    assert degraded["pending_repairs_flushed"] > 0
+    assert degraded["degraded_write_s"] <= degraded["healthy_write_s"] * 1.01
+    assert degraded["scrub_converged"] and degraded["fsck_clean"]
+
+    hedged = report["hedged_reads"]
+    assert hedged["hedges_without_policy"] == 0
+    assert hedged["hedges_fired"] > 0
+    assert hedged["read_s_hedged"] < hedged["read_s_no_hedge"] / 5
+
+    scrub = report["scrub_convergence"]
+    assert scrub["bytes_copied"] > 0
+    assert scrub["first_pass_exit"] == 1 and scrub["second_pass_exit"] == 0
+    assert scrub["fsck_clean"] and scrub["recovery_identical"]

@@ -9,13 +9,19 @@ Subcommands cover the operator loop demonstrated in
     repro-archive <dir> lineage              # the derivation chains
     repro-archive <dir> verify [--deep]      # integrity audit
     repro-archive <dir> fsck [--deep]        # consistency audit + bitrot scan
+    repro-archive <dir> scrub [--shallow]    # converge replicas (anti-entropy)
     repro-archive <dir> history SET_ID IDX   # one model's drift
     repro-archive <dir> compact SET_ID       # delta -> full snapshot
     repro-archive <dir> gc --keep-last K     # retention policy
     repro-archive <dir> migrate TARGET_DIR --approach update
 
 The archive's approach is auto-detected from the stored set descriptors;
-mixed-approach archives are supported for read-only commands.
+mixed-approach archives are supported for read-only commands.  A
+replicated layout (``replica-<i>/`` subtrees) is likewise auto-detected;
+``--replicas``/``--write-quorum``/``--read-quorum`` create or override
+the topology.  ``fsck`` and ``scrub`` exit 0 when clean, 1 when issues
+were found that are repairable (or were repaired), and 2 on
+unrecoverable data loss.
 """
 
 from __future__ import annotations
@@ -66,6 +72,18 @@ def _cmd_info(context: SaveContext, args: argparse.Namespace) -> int:
     print(f"sets: {len(set_ids)}")
     print(f"stored bytes: {context.total_bytes():,}")
     print(f"approach: {_detect_approach(context) or 'mixed/empty'}")
+    from repro.storage.replication import replicated_stores
+
+    file_rep, _doc_rep = replicated_stores(context)
+    if file_rep is not None:
+        open_breakers = sum(
+            1 for entry in file_rep.health() if entry["breaker_open"]
+        )
+        print(
+            f"replication: {len(file_rep.replicas)} replicas, "
+            f"W={file_rep.write_quorum} R={file_rep.read_quorum}, "
+            f"{open_breakers} breaker(s) open"
+        )
     if set_ids:
         print(f"roots: {', '.join(lineage.roots())}")
         print(f"leaves: {', '.join(lineage.leaves())}")
@@ -135,7 +153,42 @@ def _cmd_fsck(context: SaveContext, args: argparse.Namespace) -> int:
         print(f"CORRUPT-CHUNK {digest[:16]}…")
     for digest in report.quarantined_chunks:
         print(f"QUARANTINED {digest[:16]}…")
-    return 1
+    for artifact in report.degraded_artifacts:
+        print(f"DEGRADED {artifact} (a clean replica copy survives; run scrub)")
+    for entry in report.replica_divergence:
+        if entry.get("unreachable"):
+            print(f"DIVERGENT {entry['replica']}: unreachable")
+            continue
+        print(
+            f"DIVERGENT {entry['replica']}: "
+            f"{len(entry['missing_artifacts'])} missing / "
+            f"{len(entry['extra_artifacts'])} extra / "
+            f"{len(entry['divergent_artifacts'])} divergent artifacts, "
+            f"{entry['missing_documents']} missing / "
+            f"{entry['extra_documents']} extra / "
+            f"{entry['divergent_documents']} divergent documents"
+        )
+    return report.exit_code
+
+
+def _cmd_scrub(context: SaveContext, args: argparse.Namespace) -> int:
+    from repro.core.fsck import scrub_archive
+
+    report = scrub_archive(context, deep=not args.shallow)
+    print(report.summary())
+    for replica, artifact in report.artifacts_healed:
+        print(f"HEALED {replica}: {artifact}")
+    for replica, artifact in report.artifacts_pruned:
+        print(f"PRUNED {replica}: {artifact}")
+    for artifact in report.packs_reassembled:
+        print(f"REASSEMBLED {artifact}")
+    for digest in report.chunks_repaired:
+        print(f"CHUNK-REPAIRED {digest[:16]}…")
+    for replica in report.unreachable_replicas:
+        print(f"UNREACHABLE {replica} (repairs deferred to the next scrub)")
+    for artifact in report.lost_artifacts:
+        print(f"LOST {artifact} (no recoverable copy on any replica)")
+    return report.exit_code
 
 
 def _cmd_history(context: SaveContext, args: argparse.Namespace) -> int:
@@ -243,6 +296,25 @@ def main(argv: list[str] | None = None) -> int:
         help="parallelism of the save/recover engine (1 serial, 0 = one "
         "lane per CPU); results are byte-identical at any setting",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="replicate the archive across N backend subtrees (default: "
+        "auto-detect the existing topology)",
+    )
+    parser.add_argument(
+        "--write-quorum",
+        type=int,
+        default=None,
+        help="replica acknowledgements a write needs (default: majority)",
+    )
+    parser.add_argument(
+        "--read-quorum",
+        type=int,
+        default=None,
+        help="replicas a consistent document read polls (default: N-W+1)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("info", help="summarize the archive")
@@ -260,6 +332,18 @@ def main(argv: list[str] | None = None) -> int:
         "--deep",
         action="store_true",
         help="also re-hash every artifact and chunk against its checksum",
+    )
+
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="anti-entropy pass: converge every replica onto the majority "
+        "state and heal missing/corrupt copies",
+    )
+    scrub.add_argument(
+        "--shallow",
+        action="store_true",
+        help="trust recorded digests instead of re-hashing every copy "
+        "(misses torn writes)",
     )
 
     history = subparsers.add_parser("history", help="one model's drift over time")
@@ -308,13 +392,23 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
-    context = open_context(args.directory)
+    try:
+        context = open_context(
+            args.directory,
+            replicas=args.replicas,
+            write_quorum=args.write_quorum,
+            read_quorum=args.read_quorum,
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     context.workers = args.workers
     commands = {
         "info": _cmd_info,
         "lineage": _cmd_lineage,
         "verify": _cmd_verify,
         "fsck": _cmd_fsck,
+        "scrub": _cmd_scrub,
         "history": _cmd_history,
         "compact": _cmd_compact,
         "gc": _cmd_gc,

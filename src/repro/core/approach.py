@@ -72,11 +72,42 @@ class SaveContext:
         profile: HardwareProfile = LOCAL_PROFILE,
         workers: int = 1,
         dedup: bool = False,
+        replicas: int = 1,
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
+        replication_policy: "object | None" = None,
     ) -> "SaveContext":
-        """Fresh in-memory context with the default dataset resolvers."""
+        """Fresh in-memory context with the default dataset resolvers.
+
+        ``replicas > 1`` fans the stores across that many independent
+        in-memory backends with quorum semantics (see
+        :mod:`repro.storage.replication`); ``write_quorum``/``read_quorum``
+        default to a majority W and the matching R with W + R = N + 1.
+        """
+        if replicas > 1:
+            from repro.storage.replication import (
+                ReplicatedDocumentStore,
+                ReplicatedFileStore,
+            )
+
+            file_store = ReplicatedFileStore(
+                [FileStore(profile=profile) for _ in range(replicas)],
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
+                policy=replication_policy,
+            )
+            document_store = ReplicatedDocumentStore(
+                [DocumentStore(profile=profile) for _ in range(replicas)],
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
+                policy=replication_policy,
+            )
+        else:
+            file_store = FileStore(profile=profile)
+            document_store = DocumentStore(profile=profile)
         return cls(
-            file_store=FileStore(profile=profile),
-            document_store=DocumentStore(profile=profile),
+            file_store=file_store,
+            document_store=document_store,
             dataset_registry=default_registry(),
             workers=workers,
             dedup=dedup,

@@ -16,6 +16,18 @@ archival story:
   the damage is isolated to the *chunk*: corrupt chunks are quarantined
   and, where another set stores the same layer bytes in a full artifact,
   repaired in place from that replica before any model is given up on.
+* :func:`scrub_archive` — the anti-entropy pass for replicated archives
+  (:mod:`repro.storage.replication`): flushes the replication layer's
+  pending repair queues, converges every replica's documents onto the
+  majority view (pruning stale journal entries and uncommitted minority
+  writes), re-copies missing/corrupt/divergent artifact replicas from a
+  verifying donor, prunes minority orphans, reassembles packs per chunk
+  across replicas when no whole copy survives, and repairs quarantined
+  chunks.  After a clean scrub the replicas are byte-identical again.
+
+Exit-code convention (used by the ``repro-archive fsck`` / ``scrub``
+CLI verbs): **0** clean, **1** issues that were (or can be) repaired,
+**2** unrecoverable data loss.
 """
 
 from __future__ import annotations
@@ -63,6 +75,13 @@ class FsckReport:
     corrupt_chunks: list[str] = field(default_factory=list)
     #: Chunks already quarantined before this run.
     quarantined_chunks: list[str] = field(default_factory=list)
+    #: Artifacts corrupt on *some* replica while a clean copy survives
+    #: elsewhere — degraded, not lost; a scrub heals them (deep scan of a
+    #: replicated archive only).
+    degraded_artifacts: list[str] = field(default_factory=list)
+    #: Per-replica diffs against the majority view (replicated archives
+    #: only; see :func:`repro.storage.replication.replica_divergence`).
+    replica_divergence: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -74,7 +93,24 @@ class FsckReport:
             or self.corrupt_artifacts
             or self.corrupt_chunks
             or self.quarantined_chunks
+            or self.degraded_artifacts
+            or self.replica_divergence
         )
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean; 1 repairable issues; 2 unrecoverable data loss.
+
+        Loss means bytes with no surviving good copy: a referenced
+        artifact absent everywhere, an artifact whose every copy fails
+        verification, or a corrupt chunk.  Everything else — pending
+        journal entries, orphans, refcount drift, quarantine records,
+        degraded replicas, divergence — is repairable by recovery, GC,
+        or a scrub.
+        """
+        if self.missing_artifacts or self.corrupt_artifacts or self.corrupt_chunks:
+            return 2
+        return 0 if self.ok else 1
 
     def summary(self) -> str:
         if self.ok:
@@ -92,6 +128,8 @@ class FsckReport:
             ("corrupt artifacts", self.corrupt_artifacts),
             ("corrupt chunks", self.corrupt_chunks),
             ("quarantined chunks", self.quarantined_chunks),
+            ("degraded artifacts", self.degraded_artifacts),
+            ("divergent replicas", self.replica_divergence),
         ):
             if items:
                 parts.append(f"{len(items)} {label}")
@@ -179,29 +217,354 @@ class ArchiveFsck:
 
         if deep:
             self._deep_scan(report, referenced)
+
+        file_rep, doc_rep = self._replicated()
+        if file_rep is not None or doc_rep is not None:
+            from repro.storage.replication import replica_divergence
+
+            report.replica_divergence = replica_divergence(
+                file_rep, doc_rep, deep=deep
+            )
         return report
+
+    def _replicated(self):
+        from repro.storage.replication import replicated_stores
+
+        return replicated_stores(self.context)
 
     def _deep_scan(self, report: FsckReport, referenced: dict[str, str]) -> None:
         file_store = self.context.file_store
+        file_rep, _doc_rep = self._replicated()
         pack_artifacts = {
             str(doc["artifact"]) for doc in self._collection(PACKS_COLLECTION).values()
         }
+        lost_packs: set[str] = set()
         for artifact in sorted(referenced):
             # Pack artifacts are verified per chunk below — finer grain,
-            # and a single flipped byte blames one chunk, not the pack.
-            if artifact in pack_artifacts or not file_store.exists(artifact):
+            # and a single flipped byte blames one chunk, not the pack —
+            # except that a replicated archive still distinguishes a pack
+            # copy gone bad on one replica (degraded) from all of them.
+            if not file_store.exists(artifact):
+                continue
+            if file_rep is not None:
+                verdicts = file_rep.verify_replicas(artifact).values()
+                clean = sum(1 for verdict in verdicts if verdict is True)
+                bad = sum(1 for verdict in verdicts if verdict is False)
+                if bad and clean:
+                    report.degraded_artifacts.append(artifact)
+                elif bad:
+                    report.corrupt_artifacts.append(artifact)
+                    if artifact in pack_artifacts:
+                        lost_packs.add(artifact)
+                continue
+            if artifact in pack_artifacts:
                 continue
             if not file_store.verify_artifact(artifact):
                 report.corrupt_artifacts.append(artifact)
         if self._collection(PACKS_COLLECTION):
             chunk_store = self.context.chunk_store()
+            # Chunks whose pack has no clean copy anywhere cannot be
+            # range-read; the pack is already reported as corrupt above.
             digests = [
-                d for d, c in chunk_store._chunks.items() if not c.quarantined
+                d
+                for d, c in chunk_store._chunks.items()
+                if not c.quarantined and c.artifact_id not in lost_packs
             ]
             _values, corrupted = chunk_store.fetch_verified(
                 digests, workers=self.context.workers, quarantine=False
             )
             report.corrupt_chunks = sorted(corrupted)
+
+
+# ---------------------------------------------------------------------------
+# anti-entropy scrub (replicated archives)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScrubReport:
+    """What one anti-entropy pass over a replicated archive did.
+
+    ``exit_code`` follows the fsck convention: 0 — the replicas were
+    already converged and nothing was touched; 1 — divergence was found
+    and healed (or deferred because a replica is still unreachable);
+    2 — at least one artifact has no recoverable copy anywhere.
+    """
+
+    replicas: int = 0
+    #: Entries drained from the replication layer's repair queues.
+    pending_flushed: int = 0
+    #: Per-replica documents rewritten to the majority value.
+    documents_healed: int = 0
+    #: Per-replica documents deleted (stale journal entries, uncommitted
+    #: minority writes the vote already hid).
+    documents_pruned: int = 0
+    #: ``(replica, artifact)`` copies re-written from a verifying donor.
+    artifacts_healed: list[tuple] = field(default_factory=list)
+    #: ``(replica, artifact)`` minority-orphan copies removed.
+    artifacts_pruned: list[tuple] = field(default_factory=list)
+    #: Pack artifacts rebuilt chunk by chunk across replicas because no
+    #: whole copy verified anywhere.
+    packs_reassembled: list[str] = field(default_factory=list)
+    #: Quarantined chunk digests healed back into the chunk store.
+    chunks_repaired: list[str] = field(default_factory=list)
+    #: Bytes copied between replicas while healing.
+    bytes_copied: int = 0
+    #: Replicas that could not be scrubbed (still down); their repairs
+    #: are deferred to the next pass.
+    unreachable_replicas: list[str] = field(default_factory=list)
+    #: Artifacts with no good copy on any replica — unrecoverable here
+    #: (chunk-level salvage may still rescue parts of them).
+    lost_artifacts: list[str] = field(default_factory=list)
+    #: Divergence remaining after the pass (empty unless replicas are
+    #: unreachable or data was lost).
+    residual_divergence: list[dict] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.pending_flushed
+            or self.documents_healed
+            or self.documents_pruned
+            or self.artifacts_healed
+            or self.artifacts_pruned
+            or self.packs_reassembled
+            or self.chunks_repaired
+        )
+
+    @property
+    def converged(self) -> bool:
+        return not (
+            self.lost_artifacts
+            or self.residual_divergence
+            or self.unreachable_replicas
+        )
+
+    @property
+    def exit_code(self) -> int:
+        if self.lost_artifacts:
+            return 2
+        if self.changed or not self.converged:
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        if not self.changed and self.converged:
+            return f"clean: {self.replicas} replicas converged"
+        parts = []
+        for label, count in (
+            ("pending repairs flushed", self.pending_flushed),
+            ("documents healed", self.documents_healed),
+            ("documents pruned", self.documents_pruned),
+            ("artifact copies healed", len(self.artifacts_healed)),
+            ("artifact copies pruned", len(self.artifacts_pruned)),
+            ("packs reassembled", len(self.packs_reassembled)),
+            ("chunks repaired", len(self.chunks_repaired)),
+            ("replicas unreachable", len(self.unreachable_replicas)),
+            ("artifacts lost", len(self.lost_artifacts)),
+            ("replicas still divergent", len(self.residual_divergence)),
+        ):
+            if count:
+                parts.append(f"{count} {label}")
+        return "; ".join(parts) or "no changes"
+
+
+def scrub_archive(context: SaveContext, deep: bool = True) -> ScrubReport:
+    """Converge every replica of a replicated archive (anti-entropy).
+
+    The pass runs in dependency order: the replication layer's pending
+    repair queues are flushed first; documents are then synced onto the
+    majority view (so the artifact heal below works against converged
+    metadata); artifact copies are re-written from a verifying donor,
+    with chunk-by-chunk cross-replica pack reassembly as the last resort
+    when no whole copy survives; minority orphans are pruned; finally
+    any quarantined chunks are repaired in place.  ``deep=False`` trusts
+    recorded digests instead of re-hashing every copy — cheaper, but a
+    torn write (honest digest over torn bytes) needs ``deep=True``.
+
+    On a non-replicated context this is a no-op that reports clean.
+    """
+    from repro.storage.replication import (
+        _REPLICA_FAILURES,
+        _encode,
+        _safe_digest,
+        replica_divergence,
+        replicated_stores,
+    )
+
+    file_rep, doc_rep = replicated_stores(context)
+    report = ScrubReport()
+    if file_rep is None or doc_rep is None:
+        return report
+    report.replicas = len(file_rep.replicas)
+    unreachable: set[str] = set()
+
+    # 1. Drain the targeted repairs failover already queued up.
+    flushed = file_rep.repair_pending()
+    report.pending_flushed = len(flushed["repaired"]) + len(flushed["deleted"])
+
+    # 2. Documents: every replica converges on the majority view.  This
+    # also prunes stale journal entries and uncommitted minority writes.
+    canonical_docs = doc_rep._collections
+    for state in doc_rep.replicas:
+        try:
+            collections = state.store._collections
+            for name, canonical in canonical_docs.items():
+                held = collections.get(name, {})
+                for doc_id, document in canonical.items():
+                    if doc_id not in held or _encode(held[doc_id]) != _encode(
+                        document
+                    ):
+                        state.store._write_raw(name, doc_id, document)
+                        report.documents_healed += 1
+                for doc_id in sorted(set(held) - set(canonical)):
+                    state.store._delete_raw(name, doc_id)
+                    report.documents_pruned += 1
+            for name in sorted(set(collections) - set(canonical_docs)):
+                for doc_id in sorted(collections[name]):
+                    state.store._delete_raw(name, doc_id)
+                    report.documents_pruned += 1
+        except _REPLICA_FAILURES:
+            unreachable.add(state.name)
+
+    # 3. Artifacts: the canonical set is every id held by a majority of
+    # reachable replicas (majority digest), plus anything the converged
+    # documents reference — a referenced copy must never be pruned even
+    # if replication fell below majority.
+    votes: dict[str, dict] = {}
+    reachable = 0
+    for state in file_rep.replicas:
+        try:
+            ids = state.store.ids()
+        except _REPLICA_FAILURES:
+            unreachable.add(state.name)
+            continue
+        reachable += 1
+        for artifact_id in ids:
+            digest = _safe_digest(state.store, artifact_id)
+            counts = votes.setdefault(artifact_id, {})
+            counts[digest] = counts.get(digest, 0) + 1
+    referenced = ArchiveFsck(context)._referenced_artifacts()
+    canonical: dict[str, str | None] = {}
+    for artifact_id, counts in votes.items():
+        holders = sum(counts.values())
+        if holders * 2 > reachable or artifact_id in referenced:
+            canonical[artifact_id] = max(counts.items(), key=lambda kv: kv[1])[0]
+
+    pack_ids = set(canonical_docs.get(PACKS_COLLECTION, {}))
+    for artifact_id in sorted(canonical):
+        digest = canonical[artifact_id]
+        donor = None
+        for state in file_rep.replicas:
+            try:
+                if not state.store.exists(artifact_id):
+                    continue
+                if _safe_digest(state.store, artifact_id) != digest:
+                    continue
+                if deep and not state.store.verify_artifact(artifact_id):
+                    continue
+                data = state.store.get(artifact_id)
+            except _REPLICA_FAILURES:
+                continue
+            if digest is not None and hash_bytes(data) != digest:
+                continue
+            donor = data
+            break
+        if donor is None and artifact_id in pack_ids:
+            donor = _reassemble_pack(
+                file_rep, canonical_docs[PACKS_COLLECTION][artifact_id], artifact_id
+            )
+            if donor is not None:
+                digest = hash_bytes(donor)
+                report.packs_reassembled.append(artifact_id)
+        if donor is None:
+            report.lost_artifacts.append(artifact_id)
+            continue
+        for state in file_rep.replicas:
+            if state.name in unreachable:
+                continue
+            try:
+                healthy = (
+                    state.store.exists(artifact_id)
+                    and _safe_digest(state.store, artifact_id) == digest
+                    and (not deep or state.store.verify_artifact(artifact_id))
+                )
+                if healthy:
+                    continue
+                if state.store.exists(artifact_id):
+                    state.store.delete(artifact_id)
+                state.store.put(
+                    donor, artifact_id=artifact_id, category="repair", digest=digest
+                )
+            except _REPLICA_FAILURES:
+                unreachable.add(state.name)
+                continue
+            report.artifacts_healed.append((state.name, artifact_id))
+            report.bytes_copied += len(donor)
+
+    # 4. Prune minority orphans: copies no majority (and no document)
+    # vouches for — leftovers of writes that never reached quorum.
+    for state in file_rep.replicas:
+        if state.name in unreachable:
+            continue
+        try:
+            for artifact_id in sorted(set(state.store.ids()) - set(canonical)):
+                state.store.delete(artifact_id)
+                report.artifacts_pruned.append((state.name, artifact_id))
+        except _REPLICA_FAILURES:
+            unreachable.add(state.name)
+
+    # 5. Quarantined chunks: with the packs converged, the damaged slice
+    # can be re-read from any replica and verified against its digest.
+    context._invalidate_chunk_store()
+    if canonical_docs.get(PACKS_COLLECTION):
+        chunk_store = context.chunk_store()
+        for digest in chunk_store.quarantined_digests():
+            record = chunk_store._chunks[digest]
+            for state in file_rep.replicas:
+                try:
+                    data = state.store.get_range(
+                        record.artifact_id, record.offset, record.length
+                    )
+                except Exception:
+                    continue
+                if hash_bytes(data) == digest:
+                    chunk_store.repair(digest, data)
+                    report.chunks_repaired.append(digest)
+                    break
+
+    report.unreachable_replicas = sorted(unreachable)
+    report.residual_divergence = replica_divergence(file_rep, doc_rep, deep=deep)
+    return report
+
+
+def _reassemble_pack(file_rep, pack_doc: dict, artifact_id: str) -> bytes | None:
+    """Rebuild a pack whose every whole copy is damaged, chunk by chunk.
+
+    Corruption rarely hits the same offsets on two replicas, so each
+    chunk slice is tried against every replica and accepted where its
+    content digest matches; the pack is byte-identical to the original
+    exactly when all slices recover.
+    """
+    parts: list[bytes] = []
+    offset = 0
+    for digest, length in zip(pack_doc["digests"], pack_doc["lengths"]):
+        length = int(length)
+        slice_bytes = None
+        for state in file_rep.replicas:
+            try:
+                if not state.store.exists(artifact_id):
+                    continue
+                data = state.store.get_range(artifact_id, offset, length)
+            except Exception:
+                continue
+            if hash_bytes(data) == digest:
+                slice_bytes = data
+                break
+        if slice_bytes is None:
+            return None
+        parts.append(slice_bytes)
+        offset += length
+    return b"".join(parts)
 
 
 # ---------------------------------------------------------------------------

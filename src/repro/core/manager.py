@@ -50,6 +50,9 @@ class MultiModelManager:
         context: SaveContext | None = None,
         workers: int | None = None,
         dedup: bool | None = None,
+        replicas: int = 1,
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Create a manager for the named approach.
@@ -73,6 +76,10 @@ class MultiModelManager:
             layer (identical layer tensors stored once, refcounted).
             Recovery output is byte-identical either way.  When given
             together with ``context``, overrides the context's setting.
+        replicas / write_quorum / read_quorum:
+            Fan the freshly created context's stores across ``replicas``
+            independent backends with quorum semantics (ignored when
+            ``context`` is given); see :mod:`repro.storage.replication`.
         approach_kwargs:
             Extra approach options, e.g. ``snapshot_interval=4`` for the
             Update approach.
@@ -88,6 +95,9 @@ class MultiModelManager:
                 profile=profile,
                 workers=1 if workers is None else workers,
                 dedup=bool(dedup),
+                replicas=replicas,
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
             )
         else:
             if workers is not None:
@@ -106,6 +116,9 @@ class MultiModelManager:
         dedup: bool | None = None,
         journal: bool = True,
         retry: Any | None = None,
+        replicas: int | None = None,
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Open (or create) a durable archive rooted at ``directory``.
@@ -122,13 +135,24 @@ class MultiModelManager:
         what was rolled back.  ``retry`` takes a
         :class:`~repro.storage.faults.RetryPolicy` for transient-error
         resilience.
+
+        ``replicas`` (with optional ``write_quorum``/``read_quorum``)
+        replicates the archive across that many backend subtrees with
+        quorum writes and failover reads; ``None`` auto-detects an
+        existing replicated layout, so reopening needs no flags.
         """
         from repro.storage.persistent import open_context
 
         return cls.with_approach(
             approach,
             context=open_context(
-                directory, profile=profile, journal=journal, retry=retry
+                directory,
+                profile=profile,
+                journal=journal,
+                retry=retry,
+                replicas=replicas,
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
             ),
             workers=workers,
             dedup=dedup,

@@ -53,6 +53,27 @@ class PermanentStorageError(StorageError):
     """A store operation failed and retrying cannot help."""
 
 
+class ReplicaUnavailableError(TransientStorageError):
+    """A replicated backend is down (connection refused / node outage).
+
+    Raised by the fault harness once a replica's injected outage point is
+    reached, and by the replication layer when a request cannot reach a
+    backend.  Subclasses :class:`TransientStorageError` because the outage
+    is recoverable from the client's point of view — the replica may come
+    back — but the replication layer treats it as a health event and
+    fails over rather than waiting.
+    """
+
+
+class QuorumError(StorageError):
+    """Too few healthy replicas acknowledged an operation.
+
+    Raised by the replication layer when fewer than ``write_quorum``
+    backends applied a write, or fewer than ``read_quorum`` backends are
+    reachable for a consistent read.
+    """
+
+
 class ArtifactCorruptionError(StorageError):
     """Stored bytes no longer match their recorded digest (bitrot)."""
 

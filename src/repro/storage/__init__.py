@@ -18,6 +18,15 @@ from repro.storage.hardware import (
     HardwareProfile,
 )
 from repro.storage.hashing import hash_array, hash_bytes, hash_state_dict_layers
+from repro.storage.replication import (
+    ReplicatedDocumentStore,
+    ReplicatedFileStore,
+    ReplicationPolicy,
+    ReplicaState,
+    default_quorums,
+    replica_divergence,
+    replicated_stores,
+)
 from repro.storage.stats import StorageStats
 
 __all__ = [
@@ -30,8 +39,15 @@ __all__ = [
     "LOCAL_PROFILE",
     "M1_PROFILE",
     "SERVER_PROFILE",
+    "ReplicatedDocumentStore",
+    "ReplicatedFileStore",
+    "ReplicationPolicy",
+    "ReplicaState",
     "StorageStats",
+    "default_quorums",
     "hash_array",
     "hash_bytes",
     "hash_state_dict_layers",
+    "replica_divergence",
+    "replicated_stores",
 ]

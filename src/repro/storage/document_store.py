@@ -108,6 +108,17 @@ class DocumentStore:
     def _delete_raw(self, collection: str, doc_id: str) -> None:
         """Remove a document without charging; missing ids are a no-op."""
         self._collections.get(collection, {}).pop(doc_id, None)
+        self._drop_if_empty(collection)
+
+    def _drop_if_empty(self, collection: str) -> None:
+        """Forget a collection once its last document is gone.
+
+        Keeps replicas structurally identical after anti-entropy: a
+        reopen from disk never resurrects empty collections, so the
+        in-memory view must not retain them either.
+        """
+        if not self._collections.get(collection):
+            self._collections.pop(collection, None)
 
     def _read_raw(self, collection: str, doc_id: str) -> JsonDocument | None:
         """Fetch a document copy without charging; ``None`` when missing."""
@@ -124,6 +135,7 @@ class DocumentStore:
             raise DocumentNotFoundError(
                 f"no document {doc_id!r} in collection {collection!r}"
             ) from None
+        self._drop_if_empty(collection)
 
     def replace(self, collection: str, doc_id: str, document: JsonDocument) -> None:
         """Overwrite an existing document in place (charged as a write).

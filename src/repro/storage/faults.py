@@ -13,10 +13,16 @@ model: store wrappers that inject, from a **seeded** schedule,
   must cope with "failed but actually succeeded" (the idempotent-re-put
   case);
 * **permanent failures** (:class:`~repro.errors.PermanentStorageError`)
-  pinned to specific artifact ids; and
-* **silent bit corruption** on write (``corrupt_rate``): the stored bytes
-  are flipped while the recorded digest stays honest, exactly the
-  signature of bitrot that ``verify_artifact``/``fsck`` must catch.
+  pinned to specific artifact ids;
+* **silent bit corruption** on write (``corrupt_rate`` for a seeded rate,
+  ``corrupt_at`` for one exact put ordinal): the stored bytes are flipped
+  while the recorded digest stays honest, exactly the signature of bitrot
+  that ``verify_artifact``/``fsck`` must catch; and
+* **replica outages** (``down_at``): from one exact mutating-operation
+  ordinal onwards the wrapped store answers every request with
+  :class:`~repro.errors.ReplicaUnavailableError` — the node died, not the
+  process.  The replication layer must fail over around it; ``revive()``
+  brings the node back (stale) for anti-entropy testing.
 
 Determinism: every decision is drawn from ``random.Random(seed)`` in
 operation order, so the same seed over the same (serial) workload yields
@@ -39,6 +45,8 @@ from dataclasses import dataclass, field
 from repro.errors import (
     DuplicateArtifactError,
     PermanentStorageError,
+    ReplicaUnavailableError,
+    ReproError,
     SimulatedCrashError,
     TransientStorageError,
 )
@@ -63,15 +71,42 @@ class FaultInjector:
     transient_rate: float = 0.0
     corrupt_rate: float = 0.0
     permanent_ids: frozenset[str] = frozenset()
+    #: Ordinal of the mutating operation at which the wrapped *store*
+    #: (not the process) goes down; every later request raises
+    #: :class:`ReplicaUnavailableError` until :meth:`revive`.
+    down_at: int | None = None
+    #: What the dying replica does with the operation it went down at:
+    #: ``"auto"`` (seeded choice), ``"before"`` (nothing applied),
+    #: ``"after"`` (applied, acknowledgement lost), or ``"torn"``
+    #: (puts only: a prefix of the bytes persisted under the final id).
+    down_mode: str = "auto"
+    #: Ordinal of one put whose stored bytes are silently bit-flipped
+    #: (serial schedules only; the recorded digest stays honest).
+    corrupt_at: int | None = None
     #: Mutating operations observed so far (put/writer-close/insert/...).
     ops: int = 0
     _rng: random.Random = field(init=False, repr=False)
+    _down: bool = field(default=False, init=False, repr=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False
     )
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+
+    @property
+    def down(self) -> bool:
+        """True once the injected outage point has been reached."""
+        return self._down
+
+    def check_available(self) -> None:
+        """Raise if the wrapped store's injected outage has begun."""
+        if self._down:
+            raise ReplicaUnavailableError("injected replica outage")
+
+    def revive(self) -> None:
+        """Bring a downed replica back (its contents stay stale)."""
+        self._down = False
 
     # -- decision points ---------------------------------------------------
     def _check_permanent(self, ids) -> None:
@@ -87,12 +122,30 @@ class FaultInjector:
         ``apply`` performs the real operation; ``torn_apply`` (puts only)
         persists a prefix of the bytes under the final id.  Returns
         ``apply()``'s result when no fault fires.
+
+        New fault kinds never draw from the seeded RNG unless they fire,
+        so schedules recorded before a knob existed stay bit-identical.
         """
+        self.check_available()
         self._check_permanent(ids)
         with self._lock:
             ordinal = self.ops
             self.ops += 1
-            crash = self.crash_at is not None and ordinal == self.crash_at
+            down = self.down_at is not None and ordinal == self.down_at
+            down_as = None
+            if down:
+                if self.down_mode == "auto":
+                    modes = ["before", "after"]
+                    if torn_apply is not None:
+                        modes.append("torn")
+                    down_as = self._rng.choice(modes)
+                else:
+                    down_as = self.down_mode
+                    if down_as == "torn" and torn_apply is None:
+                        down_as = "before"
+            crash = (
+                not down and self.crash_at is not None and ordinal == self.crash_at
+            )
             mode = None
             if crash:
                 if self.crash_mode == "auto":
@@ -105,11 +158,23 @@ class FaultInjector:
                     if mode == "torn" and torn_apply is None:
                         mode = "before"
             transient = (
-                not crash
+                not down
+                and not crash
                 and self.transient_rate > 0
                 and self._rng.random() < self.transient_rate
             )
             transient_after = transient and self._rng.random() < 0.5
+        if down:
+            # The *replica* dies, not the process: the operation may or
+            # may not have landed, and every later request is refused.
+            self._down = True
+            if down_as == "after":
+                apply()
+            elif down_as == "torn":
+                torn_apply()
+            raise ReplicaUnavailableError(
+                f"injected replica outage at mutation {ordinal} ({down_as})"
+            )
         if crash:
             if mode == "before":
                 raise SimulatedCrashError(
@@ -135,7 +200,8 @@ class FaultInjector:
         return result
 
     def read(self, apply, ids=()):
-        """Route one read through the schedule (transient/permanent only)."""
+        """Route one read through the schedule (outage/transient/permanent)."""
+        self.check_available()
         self._check_permanent(ids)
         with self._lock:
             transient = (
@@ -147,9 +213,17 @@ class FaultInjector:
         return apply()
 
     def maybe_corrupt(self, data: bytes) -> bytes:
-        """Flip one byte of ``data`` with probability ``corrupt_rate``."""
+        """Flip one byte of ``data`` with probability ``corrupt_rate``.
+
+        ``corrupt_at`` additionally schedules corruption for the put
+        taking the *next* mutation ordinal (deterministic under serial
+        workloads, where the put that called this claims that ordinal).
+        """
         with self._lock:
-            if self.corrupt_rate <= 0 or self._rng.random() >= self.corrupt_rate:
+            scheduled = self.corrupt_at is not None and self.ops == self.corrupt_at
+            if not scheduled and (
+                self.corrupt_rate <= 0 or self._rng.random() >= self.corrupt_rate
+            ):
                 return data
             if not data:
                 return data
@@ -181,6 +255,10 @@ class _FaultyWriter:
         self._injector = injector
 
     def write(self, chunk: bytes) -> None:
+        # Streamed chunks are not schedulable fault points (only the
+        # finalizing close is), but an already-down replica must drop
+        # its in-flight writers too.
+        self._injector.check_available()
         self._writer.write(chunk)
 
     def close(self) -> str:
@@ -188,6 +266,12 @@ class _FaultyWriter:
 
     def abort(self) -> None:
         self._writer.abort()
+
+    @property
+    def _closed(self) -> bool:
+        # Outer proxies (journal, replication) consult ``_closed`` to
+        # decide whether a with-block exit still needs to finalize.
+        return self._writer._closed
 
     def __enter__(self) -> "_FaultyWriter":
         return self
@@ -247,6 +331,7 @@ class FaultyFileStore(_FaultProxy):
         category: str = "binary",
         workers: int = 1,
     ):
+        self._injector.check_available()
         if artifact_id is not None:
             self._injector._check_permanent((artifact_id,))
         return _FaultyWriter(
@@ -276,6 +361,32 @@ class FaultyFileStore(_FaultProxy):
         return self._injector.mutation(
             lambda: self._inner.delete(artifact_id), ids=(artifact_id,)
         )
+
+    # -- management plane: a downed replica refuses these too ----------------
+    def verify_artifact(self, artifact_id: str) -> bool:
+        return self._injector.read(
+            lambda: self._inner.verify_artifact(artifact_id), ids=(artifact_id,)
+        )
+
+    def recorded_digest(self, artifact_id: str) -> "str | None":
+        self._injector.check_available()
+        return self._inner.recorded_digest(artifact_id)
+
+    def exists(self, artifact_id: str) -> bool:
+        self._injector.check_available()
+        return self._inner.exists(artifact_id)
+
+    def size(self, artifact_id: str) -> int:
+        self._injector.check_available()
+        return self._inner.size(artifact_id)
+
+    def ids(self) -> "list[str]":
+        self._injector.check_available()
+        return self._inner.ids()
+
+    def total_bytes(self) -> int:
+        self._injector.check_available()
+        return self._inner.total_bytes()
 
 
 class FaultyDocumentStore(_FaultProxy):
@@ -311,6 +422,47 @@ class FaultyDocumentStore(_FaultProxy):
         return self._injector.read(
             lambda: self._inner.find(collection, **equals)
         )
+
+    # -- management/raw plane: gated on availability only (no schedule) ------
+    # Journal bookkeeping bypasses the schedule by design, but a downed
+    # replica cannot accept it either — the replication layer must see
+    # the refusal and skip the node.
+    def _write_raw(self, collection: str, doc_id: str, document: dict) -> None:
+        self._injector.check_available()
+        return self._inner._write_raw(collection, doc_id, document)
+
+    def _delete_raw(self, collection: str, doc_id: str) -> None:
+        self._injector.check_available()
+        return self._inner._delete_raw(collection, doc_id)
+
+    def _read_raw(self, collection: str, doc_id: str) -> "dict | None":
+        self._injector.check_available()
+        return self._inner._read_raw(collection, doc_id)
+
+    def exists(self, collection: str, doc_id: str) -> bool:
+        self._injector.check_available()
+        return self._inner.exists(collection, doc_id)
+
+    def collection_ids(self, collection: str) -> "list[str]":
+        self._injector.check_available()
+        return self._inner.collection_ids(collection)
+
+    def collections(self) -> "list[str]":
+        self._injector.check_available()
+        return self._inner.collections()
+
+    def count(self, collection: str) -> int:
+        self._injector.check_available()
+        return self._inner.count(collection)
+
+    def total_bytes(self) -> int:
+        self._injector.check_available()
+        return self._inner.total_bytes()
+
+    @property
+    def _collections(self):
+        self._injector.check_available()
+        return self._inner._collections
 
 
 # -- retry policy ----------------------------------------------------------
@@ -406,6 +558,11 @@ class RetryingFileStore(_RetryProxy):
     def delete(self, artifact_id: str) -> None:
         return self._with_retries(lambda: self._inner.delete(artifact_id))
 
+    def verify_artifact(self, artifact_id: str) -> bool:
+        return self._with_retries(
+            lambda: self._inner.verify_artifact(artifact_id)
+        )
+
 
 class RetryingDocumentStore(_RetryProxy):
     """Document-store wrapper retrying transient failures with backoff."""
@@ -462,6 +619,34 @@ def inject_faults(context, injector: FaultInjector) -> FaultInjector:
     )
     context.document_store = _splice_bottom(
         context.document_store, lambda real: FaultyDocumentStore(real, injector)
+    )
+    context._chunk_store = None
+    return injector
+
+
+def inject_replica_faults(
+    context, replica_index: int, injector: FaultInjector
+) -> FaultInjector:
+    """Wrap ONE replica of a replicated context in the fault harness.
+
+    Both the file and the document store of replica ``replica_index``
+    share ``injector`` (a node hosts both substrates, so an outage takes
+    both down at once); other replicas are untouched.  The wrappers are
+    spliced beneath any per-replica retry proxies, mirroring
+    :func:`inject_faults`.
+    """
+    from repro.storage.replication import replicated_stores
+
+    file_rep, doc_rep = replicated_stores(context)
+    if file_rep is None or doc_rep is None:
+        raise ReproError("context has no replicated stores")
+    file_state = file_rep.replicas[replica_index]
+    file_state.store = _splice_bottom(
+        file_state.store, lambda real: FaultyFileStore(real, injector)
+    )
+    doc_state = doc_rep.replicas[replica_index]
+    doc_state.store = _splice_bottom(
+        doc_state.store, lambda real: FaultyDocumentStore(real, injector)
     )
     context._chunk_store = None
     return injector

@@ -395,6 +395,7 @@ class PersistentDocumentStore(DocumentStore):
                 f"no document {doc_id!r} in collection {collection!r}"
             ) from None
         (self._directory / collection / f"{doc_id}.json").unlink(missing_ok=True)
+        self._drop_if_empty(collection)
 
     def _write_raw(self, collection: str, doc_id: str, document: dict) -> None:
         """Uncharged durable write (journal records, rollback restores)."""
@@ -411,6 +412,28 @@ class PersistentDocumentStore(DocumentStore):
     def _delete_raw(self, collection: str, doc_id: str) -> None:
         super()._delete_raw(collection, doc_id)
         (self._directory / collection / f"{doc_id}.json").unlink(missing_ok=True)
+        self._drop_if_empty(collection)
+
+    def _drop_if_empty(self, collection: str) -> None:
+        super()._drop_if_empty(collection)
+        if collection not in self._collections:
+            try:
+                (self._directory / collection).rmdir()
+            except OSError:
+                pass
+
+
+def detect_replicas(directory: str | Path) -> int:
+    """Number of ``replica-<i>`` topology directories under ``directory``.
+
+    Returns 1 for a single-backend archive (the classic
+    ``artifacts``/``documents`` layout).
+    """
+    root = Path(directory)
+    count = 0
+    while (root / f"replica-{count}").is_dir():
+        count += 1
+    return max(count, 1)
 
 
 def open_context(
@@ -419,6 +442,10 @@ def open_context(
     dedup: bool = False,
     journal: bool = True,
     retry: "object | None" = None,
+    replicas: int | None = None,
+    write_quorum: int | None = None,
+    read_quorum: int | None = None,
+    replication_policy: "object | None" = None,
 ):
     """Open (or create) a durable save context rooted at ``directory``.
 
@@ -432,11 +459,71 @@ def open_context(
     returned context's ``recovery_report``.  ``retry`` accepts a
     :class:`~repro.storage.faults.RetryPolicy` to re-issue transiently
     failing store operations with exponential backoff.
+
+    ``replicas > 1`` lays the archive out as ``replica-<i>/artifacts`` +
+    ``replica-<i>/documents`` subtrees fanned behind the quorum
+    replication layer (:mod:`repro.storage.replication`); ``replicas=None``
+    auto-detects the topology from the directory, so a replicated archive
+    reopens replicated without any flags.  ``retry`` then wraps each
+    backend *below* the replication layer: transient blips are retried on
+    the replica that had them, and only a persistent outage fails over.
     """
     from repro.core.approach import SaveContext
     from repro.datasets.registry import default_registry
 
     root = Path(directory)
+    if replicas is None:
+        replicas = detect_replicas(root)
+    if replicas > 1:
+        from repro.storage.replication import (
+            ReplicatedDocumentStore,
+            ReplicatedFileStore,
+        )
+
+        file_backends = []
+        doc_backends = []
+        names = []
+        for index in range(replicas):
+            base = root / f"replica-{index}"
+            file_backend = PersistentFileStore(base / "artifacts", profile=profile)
+            doc_backend = PersistentDocumentStore(
+                base / "documents", profile=profile
+            )
+            if retry is not None:
+                from repro.storage.faults import (
+                    RetryingDocumentStore,
+                    RetryingFileStore,
+                )
+
+                file_backend = RetryingFileStore(file_backend, retry)
+                doc_backend = RetryingDocumentStore(doc_backend, retry)
+            file_backends.append(file_backend)
+            doc_backends.append(doc_backend)
+            names.append(f"replica-{index}")
+        context = SaveContext(
+            file_store=ReplicatedFileStore(
+                file_backends,
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
+                policy=replication_policy,
+                names=names,
+            ),
+            document_store=ReplicatedDocumentStore(
+                doc_backends,
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
+                policy=replication_policy,
+                names=list(names),
+            ),
+            dataset_registry=default_registry(),
+            dedup=dedup,
+        )
+        _resume_set_counter(context)
+        if journal:
+            from repro.storage.journal import attach_journal
+
+            context.recovery_report = attach_journal(context).recover()
+        return context
     context = SaveContext(
         file_store=PersistentFileStore(root / "artifacts", profile=profile),
         document_store=PersistentDocumentStore(root / "documents", profile=profile),

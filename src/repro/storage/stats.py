@@ -36,6 +36,12 @@ class StorageStats:
     #: failure (each backoff sleep is charged as simulated latency).
     retries: int = 0
     simulated_retry_s: float = 0.0
+    #: Reads whose simulated latency was cut by a hedged second request
+    #: to another replica (the hedge won the race).
+    hedged_reads: int = 0
+    #: Reads that could not be served by the preferred replica and fell
+    #: over to another one (outage, missing copy, or failed verification).
+    read_failovers: int = 0
     #: Bytes currently stored, keyed by a caller-chosen category label
     #: (e.g. "parameters", "metadata", "hash-info") for breakdown reports.
     bytes_by_category: dict[str, int] = field(default_factory=dict)
@@ -71,6 +77,16 @@ class StorageStats:
             self.retries += 1
             self.simulated_retry_s += backoff_s
 
+    def record_hedge(self) -> None:
+        """Account one read won by a hedged request to a second replica."""
+        with self._lock:
+            self.hedged_reads += 1
+
+    def record_failover(self) -> None:
+        """Account one read served by a non-preferred replica."""
+        with self._lock:
+            self.read_failovers += 1
+
     @property
     def dedup_ratio(self) -> float:
         """Fraction of chunk references served without storing new bytes."""
@@ -92,6 +108,8 @@ class StorageStats:
             chunk_bytes_deduped=self.chunk_bytes_deduped,
             retries=self.retries,
             simulated_retry_s=self.simulated_retry_s,
+            hedged_reads=self.hedged_reads,
+            read_failovers=self.read_failovers,
             bytes_by_category=dict(self.bytes_by_category),
         )
 
@@ -115,5 +133,7 @@ class StorageStats:
             - earlier.chunk_bytes_deduped,
             retries=self.retries - earlier.retries,
             simulated_retry_s=self.simulated_retry_s - earlier.simulated_retry_s,
+            hedged_reads=self.hedged_reads - earlier.hedged_reads,
+            read_failovers=self.read_failovers - earlier.read_failovers,
             bytes_by_category={k: v for k, v in categories.items() if v},
         )

@@ -291,7 +291,8 @@ class TestCLI:
             "params_artifact"
         ]
         corrupt_artifact(manager.context.file_store, artifact, offset=16)
-        assert main([str(tmp_path), "fsck", "--deep"]) == 1
+        # Corruption with no intact replica is unrecoverable loss: exit 2.
+        assert main([str(tmp_path), "fsck", "--deep"]) == 2
         assert "CORRUPT" in capsys.readouterr().out
 
     def test_fsck_reports_orphans(self, tmp_path, capsys):

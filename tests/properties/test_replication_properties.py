@@ -1,0 +1,133 @@
+"""Property-based tests over replicated storage.
+
+The replication invariant: with overlapping quorums (W + R > N), no
+single-replica fault schedule — a crash (before/after/torn write) or a
+silent corruption, at any operation, on any replica — can change the
+bytes a recovery returns or prevent a save from committing.  And after
+the replica is revived, one anti-entropy scrub restores a fully
+converged, deep-fsck-clean archive.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.approach import SaveContext
+from repro.core.fsck import ArchiveFsck, scrub_archive
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.storage.faults import FaultInjector, inject_replica_faults
+from repro.storage.journal import attach_journal
+
+NUM_REPLICAS = 3
+
+#: (W, R) pairs with W + R > N.  A quorum of 3 needs every replica
+#: reachable, so those pairs only tolerate faults that leave the victim
+#: responding (silent corruption), not crashes.
+QUORUMS = [(2, 2), (2, 3), (3, 2)]
+
+
+def build_models(seed):
+    return ModelSet.build("FFNN-48", num_models=2, seed=seed)
+
+
+def make_manager(approach, dedup, write_quorum, read_quorum):
+    context = SaveContext.create(
+        replicas=NUM_REPLICAS,
+        write_quorum=write_quorum,
+        read_quorum=read_quorum,
+        dedup=dedup,
+    )
+    attach_journal(context)
+    return MultiModelManager.with_approach(approach, context=context)
+
+
+def assert_bytes_identical(recovered, reference):
+    for index in range(len(reference.states)):
+        for name, values in reference.state(index).items():
+            assert (
+                recovered.state(index)[name].tobytes() == values.tobytes()
+            ), (index, name)
+
+
+class TestSingleReplicaFaultSchedules:
+    @given(
+        approach=st.sampled_from(["baseline", "update", "pas-delta"]),
+        dedup=st.booleans(),
+        derived=st.booleans(),
+        replica=st.integers(min_value=0, max_value=NUM_REPLICAS - 1),
+        quorums=st.sampled_from(QUORUMS),
+        kind=st.sampled_from(["down", "corrupt", "both"]),
+        raw_point=st.integers(min_value=0, max_value=10_000),
+        raw_second=st.integers(min_value=0, max_value=10_000),
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        data_seed=st.integers(min_value=0, max_value=32),
+    )
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_recovery_unchanged_by_any_single_replica_fault(
+        self,
+        approach,
+        dedup,
+        derived,
+        replica,
+        quorums,
+        kind,
+        raw_point,
+        raw_second,
+        fault_seed,
+        data_seed,
+    ):
+        write_quorum, read_quorum = quorums
+        # A crashed replica cannot serve either quorum, so down faults
+        # need W and R both satisfiable by the surviving replicas.
+        assume(
+            kind == "corrupt"
+            or (write_quorum < NUM_REPLICAS and read_quorum < NUM_REPLICAS)
+        )
+
+        base = build_models(0)
+        target = build_models(data_seed) if derived else base
+
+        # Fault-free dry run: the oracle bytes and the op count on the
+        # victim replica, which bounds the fault schedule.
+        probe = make_manager(approach, dedup, write_quorum, read_quorum)
+        probe_base = probe.save_set(base) if derived else None
+        counter = inject_replica_faults(probe.context, replica, FaultInjector())
+        if derived:
+            probe_id = probe.save_set(target, base_set_id=probe_base)
+        else:
+            probe_id = probe.save_set(target)
+        reference = probe.recover_set(probe_id)
+        ops = counter.ops
+        assume(ops > 0)
+
+        schedule = {}
+        if kind in ("down", "both"):
+            schedule["down_at"] = raw_point % ops
+        if kind in ("corrupt", "both"):
+            schedule["corrupt_at"] = raw_second % ops
+
+        manager = make_manager(approach, dedup, write_quorum, read_quorum)
+        base_id = manager.save_set(base) if derived else None
+        injector = inject_replica_faults(
+            manager.context,
+            replica,
+            FaultInjector(seed=fault_seed, **schedule),
+        )
+        if derived:
+            set_id = manager.save_set(target, base_set_id=base_id)
+        else:
+            set_id = manager.save_set(target)
+
+        # The save committed and recovery — with the replica still
+        # faulty — returns exactly the oracle bytes.
+        assert_bytes_identical(manager.recover_set(set_id), reference)
+
+        # Revive, scrub, and the archive converges to deep-clean.
+        injector.revive()
+        scrub = scrub_archive(manager.context, deep=True)
+        assert scrub.converged, scrub.summary()
+        fsck = ArchiveFsck(manager.context).run(deep=True)
+        assert fsck.ok, fsck.summary()
+        assert_bytes_identical(manager.recover_set(set_id), reference)

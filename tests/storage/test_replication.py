@@ -1,0 +1,374 @@
+"""Unit tests of the quorum replication layer.
+
+Covers the write/read quorum math, circuit-breaker health tracking,
+failover and hedged reads, repair queues, the document majority vote,
+and the divergence diff that feeds the scrubber.
+"""
+
+import pytest
+
+from repro.errors import (
+    ArtifactCorruptionError,
+    ArtifactNotFoundError,
+    DocumentNotFoundError,
+    DuplicateArtifactError,
+    QuorumError,
+)
+from repro.storage.document_store import DocumentStore
+from repro.storage.faults import FaultInjector, FaultyDocumentStore, FaultyFileStore
+from repro.storage.file_store import FileStore
+from repro.storage.hardware import LOCAL_PROFILE, SERVER_PROFILE
+from repro.storage.hashing import hash_bytes
+from repro.storage.replication import (
+    ReplicatedDocumentStore,
+    ReplicatedFileStore,
+    ReplicationPolicy,
+    default_quorums,
+    replica_divergence,
+)
+
+
+def make_file_rep(n=3, profile=LOCAL_PROFILE, injectors=None, **kwargs):
+    """N-way replicated in-memory file store, optionally fault-wrapped."""
+    stores = []
+    for index in range(n):
+        store = FileStore(profile=profile)
+        if injectors and index in injectors:
+            store = FaultyFileStore(store, injectors[index])
+        stores.append(store)
+    return ReplicatedFileStore(stores, **kwargs)
+
+
+def make_doc_rep(n=3, profile=LOCAL_PROFILE, **kwargs):
+    return ReplicatedDocumentStore(
+        [DocumentStore(profile=profile) for _ in range(n)], **kwargs
+    )
+
+
+class TestQuorumMath:
+    def test_default_quorums_overlap(self):
+        for n in range(1, 8):
+            w, r = default_quorums(n)
+            assert w + r == n + 1  # read/write quorums always intersect
+            assert 1 <= w <= n and 1 <= r <= n
+
+    def test_invalid_quorums_rejected(self):
+        with pytest.raises(ValueError):
+            make_file_rep(3, write_quorum=4)
+        with pytest.raises(ValueError):
+            make_file_rep(3, read_quorum=0)
+        with pytest.raises(ValueError):
+            ReplicatedFileStore([])
+
+
+class TestQuorumWrites:
+    def test_put_fans_to_every_replica(self):
+        rep = make_file_rep(3)
+        artifact = rep.put(b"payload", artifact_id="a1")
+        for state in rep.replicas:
+            assert state.store.exists(artifact)
+            assert state.store.get(artifact) == b"payload"
+        assert rep.stats.writes == 1  # one logical write at the layer
+
+    def test_write_charge_is_quorum_completion(self):
+        rep = make_file_rep(3, profile=SERVER_PROFILE)
+        rep.replicas[0].latency_factor = 1.0
+        rep.replicas[1].latency_factor = 3.0
+        rep.replicas[2].latency_factor = 10.0
+        data = b"x" * 4096
+        rep.put(data, artifact_id="a1")
+        # W=2: completion is the 2nd-fastest ack, not the slowest.
+        expected = rep.replicas[0].store._write_cost(len(data), 1) * 3.0
+        assert rep.stats.simulated_write_s == pytest.approx(expected)
+
+    def test_write_succeeds_with_one_replica_down(self):
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep = make_file_rep(3, injectors={1: down})
+        artifact = rep.put(b"data", artifact_id="a1")
+        assert rep.exists(artifact)
+        assert rep.pending_repairs() == {"replica-1": {"a1": "put"}}
+
+    def test_write_fails_below_quorum(self):
+        injectors = {
+            1: FaultInjector(seed=1, down_at=0, down_mode="before"),
+            2: FaultInjector(seed=2, down_at=0, down_mode="before"),
+        }
+        rep = make_file_rep(3, injectors=injectors)
+        with pytest.raises(QuorumError):
+            rep.put(b"data", artifact_id="a1")
+
+    def test_repair_pending_heals_revived_replica(self):
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep = make_file_rep(3, injectors={1: down})
+        rep.put(b"data", artifact_id="a1")
+        down.revive()
+        report = rep.repair_pending()
+        assert ("replica-1", "a1") in report["repaired"]
+        assert rep.pending_repairs() == {}
+        assert rep.replicas[1].store.get("a1") == b"data"
+
+    def test_repair_still_down_is_deferred(self):
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep = make_file_rep(3, injectors={1: down})
+        rep.put(b"data", artifact_id="a1")
+        report = rep.repair_pending()
+        assert ("replica-1", "a1") in report["deferred"]
+        assert rep.pending_repairs() == {"replica-1": {"a1": "put"}}
+
+    def test_duplicate_raised_only_when_committed(self):
+        rep = make_file_rep(3)
+        rep.put(b"data", artifact_id="a1")
+        with pytest.raises(DuplicateArtifactError):
+            rep.put(b"data", artifact_id="a1")
+
+    def test_stale_divergent_copy_is_overwritten(self):
+        rep = make_file_rep(3)
+        # A minority leftover from a failed earlier write, different bytes.
+        rep.replicas[0].store.put(b"stale", artifact_id="a1")
+        rep.put(b"fresh", artifact_id="a1")
+        for state in rep.replicas:
+            assert state.store.get("a1") == b"fresh"
+
+    def test_delete_queues_repair_for_down_replica(self):
+        down = FaultInjector(seed=1, down_at=1, down_mode="before")
+        rep = make_file_rep(3, injectors={1: down})
+        rep.put(b"data", artifact_id="a1")
+        rep.delete("a1")
+        assert rep.pending_repairs() == {"replica-1": {"a1": "delete"}}
+        down.revive()
+        rep.repair_pending()
+        assert not rep.replicas[1].store.exists("a1")
+
+
+class TestCircuitBreaker:
+    def make_down_rep(self):
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        policy = ReplicationPolicy(failure_threshold=3, probe_interval_ops=4)
+        rep = make_file_rep(3, injectors={1: down}, policy=policy)
+        return rep, down
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        rep, _down = self.make_down_rep()
+        for index in range(3):
+            rep.put(b"d" * (index + 1), artifact_id=f"a{index}")
+        state = rep.replicas[1]
+        assert state.breaker_open and state.breaker_trips == 1
+
+    def test_open_breaker_skips_replica_without_contact(self):
+        rep, down = self.make_down_rep()
+        for index in range(3):
+            rep.put(b"d", artifact_id=f"a{index}")
+        ops_before = down.ops
+        rep.put(b"d", artifact_id="skipped")
+        # The downed replica was not even contacted (no op consumed).
+        assert down.ops == ops_before
+        assert "skipped" in rep.pending_repairs()["replica-1"]
+
+    def test_half_open_probe_closes_breaker_on_recovery(self):
+        rep, down = self.make_down_rep()
+        for index in range(3):
+            rep.put(b"d", artifact_id=f"a{index}")
+        down.revive()
+        # probe_interval_ops=4: three skips, then the probe succeeds.
+        for index in range(4):
+            rep.put(b"d", artifact_id=f"b{index}")
+        assert not rep.replicas[1].breaker_open
+        assert rep.replicas[1].store.exists("b3")
+
+
+class TestFailoverReads:
+    def test_read_fails_over_when_copy_missing(self):
+        rep = make_file_rep(3)
+        rep.put(b"data", artifact_id="a1")
+        rep.replicas[0].store.delete("a1")
+        assert rep.get("a1") == b"data"
+        assert rep.stats.read_failovers == 1
+        assert rep.pending_repairs() == {"replica-0": {"a1": "put"}}
+
+    def test_read_fails_over_on_corrupt_copy(self):
+        rep = make_file_rep(3)
+        rep.put(b"data", artifact_id="a1")
+        # Rot the preferred replica's bytes behind its recorded digest.
+        rep.replicas[0].store._blobs["a1"] = b"rotten-bytes"
+        assert rep.get("a1") == b"data"
+        assert rep.stats.read_failovers == 1
+        assert "a1" in rep.pending_repairs()["replica-0"]
+
+    def test_read_raises_corruption_when_every_copy_rotten(self):
+        rep = make_file_rep(3)
+        rep.put(b"data", artifact_id="a1")
+        for state in rep.replicas:
+            state.store._blobs["a1"] = b"rotten"
+        with pytest.raises(ArtifactCorruptionError):
+            rep.get("a1")
+
+    def test_missing_everywhere_raises_not_found(self):
+        rep = make_file_rep(3)
+        with pytest.raises(ArtifactNotFoundError):
+            rep.get("nope")
+
+    def test_get_ranges_verifies_serving_replica(self):
+        rep = make_file_rep(3)
+        rep.put(bytes(range(200)), artifact_id="a1")
+        rep.replicas[0].store._blobs["a1"] = bytes(200)  # silent rot
+        [chunk] = rep.get_ranges("a1", [(10, 5)])
+        assert chunk == bytes(range(10, 15))
+        assert rep.stats.read_failovers == 1
+
+
+class TestHedgedReads:
+    def make_hedged_rep(self, hedge_threshold_s):
+        policy = ReplicationPolicy(
+            hedge_threshold_s=hedge_threshold_s, hedge_delay_s=0.0001
+        )
+        rep = make_file_rep(3, profile=SERVER_PROFILE, policy=policy)
+        # The router prefers replica 0 on believed (profile) cost, but it
+        # is secretly degraded — exactly the regime hedging targets.
+        rep.replicas[0].latency_factor = 50.0
+        return rep
+
+    def test_hedge_wins_against_degraded_primary(self):
+        rep = self.make_hedged_rep(hedge_threshold_s=0.0)
+        data = b"x" * (1 << 16)
+        rep.put(data, artifact_id="a1")
+        writes = rep.stats.snapshot()
+        assert rep.get("a1") == data
+        assert rep.stats.hedged_reads == 1
+        read_s = rep.stats.simulated_read_s
+        base = rep.replicas[0].store._read_cost(len(data), 1)
+        assert read_s == pytest.approx(0.0001 + base)  # winner, not 50x
+        assert rep.stats.reads == writes.reads + 1
+
+    def test_hedging_disabled_by_default(self):
+        rep = make_file_rep(3, profile=SERVER_PROFILE)
+        rep.replicas[0].latency_factor = 50.0
+        data = b"x" * (1 << 16)
+        rep.put(data, artifact_id="a1")
+        rep.get("a1")
+        assert rep.stats.hedged_reads == 0
+
+    def test_no_hedge_under_threshold(self):
+        rep = self.make_hedged_rep(hedge_threshold_s=1e9)
+        rep.put(b"x" * 1024, artifact_id="a1")
+        rep.get("a1")
+        assert rep.stats.hedged_reads == 0
+
+
+class TestReplicatedWriter:
+    def test_streamed_write_replicates(self):
+        rep = make_file_rep(3)
+        with rep.open_writer("a1") as writer:
+            writer.write(b"part-one-")
+            writer.write(b"part-two")
+        for state in rep.replicas:
+            assert state.store.get("a1") == b"part-one-part-two"
+        assert rep.stats.writes == 1
+
+    def test_writer_survives_mid_stream_replica_loss(self):
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep = make_file_rep(3, injectors={1: down})
+        writer = rep.open_writer("a1")
+        writer.write(b"one")
+        # Replica-1 goes down between chunks; its writer dies mid-stream.
+        with pytest.raises(Exception):
+            rep.replicas[1].store.delete("whatever")
+        assert down.down
+        writer.write(b"two")
+        artifact = writer.close()
+        assert rep.get(artifact) == b"onetwo"
+        assert "a1" in rep.pending_repairs()["replica-1"]
+
+    def test_writer_derived_id_consistent_across_replicas(self):
+        rep = make_file_rep(3)
+        with rep.open_writer(None) as writer:
+            writer.write(b"content")
+        digest = hash_bytes(b"content")
+        for state in rep.replicas:
+            assert state.store.exists("sha256-" + digest)
+
+    def test_abort_leaves_no_copies(self):
+        rep = make_file_rep(3)
+        writer = rep.open_writer("a1")
+        writer.write(b"partial")
+        writer.abort()
+        for state in rep.replicas:
+            assert not state.store.exists("a1")
+
+
+class TestDocumentMajority:
+    def test_insert_pre_draws_one_id_for_all_replicas(self):
+        rep = make_doc_rep(3)
+        doc_id = rep.insert("c", {"v": 1})
+        for state in rep.replicas:
+            assert state.store.get("c", doc_id) == {"v": 1}
+
+    def test_stale_minority_value_is_outvoted(self):
+        rep = make_doc_rep(3)
+        doc_id = rep.insert("c", {"v": 1})
+        rep.replicas[0].store._write_raw("c", doc_id, {"v": 999})
+        assert rep.get("c", doc_id) == {"v": 1}
+
+    def test_uncommitted_minority_write_is_invisible(self):
+        rep = make_doc_rep(3)
+        rep.replicas[2].store._write_raw("c", "ghost", {"v": 1})
+        assert not rep.exists("c", "ghost")
+        assert rep.collection_ids("c") == []
+        with pytest.raises(DocumentNotFoundError):
+            rep.get("c", "ghost")
+
+    def test_replace_heals_replica_that_missed_insert(self):
+        rep = make_doc_rep(3)
+        doc_id = rep.insert("c", {"v": 1})
+        rep.replicas[1].store._delete_raw("c", doc_id)
+        rep.replace("c", doc_id, {"v": 2})
+        for state in rep.replicas:
+            assert state.store.get("c", doc_id) == {"v": 2}
+
+    def test_read_quorum_enforced(self):
+        rep = make_doc_rep(3, read_quorum=3)
+        doc_id = rep.insert("c", {"v": 1})
+        # Make one replica unreachable to the majority read.
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep.replicas[0].store = FaultyDocumentStore(rep.replicas[0].store, down)
+        try:
+            rep.replicas[0].store.insert("x", {"v": 0})  # trips the outage
+        except Exception:
+            pass
+        with pytest.raises(QuorumError):
+            rep.get("c", doc_id)
+
+    def test_id_counter_resumes_past_all_replicas(self):
+        stores = [DocumentStore(profile=LOCAL_PROFILE) for _ in range(3)]
+        stores[1]._write_raw("c", "doc-00000041", {"v": 1})
+        rep = ReplicatedDocumentStore(stores)
+        assert rep.insert("c", {"v": 2}) == "doc-00000042"
+
+
+class TestDivergenceDiff:
+    def test_clean_replicas_report_nothing(self):
+        file_rep, doc_rep = make_file_rep(3), make_doc_rep(3)
+        file_rep.put(b"data", artifact_id="a1")
+        doc_rep.insert("c", {"v": 1})
+        assert replica_divergence(file_rep, doc_rep, deep=True) == []
+
+    def test_divergence_names_the_straggler(self):
+        file_rep, doc_rep = make_file_rep(3), make_doc_rep(3)
+        file_rep.put(b"data", artifact_id="a1")
+        doc_id = doc_rep.insert("c", {"v": 1})
+        file_rep.replicas[2].store.delete("a1")
+        file_rep.replicas[2].store.put(b"junk", artifact_id="orphan")
+        doc_rep.replicas[2].store._write_raw("c", doc_id, {"v": 9})
+        [entry] = replica_divergence(file_rep, doc_rep)
+        assert entry["replica"] == "replica-2"
+        assert entry["missing_artifacts"] == ["a1"]
+        assert entry["extra_artifacts"] == ["orphan"]
+        assert entry["divergent_documents"] == 1
+
+    def test_deep_diff_catches_torn_bytes_behind_honest_digest(self):
+        file_rep = make_file_rep(3)
+        file_rep.put(b"data", artifact_id="a1")
+        store = file_rep.replicas[1].store
+        store._blobs["a1"] = b"da"  # torn: digest record still intact
+        assert replica_divergence(file_rep, None) == []
+        [entry] = replica_divergence(file_rep, None, deep=True)
+        assert entry["divergent_artifacts"] == ["a1"]
