@@ -372,14 +372,22 @@ def scrub_archive(context: SaveContext, deep: bool = True) -> ScrubReport:
     """Converge every replica of a replicated archive (anti-entropy).
 
     The pass runs in dependency order: the replication layer's pending
-    repair queues are flushed first; documents are then synced onto the
-    majority view (so the artifact heal below works against converged
-    metadata); artifact copies are re-written from a verifying donor,
-    with chunk-by-chunk cross-replica pack reassembly as the last resort
-    when no whole copy survives; minority orphans are pruned; finally
-    any quarantined chunks are repaired in place.  ``deep=False`` trusts
-    recorded digests instead of re-hashing every copy — cheaper, but a
-    torn write (honest digest over torn bytes) needs ``deep=True``.
+    repair queues (file and document) are flushed first; documents are
+    then synced onto the majority view (so the artifact heal below works
+    against converged metadata); artifact copies are re-written from a
+    verifying donor, with chunk-by-chunk cross-replica pack reassembly
+    as the last resort when no whole copy survives; minority orphans are
+    pruned; finally any quarantined chunks are repaired in place.
+    ``deep=False`` trusts recorded digests instead of re-hashing every
+    copy — cheaper, but a torn write (honest digest over torn bytes)
+    needs ``deep=True``.
+
+    Pruning (documents and minority-orphan artifacts) is refused while
+    any replica is unreachable: a silent replica cannot cast its vote,
+    so what looks like an uncommitted minority write may be committed
+    data whose other holders are down.  Healing proceeds regardless —
+    restoring redundancy is always safe — and the deferred prunes run
+    on the next pass once every replica is back.
 
     On a non-replicated context this is a no-op that reports clean.
     """
@@ -398,12 +406,33 @@ def scrub_archive(context: SaveContext, deep: bool = True) -> ScrubReport:
     report.replicas = len(file_rep.replicas)
     unreachable: set[str] = set()
 
+    # 0. Probe reachability up front: every pruning decision below must
+    # know whether any replica is silent before it trusts a majority.
+    for state in doc_rep.replicas:
+        try:
+            state.store._collections
+        except _REPLICA_FAILURES:
+            unreachable.add(state.name)
+    for state in file_rep.replicas:
+        try:
+            state.store.ids()
+        except _REPLICA_FAILURES:
+            unreachable.add(state.name)
+
     # 1. Drain the targeted repairs failover already queued up.
     flushed = file_rep.repair_pending()
-    report.pending_flushed = len(flushed["repaired"]) + len(flushed["deleted"])
+    doc_flushed = doc_rep.repair_pending()
+    report.pending_flushed = (
+        len(flushed["repaired"])
+        + len(flushed["deleted"])
+        + len(doc_flushed["repaired"])
+        + len(doc_flushed["deleted"])
+    )
 
     # 2. Documents: every replica converges on the majority view.  This
-    # also prunes stale journal entries and uncommitted minority writes.
+    # also prunes stale journal entries and uncommitted minority writes
+    # — but only with every replica present to vote.
+    may_prune = not unreachable
     canonical_docs = doc_rep._collections
     for state in doc_rep.replicas:
         try:
@@ -416,13 +445,15 @@ def scrub_archive(context: SaveContext, deep: bool = True) -> ScrubReport:
                     ):
                         state.store._write_raw(name, doc_id, document)
                         report.documents_healed += 1
-                for doc_id in sorted(set(held) - set(canonical)):
-                    state.store._delete_raw(name, doc_id)
-                    report.documents_pruned += 1
-            for name in sorted(set(collections) - set(canonical_docs)):
-                for doc_id in sorted(collections[name]):
-                    state.store._delete_raw(name, doc_id)
-                    report.documents_pruned += 1
+                if may_prune:
+                    for doc_id in sorted(set(held) - set(canonical)):
+                        state.store._delete_raw(name, doc_id)
+                        report.documents_pruned += 1
+            if may_prune:
+                for name in sorted(set(collections) - set(canonical_docs)):
+                    for doc_id in sorted(collections[name]):
+                        state.store._delete_raw(name, doc_id)
+                        report.documents_pruned += 1
         except _REPLICA_FAILURES:
             unreachable.add(state.name)
 
@@ -502,16 +533,19 @@ def scrub_archive(context: SaveContext, deep: bool = True) -> ScrubReport:
             report.bytes_copied += len(donor)
 
     # 4. Prune minority orphans: copies no majority (and no document)
-    # vouches for — leftovers of writes that never reached quorum.
-    for state in file_rep.replicas:
-        if state.name in unreachable:
-            continue
-        try:
-            for artifact_id in sorted(set(state.store.ids()) - set(canonical)):
-                state.store.delete(artifact_id)
-                report.artifacts_pruned.append((state.name, artifact_id))
-        except _REPLICA_FAILURES:
-            unreachable.add(state.name)
+    # vouches for — leftovers of writes that never reached quorum.  Like
+    # document pruning, refused while any replica is unreachable: the
+    # "orphan" may be a committed artifact whose other holders are down.
+    if not unreachable:
+        for state in file_rep.replicas:
+            try:
+                for artifact_id in sorted(
+                    set(state.store.ids()) - set(canonical)
+                ):
+                    state.store.delete(artifact_id)
+                    report.artifacts_pruned.append((state.name, artifact_id))
+            except _REPLICA_FAILURES:
+                unreachable.add(state.name)
 
     # 5. Quarantined chunks: with the packs converged, the damaged slice
     # can be re-read from any replica and verified against its digest.

@@ -426,14 +426,28 @@ class PersistentDocumentStore(DocumentStore):
 def detect_replicas(directory: str | Path) -> int:
     """Number of ``replica-<i>`` topology directories under ``directory``.
 
-    Returns 1 for a single-backend archive (the classic
-    ``artifacts``/``documents`` layout).
+    The count is ``max(index) + 1`` over every ``replica-<i>`` directory
+    present, *not* a sequential scan from zero: losing a whole replica
+    directory (the disk failure replication exists to survive) must not
+    make the archive silently reopen as an empty single-backend layout.
+    A gap reopens as the full topology with the lost replica empty, which
+    ``fsck`` reports as degraded and ``scrub`` heals.  Returns 1 for a
+    single-backend archive (the classic ``artifacts``/``documents``
+    layout).
     """
     root = Path(directory)
-    count = 0
-    while (root / f"replica-{count}").is_dir():
-        count += 1
-    return max(count, 1)
+    highest = -1
+    prefix = "replica-"
+    if root.is_dir():
+        for entry in root.iterdir():
+            if not entry.is_dir() or not entry.name.startswith(prefix):
+                continue
+            try:
+                index = int(entry.name[len(prefix):])
+            except ValueError:
+                continue
+            highest = max(highest, index)
+    return max(highest + 1, 1)
 
 
 def open_context(
@@ -475,6 +489,17 @@ def open_context(
     if replicas is None:
         replicas = detect_replicas(root)
     if replicas > 1:
+        # Refuse to shadow an existing single-backend archive: fresh
+        # empty replica-<i> subtrees would make its data silently
+        # invisible and subsequent writes would fork the layout.
+        for legacy in ("artifacts", "documents"):
+            tree = root / legacy
+            if tree.is_dir() and any(tree.rglob("*")):
+                raise StorageError(
+                    f"archive at {root} has a single-backend {legacy}/ tree; "
+                    f"move it into {root / 'replica-0'}/ (one subtree per "
+                    "replica) before reopening with replicas > 1"
+                )
         from repro.storage.replication import (
             ReplicatedDocumentStore,
             ReplicatedFileStore,

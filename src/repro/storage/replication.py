@@ -38,10 +38,12 @@ crash matrix kills individual replicas.
 Consistency model: with ``W + R > N`` every read quorum overlaps every
 write quorum, so committed data survives any ``N - W`` replica failures
 and reads never return uncommitted state under a single fault.  Document
-reads poll the reachable replicas and take a majority vote (ties break
-toward absence, then toward the lowest replica index), which is what
-lets a revived stale replica be outvoted until the anti-entropy scrubber
-(:func:`repro.core.fsck.scrub_archive`) converges it back to
+reads poll the reachable replicas and take a majority vote; a tie breaks
+toward absence only when the absent replicas are a majority of the full
+replica set ``N`` (proof no write quorum committed the value) and toward
+presence otherwise, so a committed write stays readable while holders
+are down.  A revived stale replica is outvoted until the anti-entropy
+scrubber (:func:`repro.core.fsck.scrub_archive`) converges it back to
 byte-identical state.
 """
 
@@ -603,6 +605,13 @@ class ReplicatedFileStore(_ReplicaSet):
 
     # -- management plane (uncharged; no breaker bookkeeping) ---------------
     def delete(self, artifact_id: str) -> None:
+        """Remove an artifact; needs ``write_quorum`` acks like ``put``.
+
+        A delete acknowledged by fewer replicas would report success
+        while a majority keeps serving the bytes (and ``_committed``
+        keeps blocking re-puts of the id), so it fails loudly instead
+        and leaves the repair queues to finish the job.
+        """
         found = False
         applied = 0
         missed: list[int] = []
@@ -623,8 +632,7 @@ class ReplicatedFileStore(_ReplicaSet):
             else:
                 self._ok(state)
                 self._clear_repair(index, artifact_id)
-        if applied == 0:
-            raise QuorumError(f"delete {artifact_id!r}: no replica reachable")
+        self._require_quorum(applied, self.write_quorum, f"delete {artifact_id!r}")
         if not found and not missed:
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
         for index in missed:
@@ -878,13 +886,19 @@ class ReplicatedDocumentStore(_ReplicaSet):
     uncharged raw plane the save journal uses — journal records are
     replicated like any other document, so losing a replica never loses
     the undo log.  Reads poll every reachable replica and return the
-    majority value per document; ties break toward absence (a write that
-    reached only a minority was never committed) and then toward the
-    lowest replica index.
+    majority value per document; ties break toward absence only when the
+    absent replicas are a majority of the full set ``N`` (no write
+    quorum can have committed the value), toward presence otherwise, and
+    then toward the lowest replica index.  Replicas that miss a mutation
+    are remembered in a per-replica repair queue
+    (:meth:`pending_repairs`) drained by :meth:`repair_pending` and by
+    the anti-entropy scrubber.
     """
 
     def __init__(self, stores, **kwargs) -> None:
         super().__init__(stores, **kwargs)
+        #: replica index -> {(collection, doc_id): "put" | "delete"}.
+        self._pending: dict[int, dict[tuple[str, str], str]] = {}
         highest = -1
         for state in self.replicas:
             try:
@@ -900,6 +914,70 @@ class ReplicatedDocumentStore(_ReplicaSet):
                             pass
         self._id_counter = itertools.count(highest + 1)
 
+    # -- repair queue -----------------------------------------------------
+    def _note_repair(self, index: int, collection: str, doc_id: str, op: str) -> None:
+        self._pending.setdefault(index, {})[(collection, doc_id)] = op
+
+    def _clear_repair(self, index: int, collection: str, doc_id: str) -> None:
+        queue = self._pending.get(index)
+        if queue is not None:
+            queue.pop((collection, doc_id), None)
+            if not queue:
+                self._pending.pop(index, None)
+
+    def pending_repairs(self) -> dict[str, dict[str, str]]:
+        """Outstanding per-replica repairs, keyed by replica name."""
+        return {
+            self.replicas[index].name: {
+                f"{collection}/{doc_id}": op
+                for (collection, doc_id), op in sorted(queue.items())
+            }
+            for index, queue in sorted(self._pending.items())
+        }
+
+    def repair_pending(self) -> dict:
+        """Drain the document repair queues against replicas that are back.
+
+        A missed insert/replace is replayed as the *current* majority
+        value (anti-entropy, not history replay); a missed delete is
+        applied; an entry whose document no longer has a majority value
+        is retired as a delete; entries whose replica is still
+        unreachable (or whose majority is unreadable) are deferred.
+        """
+        report = {"repaired": [], "deleted": [], "deferred": []}
+        for index in sorted(self._pending):
+            state = self.replicas[index]
+            queue = self._pending[index]
+            for (collection, doc_id), op in list(queue.items()):
+                label = f"{collection}/{doc_id}"
+                if op == "delete":
+                    document = None
+                else:
+                    try:
+                        document = self._majority_value(collection, doc_id)
+                    except QuorumError:
+                        # Layer-wide outage, not this replica's fault.
+                        report["deferred"].append((state.name, label))
+                        continue
+                try:
+                    if document is None:
+                        state.store._delete_raw(collection, doc_id)
+                        report["deleted"].append((state.name, label))
+                    else:
+                        state.store._write_raw(collection, doc_id, document)
+                        report["repaired"].append((state.name, label))
+                except SimulatedCrashError:
+                    raise
+                except _REPLICA_FAILURES:
+                    self._fail(state)
+                    report["deferred"].append((state.name, label))
+                else:
+                    self._ok(state)
+                    del queue[(collection, doc_id)]
+            if not queue:
+                self._pending.pop(index, None)
+        return report
+
     # -- majority machinery ----------------------------------------------
     def _reachable_collections(self) -> list[tuple[int, dict]]:
         reachable = []
@@ -912,23 +990,45 @@ class ReplicatedDocumentStore(_ReplicaSet):
             raise QuorumError("document read: no replica reachable")
         return reachable
 
-    @staticmethod
-    def _vote(ballots: list[tuple[int, dict | None]]) -> dict | None:
-        """Majority value; ties prefer absence, then the lowest index."""
+    def _quorum_collections(self, what: str) -> list[tuple[int, dict]]:
+        """Reachable collections, or :class:`QuorumError` below R."""
+        reachable = self._reachable_collections()
+        if len(reachable) < self.read_quorum:
+            raise QuorumError(
+                f"{what}: {len(reachable)} replica(s) reachable, "
+                f"read quorum is {self.read_quorum} of {len(self.replicas)}"
+            )
+        return reachable
+
+    def _vote(self, ballots: list[tuple[int, dict | None]]) -> dict | None:
+        """Majority value of the ballots cast by reachable replicas.
+
+        A tie (only possible while replicas are unreachable) breaks
+        toward absence only when the absent replicas are a majority of
+        the *full* replica set — proof that no write quorum committed
+        the value.  Otherwise presence wins: a committed W-quorum write
+        must stay readable while its holders are down (``W + R > N``
+        guarantees a read quorum still overlaps it).  Equal-preference
+        groups break toward the lowest replica index.
+        """
         groups: dict[str | None, list[int]] = {}
         samples: dict[str | None, dict | None] = {}
         for index, document in ballots:
             key = None if document is None else _encode(document)
             groups.setdefault(key, []).append(index)
             samples.setdefault(key, document)
-        winner = max(
-            groups.items(),
-            key=lambda item: (len(item[1]), item[0] is None, -min(item[1])),
-        )[0]
-        return samples[winner]
+        total = len(self.replicas)
+
+        def rank(item):
+            key, indices = item
+            absent = key is None
+            absence_majority = absent and 2 * len(indices) > total
+            return (len(indices), absence_majority, not absent, -min(indices))
+
+        return samples[max(groups.items(), key=rank)[0]]
 
     def _majority_collection(self, collection: str) -> dict[str, dict]:
-        reachable = self._reachable_collections()
+        reachable = self._quorum_collections(f"collection read {collection!r}")
         doc_ids: set[str] = set()
         for _index, collections in reachable:
             doc_ids.update(collections.get(collection, {}))
@@ -944,13 +1044,9 @@ class ReplicatedDocumentStore(_ReplicaSet):
         return view
 
     def _majority_value(self, collection: str, doc_id: str) -> dict | None:
-        reachable = self._reachable_collections()
-        if len(reachable) < self.read_quorum:
-            raise QuorumError(
-                f"document read {collection}/{doc_id}: "
-                f"{len(reachable)} replica(s) reachable, "
-                f"read quorum is {self.read_quorum}"
-            )
+        reachable = self._quorum_collections(
+            f"document read {collection}/{doc_id}"
+        )
         ballots = [
             (index, collections.get(collection, {}).get(doc_id))
             for index, collections in reachable
@@ -989,8 +1085,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
             doc_id = f"doc-{next(self._id_counter):08d}"
         num_bytes = document_num_bytes(document)
         costs: list[float] = []
-        for state in self.replicas:
+        missed: list[int] = []
+        for index, state in enumerate(self.replicas):
             if not self._allow(state):
+                missed.append(index)
                 continue
             try:
                 state.store.insert(
@@ -1000,8 +1098,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
                 raise
             except _REPLICA_FAILURES:
                 self._fail(state)
+                missed.append(index)
             else:
                 self._ok(state)
+                self._clear_repair(index, collection, doc_id)
                 costs.append(
                     state.store.profile.doc_write_cost(num_bytes)
                     * state.latency_factor
@@ -1009,6 +1109,8 @@ class ReplicatedDocumentStore(_ReplicaSet):
         self._require_quorum(
             len(costs), self.write_quorum, f"insert {collection}/{doc_id}"
         )
+        for index in missed:
+            self._note_repair(index, collection, doc_id, "put")
         self.stats.record_write(
             num_bytes, _quorum_cost(costs, self.write_quorum), category
         )
@@ -1021,8 +1123,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
             )
         num_bytes = document_num_bytes(document)
         costs: list[float] = []
-        for state in self.replicas:
+        missed: list[int] = []
+        for index, state in enumerate(self.replicas):
             if not self._allow(state):
+                missed.append(index)
                 continue
             try:
                 try:
@@ -1035,8 +1139,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
                 raise
             except _REPLICA_FAILURES:
                 self._fail(state)
+                missed.append(index)
             else:
                 self._ok(state)
+                self._clear_repair(index, collection, doc_id)
                 costs.append(
                     state.store.profile.doc_write_cost(num_bytes)
                     * state.latency_factor
@@ -1044,6 +1150,8 @@ class ReplicatedDocumentStore(_ReplicaSet):
         self._require_quorum(
             len(costs), self.write_quorum, f"replace {collection}/{doc_id}"
         )
+        for index in missed:
+            self._note_repair(index, collection, doc_id, "put")
         self.stats.record_write(
             num_bytes, _quorum_cost(costs, self.write_quorum), "metadata"
         )
@@ -1054,8 +1162,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
                 f"no document {doc_id!r} in collection {collection!r}"
             )
         successes = 0
-        for state in self.replicas:
+        missed: list[int] = []
+        for index, state in enumerate(self.replicas):
             if not self._allow(state):
+                missed.append(index)
                 continue
             try:
                 try:
@@ -1066,12 +1176,16 @@ class ReplicatedDocumentStore(_ReplicaSet):
                 raise
             except _REPLICA_FAILURES:
                 self._fail(state)
+                missed.append(index)
             else:
                 self._ok(state)
+                self._clear_repair(index, collection, doc_id)
                 successes += 1
         self._require_quorum(
             successes, self.write_quorum, f"delete {collection}/{doc_id}"
         )
+        for index in missed:
+            self._note_repair(index, collection, doc_id, "delete")
 
     # -- read -------------------------------------------------------------
     def get(self, collection: str, doc_id: str) -> dict:
@@ -1098,8 +1212,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
     # -- raw plane (journal bookkeeping; uncharged) -------------------------
     def _write_raw(self, collection: str, doc_id: str, document: dict) -> None:
         successes = 0
-        for state in self.replicas:
+        missed: list[int] = []
+        for index, state in enumerate(self.replicas):
             if not self._allow(state):
+                missed.append(index)
                 continue
             try:
                 state.store._write_raw(collection, doc_id, document)
@@ -1107,20 +1223,26 @@ class ReplicatedDocumentStore(_ReplicaSet):
                 raise
             except _REPLICA_FAILURES:
                 self._fail(state)
+                missed.append(index)
             else:
                 self._ok(state)
+                self._clear_repair(index, collection, doc_id)
                 successes += 1
         # The journal's undo log needs the same durability as the data
         # it protects: quorum or the save must not proceed.
         self._require_quorum(
             successes, self.write_quorum, f"raw write {collection}/{doc_id}"
         )
+        for index in missed:
+            self._note_repair(index, collection, doc_id, "put")
 
     def _delete_raw(self, collection: str, doc_id: str) -> None:
         # Best effort: a replica that misses the retirement keeps a stale
-        # entry, which the majority vote hides and the scrubber prunes.
-        for state in self.replicas:
+        # entry, which the majority vote hides and the repair queue (or
+        # the scrubber, once every replica is reachable again) retires.
+        for index, state in enumerate(self.replicas):
             if not self._allow(state):
+                self._note_repair(index, collection, doc_id, "delete")
                 continue
             try:
                 state.store._delete_raw(collection, doc_id)
@@ -1128,8 +1250,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
                 raise
             except _REPLICA_FAILURES:
                 self._fail(state)
+                self._note_repair(index, collection, doc_id, "delete")
             else:
                 self._ok(state)
+                self._clear_repair(index, collection, doc_id)
 
     def _read_raw(self, collection: str, doc_id: str) -> dict | None:
         document = self._majority_value(collection, doc_id)

@@ -117,6 +117,64 @@ class TestScrub:
         assert report.exit_code == 2
         assert artifact in report.lost_artifacts
 
+    def test_committed_state_survives_holder_outage_and_scrub(self, tmp_path):
+        manager = open_replicated(tmp_path)
+        # The save commits at W=2 on replicas 0 and 1: replica 2 is down.
+        injector2 = inject_replica_faults(
+            manager.context, 2, FaultInjector(seed=3, down_at=0, down_mode="before")
+        )
+        set_id = manager.save_set(models())
+        injector2.revive()
+        # Replica 2 revives from a transient blip (breaker closed, data
+        # still divergent); replica 1 — an acker — goes down.
+        file_rep, doc_rep = replicated_stores(manager.context)
+        for state in (*file_rep.replicas, *doc_rep.replicas):
+            state.breaker_open = False
+            state.failures = 0
+        injector1 = inject_replica_faults(
+            manager.context, 1, FaultInjector(seed=4, down_at=0, down_mode="before")
+        )
+        second_id = manager.save_set(models(seed=1))  # trips the outage
+        # W + R > N: the committed first set stays fully recoverable
+        # from the surviving acker while replica 1 is down.
+        assert manager.recover_set(set_id).equals(models())
+        # Scrub in the degraded state must not mistake the committed
+        # state for an uncommitted minority write: no pruning while any
+        # replica is silent, and the data survives the pass.
+        report = scrub_archive(manager.context)
+        assert report.unreachable_replicas == ["replica-1"]
+        assert report.documents_pruned == 0 and report.artifacts_pruned == []
+        assert manager.recover_set(set_id).equals(models())
+        # Once replica 1 is back, scrub converges everything — including
+        # the revived replica's stale view — without losing either set.
+        injector1.revive()
+        assert scrub_archive(manager.context).exit_code == 1
+        assert scrub_archive(manager.context).exit_code == 0
+        assert ArchiveFsck(manager.context).run(deep=True).exit_code == 0
+        assert manager.recover_set(set_id).equals(models())
+        assert manager.recover_set(second_id).equals(models(seed=1))
+
+    def test_lost_replica_directory_detected_and_healed(self, tmp_path):
+        import shutil
+
+        from repro.core.manager import MultiModelManager
+
+        manager = open_replicated(tmp_path)
+        set_id = manager.save_set(models())
+        del manager
+        # Lose replica-0 wholesale — the disk failure replication exists
+        # to survive.  Auto-detection must still see the 3-way topology
+        # (not reopen an empty single-backend archive) and report it
+        # degraded until scrub restores the lost copies.
+        shutil.rmtree(tmp_path / "replica-0")
+        reopened = MultiModelManager.open(str(tmp_path), "baseline")
+        assert ArchiveFsck(reopened.context).run(deep=True).exit_code == 1
+        assert reopened.recover_set(set_id).equals(models())
+        report = scrub_archive(reopened.context)
+        assert report.exit_code == 1 and report.converged
+        assert ArchiveFsck(reopened.context).run(deep=True).exit_code == 0
+        assert reopened.recover_set(set_id).equals(models())
+
     def test_scrub_defers_while_replica_down(self, tmp_path):
         manager = open_replicated(tmp_path)
         manager.save_set(models())

@@ -164,3 +164,41 @@ class TestDurableManager:
         assert (tmp_path / "artifacts").is_dir()
         assert (tmp_path / "documents").is_dir()
         assert context.total_bytes() == 0
+
+
+class TestReplicaTopologyDetection:
+    def test_detect_replicas_tolerates_lost_directory(self, tmp_path):
+        import shutil
+
+        from repro.storage.persistent import detect_replicas
+
+        for index in range(3):
+            (tmp_path / f"replica-{index}").mkdir()
+        assert detect_replicas(tmp_path) == 3
+        # Losing replica-0 wholesale must not collapse detection to a
+        # single-backend layout: the gap reopens as the full topology.
+        shutil.rmtree(tmp_path / "replica-0")
+        assert detect_replicas(tmp_path) == 3
+        assert detect_replicas(tmp_path / "does-not-exist") == 1
+
+    def test_detect_replicas_ignores_unrelated_entries(self, tmp_path):
+        from repro.storage.persistent import detect_replicas
+
+        (tmp_path / "replica-x").mkdir()
+        (tmp_path / "replica-1.bak").mkdir()
+        (tmp_path / "artifacts").mkdir()
+        assert detect_replicas(tmp_path) == 1
+
+    def test_replicated_open_refuses_legacy_single_backend_archive(
+        self, tmp_path
+    ):
+        models = ModelSet.build("FFNN-48", num_models=2, seed=0)
+        manager = MultiModelManager.open(str(tmp_path), "baseline")
+        set_id = manager.save_set(models)
+        # Opening with replicas > 1 would lay out fresh empty replica-<i>
+        # subtrees that silently shadow the existing data: refuse loudly.
+        with pytest.raises(StorageError, match="replica-0"):
+            MultiModelManager.open(str(tmp_path), "baseline", replicas=3)
+        # The archive is untouched and still opens fine single-backend.
+        reopened = MultiModelManager.open(str(tmp_path), "baseline")
+        assert reopened.recover_set(set_id).equals(models)

@@ -39,10 +39,28 @@ def make_file_rep(n=3, profile=LOCAL_PROFILE, injectors=None, **kwargs):
     return ReplicatedFileStore(stores, **kwargs)
 
 
-def make_doc_rep(n=3, profile=LOCAL_PROFILE, **kwargs):
-    return ReplicatedDocumentStore(
-        [DocumentStore(profile=profile) for _ in range(n)], **kwargs
+def make_doc_rep(n=3, profile=LOCAL_PROFILE, injectors=None, **kwargs):
+    """N-way replicated document store, optionally fault-wrapped."""
+    stores = []
+    for index in range(n):
+        store = DocumentStore(profile=profile)
+        if injectors and index in injectors:
+            store = FaultyDocumentStore(store, injectors[index])
+        stores.append(store)
+    return ReplicatedDocumentStore(stores, **kwargs)
+
+
+def take_down(rep, index, seed=9):
+    """Trip an immediate outage on one replica of a document set."""
+    down = FaultInjector(seed=seed, down_at=0, down_mode="before")
+    rep.replicas[index].store = FaultyDocumentStore(
+        rep.replicas[index].store, down
     )
+    try:
+        rep.replicas[index].store.insert("trip", {"v": 0})
+    except Exception:
+        pass
+    return down
 
 
 class TestQuorumMath:
@@ -138,6 +156,23 @@ class TestQuorumWrites:
         down.revive()
         rep.repair_pending()
         assert not rep.replicas[1].store.exists("a1")
+
+    def test_delete_requires_write_quorum(self):
+        # Both down at their second mutating op: the delete after the put.
+        injectors = {
+            1: FaultInjector(seed=1, down_at=1, down_mode="before"),
+            2: FaultInjector(seed=2, down_at=1, down_mode="before"),
+        }
+        rep = make_file_rep(3, injectors=injectors)
+        rep.put(b"data", artifact_id="a1")
+        with pytest.raises(QuorumError):
+            rep.delete("a1")
+        # A minority delete must not report success: when the outage
+        # ends, the majority still serves the artifact.
+        for injector in injectors.values():
+            injector.revive()
+        assert rep.exists("a1")
+        assert rep.get("a1") == b"data"
 
 
 class TestCircuitBreaker:
@@ -328,14 +363,63 @@ class TestDocumentMajority:
         rep = make_doc_rep(3, read_quorum=3)
         doc_id = rep.insert("c", {"v": 1})
         # Make one replica unreachable to the majority read.
-        down = FaultInjector(seed=1, down_at=0, down_mode="before")
-        rep.replicas[0].store = FaultyDocumentStore(rep.replicas[0].store, down)
-        try:
-            rep.replicas[0].store.insert("x", {"v": 0})  # trips the outage
-        except Exception:
-            pass
+        take_down(rep, 0)
         with pytest.raises(QuorumError):
             rep.get("c", doc_id)
+
+    def test_collection_reads_enforce_read_quorum(self):
+        rep = make_doc_rep(3, read_quorum=3)
+        rep.insert("c", {"v": 1})
+        take_down(rep, 0)
+        # find()/collection_ids()/count() must refuse below R like get(),
+        # not silently serve a single replica's possibly stale state.
+        with pytest.raises(QuorumError):
+            rep.find("c", v=1)
+        with pytest.raises(QuorumError):
+            rep.collection_ids("c")
+        with pytest.raises(QuorumError):
+            rep.count("c")
+
+    def test_insert_queues_repair_for_down_replica(self):
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep = make_doc_rep(3, injectors={2: down})
+        doc_id = rep.insert("c", {"v": 1})
+        assert rep.pending_repairs() == {"replica-2": {f"c/{doc_id}": "put"}}
+        down.revive()
+        report = rep.repair_pending()
+        assert ("replica-2", f"c/{doc_id}") in report["repaired"]
+        assert rep.pending_repairs() == {}
+        assert rep.replicas[2].store.get("c", doc_id) == {"v": 1}
+
+    def test_doc_repair_still_down_is_deferred(self):
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep = make_doc_rep(3, injectors={2: down})
+        doc_id = rep.insert("c", {"v": 1})
+        report = rep.repair_pending()
+        assert ("replica-2", f"c/{doc_id}") in report["deferred"]
+        assert rep.pending_repairs() == {"replica-2": {f"c/{doc_id}": "put"}}
+
+    def test_committed_doc_readable_while_one_holder_down(self):
+        # Insert commits at W=2 on replicas 0 and 1 (replica 2 down)…
+        down = FaultInjector(seed=1, down_at=0, down_mode="before")
+        rep = make_doc_rep(3, injectors={2: down})
+        doc_id = rep.insert("c", {"v": 1})
+        down.revive()
+        # …then replica 1 — an acker — goes down.  R=2 replicas are
+        # reachable and W + R > N, so the committed document must be
+        # served despite the 1-1 presence/absence tie among them.
+        take_down(rep, 1)
+        assert rep.get("c", doc_id) == {"v": 1}
+        assert rep.exists("c", doc_id)
+        assert doc_id in rep.collection_ids("c")
+
+    def test_tie_breaks_toward_absence_only_on_majority_of_n(self):
+        rep = make_doc_rep(3)
+        # 1-1 tie with one replica silent: presence wins — absence is
+        # not a majority of N, so a write quorum may have committed it.
+        assert rep._vote([(0, {"v": 1}), (2, None)]) == {"v": 1}
+        # Absence held by a majority of N proves no W=2 commit happened.
+        assert rep._vote([(0, {"v": 1}), (1, None), (2, None)]) is None
 
     def test_id_counter_resumes_past_all_replicas(self):
         stores = [DocumentStore(profile=LOCAL_PROFILE) for _ in range(3)]
