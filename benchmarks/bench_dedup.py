@@ -17,26 +17,44 @@ store charges, content digests):
   exactly the chunks referenced only by the deleted sets.
 """
 
+import json
 from pathlib import Path
 
 from benchmarks.conftest import BENCH_NUM_MODELS
 from repro.bench.dedup import format_report, run_dedup_benchmark, write_report
+from repro.observability.schema import validate_trace_document
 
 NUM_MODELS = BENCH_NUM_MODELS
 CYCLES = 3
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "dedup.json"
+TRACE_PATH = RESULTS_PATH.with_name("dedup_trace.json")
+SCHEMA_PATH = Path(__file__).resolve().parent / "trace_schema.json"
 
 
 def test_dedup_sweep(benchmark):
     report = benchmark.pedantic(
-        lambda: run_dedup_benchmark(num_models=NUM_MODELS, cycles=CYCLES),
+        lambda: run_dedup_benchmark(
+            num_models=NUM_MODELS, cycles=CYCLES, trace_path=TRACE_PATH
+        ),
         rounds=1,
         iterations=1,
     )
     write_report(report, RESULTS_PATH)
     print(format_report(report))
     benchmark.extra_info["report"] = report
+
+    # The traced run's JSON export validates against the *checked-in*
+    # schema (the copy CI and external consumers pin against), and every
+    # trace's phase breakdown sums to its own simulated total.
+    document = json.loads(Path(report["trace_path"]).read_text())
+    schema = json.loads(SCHEMA_PATH.read_text())
+    assert validate_trace_document(document, schema) == []
+    for trace in document["traces"]:
+        assert (
+            abs(sum(trace["phases"].values()) - trace["total_simulated_s"])
+            <= 1e-9
+        )
 
     baseline = report["approaches"]["baseline"]
     # U3 cycles: >= 30 % fewer parameter bytes (acceptance floor; the

@@ -13,6 +13,7 @@ Run with::
 
 from repro.bench.metrics import measure_recover, measure_save
 from repro.bench.report import format_table
+from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.core.recommender import ApproachRecommender, ScenarioProfile
 from repro.storage.hardware import SERVER_PROFILE
@@ -30,7 +31,7 @@ def main() -> None:
 
     rows = []
     for approach in ("mmlib-base", "baseline", "update", "provenance"):
-        manager = MultiModelManager.with_approach(approach, profile=SERVER_PROFILE)
+        manager = MultiModelManager.with_approach(approach, ArchiveConfig(profile=SERVER_PROFILE))
         set_ids: list[str] = []
         storage_mb = 0.0
         last_tts = 0.0

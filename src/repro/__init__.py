@@ -26,6 +26,8 @@ paper-vs-measured results.
 
 __version__ = "1.0.0"
 
+from repro import errors
+from repro.config import ArchiveConfig, ObservabilityConfig
 from repro.core.approach import SaveApproach, SaveContext
 from repro.core.baseline import BaselineApproach
 from repro.core.lineage import LineageGraph, diff_sets, model_history
@@ -38,25 +40,32 @@ from repro.core.retention import RetentionManager
 from repro.core.save_info import ModelUpdate, SetMetadata, UpdateInfo
 from repro.core.update import UpdateApproach
 from repro.core.verify import ArchiveVerifier
+from repro.observability import MetricsRegistry, TraceRecorder, global_registry
 
 __all__ = [
     "ApproachRecommender",
+    "ArchiveConfig",
     "ArchiveVerifier",
     "BaselineApproach",
     "LineageGraph",
     "MMlibBaseApproach",
+    "MetricsRegistry",
     "ModelSet",
     "ModelUpdate",
     "MultiModelManager",
+    "ObservabilityConfig",
     "ProvenanceApproach",
     "RetentionManager",
     "SaveApproach",
     "SaveContext",
     "ScenarioProfile",
     "SetMetadata",
+    "TraceRecorder",
     "UpdateApproach",
     "UpdateInfo",
     "__version__",
     "diff_sets",
+    "errors",
+    "global_registry",
     "model_history",
 ]

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.bench.metrics import measure_recover, measure_save
+from repro.config import ArchiveConfig, ObservabilityConfig
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 from repro.core.retention import RetentionManager
@@ -71,10 +72,17 @@ def _run_one(
     profile: HardwareProfile,
     dedup: bool,
     workers: int,
+    trace_roots: "list | None" = None,
 ) -> dict[str, Any]:
     """Save the scenario under one (approach, dedup) setting and measure."""
     manager = MultiModelManager.with_approach(
-        approach, profile=profile, workers=workers, dedup=dedup
+        approach,
+        ArchiveConfig(
+            profile=profile,
+            workers=workers,
+            dedup=dedup,
+            observability=ObservabilityConfig(tracing=trace_roots is not None),
+        ),
     )
     file_store = manager.context.file_store
     set_ids: list[str] = []
@@ -112,6 +120,8 @@ def _run_one(
     }
     if dedup:
         result["gc"] = _measure_gc(manager, set_ids)
+    if trace_roots is not None:
+        trace_roots.extend(manager.context.tracer.roots)
     return result
 
 
@@ -165,9 +175,17 @@ def run_dedup_benchmark(
     profile: HardwareProfile = ARCHIVE_PROFILE,
     workers: int = 1,
     seed: int = 0,
+    trace_path: "str | Path | None" = None,
 ) -> dict[str, Any]:
-    """Run the on/off sweep for every approach; JSON-serializable report."""
+    """Run the on/off sweep for every approach; JSON-serializable report.
+
+    ``trace_path`` additionally runs every sweep under span recording and
+    writes one schema-conforming trace document (every ``save_set`` /
+    ``recover_set`` root with its per-phase breakdown) to that path; the
+    CI trace job validates it against ``benchmarks/trace_schema.json``.
+    """
     cases = build_cases(num_models, cycles, seed=seed)
+    trace_roots: "list | None" = [] if trace_path is not None else None
     report: dict[str, Any] = {
         "config": {
             "num_models": num_models,
@@ -180,8 +198,14 @@ def run_dedup_benchmark(
         "approaches": {},
     }
     for approach in approaches:
-        off = _run_one(approach, cases, profile, dedup=False, workers=workers)
-        on = _run_one(approach, cases, profile, dedup=True, workers=workers)
+        off = _run_one(
+            approach, cases, profile, dedup=False, workers=workers,
+            trace_roots=trace_roots,
+        )
+        on = _run_one(
+            approach, cases, profile, dedup=True, workers=workers,
+            trace_roots=trace_roots,
+        )
         u3_off, u3_on = off["u3_file_bytes"], on["u3_file_bytes"]
         report["approaches"][approach] = {
             "off": off,
@@ -199,6 +223,16 @@ def run_dedup_benchmark(
             ),
             "recovery_identical": off["digest"] == on["digest"],
         }
+    if trace_path is not None:
+        from repro.observability import write_trace_json
+
+        report["trace_path"] = str(
+            write_trace_json(
+                trace_path,
+                trace_roots,
+                meta={"benchmark": "dedup", **report["config"]},
+            )
+        )
     return report
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.fsck import ArchiveFsck
 from repro.core.manager import MultiModelManager
@@ -42,7 +43,7 @@ APPROACHES = ("baseline", "update", "mmlib-base", "pas-delta", "baseline-fp16")
 
 
 def _make_manager(approach: str, dedup: bool) -> MultiModelManager:
-    context = SaveContext.create(dedup=dedup)
+    context = SaveContext.create(ArchiveConfig(dedup=dedup))
     attach_journal(context)
     return MultiModelManager.with_approach(approach, context=context)
 

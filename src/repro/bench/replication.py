@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.fsck import ArchiveFsck, scrub_archive
 from repro.core.manager import MultiModelManager
@@ -46,7 +47,7 @@ def _make_manager(policy=None, profile=None) -> MultiModelManager:
     kwargs = {"replicas": NUM_REPLICAS, "replication_policy": policy}
     if profile is not None:
         kwargs["profile"] = profile
-    context = SaveContext.create(**kwargs)
+    context = SaveContext.create(ArchiveConfig(**kwargs))
     attach_journal(context)
     return MultiModelManager.with_approach("update", context=context)
 

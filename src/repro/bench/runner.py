@@ -23,6 +23,7 @@ from typing import Callable
 
 from repro.bench.metrics import Measurement, measure_recover, measure_save, median
 from repro.bench.report import format_series, format_table
+from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.core.recommender import ApproachRecommender, ScenarioProfile
 from repro.battery.datagen import CellDataConfig
@@ -130,7 +131,7 @@ def _save_all(
             dataset_registry=registry,
         )
     manager = MultiModelManager.with_approach(
-        approach, profile=profile, context=context, **approach_kwargs
+        approach, ArchiveConfig(profile=profile), context=context, **approach_kwargs
     )
     set_ids: list[str] = []
     measurements: list[Measurement] = []
@@ -761,7 +762,7 @@ def quantization(settings: ExperimentSettings) -> ExperimentResult:
     ).train(model, dataset)
     models.states[0] = model.state_dict()
     manager = MultiModelManager.with_approach(
-        "baseline-fp16", profile=settings.profile
+        "baseline-fp16", ArchiveConfig(profile=settings.profile)
     )
     set_id = manager.save_set(models)
     lossy_model = manager.recover_set(set_id).build_model(0)

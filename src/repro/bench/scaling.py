@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.bench.metrics import measure_recover, measure_save
+from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 from repro.core.update import UpdateApproach
@@ -95,7 +96,7 @@ def run_parallel_scaling(
 
     for lane_count in workers:
         manager = MultiModelManager.with_approach(
-            "update", profile=profile, workers=lane_count
+            "update", ArchiveConfig(profile=profile, workers=lane_count)
         )
         set_ids: list[str] = []
         save_total = save_real = save_simulated = 0.0
@@ -166,7 +167,7 @@ def _compare_recovery_bytes(
     lanes (see the main sweep's TTR column), which is where compaction
     also wins on time.
     """
-    manager = MultiModelManager.with_approach("update", profile=profile)
+    manager = MultiModelManager.with_approach("update", ArchiveConfig(profile=profile))
     set_ids: list[str] = []
     for case in cases:
         base_id = set_ids[case.base_index] if case.base_index is not None else None

@@ -14,6 +14,8 @@ Subcommands cover the operator loop demonstrated in
     repro-archive <dir> compact SET_ID       # delta -> full snapshot
     repro-archive <dir> gc --keep-last K     # retention policy
     repro-archive <dir> migrate TARGET_DIR --approach update
+    repro-archive <dir> stats --live         # metrics registry export
+    repro-archive <dir> trace --workers 4    # traced demo update cycle
 
 The archive's approach is auto-detected from the stored set descriptors;
 mixed-approach archives are supported for read-only commands.  A
@@ -22,6 +24,12 @@ replicated layout (``replica-<i>/`` subtrees) is likewise auto-detected;
 the topology.  ``fsck`` and ``scrub`` exit 0 when clean, 1 when issues
 were found that are repairable (or were repaired), and 2 on
 unrecoverable data loss.
+
+Every global flag maps 1:1 onto an :class:`~repro.config.ArchiveConfig`
+field (see :func:`config_from_args`); ``--trace``/``--trace-json`` turn
+on span recording for whichever command runs, and ``trace`` runs a
+synthetic U3 update cycle on an in-memory archive and prints the span
+tree with its per-phase simulated-time breakdown.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.config import ArchiveConfig, ObservabilityConfig
 from repro.core.approach import SETS_COLLECTION, SaveContext
 from repro.core.lineage import LineageGraph, model_history
 from repro.core.manager import APPROACHES, MultiModelManager
@@ -36,7 +45,53 @@ from repro.core.migration import migrate_archive
 from repro.core.retention import RetentionManager
 from repro.core.verify import ArchiveVerifier
 from repro.errors import ReproError
+from repro.storage.hardware import (
+    ARCHIVE_PROFILE,
+    LOCAL_PROFILE,
+    M1_PROFILE,
+    SERVER_PROFILE,
+)
 from repro.storage.persistent import open_context
+
+#: ``--profile`` choices → the latency model charged per store operation.
+PROFILES = {
+    "local": LOCAL_PROFILE,
+    "server": SERVER_PROFILE,
+    "m1": M1_PROFILE,
+    "archive": ARCHIVE_PROFILE,
+}
+
+
+def config_from_args(args: argparse.Namespace) -> ArchiveConfig:
+    """The :class:`ArchiveConfig` described by the global CLI flags.
+
+    Each flag maps onto exactly one config field: ``--profile`` →
+    ``profile``, ``--workers`` → ``workers``, ``--dedup`` → ``dedup``,
+    ``--no-journal`` → ``journal=False``, ``--retries`` → ``retry``,
+    ``--replicas``/``--write-quorum``/``--read-quorum`` → the replication
+    topology, and ``--trace``/``--trace-json`` → ``observability``.
+    """
+    retry = None
+    if getattr(args, "retries", None):
+        from repro.storage.faults import RetryPolicy
+
+        retry = RetryPolicy(attempts=args.retries)
+    trace_path = getattr(args, "trace_json", None)
+    return ArchiveConfig(
+        profile=PROFILES[getattr(args, "profile_name", None) or "local"],
+        workers=args.workers,
+        dedup=getattr(args, "dedup", False),
+        journal=not getattr(args, "no_journal", False),
+        retry=retry,
+        replicas=args.replicas,
+        write_quorum=args.write_quorum,
+        read_quorum=args.read_quorum,
+        observability=ObservabilityConfig(
+            tracing=bool(getattr(args, "trace", False) or trace_path),
+            metrics=bool(getattr(args, "live", False)),
+            trace_path=trace_path,
+        ),
+    )
 
 
 def _detect_approach(context: SaveContext) -> str | None:
@@ -257,7 +312,7 @@ def _cmd_export(context: SaveContext, args: argparse.Namespace) -> int:
 
 def _cmd_migrate(context: SaveContext, args: argparse.Namespace) -> int:
     target = MultiModelManager.open(
-        args.target_dir, args.target_approach, dedup=args.dedup
+        args.target_dir, args.target_approach, ArchiveConfig(dedup=args.dedup)
     )
     report = migrate_archive(context, target)
     print(f"migrated {report.sets_migrated} sets to {args.target_dir}")
@@ -275,6 +330,152 @@ def _cmd_migrate(context: SaveContext, args: argparse.Namespace) -> int:
     for old, new in report.id_map.items():
         print(f"  {old} -> {new}")
     return 0
+
+
+def _cmd_stats(context: SaveContext, args: argparse.Namespace) -> int:
+    if args.live:
+        import json
+
+        from repro.observability import metrics_json, prometheus_text
+        from repro.observability.metrics import global_registry
+
+        registry = context.metrics or global_registry()
+        if args.format == "prometheus":
+            sys.stdout.write(prometheus_text(registry))
+        elif args.format == "json":
+            print(json.dumps(metrics_json(registry), indent=2))
+        else:
+            for name, value in sorted(registry.collect().items()):
+                print(f"{name} = {value}")
+        return 0
+    for label, stats in (
+        ("file_store", context.file_store.stats),
+        ("document_store", context.document_store.stats),
+    ):
+        snap = stats.snapshot()
+        print(
+            f"{label}: {snap.writes} writes ({snap.bytes_written:,} B), "
+            f"{snap.reads} reads ({snap.bytes_read:,} B), "
+            f"{snap.deletes} deletes ({snap.bytes_deleted:,} B), "
+            f"sim {snap.simulated_write_s + snap.simulated_read_s:.6f}s"
+        )
+        for category, count in sorted(snap.bytes_by_category.items()):
+            print(f"  {category}: {count:,} B stored")
+    return 0
+
+
+def _trace_report(title: str, root, simulated_s: float) -> bool:
+    """Print one trace tree + phase breakdown; True when phases sum to TTS."""
+    from repro.observability import phase_breakdown, render_tree
+
+    print(f"== {title} ==")
+    print(render_tree(root))
+    phases = phase_breakdown(root)
+    total = sum(phases.values())
+    for phase, seconds in phases.items():
+        print(f"  phase {phase:<12} {seconds * 1000:10.6f} ms")
+    print(f"  phase sum          {total * 1000:10.6f} ms")
+    print(f"  simulated total    {simulated_s * 1000:10.6f} ms")
+    ok = abs(total - simulated_s) <= 1e-9
+    if not ok:
+        print(
+            f"  MISMATCH: phases sum to {total!r}, "
+            f"stats charged {simulated_s!r}"
+        )
+    return ok
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Synthetic U3 update cycle under tracing (ignores the directory).
+
+    Builds a fresh in-memory archive from the global flags (``--profile``
+    defaults to ``server`` here so store operations charge nonzero
+    simulated latency), saves an initial set, perturbs one model and
+    saves the derived set, recovers it — then prints both span trees and
+    checks that each trace's per-phase simulated times sum exactly to the
+    simulated TTS/TTR the storage stats charged.
+    """
+    import numpy as np
+
+    from repro.bench.metrics import measure_recover, measure_save
+    from repro.core.model_set import ModelSet
+    from repro.observability import write_trace_json
+
+    config = config_from_args(args)
+    if getattr(args, "profile_name", None) is None:
+        config = config.with_(profile=SERVER_PROFILE)
+    config = config.with_(
+        observability=ObservabilityConfig(
+            tracing=True, trace_path=config.observability.trace_path
+        )
+    )
+    if args.replica_down and (config.replicas or 1) < 2:
+        print("error: --replica-down needs --replicas >= 2", file=sys.stderr)
+        return 2
+    manager = MultiModelManager.with_approach("update", config)
+    context = manager.context
+    if args.replica_down:
+        from repro.storage.faults import FaultInjector, inject_replica_faults
+
+        inject_replica_faults(
+            context,
+            config.replicas - 1,
+            FaultInjector(down_at=0, down_mode="before"),
+        )
+        print(f"replica-{config.replicas - 1} is down for the whole cycle")
+
+    models = ModelSet.build("FFNN-48", num_models=args.models, seed=0)
+    base_id = manager.save_set(models)
+    derived = models.copy()
+    layer_names = models.schema.layer_names()
+    for name in (layer_names[0], layer_names[-1]):
+        derived.state(1)[name] = (derived.state(1)[name] + 0.5).astype(
+            np.float32
+        )
+
+    context.tracer.clear()
+    set_id, save_measurement = measure_save(
+        manager, derived, base_set_id=base_id
+    )
+    save_root = context.tracer.last_root
+    recovered, recover_measurement = measure_recover(manager, set_id)
+    recover_root = context.tracer.last_root
+
+    print(
+        f"U3 update cycle: {base_id} -> {set_id} "
+        f"({args.models} models, workers={config.workers}, "
+        f"replicas={config.replicas or 1})"
+    )
+    ok = _trace_report(
+        f"save_set {set_id} (TTS {save_measurement.total_s:.6f}s = "
+        f"{save_measurement.real_s:.6f}s real + "
+        f"{save_measurement.simulated_s:.6f}s simulated)",
+        save_root,
+        save_measurement.simulated_s,
+    )
+    ok &= _trace_report(
+        f"recover_set {set_id} (TTR {recover_measurement.total_s:.6f}s = "
+        f"{recover_measurement.real_s:.6f}s real + "
+        f"{recover_measurement.simulated_s:.6f}s simulated)",
+        recover_root,
+        recover_measurement.simulated_s,
+    )
+    if not recovered.equals(derived):
+        print("MISMATCH: recovered set differs from the saved one")
+        ok = False
+    if config.observability.trace_path:
+        path = write_trace_json(
+            config.observability.trace_path,
+            context.tracer.roots,
+            meta={
+                "workers": config.workers,
+                "replicas": config.replicas or 1,
+                "replica_down": bool(args.replica_down),
+                "num_models": args.models,
+            },
+        )
+        print(f"trace written to {path}")
+    return 0 if ok else 1
 
 
 # -- entry point --------------------------------------------------------------------
@@ -314,6 +515,46 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="replicas a consistent document read polls (default: N-W+1)",
+    )
+    parser.add_argument(
+        "--profile",
+        dest="profile_name",
+        choices=sorted(PROFILES),
+        default=None,
+        help="simulated-latency hardware profile charged per store "
+        "operation (default: local, which charges zero)",
+    )
+    parser.add_argument(
+        "--dedup",
+        action="store_true",
+        help="route parameter writes through the content-addressed chunk "
+        "layer",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="skip the write-ahead save journal (saves are no longer "
+        "atomic under crashes)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry transiently failing store operations up to N times "
+        "with exponential backoff",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record hierarchical spans for whatever command runs",
+    )
+    parser.add_argument(
+        "--trace-json",
+        default=None,
+        metavar="PATH",
+        help="write the recorded trace as a schema-validated JSON "
+        "document (implies --trace)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -391,18 +632,53 @@ def main(argv: list[str] | None = None) -> int:
         "chunk layer (identical layer tensors stored once)",
     )
 
+    stats = subparsers.add_parser(
+        "stats", help="storage accounting and metrics-registry export"
+    )
+    stats.add_argument(
+        "--live",
+        action="store_true",
+        help="export through the process-wide metrics registry instead "
+        "of printing a static storage summary",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["human", "json", "prometheus"],
+        default="human",
+        help="registry export format for --live",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a traced synthetic U3 update cycle in memory and print "
+        "the span tree (the archive directory is not touched)",
+    )
+    trace.add_argument(
+        "--models",
+        type=int,
+        default=4,
+        metavar="N",
+        help="models in the synthetic set",
+    )
+    trace.add_argument(
+        "--replica-down",
+        action="store_true",
+        help="take the last replica down for the whole cycle (needs "
+        "--replicas >= 2) to show degraded-mode traces",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "trace":
+        try:
+            return _cmd_trace(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
-        context = open_context(
-            args.directory,
-            replicas=args.replicas,
-            write_quorum=args.write_quorum,
-            read_quorum=args.read_quorum,
-        )
+        context = open_context(args.directory, config=config_from_args(args))
     except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    context.workers = args.workers
     commands = {
         "info": _cmd_info,
         "lineage": _cmd_lineage,
@@ -414,12 +690,22 @@ def main(argv: list[str] | None = None) -> int:
         "gc": _cmd_gc,
         "export": _cmd_export,
         "migrate": _cmd_migrate,
+        "stats": _cmd_stats,
     }
     try:
-        return commands[args.command](context, args)
+        result = commands[args.command](context, args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    trace_path = context.config.observability.trace_path if context.config else None
+    if trace_path and context.tracer is not None and context.tracer.roots:
+        from repro.observability import write_trace_json
+
+        path = write_trace_json(
+            trace_path, context.tracer.roots, meta={"command": args.command}
+        )
+        print(f"trace written to {path}")
+    return result
 
 
 if __name__ == "__main__":  # pragma: no cover

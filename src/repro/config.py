@@ -1,0 +1,142 @@
+"""The consolidated archive configuration (`ArchiveConfig`).
+
+Every knob the storage stack grew across PRs — hardware profile, engine
+parallelism, dedup, journaling, retries, replication quorums, and now
+observability — lives in one frozen dataclass that
+:meth:`~repro.core.manager.MultiModelManager.with_approach`,
+:meth:`~repro.core.manager.MultiModelManager.open`,
+:meth:`~repro.core.approach.SaveContext.create` and the CLI all accept::
+
+    config = ArchiveConfig(profile=SERVER_PROFILE, workers=4, dedup=True,
+                           replicas=3, observability=ObservabilityConfig(tracing=True))
+    manager = MultiModelManager.with_approach("update", config)
+
+The pre-config keyword arguments (``workers=``, ``dedup=``, ...) keep
+working through a deprecation shim that maps them onto an equivalent
+config and emits :class:`DeprecationWarning`; both call shapes produce
+byte-identical archives.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigError
+from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+
+if TYPE_CHECKING:
+    from repro.storage.faults import RetryPolicy
+    from repro.storage.replication import ReplicationPolicy
+
+#: Sentinel distinguishing "legacy kwarg not passed" from an explicit value.
+UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing/metrics settings of an archive context."""
+
+    #: Record hierarchical spans for every save/recover/scrub (see
+    #: :mod:`repro.observability.trace`).  Off by default: the disabled
+    #: path is a shared no-op and adds nothing to hot loops.
+    tracing: bool = False
+    #: Re-export the context's :class:`StorageStats` through the
+    #: process-wide :func:`repro.observability.metrics.global_registry`.
+    metrics: bool = False
+    #: Where CLI/benchmark entry points export the JSON trace document
+    #: (``None`` keeps traces in memory on ``context.tracer``).
+    trace_path: str | None = None
+
+
+@dataclass(frozen=True)
+class ArchiveConfig:
+    """Frozen bundle of every archive/context knob.
+
+    ``replicas=None`` means "single backend" for fresh contexts and
+    "auto-detect the on-disk topology" when opening a durable archive;
+    ``journal``/``retry`` apply to durable archives (in-memory contexts
+    created via :meth:`SaveContext.create` run unjournaled — attach a
+    journal explicitly when a test needs one).
+    """
+
+    profile: HardwareProfile = LOCAL_PROFILE
+    workers: int = 1
+    dedup: bool = False
+    journal: bool = True
+    retry: "RetryPolicy | None" = None
+    replicas: int | None = None
+    write_quorum: int | None = None
+    read_quorum: int | None = None
+    replication_policy: "ReplicationPolicy | None" = None
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.profile, HardwareProfile):
+            raise ConfigError(
+                f"profile must be a HardwareProfile, got {self.profile!r}"
+            )
+        if self.workers is None or int(self.workers) < 0:
+            raise ConfigError(f"workers must be >= 0, got {self.workers!r}")
+        if self.replicas is not None and int(self.replicas) < 1:
+            raise ConfigError(f"replicas must be >= 1, got {self.replicas!r}")
+        for label, quorum in (
+            ("write_quorum", self.write_quorum),
+            ("read_quorum", self.read_quorum),
+        ):
+            if quorum is None:
+                continue
+            if int(quorum) < 1:
+                raise ConfigError(f"{label} must be >= 1, got {quorum!r}")
+            if self.replicas is not None and int(quorum) > int(self.replicas):
+                raise ConfigError(
+                    f"{label}={quorum} exceeds replicas={self.replicas}"
+                )
+        if not isinstance(self.observability, ObservabilityConfig):
+            raise ConfigError(
+                "observability must be an ObservabilityConfig, "
+                f"got {self.observability!r}"
+            )
+
+    def with_(self, **changes: Any) -> "ArchiveConfig":
+        """Copy with the given fields replaced (validation re-runs)."""
+        known = {spec.name for spec in fields(self)}
+        unknown = set(changes) - known
+        if unknown:
+            raise ConfigError(f"unknown ArchiveConfig field(s): {sorted(unknown)}")
+        return replace(self, **changes)
+
+
+def coalesce_legacy_config(
+    where: str,
+    config: "ArchiveConfig | HardwareProfile | None",
+    legacy: dict[str, Any],
+    stacklevel: int = 3,
+) -> ArchiveConfig:
+    """Merge deprecated per-knob kwargs onto an :class:`ArchiveConfig`.
+
+    ``legacy`` maps field names to values, with :data:`UNSET` marking
+    kwargs the caller did not pass.  Passing any real value (or a bare
+    :class:`HardwareProfile` where the config belongs, the pre-config
+    positional shape) emits a :class:`DeprecationWarning` naming the
+    replacement, then builds the equivalent config — so both call shapes
+    configure the archive identically.
+    """
+    provided = {name: value for name, value in legacy.items() if value is not UNSET}
+    if isinstance(config, HardwareProfile):
+        provided.setdefault("profile", config)
+        config = None
+    if config is not None and not isinstance(config, ArchiveConfig):
+        raise ConfigError(
+            f"{where}: expected ArchiveConfig or HardwareProfile, got {config!r}"
+        )
+    if provided:
+        warnings.warn(
+            f"{where}: keyword arguments {sorted(provided)} are deprecated; "
+            f"pass ArchiveConfig({', '.join(sorted(provided))}) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return (config or ArchiveConfig()).with_(**provided)
+    return config or ArchiveConfig()

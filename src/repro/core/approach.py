@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import itertools
 from typing import TYPE_CHECKING
 
+from repro.config import UNSET, ArchiveConfig, coalesce_legacy_config
 from repro.core.model_set import ModelSet
 from repro.core.save_info import SetMetadata, UpdateInfo
 from repro.datasets.registry import DatasetRegistry, default_registry
@@ -28,9 +29,11 @@ from repro.errors import RecoveryError
 from repro.storage.chunk_index import ChunkStore
 from repro.storage.document_store import DocumentStore
 from repro.storage.file_store import FileStore
-from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+from repro.storage.hardware import HardwareProfile
 
 if TYPE_CHECKING:
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.trace import TraceRecorder
     from repro.storage.journal import RecoveryReport, SaveJournal
 
 #: Document-store collection holding one descriptor document per set.
@@ -65,25 +68,55 @@ class SaveContext:
         default_factory=itertools.count, repr=False
     )
     _chunk_store: ChunkStore | None = field(default=None, repr=False)
+    #: The :class:`~repro.config.ArchiveConfig` this context was built
+    #: from (``None`` for hand-assembled contexts).
+    config: "ArchiveConfig | None" = field(default=None, repr=False)
+    #: Span recorder when the config enables tracing (see
+    #: :func:`repro.observability.trace.install_tracing`).
+    tracer: "TraceRecorder | None" = field(default=None, repr=False)
+    #: Metrics registry when the config enables metrics export.
+    metrics: "MetricsRegistry | None" = field(default=None, repr=False)
 
     @classmethod
     def create(
         cls,
-        profile: HardwareProfile = LOCAL_PROFILE,
-        workers: int = 1,
-        dedup: bool = False,
-        replicas: int = 1,
-        write_quorum: int | None = None,
-        read_quorum: int | None = None,
-        replication_policy: "object | None" = None,
+        config: "ArchiveConfig | HardwareProfile | None" = None,
+        *,
+        profile: "HardwareProfile" = UNSET,
+        workers: int = UNSET,
+        dedup: bool = UNSET,
+        replicas: int = UNSET,
+        write_quorum: "int | None" = UNSET,
+        read_quorum: "int | None" = UNSET,
+        replication_policy: "object | None" = UNSET,
     ) -> "SaveContext":
-        """Fresh in-memory context with the default dataset resolvers.
+        """Fresh in-memory context described by an :class:`ArchiveConfig`.
 
-        ``replicas > 1`` fans the stores across that many independent
-        in-memory backends with quorum semantics (see
-        :mod:`repro.storage.replication`); ``write_quorum``/``read_quorum``
-        default to a majority W and the matching R with W + R = N + 1.
+        ``config.replicas > 1`` fans the stores across that many
+        independent in-memory backends with quorum semantics (see
+        :mod:`repro.storage.replication`); the quorums default to a
+        majority W and the matching R with W + R = N + 1.  In-memory
+        contexts run unjournaled regardless of ``config.journal`` (attach
+        a journal explicitly when needed); ``config.retry`` and
+        ``config.observability`` are honored.
+
+        The per-knob keyword arguments are deprecated: pass the
+        equivalent ``ArchiveConfig`` instead.
         """
+        config = coalesce_legacy_config(
+            "SaveContext.create",
+            config,
+            {
+                "profile": profile,
+                "workers": workers,
+                "dedup": dedup,
+                "replicas": replicas,
+                "write_quorum": write_quorum,
+                "read_quorum": read_quorum,
+                "replication_policy": replication_policy,
+            },
+        )
+        replicas = config.replicas or 1
         if replicas > 1:
             from repro.storage.replication import (
                 ReplicatedDocumentStore,
@@ -91,27 +124,34 @@ class SaveContext:
             )
 
             file_store = ReplicatedFileStore(
-                [FileStore(profile=profile) for _ in range(replicas)],
-                write_quorum=write_quorum,
-                read_quorum=read_quorum,
-                policy=replication_policy,
+                [FileStore(profile=config.profile) for _ in range(replicas)],
+                write_quorum=config.write_quorum,
+                read_quorum=config.read_quorum,
+                policy=config.replication_policy,
             )
             document_store = ReplicatedDocumentStore(
-                [DocumentStore(profile=profile) for _ in range(replicas)],
-                write_quorum=write_quorum,
-                read_quorum=read_quorum,
-                policy=replication_policy,
+                [DocumentStore(profile=config.profile) for _ in range(replicas)],
+                write_quorum=config.write_quorum,
+                read_quorum=config.read_quorum,
+                policy=config.replication_policy,
             )
         else:
-            file_store = FileStore(profile=profile)
-            document_store = DocumentStore(profile=profile)
-        return cls(
+            file_store = FileStore(profile=config.profile)
+            document_store = DocumentStore(profile=config.profile)
+        context = cls(
             file_store=file_store,
             document_store=document_store,
             dataset_registry=default_registry(),
-            workers=workers,
-            dedup=dedup,
+            workers=config.workers,
+            dedup=config.dedup,
+            config=config,
         )
+        if config.retry is not None:
+            from repro.storage.faults import attach_retries
+
+            attach_retries(context, config.retry)
+        apply_observability(context, config)
+        return context
 
     def chunk_store(self) -> ChunkStore:
         """The context's chunk layer (created on first use, then shared)."""
@@ -123,12 +163,43 @@ class SaveContext:
         """Drop the cached chunk index (a rollback restored older docs)."""
         self._chunk_store = None
 
+    def trace(self, name: str, **attrs):
+        """A root trace span for one archive operation (no-op untraced)."""
+        if self.tracer is None:
+            from contextlib import nullcontext
+
+            return nullcontext(None)
+        return self.tracer.trace(name, **attrs)
+
     def save_transaction(self, kind: str = "save", approach: str | None = None):
-        """A journal transaction for one save/GC pass (no-op unjournaled)."""
+        """A journal transaction for one save/GC pass (no-op unjournaled).
+
+        Journaled transactions run under a ``journal-txn`` span (its own
+        charges are the journal's management-plane work; the save's store
+        traffic lands in the nested per-phase spans) and bump the
+        ``journal_txns_total`` counter when metrics are enabled.
+        """
+        if self.metrics is not None:
+            self.metrics.counter(
+                "journal_txns_total",
+                "save/GC journal transactions begun",
+            ).inc()
         if self.journal is None:
             from contextlib import nullcontext
 
             return nullcontext()
+        from contextlib import contextmanager
+
+        from repro.observability import trace as _trace
+
+        @contextmanager
+        def traced_txn():
+            with _trace.span("journal-txn", kind="journal", txn_kind=kind):
+                with self.journal.begin(kind, approach) as txn:
+                    yield txn
+
+        if _trace.active():
+            return traced_txn()
         return self.journal.begin(kind, approach)
 
     def next_set_id(self, approach_name: str) -> str:
@@ -137,11 +208,35 @@ class SaveContext:
 
     def set_document(self, set_id: str) -> dict:
         """Fetch a set's descriptor document (charged as a store read)."""
-        return self.document_store.get(SETS_COLLECTION, set_id)
+        from repro.observability import trace as _trace
+
+        with _trace.span("set-doc", kind="metadata", set_id=set_id):
+            return self.document_store.get(SETS_COLLECTION, set_id)
 
     def total_bytes(self) -> int:
         """Bytes currently held across both stores."""
         return self.file_store.total_bytes() + self.document_store.total_bytes()
+
+
+def apply_observability(context: SaveContext, config: "ArchiveConfig") -> None:
+    """Wire a context's tracing/metrics according to ``config``.
+
+    Shared by :meth:`SaveContext.create` and
+    :func:`repro.storage.persistent.open_context` so in-memory and
+    durable archives expose identical observability.
+    """
+    settings = config.observability
+    if settings.tracing:
+        from repro.observability.trace import install_tracing
+
+        install_tracing(context)
+    if settings.metrics:
+        from repro.observability.metrics import global_registry
+
+        registry = global_registry()
+        registry.register_stats("file_store", context.file_store.stats)
+        registry.register_stats("document_store", context.document_store.stats)
+        context.metrics = registry
 
 
 class SaveApproach(ABC):

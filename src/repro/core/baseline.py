@@ -36,6 +36,7 @@ from repro.nn.serialization import (
     bytes_to_parameters,
     parameters_to_bytes,
 )
+from repro.observability import trace as _trace
 from repro.storage.hashing import hash_bytes
 
 
@@ -57,15 +58,27 @@ def write_full_set(
     # Per-model serialization is independent, so it runs on the context's
     # worker lanes; concatenation order is model order either way, and the
     # put is striped across the same lanes.
-    payload = b"".join(
-        parallel_map(parameters_to_bytes, model_set.states, context.workers)
-    )
-    params_artifact = context.file_store.put(
-        payload,
-        artifact_id=f"{set_id}-params",
-        category="parameters",
-        workers=context.workers,
-    )
+    if _trace.active():
+
+        def serialize_one(indexed):
+            index, state = indexed
+            with _trace.span("model", key=index, kind="serialize"):
+                return parameters_to_bytes(state)
+
+        with _trace.span("serialize", kind="serialize"):
+            blobs = parallel_map(
+                serialize_one, list(enumerate(model_set.states)), context.workers
+            )
+    else:
+        blobs = parallel_map(parameters_to_bytes, model_set.states, context.workers)
+    payload = b"".join(blobs)
+    with _trace.span("store-put", kind="store-write", artifact=f"{set_id}-params"):
+        params_artifact = context.file_store.put(
+            payload,
+            artifact_id=f"{set_id}-params",
+            category="parameters",
+            workers=context.workers,
+        )
     spec = get_architecture(model_set.architecture)
     document: dict[str, Any] = {
         "type": doc_type,
@@ -78,7 +91,8 @@ def write_full_set(
     }
     if extra_fields:
         document.update(extra_fields)
-    context.document_store.insert(SETS_COLLECTION, document, doc_id=set_id)
+    with _trace.span("metadata", kind="metadata"):
+        context.document_store.insert(SETS_COLLECTION, document, doc_id=set_id)
     return set_id
 
 
@@ -123,9 +137,10 @@ def write_full_set_streaming(
                     raise ArchitectureMismatchError(
                         f"model {count} does not match the set schema"
                     )
-            writer.write(parameters_to_bytes(state))
-            if per_state is not None:
-                per_state(count, state)
+            with _trace.span("model", key=count, kind="serialize"):
+                writer.write(parameters_to_bytes(state))
+                if per_state is not None:
+                    per_state(count, state)
             count += 1
         if schema is None or count != num_models:
             writer.abort()
@@ -133,7 +148,8 @@ def write_full_set_streaming(
                 f"declared num_models={num_models} but the iterable yielded "
                 f"{count} models"
             )
-        params_artifact = writer.close()
+        with _trace.span("store-put", kind="store-write", artifact=f"{set_id}-params"):
+            params_artifact = writer.close()
 
     spec = get_architecture(architecture)
     document: dict[str, Any] = {
@@ -147,7 +163,8 @@ def write_full_set_streaming(
     }
     if extra_fields:
         document.update(extra_fields)
-    context.document_store.insert(SETS_COLLECTION, document, doc_id=set_id)
+    with _trace.span("metadata", kind="metadata"):
+        context.document_store.insert(SETS_COLLECTION, document, doc_id=set_id)
     return set_id
 
 
@@ -166,34 +183,48 @@ def read_single_model(
             f"({num_models} models)"
         )
     schema = StateSchema.from_json(document["schema"])
-    raw = context.file_store.get_range(
-        document["params_artifact"],
-        offset=model_index * schema.num_bytes,
-        length=schema.num_bytes,
-    )
-    return bytes_to_parameters(raw, schema)
+    with _trace.span(
+        "store-fetch", kind="store-read", artifact=document["params_artifact"]
+    ):
+        raw = context.file_store.get_range(
+            document["params_artifact"],
+            offset=model_index * schema.num_bytes,
+            length=schema.num_bytes,
+        )
+    with _trace.span("decode", kind="decode"):
+        return bytes_to_parameters(raw, schema)
 
 
 def read_full_set(context: SaveContext, document: dict, set_id: str) -> ModelSet:
     """Reconstruct a set saved by :func:`write_full_set`."""
     schema = StateSchema.from_json(document["schema"])
     num_models = int(document["num_models"])
-    payload = context.file_store.get(
-        document["params_artifact"], workers=context.workers
-    )
+    with _trace.span(
+        "store-fetch", kind="store-read", artifact=document["params_artifact"]
+    ):
+        payload = context.file_store.get(
+            document["params_artifact"], workers=context.workers
+        )
     expected = num_models * schema.num_bytes
     if len(payload) != expected:
         raise RecoveryError(
             f"set {set_id!r}: parameter artifact has {len(payload)} bytes, "
             f"expected {expected}"
         )
-    states = parallel_map(
-        lambda index: bytes_to_parameters(
-            payload, schema, offset=index * schema.num_bytes
-        ),
-        range(num_models),
-        context.workers,
-    )
+
+    def decode_one(index: int):
+        return bytes_to_parameters(payload, schema, offset=index * schema.num_bytes)
+
+    if _trace.active():
+
+        def decode_traced(index: int):
+            with _trace.span("model", key=index, kind="decode"):
+                return decode_one(index)
+
+        with _trace.span("decode", kind="decode"):
+            states = parallel_map(decode_traced, range(num_models), context.workers)
+    else:
+        states = parallel_map(decode_one, range(num_models), context.workers)
     return ModelSet(str(document["architecture"]), states)
 
 
@@ -267,15 +298,21 @@ def write_chunked_set(
                         f"model {count} does not match the set schema"
                     )
             row: list[str] = []
-            for layer, name in enumerate(schema.layer_names()):
-                if digests is not None and dtype == "float32":
-                    digest = digests[count][layer]
-                    session.add(digest, lambda n=name: _layer_bytes(state[n], dtype))
-                else:
-                    payload = _layer_bytes(state[name], dtype)
-                    digest = hash_bytes(payload)
-                    session.add(digest, payload)
-                row.append(digest)
+            with _trace.span("model", key=count, kind="serialize"):
+                for layer, name in enumerate(schema.layer_names()):
+                    with _trace.span(
+                        "chunk", key=layer, kind="serialize", layer=name
+                    ):
+                        if digests is not None and dtype == "float32":
+                            digest = digests[count][layer]
+                            session.add(
+                                digest, lambda n=name: _layer_bytes(state[n], dtype)
+                            )
+                        else:
+                            payload = _layer_bytes(state[name], dtype)
+                            digest = hash_bytes(payload)
+                            session.add(digest, payload)
+                        row.append(digest)
             matrix.append(row)
             count += 1
         if schema is None or count != num_models:
@@ -284,7 +321,8 @@ def write_chunked_set(
                 f"declared num_models={num_models} but the iterable yielded "
                 f"{count} models"
             )
-        session.close()
+        with _trace.span("chunk-commit", kind="store-write"):
+            session.close()
 
     spec = get_architecture(architecture)
     document: dict[str, Any] = {
@@ -302,7 +340,8 @@ def write_chunked_set(
         document["chunk_digests"] = matrix
     if extra_fields:
         document.update(extra_fields)
-    context.document_store.insert(SETS_COLLECTION, document, doc_id=set_id)
+    with _trace.span("metadata", kind="metadata"):
+        context.document_store.insert(SETS_COLLECTION, document, doc_id=set_id)
     return matrix
 
 
@@ -332,9 +371,10 @@ def read_chunked_set(context: SaveContext, document: dict, set_id: str) -> Model
             f"set {set_id!r}: digest matrix has {len(matrix)} rows, "
             f"expected {num_models}"
         )
-    values = context.chunk_store().fetch(
-        (digest for row in matrix for digest in row), workers=context.workers
-    )
+    with _trace.span("chunk-fetch", kind="store-read"):
+        values = context.chunk_store().fetch(
+            (digest for row in matrix for digest in row), workers=context.workers
+        )
     entries = schema.entries
 
     def build_state(model_index: int) -> "OrderedDict[str, np.ndarray]":
@@ -344,7 +384,16 @@ def read_chunked_set(context: SaveContext, document: dict, set_id: str) -> Model
             state[name] = _layer_from_bytes(values[row[layer]], shape, dtype)
         return state
 
-    states = parallel_map(build_state, range(num_models), context.workers)
+    if _trace.active():
+
+        def build_traced(model_index: int):
+            with _trace.span("model", key=model_index, kind="decode"):
+                return build_state(model_index)
+
+        with _trace.span("decode", kind="decode"):
+            states = parallel_map(build_traced, range(num_models), context.workers)
+    else:
+        states = parallel_map(build_state, range(num_models), context.workers)
     return ModelSet(str(document["architecture"]), states)
 
 
@@ -361,11 +410,13 @@ def read_chunked_model(
     schema = StateSchema.from_json(document["schema"])
     dtype = str(document.get("param_dtype", "float32"))
     row = _chunked_digests(context, document, set_id)[model_index]
-    values = context.chunk_store().fetch(row, workers=context.workers)
-    state: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for layer, (name, shape) in enumerate(schema.entries):
-        state[name] = _layer_from_bytes(values[row[layer]], shape, dtype)
-    return state
+    with _trace.span("chunk-fetch", kind="store-read"):
+        values = context.chunk_store().fetch(row, workers=context.workers)
+    with _trace.span("decode", kind="decode"):
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for layer, (name, shape) in enumerate(schema.entries):
+            state[name] = _layer_from_bytes(values[row[layer]], shape, dtype)
+        return state
 
 
 class BaselineApproach(SaveApproach):

@@ -42,6 +42,7 @@ from repro.core.mmlib_base import MODELS_COLLECTION
 from repro.core.update import HASH_COLLECTION, _layer_nbytes
 from repro.errors import DocumentNotFoundError
 from repro.nn.serialization import StateSchema, deserialize_state_dict
+from repro.observability import trace as _trace
 from repro.storage.chunk_index import PACKS_COLLECTION
 from repro.storage.hashing import hash_array, hash_bytes
 from repro.storage.journal import JOURNAL_COLLECTION
@@ -390,7 +391,21 @@ def scrub_archive(context: SaveContext, deep: bool = True) -> ScrubReport:
     on the next pass once every replica is back.
 
     On a non-replicated context this is a no-op that reports clean.
+
+    Each scrub bumps the ``scrub_passes_total`` metrics counter and,
+    when tracing is enabled on the context, records one ``scrub`` trace
+    whose child spans cover the five passes.
     """
+    metrics = getattr(context, "metrics", None)
+    if metrics is not None:
+        metrics.counter(
+            "scrub_passes_total", "anti-entropy scrub passes run"
+        ).inc()
+    with context.trace("scrub", deep=deep):
+        return _scrub_archive(context, deep)
+
+
+def _scrub_archive(context: SaveContext, deep: bool) -> ScrubReport:
     from repro.storage.replication import (
         _REPLICA_FAILURES,
         _encode,
@@ -419,152 +434,157 @@ def scrub_archive(context: SaveContext, deep: bool = True) -> ScrubReport:
         except _REPLICA_FAILURES:
             unreachable.add(state.name)
 
-    # 1. Drain the targeted repairs failover already queued up.
-    flushed = file_rep.repair_pending()
-    doc_flushed = doc_rep.repair_pending()
-    report.pending_flushed = (
-        len(flushed["repaired"])
-        + len(flushed["deleted"])
-        + len(doc_flushed["repaired"])
-        + len(doc_flushed["deleted"])
-    )
+    with _trace.span("flush-repairs", kind="scrub"):
+        # 1. Drain the targeted repairs failover already queued up.
+        flushed = file_rep.repair_pending()
+        doc_flushed = doc_rep.repair_pending()
+        report.pending_flushed = (
+            len(flushed["repaired"])
+            + len(flushed["deleted"])
+            + len(doc_flushed["repaired"])
+            + len(doc_flushed["deleted"])
+        )
 
-    # 2. Documents: every replica converges on the majority view.  This
-    # also prunes stale journal entries and uncommitted minority writes
-    # — but only with every replica present to vote.
-    may_prune = not unreachable
-    canonical_docs = doc_rep._collections
-    for state in doc_rep.replicas:
-        try:
-            collections = state.store._collections
-            for name, canonical in canonical_docs.items():
-                held = collections.get(name, {})
-                for doc_id, document in canonical.items():
-                    if doc_id not in held or _encode(held[doc_id]) != _encode(
-                        document
-                    ):
-                        state.store._write_raw(name, doc_id, document)
-                        report.documents_healed += 1
+    with _trace.span("converge-documents", kind="scrub"):
+        # 2. Documents: every replica converges on the majority view.  This
+        # also prunes stale journal entries and uncommitted minority writes
+        # — but only with every replica present to vote.
+        may_prune = not unreachable
+        canonical_docs = doc_rep._collections
+        for state in doc_rep.replicas:
+            try:
+                collections = state.store._collections
+                for name, canonical in canonical_docs.items():
+                    held = collections.get(name, {})
+                    for doc_id, document in canonical.items():
+                        if doc_id not in held or _encode(held[doc_id]) != _encode(
+                            document
+                        ):
+                            state.store._write_raw(name, doc_id, document)
+                            report.documents_healed += 1
+                    if may_prune:
+                        for doc_id in sorted(set(held) - set(canonical)):
+                            state.store._delete_raw(name, doc_id)
+                            report.documents_pruned += 1
                 if may_prune:
-                    for doc_id in sorted(set(held) - set(canonical)):
-                        state.store._delete_raw(name, doc_id)
-                        report.documents_pruned += 1
-            if may_prune:
-                for name in sorted(set(collections) - set(canonical_docs)):
-                    for doc_id in sorted(collections[name]):
-                        state.store._delete_raw(name, doc_id)
-                        report.documents_pruned += 1
-        except _REPLICA_FAILURES:
-            unreachable.add(state.name)
-
-    # 3. Artifacts: the canonical set is every id held by a majority of
-    # reachable replicas (majority digest), plus anything the converged
-    # documents reference — a referenced copy must never be pruned even
-    # if replication fell below majority.
-    votes: dict[str, dict] = {}
-    reachable = 0
-    for state in file_rep.replicas:
-        try:
-            ids = state.store.ids()
-        except _REPLICA_FAILURES:
-            unreachable.add(state.name)
-            continue
-        reachable += 1
-        for artifact_id in ids:
-            digest = _safe_digest(state.store, artifact_id)
-            counts = votes.setdefault(artifact_id, {})
-            counts[digest] = counts.get(digest, 0) + 1
-    referenced = ArchiveFsck(context)._referenced_artifacts()
-    canonical: dict[str, str | None] = {}
-    for artifact_id, counts in votes.items():
-        holders = sum(counts.values())
-        if holders * 2 > reachable or artifact_id in referenced:
-            canonical[artifact_id] = max(counts.items(), key=lambda kv: kv[1])[0]
-
-    pack_ids = set(canonical_docs.get(PACKS_COLLECTION, {}))
-    for artifact_id in sorted(canonical):
-        digest = canonical[artifact_id]
-        donor = None
-        for state in file_rep.replicas:
-            try:
-                if not state.store.exists(artifact_id):
-                    continue
-                if _safe_digest(state.store, artifact_id) != digest:
-                    continue
-                if deep and not state.store.verify_artifact(artifact_id):
-                    continue
-                data = state.store.get(artifact_id)
-            except _REPLICA_FAILURES:
-                continue
-            if digest is not None and hash_bytes(data) != digest:
-                continue
-            donor = data
-            break
-        if donor is None and artifact_id in pack_ids:
-            donor = _reassemble_pack(
-                file_rep, canonical_docs[PACKS_COLLECTION][artifact_id], artifact_id
-            )
-            if donor is not None:
-                digest = hash_bytes(donor)
-                report.packs_reassembled.append(artifact_id)
-        if donor is None:
-            report.lost_artifacts.append(artifact_id)
-            continue
-        for state in file_rep.replicas:
-            if state.name in unreachable:
-                continue
-            try:
-                healthy = (
-                    state.store.exists(artifact_id)
-                    and _safe_digest(state.store, artifact_id) == digest
-                    and (not deep or state.store.verify_artifact(artifact_id))
-                )
-                if healthy:
-                    continue
-                if state.store.exists(artifact_id):
-                    state.store.delete(artifact_id)
-                state.store.put(
-                    donor, artifact_id=artifact_id, category="repair", digest=digest
-                )
-            except _REPLICA_FAILURES:
-                unreachable.add(state.name)
-                continue
-            report.artifacts_healed.append((state.name, artifact_id))
-            report.bytes_copied += len(donor)
-
-    # 4. Prune minority orphans: copies no majority (and no document)
-    # vouches for — leftovers of writes that never reached quorum.  Like
-    # document pruning, refused while any replica is unreachable: the
-    # "orphan" may be a committed artifact whose other holders are down.
-    if not unreachable:
-        for state in file_rep.replicas:
-            try:
-                for artifact_id in sorted(
-                    set(state.store.ids()) - set(canonical)
-                ):
-                    state.store.delete(artifact_id)
-                    report.artifacts_pruned.append((state.name, artifact_id))
+                    for name in sorted(set(collections) - set(canonical_docs)):
+                        for doc_id in sorted(collections[name]):
+                            state.store._delete_raw(name, doc_id)
+                            report.documents_pruned += 1
             except _REPLICA_FAILURES:
                 unreachable.add(state.name)
 
-    # 5. Quarantined chunks: with the packs converged, the damaged slice
-    # can be re-read from any replica and verified against its digest.
-    context._invalidate_chunk_store()
-    if canonical_docs.get(PACKS_COLLECTION):
-        chunk_store = context.chunk_store()
-        for digest in chunk_store.quarantined_digests():
-            record = chunk_store._chunks[digest]
+    with _trace.span("heal-artifacts", kind="scrub"):
+        # 3. Artifacts: the canonical set is every id held by a majority of
+        # reachable replicas (majority digest), plus anything the converged
+        # documents reference — a referenced copy must never be pruned even
+        # if replication fell below majority.
+        votes: dict[str, dict] = {}
+        reachable = 0
+        for state in file_rep.replicas:
+            try:
+                ids = state.store.ids()
+            except _REPLICA_FAILURES:
+                unreachable.add(state.name)
+                continue
+            reachable += 1
+            for artifact_id in ids:
+                digest = _safe_digest(state.store, artifact_id)
+                counts = votes.setdefault(artifact_id, {})
+                counts[digest] = counts.get(digest, 0) + 1
+        referenced = ArchiveFsck(context)._referenced_artifacts()
+        canonical: dict[str, str | None] = {}
+        for artifact_id, counts in votes.items():
+            holders = sum(counts.values())
+            if holders * 2 > reachable or artifact_id in referenced:
+                canonical[artifact_id] = max(counts.items(), key=lambda kv: kv[1])[0]
+
+        pack_ids = set(canonical_docs.get(PACKS_COLLECTION, {}))
+        for artifact_id in sorted(canonical):
+            digest = canonical[artifact_id]
+            donor = None
             for state in file_rep.replicas:
                 try:
-                    data = state.store.get_range(
-                        record.artifact_id, record.offset, record.length
-                    )
-                except Exception:
+                    if not state.store.exists(artifact_id):
+                        continue
+                    if _safe_digest(state.store, artifact_id) != digest:
+                        continue
+                    if deep and not state.store.verify_artifact(artifact_id):
+                        continue
+                    data = state.store.get(artifact_id)
+                except _REPLICA_FAILURES:
                     continue
-                if hash_bytes(data) == digest:
-                    chunk_store.repair(digest, data)
-                    report.chunks_repaired.append(digest)
-                    break
+                if digest is not None and hash_bytes(data) != digest:
+                    continue
+                donor = data
+                break
+            if donor is None and artifact_id in pack_ids:
+                donor = _reassemble_pack(
+                    file_rep, canonical_docs[PACKS_COLLECTION][artifact_id], artifact_id
+                )
+                if donor is not None:
+                    digest = hash_bytes(donor)
+                    report.packs_reassembled.append(artifact_id)
+            if donor is None:
+                report.lost_artifacts.append(artifact_id)
+                continue
+            for state in file_rep.replicas:
+                if state.name in unreachable:
+                    continue
+                try:
+                    healthy = (
+                        state.store.exists(artifact_id)
+                        and _safe_digest(state.store, artifact_id) == digest
+                        and (not deep or state.store.verify_artifact(artifact_id))
+                    )
+                    if healthy:
+                        continue
+                    if state.store.exists(artifact_id):
+                        state.store.delete(artifact_id)
+                    state.store.put(
+                        donor, artifact_id=artifact_id, category="repair", digest=digest
+                    )
+                except _REPLICA_FAILURES:
+                    unreachable.add(state.name)
+                    continue
+                report.artifacts_healed.append((state.name, artifact_id))
+                report.bytes_copied += len(donor)
+
+    with _trace.span("prune-orphans", kind="scrub"):
+        # 4. Prune minority orphans: copies no majority (and no document)
+        # vouches for — leftovers of writes that never reached quorum.  Like
+        # document pruning, refused while any replica is unreachable: the
+        # "orphan" may be a committed artifact whose other holders are down.
+        if not unreachable:
+            for state in file_rep.replicas:
+                try:
+                    for artifact_id in sorted(
+                        set(state.store.ids()) - set(canonical)
+                    ):
+                        state.store.delete(artifact_id)
+                        report.artifacts_pruned.append((state.name, artifact_id))
+                except _REPLICA_FAILURES:
+                    unreachable.add(state.name)
+
+    with _trace.span("repair-chunks", kind="scrub"):
+        # 5. Quarantined chunks: with the packs converged, the damaged slice
+        # can be re-read from any replica and verified against its digest.
+        context._invalidate_chunk_store()
+        if canonical_docs.get(PACKS_COLLECTION):
+            chunk_store = context.chunk_store()
+            for digest in chunk_store.quarantined_digests():
+                record = chunk_store._chunks[digest]
+                for state in file_rep.replicas:
+                    try:
+                        data = state.store.get_range(
+                            record.artifact_id, record.offset, record.length
+                        )
+                    except Exception:
+                        continue
+                    if hash_bytes(data) == digest:
+                        chunk_store.repair(digest, data)
+                        report.chunks_repaired.append(digest)
+                        break
 
     report.unreachable_replicas = sorted(unreachable)
     report.residual_divergence = replica_divergence(file_rep, doc_rep, deep=deep)

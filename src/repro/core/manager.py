@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.config import UNSET, ArchiveConfig, coalesce_legacy_config
 from repro.core.approach import SETS_COLLECTION, SaveApproach, SaveContext
 from repro.core.baseline import BaselineApproach
 from repro.core.mmlib_base import MMlibBaseApproach
@@ -22,7 +23,7 @@ from repro.core.provenance import ProvenanceApproach
 from repro.core.quantized import QuantizedBaselineApproach
 from repro.core.save_info import SetMetadata, UpdateInfo
 from repro.core.update import UpdateApproach
-from repro.storage.hardware import LOCAL_PROFILE, HardwareProfile
+from repro.storage.hardware import HardwareProfile
 
 #: Approach name -> class, for :meth:`MultiModelManager.with_approach`.
 APPROACHES: dict[str, type[SaveApproach]] = {
@@ -46,13 +47,15 @@ class MultiModelManager:
     def with_approach(
         cls,
         name: str,
-        profile: HardwareProfile = LOCAL_PROFILE,
+        config: "ArchiveConfig | HardwareProfile | None" = None,
+        *,
         context: SaveContext | None = None,
-        workers: int | None = None,
-        dedup: bool | None = None,
-        replicas: int = 1,
-        write_quorum: int | None = None,
-        read_quorum: int | None = None,
+        profile: HardwareProfile = UNSET,
+        workers: "int | None" = UNSET,
+        dedup: "bool | None" = UNSET,
+        replicas: int = UNSET,
+        write_quorum: "int | None" = UNSET,
+        read_quorum: "int | None" = UNSET,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Create a manager for the named approach.
@@ -61,28 +64,23 @@ class MultiModelManager:
         ----------
         name:
             One of ``"baseline"``, ``"update"``, ``"provenance"``,
-            ``"mmlib-base"``.
-        profile:
-            Hardware latency profile for a freshly created context
-            (ignored when ``context`` is given).
+            ``"mmlib-base"``, ``"pas-delta"``, ``"quantized-baseline"``.
+        config:
+            The :class:`~repro.config.ArchiveConfig` describing the
+            context to create (profile, workers, dedup, replication,
+            observability, ...).  ``None`` uses the defaults.
         context:
-            Existing context to share with other approaches.
-        workers:
-            Parallelism of the save/recover engine (``1`` serial, ``0``
-            one lane per CPU).  When given together with ``context``,
-            overrides the context's setting.
-        dedup:
-            Route parameter writes through the content-addressed chunk
-            layer (identical layer tensors stored once, refcounted).
-            Recovery output is byte-identical either way.  When given
-            together with ``context``, overrides the context's setting.
-        replicas / write_quorum / read_quorum:
-            Fan the freshly created context's stores across ``replicas``
-            independent backends with quorum semantics (ignored when
-            ``context`` is given); see :mod:`repro.storage.replication`.
+            Existing context to share with other approaches.  When given
+            together with ``config``, the config's ``workers``/``dedup``
+            engine knobs are applied onto the shared context; every
+            other field is ignored (the context's stores already exist).
         approach_kwargs:
             Extra approach options, e.g. ``snapshot_interval=4`` for the
             Update approach.
+
+        The per-knob keyword arguments (``workers=``, ``dedup=``,
+        ``replicas=``, ...) are deprecated shims mapping onto the
+        equivalent config; both shapes produce byte-identical archives.
         """
         try:
             approach_cls = APPROACHES[name]
@@ -90,20 +88,36 @@ class MultiModelManager:
             raise ValueError(
                 f"unknown approach {name!r}; known: {sorted(APPROACHES)}"
             ) from None
+        # The legacy kwargs used None for "not passed": normalize so the
+        # shim neither warns about, nor chokes on, explicit None values.
+        legacy = {
+            name: (UNSET if value is None else value)
+            for name, value in {
+                "profile": profile,
+                "workers": workers,
+                "dedup": dedup,
+                "replicas": replicas,
+                "write_quorum": write_quorum,
+                "read_quorum": read_quorum,
+            }.items()
+        }
+        provided = {name for name, value in legacy.items() if value is not UNSET}
+        full_config = config is not None and not isinstance(config, HardwareProfile)
+        config = coalesce_legacy_config(
+            "MultiModelManager.with_approach", config, legacy
+        )
         if context is None:
-            context = SaveContext.create(
-                profile=profile,
-                workers=1 if workers is None else workers,
-                dedup=bool(dedup),
-                replicas=replicas,
-                write_quorum=write_quorum,
-                read_quorum=read_quorum,
-            )
+            context = SaveContext.create(config)
+        elif full_config:
+            # A shared context already has its stores; only the engine
+            # knobs of the config can meaningfully apply to it.
+            context.workers = config.workers
+            context.dedup = config.dedup
         else:
-            if workers is not None:
-                context.workers = workers
-            if dedup is not None:
-                context.dedup = dedup
+            if "workers" in provided:
+                context.workers = config.workers
+            if "dedup" in provided:
+                context.dedup = config.dedup
         return cls(approach_cls(context, **approach_kwargs))
 
     @classmethod
@@ -111,14 +125,16 @@ class MultiModelManager:
         cls,
         directory: str,
         approach: str,
-        profile: HardwareProfile = LOCAL_PROFILE,
-        workers: int | None = None,
-        dedup: bool | None = None,
-        journal: bool = True,
-        retry: Any | None = None,
-        replicas: int | None = None,
-        write_quorum: int | None = None,
-        read_quorum: int | None = None,
+        config: "ArchiveConfig | HardwareProfile | None" = None,
+        *,
+        profile: HardwareProfile = UNSET,
+        workers: "int | None" = UNSET,
+        dedup: "bool | None" = UNSET,
+        journal: bool = UNSET,
+        retry: Any | None = UNSET,
+        replicas: "int | None" = UNSET,
+        write_quorum: "int | None" = UNSET,
+        read_quorum: "int | None" = UNSET,
         **approach_kwargs: Any,
     ) -> "MultiModelManager":
         """Open (or create) a durable archive rooted at ``directory``.
@@ -129,33 +145,37 @@ class MultiModelManager:
         set-id sequence and the chunk index, so derived saves keep
         chaining (and deduplicating) correctly.
 
-        With ``journal=True`` (default) every save runs as an atomic
-        write-ahead transaction, and opening first repairs anything a
-        crashed process left behind — see :attr:`recovery_report` for
-        what was rolled back.  ``retry`` takes a
-        :class:`~repro.storage.faults.RetryPolicy` for transient-error
-        resilience.
+        ``config`` carries every knob (see :class:`ArchiveConfig`): with
+        ``journal=True`` (the default) every save runs as an atomic
+        write-ahead transaction and opening first repairs anything a
+        crashed process left behind (see :attr:`recovery_report`);
+        ``retry`` takes a :class:`~repro.storage.faults.RetryPolicy`;
+        ``replicas`` (with optional quorums) replicates the archive
+        across backend subtrees, and ``None`` auto-detects an existing
+        replicated layout so reopening needs no flags.
 
-        ``replicas`` (with optional ``write_quorum``/``read_quorum``)
-        replicates the archive across that many backend subtrees with
-        quorum writes and failover reads; ``None`` auto-detects an
-        existing replicated layout, so reopening needs no flags.
+        The per-knob keyword arguments are deprecated shims mapping onto
+        the equivalent config.
         """
         from repro.storage.persistent import open_context
 
+        legacy = {
+            name: (UNSET if value is None else value)
+            for name, value in {
+                "profile": profile,
+                "workers": workers,
+                "dedup": dedup,
+                "journal": journal,
+                "retry": retry,
+                "replicas": replicas,
+                "write_quorum": write_quorum,
+                "read_quorum": read_quorum,
+            }.items()
+        }
+        config = coalesce_legacy_config("MultiModelManager.open", config, legacy)
         return cls.with_approach(
             approach,
-            context=open_context(
-                directory,
-                profile=profile,
-                journal=journal,
-                retry=retry,
-                replicas=replicas,
-                write_quorum=write_quorum,
-                read_quorum=read_quorum,
-            ),
-            workers=workers,
-            dedup=dedup,
+            context=open_context(directory, config=config),
             **approach_kwargs,
         )
 
@@ -183,12 +203,20 @@ class MultiModelManager:
         any point leaves the archive exactly as before the call (rolled
         back at the next :meth:`open`).
         """
-        with self.context.save_transaction("save", self.approach.name):
-            if base_set_id is None:
-                return self.approach.save_initial(model_set, metadata=metadata)
-            return self.approach.save_derived(
-                model_set, base_set_id, update_info=update_info, metadata=metadata
-            )
+        with self.context.trace(
+            "save_set",
+            approach=self.approach.name,
+            mode="initial" if base_set_id is None else "derived",
+        ):
+            with self.context.save_transaction("save", self.approach.name):
+                if base_set_id is None:
+                    return self.approach.save_initial(model_set, metadata=metadata)
+                return self.approach.save_derived(
+                    model_set,
+                    base_set_id,
+                    update_info=update_info,
+                    metadata=metadata,
+                )
 
     def save_set_streaming(
         self,
@@ -203,10 +231,13 @@ class MultiModelManager:
         into the parameter artifact one at a time (Baseline/Update write
         a true single pass; other approaches fall back to materializing).
         """
-        with self.context.save_transaction("save", self.approach.name):
-            return self.approach.save_initial_streaming(
-                architecture, states, num_models, metadata=metadata
-            )
+        with self.context.trace(
+            "save_set_streaming", approach=self.approach.name, mode="initial"
+        ):
+            with self.context.save_transaction("save", self.approach.name):
+                return self.approach.save_initial_streaming(
+                    architecture, states, num_models, metadata=metadata
+                )
 
     def recover_set(self, set_id: str, salvage: bool = False):
         """Reconstruct a saved model set.
@@ -218,11 +249,14 @@ class MultiModelManager:
         still verifies plus a structured account of exactly which models
         were lost and why.
         """
-        if salvage:
-            from repro.core.fsck import salvage_recover
+        with self.context.trace(
+            "recover_set", approach=self.approach.name, set_id=set_id
+        ):
+            if salvage:
+                from repro.core.fsck import salvage_recover
 
-            return salvage_recover(self.context, set_id)
-        return self.approach.recover(set_id)
+                return salvage_recover(self.context, set_id)
+            return self.approach.recover(set_id)
 
     def recover_model(self, set_id: str, model_index: int):
         """Reconstruct a single model's parameter dictionary.
@@ -231,7 +265,13 @@ class MultiModelManager:
         post-accident-analysis scenario: all approaches use range reads
         or per-model provenance replay instead of materializing the set.
         """
-        return self.approach.recover_model(set_id, model_index)
+        with self.context.trace(
+            "recover_model",
+            approach=self.approach.name,
+            set_id=set_id,
+            model_index=model_index,
+        ):
+            return self.approach.recover_model(set_id, model_index)
 
     # -- inspection -----------------------------------------------------------
     def list_sets(self) -> list[str]:

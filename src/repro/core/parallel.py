@@ -16,9 +16,12 @@ order, so parallel and serial execution produce byte-identical results.
 
 from __future__ import annotations
 
+import contextvars
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.observability import trace as _trace
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
@@ -46,6 +49,13 @@ def parallel_map(
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) < 2:
         return [fn(item) for item in items]
+    if _trace.active():
+        # Worker threads must see the caller's current span so store
+        # charges attribute correctly.  Each item gets its own copy of
+        # the caller's context: Context.run() on one Context object from
+        # concurrent threads raises RuntimeError.
+        caller = contextvars.copy_context()
+        inner, fn = fn, lambda item: caller.copy().run(inner, item)
     # Chunk the work so per-future bookkeeping does not dominate the
     # (often sub-millisecond) per-item cost.
     chunksize = max(1, len(items) // (workers * 4))

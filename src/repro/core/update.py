@@ -57,6 +57,7 @@ from repro.core.parallel import parallel_map
 from repro.core.save_info import SetMetadata, UpdateInfo
 from repro.errors import InvalidUpdatePlanError, RecoveryError
 from repro.nn.serialization import StateSchema
+from repro.observability import trace as _trace
 from repro.storage.hashing import hash_array, hash_states
 
 #: Collection holding one hash-info document per saved set.
@@ -73,9 +74,13 @@ def _set_hashes(model_set: ModelSet, workers: int = 1) -> list[list[str]]:
     work runs on ``workers`` thread lanes (hashlib drops the GIL on large
     buffers) and the output is identical to the serial loop.
     """
-    return hash_states(
-        model_set.states, model_set.schema.layer_names(), length=64, workers=workers
-    )
+    with _trace.span("hash", kind="hash"):
+        return hash_states(
+            model_set.states,
+            model_set.schema.layer_names(),
+            length=64,
+            workers=workers,
+        )
 
 
 def _layer_nbytes(schema: StateSchema) -> list[int]:
@@ -168,12 +173,13 @@ class UpdateApproach(SaveApproach):
 
     # -- save --------------------------------------------------------------
     def _save_hashes(self, set_id: str, hashes: list[list[str]], schema: StateSchema) -> None:
-        self.context.document_store.insert(
-            HASH_COLLECTION,
-            {"layers": schema.layer_names(), "hashes": hashes},
-            doc_id=set_id,
-            category="hash-info",
-        )
+        with _trace.span("hash-info", kind="metadata"):
+            self.context.document_store.insert(
+                HASH_COLLECTION,
+                {"layers": schema.layer_names(), "hashes": hashes},
+                doc_id=set_id,
+                category="hash-info",
+            )
 
     def save_initial(
         self, model_set: ModelSet, metadata: SetMetadata | None = None
@@ -328,17 +334,20 @@ class UpdateApproach(SaveApproach):
         # Step 2: hash every model and layer of the new set.
         new_hashes = _set_hashes(model_set, workers)
         # Step 3: diff against the base set's stored hash info.
-        base_hashes = self.context.document_store.get(HASH_COLLECTION, base_set_id)[
-            "hashes"
-        ]
-        diff: list[list[Any]] = []
-        all_layers = list(range(len(model_set.schema.entries)))
-        for model_index, (old, new) in enumerate(zip(base_hashes, new_hashes)):
-            changed = [layer for layer, (a, b) in enumerate(zip(old, new)) if a != b]
-            if changed and self.granularity == "model":
-                changed = all_layers
-            if changed:
-                diff.append([model_index, changed])
+        with _trace.span("diff", kind="diff"):
+            base_hashes = self.context.document_store.get(
+                HASH_COLLECTION, base_set_id
+            )["hashes"]
+            diff: list[list[Any]] = []
+            all_layers = list(range(len(model_set.schema.entries)))
+            for model_index, (old, new) in enumerate(zip(base_hashes, new_hashes)):
+                changed = [
+                    layer for layer, (a, b) in enumerate(zip(old, new)) if a != b
+                ]
+                if changed and self.granularity == "model":
+                    changed = all_layers
+                if changed:
+                    diff.append([model_index, changed])
 
         if self.context.dedup:
             # Step 4, deduplicated: every layer is referenced through the
@@ -384,33 +393,46 @@ class UpdateApproach(SaveApproach):
                 for layer in changed_layers
             )
 
-        chunks = parallel_map(serialize_entry, diff, workers)
-        params_artifact = self.context.file_store.put(
-            self.codec.encode(b"".join(chunks)),
-            artifact_id=f"{set_id}-delta",
-            category="parameters",
-            workers=workers,
-        )
+        if _trace.active():
+
+            def serialize_traced(entry: "list[Any]") -> bytes:
+                with _trace.span("model", key=int(entry[0]), kind="serialize"):
+                    return serialize_entry(entry)
+
+            with _trace.span("serialize", kind="serialize"):
+                chunks = parallel_map(serialize_traced, diff, workers)
+        else:
+            chunks = parallel_map(serialize_entry, diff, workers)
+        with _trace.span(
+            "store-put", kind="store-write", artifact=f"{set_id}-delta"
+        ):
+            params_artifact = self.context.file_store.put(
+                self.codec.encode(b"".join(chunks)),
+                artifact_id=f"{set_id}-delta",
+                category="parameters",
+                workers=workers,
+            )
 
         # Step 1 (persisted last so the document can reference the blob).
-        self.context.document_store.insert(
-            SETS_COLLECTION,
-            {
-                "type": self.name,
-                "kind": "delta",
-                "base_set": base_set_id,
-                "chain_depth": chain_depth,
-                "architecture": str(base_doc["architecture"]),
-                "num_models": len(model_set),
-                "schema": model_set.schema.to_json(),
-                "diff": diff,
-                "codec": self.codec.name,
-                "granularity": self.granularity,
-                "params_artifact": params_artifact,
-                "metadata": metadata.to_json(),
-            },
-            doc_id=set_id,
-        )
+        with _trace.span("metadata", kind="metadata"):
+            self.context.document_store.insert(
+                SETS_COLLECTION,
+                {
+                    "type": self.name,
+                    "kind": "delta",
+                    "base_set": base_set_id,
+                    "chain_depth": chain_depth,
+                    "architecture": str(base_doc["architecture"]),
+                    "num_models": len(model_set),
+                    "schema": model_set.schema.to_json(),
+                    "diff": diff,
+                    "codec": self.codec.name,
+                    "granularity": self.granularity,
+                    "params_artifact": params_artifact,
+                    "metadata": metadata.to_json(),
+                },
+                doc_id=set_id,
+            )
         self._save_hashes(set_id, new_hashes, model_set.schema)
         return set_id
 
@@ -440,15 +462,19 @@ class UpdateApproach(SaveApproach):
         Returns ``(base_document, base_set_id, deltas)`` with the delta
         documents ordered newest first.
         """
-        deltas: list[dict] = []
-        current_id = set_id
-        while True:
-            document = self.context.set_document(current_id)
-            self._require_type(document, self.name, current_id)
-            if document["kind"] == "full":
-                return document, current_id, deltas
-            deltas.append(document)
-            current_id = str(document["base_set"])
+        with _trace.span("chain-walk", kind="metadata"):
+            deltas: list[dict] = []
+            current_id = set_id
+            while True:
+                document = self.context.set_document(current_id)
+                self._require_type(document, self.name, current_id)
+                if document["kind"] == "full":
+                    _trace.add_event(
+                        "chain-resolved", base=current_id, depth=len(deltas)
+                    )
+                    return document, current_id, deltas
+                deltas.append(document)
+                current_id = str(document["base_set"])
 
     def _validate_delta_size(self, document: dict, layer_nbytes: list[int]) -> None:
         """Check an uncompressed delta blob's length against its diff list."""
@@ -528,29 +554,35 @@ class UpdateApproach(SaveApproach):
             if not segments:
                 continue  # every byte of this delta was superseded
             codec_name = str(document.get("codec", "none"))
-            if codec_name == "none":
-                values.update(
-                    _coalesced_fetch(
-                        self.context.file_store,
-                        document["params_artifact"],
-                        segments,
-                        workers,
+            with _trace.span(
+                "delta-fetch",
+                key=depth,
+                kind="store-read",
+                artifact=document["params_artifact"],
+            ):
+                if codec_name == "none":
+                    values.update(
+                        _coalesced_fetch(
+                            self.context.file_store,
+                            document["params_artifact"],
+                            segments,
+                            workers,
+                        )
                     )
-                )
-            else:
-                payload = get_codec(codec_name).decode(
-                    self.context.file_store.get(
-                        document["params_artifact"], workers=workers
+                else:
+                    payload = get_codec(codec_name).decode(
+                        self.context.file_store.get(
+                            document["params_artifact"], workers=workers
+                        )
                     )
-                )
-                if offset != len(payload):
-                    raise RecoveryError(
-                        f"delta artifact has {len(payload)} bytes, diff list "
-                        f"implies {offset}"
-                    )
-                view = memoryview(payload)
-                for seg_offset, nbytes, key in segments:
-                    values[key] = view[seg_offset : seg_offset + nbytes]
+                    if offset != len(payload):
+                        raise RecoveryError(
+                            f"delta artifact has {len(payload)} bytes, diff list "
+                            f"implies {offset}"
+                        )
+                    view = memoryview(payload)
+                    for seg_offset, nbytes, key in segments:
+                        values[key] = view[seg_offset : seg_offset + nbytes]
 
         # Base snapshot: everything no delta finalized, superseded ranges
         # skipped entirely.
@@ -567,14 +599,17 @@ class UpdateApproach(SaveApproach):
                         )
                     )
         if base_segments:
-            values.update(
-                _coalesced_fetch(
-                    self.context.file_store,
-                    base_doc["params_artifact"],
-                    base_segments,
-                    workers,
+            with _trace.span(
+                "base-fetch", kind="store-read", artifact=base_doc["params_artifact"]
+            ):
+                values.update(
+                    _coalesced_fetch(
+                        self.context.file_store,
+                        base_doc["params_artifact"],
+                        base_segments,
+                        workers,
+                    )
                 )
-            )
 
         # Assemble the set (decoding parallelizes per model).
         entries = schema.entries
@@ -591,27 +626,38 @@ class UpdateApproach(SaveApproach):
                 )
             return state
 
-        states = parallel_map(build_state, range(num_models), workers)
+        if _trace.active():
+
+            def build_traced(model_index: int):
+                with _trace.span("model", key=model_index, kind="decode"):
+                    return build_state(model_index)
+
+            with _trace.span("decode", kind="decode"):
+                states = parallel_map(build_traced, range(num_models), workers)
+        else:
+            states = parallel_map(build_state, range(num_models), workers)
         return ModelSet(str(base_doc["architecture"]), states)
 
     def _recover_replay(self, set_id: str) -> ModelSet:
         # The paper's recovery: walk the chain back to the nearest full
         # snapshot, then re-apply the deltas forward.  Iterative to keep
         # long chains safe.
-        chain: list[dict] = []
-        current_id = set_id
-        while True:
-            document = self.context.set_document(current_id)
-            self._require_type(document, self.name, current_id)
-            if document["kind"] == "full":
-                base = read_full_set(self.context, document, current_id)
-                break
-            chain.append(document)
-            current_id = str(document["base_set"])
+        with _trace.span("chain-walk", kind="metadata"):
+            chain: list[dict] = []
+            current_id = set_id
+            while True:
+                document = self.context.set_document(current_id)
+                self._require_type(document, self.name, current_id)
+                if document["kind"] == "full":
+                    break
+                chain.append(document)
+                current_id = str(document["base_set"])
+        base = read_full_set(self.context, document, current_id)
 
         model_set = base
-        for document in reversed(chain):
-            model_set = self._apply_delta(model_set, document)
+        for index, document in enumerate(reversed(chain)):
+            with _trace.span("apply-delta", key=index, kind="store-read"):
+                model_set = self._apply_delta(model_set, document)
         return model_set
 
     def recover_model(self, set_id: str, model_index: int):
@@ -675,24 +721,30 @@ class UpdateApproach(SaveApproach):
             if not segments:
                 continue
             codec_name = str(document.get("codec", "none"))
-            if codec_name == "none":
-                values.update(
-                    _coalesced_fetch(
-                        self.context.file_store,
-                        document["params_artifact"],
-                        segments,
-                        workers,
+            with _trace.span(
+                "delta-fetch",
+                key=depth,
+                kind="store-read",
+                artifact=document["params_artifact"],
+            ):
+                if codec_name == "none":
+                    values.update(
+                        _coalesced_fetch(
+                            self.context.file_store,
+                            document["params_artifact"],
+                            segments,
+                            workers,
+                        )
                     )
-                )
-            else:
-                payload = get_codec(codec_name).decode(
-                    self.context.file_store.get(
-                        document["params_artifact"], workers=workers
+                else:
+                    payload = get_codec(codec_name).decode(
+                        self.context.file_store.get(
+                            document["params_artifact"], workers=workers
+                        )
                     )
-                )
-                view = memoryview(payload)
-                for seg_offset, nbytes, key in segments:
-                    values[key] = view[seg_offset : seg_offset + nbytes]
+                    view = memoryview(payload)
+                    for seg_offset, nbytes, key in segments:
+                        values[key] = view[seg_offset : seg_offset + nbytes]
 
         base_segments = [
             (
@@ -704,43 +756,47 @@ class UpdateApproach(SaveApproach):
             if writer[layer] == _FROM_BASE
         ]
         if base_segments:
-            values.update(
-                _coalesced_fetch(
-                    self.context.file_store,
-                    base_doc["params_artifact"],
-                    base_segments,
-                    workers,
+            with _trace.span(
+                "base-fetch", kind="store-read", artifact=base_doc["params_artifact"]
+            ):
+                values.update(
+                    _coalesced_fetch(
+                        self.context.file_store,
+                        base_doc["params_artifact"],
+                        base_segments,
+                        workers,
+                    )
                 )
-            )
 
-        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        for layer, (name, shape) in enumerate(schema.entries):
-            raw = values[(model_index, layer)]
-            size = int(np.prod(shape)) if shape else 1
-            state[name] = (
-                np.frombuffer(raw, dtype=np.float32, count=size)
-                .reshape(shape)
-                .copy()
-            )
-        return state
+        with _trace.span("decode", kind="decode"):
+            state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+            for layer, (name, shape) in enumerate(schema.entries):
+                raw = values[(model_index, layer)]
+                size = int(np.prod(shape)) if shape else 1
+                state[name] = (
+                    np.frombuffer(raw, dtype=np.float32, count=size)
+                    .reshape(shape)
+                    .copy()
+                )
+            return state
 
     def _recover_model_replay(self, set_id: str, model_index: int):
         """The pre-compaction single-model recovery (chain replay)."""
-        chain: list[dict] = []
-        current_id = set_id
-        while True:
-            document = self.context.set_document(current_id)
-            self._require_type(document, self.name, current_id)
-            if document["kind"] == "full":
-                state = read_single_model(
-                    self.context, document, current_id, model_index
-                )
-                break
-            chain.append(document)
-            current_id = str(document["base_set"])
+        with _trace.span("chain-walk", kind="metadata"):
+            chain: list[dict] = []
+            current_id = set_id
+            while True:
+                document = self.context.set_document(current_id)
+                self._require_type(document, self.name, current_id)
+                if document["kind"] == "full":
+                    break
+                chain.append(document)
+                current_id = str(document["base_set"])
+        state = read_single_model(self.context, document, current_id, model_index)
 
-        for document in reversed(chain):
-            self._apply_delta_to_model(state, document, model_index)
+        for index, document in enumerate(reversed(chain)):
+            with _trace.span("apply-delta", key=index, kind="store-read"):
+                self._apply_delta_to_model(state, document, model_index)
         return state
 
     def _apply_delta_to_model(

@@ -3,13 +3,46 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish the individual failure modes.
+
+This module is the single public home of the hierarchy: import errors
+from ``repro.errors`` (or the ``repro`` top level, which re-exports all
+of them).  Storage modules that historically raised these classes keep
+re-exporting them for compatibility, but new code should not import
+errors from anywhere else.
 """
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SerializationError",
+    "ArchitectureMismatchError",
+    "UnknownArchitectureError",
+    "StorageError",
+    "ArtifactNotFoundError",
+    "DocumentNotFoundError",
+    "DuplicateArtifactError",
+    "TransientStorageError",
+    "PermanentStorageError",
+    "ReplicaUnavailableError",
+    "QuorumError",
+    "ArtifactCorruptionError",
+    "ChunkCorruptionError",
+    "SimulatedCrashError",
+    "RecoveryError",
+    "ProvenanceReplayError",
+    "DatasetNotFoundError",
+    "InvalidUpdatePlanError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """Raised when an :class:`~repro.config.ArchiveConfig` is invalid."""
 
 
 class SerializationError(ReproError):

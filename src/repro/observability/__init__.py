@@ -1,0 +1,61 @@
+"""Tracing + metrics for the archive (spans, registry, exporters).
+
+Quickstart::
+
+    from repro import ArchiveConfig, MultiModelManager, ObservabilityConfig
+
+    config = ArchiveConfig(observability=ObservabilityConfig(tracing=True))
+    manager = MultiModelManager.with_approach("update", config)
+    set_id = manager.save_set(model_set)
+
+    from repro.observability import render_tree
+    print(render_tree(manager.context.tracer.last_root))
+
+See :mod:`repro.observability.trace` for the span model and the
+determinism rules instrumented code follows.
+"""
+
+from repro.observability.export import (
+    metrics_json,
+    phase_breakdown,
+    prometheus_text,
+    render_tree,
+    span_to_dict,
+    trace_document,
+    write_trace_json,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.observability.schema import TRACE_SCHEMA, validate_trace_document
+from repro.observability.trace import (
+    NOOP_SPAN,
+    Span,
+    TraceRecorder,
+    install_tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "TRACE_SCHEMA",
+    "TraceRecorder",
+    "global_registry",
+    "install_tracing",
+    "metrics_json",
+    "phase_breakdown",
+    "prometheus_text",
+    "render_tree",
+    "span_to_dict",
+    "trace_document",
+    "validate_trace_document",
+    "write_trace_json",
+]

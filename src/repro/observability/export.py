@@ -1,0 +1,178 @@
+"""Exporters for traces and metrics.
+
+Three consumers, three formats:
+
+* machine — :func:`trace_document` / :func:`write_trace_json` emit a JSON
+  tree validating against :data:`repro.observability.schema.TRACE_SCHEMA`;
+* dashboards — :func:`prometheus_text` renders a
+  :class:`~repro.observability.metrics.MetricsRegistry` in the Prometheus
+  exposition format (``repro_`` namespace, labels from dotted suffixes);
+* humans — :func:`render_tree` prints a span tree with per-span simulated
+  and wall time, and :func:`phase_breakdown` folds a trace into per-phase
+  simulated seconds that sum exactly to the run's TTS/TTR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Span
+
+#: Phase bucket for charges recorded outside any kind-labelled span.
+OTHER_PHASE = "other"
+
+
+# -- trace → JSON ----------------------------------------------------------
+def span_to_dict(span: Span, parent_path: str = "") -> dict:
+    path = f"{parent_path}/{span.identity}"
+    node: dict = {
+        "id": span.span_id(parent_path),
+        "name": span.name,
+        "identity": span.identity,
+        "kind": span.kind,
+        "wall_s": span.wall_s,
+        "simulated_s": span.simulated_s,
+        "simulated_total_s": span.total_simulated_s(),
+        "children": [
+            span_to_dict(child, path) for child in span.sorted_children()
+        ],
+    }
+    if span.key is not None:
+        node["key"] = span.key
+    if span.attrs:
+        node["attrs"] = span.attrs
+    if span.simulated_by_kind:
+        node["simulated_by_kind"] = dict(sorted(span.simulated_by_kind.items()))
+    if span.op_counts:
+        node["op_counts"] = dict(sorted(span.op_counts.items()))
+    if span.events:
+        node["events"] = list(span.events)
+    return node
+
+
+def trace_document(roots: "list[Span]", meta: dict | None = None) -> dict:
+    """Schema-conforming JSON document for a list of finished traces."""
+    return {
+        "version": 1,
+        "meta": meta or {},
+        "traces": [
+            {
+                "root": span_to_dict(root),
+                "phases": phase_breakdown(root),
+                "total_simulated_s": root.total_simulated_s(),
+            }
+            for root in roots
+        ],
+    }
+
+
+def write_trace_json(
+    path: "str | Path", roots: "list[Span]", meta: dict | None = None
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_document(roots, meta), indent=2))
+    return path
+
+
+# -- trace → breakdown/tree ------------------------------------------------
+def phase_breakdown(root: Span) -> dict[str, float]:
+    """Per-phase simulated seconds; sums exactly to the trace's total.
+
+    A span's own charges land in its ``kind``; spans without a kind
+    inherit the nearest ancestor's, and charges above every kind-labelled
+    span fall into ``"other"`` — so every simulated second is counted in
+    exactly one phase.
+    """
+    phases: dict[str, float] = {}
+
+    def walk(span: Span, inherited: str) -> None:
+        phase = span.kind or inherited
+        if span.simulated_s:
+            phases[phase] = phases.get(phase, 0.0) + span.simulated_s
+        for child in span.sorted_children():
+            walk(child, phase)
+
+    walk(root, OTHER_PHASE)
+    return dict(sorted(phases.items()))
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.3f}ms"
+
+
+def render_tree(root: Span, include_wall: bool = True) -> str:
+    """Human-readable span tree (the ``repro-archive trace`` output)."""
+    lines: list[str] = []
+
+    def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        parts = [f"sim={_format_seconds(span.total_simulated_s())}"]
+        if span.simulated_s and span.children:
+            parts.append(f"own={_format_seconds(span.simulated_s)}")
+        if include_wall:
+            parts.append(f"wall={_format_seconds(span.wall_s)}")
+        if span.kind:
+            parts.append(f"phase={span.kind}")
+        label = span.identity if span.key is not None else span.name
+        lines.append(f"{prefix}{connector}{label}  [{', '.join(parts)}]")
+        for event in span.events:
+            detail = ", ".join(
+                f"{key}={value}" for key, value in event.items() if key != "name"
+            )
+            child_prefix = prefix + ("" if is_root else ("   " if is_last else "│  "))
+            lines.append(f"{child_prefix}• {event['name']}" + (f" ({detail})" if detail else ""))
+        children = span.sorted_children()
+        for index, child in enumerate(children):
+            child_prefix = prefix + ("" if is_root else ("   " if is_last else "│  "))
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+# -- metrics ---------------------------------------------------------------
+def _prometheus_name(name: str) -> tuple[str, str]:
+    """Split a collected name into (metric, label-suffix)."""
+    if "." in name:
+        base, label = name.split(".", 1)
+        return base, label
+    return name, ""
+
+
+def prometheus_text(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Prometheus exposition-format rendering of a registry."""
+    lines: list[str] = []
+    for name, value in registry.collect().items():
+        base, label = _prometheus_name(name)
+        metric = f"{namespace}_{base}".replace("-", "_")
+        if label:
+            lines.append(f'{metric}{{category="{label}"}} {value}')
+        else:
+            lines.append(f"{metric} {value}")
+    for name, snap in registry.histograms().items():
+        metric = f"{namespace}_{name}".replace("-", "_")
+        for bound, cumulative in snap["buckets"]:
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {snap["count"]}')
+        lines.append(f"{metric}_sum {snap['sum']}")
+        lines.append(f"{metric}_count {snap['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_json(registry: MetricsRegistry) -> dict:
+    return {
+        "values": registry.collect(),
+        "histograms": {
+            name: {
+                "buckets": [[bound, count] for bound, count in snap["buckets"]],
+                "sum": snap["sum"],
+                "count": snap["count"],
+            }
+            for name, snap in registry.histograms().items()
+        },
+    }

@@ -1,0 +1,314 @@
+"""Hierarchical tracing for save/recover pipelines.
+
+A trace is a tree of :class:`Span` objects: ``save_set`` at the root,
+one child per model, and per-layer hash/serialize/store-put leaves.
+Every span carries two clocks:
+
+* **wall time** (``wall_s``) — measured with ``perf_counter`` around the
+  span body; varies run to run and is excluded from determinism checks;
+* **simulated time** (``simulated_s``) — the latency-model seconds the
+  storage substrates charged *while this span was current*.  Summing the
+  per-span simulated time over a whole trace reproduces the run's
+  TTS/TTR exactly, which is what makes the per-phase breakdown trustworthy.
+
+Spans propagate through a :mod:`contextvars` variable, so store-level
+charges (:meth:`~repro.storage.stats.StorageStats.record_write` etc.)
+attribute themselves to whichever span is current — including inside the
+worker threads of :func:`~repro.core.parallel.parallel_map`, which copies
+the calling context into each lane.
+
+Determinism: a span's identity is its *operation path*, never the time it
+ran.  Sequential children are numbered by creation order in the parent's
+thread; children created concurrently (one per model inside a parallel
+map) must pass an explicit ``key`` (the model index), and siblings are
+ordered by key at export.  The rule call sites follow: within one parent,
+children are either all sequential (no key) or all keyed — then the
+exported tree, and every span id derived from it, is identical at
+``workers=1`` and ``workers=4``.
+
+When no trace is active, :func:`span` costs one context-variable lookup
+and returns a shared no-op context manager — nothing is allocated on the
+hot hash/serialize paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+_current: "ContextVar[Span | None]" = ContextVar("repro_current_span", default=None)
+
+
+class Span:
+    """One node of a trace tree.
+
+    ``simulated_s``/``simulated_by_kind``/``op_counts`` hold only this
+    span's *own* charges; subtree totals are computed at export.  Mutation
+    is lock-guarded because parallel lanes may attach children to (or,
+    for unkeyed leaf charges, accumulate into) the same span.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "key",
+        "attrs",
+        "children",
+        "events",
+        "wall_s",
+        "simulated_s",
+        "simulated_by_kind",
+        "op_counts",
+        "_start",
+        "_ordinal",
+        "_next_ordinal",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str | None = None,
+        key: "int | str | None" = None,
+        attrs: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.key = key
+        self.attrs: dict[str, Any] = attrs or {}
+        self.children: list[Span] = []
+        self.events: list[dict] = []
+        self.wall_s = 0.0
+        self.simulated_s = 0.0
+        self.simulated_by_kind: dict[str, float] = {}
+        self.op_counts: dict[str, int] = {}
+        self._start: float | None = None
+        self._ordinal: int | None = None  # creation order among unkeyed siblings
+        self._next_ordinal = 0
+        self._lock = threading.Lock()
+
+    # -- mutation (called while the span is live) -------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; chainable, no-op safe on the disabled path."""
+        self.attrs.update(attrs)
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        """Append a point-in-time annotation (e.g. one replica's ack)."""
+        with self._lock:
+            self.events.append({"name": name, **attrs})
+
+    def add_charge(self, kind: str, num_bytes: int, simulated_s: float) -> None:
+        """Attribute one store operation's simulated latency to this span."""
+        with self._lock:
+            self.simulated_s += simulated_s
+            self.simulated_by_kind[kind] = (
+                self.simulated_by_kind.get(kind, 0.0) + simulated_s
+            )
+            self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+
+    def _attach(self, child: "Span") -> None:
+        with self._lock:
+            if child.key is None:
+                child._ordinal = self._next_ordinal
+                self._next_ordinal += 1
+            self.children.append(child)
+
+    # -- deterministic structure ------------------------------------------
+    @property
+    def identity(self) -> str:
+        """``name[key]`` — this span's segment of the operation path."""
+        if self.key is not None:
+            return f"{self.name}[{self.key}]"
+        return f"{self.name}[{self._ordinal if self._ordinal is not None else 0}]"
+
+    def sorted_children(self) -> "list[Span]":
+        """Children in operation order, independent of thread arrival."""
+
+        def order(child: "Span"):
+            if child.key is None:
+                return (0, child._ordinal or 0, "")
+            if isinstance(child.key, int):
+                return (1, child.key, "")
+            return (2, 0, str(child.key))
+
+        return sorted(self.children, key=order)
+
+    def span_id(self, parent_path: str = "") -> str:
+        """Stable id derived from the operation path, not from time."""
+        path = f"{parent_path}/{self.identity}"
+        return hashlib.sha256(path.encode("utf-8")).hexdigest()[:12]
+
+    def signature(self) -> tuple:
+        """Structural shape of the subtree; excludes wall time and charges
+        whose float values legitimately vary (e.g. across worker counts)."""
+        return (
+            self.identity,
+            self.kind,
+            tuple(child.signature() for child in self.sorted_children()),
+        )
+
+    def total_simulated_s(self) -> float:
+        """Own charges plus the whole subtree's (export-time roll-up)."""
+        return self.simulated_s + sum(
+            child.total_simulated_s() for child in self.sorted_children()
+        )
+
+    def walk(self) -> "Iterator[Span]":
+        yield self
+        for child in self.sorted_children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.identity!r}, children={len(self.children)})"
+
+
+class _SpanScope:
+    """Context manager making one span current for its body."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _current.set(self._span)
+        self._span._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span._start is not None:
+            self._span.wall_s = time.perf_counter() - self._span._start
+        _current.reset(self._token)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span: call sites never need ``None`` checks."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def add_charge(self, kind: str, num_bytes: int, simulated_s: float) -> None:
+        pass
+
+
+class _NoopScope:
+    """Reusable no-op context manager — the whole cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+_NOOP_SCOPE = _NoopScope()
+
+
+class TraceRecorder:
+    """Collects finished root spans of traced operations."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    def trace(self, name: str, kind: str | None = None, **attrs: Any):
+        """Open a *root* span (e.g. one ``save_set`` call)."""
+        root = Span(name, kind=kind, attrs=attrs)
+        root._ordinal = 0
+        recorder = self
+
+        class _RootScope(_SpanScope):
+            __slots__ = ()
+
+            def __exit__(self, exc_type, exc, tb) -> bool:
+                handled = _SpanScope.__exit__(self, exc_type, exc, tb)
+                with recorder._lock:
+                    recorder.roots.append(root)
+                return handled
+
+        return _RootScope(root)
+
+    @property
+    def last_root(self) -> Span | None:
+        return self.roots[-1] if self.roots else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots.clear()
+
+
+# -- module-level API (what instrumented code calls) ----------------------
+def current() -> Span | None:
+    """The span charges currently attribute to, or ``None``."""
+    return _current.get()
+
+
+def active() -> bool:
+    """True while some trace span is current in this context."""
+    return _current.get() is not None
+
+
+def span(
+    name: str,
+    kind: str | None = None,
+    key: "int | str | None" = None,
+    **attrs: Any,
+):
+    """Open a child span under the current one; no-op when untraced.
+
+    ``kind`` labels the phase for breakdown reports ("hash", "serialize",
+    "store-write", ...); spans without a kind inherit their nearest
+    ancestor's.  ``key`` is REQUIRED for spans created concurrently (pass
+    the model/layer index) so sibling order is reconstructible.
+    """
+    parent = _current.get()
+    if parent is None:
+        return _NOOP_SCOPE
+    child = Span(name, kind=kind, key=key, attrs=attrs or None)
+    parent._attach(child)
+    return _SpanScope(child)
+
+
+def charge(kind: str, num_bytes: int, simulated_s: float) -> None:
+    """Attribute one store operation to the current span (if any)."""
+    target = _current.get()
+    if target is not None:
+        target.add_charge(kind, num_bytes, simulated_s)
+
+
+def add_event(name: str, **attrs: Any) -> None:
+    """Annotate the current span (if any) with a point-in-time event."""
+    target = _current.get()
+    if target is not None:
+        target.add_event(name, **attrs)
+
+
+def install_tracing(context, recorder: TraceRecorder | None = None) -> TraceRecorder:
+    """Enable tracing on a save context and return its recorder.
+
+    Marks the context-level store stats as traced so their charges flow
+    into the current span, and attaches a :class:`TraceRecorder` the
+    manager opens root spans against.  Idempotent.
+    """
+    if getattr(context, "tracer", None) is not None and recorder is None:
+        recorder = context.tracer
+    if recorder is None:
+        recorder = TraceRecorder()
+    context.tracer = recorder
+    context.file_store.stats.traced = True
+    context.document_store.stats.traced = True
+    return recorder

@@ -33,8 +33,11 @@ class DocumentStore:
 
     def __init__(self, profile: HardwareProfile = LOCAL_PROFILE) -> None:
         self.profile = profile
-        self.stats = StorageStats()
+        self.stats = StorageStats(origin="doc")
         self._collections: dict[str, dict[str, JsonDocument]] = {}
+        #: (collection, doc_id) -> category charged at insert time, so a
+        #: delete returns the bytes to the right breakdown bucket.
+        self._categories: dict[tuple[str, str], str] = {}
         self._id_counter = itertools.count()
 
     # -- write -----------------------------------------------------------
@@ -55,6 +58,7 @@ class DocumentStore:
         if doc_id is None:
             doc_id = f"doc-{next(self._id_counter):08d}"
         self._collections.setdefault(collection, {})[doc_id] = json.loads(encoded)
+        self._categories[(collection, doc_id)] = category
         num_bytes = len(encoded.encode("utf-8"))
         self.stats.record_write(
             num_bytes, self.profile.doc_write_cost(num_bytes), category
@@ -128,14 +132,24 @@ class DocumentStore:
         return json.loads(json.dumps(document))
 
     def delete(self, collection: str, doc_id: str) -> None:
-        """Remove a document (used by garbage collection)."""
+        """Remove a document (used by garbage collection).
+
+        Uncharged, but the document's bytes are returned to their
+        ``bytes_by_category`` bucket (see
+        :meth:`~repro.storage.stats.StorageStats.record_delete`).
+        """
         try:
-            del self._collections[collection][doc_id]
+            document = self._collections[collection][doc_id]
         except KeyError:
             raise DocumentNotFoundError(
                 f"no document {doc_id!r} in collection {collection!r}"
             ) from None
+        num_bytes = document_num_bytes(document)
+        del self._collections[collection][doc_id]
         self._drop_if_empty(collection)
+        self.stats.record_delete(
+            num_bytes, self._categories.pop((collection, doc_id), "metadata")
+        )
 
     def replace(self, collection: str, doc_id: str, document: JsonDocument) -> None:
         """Overwrite an existing document in place (charged as a write).
@@ -147,9 +161,15 @@ class DocumentStore:
             raise DocumentNotFoundError(
                 f"no document {doc_id!r} in collection {collection!r}"
             )
+        # The overwritten document's bytes leave the store: return them
+        # to their category so the breakdown tracks what is stored now.
+        old_bytes = document_num_bytes(self._collections[collection][doc_id])
+        old_category = self._categories.get((collection, doc_id), "metadata")
         encoded = json.dumps(document, separators=(",", ":"))
         self._collections[collection][doc_id] = json.loads(encoded)
+        self._categories[(collection, doc_id)] = "metadata"
         num_bytes = len(encoded.encode("utf-8"))
+        self.stats.record_delete(old_bytes, old_category, count_op=False)
         self.stats.record_write(
             num_bytes, self.profile.doc_write_cost(num_bytes), "metadata"
         )

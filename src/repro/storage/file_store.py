@@ -116,6 +116,7 @@ class ArtifactWriter:
             store._blobs[artifact_id] = b"".join(self._chunks)
             self._chunks = None
         store._digests[artifact_id] = digest
+        store._categories[artifact_id] = self._category
         store.stats.record_write(
             self._num_bytes,
             store._write_cost(self._num_bytes, self._workers),
@@ -182,6 +183,9 @@ class FileStore:
         #: id -> SHA-256 hex digest recorded at write time, so silent
         #: corruption of stored bytes is detectable (:meth:`verify_artifact`).
         self._digests: dict[str, str] = {}
+        #: id -> category charged at write time, so deletes can return
+        #: the bytes to the right ``bytes_by_category`` bucket.
+        self._categories: dict[str, str] = {}
         self._temp_counter = itertools.count()
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
@@ -248,6 +252,7 @@ class FileStore:
         else:
             self._blobs[artifact_id] = data
         self._digests[artifact_id] = digest
+        self._categories[artifact_id] = category
         self.stats.record_write(
             len(data), self._write_cost(len(data), workers), category
         )
@@ -339,15 +344,25 @@ class FileStore:
 
     # -- management plane (not charged) ------------------------------------
     def delete(self, artifact_id: str) -> None:
-        """Remove an artifact (used by garbage collection)."""
+        """Remove an artifact (used by garbage collection).
+
+        Charges no simulated latency (management plane) but returns the
+        bytes to their ``bytes_by_category`` bucket via
+        :meth:`~repro.storage.stats.StorageStats.record_delete`, keeping
+        the breakdown an accurate currently-stored view across GC.
+        """
         if not self.exists(artifact_id):
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        num_bytes = self._size_of(artifact_id)
         if self._directory is not None:
             del self._sizes[artifact_id]
             (self._directory / f"{artifact_id}.bin").unlink(missing_ok=True)
         else:
             del self._blobs[artifact_id]
         self._digests.pop(artifact_id, None)
+        self.stats.record_delete(
+            num_bytes, self._categories.pop(artifact_id, "binary")
+        )
 
     # -- integrity (management plane, not charged) ------------------------
     def recorded_digest(self, artifact_id: str) -> str | None:

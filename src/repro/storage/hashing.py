@@ -54,8 +54,23 @@ def hash_states(
     document) is identical to the serial path.
     """
     from repro.core.parallel import parallel_map
+    from repro.observability import trace as _trace
 
     def hash_state(state: "OrderedDict[str, np.ndarray]") -> "list[str]":
         return [hash_array(state[name], length=length) for name in layer_names]
 
-    return parallel_map(hash_state, states, workers)
+    if not _trace.active():
+        return parallel_map(hash_state, states, workers)
+
+    def hash_state_traced(
+        indexed: "tuple[int, OrderedDict[str, np.ndarray]]",
+    ) -> "list[str]":
+        index, state = indexed
+        with _trace.span("model", key=index):
+            hashes: "list[str]" = []
+            for layer_index, name in enumerate(layer_names):
+                with _trace.span("hash", key=layer_index, kind="hash", layer=name):
+                    hashes.append(hash_array(state[name], length=length))
+            return hashes
+
+    return parallel_map(hash_state_traced, list(enumerate(states)), workers)

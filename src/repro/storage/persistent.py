@@ -72,6 +72,9 @@ class PersistentFileStore:
             path.stem: path.stat().st_size
             for path in self._directory.glob("*.bin")
         }
+        #: id -> category charged at write time (artifacts found on disk
+        #: at reopen have no recorded category and delete as "binary").
+        self._categories: dict[str, str] = {}
 
     def sweep_temp_files(self) -> int:
         """Remove crash-leftover ``*.tmp`` files; returns how many."""
@@ -128,6 +131,7 @@ class PersistentFileStore:
         _atomic_write(path, data)
         _atomic_write(path.with_suffix(".sha256"), digest.encode("ascii"))
         self._sizes[artifact_id] = len(data)
+        self._categories[artifact_id] = category
         self.stats.record_write(
             len(data), self._write_cost(len(data), workers), category
         )
@@ -204,12 +208,20 @@ class PersistentFileStore:
 
     # -- management plane ---------------------------------------------------
     def delete(self, artifact_id: str) -> None:
-        """Remove an artifact and its checksum (used by garbage collection)."""
+        """Remove an artifact and its checksum (used by garbage collection).
+
+        Uncharged, but the bytes are returned to their
+        ``bytes_by_category`` bucket so breakdowns stay accurate.
+        """
         if artifact_id not in self._sizes:
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
+        num_bytes = self._sizes[artifact_id]
         self._path(artifact_id).unlink(missing_ok=True)
         self._path(artifact_id).with_suffix(".sha256").unlink(missing_ok=True)
         del self._sizes[artifact_id]
+        self.stats.record_delete(
+            num_bytes, self._categories.pop(artifact_id, "binary")
+        )
 
     # -- integrity (management plane, not charged) --------------------------
     def recorded_digest(self, artifact_id: str) -> str | None:
@@ -298,6 +310,7 @@ class _DiskArtifactWriter:
         )
         store = self._store
         store._sizes[self._artifact_id] = self._bytes
+        store._categories[self._artifact_id] = self._category
         store.stats.record_write(
             self._bytes,
             store._write_cost(self._bytes, self._workers),
@@ -386,16 +399,8 @@ class PersistentDocumentStore(DocumentStore):
 
     def delete(self, collection: str, doc_id: str) -> None:
         """Remove a document from memory and disk (garbage collection)."""
-        try:
-            del self._collections[collection][doc_id]
-        except KeyError:
-            from repro.errors import DocumentNotFoundError
-
-            raise DocumentNotFoundError(
-                f"no document {doc_id!r} in collection {collection!r}"
-            ) from None
+        super().delete(collection, doc_id)
         (self._directory / collection / f"{doc_id}.json").unlink(missing_ok=True)
-        self._drop_if_empty(collection)
 
     def _write_raw(self, collection: str, doc_id: str, document: dict) -> None:
         """Uncharged durable write (journal records, rollback restores)."""
@@ -460,8 +465,14 @@ def open_context(
     write_quorum: int | None = None,
     read_quorum: int | None = None,
     replication_policy: "object | None" = None,
+    config: "object | None" = None,
 ):
     """Open (or create) a durable save context rooted at ``directory``.
+
+    ``config`` (an :class:`~repro.config.ArchiveConfig`) is the preferred
+    way to describe the archive and supersedes the per-knob parameters;
+    the knobs remain as internal plumbing for callers that tweak a single
+    setting.
 
     With ``dedup=True`` parameter writes go through the content-addressed
     chunk layer; the chunk index itself lives in the document store, so a
@@ -482,8 +493,29 @@ def open_context(
     backend *below* the replication layer: transient blips are retried on
     the replica that had them, and only a persistent outage fails over.
     """
-    from repro.core.approach import SaveContext
+    from repro.config import ArchiveConfig
+    from repro.core.approach import SaveContext, apply_observability
     from repro.datasets.registry import default_registry
+
+    if config is None:
+        config = ArchiveConfig(
+            profile=profile,
+            dedup=dedup,
+            journal=journal,
+            retry=retry,
+            replicas=replicas,
+            write_quorum=write_quorum,
+            read_quorum=read_quorum,
+            replication_policy=replication_policy,
+        )
+    profile = config.profile
+    dedup = config.dedup
+    journal = config.journal
+    retry = config.retry
+    replicas = config.replicas
+    write_quorum = config.write_quorum
+    read_quorum = config.read_quorum
+    replication_policy = config.replication_policy
 
     root = Path(directory)
     if replicas is None:
@@ -541,19 +573,24 @@ def open_context(
                 names=list(names),
             ),
             dataset_registry=default_registry(),
+            workers=config.workers,
             dedup=dedup,
+            config=config,
         )
         _resume_set_counter(context)
         if journal:
             from repro.storage.journal import attach_journal
 
             context.recovery_report = attach_journal(context).recover()
+        apply_observability(context, config)
         return context
     context = SaveContext(
         file_store=PersistentFileStore(root / "artifacts", profile=profile),
         document_store=PersistentDocumentStore(root / "documents", profile=profile),
         dataset_registry=default_registry(),
+        workers=config.workers,
         dedup=dedup,
+        config=config,
     )
     _resume_set_counter(context)
     if retry is not None:
@@ -564,6 +601,7 @@ def open_context(
         from repro.storage.journal import attach_journal
 
         context.recovery_report = attach_journal(context).recover()
+    apply_observability(context, config)
     return context
 
 

@@ -63,6 +63,7 @@ from repro.errors import (
     SimulatedCrashError,
     StorageError,
 )
+from repro.observability import trace as _trace
 from repro.storage.document_store import document_num_bytes
 from repro.storage.hardware import makespan
 from repro.storage.hashing import hash_bytes
@@ -221,6 +222,29 @@ class _ReplicaSet:
         """Each backend's private accounting, keyed by replica name."""
         return {state.name: state.store.stats for state in self.replicas}
 
+    def _trace_acks(
+        self,
+        op: str,
+        acks: "list[tuple[str, float]]",
+        missed: "list[int]",
+        quorum: int,
+    ) -> None:
+        """Attach a per-replica breakdown of one quorum write to the trace.
+
+        Only fires when this layer's stats are the traced (context-level)
+        ones, mirroring how charges attribute — so a degraded save's span
+        tree shows exactly which replica ate the latency.
+        """
+        if not (self.stats.traced and _trace.active()):
+            return
+        _trace.add_event(
+            "replica-acks",
+            op=op,
+            quorum=f"{quorum}/{len(self.replicas)}",
+            acks={name: round(cost, 9) for name, cost in acks},
+            missed=[self.replicas[index].name for index in missed],
+        )
+
 
 class ReplicatedFileStore(_ReplicaSet):
     """File store fanning every operation across N backend replicas.
@@ -237,6 +261,9 @@ class ReplicatedFileStore(_ReplicaSet):
         super().__init__(stores, **kwargs)
         #: replica index -> {artifact_id: "put" | "delete"}.
         self._pending: dict[int, dict[str, str]] = {}
+        #: artifact_id -> category charged on this layer's stats at put
+        #: time, so a delete returns the bytes to the same bucket.
+        self._categories: dict[str, str] = {}
 
     # -- repair queue -----------------------------------------------------
     def _note_repair(self, index: int, artifact_id: str, op: str) -> None:
@@ -356,6 +383,7 @@ class ReplicatedFileStore(_ReplicaSet):
         if not derived and self._committed(target):
             raise DuplicateArtifactError(f"artifact {target!r} already exists")
         costs: list[float] = []
+        acks: list[tuple[str, float]] = []
         missed: list[int] = []
         for index, state in enumerate(self.replicas):
             if not self._allow(state):
@@ -391,16 +419,17 @@ class ReplicatedFileStore(_ReplicaSet):
             else:
                 self._ok(state)
                 self._clear_repair(index, target)
-                costs.append(
-                    state.store._write_cost(len(data), workers)
-                    * state.latency_factor
-                )
+                cost = state.store._write_cost(len(data), workers) * state.latency_factor
+                costs.append(cost)
+                acks.append((state.name, cost))
         self._require_quorum(len(costs), self.write_quorum, f"put {target!r}")
         for index in missed:
             self._note_repair(index, target, "put")
         self.stats.record_write(
             len(data), _quorum_cost(costs, self.write_quorum), category
         )
+        self._categories[target] = category
+        self._trace_acks(f"put {target}", acks, missed, self.write_quorum)
         return target
 
     def open_writer(
@@ -473,6 +502,13 @@ class ReplicatedFileStore(_ReplicaSet):
         hedged = policy.hedge_delay_s + min(alternatives)
         if hedged < base:
             self.stats.record_hedge()
+            if self.stats.traced and _trace.active():
+                _trace.add_event(
+                    "hedged-read",
+                    primary=serving.name,
+                    primary_cost=round(base, 9),
+                    hedged_cost=round(hedged, 9),
+                )
             return hedged
         return base
 
@@ -506,6 +542,13 @@ class ReplicatedFileStore(_ReplicaSet):
             self._ok(state)
             if tried:
                 self.stats.record_failover()
+                if self.stats.traced and _trace.active():
+                    _trace.add_event(
+                        "read-failover",
+                        artifact=artifact_id,
+                        served_by=state.name,
+                        replicas_skipped=tried,
+                    )
             base = state.store._read_cost(len(data), workers) * state.latency_factor
             charged = self._hedged(
                 base,
@@ -568,6 +611,13 @@ class ReplicatedFileStore(_ReplicaSet):
             self._ok(state)
             if tried:
                 self.stats.record_failover()
+                if self.stats.traced and _trace.active():
+                    _trace.add_event(
+                        "read-failover",
+                        artifact=artifact_id,
+                        served_by=state.name,
+                        replicas_skipped=tried,
+                    )
             total = sum(len(chunk) for chunk in chunks)
             base = (
                 makespan(
@@ -613,6 +663,7 @@ class ReplicatedFileStore(_ReplicaSet):
         and leaves the repair queues to finish the job.
         """
         found = False
+        num_bytes = 0
         applied = 0
         missed: list[int] = []
         for index, state in enumerate(self.replicas):
@@ -621,6 +672,8 @@ class ReplicatedFileStore(_ReplicaSet):
                 continue
             try:
                 if state.store.exists(artifact_id):
+                    if not found:
+                        num_bytes = state.store.size(artifact_id)
                     found = True
                     state.store.delete(artifact_id)
                 applied += 1
@@ -637,6 +690,10 @@ class ReplicatedFileStore(_ReplicaSet):
             raise ArtifactNotFoundError(f"no artifact {artifact_id!r}")
         for index in missed:
             self._note_repair(index, artifact_id, "delete")
+        if found:
+            self.stats.record_delete(
+                num_bytes, self._categories.pop(artifact_id, "binary")
+            )
 
     def recorded_digest(self, artifact_id: str) -> str | None:
         for state in self.replicas:
@@ -816,6 +873,7 @@ class _ReplicatedWriter:
             else "sha256-" + digest
         )
         costs: list[float] = []
+        acks: list[tuple[str, float]] = []
         for index, state, writer in self._writers:
             try:
                 writer.close()
@@ -826,10 +884,12 @@ class _ReplicatedWriter:
                 # matching digest makes the close an idempotent success.
                 if _safe_digest(state.store, target) == digest:
                     store._ok(state)
-                    costs.append(
+                    cost = (
                         state.store._write_cost(self._num_bytes, self._workers)
                         * state.latency_factor
                     )
+                    costs.append(cost)
+                    acks.append((state.name, cost))
                 else:
                     self._missed.append(index)
             except _REPLICA_FAILURES:
@@ -838,10 +898,12 @@ class _ReplicatedWriter:
             else:
                 store._ok(state)
                 store._clear_repair(index, target)
-                costs.append(
+                cost = (
                     state.store._write_cost(self._num_bytes, self._workers)
                     * state.latency_factor
                 )
+                costs.append(cost)
+                acks.append((state.name, cost))
         store._require_quorum(
             len(costs), store.write_quorum, f"writer close {target!r}"
         )
@@ -852,6 +914,8 @@ class _ReplicatedWriter:
             _quorum_cost(costs, store.write_quorum),
             self._category,
         )
+        store._categories[target] = self._category
+        store._trace_acks(f"put {target}", acks, self._missed, store.write_quorum)
         return target
 
     def abort(self) -> None:
@@ -897,8 +961,12 @@ class ReplicatedDocumentStore(_ReplicaSet):
 
     def __init__(self, stores, **kwargs) -> None:
         super().__init__(stores, **kwargs)
+        self.stats.origin = "doc"
         #: replica index -> {(collection, doc_id): "put" | "delete"}.
         self._pending: dict[int, dict[tuple[str, str], str]] = {}
+        #: (collection, doc_id) -> category charged on this layer's stats
+        #: at insert time, so a delete returns the bytes to the same bucket.
+        self._categories: dict[tuple[str, str], str] = {}
         highest = -1
         for state in self.replicas:
             try:
@@ -1085,6 +1153,7 @@ class ReplicatedDocumentStore(_ReplicaSet):
             doc_id = f"doc-{next(self._id_counter):08d}"
         num_bytes = document_num_bytes(document)
         costs: list[float] = []
+        acks: list[tuple[str, float]] = []
         missed: list[int] = []
         for index, state in enumerate(self.replicas):
             if not self._allow(state):
@@ -1102,10 +1171,12 @@ class ReplicatedDocumentStore(_ReplicaSet):
             else:
                 self._ok(state)
                 self._clear_repair(index, collection, doc_id)
-                costs.append(
+                cost = (
                     state.store.profile.doc_write_cost(num_bytes)
                     * state.latency_factor
                 )
+                costs.append(cost)
+                acks.append((state.name, cost))
         self._require_quorum(
             len(costs), self.write_quorum, f"insert {collection}/{doc_id}"
         )
@@ -1114,10 +1185,15 @@ class ReplicatedDocumentStore(_ReplicaSet):
         self.stats.record_write(
             num_bytes, _quorum_cost(costs, self.write_quorum), category
         )
+        self._categories[(collection, doc_id)] = category
+        self._trace_acks(
+            f"insert {collection}/{doc_id}", acks, missed, self.write_quorum
+        )
         return doc_id
 
     def replace(self, collection: str, doc_id: str, document: dict) -> None:
-        if self._majority_value(collection, doc_id) is None:
+        existing = self._majority_value(collection, doc_id)
+        if existing is None:
             raise DocumentNotFoundError(
                 f"no document {doc_id!r} in collection {collection!r}"
             )
@@ -1152,12 +1228,21 @@ class ReplicatedDocumentStore(_ReplicaSet):
         )
         for index in missed:
             self._note_repair(index, collection, doc_id, "put")
+        # The overwritten document's bytes leave the store (see
+        # DocumentStore.replace).
+        self.stats.record_delete(
+            document_num_bytes(existing),
+            self._categories.get((collection, doc_id), "metadata"),
+            count_op=False,
+        )
+        self._categories[(collection, doc_id)] = "metadata"
         self.stats.record_write(
             num_bytes, _quorum_cost(costs, self.write_quorum), "metadata"
         )
 
     def delete(self, collection: str, doc_id: str) -> None:
-        if self._majority_value(collection, doc_id) is None:
+        existing = self._majority_value(collection, doc_id)
+        if existing is None:
             raise DocumentNotFoundError(
                 f"no document {doc_id!r} in collection {collection!r}"
             )
@@ -1186,6 +1271,10 @@ class ReplicatedDocumentStore(_ReplicaSet):
         )
         for index in missed:
             self._note_repair(index, collection, doc_id, "delete")
+        self.stats.record_delete(
+            document_num_bytes(existing),
+            self._categories.pop((collection, doc_id), "metadata"),
+        )
 
     # -- read -------------------------------------------------------------
     def get(self, collection: str, doc_id: str) -> dict:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.observability import trace as _trace
+
 
 @dataclass
 class StorageStats:
@@ -17,12 +19,27 @@ class StorageStats:
     Recording is guarded by a lock: the parallel save/recover engine
     issues store operations from worker threads, and the counters must
     stay exact (they back deterministic benchmark assertions).
+    ``snapshot``/``delta_since`` take the same lock, so a reader never
+    observes a half-applied record (e.g. ``writes`` bumped but
+    ``bytes_by_category`` not yet).
+
+    When ``traced`` is set (by
+    :func:`repro.observability.trace.install_tracing`, on the
+    context-level stats only — never on the per-replica backends, whose
+    charges are already folded into the replicated store's quorum cost),
+    every charge is also attributed to the current trace span.
     """
 
     writes: int = 0
     reads: int = 0
+    #: Charged delete operations (GC/retention; management-plane raw
+    #: deletes are not counted, mirroring raw writes).
+    deletes: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    #: Bytes removed by charged deletes (also subtracted from
+    #: ``bytes_by_category``, which tracks *currently stored* bytes).
+    bytes_deleted: int = 0
     simulated_write_s: float = 0.0
     simulated_read_s: float = 0.0
     #: Chunk references processed by the dedup layer (one per layer tensor
@@ -45,6 +62,12 @@ class StorageStats:
     #: Bytes currently stored, keyed by a caller-chosen category label
     #: (e.g. "parameters", "metadata", "hash-info") for breakdown reports.
     bytes_by_category: dict[str, int] = field(default_factory=dict)
+    #: Which substrate this object accounts ("file" or "doc") — prefixes
+    #: the trace charge kind so breakdowns can tell the stores apart.
+    origin: str = field(default="file", compare=False)
+    #: Attribute charges to the current trace span (set by
+    #: :func:`~repro.observability.trace.install_tracing`).
+    traced: bool = field(default=False, compare=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -57,12 +80,38 @@ class StorageStats:
             self.bytes_by_category[category] = (
                 self.bytes_by_category.get(category, 0) + num_bytes
             )
+        if self.traced:
+            _trace.charge(f"{self.origin}-write", num_bytes, simulated_s)
 
     def record_read(self, num_bytes: int, simulated_s: float) -> None:
         with self._lock:
             self.reads += 1
             self.bytes_read += num_bytes
             self.simulated_read_s += simulated_s
+        if self.traced:
+            _trace.charge(f"{self.origin}-read", num_bytes, simulated_s)
+
+    def record_delete(
+        self, num_bytes: int, category: str, count_op: bool = True
+    ) -> None:
+        """Account removing ``num_bytes`` of stored data from ``category``.
+
+        Keeps ``bytes_by_category`` an accurate *currently stored*
+        breakdown on GC/retention paths; zeroed categories are dropped so
+        a fully collected category disappears from reports.
+        ``count_op=False`` adjusts only the byte accounting — used by
+        ``replace``, which removes the overwritten document's bytes
+        without being a delete operation.
+        """
+        with self._lock:
+            if count_op:
+                self.deletes += 1
+            self.bytes_deleted += num_bytes
+            remaining = self.bytes_by_category.get(category, 0) - num_bytes
+            if remaining:
+                self.bytes_by_category[category] = remaining
+            else:
+                self.bytes_by_category.pop(category, None)
 
     def record_chunks(self, total: int, deduped: int, bytes_deduped: int) -> None:
         """Account one dedup-layer ingest: references seen vs. elided."""
@@ -76,6 +125,8 @@ class StorageStats:
         with self._lock:
             self.retries += 1
             self.simulated_retry_s += backoff_s
+        if self.traced:
+            _trace.charge("retry", 0, backoff_s)
 
     def record_hedge(self) -> None:
         """Account one read won by a hedged request to a second replica."""
@@ -96,44 +147,55 @@ class StorageStats:
 
     def snapshot(self) -> "StorageStats":
         """Copy of the current counters (for before/after deltas)."""
-        return StorageStats(
-            writes=self.writes,
-            reads=self.reads,
-            bytes_written=self.bytes_written,
-            bytes_read=self.bytes_read,
-            simulated_write_s=self.simulated_write_s,
-            simulated_read_s=self.simulated_read_s,
-            chunks_total=self.chunks_total,
-            chunks_deduped=self.chunks_deduped,
-            chunk_bytes_deduped=self.chunk_bytes_deduped,
-            retries=self.retries,
-            simulated_retry_s=self.simulated_retry_s,
-            hedged_reads=self.hedged_reads,
-            read_failovers=self.read_failovers,
-            bytes_by_category=dict(self.bytes_by_category),
-        )
+        with self._lock:
+            return StorageStats(
+                writes=self.writes,
+                reads=self.reads,
+                deletes=self.deletes,
+                bytes_written=self.bytes_written,
+                bytes_read=self.bytes_read,
+                bytes_deleted=self.bytes_deleted,
+                simulated_write_s=self.simulated_write_s,
+                simulated_read_s=self.simulated_read_s,
+                chunks_total=self.chunks_total,
+                chunks_deduped=self.chunks_deduped,
+                chunk_bytes_deduped=self.chunk_bytes_deduped,
+                retries=self.retries,
+                simulated_retry_s=self.simulated_retry_s,
+                hedged_reads=self.hedged_reads,
+                read_failovers=self.read_failovers,
+                bytes_by_category=dict(self.bytes_by_category),
+                origin=self.origin,
+            )
 
     def delta_since(self, earlier: "StorageStats") -> "StorageStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
+        current = self.snapshot()
         categories = {
-            key: self.bytes_by_category.get(key, 0)
+            key: current.bytes_by_category.get(key, 0)
             - earlier.bytes_by_category.get(key, 0)
-            for key in set(self.bytes_by_category) | set(earlier.bytes_by_category)
+            for key in set(current.bytes_by_category)
+            | set(earlier.bytes_by_category)
         }
         return StorageStats(
-            writes=self.writes - earlier.writes,
-            reads=self.reads - earlier.reads,
-            bytes_written=self.bytes_written - earlier.bytes_written,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            simulated_write_s=self.simulated_write_s - earlier.simulated_write_s,
-            simulated_read_s=self.simulated_read_s - earlier.simulated_read_s,
-            chunks_total=self.chunks_total - earlier.chunks_total,
-            chunks_deduped=self.chunks_deduped - earlier.chunks_deduped,
-            chunk_bytes_deduped=self.chunk_bytes_deduped
+            writes=current.writes - earlier.writes,
+            reads=current.reads - earlier.reads,
+            deletes=current.deletes - earlier.deletes,
+            bytes_written=current.bytes_written - earlier.bytes_written,
+            bytes_read=current.bytes_read - earlier.bytes_read,
+            bytes_deleted=current.bytes_deleted - earlier.bytes_deleted,
+            simulated_write_s=current.simulated_write_s
+            - earlier.simulated_write_s,
+            simulated_read_s=current.simulated_read_s - earlier.simulated_read_s,
+            chunks_total=current.chunks_total - earlier.chunks_total,
+            chunks_deduped=current.chunks_deduped - earlier.chunks_deduped,
+            chunk_bytes_deduped=current.chunk_bytes_deduped
             - earlier.chunk_bytes_deduped,
-            retries=self.retries - earlier.retries,
-            simulated_retry_s=self.simulated_retry_s - earlier.simulated_retry_s,
-            hedged_reads=self.hedged_reads - earlier.hedged_reads,
-            read_failovers=self.read_failovers - earlier.read_failovers,
+            retries=current.retries - earlier.retries,
+            simulated_retry_s=current.simulated_retry_s
+            - earlier.simulated_retry_s,
+            hedged_reads=current.hedged_reads - earlier.hedged_reads,
+            read_failovers=current.read_failovers - earlier.read_failovers,
             bytes_by_category={k: v for k, v in categories.items() if v},
+            origin=current.origin,
         )

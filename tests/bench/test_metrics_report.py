@@ -4,6 +4,7 @@ import pytest
 
 from repro.bench.metrics import Measurement, measure_recover, measure_save, median
 from repro.bench.report import format_series, format_table
+from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 from repro.storage.hardware import M1_PROFILE
@@ -23,7 +24,7 @@ class TestMeasureSave:
         assert measurement.writes == 2  # one doc + one artifact
 
     def test_simulated_time_charged_under_latency_profile(self, models):
-        manager = MultiModelManager.with_approach("baseline", profile=M1_PROFILE)
+        manager = MultiModelManager.with_approach("baseline", ArchiveConfig(profile=M1_PROFILE))
         _set_id, measurement = measure_save(manager, models)
         assert measurement.simulated_s > 0
         assert measurement.total_s == measurement.real_s + measurement.simulated_s

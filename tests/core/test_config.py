@@ -1,0 +1,192 @@
+"""ArchiveConfig contract: validation, copies, shims, CLI mapping.
+
+The legacy per-knob keyword arguments must keep producing archives that
+are byte-for-byte identical to the ArchiveConfig shape — callers only
+pay a DeprecationWarning, never a behaviour change.
+"""
+
+import argparse
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.cli import config_from_args
+from repro.config import ArchiveConfig, ObservabilityConfig
+from repro.core.approach import SaveContext
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.errors import ConfigError
+from repro.storage.faults import RetryPolicy
+from repro.storage.hardware import LOCAL_PROFILE, SERVER_PROFILE
+
+
+def build_models():
+    return ModelSet.build("FFNN-48", num_models=2, seed=0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": -1},
+            {"workers": None},
+            {"replicas": 0},
+            {"write_quorum": 0},
+            {"read_quorum": 0},
+            {"replicas": 3, "write_quorum": 4},
+            {"replicas": 3, "read_quorum": 5},
+            {"profile": "server"},
+            {"observability": {"tracing": True}},
+        ],
+    )
+    def test_bad_values_raise_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            ArchiveConfig(**kwargs)
+
+    def test_defaults_are_valid_and_frozen(self):
+        config = ArchiveConfig()
+        assert config.profile is LOCAL_PROFILE
+        assert (config.workers, config.dedup, config.journal) == (1, False, True)
+        with pytest.raises(AttributeError):
+            config.workers = 2
+
+    def test_with_replaces_and_revalidates(self):
+        config = ArchiveConfig().with_(workers=4, dedup=True)
+        assert (config.workers, config.dedup) == (4, True)
+        with pytest.raises(ConfigError):
+            config.with_(workers=-3)
+        with pytest.raises(ConfigError):
+            config.with_(worker_count=4)  # unknown field
+
+
+class TestDeprecationShims:
+    def test_with_approach_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="workers.*deprecated"):
+            manager = MultiModelManager.with_approach("update", workers=4, dedup=True)
+        assert manager.context.config.workers == 4
+        assert manager.context.config.dedup is True
+
+    def test_with_approach_bare_profile_positional_warns(self):
+        with pytest.warns(DeprecationWarning):
+            manager = MultiModelManager.with_approach("baseline", SERVER_PROFILE)
+        assert manager.context.config.profile is SERVER_PROFILE
+
+    def test_save_context_create_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            context = SaveContext.create(replicas=3, write_quorum=2, read_quorum=2)
+        assert context.config.replicas == 3
+
+    def test_open_legacy_kwargs_warn(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="dedup"):
+            MultiModelManager.open(str(tmp_path / "a"), "update", dedup=True)
+
+    def test_config_path_does_not_warn(self, recwarn, tmp_path):
+        MultiModelManager.with_approach("update", ArchiveConfig(workers=4))
+        SaveContext.create(ArchiveConfig(replicas=3))
+        MultiModelManager.open(
+            str(tmp_path / "a"), "update", ArchiveConfig(dedup=True)
+        )
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_legacy_kwargs_layer_onto_explicit_config(self):
+        base = ArchiveConfig(profile=SERVER_PROFILE)
+        with pytest.warns(DeprecationWarning):
+            manager = MultiModelManager.with_approach("update", base, workers=4)
+        assert manager.context.config.profile is SERVER_PROFILE
+        assert manager.context.config.workers == 4
+
+    def test_rejects_non_config_positional(self):
+        with pytest.raises(ConfigError):
+            MultiModelManager.with_approach("update", {"workers": 4})
+
+
+def archive_digest(directory: Path) -> dict[str, str]:
+    """Relative path -> sha256 of every file under ``directory``."""
+    digest = {}
+    for path in sorted(directory.rglob("*")):
+        if path.is_file():
+            digest[str(path.relative_to(directory))] = hashlib.sha256(
+                path.read_bytes()
+            ).hexdigest()
+    return digest
+
+
+class TestLegacyEquivalence:
+    def test_legacy_kwargs_produce_byte_identical_archives(self, tmp_path):
+        models = build_models()
+
+        via_config = MultiModelManager.open(
+            str(tmp_path / "config"), "update", ArchiveConfig(dedup=True, workers=2)
+        )
+        base_id = via_config.save_set(models)
+        via_config.save_set(models, base_set_id=base_id)
+
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = MultiModelManager.open(
+                str(tmp_path / "kwargs"), "update", dedup=True, workers=2
+            )
+        base_id = via_kwargs.save_set(models)
+        via_kwargs.save_set(models, base_set_id=base_id)
+
+        config_digest = archive_digest(tmp_path / "config")
+        assert config_digest, "archive should not be empty"
+        assert config_digest == archive_digest(tmp_path / "kwargs")
+
+
+class TestConfigFromArgs:
+    def make_args(self, **overrides):
+        defaults = dict(
+            profile_name="server",
+            workers=4,
+            dedup=True,
+            no_journal=True,
+            retries=2,
+            replicas=3,
+            write_quorum=2,
+            read_quorum=2,
+            trace=True,
+            trace_json=None,
+            live=False,
+        )
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_flags_map_one_to_one(self):
+        config = config_from_args(self.make_args())
+        assert config == ArchiveConfig(
+            profile=SERVER_PROFILE,
+            workers=4,
+            dedup=True,
+            journal=False,
+            retry=RetryPolicy(attempts=2),
+            replicas=3,
+            write_quorum=2,
+            read_quorum=2,
+            observability=ObservabilityConfig(tracing=True),
+        )
+
+    def test_defaults_map_to_default_config(self):
+        args = self.make_args(
+            profile_name=None,
+            workers=1,
+            dedup=False,
+            no_journal=False,
+            retries=None,
+            replicas=None,
+            write_quorum=None,
+            read_quorum=None,
+            trace=False,
+        )
+        assert config_from_args(args) == ArchiveConfig()
+
+    def test_trace_json_implies_tracing(self):
+        config = config_from_args(self.make_args(trace=False, trace_json="t.json"))
+        assert config.observability.tracing is True
+        assert config.observability.trace_path == "t.json"
+
+    def test_live_enables_metrics(self):
+        config = config_from_args(self.make_args(live=True))
+        assert config.observability.metrics is True

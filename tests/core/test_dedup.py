@@ -8,6 +8,7 @@ chains, refcount protection of shared chunks, and exact reclamation.
 import numpy as np
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.core.lineage import LineageGraph
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
@@ -48,8 +49,8 @@ def assert_states_equal(recovered: ModelSet, expected: ModelSet) -> None:
 class TestByteIdenticalRecovery:
     def test_initial_save_roundtrip(self, approach):
         models = ModelSet.build("FFNN-48", num_models=5, seed=3)
-        on = MultiModelManager.with_approach(approach, dedup=True)
-        off = MultiModelManager.with_approach(approach, dedup=False)
+        on = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=True))
+        off = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=False))
         recovered_on = on.recover_set(on.save_set(models))
         recovered_off = off.recover_set(off.save_set(models))
         assert_states_equal(recovered_on, recovered_off)
@@ -61,7 +62,7 @@ class TestByteIdenticalRecovery:
         updated = perturb(base, fraction=0.3, seed=5)
         recovered = {}
         for dedup in (True, False):
-            manager = MultiModelManager.with_approach(approach, dedup=dedup)
+            manager = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=dedup))
             base_id = manager.save_set(base)
             derived_id = manager.save_set(updated, base_set_id=base_id)
             recovered[dedup] = (
@@ -73,8 +74,8 @@ class TestByteIdenticalRecovery:
 
     def test_single_model_recovery(self, approach):
         models = ModelSet.build("FFNN-48", num_models=4, seed=6)
-        on = MultiModelManager.with_approach(approach, dedup=True)
-        off = MultiModelManager.with_approach(approach, dedup=False)
+        on = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=True))
+        off = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=False))
         id_on, id_off = on.save_set(models), off.save_set(models)
         for index in (0, 3):
             state_on = on.recover_model(id_on, index)
@@ -86,7 +87,7 @@ class TestByteIdenticalRecovery:
 class TestStorageReduction:
     def test_identical_resave_costs_no_parameter_bytes(self):
         models = ModelSet.build("FFNN-48", num_models=4, seed=7)
-        manager = MultiModelManager.with_approach("baseline", dedup=True)
+        manager = MultiModelManager.with_approach("baseline", ArchiveConfig(dedup=True))
         first = manager.save_set(models)
         bytes_after_first = manager.context.file_store.total_bytes()
         manager.save_set(models, base_set_id=first)
@@ -95,7 +96,7 @@ class TestStorageReduction:
     def test_derived_save_stores_only_changed_layers(self):
         base = ModelSet.build("FFNN-48", num_models=6, seed=8)
         updated = perturb(base, fraction=0.2, seed=9)
-        manager = MultiModelManager.with_approach("baseline", dedup=True)
+        manager = MultiModelManager.with_approach("baseline", ArchiveConfig(dedup=True))
         base_id = manager.save_set(base)
         full_bytes = manager.context.file_store.total_bytes()
         manager.save_set(updated, base_set_id=base_id)
@@ -104,8 +105,8 @@ class TestStorageReduction:
 
     def test_streaming_save_matches_materialized(self):
         models = ModelSet.build("FFNN-48", num_models=5, seed=10)
-        streaming = MultiModelManager.with_approach("baseline", dedup=True)
-        materialized = MultiModelManager.with_approach("baseline", dedup=True)
+        streaming = MultiModelManager.with_approach("baseline", ArchiveConfig(dedup=True))
+        materialized = MultiModelManager.with_approach("baseline", ArchiveConfig(dedup=True))
         stream_id = streaming.save_set_streaming(
             "FFNN-48", iter(models.states), len(models)
         )
@@ -121,7 +122,7 @@ class TestStorageReduction:
 
 class TestRefcountGC:
     def make_chain(self, approach="update", cycles=2):
-        manager = MultiModelManager.with_approach(approach, dedup=True)
+        manager = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=True))
         current = ModelSet.build("FFNN-48", num_models=4, seed=11)
         ids = [manager.save_set(current)]
         sets = [current]
@@ -185,7 +186,7 @@ class TestRefcountGC:
 class TestChainSemantics:
     def test_chunked_sets_recover_in_one_hop(self):
         base = ModelSet.build("FFNN-48", num_models=3, seed=12)
-        manager = MultiModelManager.with_approach("update", dedup=True)
+        manager = MultiModelManager.with_approach("update", ArchiveConfig(dedup=True))
         base_id = manager.save_set(base)
         derived_id = manager.save_set(
             perturb(base, 0.3, seed=13), base_set_id=base_id
@@ -199,7 +200,7 @@ class TestChainSemantics:
     def test_compact_is_a_noop_for_chunked_sets(self):
         base = ModelSet.build("FFNN-48", num_models=3, seed=14)
         updated = perturb(base, 0.3, seed=15)
-        manager = MultiModelManager.with_approach("update", dedup=True)
+        manager = MultiModelManager.with_approach("update", ArchiveConfig(dedup=True))
         base_id = manager.save_set(base)
         derived_id = manager.save_set(updated, base_set_id=base_id)
         bytes_before = manager.context.file_store.total_bytes()
@@ -209,7 +210,7 @@ class TestChainSemantics:
 
     def test_non_dedup_derived_from_chunked_base_rejected(self):
         base = ModelSet.build("FFNN-48", num_models=3, seed=16)
-        manager = MultiModelManager.with_approach("update", dedup=True)
+        manager = MultiModelManager.with_approach("update", ArchiveConfig(dedup=True))
         base_id = manager.save_set(base)
         manager.context.dedup = False
         with pytest.raises(InvalidUpdatePlanError):
@@ -219,7 +220,7 @@ class TestChainSemantics:
         # Update's hash documents are the digest matrix: no chunk_digests
         # duplicate in the set descriptor.
         base = ModelSet.build("FFNN-48", num_models=3, seed=18)
-        manager = MultiModelManager.with_approach("update", dedup=True)
+        manager = MultiModelManager.with_approach("update", ArchiveConfig(dedup=True))
         set_id = manager.save_set(base)
         document = manager.set_info(set_id)
         assert document["storage"] == "chunked"
@@ -229,11 +230,11 @@ class TestChainSemantics:
 class TestPersistentDedup:
     def test_reopened_archive_resumes_deduplicating(self, tmp_path):
         models = ModelSet.build("FFNN-48", num_models=4, seed=19)
-        first = MultiModelManager.open(str(tmp_path), "baseline", dedup=True)
+        first = MultiModelManager.open(str(tmp_path), "baseline", ArchiveConfig(dedup=True))
         first_id = first.save_set(models)
         bytes_after_first = first.context.file_store.total_bytes()
 
-        reopened = MultiModelManager.open(str(tmp_path), "baseline", dedup=True)
+        reopened = MultiModelManager.open(str(tmp_path), "baseline", ArchiveConfig(dedup=True))
         second_id = reopened.save_set(models)
         assert reopened.context.file_store.total_bytes() == bytes_after_first
         assert_states_equal(reopened.recover_set(second_id), models)
@@ -241,7 +242,7 @@ class TestPersistentDedup:
 
     def test_stats_and_verifier_on_persistent_archive(self, tmp_path):
         models = ModelSet.build("FFNN-48", num_models=3, seed=20)
-        manager = MultiModelManager.open(str(tmp_path), "baseline", dedup=True)
+        manager = MultiModelManager.open(str(tmp_path), "baseline", ArchiveConfig(dedup=True))
         manager.save_set(models)
         manager.save_set(models)
         stats = manager.context.file_store.stats
@@ -252,7 +253,7 @@ class TestPersistentDedup:
 
 class TestCli:
     def make_archive(self, tmp_path, cycles=2):
-        manager = MultiModelManager.open(str(tmp_path), "baseline", dedup=True)
+        manager = MultiModelManager.open(str(tmp_path), "baseline", ArchiveConfig(dedup=True))
         current = ModelSet.build("FFNN-48", num_models=3, seed=21)
         ids = [manager.save_set(current)]
         for cycle in range(cycles):

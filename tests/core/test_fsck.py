@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.baseline import _chunked_digests
 from repro.core.fsck import ArchiveFsck, SalvageReport, salvage_recover
@@ -15,7 +16,7 @@ from repro.storage.journal import JOURNAL_COLLECTION, innermost
 
 
 def make_manager(approach, dedup=False):
-    context = SaveContext.create(dedup=dedup)
+    context = SaveContext.create(ArchiveConfig(dedup=dedup))
     return MultiModelManager.with_approach(approach, context=context)
 
 
@@ -179,7 +180,7 @@ class TestSalvageChunked:
         # The same layer bytes live both as a chunk (dedup save) and
         # inside a full artifact with hash info (plain Update save):
         # salvage heals the chunk from the replica instead of failing.
-        context = SaveContext.create(dedup=True)
+        context = SaveContext.create(ArchiveConfig(dedup=True))
         manager = MultiModelManager.with_approach("update", context=context)
         models = models_fixture()
         chunked_id = manager.save_set(models)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.manager import APPROACHES, MultiModelManager
 from repro.core.model_set import ModelSet
@@ -34,7 +35,7 @@ class TestConstruction:
             MultiModelManager.with_approach("teleport")
 
     def test_profile_applied_to_fresh_context(self):
-        manager = MultiModelManager.with_approach("baseline", profile=M1_PROFILE)
+        manager = MultiModelManager.with_approach("baseline", ArchiveConfig(profile=M1_PROFILE))
         assert manager.context.file_store.profile is M1_PROFILE
         assert manager.context.document_store.profile is M1_PROFILE
 

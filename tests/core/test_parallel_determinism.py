@@ -10,6 +10,7 @@ parameter bytes on chains of depth >= 3.
 import numpy as np
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.baseline import BaselineApproach
 from repro.core.model_set import ModelSet
@@ -59,7 +60,7 @@ class TestParallelSaveDeterminism:
         sets = build_chain_sets()
         stores = {}
         for workers in (1, 4):
-            context = SaveContext.create(workers=workers)
+            context = SaveContext.create(ArchiveConfig(workers=workers))
             save_chain(approach_cls(context), sets)
             stores[workers] = context
         serial, parallel = stores[1], stores[4]
@@ -72,7 +73,7 @@ class TestParallelSaveDeterminism:
     @pytest.mark.parametrize("approach_cls", [BaselineApproach, UpdateApproach])
     def test_parallel_recovery_matches_serial(self, approach_cls):
         sets = build_chain_sets()
-        context = SaveContext.create(workers=1)
+        context = SaveContext.create(ArchiveConfig(workers=1))
         ids = save_chain(approach_cls(context), sets)
         serial = approach_cls(context).recover(ids[-1])
         context.workers = 4
@@ -85,7 +86,7 @@ class TestCompactionEquivalence:
     @pytest.mark.parametrize("workers", [1, 4])
     def test_compact_equals_replay_on_mixed_chain(self, workers):
         sets = build_chain_sets()
-        context = SaveContext.create(workers=workers)
+        context = SaveContext.create(ArchiveConfig(workers=workers))
         ids = save_chain(UpdateApproach(context), sets)
         replayer = UpdateApproach(context, recovery="replay")
         compactor = UpdateApproach(context, recovery="compact")

@@ -7,6 +7,7 @@ issues (or issues that were just repaired), 2 unrecoverable loss.
 import pytest
 
 from repro.cli import main as archive_main
+from repro.config import ArchiveConfig
 from repro.core.fsck import ArchiveFsck, scrub_archive
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
@@ -23,7 +24,9 @@ def models(seed=0):
 
 
 def open_replicated(directory, approach="baseline", **kwargs):
-    return MultiModelManager.open(str(directory), approach, replicas=3, **kwargs)
+    return MultiModelManager.open(
+        str(directory), approach, ArchiveConfig(replicas=3, **kwargs)
+    )
 
 
 class TestScrub:

@@ -23,6 +23,7 @@ import shutil
 import pytest
 
 from repro.battery.datagen import CellDataConfig
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.fsck import ArchiveFsck
 from repro.core.manager import APPROACHES, MultiModelManager
@@ -73,7 +74,7 @@ def model_sets():
 
 
 def make_manager(approach, dedup):
-    context = SaveContext.create(dedup=dedup)
+    context = SaveContext.create(ArchiveConfig(dedup=dedup))
     attach_journal(context)
     return MultiModelManager.with_approach(approach, context=context)
 
@@ -170,12 +171,12 @@ class TestCrashMatrixPersistent:
         derived, info = derived_args(approach, model_sets)
 
         template = tmp_path / "template"
-        manager = MultiModelManager.open(str(template), approach, dedup=dedup)
+        manager = MultiModelManager.open(str(template), approach, ArchiveConfig(dedup=dedup))
         base_id = manager.save_set(models)
 
         probe_dir = tmp_path / "probe"
         shutil.copytree(template, probe_dir)
-        probe = MultiModelManager.open(str(probe_dir), approach, dedup=dedup)
+        probe = MultiModelManager.open(str(probe_dir), approach, ArchiveConfig(dedup=dedup))
         injector = inject_faults(probe.context, FaultInjector())
         probe.save_set(derived, base_set_id=base_id, update_info=info)
         ops = injector.ops
@@ -184,14 +185,14 @@ class TestCrashMatrixPersistent:
         for point in range(ops):
             workdir = tmp_path / f"crash-{point}"
             shutil.copytree(template, workdir)
-            victim = MultiModelManager.open(str(workdir), approach, dedup=dedup)
+            victim = MultiModelManager.open(str(workdir), approach, ArchiveConfig(dedup=dedup))
             inject_faults(
                 victim.context, FaultInjector(seed=SEED_BASE + point, crash_at=point)
             )
             with pytest.raises(SimulatedCrashError):
                 victim.save_set(derived, base_set_id=base_id, update_info=info)
 
-            reopened = MultiModelManager.open(str(workdir), approach, dedup=dedup)
+            reopened = MultiModelManager.open(str(workdir), approach, ArchiveConfig(dedup=dedup))
             assert not reopened.recovery_report.clean
             assert reopened.list_sets() == [base_id]
             assert reopened.recover_set(base_id).equals(models)
@@ -206,14 +207,14 @@ class TestCrashMatrixPersistent:
 
         template = tmp_path / "template"
         manager = MultiModelManager.open(
-            str(template), "update", dedup=True, workers=4
+            str(template), "update", ArchiveConfig(dedup=True, workers=4)
         )
         base_id = manager.save_set(models)
 
         probe_dir = tmp_path / "probe"
         shutil.copytree(template, probe_dir)
         probe = MultiModelManager.open(
-            str(probe_dir), "update", dedup=True, workers=4
+            str(probe_dir), "update", ArchiveConfig(dedup=True, workers=4)
         )
         injector = inject_faults(probe.context, FaultInjector())
         probe.save_set(derived, base_set_id=base_id)
@@ -224,7 +225,7 @@ class TestCrashMatrixPersistent:
             workdir = tmp_path / f"crash-{point}"
             shutil.copytree(template, workdir)
             victim = MultiModelManager.open(
-                str(workdir), "update", dedup=True, workers=4
+                str(workdir), "update", ArchiveConfig(dedup=True, workers=4)
             )
             inject_faults(
                 victim.context, FaultInjector(seed=SEED_BASE + point, crash_at=point)
@@ -233,7 +234,7 @@ class TestCrashMatrixPersistent:
                 victim.save_set(derived, base_set_id=base_id)
 
             reopened = MultiModelManager.open(
-                str(workdir), "update", dedup=True, workers=4
+                str(workdir), "update", ArchiveConfig(dedup=True, workers=4)
             )
             assert reopened.list_sets() == [base_id]
             assert reopened.recover_set(base_id).equals(models)

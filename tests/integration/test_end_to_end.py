@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.storage.hardware import M1_PROFILE, SERVER_PROFILE
 from tests.conftest import save_sequence
@@ -100,7 +101,7 @@ class TestHardwareProfiles:
     def test_m1_simulated_time_exceeds_server(self, synthetic_cases):
         times = {}
         for name, profile in (("server", SERVER_PROFILE), ("m1", M1_PROFILE)):
-            manager = MultiModelManager.with_approach("mmlib-base", profile=profile)
+            manager = MultiModelManager.with_approach("mmlib-base", ArchiveConfig(profile=profile))
             manager.save_set(synthetic_cases[0].model_set)
             stats = manager.context.document_store.stats
             file_stats = manager.context.file_store.stats
@@ -115,7 +116,7 @@ class TestHardwareProfiles:
         for approach in ("mmlib-base", "baseline"):
             sim = {}
             for name, profile in (("server", SERVER_PROFILE), ("m1", M1_PROFILE)):
-                manager = MultiModelManager.with_approach(approach, profile=profile)
+                manager = MultiModelManager.with_approach(approach, ArchiveConfig(profile=profile))
                 manager.save_set(synthetic_cases[0].model_set)
                 sim[name] = (
                     manager.context.document_store.stats.simulated_write_s

@@ -21,6 +21,7 @@ import shutil
 import pytest
 
 from repro.battery.datagen import CellDataConfig
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.fsck import ArchiveFsck, scrub_archive
 from repro.core.manager import APPROACHES, MultiModelManager
@@ -81,7 +82,7 @@ def derived_args(approach, model_sets):
 
 
 def make_manager(approach, dedup):
-    context = SaveContext.create(replicas=NUM_REPLICAS, dedup=dedup)
+    context = SaveContext.create(ArchiveConfig(replicas=NUM_REPLICAS, dedup=dedup))
     attach_journal(context)
     return MultiModelManager.with_approach(approach, context=context)
 
@@ -229,13 +230,13 @@ class TestPersistentReplicaMatrix:
 
         template = tmp_path / "template"
         manager = MultiModelManager.open(
-            str(template), "update", dedup=True, replicas=NUM_REPLICAS
+            str(template), "update", ArchiveConfig(dedup=True, replicas=NUM_REPLICAS)
         )
         base_id = manager.save_set(models)
 
         probe_dir = tmp_path / "probe"
         shutil.copytree(template, probe_dir)
-        probe = MultiModelManager.open(str(probe_dir), "update", dedup=True)
+        probe = MultiModelManager.open(str(probe_dir), "update", ArchiveConfig(dedup=True))
         injector = inject_replica_faults(
             probe.context, FAULTY_REPLICA, FaultInjector()
         )
@@ -247,7 +248,7 @@ class TestPersistentReplicaMatrix:
         for point in range(ops):
             workdir = tmp_path / f"down-{point}"
             shutil.copytree(template, workdir)
-            victim = MultiModelManager.open(str(workdir), "update", dedup=True)
+            victim = MultiModelManager.open(str(workdir), "update", ArchiveConfig(dedup=True))
             inject_replica_faults(
                 victim.context,
                 FAULTY_REPLICA,
@@ -257,7 +258,7 @@ class TestPersistentReplicaMatrix:
             assert victim.recover_set(set_id).equals(reference)
 
             # Reopen from disk: the revived replica is stale but present.
-            reopened = MultiModelManager.open(str(workdir), "update", dedup=True)
+            reopened = MultiModelManager.open(str(workdir), "update", ArchiveConfig(dedup=True))
             assert sorted(reopened.list_sets()) == sorted([base_id, set_id])
             assert reopened.recover_set(set_id).equals(reference)
             assert reopened.recover_set(base_id).equals(models)

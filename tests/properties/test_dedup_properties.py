@@ -10,6 +10,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 
@@ -46,8 +47,8 @@ def test_dedup_on_equals_dedup_off(shared_bits, unique_bits, approach_index):
     # Three models, two sharing a layer bit-for-bit: exercises both the
     # dedup hit path and the miss path in one save.
     models = bits_to_model_set([shared_bits, shared_bits, unique_bits])
-    on = MultiModelManager.with_approach(approach, dedup=True)
-    off = MultiModelManager.with_approach(approach, dedup=False)
+    on = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=True))
+    off = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=False))
     recovered_on = on.recover_set(on.save_set(models))
     recovered_off = off.recover_set(off.save_set(models))
     for index in range(len(models)):
@@ -73,7 +74,7 @@ def test_derived_save_dedup_on_equals_dedup_off(base_bits, new_bits, approach_in
     derived = bits_to_model_set([new_bits, base_bits])
     results = {}
     for dedup in (True, False):
-        manager = MultiModelManager.with_approach(approach, dedup=dedup)
+        manager = MultiModelManager.with_approach(approach, ArchiveConfig(dedup=dedup))
         base_id = manager.save_set(base)
         derived_id = manager.save_set(derived, base_set_id=base_id)
         results[dedup] = manager.recover_set(derived_id)
@@ -95,7 +96,7 @@ def test_refcounts_match_live_references(data):
 
     from repro.core.retention import RetentionManager
 
-    manager = MultiModelManager.with_approach("baseline", dedup=True)
+    manager = MultiModelManager.with_approach("baseline", ArchiveConfig(dedup=True))
     num_saves = data.draw(st.integers(min_value=1, max_value=3))
     ids = []
     for save in range(num_saves):

@@ -11,6 +11,7 @@ converged, deep-fsck-clean archive.
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
+from repro.config import ArchiveConfig
 from repro.core.approach import SaveContext
 from repro.core.fsck import ArchiveFsck, scrub_archive
 from repro.core.manager import MultiModelManager
@@ -32,10 +33,12 @@ def build_models(seed):
 
 def make_manager(approach, dedup, write_quorum, read_quorum):
     context = SaveContext.create(
-        replicas=NUM_REPLICAS,
-        write_quorum=write_quorum,
-        read_quorum=read_quorum,
-        dedup=dedup,
+        ArchiveConfig(
+            replicas=NUM_REPLICAS,
+            write_quorum=write_quorum,
+            read_quorum=read_quorum,
+            dedup=dedup,
+        )
     )
     attach_journal(context)
     return MultiModelManager.with_approach(approach, context=context)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.errors import StorageError
 from repro.storage.chunk_index import (
     PACKS_COLLECTION,
@@ -333,7 +334,7 @@ class TestGCCrashConsistency:
         from repro.core.manager import MultiModelManager
         from repro.core.model_set import ModelSet
 
-        manager = MultiModelManager.open(str(directory), "update", dedup=True)
+        manager = MultiModelManager.open(str(directory), "update", ArchiveConfig(dedup=True))
         models = ModelSet.build("FFNN-48", num_models=3, seed=0)
         base = manager.save_set(models)
         derived = models.copy()
@@ -357,7 +358,7 @@ class TestGCCrashConsistency:
         # Dry run: count the pass's fault points without firing any.
         probe = tmp_path / "probe"
         shutil.copytree(template, probe)
-        probe_manager = MultiModelManager.open(str(probe), "update", dedup=True)
+        probe_manager = MultiModelManager.open(str(probe), "update", ArchiveConfig(dedup=True))
         injector = inject_faults(probe_manager.context, FaultInjector())
         RetentionManager(probe_manager.context).keep_last(1)
         ops = injector.ops
@@ -366,14 +367,14 @@ class TestGCCrashConsistency:
         for point in range(ops):
             workdir = tmp_path / f"crash-{point}"
             shutil.copytree(template, workdir)
-            manager = MultiModelManager.open(str(workdir), "update", dedup=True)
+            manager = MultiModelManager.open(str(workdir), "update", ArchiveConfig(dedup=True))
             inject_faults(
                 manager.context, FaultInjector(seed=point, crash_at=point)
             )
             with pytest.raises(SimulatedCrashError):
                 RetentionManager(manager.context).keep_last(1)
 
-            reopened = MultiModelManager.open(str(workdir), "update", dedup=True)
+            reopened = MultiModelManager.open(str(workdir), "update", ArchiveConfig(dedup=True))
             assert not reopened.recovery_report.clean
             # Both sets survive (the GC never half-applies) and recover
             # byte-identically; the chunk ledger balances exactly.
@@ -389,9 +390,9 @@ class TestGCCrashConsistency:
         from repro.core.retention import RetentionManager
 
         base, second, _models, derived = self._build_archive(tmp_path)
-        manager = MultiModelManager.open(str(tmp_path), "update", dedup=True)
+        manager = MultiModelManager.open(str(tmp_path), "update", ArchiveConfig(dedup=True))
         RetentionManager(manager.context).keep_last(1)
-        reopened = MultiModelManager.open(str(tmp_path), "update", dedup=True)
+        reopened = MultiModelManager.open(str(tmp_path), "update", ArchiveConfig(dedup=True))
         assert reopened.list_sets() == [second]
         assert reopened.recover_set(second).equals(derived)
         report = ArchiveFsck(reopened.context).run()

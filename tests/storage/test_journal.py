@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.core.approach import SETS_COLLECTION, SaveContext
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
@@ -21,7 +22,7 @@ from repro.storage.journal import (
 
 
 def make_context(dedup=False):
-    context = SaveContext.create(dedup=dedup)
+    context = SaveContext.create(ArchiveConfig(dedup=dedup))
     attach_journal(context)
     return context
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 from repro.errors import (
@@ -198,7 +199,7 @@ class TestReplicaTopologyDetection:
         # Opening with replicas > 1 would lay out fresh empty replica-<i>
         # subtrees that silently shadow the existing data: refuse loudly.
         with pytest.raises(StorageError, match="replica-0"):
-            MultiModelManager.open(str(tmp_path), "baseline", replicas=3)
+            MultiModelManager.open(str(tmp_path), "baseline", ArchiveConfig(replicas=3))
         # The archive is untouched and still opens fine single-backend.
         reopened = MultiModelManager.open(str(tmp_path), "baseline")
         assert reopened.recover_set(set_id).equals(models)

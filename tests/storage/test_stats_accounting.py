@@ -1,0 +1,78 @@
+"""Delete/replace byte accounting: ``bytes_by_category`` tracks what is
+*currently stored*, under the stats lock, on single-backend and
+replicated stores alike."""
+
+import pytest
+
+from repro.config import ArchiveConfig
+from repro.core.approach import SaveContext
+from repro.storage.document_store import DocumentStore, document_num_bytes
+from repro.storage.file_store import FileStore
+
+
+class TestFileStoreAccounting:
+    def test_delete_returns_bytes_and_pops_empty_category(self):
+        store = FileStore()
+        artifact_id = store.put(b"x" * 128, category="parameters")
+        assert store.stats.bytes_by_category == {"parameters": 128}
+        store.delete(artifact_id)
+        assert store.stats.bytes_by_category == {}
+        assert store.stats.deletes == 1
+        assert store.stats.bytes_deleted == 128
+
+    def test_partial_delete_keeps_remainder(self):
+        store = FileStore()
+        keep = store.put(b"a" * 100, category="parameters")
+        drop = store.put(b"b" * 28, category="parameters")
+        store.delete(drop)
+        assert store.stats.bytes_by_category == {"parameters": 100}
+        assert store.exists(keep)
+
+
+class TestDocumentStoreAccounting:
+    def test_delete_returns_bytes(self):
+        store = DocumentStore()
+        doc_id = store.insert("sets", {"k": "v"})
+        stored = store.stats.bytes_by_category["metadata"]
+        store.delete("sets", doc_id)
+        assert store.stats.bytes_by_category == {}
+        assert store.stats.deletes == 1
+        assert store.stats.bytes_deleted == stored
+
+    def test_replace_swaps_bytes_without_counting_a_delete(self):
+        store = DocumentStore()
+        doc_id = store.insert("sets", {"k": "v"})
+        replacement = {"k": "a much longer value than before"}
+        store.replace("sets", doc_id, replacement)
+        assert store.stats.deletes == 0
+        assert store.stats.bytes_by_category == {
+            "metadata": document_num_bytes(store.get("sets", doc_id))
+        }
+
+
+@pytest.fixture
+def replicated_context():
+    return SaveContext.create(ArchiveConfig(replicas=3))
+
+
+class TestReplicatedAccounting:
+    def test_file_delete_uses_put_category(self, replicated_context):
+        store = replicated_context.file_store
+        artifact_id = store.put(b"y" * 64, category="parameters")
+        assert store.stats.bytes_by_category == {"parameters": 64}
+        store.delete(artifact_id)
+        assert store.stats.bytes_by_category == {}
+        assert store.stats.deletes == 1
+        assert store.stats.bytes_deleted == 64
+
+    def test_doc_replace_and_delete(self, replicated_context):
+        store = replicated_context.document_store
+        doc_id = store.insert("sets", {"k": "v"})
+        store.replace("sets", doc_id, {"k": "longer value entirely"})
+        assert store.stats.deletes == 0
+        assert store.stats.bytes_by_category == {
+            "metadata": document_num_bytes(store.get("sets", doc_id))
+        }
+        store.delete("sets", doc_id)
+        assert store.stats.bytes_by_category == {}
+        assert store.stats.deletes == 1
