@@ -40,6 +40,7 @@ from repro.core.retention import RetentionManager
 from repro.core.save_info import ModelUpdate, SetMetadata, UpdateInfo
 from repro.core.update import UpdateApproach
 from repro.core.verify import ArchiveVerifier
+from repro.fleet import FleetManager, IngestQueue
 from repro.observability import MetricsRegistry, TraceRecorder, global_registry
 
 __all__ = [
@@ -47,6 +48,8 @@ __all__ = [
     "ArchiveConfig",
     "ArchiveVerifier",
     "BaselineApproach",
+    "FleetManager",
+    "IngestQueue",
     "LineageGraph",
     "MMlibBaseApproach",
     "MetricsRegistry",

@@ -25,6 +25,15 @@ the topology.  ``fsck`` and ``scrub`` exit 0 when clean, 1 when issues
 were found that are repairable (or were repaired), and 2 on
 unrecoverable data loss.
 
+A sharded fleet layout (``shard-<i>/`` subtrees, written by
+:class:`~repro.fleet.FleetManager`) is auto-detected the same way — or
+created with ``--shards N``.  Every verb then iterates the shards:
+``info``/``fsck``/``scrub``/``verify``/``lineage``/``stats`` aggregate
+per-shard output (exit code = worst shard, keeping the 0/1/2 contract),
+``gc --keep-last`` applies the retention policy fleet-wide, and
+set-addressed verbs (``history``, ``compact``, ``export``) route to the
+shard owning the set.
+
 Every global flag maps 1:1 onto an :class:`~repro.config.ArchiveConfig`
 field (see :func:`config_from_args`); ``--trace``/``--trace-json`` turn
 on span recording for whichever command runs, and ``trace`` runs a
@@ -83,6 +92,7 @@ def config_from_args(args: argparse.Namespace) -> ArchiveConfig:
         dedup=getattr(args, "dedup", False),
         journal=not getattr(args, "no_journal", False),
         retry=retry,
+        shards=getattr(args, "shards", None),
         replicas=args.replicas,
         write_quorum=args.write_quorum,
         read_quorum=args.read_quorum,
@@ -478,6 +488,180 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+# -- fleet (sharded) archives ---------------------------------------------------
+
+#: Verbs that run once per shard and aggregate the worst exit code.
+_FLEET_ITERATED = {"info", "lineage", "verify", "fsck", "scrub", "stats"}
+#: Verbs addressed by set id, routed to the shard owning the set.
+_FLEET_ROUTED = {"history", "compact", "export"}
+
+
+def _fleet_shard_count(directory: str, config: ArchiveConfig) -> int:
+    """Shards to open: detected layout, ``--shards``, or their agreement."""
+    from repro.storage.persistent import detect_shards
+
+    detected = detect_shards(directory)
+    if config.shards is None:
+        return detected
+    num = int(config.shards)
+    if detected and detected != num:
+        raise ReproError(
+            f"archive at {directory} has {detected} shard(s) but "
+            f"--shards {num} was requested; resharding an existing fleet "
+            "is not supported"
+        )
+    from pathlib import Path
+
+    root = Path(directory)
+    if not detected and ((root / "artifacts").is_dir() or (root / "documents").is_dir()):
+        raise ReproError(
+            f"{directory} holds a plain single archive; move its contents "
+            "into shard-0/ to adopt the fleet layout (or drop --shards)"
+        )
+    return num
+
+
+def _open_fleet_contexts(
+    directory: str, num: int, config: ArchiveConfig
+) -> list[SaveContext]:
+    """Open every ``shard-<i>/`` context, with fleet-level observability.
+
+    Tracing shares one recorder across shards (concurrent fleet traces
+    stay one stream); metrics register each shard's stats under a
+    ``fleet_shard_<i>_`` prefix instead of the colliding single-archive
+    names.
+    """
+    from pathlib import Path
+
+    shard_config = config.with_(shards=None, observability=ObservabilityConfig())
+    contexts = [
+        open_context(str(Path(directory) / f"shard-{index}"), config=shard_config)
+        for index in range(num)
+    ]
+    settings = config.observability
+    if settings.tracing:
+        from repro.observability.trace import TraceRecorder, install_tracing
+
+        recorder = TraceRecorder()
+        for context in contexts:
+            install_tracing(context, recorder)
+    if settings.metrics:
+        from repro.observability.metrics import global_registry
+
+        registry = global_registry()
+        for index, context in enumerate(contexts):
+            registry.register_stats(
+                f"fleet_shard_{index}_file_store", context.file_store.stats
+            )
+            registry.register_stats(
+                f"fleet_shard_{index}_document_store",
+                context.document_store.stats,
+            )
+            context.metrics = registry
+    return contexts
+
+
+def _owning_context(contexts: list[SaveContext], set_id: str) -> SaveContext:
+    for context in contexts:
+        if context.document_store.exists(SETS_COLLECTION, set_id):
+            return context
+    raise ReproError(
+        f"set {set_id!r} not found on any of the {len(contexts)} shard(s)"
+    )
+
+
+def _cmd_fleet_gc(contexts: list[SaveContext], args: argparse.Namespace) -> int:
+    """Fleet-wide retention: one policy decision, one pass per shard.
+
+    ``--keep-last K`` keeps the newest K sets *across the whole fleet*
+    (ids are fleet-ordered), compacting each shard's oldest kept set so
+    no older ancestors need to survive — matching single-archive
+    ``keep_last`` semantics shard by shard.
+    """
+    per_shard_ids = [
+        context.document_store.collection_ids(SETS_COLLECTION)
+        for context in contexts
+    ]
+    if args.keep_last is not None:
+        if args.keep_last <= 0:
+            raise ReproError("--keep-last must be positive")
+        all_ids = sorted(set_id for ids in per_shard_ids for set_id in ids)
+        keep = set(all_ids[-args.keep_last :])
+    else:
+        keep = set(args.keep or [])
+    deleted: list[str] = []
+    retained: list[str] = []
+    chunks = 0
+    reclaimed = 0
+    for context, shard_ids in zip(contexts, per_shard_ids):
+        retention = RetentionManager(context)
+        shard_keep = [set_id for set_id in shard_ids if set_id in keep]
+        if args.keep_last is not None and shard_keep:
+            retention.compact(shard_keep[0])
+        report = retention.collect(keep=shard_keep)
+        deleted.extend(report.deleted_sets)
+        retained.extend(report.retained_for_chains)
+        chunks += report.chunks_reclaimed
+        reclaimed += report.bytes_reclaimed
+    print(f"deleted {len(deleted)} sets")
+    for set_id in sorted(deleted):
+        print(f"  - {set_id}")
+    if retained:
+        print(f"retained for recovery chains: {sorted(retained)}")
+    if chunks:
+        print(f"swept {chunks} zero-reference chunks")
+    print(f"reclaimed {reclaimed:,} bytes")
+    return 0
+
+
+def _run_fleet(
+    args: argparse.Namespace, config: ArchiveConfig, num: int, commands: dict
+) -> int:
+    contexts = _open_fleet_contexts(args.directory, num, config)
+    command = args.command
+    if command == "gc":
+        result = _cmd_fleet_gc(contexts, args)
+    elif command == "stats" and getattr(args, "live", False):
+        # The registry is process-wide; one export covers every shard.
+        result = _cmd_stats(contexts[0], args)
+    elif command in _FLEET_ITERATED:
+        total_sets = sum(
+            len(context.document_store.collection_ids(SETS_COLLECTION))
+            for context in contexts
+        )
+        total_bytes = sum(context.total_bytes() for context in contexts)
+        if command == "info":
+            print(f"fleet: {num} shards")
+            print(f"fleet sets: {total_sets}")
+            print(f"fleet stored bytes: {total_bytes:,}")
+        codes = []
+        for index, context in enumerate(contexts):
+            print(f"== shard-{index} ==")
+            codes.append(commands[command](context, args))
+        result = max(codes) if codes else 0
+    elif command in _FLEET_ROUTED:
+        result = commands[command](_owning_context(contexts, args.set_id), args)
+    elif command == "migrate":
+        # Merge every shard into one target archive: fleet ids are
+        # unique, so sequential per-shard migration cannot collide.
+        codes = [commands[command](context, args) for context in contexts]
+        result = max(codes) if codes else 0
+    else:  # pragma: no cover - argparse restricts the verb set
+        raise ReproError(f"command {command!r} does not support fleet archives")
+    trace_path = config.observability.trace_path
+    tracer = contexts[0].tracer if contexts else None
+    if trace_path and tracer is not None and tracer.roots:
+        from repro.observability import write_trace_json
+
+        path = write_trace_json(
+            trace_path,
+            tracer.roots,
+            meta={"command": args.command, "shards": num},
+        )
+        print(f"trace written to {path}")
+    return result
+
+
 # -- entry point --------------------------------------------------------------------
 
 def main(argv: list[str] | None = None) -> int:
@@ -498,11 +682,20 @@ def main(argv: list[str] | None = None) -> int:
         "lane per CPU); results are byte-identical at any setting",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the archive across N independent shard subtrees "
+        "operated as one fleet (default: auto-detect the existing "
+        "shard-<i>/ topology)",
+    )
+    parser.add_argument(
         "--replicas",
         type=int,
         default=None,
         help="replicate the archive across N backend subtrees (default: "
-        "auto-detect the existing topology)",
+        "auto-detect the existing topology); composes under sharding — "
+        "each shard carries its own replicas",
     )
     parser.add_argument(
         "--write-quorum",
@@ -674,11 +867,6 @@ def main(argv: list[str] | None = None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    try:
-        context = open_context(args.directory, config=config_from_args(args))
-    except (ReproError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     commands = {
         "info": _cmd_info,
         "lineage": _cmd_lineage,
@@ -692,6 +880,15 @@ def main(argv: list[str] | None = None) -> int:
         "migrate": _cmd_migrate,
         "stats": _cmd_stats,
     }
+    try:
+        config = config_from_args(args)
+        num_shards = _fleet_shard_count(args.directory, config)
+        if num_shards > 0:
+            return _run_fleet(args, config, num_shards, commands)
+        context = open_context(args.directory, config=config)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         result = commands[args.command](context, args)
     except ReproError as exc:

@@ -59,6 +59,14 @@ class ArchiveConfig:
     ``journal``/``retry`` apply to durable archives (in-memory contexts
     created via :meth:`SaveContext.create` run unjournaled — attach a
     journal explicitly when a test needs one).
+
+    ``shards`` partitions model sets across that many independent archive
+    shards (each a full archive with its own journal, chunk store, and
+    replicas) behind a :class:`~repro.fleet.FleetManager`.  ``None``
+    means "single archive" for the classic ``MultiModelManager`` entry
+    points and "auto-detect the on-disk ``shard-<i>/`` topology" for
+    :meth:`~repro.fleet.FleetManager.open`; replication composes *under*
+    sharding (every shard gets ``replicas`` backends of its own).
     """
 
     profile: HardwareProfile = LOCAL_PROFILE
@@ -70,6 +78,7 @@ class ArchiveConfig:
     write_quorum: int | None = None
     read_quorum: int | None = None
     replication_policy: "ReplicationPolicy | None" = None
+    shards: int | None = None
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
@@ -93,6 +102,8 @@ class ArchiveConfig:
                 raise ConfigError(
                     f"{label}={quorum} exceeds replicas={self.replicas}"
                 )
+        if self.shards is not None and int(self.shards) < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards!r}")
         if not isinstance(self.observability, ObservabilityConfig):
             raise ConfigError(
                 "observability must be an ObservabilityConfig, "

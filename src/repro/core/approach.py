@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
 import itertools
+import threading
 from typing import TYPE_CHECKING
 
 from repro.config import UNSET, ArchiveConfig, coalesce_legacy_config
@@ -67,6 +68,17 @@ class SaveContext:
     _set_counter: "itertools.count[int]" = field(
         default_factory=itertools.count, repr=False
     )
+    #: Per-archive mutex serializing mutating operations (saves, GC,
+    #: compaction) issued by concurrent threads sharing this context.
+    #: Reentrant so a caller that already routes through the fleet layer
+    #: (which times its acquisition) can nest the manager's own acquire.
+    mutex: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+    #: Externally allocated id the next :meth:`next_set_id` call must
+    #: return (the fleet engine routes by hashing ids it allocates from a
+    #: fleet-wide counter; see :meth:`reserve_set_id`).
+    _reserved_set_id: str | None = field(default=None, repr=False)
     _chunk_store: ChunkStore | None = field(default=None, repr=False)
     #: The :class:`~repro.config.ArchiveConfig` this context was built
     #: from (``None`` for hand-assembled contexts).
@@ -164,11 +176,22 @@ class SaveContext:
         self._chunk_store = None
 
     def trace(self, name: str, **attrs):
-        """A root trace span for one archive operation (no-op untraced)."""
+        """A trace span for one archive operation (no-op untraced).
+
+        Opens a *root* span normally; when some span is already current
+        (e.g. the fleet engine's ``fleet``/``shard-<i>`` envelope around
+        a shard save) the operation nests as a child instead, so one
+        fleet operation exports as a single tree whose phases still sum
+        to its simulated time.
+        """
         if self.tracer is None:
             from contextlib import nullcontext
 
             return nullcontext(None)
+        from repro.observability import trace as _trace
+
+        if _trace.active():
+            return _trace.span(name, **attrs)
         return self.tracer.trace(name, **attrs)
 
     def save_transaction(self, kind: str = "save", approach: str | None = None):
@@ -203,8 +226,31 @@ class SaveContext:
         return self.journal.begin(kind, approach)
 
     def next_set_id(self, approach_name: str) -> str:
-        """Allocate a unique id for a new model set."""
-        return f"set-{approach_name}-{next(self._set_counter):06d}"
+        """Allocate a unique id for a new model set.
+
+        A reserved id (see :meth:`reserve_set_id`) is consumed first, so
+        the fleet engine can route a save by its id before the shard's
+        approach runs.
+        """
+        with self.mutex:
+            if self._reserved_set_id is not None:
+                set_id, self._reserved_set_id = self._reserved_set_id, None
+                return set_id
+            return f"set-{approach_name}-{next(self._set_counter):06d}"
+
+    def reserve_set_id(self, set_id: str) -> None:
+        """Make the next :meth:`next_set_id` call return ``set_id``.
+
+        Callers must hold :attr:`mutex` across the reservation and the
+        save that consumes it (the fleet engine does), otherwise another
+        thread's save could consume the reservation.
+        """
+        with self.mutex:
+            if self._reserved_set_id is not None:
+                raise ValueError(
+                    f"set id {self._reserved_set_id!r} is already reserved"
+                )
+            self._reserved_set_id = set_id
 
     def set_document(self, set_id: str) -> dict:
         """Fetch a set's descriptor document (charged as a store read)."""

@@ -106,6 +106,13 @@ class MultiModelManager:
         config = coalesce_legacy_config(
             "MultiModelManager.with_approach", config, legacy
         )
+        if config.shards is not None and int(config.shards) > 1:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"shards={config.shards} needs the sharded fleet engine; "
+                "use repro.fleet.FleetManager instead of MultiModelManager"
+            )
         if context is None:
             context = SaveContext.create(config)
         elif full_config:
@@ -173,6 +180,14 @@ class MultiModelManager:
             }.items()
         }
         config = coalesce_legacy_config("MultiModelManager.open", config, legacy)
+        if config.shards is not None and int(config.shards) > 1:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"shards={config.shards} needs the sharded fleet engine; "
+                "use repro.fleet.FleetManager.open instead of "
+                "MultiModelManager.open"
+            )
         return cls.with_approach(
             approach,
             context=open_context(directory, config=config),
@@ -202,21 +217,29 @@ class MultiModelManager:
         On a journaled context the save is one atomic commit: a crash at
         any point leaves the archive exactly as before the call (rolled
         back at the next :meth:`open`).
+
+        Saves are serialized under the context's per-archive mutex:
+        threads sharing one manager (or one context across managers)
+        cannot interleave id allocation, journal transactions, or
+        descriptor/refcount mutation.
         """
-        with self.context.trace(
-            "save_set",
-            approach=self.approach.name,
-            mode="initial" if base_set_id is None else "derived",
-        ):
-            with self.context.save_transaction("save", self.approach.name):
-                if base_set_id is None:
-                    return self.approach.save_initial(model_set, metadata=metadata)
-                return self.approach.save_derived(
-                    model_set,
-                    base_set_id,
-                    update_info=update_info,
-                    metadata=metadata,
-                )
+        with self.context.mutex:
+            with self.context.trace(
+                "save_set",
+                approach=self.approach.name,
+                mode="initial" if base_set_id is None else "derived",
+            ):
+                with self.context.save_transaction("save", self.approach.name):
+                    if base_set_id is None:
+                        return self.approach.save_initial(
+                            model_set, metadata=metadata
+                        )
+                    return self.approach.save_derived(
+                        model_set,
+                        base_set_id,
+                        update_info=update_info,
+                        metadata=metadata,
+                    )
 
     def save_set_streaming(
         self,
@@ -231,13 +254,14 @@ class MultiModelManager:
         into the parameter artifact one at a time (Baseline/Update write
         a true single pass; other approaches fall back to materializing).
         """
-        with self.context.trace(
-            "save_set_streaming", approach=self.approach.name, mode="initial"
-        ):
-            with self.context.save_transaction("save", self.approach.name):
-                return self.approach.save_initial_streaming(
-                    architecture, states, num_models, metadata=metadata
-                )
+        with self.context.mutex:
+            with self.context.trace(
+                "save_set_streaming", approach=self.approach.name, mode="initial"
+            ):
+                with self.context.save_transaction("save", self.approach.name):
+                    return self.approach.save_initial_streaming(
+                        architecture, states, num_models, metadata=metadata
+                    )
 
     def recover_set(self, set_id: str, salvage: bool = False):
         """Reconstruct a saved model set.

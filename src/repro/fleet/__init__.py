@@ -1,0 +1,36 @@
+"""Sharded concurrent fleet engine with a coalescing ingest front door.
+
+Scale-out layer over the single-archive core: a
+:class:`~repro.fleet.manager.FleetManager` partitions model sets across
+N independent archive shards (routing by a stable hash of the set id,
+chains kept shard-local), and an
+:class:`~repro.fleet.ingest.IngestQueue` in front coalesces concurrent
+per-model updates into set-level saves drained by a bounded,
+shard-affine worker pool.
+
+Quickstart::
+
+    from repro import ArchiveConfig
+    from repro.fleet import FleetManager, IngestQueue
+
+    fleet = FleetManager.open("archive/", "update", ArchiveConfig(shards=4))
+    set_id = fleet.save_set(models)            # routed by hash
+    with IngestQueue(fleet, flush_max_updates=8) as queue:
+        queue.submit(set_id, model_index=3, state=new_state)
+    recovered = fleet.recover_set(fleet.list_sets()[-1])
+
+See ``docs/operations.md`` ("Scaling out") for the on-disk layout and
+how to choose shard counts and flush deadlines.
+"""
+
+from repro.fleet.ingest import IngestError, IngestQueue, SimClock
+from repro.fleet.manager import SHARD_PREFIX, FleetManager, shard_for
+
+__all__ = [
+    "SHARD_PREFIX",
+    "FleetManager",
+    "IngestError",
+    "IngestQueue",
+    "SimClock",
+    "shard_for",
+]

@@ -1,0 +1,395 @@
+"""Coalescing async ingest front door for the fleet engine.
+
+Training jobs emit *per-model* updates ("model 3 of set X finished a
+cycle"), but the archive's unit of persistence is the *set-level* save.
+:class:`IngestQueue` sits between them: many concurrent clients
+``submit()`` per-model states, the queue coalesces everything pending
+for one recovery chain (last-writer-wins per model index), and flushes
+one derived save per batch when either
+
+* the batch holds ``flush_max_updates`` submitted updates, or
+* the oldest pending update's age on the queue's :class:`SimClock`
+  reaches ``flush_max_age_s``.
+
+Flushes are dispatched to a bounded pool of shard-affine workers: jobs
+for shard ``i`` always run on worker ``i % workers``, so per-chain save
+order is preserved, shards proceed in parallel, and no lock is ever
+shared across shards.  ``workers=0`` runs flushes inline on the
+submitting thread (deterministic, useful in tests).
+
+Determinism: set ids are allocated at *dispatch* time (under the queue
+lock, in flush order), not when a worker gets around to the save — so
+the archive an ingest run produces depends only on the submission
+streams, not on thread scheduling.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.model_set import ModelSet
+from repro.errors import ReproError
+from repro.fleet.manager import FleetManager
+
+
+class IngestError(ReproError):
+    """A submitted update could not be queued or flushed."""
+
+
+class SimClock:
+    """Thread-safe simulated clock driving flush-age deadlines.
+
+    The archive's latency model already separates simulated store time
+    from wall time; the ingest queue's age deadline uses the same idea —
+    tests and benchmarks ``advance()`` the clock explicitly instead of
+    sleeping, so deadline behaviour is deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    @property
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("the clock only moves forward")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+
+@dataclass
+class _Chain:
+    """Pending state of one recovery chain (keyed by its root set id)."""
+
+    root: str
+    head: str  # id the next flush derives from
+    last_saved: str = ""  # newest id that definitely exists on the shard
+    inflight: int = 0  # dispatched batches not yet saved
+    #: model index -> latest submitted state (last-writer-wins).
+    pending: "OrderedDict[int, OrderedDict]" = field(default_factory=OrderedDict)
+    updates: int = 0  # submissions absorbed by the current batch
+    first_at: float = 0.0  # sim time the current batch started
+
+    #: Materialized current contents, recovered once then updated in
+    #: memory across flushes (the worker owning this chain's shard is
+    #: the only mutator).
+    materialized: "ModelSet | None" = None
+
+
+_SHUTDOWN = object()
+
+
+class IngestQueue:
+    """Coalesces per-model updates into set-level saves on a fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.fleet.manager.FleetManager` saves route
+        through.
+    flush_max_updates:
+        Flush a chain once its batch has absorbed this many submitted
+        updates (coalesced resubmissions count — they are work the
+        queue elided).
+    flush_max_age_s:
+        Flush a chain once its oldest pending update is this old on the
+        simulated clock (``None`` disables the age deadline; deadlines
+        are checked on ``submit``/``advance``/``drain``).
+    workers:
+        Size of the flush worker pool, clamped to the shard count
+        (``None`` = one worker per shard; ``0`` = flush inline on the
+        submitting thread).
+    """
+
+    def __init__(
+        self,
+        fleet: FleetManager,
+        flush_max_updates: int = 16,
+        flush_max_age_s: "float | None" = None,
+        workers: "int | None" = None,
+        clock: "SimClock | None" = None,
+    ) -> None:
+        if flush_max_updates < 1:
+            raise ValueError("flush_max_updates must be >= 1")
+        self.fleet = fleet
+        self.flush_max_updates = int(flush_max_updates)
+        self.flush_max_age_s = flush_max_age_s
+        self.clock = clock if clock is not None else SimClock()
+        self._lock = threading.Lock()
+        self._chains: dict[str, _Chain] = {}
+        self._closed = False
+        # -- counters (exported through the fleet's metrics registry) ------
+        self.updates_submitted = 0
+        self.updates_coalesced = 0
+        self.flushes = 0
+        self.models_written = 0
+        #: One record per flush: set id, base, shard, batch accounting.
+        self.flush_log: list[dict] = []
+        # -- worker pool ---------------------------------------------------
+        requested = fleet.num_shards if workers is None else int(workers)
+        self._num_workers = max(0, min(requested, fleet.num_shards))
+        self._queues: list["queue.Queue"] = [
+            queue.Queue() for _ in range(self._num_workers)
+        ]
+        self._threads: list[threading.Thread] = []
+        self._errors: list[BaseException] = []
+        for index in range(self._num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(self._queues[index],),
+                name=f"ingest-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        registry = fleet.metrics
+        if registry is not None:
+            registry.register_provider("fleet:ingest", self._metrics)
+
+    # -- metrics -----------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Pending (coalesced) per-model entries not yet flushed."""
+        with self._lock:
+            return sum(len(chain.pending) for chain in self._chains.values())
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Submitted per-model updates per set-level save (>1 = batching)."""
+        return self.updates_submitted / max(1, self.flushes)
+
+    @property
+    def write_elision_ratio(self) -> float:
+        """Submitted updates per model actually written (>1 = overwrites
+        absorbed by last-writer-wins before they hit storage)."""
+        return self.updates_submitted / max(1, self.models_written)
+
+    def _metrics(self) -> dict:
+        with self._lock:
+            depth = sum(len(chain.pending) for chain in self._chains.values())
+        return {
+            "ingest_queue_depth": depth,
+            "ingest_updates_total": self.updates_submitted,
+            "ingest_coalesced_updates_total": self.updates_coalesced,
+            "ingest_flushes_total": self.flushes,
+            "ingest_models_written_total": self.models_written,
+            "ingest_coalescing_ratio": self.coalescing_ratio,
+        }
+
+    # -- submission --------------------------------------------------------
+    def submit(self, set_id: str, model_index: int, state: "OrderedDict") -> None:
+        """Queue one model's new state for the chain containing ``set_id``.
+
+        A resubmission for a model index already pending replaces the
+        previous state (last-writer-wins) — the superseded write never
+        reaches storage.  May trigger flushes (of this chain by count,
+        of any chain by age); with inline workers those saves run before
+        ``submit`` returns.
+        """
+        if model_index < 0:
+            raise IngestError(f"model index must be >= 0, got {model_index}")
+        # Chain resolution may read descriptors; do it outside the queue
+        # lock (memoized by the fleet).
+        root = self.fleet.root_of(set_id)
+        jobs = []
+        with self._lock:
+            if self._closed:
+                raise IngestError("the ingest queue is closed")
+            chain = self._chains.get(root)
+            if chain is None:
+                chain = _Chain(root=root, head=set_id, last_saved=set_id)
+                self._chains[root] = chain
+            if not chain.pending:
+                chain.first_at = self.clock.now
+            if model_index in chain.pending:
+                self.updates_coalesced += 1
+            chain.pending[model_index] = state
+            chain.updates += 1
+            self.updates_submitted += 1
+            if chain.updates >= self.flush_max_updates:
+                jobs.append(self._dispatch_locked(chain))
+            jobs.extend(self._due_by_age_locked())
+        self._run_or_enqueue(jobs)
+
+    def advance(self, seconds: float) -> None:
+        """Move the simulated clock and flush chains past the age deadline."""
+        self.clock.advance(seconds)
+        with self._lock:
+            jobs = self._due_by_age_locked()
+        self._run_or_enqueue(jobs)
+
+    def flush(self, set_id: "str | None" = None) -> None:
+        """Force-flush one chain (by any of its set ids) or everything."""
+        root = self.fleet.root_of(set_id) if set_id is not None else None
+        with self._lock:
+            if root is None:
+                chains = [c for c in self._chains.values() if c.pending]
+                chains.sort(key=lambda chain: chain.root)
+            else:
+                chain = self._chains.get(root)
+                chains = [chain] if chain is not None and chain.pending else []
+            jobs = [self._dispatch_locked(chain) for chain in chains]
+        self._run_or_enqueue(jobs)
+
+    def drain(self) -> None:
+        """Flush all pending batches and wait until every save finished.
+
+        Re-raises the first worker error, if any.
+        """
+        self.flush()
+        for job_queue in self._queues:
+            job_queue.join()
+        self._raise_pending_error()
+
+    def close(self) -> None:
+        """Drain, then stop the worker pool.  Idempotent."""
+        try:
+            self.drain()
+        finally:
+            with self._lock:
+                already = self._closed
+                self._closed = True
+            if not already:
+                for job_queue in self._queues:
+                    job_queue.put(_SHUTDOWN)
+                for thread in self._threads:
+                    thread.join()
+            registry = self.fleet.metrics
+            if registry is not None:
+                registry.unregister_provider("fleet:ingest")
+
+    def __enter__(self) -> "IngestQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+    def _due_by_age_locked(self) -> list[dict]:
+        if self.flush_max_age_s is None:
+            return []
+        now = self.clock.now
+        due = [
+            chain
+            for chain in self._chains.values()
+            if chain.pending and now - chain.first_at >= self.flush_max_age_s
+        ]
+        due.sort(key=lambda chain: chain.root)
+        return [self._dispatch_locked(chain) for chain in due]
+
+    def _dispatch_locked(self, chain: _Chain) -> dict:
+        """Turn a chain's pending batch into a save job (queue lock held).
+
+        Allocates the set id now — in dispatch order — and advances the
+        chain head so back-to-back batches of one chain derive from each
+        other even while earlier saves are still running on a worker.
+        """
+        base = chain.head
+        set_id, shard = self.fleet.allocate_save(base_set_id=base)
+        job = {
+            "set_id": set_id,
+            "base": base,
+            "root": chain.root,
+            "shard": shard,
+            "states": chain.pending,
+            "updates": chain.updates,
+            "chain": chain,
+        }
+        chain.head = set_id
+        chain.inflight += 1
+        chain.pending = OrderedDict()
+        chain.updates = 0
+        return job
+
+    def _run_or_enqueue(self, jobs: list[dict]) -> None:
+        for job in jobs:
+            if self._num_workers == 0:
+                self._execute(job)
+            else:
+                self._queues[job["shard"] % self._num_workers].put(job)
+        if self._num_workers == 0:
+            self._raise_pending_error()
+
+    def _worker_loop(self, job_queue: "queue.Queue") -> None:
+        while True:
+            job = job_queue.get()
+            if job is _SHUTDOWN:
+                job_queue.task_done()
+                return
+            try:
+                self._execute(job)
+            finally:
+                job_queue.task_done()
+
+    def _execute(self, job: dict) -> None:
+        """Materialize the chain, apply the batch, save one derived set.
+
+        Runs on the worker owning the chain's shard (or inline), which
+        is the chain's only mutator — the materialized set needs no
+        extra locking.
+        """
+        chain: _Chain = job["chain"]
+        try:
+            if chain.materialized is None:
+                chain.materialized = self.fleet.recover_set(job["base"])
+            current = chain.materialized
+            for model_index, state in job["states"].items():
+                if not 0 <= model_index < len(current):
+                    raise IngestError(
+                        f"model index {model_index} out of range for the "
+                        f"{len(current)}-model chain rooted at {job['root']!r}"
+                    )
+                current.states[model_index] = state
+            self.fleet.execute_save(
+                job["set_id"],
+                job["shard"],
+                current,
+                base_set_id=job["base"],
+                coalesce={
+                    "updates": job["updates"],
+                    "models": len(job["states"]),
+                },
+            )
+        except BaseException as error:  # noqa: BLE001 - surfaced by drain()
+            # Roll the chain back to its last durable save: release the
+            # phantom id, drop the half-applied materialization, and —
+            # once no younger batch is in flight — point the head back at
+            # a set that actually exists so later submissions still work.
+            self.fleet.forget_allocation(job["set_id"])
+            with self._lock:
+                chain.inflight -= 1
+                chain.materialized = None
+                if chain.inflight == 0:
+                    chain.head = chain.last_saved
+                self._errors.append(error)
+            return
+        with self._lock:
+            chain.inflight -= 1
+            chain.last_saved = job["set_id"]
+            self.flushes += 1
+            self.models_written += len(job["states"])
+            self.flush_log.append(
+                {
+                    "set_id": job["set_id"],
+                    "base": job["base"],
+                    "root": job["root"],
+                    "shard": job["shard"],
+                    "updates": job["updates"],
+                    "models": len(job["states"]),
+                }
+            )
+
+    def _raise_pending_error(self) -> None:
+        with self._lock:
+            if not self._errors:
+                return
+            error = self._errors.pop(0)
+        raise error

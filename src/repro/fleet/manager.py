@@ -1,0 +1,514 @@
+"""Sharded fleet engine: N independent archive shards behind one facade.
+
+A :class:`FleetManager` owns ``config.shards`` full archives (each with
+its own journal, chunk store, replicas, and stats) and routes every
+save/recover/delete to exactly one of them:
+
+* **initial saves** hash their (fleet-allocated) set id with
+  :func:`shard_for` — a stable ``sha256(set_id) % num_shards``, so the
+  same id lands on the same shard across processes and reopens;
+* **derived saves** follow their base set's shard, keeping every
+  recovery chain shard-local (recovering a set never crosses shards).
+
+Set ids come from one fleet-wide counter and are *reserved* on the
+owning shard's context before the save runs
+(:meth:`~repro.core.approach.SaveContext.reserve_set_id`), so a
+one-shard fleet allocates the exact id sequence a plain
+:class:`~repro.core.manager.MultiModelManager` would — and produces a
+byte-identical archive under ``shard-0/``.
+
+Concurrency: there is **no cross-shard lock**.  Each shard's context
+mutex is wrapped in a :class:`~repro.observability.metrics.TimedLock`,
+so lock-wait seconds are a per-shard measurement (exported as
+``fleet_shard_<i>_lock_wait_s``) rather than an assumption; the only
+fleet-wide lock guards the id counter and the placement map, held for
+dictionary operations only — never across storage I/O.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from repro.config import ArchiveConfig, ObservabilityConfig
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.core.save_info import SetMetadata, UpdateInfo
+from repro.errors import ConfigError, DocumentNotFoundError, StorageError
+from repro.observability.metrics import TimedLock
+
+#: Directory name of shard ``i`` under a fleet root.
+SHARD_PREFIX = "shard-"
+
+
+def shard_for(set_id: str, num_shards: int) -> int:
+    """The shard owning ``set_id``: stable hash, independent of process.
+
+    Uses the first 8 bytes of ``sha256(set_id)`` so placement survives
+    reopen, other processes, and Python hash randomization.
+    """
+    if num_shards <= 1:
+        return 0
+    digest = hashlib.sha256(set_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def _shard_config(config: ArchiveConfig) -> ArchiveConfig:
+    """Per-shard config: no nested sharding, observability fleet-owned.
+
+    The fleet installs one shared trace recorder and registers its own
+    per-shard metrics providers, so shards must not each grab the global
+    registry under colliding names.
+    """
+    return config.with_(shards=None, observability=ObservabilityConfig())
+
+
+class FleetManager:
+    """Facade routing archive operations across independent shards.
+
+    Build one with :meth:`with_approach` (in-memory shards) or
+    :meth:`open` (durable shards under ``root/shard-<i>/``).  The API
+    mirrors :class:`~repro.core.manager.MultiModelManager` — same
+    ``save_set``/``recover_set``/``list_sets`` signatures, driven by the
+    same :class:`~repro.config.ArchiveConfig` (plus the ``shards``
+    knob) — so callers scale out without changing call sites.
+    """
+
+    def __init__(
+        self,
+        shards: "list[MultiModelManager]",
+        approach_name: str,
+        config: ArchiveConfig,
+        root: "Path | None" = None,
+    ) -> None:
+        if not shards:
+            raise ConfigError("a fleet needs at least one shard")
+        self.shards = shards
+        self.approach_name = approach_name
+        self.config = config
+        self.root = root
+        import threading
+
+        #: Fleet-wide lock for id allocation + placement bookkeeping only.
+        #: Never held across storage I/O.
+        self._fleet_lock = threading.Lock()
+        self._placement: dict[str, int] = {}
+        self._root_of: dict[str, str] = {}
+        self._next_id = 0
+        #: Per-shard timed wrappers of each context's own mutex: fleet
+        #: saves acquire through these so contention is measured.
+        self.shard_locks: list[TimedLock] = []
+        self.tracer = None
+        self.metrics = None
+        self._init_bookkeeping()
+        self._init_observability()
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def with_approach(
+        cls,
+        name: str,
+        config: "ArchiveConfig | None" = None,
+        **approach_kwargs: Any,
+    ) -> "FleetManager":
+        """In-memory fleet of ``config.shards`` shards (default 1)."""
+        config = config if config is not None else ArchiveConfig()
+        num = int(config.shards) if config.shards is not None else 1
+        shard_config = _shard_config(config)
+        managers = [
+            MultiModelManager.with_approach(name, shard_config, **approach_kwargs)
+            for _ in range(num)
+        ]
+        return cls(managers, name, config)
+
+    @classmethod
+    def open(
+        cls,
+        directory: "str | Path",
+        approach: str,
+        config: "ArchiveConfig | None" = None,
+        **approach_kwargs: Any,
+    ) -> "FleetManager":
+        """Open (or create) a durable fleet rooted at ``directory``.
+
+        ``config.shards=None`` auto-detects the on-disk ``shard-<i>/``
+        topology (like replica auto-detection), so reopening needs no
+        flags; a fresh directory defaults to one shard.  Resharding is
+        not supported: passing a shard count that contradicts the
+        detected layout raises :class:`~repro.errors.ConfigError`.
+        """
+        from repro.storage.persistent import detect_shards
+
+        config = config if config is not None else ArchiveConfig()
+        root = Path(directory)
+        detected = detect_shards(root)
+        if (root / "artifacts").is_dir() or (root / "documents").is_dir():
+            raise StorageError(
+                f"{root} holds a plain single archive; move its contents "
+                f"into {root / (SHARD_PREFIX + '0')}/ to adopt the fleet "
+                "layout (or open it with MultiModelManager.open)"
+            )
+        if config.shards is None:
+            num = detected if detected else 1
+        else:
+            num = int(config.shards)
+            if detected and detected != num:
+                raise ConfigError(
+                    f"archive at {root} has {detected} shard(s) but "
+                    f"shards={num} was requested; resharding an existing "
+                    "fleet is not supported"
+                )
+        shard_config = _shard_config(config)
+        managers = [
+            MultiModelManager.open(
+                str(root / f"{SHARD_PREFIX}{index}"),
+                approach,
+                shard_config,
+                **approach_kwargs,
+            )
+            for index in range(num)
+        ]
+        return cls(managers, approach, config, root=root)
+
+    # -- bookkeeping -------------------------------------------------------
+    def _init_bookkeeping(self) -> None:
+        """Rebuild placement and the fleet id counter from shard contents.
+
+        Management-plane reads only (collection listings are uncharged),
+        so reopening a fleet costs the same as reopening its shards.
+        """
+        highest = -1
+        for index, manager in enumerate(self.shards):
+            for set_id in manager.list_sets():
+                self._placement[set_id] = index
+                suffix = set_id.rsplit("-", 1)[-1]
+                if suffix.isdigit():
+                    highest = max(highest, int(suffix))
+        self._next_id = highest + 1
+
+    def _init_observability(self) -> None:
+        settings = self.config.observability
+        if settings.tracing:
+            from repro.observability.trace import TraceRecorder, install_tracing
+
+            recorder = TraceRecorder()
+            for manager in self.shards:
+                install_tracing(manager.context, recorder)
+            self.tracer = recorder
+        if settings.metrics:
+            from repro.observability.metrics import global_registry
+
+            registry = global_registry()
+            self.metrics = registry
+            registry.gauge(
+                "fleet_shards", "number of archive shards in the fleet"
+            ).set(self.num_shards)
+            for index, manager in enumerate(self.shards):
+                context = manager.context
+                context.metrics = registry
+                registry.register_stats(
+                    f"fleet_shard_{index}_file_store", context.file_store.stats
+                )
+                registry.register_stats(
+                    f"fleet_shard_{index}_document_store",
+                    context.document_store.stats,
+                )
+        counters = [
+            (
+                self.metrics.counter(
+                    f"fleet_shard_{index}_lock_wait_s_total",
+                    "seconds fleet operations spent waiting on this "
+                    "shard's mutex",
+                )
+                if self.metrics is not None
+                else None
+            )
+            for index in range(self.num_shards)
+        ]
+        self.shard_locks = [
+            TimedLock(lock=manager.context.mutex, counter=counter)
+            for manager, counter in zip(self.shards, counters)
+        ]
+        if self.metrics is not None:
+            self.metrics.register_provider("fleet:shards", self._shard_metrics)
+
+    def _shard_metrics(self) -> dict:
+        values: dict[str, float] = {}
+        with self._fleet_lock:
+            placement = dict(self._placement)
+        for index, manager in enumerate(self.shards):
+            prefix = f"fleet_shard_{index}"
+            values[f"{prefix}_sets"] = sum(
+                1 for shard in placement.values() if shard == index
+            )
+            values[f"{prefix}_stored_bytes"] = manager.total_stored_bytes()
+            values[f"{prefix}_simulated_s"] = self.shard_simulated_s()[index]
+            values[f"{prefix}_lock_wait_s"] = self.shard_locks[index].wait_s
+        return values
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, set_id: str) -> int:
+        """Which shard holds ``set_id`` (raises if unknown)."""
+        with self._fleet_lock:
+            try:
+                return self._placement[set_id]
+            except KeyError:
+                raise DocumentNotFoundError(
+                    f"set {set_id!r} not found on any of the fleet's "
+                    f"{self.num_shards} shard(s)"
+                ) from None
+
+    def root_of(self, set_id: str) -> str:
+        """The chain root of ``set_id`` (the set with no stored base).
+
+        Walks ``base_set`` links through descriptor documents; memoized,
+        and a missing base (e.g. garbage-collected) terminates the walk.
+        """
+        with self._fleet_lock:
+            cached = self._root_of.get(set_id)
+        if cached is not None:
+            return cached
+        shard = self.shard_of(set_id)
+        chain = []
+        current = set_id
+        while True:
+            with self._fleet_lock:
+                known = self._root_of.get(current)
+            if known is not None:
+                root = known
+                break
+            chain.append(current)
+            try:
+                document = self.shards[shard].set_info(current)
+            except DocumentNotFoundError:
+                root = current
+                break
+            base = document.get("base_set")
+            if base is None:
+                root = current
+                break
+            current = base
+        with self._fleet_lock:
+            for seen in chain:
+                self._root_of[seen] = root
+        return root
+
+    def list_sets(self) -> list[str]:
+        """Ids of all sets across every shard, sorted."""
+        with self._fleet_lock:
+            return sorted(self._placement)
+
+    def set_info(self, set_id: str) -> dict:
+        return self.shards[self.shard_of(set_id)].set_info(set_id)
+
+    def find_sets(self, **filters: Any) -> list[str]:
+        """Union of :meth:`MultiModelManager.find_sets` over all shards."""
+        matches: list[str] = []
+        for manager in self.shards:
+            matches.extend(manager.find_sets(**filters))
+        return sorted(matches)
+
+    def total_stored_bytes(self) -> int:
+        return sum(manager.total_stored_bytes() for manager in self.shards)
+
+    def shard_simulated_s(self) -> list[float]:
+        """Per-shard simulated store seconds charged so far.
+
+        The fleet's time-to-save is the *makespan* of these lanes —
+        shards run concurrently, so fleet TTS is the max over shards of
+        the per-shard simulated delta, not the sum.
+        """
+        totals = []
+        for manager in self.shards:
+            file_stats = manager.context.file_store.stats
+            doc_stats = manager.context.document_store.stats
+            totals.append(
+                file_stats.simulated_write_s
+                + file_stats.simulated_read_s
+                + doc_stats.simulated_write_s
+                + doc_stats.simulated_read_s
+            )
+        return totals
+
+    @property
+    def recovery_reports(self) -> list:
+        """Per-shard crash-recovery reports (``None`` when unjournaled)."""
+        return [manager.recovery_report for manager in self.shards]
+
+    # -- routing core ------------------------------------------------------
+    def allocate_save(self, base_set_id: "str | None" = None) -> tuple[str, int]:
+        """Reserve the next fleet set id and pick its shard.
+
+        Split from :meth:`execute_save` so the ingest queue can allocate
+        ids in dispatch order (deterministic) while the saves themselves
+        run later on worker threads.  Derived saves follow their base's
+        shard; initial saves hash the new id.
+        """
+        with self._fleet_lock:
+            if base_set_id is not None:
+                try:
+                    shard = self._placement[base_set_id]
+                except KeyError:
+                    raise DocumentNotFoundError(
+                        f"base set {base_set_id!r} not found on any shard"
+                    ) from None
+            set_id = f"set-{self.approach_name}-{self._next_id:06d}"
+            self._next_id += 1
+            if base_set_id is None:
+                shard = shard_for(set_id, self.num_shards)
+            else:
+                root = self._root_of.get(base_set_id)
+                if root is not None:
+                    # Propagate the chain root eagerly so a batch queued
+                    # behind this (still unsaved) id resolves its chain.
+                    self._root_of[set_id] = root
+            self._placement[set_id] = shard
+        return set_id, shard
+
+    def forget_allocation(self, set_id: str) -> None:
+        """Release an id from :meth:`allocate_save` whose save never ran.
+
+        The id number itself is not reused (fleet ids may skip), but the
+        placement entry must go so the id stops appearing in listings.
+        """
+        with self._fleet_lock:
+            self._placement.pop(set_id, None)
+            self._root_of.pop(set_id, None)
+
+    @contextmanager
+    def _fleet_span(self, operation: str, set_id: str, shard: int):
+        """``fleet`` root span + ``shard-<i>`` child envelope (no-op untraced).
+
+        Roots are keyed by set id so concurrently recorded fleet
+        operations keep deterministic span ids.
+        """
+        if self.tracer is None:
+            yield
+            return
+        from repro.observability import trace as _trace
+
+        with self.tracer.trace("fleet", key=set_id, op=operation):
+            with _trace.span(f"{SHARD_PREFIX}{shard}", shard=shard):
+                yield
+
+    def execute_save(
+        self,
+        set_id: str,
+        shard: int,
+        model_set: ModelSet,
+        base_set_id: "str | None" = None,
+        update_info: "UpdateInfo | None" = None,
+        metadata: "SetMetadata | None" = None,
+        coalesce: "dict | None" = None,
+    ) -> str:
+        """Run a save allocated by :meth:`allocate_save` on its shard.
+
+        ``coalesce`` attaches the ingest queue's batch accounting to a
+        ``coalesce`` span between the fleet envelope and the shard save.
+        """
+        manager = self.shards[shard]
+        with self.shard_locks[shard]:
+            with self._fleet_span("save", set_id, shard):
+                context = manager.context
+                context.reserve_set_id(set_id)
+                try:
+                    if coalesce is not None:
+                        from repro.observability import trace as _trace
+
+                        with _trace.span("coalesce", **coalesce):
+                            saved = manager.save_set(
+                                model_set,
+                                base_set_id=base_set_id,
+                                update_info=update_info,
+                                metadata=metadata,
+                            )
+                    else:
+                        saved = manager.save_set(
+                            model_set,
+                            base_set_id=base_set_id,
+                            update_info=update_info,
+                            metadata=metadata,
+                        )
+                finally:
+                    if context._reserved_set_id is not None:
+                        # The save failed before consuming its id; drop
+                        # the reservation and the optimistic placement.
+                        context._reserved_set_id = None
+                        with self._fleet_lock:
+                            self._placement.pop(set_id, None)
+                            self._root_of.pop(set_id, None)
+        if saved != set_id:  # pragma: no cover - defensive
+            raise StorageError(
+                f"shard {shard} saved under {saved!r}, expected {set_id!r}"
+            )
+        return saved
+
+    # -- save / recover / delete -------------------------------------------
+    def save_set(
+        self,
+        model_set: ModelSet,
+        base_set_id: "str | None" = None,
+        update_info: "UpdateInfo | None" = None,
+        metadata: "SetMetadata | None" = None,
+    ) -> str:
+        """Persist a model set on its shard; same contract as the
+        single-archive :meth:`MultiModelManager.save_set`."""
+        set_id, shard = self.allocate_save(base_set_id)
+        return self.execute_save(
+            set_id,
+            shard,
+            model_set,
+            base_set_id=base_set_id,
+            update_info=update_info,
+            metadata=metadata,
+        )
+
+    def recover_set(self, set_id: str, salvage: bool = False):
+        """Reconstruct a set from whichever shard owns it.
+
+        Recovery never crosses shards: derived saves were routed to
+        their base's shard, so the whole chain is local.
+        """
+        shard = self.shard_of(set_id)
+        with self.shard_locks[shard]:
+            with self._fleet_span("recover", set_id, shard):
+                return self.shards[shard].recover_set(set_id, salvage=salvage)
+
+    def recover_model(self, set_id: str, model_index: int):
+        shard = self.shard_of(set_id)
+        with self.shard_locks[shard]:
+            with self._fleet_span("recover_model", set_id, shard):
+                return self.shards[shard].recover_model(set_id, model_index)
+
+    def delete_sets(self, set_ids: "list[str]") -> dict[int, object]:
+        """Garbage-collect the given sets from their shards.
+
+        Routes each id to its owning shard and runs one retention pass
+        per affected shard (keeping everything else).  Chain ancestors
+        still needed by surviving descendants are retained, exactly as
+        single-archive GC does.  Returns ``{shard_index:
+        CollectionReport}``.
+        """
+        from repro.core.retention import RetentionManager
+
+        doomed_by_shard: dict[int, set[str]] = {}
+        for set_id in set_ids:
+            doomed_by_shard.setdefault(self.shard_of(set_id), set()).add(set_id)
+        reports: dict[int, object] = {}
+        for shard, doomed in sorted(doomed_by_shard.items()):
+            manager = self.shards[shard]
+            keep = [sid for sid in manager.list_sets() if sid not in doomed]
+            with self.shard_locks[shard]:
+                report = RetentionManager(manager.context).collect(keep=keep)
+            reports[shard] = report
+            with self._fleet_lock:
+                for sid in report.deleted_sets:
+                    self._placement.pop(sid, None)
+                    self._root_of.pop(sid, None)
+        return reports

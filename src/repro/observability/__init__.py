@@ -29,6 +29,7 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    TimedLock,
     global_registry,
 )
 from repro.observability.schema import TRACE_SCHEMA, validate_trace_document
@@ -47,6 +48,7 @@ __all__ = [
     "NOOP_SPAN",
     "Span",
     "TRACE_SCHEMA",
+    "TimedLock",
     "TraceRecorder",
     "global_registry",
     "install_tracing",

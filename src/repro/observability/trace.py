@@ -225,10 +225,22 @@ class TraceRecorder:
         self.roots: list[Span] = []
         self._lock = threading.Lock()
 
-    def trace(self, name: str, kind: str | None = None, **attrs: Any):
-        """Open a *root* span (e.g. one ``save_set`` call)."""
-        root = Span(name, kind=kind, attrs=attrs)
-        root._ordinal = 0
+    def trace(
+        self,
+        name: str,
+        kind: str | None = None,
+        key: "int | str | None" = None,
+        **attrs: Any,
+    ):
+        """Open a *root* span (e.g. one ``save_set`` call).
+
+        ``key`` disambiguates roots recorded concurrently (the fleet
+        engine passes the set id), keeping every root's ``span_id``
+        deterministic: unkeyed roots all share the identity ``name[0]``.
+        """
+        root = Span(name, kind=kind, key=key, attrs=attrs)
+        if key is None:
+            root._ordinal = 0
         recorder = self
 
         class _RootScope(_SpanScope):

@@ -455,6 +455,31 @@ def detect_replicas(directory: str | Path) -> int:
     return max(highest + 1, 1)
 
 
+def detect_shards(directory: str | Path) -> int:
+    """Number of ``shard-<i>`` fleet directories under ``directory``.
+
+    Mirrors :func:`detect_replicas`: the count is ``max(index) + 1`` over
+    every ``shard-<i>`` directory present, so losing a whole shard
+    directory reopens as the full (degraded) topology rather than a
+    silently smaller fleet.  Returns **0** when no ``shard-*`` directory
+    exists — a plain single-archive layout (or a fresh directory), which
+    the classic ``MultiModelManager`` entry points own.
+    """
+    root = Path(directory)
+    highest = -1
+    prefix = "shard-"
+    if root.is_dir():
+        for entry in root.iterdir():
+            if not entry.is_dir() or not entry.name.startswith(prefix):
+                continue
+            try:
+                index = int(entry.name[len(prefix):])
+            except ValueError:
+                continue
+            highest = max(highest, index)
+    return highest + 1
+
+
 def open_context(
     directory: str | Path,
     profile: HardwareProfile = LOCAL_PROFILE,
@@ -518,6 +543,15 @@ def open_context(
     replication_policy = config.replication_policy
 
     root = Path(directory)
+    if detect_shards(root):
+        # A fleet layout reopened through the single-archive entry point
+        # would create a fresh empty archive beside the shard subtrees,
+        # silently shadowing every set in them.
+        raise StorageError(
+            f"archive at {root} is a sharded fleet layout (shard-<i>/ "
+            "subtrees); open it with repro.fleet.FleetManager.open or "
+            "repro-archive --shards"
+        )
     if replicas is None:
         replicas = detect_replicas(root)
     if replicas > 1:

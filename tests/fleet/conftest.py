@@ -1,0 +1,23 @@
+"""Fleet test fixtures: registry isolation and a small shared set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model_set import ModelSet
+from repro.observability.metrics import global_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Fleet tests register per-shard providers on the process-wide
+    registry; drop them afterwards so tests stay independent."""
+    global_registry().reset()
+    yield
+    global_registry().reset()
+
+
+@pytest.fixture(scope="session")
+def tiny_set() -> ModelSet:
+    """4 FFNN-48 models; session-scoped, treat as read-only."""
+    return ModelSet.build("FFNN-48", num_models=4, seed=11)

@@ -1,0 +1,86 @@
+"""CLI verbs against fleet archives: aggregation, routing, exit codes.
+
+The 0/1/2 contract must hold unchanged: 0 clean, 1 integrity findings,
+2 operator error — with iterated verbs reporting the *worst* shard.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as archive_main
+from repro.config import ArchiveConfig
+from repro.core.manager import MultiModelManager
+from repro.fleet import FleetManager
+
+
+@pytest.fixture
+def fleet_archive(tmp_path, tiny_set):
+    root = tmp_path / "fleet"
+    fleet = FleetManager.open(root, "update", ArchiveConfig(shards=2))
+    ids = [fleet.save_set(tiny_set) for _ in range(3)]
+    ids.append(fleet.save_set(tiny_set, base_set_id=ids[0]))
+    return str(root), ids
+
+
+class TestFleetIteratedVerbs:
+    def test_info_aggregates_across_shards(self, fleet_archive, capsys):
+        path, ids = fleet_archive
+        assert archive_main([path, "info"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 shards" in out
+        assert f"fleet sets: {len(ids)}" in out
+        assert "== shard-0 ==" in out
+        assert "== shard-1 ==" in out
+
+    def test_verify_clean_fleet(self, fleet_archive, capsys):
+        path, _ids = fleet_archive
+        assert archive_main([path, "verify", "--deep"]) == 0
+        assert capsys.readouterr().out.count("archive is clean") == 2
+
+    def test_verify_reports_worst_shard(self, fleet_archive, capsys):
+        path, _ids = fleet_archive
+        # Corrupt exactly one shard: the fleet exit code is the max.
+        victim = next(Path(path).glob("shard-*/artifacts/*-params.bin"))
+        victim.unlink()
+        assert archive_main([path, "verify"]) == 1
+        assert "ISSUE" in capsys.readouterr().out
+
+    def test_fsck_and_scrub_iterate_shards(self, fleet_archive, capsys):
+        path, _ids = fleet_archive
+        assert archive_main([path, "fsck"]) == 0
+        assert archive_main([path, "scrub"]) == 0
+        assert capsys.readouterr().out.count("== shard-") == 4
+
+
+class TestFleetGcAndRouting:
+    def test_gc_keep_last_is_fleet_wide(self, fleet_archive, capsys, tiny_set):
+        path, ids = fleet_archive
+        assert archive_main([path, "gc", "--keep-last", "1"]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+        reopened = FleetManager.open(path, "update")
+        assert reopened.list_sets() == [sorted(ids)[-1]]
+        assert reopened.recover_set(sorted(ids)[-1]).equals(tiny_set)
+
+    def test_export_routes_to_owning_shard(self, fleet_archive, tmp_path, capsys):
+        path, ids = fleet_archive
+        out_dir = str(tmp_path / "bundle")
+        assert archive_main([path, "export", ids[-1], out_dir]) == 0
+        assert (Path(out_dir) / "manifest.json").is_file()
+
+    def test_routed_verb_unknown_set_is_operator_error(self, fleet_archive):
+        path, _ids = fleet_archive
+        assert archive_main([path, "history", "set-update-999999", "0"]) == 2
+
+
+class TestFleetExitCode2:
+    def test_reshard_request_is_refused(self, fleet_archive):
+        path, _ids = fleet_archive
+        assert archive_main([path, "--shards", "4", "info"]) == 2
+
+    def test_shards_flag_on_plain_archive_is_refused(self, tmp_path, tiny_set):
+        plain = str(tmp_path / "plain")
+        MultiModelManager.open(plain, "update").save_set(tiny_set)
+        assert archive_main([plain, "--shards", "2", "info"]) == 2
+        # Without the flag the plain archive still works untouched.
+        assert archive_main([plain, "info"]) == 0

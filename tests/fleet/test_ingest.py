@@ -1,0 +1,211 @@
+"""IngestQueue semantics: coalescing, flush triggers, drain, metrics."""
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.config import ArchiveConfig, ObservabilityConfig
+from repro.fleet import FleetManager, IngestError, IngestQueue, SimClock
+from repro.observability import prometheus_text
+from repro.observability.metrics import global_registry
+
+
+def state_plus(model_set, index, delta):
+    return OrderedDict(
+        (name, (array + delta).astype(array.dtype))
+        for name, array in model_set.state(index).items()
+    )
+
+
+def make_fleet(shards=1, metrics=False):
+    return FleetManager.with_approach(
+        "update",
+        ArchiveConfig(
+            shards=shards,
+            observability=ObservabilityConfig(metrics=metrics),
+        ),
+    )
+
+
+class TestCoalescing:
+    def test_last_writer_wins_per_model(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=100, workers=0)
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.submit(base, 0, state_plus(tiny_set, 0, 2.0))
+        queue.submit(base, 0, state_plus(tiny_set, 0, 3.0))
+        assert queue.depth == 1  # three submissions, one pending entry
+        queue.drain()
+        queue.close()
+        assert queue.flushes == 1
+        assert queue.models_written == 1
+        assert queue.updates_coalesced == 2
+        assert queue.write_elision_ratio == 3.0
+        (entry,) = queue.flush_log
+        recovered = fleet.recover_set(entry["set_id"])
+        expected = tiny_set.copy()
+        expected.states[0] = state_plus(tiny_set, 0, 3.0)
+        assert recovered.equals(expected)
+
+    def test_count_flush_boundary(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=3, workers=0)
+        for step in range(3):
+            queue.submit(base, step % 2, state_plus(tiny_set, step % 2, step))
+        assert queue.flushes == 1  # exactly at the third submission
+        assert queue.depth == 0
+        queue.close()
+
+    def test_batches_chain_on_each_other(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=1, workers=0)
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.submit(base, 1, state_plus(tiny_set, 1, 2.0))
+        queue.close()
+        first, second = queue.flush_log
+        assert first["base"] == base
+        assert second["base"] == first["set_id"]
+        # The second save carries both updates (materialized in place).
+        final = fleet.recover_set(second["set_id"])
+        expected = tiny_set.copy()
+        expected.states[0] = state_plus(tiny_set, 0, 1.0)
+        expected.states[1] = state_plus(tiny_set, 1, 2.0)
+        assert final.equals(expected)
+
+    def test_independent_chains_do_not_coalesce_together(self, tiny_set):
+        fleet = make_fleet(shards=2)
+        base_a = fleet.save_set(tiny_set)
+        base_b = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=2, workers=0)
+        queue.submit(base_a, 0, state_plus(tiny_set, 0, 1.0))
+        queue.submit(base_b, 0, state_plus(tiny_set, 0, 2.0))
+        assert queue.flushes == 0  # one pending update per chain
+        queue.drain()
+        assert queue.flushes == 2
+        roots = {entry["root"] for entry in queue.flush_log}
+        assert roots == {base_a, base_b}
+        queue.close()
+
+
+class TestAgeDeadline:
+    def test_age_flush_on_simulated_clock(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        clock = SimClock()
+        queue = IngestQueue(
+            fleet,
+            flush_max_updates=100,
+            flush_max_age_s=30.0,
+            clock=clock,
+            workers=0,
+        )
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.advance(29.0)
+        assert queue.flushes == 0
+        queue.advance(1.0)  # deadline reached exactly
+        assert queue.flushes == 1
+        queue.close()
+
+    def test_age_measured_from_oldest_pending(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(
+            fleet, flush_max_updates=100, flush_max_age_s=10.0, workers=0
+        )
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.clock.advance(9.0)
+        # A fresh submission does not reset the batch's age.
+        queue.submit(base, 1, state_plus(tiny_set, 1, 2.0))
+        assert queue.flushes == 0
+        queue.advance(1.0)
+        assert queue.flushes == 1
+        (entry,) = queue.flush_log
+        assert entry["models"] == 2
+        queue.close()
+
+    def test_clock_rejects_rewind(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+
+class TestLifecycle:
+    def test_flush_targets_one_chain(self, tiny_set):
+        fleet = make_fleet()
+        base_a = fleet.save_set(tiny_set)
+        base_b = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=100, workers=0)
+        queue.submit(base_a, 0, state_plus(tiny_set, 0, 1.0))
+        queue.submit(base_b, 0, state_plus(tiny_set, 0, 2.0))
+        queue.flush(base_a)
+        assert queue.flushes == 1
+        assert queue.flush_log[0]["root"] == base_a
+        assert queue.depth == 1  # chain B still pending
+        queue.close()
+
+    def test_submit_after_close_raises(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, workers=0)
+        queue.close()
+        with pytest.raises(IngestError):
+            queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.close()  # idempotent
+
+    def test_worker_error_surfaces_on_drain(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=1, workers=1)
+        queue.submit(base, 99, state_plus(tiny_set, 0, 1.0))
+        with pytest.raises(IngestError, match="out of range"):
+            queue.drain()
+        # The queue stays usable for valid work afterwards.
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.close()
+        assert queue.flushes == 1
+
+    def test_negative_model_index_rejected(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        with IngestQueue(fleet, workers=0) as queue:
+            with pytest.raises(IngestError):
+                queue.submit(base, -1, state_plus(tiny_set, 0, 1.0))
+
+    def test_worker_pool_runs_saves_off_thread(self, tiny_set):
+        fleet = make_fleet(shards=2)
+        bases = [fleet.save_set(tiny_set) for _ in range(4)]
+        with IngestQueue(fleet, flush_max_updates=2, workers=2) as queue:
+            for step in range(3):
+                for base in bases:
+                    queue.submit(base, step % 4, state_plus(tiny_set, step % 4, step))
+            queue.drain()
+            assert queue.flushes >= 4
+            for entry in queue.flush_log:
+                assert fleet.recover_set(entry["set_id"]) is not None
+
+
+class TestMetricsExport:
+    def test_queue_depth_and_ratios_in_prometheus_export(self, tiny_set):
+        fleet = make_fleet(metrics=True)
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=100, workers=0)
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.submit(base, 0, state_plus(tiny_set, 0, 2.0))
+        queue.submit(base, 1, state_plus(tiny_set, 1, 1.0))
+        registry = global_registry()
+        values = registry.collect()
+        assert values["ingest_queue_depth"] == 2
+        assert values["ingest_updates_total"] == 3
+        assert values["ingest_coalesced_updates_total"] == 1
+        text = prometheus_text(registry)
+        assert "ingest_queue_depth 2" in text
+        assert "fleet_shard_0_lock_wait_s_total" in text
+        queue.drain()
+        assert registry.collect()["ingest_queue_depth"] == 0
+        assert registry.collect()["ingest_coalescing_ratio"] == 3.0
+        queue.close()
+        # close() unregisters the provider; shard metrics remain.
+        assert "ingest_queue_depth" not in registry.collect()
+        assert "fleet_shard_0_lock_wait_s" in registry.collect()
