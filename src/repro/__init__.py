@@ -27,7 +27,7 @@ paper-vs-measured results.
 __version__ = "1.0.0"
 
 from repro import errors
-from repro.config import ArchiveConfig, ObservabilityConfig
+from repro.config import ArchiveConfig, ObservabilityConfig, ServingConfig
 from repro.core.approach import SaveApproach, SaveContext
 from repro.core.baseline import BaselineApproach
 from repro.core.lineage import LineageGraph, diff_sets, model_history
@@ -42,6 +42,7 @@ from repro.core.update import UpdateApproach
 from repro.core.verify import ArchiveVerifier
 from repro.fleet import FleetManager, IngestQueue
 from repro.observability import MetricsRegistry, TraceRecorder, global_registry
+from repro.serving import ServingCache
 
 __all__ = [
     "ApproachRecommender",
@@ -62,6 +63,8 @@ __all__ = [
     "SaveApproach",
     "SaveContext",
     "ScenarioProfile",
+    "ServingCache",
+    "ServingConfig",
     "SetMetadata",
     "TraceRecorder",
     "UpdateApproach",

@@ -15,6 +15,8 @@ Subcommands cover the operator loop demonstrated in
     repro-archive <dir> gc --keep-last K     # retention policy
     repro-archive <dir> migrate TARGET_DIR --approach update
     repro-archive <dir> stats --live         # metrics registry export
+    repro-archive <dir> warm SET_ID [...]    # pre-materialize into the cache
+    repro-archive <dir> evict [--chunks]     # drop serving-cache entries
     repro-archive <dir> trace --workers 4    # traced demo update cycle
 
 The archive's approach is auto-detected from the stored set descriptors;
@@ -46,7 +48,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import ArchiveConfig, ObservabilityConfig
+from repro.config import ArchiveConfig, ObservabilityConfig, ServingConfig
 from repro.core.approach import SETS_COLLECTION, SaveContext
 from repro.core.lineage import LineageGraph, model_history
 from repro.core.manager import APPROACHES, MultiModelManager
@@ -78,7 +80,10 @@ def config_from_args(args: argparse.Namespace) -> ArchiveConfig:
     ``profile``, ``--workers`` → ``workers``, ``--dedup`` → ``dedup``,
     ``--no-journal`` → ``journal=False``, ``--retries`` → ``retry``,
     ``--replicas``/``--write-quorum``/``--read-quorum`` → the replication
-    topology, and ``--trace``/``--trace-json`` → ``observability``.
+    topology, ``--serve-cache``/``--set-cache-bytes``/
+    ``--chunk-cache-bytes`` → ``serving`` (the ``warm`` and ``evict``
+    verbs imply ``--serve-cache``), and ``--trace``/``--trace-json`` →
+    ``observability``.
     """
     retry = None
     if getattr(args, "retries", None):
@@ -86,6 +91,18 @@ def config_from_args(args: argparse.Namespace) -> ArchiveConfig:
 
         retry = RetryPolicy(attempts=args.retries)
     trace_path = getattr(args, "trace_json", None)
+    # warm/evict operate on the serving cache, so they imply it.
+    serve = bool(
+        getattr(args, "serve_cache", False)
+        or getattr(args, "command", None) in ("warm", "evict")
+    )
+    serving = ServingConfig(
+        enabled=serve,
+        set_cache_bytes=getattr(args, "set_cache_bytes", None)
+        or ServingConfig.set_cache_bytes,
+        chunk_cache_bytes=getattr(args, "chunk_cache_bytes", None)
+        or ServingConfig.chunk_cache_bytes,
+    )
     return ArchiveConfig(
         profile=PROFILES[getattr(args, "profile_name", None) or "local"],
         workers=args.workers,
@@ -96,6 +113,7 @@ def config_from_args(args: argparse.Namespace) -> ArchiveConfig:
         replicas=args.replicas,
         write_quorum=args.write_quorum,
         read_quorum=args.read_quorum,
+        serving=serving,
         observability=ObservabilityConfig(
             tracing=bool(getattr(args, "trace", False) or trace_path),
             metrics=bool(getattr(args, "live", False)),
@@ -342,6 +360,71 @@ def _cmd_migrate(context: SaveContext, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_warm(context: SaveContext, args: argparse.Namespace) -> int:
+    manager = _manager_for(context, args.approach)
+    serving = context.serving
+    if serving is None:  # pragma: no cover - warm implies --serve-cache
+        raise ReproError("serving cache is disabled; pass --serve-cache")
+    if args.all:
+        set_ids = context.document_store.collection_ids(SETS_COLLECTION)
+    else:
+        set_ids = args.set_ids
+    summary = serving.warm(set_ids, manager.approach)
+    print(f"warmed {len(summary['warmed'])} sets into the serving cache")
+    for set_id in summary["warmed"]:
+        print(f"  - {set_id}")
+    print(
+        f"tier 1 now holds {summary['set_cache_entries']} entries "
+        f"({summary['set_cache_bytes']:,} B), tier 2 "
+        f"{summary['chunk_cache_entries']} chunks "
+        f"({summary['chunk_cache_bytes']:,} B)"
+    )
+    return 0
+
+
+def _cmd_evict(context: SaveContext, args: argparse.Namespace) -> int:
+    serving = context.serving
+    if serving is None:  # pragma: no cover - evict implies --serve-cache
+        raise ReproError("serving cache is disabled; pass --serve-cache")
+    summary = serving.evict(
+        set_ids=args.set_ids or None, chunks=args.chunks
+    )
+    print(f"evicted {summary['evicted_sets']} set entries")
+    if args.chunks:
+        print(f"evicted {summary['evicted_chunks']} cached chunks")
+    return 0
+
+
+def _print_serving_stats(context: SaveContext) -> None:
+    serving = context.serving
+    if serving is None:
+        return
+    counters = serving.counters()
+    print(
+        f"serving cache: {counters['requests']} requests, "
+        f"tier-1 {counters['set_hits']} hits / {counters['set_misses']} "
+        f"misses ({counters['set_hit_rate']:.1%}), "
+        f"tier-2 {counters['chunk_hits']} hits / "
+        f"{counters['chunk_misses']} misses "
+        f"({counters['chunk_hit_rate']:.1%})"
+    )
+    print(
+        f"  tier 1: {counters['set_cache_entries']} entries, "
+        f"{counters['set_cache_bytes']:,} B, "
+        f"{counters['set_cache_evictions']} evictions"
+    )
+    print(
+        f"  tier 2: {counters['chunk_cache_entries']} chunks, "
+        f"{counters['chunk_cache_bytes']:,} B, "
+        f"{counters['chunk_cache_evictions']} evictions"
+    )
+    print(
+        f"  served {counters['logical_bytes_served']:,} logical B, "
+        f"saved {counters['bytes_saved']:,} B of store reads, "
+        f"{counters['invalidations']} invalidations"
+    )
+
+
 def _cmd_stats(context: SaveContext, args: argparse.Namespace) -> int:
     if args.live:
         import json
@@ -371,6 +454,7 @@ def _cmd_stats(context: SaveContext, args: argparse.Namespace) -> int:
         )
         for category, count in sorted(snap.bytes_by_category.items()):
             print(f"  {category}: {count:,} B stored")
+    _print_serving_stats(context)
     return 0
 
 
@@ -614,6 +698,24 @@ def _cmd_fleet_gc(contexts: list[SaveContext], args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_warm(contexts: list[SaveContext], args: argparse.Namespace) -> int:
+    """Warm each set on the shard that owns it (``--all``: every shard)."""
+    codes: list[int] = []
+    if args.all:
+        for index, context in enumerate(contexts):
+            print(f"== shard-{index} ==")
+            codes.append(_cmd_warm(context, args))
+        return max(codes) if codes else 0
+    routed: dict[int, tuple[SaveContext, list[str]]] = {}
+    for set_id in args.set_ids:
+        context = _owning_context(contexts, set_id)
+        routed.setdefault(id(context), (context, []))[1].append(set_id)
+    for context, set_ids in routed.values():
+        shard_args = argparse.Namespace(**{**vars(args), "set_ids": set_ids})
+        codes.append(_cmd_warm(context, shard_args))
+    return max(codes) if codes else 0
+
+
 def _run_fleet(
     args: argparse.Namespace, config: ArchiveConfig, num: int, commands: dict
 ) -> int:
@@ -621,6 +723,15 @@ def _run_fleet(
     command = args.command
     if command == "gc":
         result = _cmd_fleet_gc(contexts, args)
+    elif command == "warm":
+        result = _cmd_fleet_warm(contexts, args)
+    elif command == "evict":
+        # Eviction is fleet-wide: every shard drops its entries.
+        codes = []
+        for index, context in enumerate(contexts):
+            print(f"== shard-{index} ==")
+            codes.append(commands[command](context, args))
+        result = max(codes) if codes else 0
     elif command == "stats" and getattr(args, "live", False):
         # The registry is process-wide; one export covers every shard.
         result = _cmd_stats(contexts[0], args)
@@ -738,6 +849,26 @@ def main(argv: list[str] | None = None) -> int:
         "with exponential backoff",
     )
     parser.add_argument(
+        "--serve-cache",
+        action="store_true",
+        help="serve reads through the tiered recovery cache (implied by "
+        "the warm and evict verbs)",
+    )
+    parser.add_argument(
+        "--set-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tier-1 budget: bytes of materialized model sets kept hot",
+    )
+    parser.add_argument(
+        "--chunk-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tier-2 budget: bytes of decoded chunks shared across sets",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record hierarchical spans for whatever command runs",
@@ -825,6 +956,29 @@ def main(argv: list[str] | None = None) -> int:
         "chunk layer (identical layer tensors stored once)",
     )
 
+    warm = subparsers.add_parser(
+        "warm", help="pre-materialize sets into the serving cache"
+    )
+    warm.add_argument("set_ids", nargs="*", metavar="SET_ID")
+    warm.add_argument(
+        "--all", action="store_true", help="warm every set in the archive"
+    )
+
+    evict = subparsers.add_parser(
+        "evict", help="drop serving-cache entries"
+    )
+    evict.add_argument(
+        "set_ids",
+        nargs="*",
+        metavar="SET_ID",
+        help="sets to drop from tier 1 (default: all of them)",
+    )
+    evict.add_argument(
+        "--chunks",
+        action="store_true",
+        help="also empty the tier-2 decoded-chunk cache",
+    )
+
     stats = subparsers.add_parser(
         "stats", help="storage accounting and metrics-registry export"
     )
@@ -879,6 +1033,8 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "migrate": _cmd_migrate,
         "stats": _cmd_stats,
+        "warm": _cmd_warm,
+        "evict": _cmd_evict,
     }
     try:
         config = config_from_args(args)

@@ -51,6 +51,33 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Read-path (serving) cache settings of an archive context.
+
+    The serving cache sits in front of ``recover_set``/``recover_model``
+    and is tiered: tier 1 holds fully materialized model sets under a
+    byte budget, tier 2 holds decoded chunks keyed by their chunk-store
+    SHA-256 (shared across sets — and across fleet shards), tier 3 is
+    the store itself.  Cache hits charge **zero** simulated store time;
+    misses charge exactly what the uncached read path charges.
+    """
+
+    #: Serve recoveries through the tiered cache.  Off by default: the
+    #: disabled path leaves ``recover_set`` byte-for-byte on the classic
+    #: approach code.
+    enabled: bool = False
+    #: Byte budget of the tier-1 materialized-set LRU (0 disables tier 1).
+    set_cache_bytes: int = 256 * 1024 * 1024
+    #: Byte budget of the tier-2 decoded-chunk LRU (0 disables tier 2).
+    chunk_cache_bytes: int = 256 * 1024 * 1024
+    #: Use Update's per-layer hash documents to fetch only the chunks
+    #: that differ from what tier 2 already holds (differential
+    #: recovery).  With this off, misses fall back to the full uncached
+    #: read path and only tier 1 is populated.
+    differential: bool = True
+
+
+@dataclass(frozen=True)
 class ArchiveConfig:
     """Frozen bundle of every archive/context knob.
 
@@ -80,6 +107,7 @@ class ArchiveConfig:
     replication_policy: "ReplicationPolicy | None" = None
     shards: int | None = None
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.profile, HardwareProfile):
@@ -109,6 +137,16 @@ class ArchiveConfig:
                 "observability must be an ObservabilityConfig, "
                 f"got {self.observability!r}"
             )
+        if not isinstance(self.serving, ServingConfig):
+            raise ConfigError(
+                f"serving must be a ServingConfig, got {self.serving!r}"
+            )
+        for label, budget in (
+            ("set_cache_bytes", self.serving.set_cache_bytes),
+            ("chunk_cache_bytes", self.serving.chunk_cache_bytes),
+        ):
+            if int(budget) < 0:
+                raise ConfigError(f"serving.{label} must be >= 0, got {budget!r}")
 
     def with_(self, **changes: Any) -> "ArchiveConfig":
         """Copy with the given fields replaced (validation re-runs)."""

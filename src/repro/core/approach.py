@@ -88,6 +88,10 @@ class SaveContext:
     tracer: "TraceRecorder | None" = field(default=None, repr=False)
     #: Metrics registry when the config enables metrics export.
     metrics: "MetricsRegistry | None" = field(default=None, repr=False)
+    #: Tiered recovery cache when the config enables serving (see
+    #: :func:`repro.serving.apply_serving`).  ``None`` leaves the read
+    #: path on the classic approach code.
+    serving: "object | None" = field(default=None, repr=False)
 
     @classmethod
     def create(
@@ -163,17 +167,29 @@ class SaveContext:
 
             attach_retries(context, config.retry)
         apply_observability(context, config)
+        from repro.serving import apply_serving
+
+        apply_serving(context, config)
         return context
 
     def chunk_store(self) -> ChunkStore:
         """The context's chunk layer (created on first use, then shared)."""
         if self._chunk_store is None:
             self._chunk_store = ChunkStore(self.file_store, self.document_store)
+            if self.serving is not None:
+                self.serving.attach_chunk_store(self._chunk_store)
         return self._chunk_store
 
     def _invalidate_chunk_store(self) -> None:
-        """Drop the cached chunk index (a rollback restored older docs)."""
+        """Drop the cached chunk index (a rollback restored older docs).
+
+        The serving cache is cleared with it: a rollback may have removed
+        sets or chunk packs whose cached materializations would otherwise
+        outlive the data they came from.
+        """
         self._chunk_store = None
+        if self.serving is not None:
+            self.serving.clear()
 
     def trace(self, name: str, **attrs):
         """A trace span for one archive operation (no-op untraced).

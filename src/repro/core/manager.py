@@ -272,6 +272,12 @@ class MultiModelManager:
         :class:`~repro.core.fsck.SalvageReport` carrying every model that
         still verifies plus a structured account of exactly which models
         were lost and why.
+
+        When the context's config enables serving
+        (:class:`~repro.config.ServingConfig`), reads route through the
+        tiered recovery cache — byte-identical results, with warm reads
+        charging zero simulated store time.  Salvage always bypasses the
+        cache: its job is inspecting the store as it actually is.
         """
         with self.context.trace(
             "recover_set", approach=self.approach.name, set_id=set_id
@@ -280,6 +286,8 @@ class MultiModelManager:
                 from repro.core.fsck import salvage_recover
 
                 return salvage_recover(self.context, set_id)
+            if self.context.serving is not None:
+                return self.context.serving.recover_set(set_id, self.approach)
             return self.approach.recover(set_id)
 
     def recover_model(self, set_id: str, model_index: int):
@@ -295,6 +303,10 @@ class MultiModelManager:
             set_id=set_id,
             model_index=model_index,
         ):
+            if self.context.serving is not None:
+                return self.context.serving.recover_model(
+                    set_id, model_index, self.approach
+                )
             return self.approach.recover_model(set_id, model_index)
 
     # -- inspection -----------------------------------------------------------

@@ -181,3 +181,56 @@ class PasDeltaApproach(SaveApproach):
                 )
             bits = bits ^ delta
         return _bits_to_set(bits, architecture, schema, num_models)
+
+    def recover_model(self, set_id: str, model_index: int):
+        """Recover one model without materializing the whole set.
+
+        The base snapshot contributes a single range read (the model's
+        slice of the full artifact); each chain delta is decoded — the
+        compressing codec rules out range addressing — but only the
+        model's word slice is XOR-applied, so memory stays per-model and
+        the base read shrinks from the full set to one model.
+        """
+        from repro.core.baseline import read_single_model
+
+        chain: list[dict] = []
+        current_id = set_id
+        while True:
+            document = self.context.set_document(current_id)
+            self._require_type(document, self.name, current_id)
+            if document["kind"] == "full":
+                break
+            chain.append(document)
+            current_id = str(document["base_set"])
+
+        num_models = int(document["num_models"])
+        if not 0 <= model_index < num_models:
+            raise IndexError(
+                f"model index {model_index} out of range for set {set_id!r} "
+                f"({num_models} models)"
+            )
+        state = read_single_model(self.context, document, current_id, model_index)
+        if not chain:
+            return state
+        schema = StateSchema.from_json(chain[0]["schema"])
+        words_per_model = schema.num_bytes // 4
+        bits = np.concatenate(
+            [
+                np.asarray(arr, dtype=np.float32).reshape(-1).view(np.uint32)
+                for arr in state.values()
+            ]
+        )
+        for document in reversed(chain):
+            payload = get_codec(str(document["codec"])).decode(
+                self.context.file_store.get(document["params_artifact"])
+            )
+            delta = np.frombuffer(payload, dtype=np.uint32)
+            if delta.size != num_models * words_per_model:
+                raise RecoveryError(
+                    f"delta of set {set_id!r} has {delta.size} words, "
+                    f"expected {num_models * words_per_model}"
+                )
+            bits = bits ^ delta[
+                model_index * words_per_model : (model_index + 1) * words_per_model
+            ]
+        return bytes_to_parameters(bits.astype(np.uint32, copy=False).tobytes(), schema)

@@ -79,6 +79,10 @@ class RetentionManager:
         model_set = approach.recover(set_id)
         with self.context.save_transaction("compact", approach_name):
             self._write_snapshot(set_id, document, model_set, approach_name)
+        # The bytes are unchanged but the read recipe is not: a cached
+        # materialization must re-assemble from the new snapshot.
+        if self.context.serving is not None:
+            self.context.serving.invalidate_set(set_id)
 
     def _write_snapshot(
         self,
@@ -163,6 +167,9 @@ class RetentionManager:
                 )
                 report.bytes_reclaimed += sweep.bytes_reclaimed
                 report.chunks_reclaimed = sweep.chunks_reclaimed
+        if self.context.serving is not None:
+            for set_id in report.deleted_sets:
+                self.context.serving.invalidate_set(set_id)
         return report
 
     def keep_last(self, count: int, compact_oldest_kept: bool = True) -> CollectionReport:

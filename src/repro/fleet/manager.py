@@ -32,7 +32,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
-from repro.config import ArchiveConfig, ObservabilityConfig
+from repro.config import ArchiveConfig, ObservabilityConfig, ServingConfig
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 from repro.core.save_info import SetMetadata, UpdateInfo
@@ -60,9 +60,16 @@ def _shard_config(config: ArchiveConfig) -> ArchiveConfig:
 
     The fleet installs one shared trace recorder and registers its own
     per-shard metrics providers, so shards must not each grab the global
-    registry under colliding names.
+    registry under colliding names.  Serving is likewise fleet-owned:
+    the fleet installs one cache per shard sharing a single tier-2
+    chunk cache (chunk content addressing is shard-agnostic), so shards
+    must not each build a private one.
     """
-    return config.with_(shards=None, observability=ObservabilityConfig())
+    return config.with_(
+        shards=None,
+        observability=ObservabilityConfig(),
+        serving=ServingConfig(),
+    )
 
 
 class FleetManager:
@@ -102,8 +109,13 @@ class FleetManager:
         self.shard_locks: list[TimedLock] = []
         self.tracer = None
         self.metrics = None
+        #: Per-shard serving caches (empty when serving is disabled);
+        #: all of them share :attr:`chunk_cache` as their tier 2.
+        self.serving_caches: list = []
+        self.chunk_cache = None
         self._init_bookkeeping()
         self._init_observability()
+        self._init_serving()
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -233,6 +245,57 @@ class FleetManager:
         ]
         if self.metrics is not None:
             self.metrics.register_provider("fleet:shards", self._shard_metrics)
+
+    def _init_serving(self) -> None:
+        """Install the per-shard serving caches over one shared tier 2.
+
+        Tier-2 entries are keyed by chunk content hash, so one
+        :class:`~repro.serving.ChunkCache` spans every shard: a chunk
+        fetched while serving shard 0 is a free hit when a near-duplicate
+        set on shard 3 needs the same bytes.  Tier 1 stays per-shard (a
+        set materializes on the shard that owns it).
+        """
+        settings = self.config.serving
+        if not settings.enabled:
+            return
+        from repro.serving import ChunkCache, ServingCache
+
+        self.chunk_cache = ChunkCache(settings.chunk_cache_bytes)
+        for index, manager in enumerate(self.shards):
+            cache = ServingCache(
+                manager.context, settings, chunk_cache=self.chunk_cache
+            )
+            manager.context.serving = cache
+            self.serving_caches.append(cache)
+            if self.metrics is not None:
+                cache.register_metrics(
+                    self.metrics, prefix=f"fleet_shard_{index}_serving"
+                )
+
+    def serving_counters(self) -> "dict | None":
+        """Fleet-wide serving counter aggregate (``None`` when disabled)."""
+        if not self.serving_caches:
+            return None
+        totals: dict = {}
+        for cache in self.serving_caches:
+            for name, value in cache.counters().items():
+                if name.endswith("_rate"):
+                    continue
+                # Tier 2 is one shared cache; summing its gauges over
+                # shards would multiply them by the shard count.
+                if name.startswith("chunk_cache_"):
+                    totals[name] = value
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        set_lookups = totals.get("set_hits", 0) + totals.get("set_misses", 0)
+        chunk_lookups = totals.get("chunk_hits", 0) + totals.get("chunk_misses", 0)
+        totals["set_hit_rate"] = (
+            totals.get("set_hits", 0) / set_lookups if set_lookups else 0.0
+        )
+        totals["chunk_hit_rate"] = (
+            totals.get("chunk_hits", 0) / chunk_lookups if chunk_lookups else 0.0
+        )
+        return totals
 
     def _shard_metrics(self) -> dict:
         values: dict[str, float] = {}
@@ -386,13 +449,22 @@ class FleetManager:
         """``fleet`` root span + ``shard-<i>`` child envelope (no-op untraced).
 
         Roots are keyed by set id so concurrently recorded fleet
-        operations keep deterministic span ids.
+        operations keep deterministic span ids.  When some span is
+        already current (e.g. a caller's per-request envelope), the
+        fleet span nests as a child instead — mirroring
+        :meth:`SaveContext.trace` — so one request exports as a single
+        tree whose phases sum to its simulated time.
         """
         if self.tracer is None:
             yield
             return
         from repro.observability import trace as _trace
 
+        if _trace.active():
+            with _trace.span("fleet", key=set_id, op=operation):
+                with _trace.span(f"{SHARD_PREFIX}{shard}", shard=shard):
+                    yield
+            return
         with self.tracer.trace("fleet", key=set_id, op=operation):
             with _trace.span(f"{SHARD_PREFIX}{shard}", shard=shard):
                 yield

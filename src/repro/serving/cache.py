@@ -1,0 +1,273 @@
+"""Byte-budgeted LRU tiers backing the serving read path.
+
+Two cache tiers live here (tier 3 is the store itself):
+
+* :class:`SetCache` — tier 1, fully materialized model sets (and single
+  recovered models) under one byte budget.  Entries remember the chunk
+  digests they were assembled from so quarantine/GC invalidation can
+  drop exactly the sets a doomed chunk contributed to.
+* :class:`ChunkCache` — tier 2, decoded chunk bytes keyed by the
+  chunk-store SHA-256.  Content-addressed, so near-duplicate versions
+  share entries across sets — and, because one instance can back every
+  shard of a fleet, across shards.  Eviction is refcount-aware: chunks
+  no live set references anymore (refcount 0 in every attached chunk
+  store) are evicted before any still-referenced chunk.
+
+Neither tier touches :class:`~repro.storage.stats.StorageStats`: cache
+hits charge zero simulated store time by construction.  The serving
+layer's own counters live in :class:`ServingStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass
+class ServingStats:
+    """Counters of one serving cache (thread-safe increments).
+
+    These are *logical service* counters, deliberately separate from the
+    store-level :class:`~repro.storage.stats.StorageStats`: a tier-1 or
+    tier-2 hit charges no simulated store time, but the bytes it served
+    and the store bytes it avoided fetching are counted here.
+    """
+
+    #: recover_set / recover_model requests routed through the cache.
+    requests: int = 0
+    #: Tier-1 lookups answered from a materialized entry.
+    set_hits: int = 0
+    #: Tier-1 lookups that fell through to assembly.
+    set_misses: int = 0
+    #: Tier-2 chunk lookups answered from cache during assembly.
+    chunk_hits: int = 0
+    #: Tier-2 chunk lookups that required a store fetch.
+    chunk_misses: int = 0
+    #: Parameter bytes returned to callers (hits and misses alike).
+    logical_bytes_served: int = 0
+    #: Store bytes the cache did not have to fetch (tier-1 + tier-2 reuse).
+    bytes_saved: int = 0
+    #: Entries dropped because delete/GC/scrub invalidated them.
+    invalidations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, **amounts: int) -> None:
+        with self._lock:
+            for name, amount in amounts.items():
+                setattr(self, name, getattr(self, name) + int(amount))
+
+    def counters(self) -> dict:
+        """Point-in-time snapshot as a plain ``{name: value}`` dict."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "set_hits": self.set_hits,
+                "set_misses": self.set_misses,
+                "chunk_hits": self.chunk_hits,
+                "chunk_misses": self.chunk_misses,
+                "logical_bytes_served": self.logical_bytes_served,
+                "bytes_saved": self.bytes_saved,
+                "invalidations": self.invalidations,
+            }
+
+
+@dataclass
+class SetEntry:
+    """One tier-1 entry: a pristine materialized value plus provenance."""
+
+    value: object
+    nbytes: int
+    #: Chunk digests the value was assembled from (``None`` when the
+    #: entry came from an opaque full-recovery fallback).
+    digests: "frozenset[str] | None" = None
+
+
+class SetCache:
+    """Tier 1: LRU of materialized sets/models under a byte budget.
+
+    Keys are ``(set_id, None)`` for full sets and ``(set_id, index)``
+    for single recovered models.  Values are stored pristine — callers
+    insert a private copy and receive copies back — so a consumer
+    mutating a recovered set can never poison later reads.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[tuple, SetEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> "SetEntry | None":
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple, entry: SetEntry) -> None:
+        if self.budget_bytes <= 0 or entry.nbytes > self.budget_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old.nbytes
+            self._entries[key] = entry
+            self.current_bytes += entry.nbytes
+            while self.current_bytes > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self.current_bytes -= evicted.nbytes
+                self.evictions += 1
+
+    def invalidate_set(self, set_id: str) -> int:
+        """Drop every entry (full set and single models) of ``set_id``."""
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == set_id]
+            for key in doomed:
+                self.current_bytes -= self._entries.pop(key).nbytes
+            return len(doomed)
+
+    def invalidate_digests(self, digests: "set[str]") -> int:
+        """Drop entries assembled from any of the given chunk digests."""
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.digests is not None and not digests.isdisjoint(entry.digests)
+            ]
+            for key in doomed:
+                self.current_bytes -= self._entries.pop(key).nbytes
+            return len(doomed)
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.current_bytes = 0
+            return count
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class ChunkCache:
+    """Tier 2: decoded chunk bytes keyed by chunk-store SHA-256.
+
+    One instance may back several serving caches (the fleet shares a
+    single tier 2 across its shards — chunk content addressing makes
+    entries shard-agnostic).  ``ref_sources`` are
+    ``digest -> live refcount`` callables (one per attached chunk
+    store); when the budget forces eviction, chunks with zero live
+    references everywhere go first, in LRU order, before any
+    still-referenced chunk is touched.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.ref_sources: "list[Callable[[str], int]]" = []
+        self.current_bytes = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def add_ref_source(self, source: "Callable[[str], int]") -> None:
+        with self._lock:
+            self.ref_sources.append(source)
+
+    def _references(self, digest: str) -> int:
+        total = 0
+        for source in self.ref_sources:
+            try:
+                total += int(source(digest))
+            except Exception:
+                continue  # an unknown digest counts as unreferenced
+        return total
+
+    def get_many(
+        self, digests: Iterable[str]
+    ) -> "tuple[dict[str, bytes], list[str]]":
+        """Partition ``digests`` into cached ``{digest: bytes}`` + missing."""
+        found: dict[str, bytes] = {}
+        missing: list[str] = []
+        with self._lock:
+            for digest in digests:
+                data = self._entries.get(digest)
+                if data is None:
+                    missing.append(digest)
+                else:
+                    self._entries.move_to_end(digest)
+                    found[digest] = data
+        return found, missing
+
+    def put_many(self, values: "dict[str, bytes]") -> None:
+        if self.budget_bytes <= 0:
+            return
+        with self._lock:
+            for digest, data in values.items():
+                data = bytes(data)
+                if len(data) > self.budget_bytes:
+                    continue
+                old = self._entries.pop(digest, None)
+                if old is not None:
+                    self.current_bytes -= len(old)
+                self._entries[digest] = data
+                self.current_bytes += len(data)
+            self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        if self.current_bytes <= self.budget_bytes:
+            return
+        # Refcount-aware pass: unreferenced chunks go first, LRU order.
+        if self.ref_sources:
+            for digest in list(self._entries):
+                if self.current_bytes <= self.budget_bytes:
+                    return
+                if self._references(digest) == 0:
+                    self.current_bytes -= len(self._entries.pop(digest))
+                    self.evictions += 1
+        while self.current_bytes > self.budget_bytes and self._entries:
+            _, data = self._entries.popitem(last=False)
+            self.current_bytes -= len(data)
+            self.evictions += 1
+
+    def drop(self, digests: Iterable[str]) -> int:
+        """Invalidate the given digests (quarantined or collected chunks)."""
+        with self._lock:
+            dropped = 0
+            for digest in digests:
+                data = self._entries.pop(digest, None)
+                if data is not None:
+                    self.current_bytes -= len(data)
+                    dropped += 1
+            self.invalidations += dropped
+            return dropped
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.current_bytes = 0
+            return count
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def keys(self) -> "list[str]":
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -235,6 +235,11 @@ class ChunkStore:
         self.file_store = file_store
         self.document_store = document_store
         self._chunks: dict[str, _Chunk] = {}
+        #: Callables invoked with an iterable of digests the moment those
+        #: digests stop being servable (quarantined or swept).  The
+        #: serving cache registers here so a doomed chunk can never be
+        #: served from cache after the store has disowned it.
+        self.invalidation_listeners: list[Callable[[Iterable[str]], None]] = []
         packs = document_store._collections.get(PACKS_COLLECTION, {})
         # Deterministic rebuild: repair packs apply last so a repaired
         # digest always resolves to its clean copy, and a pack's
@@ -430,16 +435,17 @@ class ChunkStore:
         Reference counts are untouched: the *identity* is fine, only the
         bytes at the current location are bad.
         """
-        changed = False
+        newly_quarantined: list[str] = []
         for digest in digests:
             chunk = self._chunks.get(digest)
             if chunk is None:
                 raise StorageError(f"quarantine of unknown chunk {digest!r}")
             if not chunk.quarantined:
                 chunk.quarantined = True
-                changed = True
-        if changed:
+                newly_quarantined.append(digest)
+        if newly_quarantined:
             self._persist_refs()
+            self._notify_invalidated(newly_quarantined)
 
     def repair(self, digest: str, data: bytes) -> None:
         """Replace a quarantined chunk's bytes with a verified clean copy.
@@ -509,6 +515,7 @@ class ChunkStore:
         honestly).  Afterwards the store holds exactly the live chunks.
         """
         report = SweepReport()
+        swept_digests: list[str] = []
         by_pack: dict[str, list[tuple[str, _Chunk]]] = {}
         for digest, chunk in self._chunks.items():
             by_pack.setdefault(chunk.artifact_id, []).append((digest, chunk))
@@ -521,6 +528,7 @@ class ChunkStore:
             report.bytes_reclaimed += sum(c.length for _, c in dead)
             for digest, _ in dead:
                 del self._chunks[digest]
+                swept_digests.append(digest)
             if not live:
                 self.file_store.delete(artifact_id)
                 self.document_store.delete(PACKS_COLLECTION, artifact_id)
@@ -571,7 +579,13 @@ class ChunkStore:
             report.packs_rewritten.append(new_id)
         if report.chunks_reclaimed:
             self._persist_refs()
+        if swept_digests:
+            self._notify_invalidated(swept_digests)
         return report
+
+    def _notify_invalidated(self, digests: "list[str]") -> None:
+        for listener in self.invalidation_listeners:
+            listener(digests)
 
     # -- inspection (management plane, not charged) ---------------------------
     def __contains__(self, digest: str) -> bool:
@@ -584,6 +598,11 @@ class ChunkStore:
         """Current reference count of one chunk (0 if unknown)."""
         chunk = self._chunks.get(digest)
         return chunk.refs if chunk is not None else 0
+
+    def is_quarantined(self, digest: str) -> bool:
+        """Whether a digest's stored bytes currently refuse reads."""
+        chunk = self._chunks.get(digest)
+        return chunk is not None and chunk.quarantined
 
     def chunk_length(self, digest: str) -> int:
         """Stored byte length of one chunk (raises for unknown digests)."""

@@ -246,6 +246,7 @@ class FileStore:
             artifact_id = "sha256-" + digest
         if not derived and self.exists(artifact_id):
             raise DuplicateArtifactError(f"artifact {artifact_id!r} already exists")
+        replaced = derived and self.exists(artifact_id)
         if self._directory is not None:
             (self._directory / f"{artifact_id}.bin").write_bytes(data)
             self._sizes[artifact_id] = len(data)
@@ -256,6 +257,12 @@ class FileStore:
         self.stats.record_write(
             len(data), self._write_cost(len(data), workers), category
         )
+        if replaced:
+            # A content-addressed re-put overwrote identical bytes: the
+            # round trip is charged above, but the store holds no new
+            # bytes, so cancel the duplicate stored-bytes accounting (the
+            # per-category breakdown must keep summing to what is held).
+            self.stats.record_delete(len(data), category, count_op=False)
         return artifact_id
 
     def open_writer(

@@ -520,6 +520,7 @@ def open_context(
     """
     from repro.config import ArchiveConfig
     from repro.core.approach import SaveContext, apply_observability
+    from repro.serving import apply_serving
     from repro.datasets.registry import default_registry
 
     if config is None:
@@ -617,6 +618,7 @@ def open_context(
 
             context.recovery_report = attach_journal(context).recover()
         apply_observability(context, config)
+        apply_serving(context, config)
         return context
     context = SaveContext(
         file_store=PersistentFileStore(root / "artifacts", profile=profile),
@@ -636,6 +638,7 @@ def open_context(
 
         context.recovery_report = attach_journal(context).recover()
     apply_observability(context, config)
+    apply_serving(context, config)
     return context
 
 

@@ -1,0 +1,40 @@
+"""Tier-1 smoke iteration of the serving benchmark.
+
+One reduced-scale pass of :func:`repro.bench.serving.run_serving_benchmark`
+verifying the deterministic serving claims: a nonzero hit rate, a real
+warm-p50 improvement with the cache on, chunk-granular differential
+reuse, a correct degraded read during a replica outage, and
+byte-identical recovery on every configuration.
+"""
+
+import os
+
+from repro.bench.serving import run_serving_benchmark
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def test_serving_smoke():
+    report = run_serving_benchmark(
+        shard_counts=(1, 2),
+        reader_counts=(1, 4),
+        num_versions=4,
+        models_per_set=4,
+        num_requests=60,
+        fault_seed=FAULT_SEED,
+    )
+
+    for name, speedup in report["speedups"].items():
+        assert speedup >= 5.0, f"{name}: {speedup:.1f}x"
+    for entry in report["configs"]:
+        assert entry["identical_to_oracle"]
+        if entry["cache"] == "on":
+            assert entry["set_hit_rate"] > 0.0
+
+    diff = report["differential"]
+    assert diff["chunk_granular"], diff
+    assert diff["identical_to_oracle"]
+
+    degraded = report["degraded"]
+    assert degraded["hit_served_during_outage"]
+    assert degraded["degraded_identical"]

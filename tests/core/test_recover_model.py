@@ -14,7 +14,9 @@ def states_equal(state_a, state_b) -> bool:
 
 
 class TestCorrectness:
-    @pytest.mark.parametrize("approach", ("mmlib-base", "baseline", "update"))
+    @pytest.mark.parametrize(
+        "approach", ("mmlib-base", "baseline", "update", "pas-delta")
+    )
     def test_matches_full_recovery_everywhere(self, approach, synthetic_cases):
         manager = MultiModelManager.with_approach(approach)
         set_ids = save_sequence(manager, synthetic_cases)
@@ -73,6 +75,23 @@ class TestEfficiency:
         # Base model + at most one model-sized delta per chain hop.
         assert read <= per_model * len(set_ids)
 
+    def test_pas_delta_base_read_is_model_sized(self, synthetic_cases):
+        manager = MultiModelManager.with_approach("pas-delta")
+        set_ids = save_sequence(manager, synthetic_cases)
+        expected = synthetic_cases[0].model_set
+        per_model = expected.schema.num_bytes
+        num_models = len(expected)
+        # Chain recovery: one model-sized base range instead of the
+        # whole snapshot (deltas still decode whole — the compressing
+        # codec rules out range addressing).
+        before = manager.context.file_store.stats.bytes_read
+        manager.recover_model(set_ids[-1], 0)
+        single = manager.context.file_store.stats.bytes_read - before
+        before = manager.context.file_store.stats.bytes_read
+        manager.approach.recover(set_ids[-1])
+        full = manager.context.file_store.stats.bytes_read - before
+        assert single == full - (num_models - 1) * per_model
+
     def test_mmlib_reads_single_artifact(self, synthetic_cases):
         manager = MultiModelManager.with_approach("mmlib-base")
         set_ids = save_sequence(manager, synthetic_cases)
@@ -82,7 +101,9 @@ class TestEfficiency:
 
 
 class TestErrors:
-    @pytest.mark.parametrize("approach", ("mmlib-base", "baseline", "update"))
+    @pytest.mark.parametrize(
+        "approach", ("mmlib-base", "baseline", "update", "pas-delta")
+    )
     def test_out_of_range_index_raises(self, approach, synthetic_cases):
         manager = MultiModelManager.with_approach(approach)
         set_ids = save_sequence(manager, synthetic_cases[:1])

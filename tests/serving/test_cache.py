@@ -1,0 +1,123 @@
+"""Unit tests for the serving cache data structures (tiers 1 and 2)."""
+
+import numpy as np
+
+from repro.serving.cache import ChunkCache, ServingStats, SetCache, SetEntry
+
+
+def entry(nbytes: int, digests=None) -> SetEntry:
+    return SetEntry(value=object(), nbytes=nbytes, digests=digests)
+
+
+class TestSetCache:
+    def test_lru_eviction_respects_byte_budget(self):
+        cache = SetCache(budget_bytes=100)
+        cache.put(("a", None), entry(40))
+        cache.put(("b", None), entry(40))
+        cache.put(("c", None), entry(40))  # evicts "a" (oldest)
+        assert cache.get(("a", None)) is None
+        assert cache.get(("b", None)) is not None
+        assert cache.get(("c", None)) is not None
+        assert cache.current_bytes == 80
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = SetCache(budget_bytes=100)
+        cache.put(("a", None), entry(40))
+        cache.put(("b", None), entry(40))
+        cache.get(("a", None))  # "a" is now the most recent
+        cache.put(("c", None), entry(40))  # evicts "b", not "a"
+        assert cache.get(("a", None)) is not None
+        assert cache.get(("b", None)) is None
+
+    def test_oversized_entry_is_not_cached(self):
+        cache = SetCache(budget_bytes=10)
+        cache.put(("a", None), entry(40))
+        assert cache.get(("a", None)) is None
+        assert cache.current_bytes == 0
+
+    def test_zero_budget_disables_tier(self):
+        cache = SetCache(budget_bytes=0)
+        cache.put(("a", None), entry(1))
+        assert len(cache) == 0
+
+    def test_invalidate_set_drops_full_set_and_model_entries(self):
+        cache = SetCache(budget_bytes=1000)
+        cache.put(("a", None), entry(10))
+        cache.put(("a", 0), entry(10))
+        cache.put(("b", None), entry(10))
+        assert cache.invalidate_set("a") == 2
+        assert cache.get(("b", None)) is not None
+        assert cache.current_bytes == 10
+
+    def test_invalidate_digests_drops_intersecting_entries_only(self):
+        cache = SetCache(budget_bytes=1000)
+        cache.put(("a", None), entry(10, digests=frozenset({"d1", "d2"})))
+        cache.put(("b", None), entry(10, digests=frozenset({"d3"})))
+        cache.put(("c", None), entry(10, digests=None))  # unknown lineage
+        assert cache.invalidate_digests({"d2"}) == 1
+        assert cache.get(("a", None)) is None
+        assert cache.get(("b", None)) is not None
+        assert cache.get(("c", None)) is not None
+
+
+class TestChunkCache:
+    def test_get_many_partitions_found_and_missing(self):
+        cache = ChunkCache(budget_bytes=1000)
+        cache.put_many({"d1": b"one", "d2": b"two"})
+        found, missing = cache.get_many(["d1", "d3"])
+        assert found == {"d1": b"one"}
+        assert missing == ["d3"]
+
+    def test_byte_budget_evicts_lru(self):
+        cache = ChunkCache(budget_bytes=10)
+        cache.put_many({"d1": b"aaaaa"})
+        cache.put_many({"d2": b"bbbbb"})
+        cache.put_many({"d3": b"ccccc"})
+        assert "d1" not in cache
+        assert "d3" in cache
+        assert cache.current_bytes <= 10
+
+    def test_zero_reference_chunks_evicted_first(self):
+        cache = ChunkCache(budget_bytes=10)
+        refs = {"d1": 1, "d2": 0}
+        cache.add_ref_source(lambda digest: refs.get(digest, 0))
+        cache.put_many({"d1": b"aaaaa", "d2": b"bbbbb"})
+        cache.put_many({"d3": b"ccccc"})  # over budget: d2 (0 refs) goes
+        assert "d2" not in cache
+        assert "d1" in cache
+
+    def test_failing_ref_source_counts_as_unreferenced(self):
+        cache = ChunkCache(budget_bytes=1000)
+
+        def broken(digest):
+            raise RuntimeError("store is gone")
+
+        cache.add_ref_source(broken)
+        cache.put_many({"d1": b"x"})
+        assert cache._references("d1") == 0
+
+    def test_drop_counts_invalidations(self):
+        cache = ChunkCache(budget_bytes=1000)
+        cache.put_many({"d1": b"x", "d2": b"y"})
+        assert cache.drop(["d1", "d9"]) == 1
+        assert cache.invalidations == 1
+        assert "d1" not in cache
+
+    def test_put_many_coerces_to_bytes(self):
+        cache = ChunkCache(budget_bytes=1000)
+        cache.put_many({"d1": np.frombuffer(b"abcd", dtype=np.uint8).tobytes()})
+        found, _ = cache.get_many(["d1"])
+        assert isinstance(found["d1"], bytes)
+
+
+class TestServingStats:
+    def test_record_and_counters(self):
+        stats = ServingStats()
+        stats.record(requests=1, set_hits=1, logical_bytes_served=100)
+        stats.record(requests=1, set_misses=1)
+        counters = stats.counters()
+        assert counters["requests"] == 2
+        assert counters["set_hits"] == 1
+        assert counters["set_misses"] == 1
+        assert counters["logical_bytes_served"] == 100

@@ -1,0 +1,176 @@
+"""CLI serving verbs: warm, evict, and the stats cache section."""
+
+import pytest
+
+from repro.cli import main as archive_main
+from repro.config import ArchiveConfig
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.fleet import FleetManager
+
+
+@pytest.fixture
+def archive(tmp_path):
+    root = tmp_path / "archive"
+    manager = MultiModelManager.open(root, "update", ArchiveConfig(dedup=True))
+    models = ModelSet.build("FFNN-48", num_models=2, seed=0)
+    base_id = manager.save_set(models)
+    derived = models.copy()
+    name = list(derived.state(0))[0]
+    derived.state(0)[name] = derived.state(0)[name] + 1
+    derived_id = manager.save_set(derived, base_set_id=base_id)
+    return str(root), [base_id, derived_id]
+
+
+@pytest.fixture
+def fleet_archive(tmp_path):
+    root = tmp_path / "fleet"
+    fleet = FleetManager.open(root, "update", ArchiveConfig(dedup=True, shards=2))
+    ids = [
+        fleet.save_set(ModelSet.build("FFNN-48", num_models=2, seed=seed))
+        for seed in range(3)
+    ]
+    return str(root), ids
+
+
+class TestWarm:
+    def test_warm_named_sets(self, archive, capsys):
+        path, ids = archive
+        assert archive_main([path, "warm", ids[0]]) == 0
+        out = capsys.readouterr().out
+        assert "warmed 1 sets" in out
+        assert ids[0] in out
+
+    def test_warm_all(self, archive, capsys):
+        path, ids = archive
+        assert archive_main([path, "warm", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert f"warmed {len(ids)} sets" in out
+        assert "tier 1 now holds" in out
+
+    def test_warm_unknown_set_is_operator_error(self, archive, capsys):
+        path, _ids = archive
+        assert archive_main([path, "warm", "no-such-set"]) == 2
+
+    def test_fleet_warm_routes_to_owning_shard(self, fleet_archive, capsys):
+        path, ids = fleet_archive
+        assert archive_main([path, "warm", ids[0]]) == 0
+        assert "warmed 1 sets" in capsys.readouterr().out
+
+    def test_fleet_warm_all_iterates_shards(self, fleet_archive, capsys):
+        path, ids = fleet_archive
+        assert archive_main([path, "warm", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "== shard-0 ==" in out
+        assert "== shard-1 ==" in out
+        for set_id in ids:
+            assert set_id in out
+
+
+class TestEvict:
+    def test_evict_is_allowed_when_empty(self, archive, capsys):
+        path, _ids = archive
+        assert archive_main([path, "evict", "--chunks"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 0 set entries" in out
+        assert "evicted 0 cached chunks" in out
+
+    def test_fleet_evict_iterates_shards(self, fleet_archive, capsys):
+        path, _ids = fleet_archive
+        assert archive_main([path, "evict"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("evicted 0 set entries") == 2
+
+
+class TestStatsSection:
+    def test_stats_prints_cache_section_when_enabled(self, archive, capsys):
+        path, _ids = archive
+        assert archive_main([path, "--serve-cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "serving cache:" in out
+        assert "tier 1:" in out
+        assert "tier 2:" in out
+
+    def test_stats_omits_cache_section_when_disabled(self, archive, capsys):
+        path, _ids = archive
+        assert archive_main([path, "stats"]) == 0
+        assert "serving cache:" not in capsys.readouterr().out
+
+    def test_live_prometheus_exports_serving_counters(self, archive, capsys):
+        path, _ids = archive
+        assert (
+            archive_main(
+                [path, "--serve-cache", "stats", "--live", "--format", "prometheus"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "repro_serving_requests" in out
+
+    def test_live_json_exports_serving_counters(self, archive, capsys):
+        import json
+
+        path, _ids = archive
+        assert (
+            archive_main(
+                [path, "--serve-cache", "stats", "--live", "--format", "json"]
+            )
+            == 0
+        )
+        values = json.loads(capsys.readouterr().out)["values"]
+        assert "serving_requests" in values
+
+
+class TestServingFlags:
+    def test_budget_flags_reach_the_config(self, archive):
+        import argparse
+
+        from repro.cli import config_from_args
+
+        args = argparse.Namespace(
+            profile_name=None,
+            workers=1,
+            dedup=True,
+            no_journal=False,
+            retries=None,
+            shards=None,
+            replicas=None,
+            write_quorum=None,
+            read_quorum=None,
+            trace=False,
+            trace_json=None,
+            live=False,
+            serve_cache=True,
+            set_cache_bytes=1234,
+            chunk_cache_bytes=5678,
+            command="stats",
+        )
+        config = config_from_args(args)
+        assert config.serving.enabled
+        assert config.serving.set_cache_bytes == 1234
+        assert config.serving.chunk_cache_bytes == 5678
+
+    def test_warm_verb_implies_serving(self, archive):
+        import argparse
+
+        from repro.cli import config_from_args
+
+        args = argparse.Namespace(
+            profile_name=None,
+            workers=1,
+            dedup=False,
+            no_journal=False,
+            retries=None,
+            shards=None,
+            replicas=None,
+            write_quorum=None,
+            read_quorum=None,
+            trace=False,
+            trace_json=None,
+            live=False,
+            serve_cache=False,
+            set_cache_bytes=None,
+            chunk_cache_bytes=None,
+            command="warm",
+        )
+        assert config_from_args(args).serving.enabled

@@ -28,6 +28,16 @@ class TestFileStoreAccounting:
         assert store.stats.bytes_by_category == {"parameters": 100}
         assert store.exists(keep)
 
+    def test_content_addressed_reput_does_not_drift_stored_bytes(self):
+        # A derived-id re-put overwrites identical bytes: the round trip
+        # is charged, but the store holds no new bytes.
+        store = FileStore()
+        store.put(b"c" * 64, category="chunk")
+        store.put(b"c" * 64, category="chunk")
+        store.put(b"c" * 64, category="chunk")
+        assert store.stats.bytes_by_category == {"chunk": 64}
+        assert store.stats.writes == 3
+
 
 class TestDocumentStoreAccounting:
     def test_delete_returns_bytes(self):
