@@ -25,21 +25,21 @@ from repro.bench.serving import format_report, run_serving_benchmark, write_repo
 
 NUM_MODELS = int(os.environ.get("REPRO_BENCH_MODELS", "8"))
 NUM_REQUESTS = int(os.environ.get("REPRO_SERVING_REQUESTS", "200"))
-FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "serving.json"
 
 
-def test_serving_sweep(benchmark):
+def test_serving_sweep(benchmark, fault_seed):
     report = benchmark.pedantic(
         lambda: run_serving_benchmark(
             models_per_set=NUM_MODELS,
             num_requests=NUM_REQUESTS,
-            fault_seed=FAULT_SEED,
+            fault_seed=fault_seed,
         ),
         rounds=1,
         iterations=1,
     )
+    report["fault_seed"] = fault_seed
     write_report(report, RESULTS_PATH)
     print(format_report(report))
     benchmark.extra_info["speedups"] = report["speedups"]

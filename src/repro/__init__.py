@@ -27,7 +27,12 @@ paper-vs-measured results.
 __version__ = "1.0.0"
 
 from repro import errors
-from repro.config import ArchiveConfig, ObservabilityConfig, ServingConfig
+from repro.config import (
+    ArchiveConfig,
+    MaintenanceConfig,
+    ObservabilityConfig,
+    ServingConfig,
+)
 from repro.core.approach import SaveApproach, SaveContext
 from repro.core.baseline import BaselineApproach
 from repro.core.lineage import LineageGraph, diff_sets, model_history
@@ -41,8 +46,10 @@ from repro.core.save_info import ModelUpdate, SetMetadata, UpdateInfo
 from repro.core.update import UpdateApproach
 from repro.core.verify import ArchiveVerifier
 from repro.fleet import FleetManager, IngestQueue
+from repro.maintenance import MaintenanceScheduler
 from repro.observability import MetricsRegistry, TraceRecorder, global_registry
 from repro.serving import ServingCache
+from repro.simtime import SimClock
 
 __all__ = [
     "ApproachRecommender",
@@ -53,6 +60,8 @@ __all__ = [
     "IngestQueue",
     "LineageGraph",
     "MMlibBaseApproach",
+    "MaintenanceConfig",
+    "MaintenanceScheduler",
     "MetricsRegistry",
     "ModelSet",
     "ModelUpdate",
@@ -66,6 +75,7 @@ __all__ = [
     "ServingCache",
     "ServingConfig",
     "SetMetadata",
+    "SimClock",
     "TraceRecorder",
     "UpdateApproach",
     "UpdateInfo",

@@ -167,6 +167,7 @@ def run_fault_benchmark(
     """The full robustness report (crash matrix + retries + salvage)."""
     report: dict = {
         "num_models": num_models,
+        "seeds": list(seeds),
         "crash_matrix": {},
         "retries": [retry_entry(num_models, seed) for seed in seeds],
         "salvage": salvage_entry(num_models),

@@ -13,6 +13,7 @@ Subcommands cover the operator loop demonstrated in
     repro-archive <dir> history SET_ID IDX   # one model's drift
     repro-archive <dir> compact SET_ID       # delta -> full snapshot
     repro-archive <dir> gc --keep-last K     # retention policy
+    repro-archive <dir> maintain --cycles N  # background-maintenance passes
     repro-archive <dir> migrate TARGET_DIR --approach update
     repro-archive <dir> stats --live         # metrics registry export
     repro-archive <dir> warm SET_ID [...]    # pre-materialize into the cache
@@ -32,9 +33,10 @@ A sharded fleet layout (``shard-<i>/`` subtrees, written by
 created with ``--shards N``.  Every verb then iterates the shards:
 ``info``/``fsck``/``scrub``/``verify``/``lineage``/``stats`` aggregate
 per-shard output (exit code = worst shard, keeping the 0/1/2 contract),
-``gc --keep-last`` applies the retention policy fleet-wide, and
-set-addressed verbs (``history``, ``compact``, ``export``) route to the
-shard owning the set.
+``gc --keep-last`` applies the retention policy fleet-wide,
+``maintain`` runs scheduler passes (one atomic journal txn per shard,
+exit code = worst shard), and set-addressed verbs (``history``,
+``compact``, ``export``) route to the shard owning the set.
 
 Every global flag maps 1:1 onto an :class:`~repro.config.ArchiveConfig`
 field (see :func:`config_from_args`); ``--trace``/``--trace-json`` turn
@@ -306,6 +308,54 @@ def _cmd_gc(context: SaveContext, args: argparse.Namespace) -> int:
         print(f"swept {report.chunks_reclaimed} zero-reference chunks")
     print(f"reclaimed {report.bytes_reclaimed:,} bytes")
     return 0
+
+
+def _maintain(contexts: list[SaveContext], args: argparse.Namespace) -> int:
+    """Run ``--cycles`` maintenance passes over the given shard contexts.
+
+    Each pass runs every shard's mutating tasks (compaction, GC, chunk
+    sweep) as one atomic journal transaction, then drains replica repair
+    queues and scrubs.  Exit follows the 0/1/2 contract across all
+    cycles: 0 — nothing needed doing, 1 — maintenance did work
+    (reclaimed, compacted, healed), 2 — a scrub found unrecoverable
+    data.
+    """
+    from repro.config import MaintenanceConfig
+    from repro.maintenance import MaintenanceScheduler
+
+    config = MaintenanceConfig(
+        enabled=True,
+        gc_keep_last=args.keep_last,
+        compact_chain_depth=args.compact_depth,
+        scrub=not args.no_scrub,
+        scrub_deep=bool(args.deep),
+    )
+    scheduler = MaintenanceScheduler.for_contexts(contexts, config=config)
+    worst = 0
+    for cycle in range(args.cycles):
+        report = scheduler.run_pass()
+        worst = max(worst, report.exit_code)
+        for entry in report.shards:
+            line = (
+                f"pass {cycle} {entry.shard}: "
+                f"deleted {entry.sets_deleted} set(s), "
+                f"compacted {entry.sets_compacted}, "
+                f"reclaimed {entry.bytes_reclaimed:,} bytes"
+            )
+            if entry.chunks_swept:
+                line += f", swept {entry.chunks_swept} chunk(s)"
+            if entry.repairs_drained:
+                line += f", drained {entry.repairs_drained} repair(s)"
+            if entry.scrubbed:
+                line += f", scrub exit {entry.scrub_exit}"
+            print(line)
+            for artifact in entry.lost_artifacts:
+                print(f"  LOST: {artifact}")
+    return worst
+
+
+def _cmd_maintain(context: SaveContext, args: argparse.Namespace) -> int:
+    return _maintain([context], args)
 
 
 def _cmd_export(context: SaveContext, args: argparse.Namespace) -> int:
@@ -723,6 +773,10 @@ def _run_fleet(
     command = args.command
     if command == "gc":
         result = _cmd_fleet_gc(contexts, args)
+    elif command == "maintain":
+        # Maintenance is inherently fleet-aware: one scheduler, one
+        # retention decision, per-shard atomic passes.
+        result = _maintain(contexts, args)
     elif command == "warm":
         result = _cmd_fleet_warm(contexts, args)
     elif command == "evict":
@@ -925,6 +979,48 @@ def main(argv: list[str] | None = None) -> int:
     group.add_argument("--keep-last", type=int, default=None)
     group.add_argument("--keep", nargs="+", default=None, metavar="SET_ID")
 
+    maintain = subparsers.add_parser(
+        "maintain",
+        help="run background-maintenance passes: retention GC, chunk "
+        "sweep, and delta-chain compaction as one atomic journal txn "
+        "per shard, then repair-queue draining and an anti-entropy "
+        "scrub",
+    )
+    maintain.add_argument(
+        "--cycles",
+        type=int,
+        default=1,
+        metavar="N",
+        help="maintenance passes to run (default: one)",
+    )
+    maintain.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        metavar="K",
+        help="retention policy: keep the newest K sets fleet-wide "
+        "(default: no GC)",
+    )
+    maintain.add_argument(
+        "--compact-depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="compact kept delta chains at or beyond this recovery depth "
+        "(default: only the retention policy's oldest-kept compaction)",
+    )
+    maintain.add_argument(
+        "--no-scrub",
+        action="store_true",
+        help="skip the anti-entropy scrub passes",
+    )
+    maintain.add_argument(
+        "--deep",
+        action="store_true",
+        help="re-hash every replica copy during the scrub (catches torn "
+        "writes; default trusts recorded digests)",
+    )
+
     export = subparsers.add_parser(
         "export", help="write models as a self-contained deployment bundle"
     )
@@ -1035,6 +1131,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "warm": _cmd_warm,
         "evict": _cmd_evict,
+        "maintain": _cmd_maintain,
     }
     try:
         config = config_from_args(args)

@@ -78,6 +78,43 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class MaintenanceConfig:
+    """Background-maintenance settings of an archive or fleet.
+
+    Consumed by :class:`~repro.maintenance.MaintenanceScheduler`: each
+    pass runs the enabled tasks per shard as one journal transaction
+    (GC, compaction, chunk sweep) plus post-commit replica work (repair
+    drain, anti-entropy scrub), paced against the shared
+    :class:`~repro.simtime.SimClock` so maintenance consumes at most a
+    ``duty_cycle`` fraction of simulated time.
+    """
+
+    #: Run maintenance passes at all.  Off by default: an archive with
+    #: no scheduler attached behaves exactly as before.
+    enabled: bool = False
+    #: Minimum simulated seconds between the *starts* of two passes.
+    interval_s: float = 60.0
+    #: Fraction of simulated time maintenance may consume (a pass that
+    #: charged ``c`` simulated seconds pushes the next pass out by at
+    #: least ``c * (1 - duty_cycle) / duty_cycle``).
+    duty_cycle: float = 0.25
+    #: Retention policy: keep the newest N sets fleet-wide and collect
+    #: the rest (``None`` disables the GC task).
+    gc_keep_last: int | None = None
+    #: Compact delta chains at or beyond this depth into full snapshots
+    #: (``None`` leaves compaction to the retention policy alone).
+    compact_chain_depth: int | None = None
+    #: Run a rolling anti-entropy scrub — one shard per pass — on
+    #: replicated archives (no-op otherwise).
+    scrub: bool = True
+    #: Re-hash every replica copy during scrub (catches torn writes;
+    #: shallow trusts recorded digests).
+    scrub_deep: bool = False
+    #: Drain the replication layer's pending repair queues each pass.
+    drain_repairs: bool = True
+
+
+@dataclass(frozen=True)
 class ArchiveConfig:
     """Frozen bundle of every archive/context knob.
 
@@ -108,6 +145,7 @@ class ArchiveConfig:
     shards: int | None = None
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    maintenance: MaintenanceConfig = field(default_factory=MaintenanceConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.profile, HardwareProfile):
@@ -147,6 +185,32 @@ class ArchiveConfig:
         ):
             if int(budget) < 0:
                 raise ConfigError(f"serving.{label} must be >= 0, got {budget!r}")
+        if not isinstance(self.maintenance, MaintenanceConfig):
+            raise ConfigError(
+                f"maintenance must be a MaintenanceConfig, got {self.maintenance!r}"
+            )
+        upkeep = self.maintenance
+        if float(upkeep.interval_s) < 0:
+            raise ConfigError(
+                f"maintenance.interval_s must be >= 0, got {upkeep.interval_s!r}"
+            )
+        if not 0.0 < float(upkeep.duty_cycle) <= 1.0:
+            raise ConfigError(
+                "maintenance.duty_cycle must be in (0, 1], "
+                f"got {upkeep.duty_cycle!r}"
+            )
+        if upkeep.gc_keep_last is not None and int(upkeep.gc_keep_last) < 1:
+            raise ConfigError(
+                f"maintenance.gc_keep_last must be >= 1, got {upkeep.gc_keep_last!r}"
+            )
+        if (
+            upkeep.compact_chain_depth is not None
+            and int(upkeep.compact_chain_depth) < 1
+        ):
+            raise ConfigError(
+                "maintenance.compact_chain_depth must be >= 1, "
+                f"got {upkeep.compact_chain_depth!r}"
+            )
 
     def with_(self, **changes: Any) -> "ArchiveConfig":
         """Copy with the given fields replaced (validation re-runs)."""

@@ -33,36 +33,13 @@ from dataclasses import dataclass, field
 from repro.core.model_set import ModelSet
 from repro.errors import ReproError
 from repro.fleet.manager import FleetManager
+from repro.simtime import SimClock
+
+__all__ = ["IngestError", "IngestQueue", "SimClock"]
 
 
 class IngestError(ReproError):
     """A submitted update could not be queued or flushed."""
-
-
-class SimClock:
-    """Thread-safe simulated clock driving flush-age deadlines.
-
-    The archive's latency model already separates simulated store time
-    from wall time; the ingest queue's age deadline uses the same idea —
-    tests and benchmarks ``advance()`` the clock explicitly instead of
-    sleeping, so deadline behaviour is deterministic.
-    """
-
-    def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-        self._lock = threading.Lock()
-
-    @property
-    def now(self) -> float:
-        with self._lock:
-            return self._now
-
-    def advance(self, seconds: float) -> float:
-        if seconds < 0:
-            raise ValueError("the clock only moves forward")
-        with self._lock:
-            self._now += seconds
-            return self._now
 
 
 @dataclass
@@ -250,21 +227,52 @@ class IngestQueue:
         self._raise_pending_error()
 
     def close(self) -> None:
-        """Drain, then stop the worker pool.  Idempotent."""
+        """Drain, then stop the worker pool.  Idempotent.
+
+        Close *never discards*: every pending-but-unflushed update is
+        flushed and saved before the pool stops (``close()`` ==
+        ``drain()`` + shutdown), and the first worker error — including
+        a failed flush whose allocation was rolled back — is re-raised
+        after the pool is already stopped, so no save can race the
+        shutdown.  Callers that want crash semantics (drop pending work
+        on the floor) use :meth:`abort` instead.
+        """
         try:
             self.drain()
         finally:
-            with self._lock:
-                already = self._closed
-                self._closed = True
-            if not already:
-                for job_queue in self._queues:
-                    job_queue.put(_SHUTDOWN)
-                for thread in self._threads:
-                    thread.join()
-            registry = self.fleet.metrics
-            if registry is not None:
-                registry.unregister_provider("fleet:ingest")
+            self._shutdown_pool()
+
+    def abort(self) -> None:
+        """Stop the pool *without* flushing pending updates.  Idempotent.
+
+        Simulates the ingest tier dying: in-flight saves finish (a real
+        crash would tear them through the journal instead, which the
+        crash matrix covers), but pending-but-unflushed updates are
+        discarded and ``submit`` refuses new work.  Worker errors are
+        swallowed — the caller is abandoning the queue, and the fleet
+        allocation rollback in :meth:`_execute` already ran.
+        """
+        with self._lock:
+            for chain in self._chains.values():
+                chain.pending = OrderedDict()
+                chain.updates = 0
+        self._shutdown_pool()
+        with self._lock:
+            self._errors.clear()
+
+    def _shutdown_pool(self) -> None:
+        """Mark the queue closed and stop the workers (idempotent)."""
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if not already:
+            for job_queue in self._queues:
+                job_queue.put(_SHUTDOWN)
+            for thread in self._threads:
+                thread.join()
+        registry = self.fleet.metrics
+        if registry is not None:
+            registry.unregister_provider("fleet:ingest")
 
     def __enter__(self) -> "IngestQueue":
         return self

@@ -32,7 +32,12 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
-from repro.config import ArchiveConfig, ObservabilityConfig, ServingConfig
+from repro.config import (
+    ArchiveConfig,
+    MaintenanceConfig,
+    ObservabilityConfig,
+    ServingConfig,
+)
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 from repro.core.save_info import SetMetadata, UpdateInfo
@@ -69,6 +74,9 @@ def _shard_config(config: ArchiveConfig) -> ArchiveConfig:
         shards=None,
         observability=ObservabilityConfig(),
         serving=ServingConfig(),
+        # Maintenance is likewise fleet-owned: one scheduler coordinates
+        # every shard (see repro.maintenance), shards never self-schedule.
+        maintenance=MaintenanceConfig(),
     )
 
 
@@ -440,9 +448,19 @@ class FleetManager:
         The id number itself is not reused (fleet ids may skip), but the
         placement entry must go so the id stops appearing in listings.
         """
+        self.forget_sets([set_id])
+
+    def forget_sets(self, set_ids: "list[str]") -> None:
+        """Drop placement/root bookkeeping for sets no longer on a shard.
+
+        Called after a deletion that bypassed :meth:`delete_sets` — e.g.
+        a :class:`~repro.maintenance.MaintenanceScheduler` GC pass
+        running directly against the shard contexts.
+        """
         with self._fleet_lock:
-            self._placement.pop(set_id, None)
-            self._root_of.pop(set_id, None)
+            for set_id in set_ids:
+                self._placement.pop(set_id, None)
+                self._root_of.pop(set_id, None)
 
     @contextmanager
     def _fleet_span(self, operation: str, set_id: str, shard: int):
@@ -579,8 +597,5 @@ class FleetManager:
             with self.shard_locks[shard]:
                 report = RetentionManager(manager.context).collect(keep=keep)
             reports[shard] = report
-            with self._fleet_lock:
-                for sid in report.deleted_sets:
-                    self._placement.pop(sid, None)
-                    self._root_of.pop(sid, None)
+            self.forget_sets(list(report.deleted_sets))
         return reports

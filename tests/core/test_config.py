@@ -12,7 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import config_from_args
-from repro.config import ArchiveConfig, ObservabilityConfig
+from repro.config import ArchiveConfig, MaintenanceConfig, ObservabilityConfig
 from repro.core.approach import SaveContext
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
@@ -38,6 +38,12 @@ class TestValidation:
             {"replicas": 3, "read_quorum": 5},
             {"profile": "server"},
             {"observability": {"tracing": True}},
+            {"maintenance": {"enabled": True}},
+            {"maintenance": MaintenanceConfig(interval_s=-1.0)},
+            {"maintenance": MaintenanceConfig(duty_cycle=0.0)},
+            {"maintenance": MaintenanceConfig(duty_cycle=1.5)},
+            {"maintenance": MaintenanceConfig(gc_keep_last=0)},
+            {"maintenance": MaintenanceConfig(compact_chain_depth=0)},
         ],
     )
     def test_bad_values_raise_config_error(self, kwargs):
@@ -50,6 +56,14 @@ class TestValidation:
         assert (config.workers, config.dedup, config.journal) == (1, False, True)
         with pytest.raises(AttributeError):
             config.workers = 2
+
+    def test_maintenance_defaults_and_full_duty_are_valid(self):
+        assert ArchiveConfig().maintenance == MaintenanceConfig()
+        assert ArchiveConfig().maintenance.enabled is False
+        config = ArchiveConfig(
+            maintenance=MaintenanceConfig(enabled=True, duty_cycle=1.0)
+        )
+        assert config.maintenance.duty_cycle == 1.0
 
     def test_with_replaces_and_revalidates(self):
         config = ArchiveConfig().with_(workers=4, dedup=True)

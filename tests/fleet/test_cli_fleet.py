@@ -12,6 +12,8 @@ from repro.cli import main as archive_main
 from repro.config import ArchiveConfig
 from repro.core.manager import MultiModelManager
 from repro.fleet import FleetManager
+from repro.storage.faults import corrupt_artifact
+from repro.storage.replication import replicated_stores
 
 
 @pytest.fixture
@@ -71,6 +73,46 @@ class TestFleetGcAndRouting:
     def test_routed_verb_unknown_set_is_operator_error(self, fleet_archive):
         path, _ids = fleet_archive
         assert archive_main([path, "history", "set-update-999999", "0"]) == 2
+
+
+class TestDegradedShardExitCodes:
+    """Exactly one shard degraded: worst-shard status, heal on scrub,
+    and the 1-then-0 sequence across two runs."""
+
+    @pytest.fixture
+    def degraded_fleet(self, tmp_path, tiny_set):
+        root = tmp_path / "fleet"
+        fleet = FleetManager.open(
+            root, "update", ArchiveConfig(shards=2, replicas=3)
+        )
+        ids = [fleet.save_set(tiny_set) for _ in range(4)]
+        # Corrupt one replica copy of one artifact on shard 0 only; the
+        # other two copies (and all of shard 1) stay intact.
+        file_rep, _ = replicated_stores(fleet.shards[0].context)
+        corrupt_artifact(file_rep.replicas[1].store, file_rep.ids()[0])
+        return str(root), ids
+
+    def test_fsck_reports_worst_shard(self, degraded_fleet, capsys):
+        path, _ids = degraded_fleet
+        assert archive_main([path, "fsck", "--deep"]) == 1
+        out = capsys.readouterr().out
+        assert out.count("== shard-") == 2  # both shards inspected
+
+    def test_scrub_heals_then_everything_is_clean(self, degraded_fleet, tiny_set):
+        path, ids = degraded_fleet
+        assert archive_main([path, "scrub"]) == 1  # healed work
+        assert archive_main([path, "fsck", "--deep"]) == 0
+        assert archive_main([path, "scrub"]) == 0  # idempotent
+        reopened = FleetManager.open(path, "update")
+        for set_id in ids:
+            assert reopened.recover_set(set_id).equals(tiny_set)
+
+    def test_gc_runs_despite_the_degraded_shard(self, degraded_fleet, capsys):
+        path, ids = degraded_fleet
+        assert archive_main([path, "gc", "--keep-last", "1"]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+        reopened = FleetManager.open(path, "update")
+        assert reopened.list_sets() == [sorted(ids)[-1]]
 
 
 class TestFleetExitCode2:

@@ -1,5 +1,6 @@
 """IngestQueue semantics: coalescing, flush triggers, drain, metrics."""
 
+import threading
 from collections import OrderedDict
 
 import pytest
@@ -184,6 +185,81 @@ class TestLifecycle:
             assert queue.flushes >= 4
             for entry in queue.flush_log:
                 assert fleet.recover_set(entry["set_id"]) is not None
+
+
+class TestCloseSemantics:
+    """``close()`` drains, ``abort()`` discards — pinned, not incidental."""
+
+    def test_close_saves_pending_unflushed_updates(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=100, workers=1)
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.submit(base, 1, state_plus(tiny_set, 1, 2.0))
+        assert queue.flushes == 0  # still pending when close starts
+        queue.close()
+        assert queue.flushes == 1
+        saved = queue.flush_log[-1]["set_id"]
+        recovered = fleet.recover_set(saved)
+        expected = state_plus(tiny_set, 0, 1.0)
+        for name, array in recovered.state(0).items():
+            assert (array == expected[name]).all()
+        assert sorted(fleet.list_sets()) == sorted([base, saved])
+
+    def test_abort_discards_pending_updates(self, tiny_set):
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=100, workers=1)
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        queue.abort()
+        assert queue.flushes == 0
+        assert fleet.list_sets() == [base]
+        with pytest.raises(IngestError):
+            queue.submit(base, 1, state_plus(tiny_set, 1, 1.0))
+        queue.abort()  # idempotent
+
+    def test_failed_flush_rollback_racing_a_close(self, tiny_set, monkeypatch):
+        """A flush that dies mid-save while ``close()`` is waiting: the
+        allocation rolls back, the error surfaces from ``close()`` after
+        the pool already stopped, and the fleet stays consistent."""
+        fleet = make_fleet()
+        base = fleet.save_set(tiny_set)
+        queue = IngestQueue(fleet, flush_max_updates=1, workers=1)
+        entered, release = threading.Event(), threading.Event()
+
+        def dying_save(*args, **kwargs):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            raise RuntimeError("store fell over mid-flush")
+
+        monkeypatch.setattr(fleet, "execute_save", dying_save)
+        queue.submit(base, 0, state_plus(tiny_set, 0, 1.0))
+        assert entered.wait(timeout=10.0)  # save is in flight
+
+        failures: list[BaseException] = []
+
+        def closer():
+            try:
+                queue.close()
+            except BaseException as error:  # noqa: BLE001
+                failures.append(error)
+
+        thread = threading.Thread(target=closer)
+        thread.start()
+        release.set()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        # The worker error surfaced through close(), after shutdown.
+        assert len(failures) == 1
+        assert "fell over" in str(failures[0])
+        with pytest.raises(IngestError):
+            queue.submit(base, 1, state_plus(tiny_set, 1, 1.0))
+        # The phantom allocation was released: the failed flush's id is
+        # gone from listings and the fleet keeps accepting direct saves.
+        monkeypatch.undo()
+        assert fleet.list_sets() == [base]
+        follow_up = fleet.save_set(tiny_set, base_set_id=base)
+        assert follow_up in fleet.list_sets()
 
 
 class TestMetricsExport:

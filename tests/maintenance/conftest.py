@@ -1,0 +1,46 @@
+"""Maintenance test fixtures: registry isolation and a small shared set."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.core.model_set import ModelSet
+from repro.observability.metrics import global_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Fleet-backed schedulers may register providers on the process-wide
+    registry; drop them afterwards so tests stay independent."""
+    global_registry().reset()
+    yield
+    global_registry().reset()
+
+
+@pytest.fixture(scope="session")
+def tiny_set() -> ModelSet:
+    """3 FFNN-48 models; session-scoped, treat as read-only."""
+    return ModelSet.build("FFNN-48", num_models=3, seed=11)
+
+
+def perturbed(model_set: ModelSet, step: int) -> ModelSet:
+    """A full-set update: every layer of every model shifted by ``step``."""
+    updated = model_set.copy()
+    for index in range(len(updated)):
+        updated.states[index] = OrderedDict(
+            (name, (array + 0.25 * (step + 1)).astype(array.dtype))
+            for name, array in model_set.state(index).items()
+        )
+    return updated
+
+
+def save_chain(manager, base_set: ModelSet, length: int) -> list[str]:
+    """A root save plus ``length`` derived saves (a delta chain)."""
+    ids = [manager.save_set(base_set)]
+    for step in range(length):
+        ids.append(
+            manager.save_set(perturbed(base_set, step), base_set_id=ids[-1])
+        )
+    return ids

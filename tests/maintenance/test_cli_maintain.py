@@ -1,0 +1,84 @@
+"""The ``repro-archive maintain`` verb: one-shot and ``--cycles N``.
+
+Exit contract (shared with fsck/scrub): 0 — nothing needed doing,
+1 — maintenance did work, 2 — a scrub found unrecoverable data.
+Fleet archives run each pass per shard, worst shard wins.
+"""
+
+from repro.cli import main as archive_main
+from repro.config import ArchiveConfig
+from repro.core.manager import MultiModelManager
+from repro.fleet import FleetManager
+from repro.storage.faults import corrupt_artifact
+from repro.storage.replication import replicated_stores
+
+from tests.maintenance.conftest import perturbed, save_chain
+
+
+class TestMaintainSingleArchive:
+    def test_gc_work_then_clean(self, tmp_path, tiny_set, capsys):
+        path = str(tmp_path / "arch")
+        manager = MultiModelManager.open(path, "update")
+        ids = save_chain(manager, tiny_set, 3)
+        assert archive_main([path, "maintain", "--keep-last", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "pass 0" in out and "reclaimed" in out
+        reopened = MultiModelManager.open(path, "update")
+        assert reopened.list_sets() == sorted(ids)[-1:]
+        assert reopened.recover_set(ids[-1]).equals(perturbed(tiny_set, 2))
+        # Second run: nothing left to do.
+        assert archive_main([path, "maintain", "--keep-last", "1"]) == 0
+
+    def test_compact_depth_without_gc(self, tmp_path, tiny_set):
+        path = str(tmp_path / "arch")
+        manager = MultiModelManager.open(path, "update")
+        ids = save_chain(manager, tiny_set, 3)
+        assert archive_main([path, "maintain", "--compact-depth", "1"]) == 1
+        reopened = MultiModelManager.open(path, "update")
+        assert sorted(reopened.list_sets()) == sorted(ids)  # nothing deleted
+        assert reopened.recover_set(ids[-1]).equals(perturbed(tiny_set, 2))
+        assert archive_main([path, "fsck", "--deep"]) == 0
+
+    def test_clean_archive_exits_zero(self, tmp_path, tiny_set):
+        path = str(tmp_path / "arch")
+        MultiModelManager.open(path, "update").save_set(tiny_set)
+        assert archive_main([path, "maintain"]) == 0
+
+    def test_cycles_flag_runs_repeated_passes(self, tmp_path, tiny_set, capsys):
+        path = str(tmp_path / "arch")
+        manager = MultiModelManager.open(path, "update")
+        save_chain(manager, tiny_set, 3)
+        assert (
+            archive_main([path, "maintain", "--cycles", "2", "--keep-last", "1"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "pass 0" in out and "pass 1" in out
+
+    def test_scrub_loss_exits_two(self, tmp_path, tiny_set, capsys):
+        path = str(tmp_path / "arch")
+        manager = MultiModelManager.open(
+            path, "update", ArchiveConfig(replicas=3)
+        )
+        manager.save_set(tiny_set)
+        file_rep, _ = replicated_stores(manager.context)
+        artifact = file_rep.ids()[0]
+        for state in file_rep.replicas:
+            corrupt_artifact(state.store, artifact)
+        assert archive_main([path, "maintain", "--deep"]) == 2
+        assert "LOST" in capsys.readouterr().out
+
+
+class TestMaintainFleet:
+    def test_fleet_keep_last_is_fleet_wide(self, tmp_path, tiny_set, capsys):
+        root = str(tmp_path / "fleet")
+        fleet = FleetManager.open(root, "update", ArchiveConfig(shards=2))
+        ids = sorted(fleet.save_set(tiny_set) for _ in range(5))
+        assert archive_main([root, "maintain", "--keep-last", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "shard-0" in out and "shard-1" in out
+        reopened = FleetManager.open(root, "update")
+        assert reopened.list_sets() == ids[-2:]
+        assert reopened.recover_set(ids[-1]).equals(tiny_set)
+        assert archive_main([root, "maintain", "--keep-last", "2"]) == 0
+        assert archive_main([root, "fsck", "--deep"]) == 0
