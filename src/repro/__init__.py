@@ -29,6 +29,7 @@ __version__ = "1.0.0"
 from repro import errors
 from repro.config import (
     ArchiveConfig,
+    FleetHealthConfig,
     MaintenanceConfig,
     ObservabilityConfig,
     ServingConfig,
@@ -56,6 +57,7 @@ __all__ = [
     "ArchiveConfig",
     "ArchiveVerifier",
     "BaselineApproach",
+    "FleetHealthConfig",
     "FleetManager",
     "IngestQueue",
     "LineageGraph",

@@ -656,12 +656,15 @@ def _fleet_shard_count(directory: str, config: ArchiveConfig) -> int:
 
 
 def _open_fleet_contexts(
-    directory: str, num: int, config: ArchiveConfig
+    directory: str, indices: "list[int]", config: ArchiveConfig
 ) -> list[SaveContext]:
-    """Open every ``shard-<i>/`` context, with fleet-level observability.
+    """Open the given ``shard-<i>/`` contexts, with fleet observability.
 
-    Tracing shares one recorder across shards (concurrent fleet traces
-    stay one stream); metrics register each shard's stats under a
+    ``indices`` is normally ``range(num)``; a degraded fleet (some shard
+    directory missing) passes only the present shards so the others are
+    reported DOWN instead of being silently recreated empty.  Tracing
+    shares one recorder across shards (concurrent fleet traces stay one
+    stream); metrics register each shard's stats under a
     ``fleet_shard_<i>_`` prefix instead of the colliding single-archive
     names.
     """
@@ -670,7 +673,7 @@ def _open_fleet_contexts(
     shard_config = config.with_(shards=None, observability=ObservabilityConfig())
     contexts = [
         open_context(str(Path(directory) / f"shard-{index}"), config=shard_config)
-        for index in range(num)
+        for index in indices
     ]
     settings = config.observability
     if settings.tracing:
@@ -683,7 +686,7 @@ def _open_fleet_contexts(
         from repro.observability.metrics import global_registry
 
         registry = global_registry()
-        for index, context in enumerate(contexts):
+        for index, context in zip(indices, contexts):
             registry.register_stats(
                 f"fleet_shard_{index}_file_store", context.file_store.stats
             )
@@ -766,11 +769,123 @@ def _cmd_fleet_warm(contexts: list[SaveContext], args: argparse.Namespace) -> in
     return max(codes) if codes else 0
 
 
+def _cmd_deadletter(
+    args: argparse.Namespace, config: ArchiveConfig, num: int
+) -> int:
+    """``deadletter list|replay|purge`` on a fleet's parked ingest batches.
+
+    Exit codes follow the degraded-archive convention: 0 when nothing is
+    pending (or everything replayed), 1 when entries remain parked,
+    skipped, or failed, 2 on operational errors.
+    """
+    from pathlib import Path
+
+    from repro.fleet.deadletter import DEADLETTER_DIR, DeadLetterStore
+
+    if num <= 0:
+        raise ReproError(
+            "deadletter operates on fleet archives (no shard-<i>/ layout "
+            f"found at {args.directory})"
+        )
+    root = Path(args.directory)
+    store_dir = root / DEADLETTER_DIR
+    if args.action == "list":
+        if not store_dir.is_dir():
+            print("0 dead-letter entries")
+            return 0
+        entries = DeadLetterStore(store_dir).entries(shard=args.shard)
+        print(f"{len(entries)} dead-letter entries")
+        for entry in entries:
+            print(
+                f"  {entry['id']}  shard={entry['shard']}  "
+                f"root={entry['root']}  models={len(entry['models'])}  "
+                f"updates={entry['updates']}  error={entry['error']}"
+            )
+        return 1 if entries else 0
+    if args.action == "purge":
+        if not store_dir.is_dir():
+            print("purged 0 dead-letter entries")
+            return 0
+        count = DeadLetterStore(store_dir).purge(
+            entry_ids=args.ids, shard=args.shard
+        )
+        print(f"purged {count} dead-letter entries")
+        return 0
+    # replay: re-submit parked batches through the normal ingest path so
+    # lineage and byte-identity of the recovered chains are preserved.
+    if not store_dir.is_dir():
+        print("0 dead-letter entries to replay")
+        return 0
+    approach = args.approach
+    if approach is None:
+        shard_config = config.with_(
+            shards=None, observability=ObservabilityConfig()
+        )
+        for index in range(num):
+            shard_dir = root / f"shard-{index}"
+            if not shard_dir.is_dir():
+                continue
+            approach = _detect_approach(
+                open_context(str(shard_dir), config=shard_config)
+            )
+            if approach is not None:
+                break
+    if approach is None:
+        raise ReproError(
+            "could not detect the fleet's approach; pass --approach"
+        )
+    from repro.errors import IngestError
+    from repro.fleet import FleetManager, IngestQueue
+
+    fleet = FleetManager.open(args.directory, approach, config)
+    if fleet.deadletter.count == 0:
+        print("0 dead-letter entries to replay")
+        return 0
+    queue = IngestQueue(fleet, flush_max_updates=10**9, workers=0)
+    try:
+        summary = queue.replay_dead_letters(shard=args.shard)
+    finally:
+        try:
+            queue.close()
+        except IngestError:
+            pass
+    for entry_id in summary["replayed"]:
+        print(f"replayed {entry_id}")
+    for entry_id in summary["skipped"]:
+        print(f"skipped {entry_id} (shard still down)")
+    for failure in summary["failed"]:
+        print(
+            f"failed {failure['id']}: {failure['error']} "
+            f"(re-parked as {', '.join(failure['reparked'])})"
+        )
+    print(
+        f"replayed {len(summary['replayed'])} entries, "
+        f"{len(summary['skipped'])} skipped, {len(summary['failed'])} failed"
+    )
+    return 0 if not summary["skipped"] and not summary["failed"] else 1
+
+
 def _run_fleet(
     args: argparse.Namespace, config: ArchiveConfig, num: int, commands: dict
 ) -> int:
-    contexts = _open_fleet_contexts(args.directory, num, config)
+    from pathlib import Path
+
     command = args.command
+    missing = [
+        index
+        for index in range(num)
+        if not (Path(args.directory) / f"shard-{index}").is_dir()
+    ]
+    if missing and command not in _FLEET_ITERATED:
+        names = ", ".join(f"shard-{index}" for index in missing)
+        raise ReproError(
+            f"fleet at {args.directory} is degraded: {names} missing; only "
+            "per-shard inspection verbs (info/lineage/verify/fsck/scrub/"
+            "stats) run against a degraded fleet — restore the missing "
+            "shard directories first"
+        )
+    present = [index for index in range(num) if index not in missing]
+    contexts = _open_fleet_contexts(args.directory, present, config)
     if command == "gc":
         result = _cmd_fleet_gc(contexts, args)
     elif command == "maintain":
@@ -797,12 +912,20 @@ def _run_fleet(
         total_bytes = sum(context.total_bytes() for context in contexts)
         if command == "info":
             print(f"fleet: {num} shards")
+            if missing:
+                print(f"fleet shards DOWN: {len(missing)}")
             print(f"fleet sets: {total_sets}")
             print(f"fleet stored bytes: {total_bytes:,}")
-        codes = []
-        for index, context in enumerate(contexts):
+        # A missing shard floors the exit at 1 (degraded, like a missing
+        # replica) but never blocks inspecting the healthy shards.
+        codes = [1] if missing else []
+        by_index = dict(zip(present, contexts))
+        for index in range(num):
             print(f"== shard-{index} ==")
-            codes.append(commands[command](context, args))
+            if index in by_index:
+                codes.append(commands[command](by_index[index], args))
+            else:
+                print("DOWN: shard directory missing")
         result = max(codes) if codes else 0
     elif command in _FLEET_ROUTED:
         result = commands[command](_owning_context(contexts, args.set_id), args)
@@ -1091,6 +1214,32 @@ def main(argv: list[str] | None = None) -> int:
         help="registry export format for --live",
     )
 
+    deadletter = subparsers.add_parser(
+        "deadletter",
+        help="inspect, replay, or purge dead-lettered ingest batches "
+        "(fleet archives only)",
+    )
+    deadletter.add_argument(
+        "action",
+        choices=["list", "replay", "purge"],
+        help="list parked batches, replay them through the normal ingest "
+        "path, or drop them",
+    )
+    deadletter.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="restrict to entries parked for shard I",
+    )
+    deadletter.add_argument(
+        "--ids",
+        nargs="+",
+        default=None,
+        metavar="ENTRY_ID",
+        help="purge only these entry ids",
+    )
+
     trace = subparsers.add_parser(
         "trace",
         help="run a traced synthetic U3 update cycle in memory and print "
@@ -1136,6 +1285,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         config = config_from_args(args)
         num_shards = _fleet_shard_count(args.directory, config)
+        if args.command == "deadletter":
+            return _cmd_deadletter(args, config, num_shards)
         if num_shards > 0:
             return _run_fleet(args, config, num_shards, commands)
         context = open_context(args.directory, config=config)

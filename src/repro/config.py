@@ -115,6 +115,61 @@ class MaintenanceConfig:
 
 
 @dataclass(frozen=True)
+class FleetHealthConfig:
+    """Fleet-level graceful-degradation settings.
+
+    Consumed by :class:`~repro.fleet.FleetManager` and
+    :class:`~repro.fleet.IngestQueue` (shards never read it): a
+    per-shard health state machine (HEALTHY → DEGRADED → DOWN →
+    half-open probe) driven by consecutive save/flush failures, bounded
+    ingest admission so a stuck shard cannot grow the queue without
+    bound, and flush retry with exponential backoff feeding a durable
+    dead-letter store after exhaustion.
+    """
+
+    #: Track shard health and apply admission control at all.  With this
+    #: off the fleet behaves exactly as before: no gating, no retries,
+    #: no dead-lettering.
+    enabled: bool = True
+    #: Consecutive save/flush failures that mark a shard DEGRADED
+    #: (observable warning state; traffic still flows).
+    degraded_after: int = 1
+    #: Consecutive save/flush failures that mark a shard DOWN (breaker
+    #: open: operations are refused with ``ShardUnavailableError``).
+    down_after: int = 3
+    #: While DOWN, let every Nth refused operation through as a
+    #: half-open probe; a probe success closes the breaker.
+    probe_interval_ops: int = 8
+    #: Admission policy once a shard's pending ingest load reaches the
+    #: high watermark: ``"block"`` waits (up to ``block_deadline_s``
+    #: wall seconds) for the load to drain to the low watermark;
+    #: ``"shed"`` refuses the newest submission with
+    #: ``IngestBackpressureError`` immediately.
+    backpressure: str = "block"
+    #: Per-shard pending model-state entries (queued + in flight) at
+    #: which admission control engages.
+    high_watermark: int = 256
+    #: Pending level a blocked submission waits for before proceeding
+    #: (hysteresis: must be <= high_watermark).
+    low_watermark: int = 64
+    #: Wall-clock seconds a blocking submission waits before raising
+    #: ``IngestBackpressureError`` (blocking needs worker threads to
+    #: drain concurrently; with ``workers=0`` the deadline is immediate).
+    block_deadline_s: float = 5.0
+    #: Flush retries after the first failed attempt, with exponential
+    #: backoff charged to the queue's shared ``SimClock``.
+    flush_retries: int = 2
+    #: Backoff before retry ``k`` (1-based): ``retry_base_s *
+    #: retry_multiplier ** (k - 1)`` simulated seconds.
+    retry_base_s: float = 0.05
+    retry_multiplier: float = 2.0
+    #: Park a batch in the durable dead-letter store once its retries
+    #: are exhausted (storage failures only; client errors such as an
+    #: out-of-range model index are surfaced without parking).
+    dead_letter: bool = True
+
+
+@dataclass(frozen=True)
 class ArchiveConfig:
     """Frozen bundle of every archive/context knob.
 
@@ -146,6 +201,7 @@ class ArchiveConfig:
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     maintenance: MaintenanceConfig = field(default_factory=MaintenanceConfig)
+    health: FleetHealthConfig = field(default_factory=FleetHealthConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.profile, HardwareProfile):
@@ -210,6 +266,57 @@ class ArchiveConfig:
             raise ConfigError(
                 "maintenance.compact_chain_depth must be >= 1, "
                 f"got {upkeep.compact_chain_depth!r}"
+            )
+        if not isinstance(self.health, FleetHealthConfig):
+            raise ConfigError(
+                f"health must be a FleetHealthConfig, got {self.health!r}"
+            )
+        health = self.health
+        if int(health.degraded_after) < 1:
+            raise ConfigError(
+                f"health.degraded_after must be >= 1, got {health.degraded_after!r}"
+            )
+        if int(health.down_after) < int(health.degraded_after):
+            raise ConfigError(
+                f"health.down_after ({health.down_after!r}) must be >= "
+                f"health.degraded_after ({health.degraded_after!r})"
+            )
+        if int(health.probe_interval_ops) < 1:
+            raise ConfigError(
+                "health.probe_interval_ops must be >= 1, "
+                f"got {health.probe_interval_ops!r}"
+            )
+        if health.backpressure not in ("block", "shed"):
+            raise ConfigError(
+                "health.backpressure must be 'block' or 'shed', "
+                f"got {health.backpressure!r}"
+            )
+        if int(health.low_watermark) < 0:
+            raise ConfigError(
+                f"health.low_watermark must be >= 0, got {health.low_watermark!r}"
+            )
+        if int(health.high_watermark) < max(1, int(health.low_watermark)):
+            raise ConfigError(
+                f"health.high_watermark ({health.high_watermark!r}) must be >= "
+                f"max(1, low_watermark={health.low_watermark!r})"
+            )
+        if float(health.block_deadline_s) < 0:
+            raise ConfigError(
+                "health.block_deadline_s must be >= 0, "
+                f"got {health.block_deadline_s!r}"
+            )
+        if int(health.flush_retries) < 0:
+            raise ConfigError(
+                f"health.flush_retries must be >= 0, got {health.flush_retries!r}"
+            )
+        if float(health.retry_base_s) < 0:
+            raise ConfigError(
+                f"health.retry_base_s must be >= 0, got {health.retry_base_s!r}"
+            )
+        if float(health.retry_multiplier) < 1.0:
+            raise ConfigError(
+                "health.retry_multiplier must be >= 1, "
+                f"got {health.retry_multiplier!r}"
             )
 
     def with_(self, **changes: Any) -> "ArchiveConfig":

@@ -26,7 +26,12 @@ __all__ = [
     "TransientStorageError",
     "PermanentStorageError",
     "ReplicaUnavailableError",
+    "ShardUnavailableError",
     "QuorumError",
+    "DeadLetterError",
+    "IngestError",
+    "IngestClosedError",
+    "IngestBackpressureError",
     "ArtifactCorruptionError",
     "ChunkCorruptionError",
     "SimulatedCrashError",
@@ -95,6 +100,77 @@ class ReplicaUnavailableError(TransientStorageError):
     is recoverable from the client's point of view — the replica may come
     back — but the replication layer treats it as a health event and
     fails over rather than waiting.
+    """
+
+
+class ShardUnavailableError(TransientStorageError):
+    """A fleet shard's health breaker is open (shard marked DOWN).
+
+    Raised by :class:`~repro.fleet.FleetManager` when an operation is
+    routed to a shard whose per-shard circuit breaker has opened after
+    consecutive save/flush failures (or that was pinned DOWN at open
+    because its directory was missing or unreadable).  Subclasses
+    :class:`TransientStorageError` like
+    :class:`ReplicaUnavailableError` — the shard may come back, and a
+    half-open probe will close the breaker once it does.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: "int | None" = None,
+        set_id: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: Index of the DOWN shard.
+        self.shard = shard
+        #: The set id whose operation was refused, when known.
+        self.set_id = set_id
+
+
+class DeadLetterError(StorageError):
+    """A dead-letter store entry is missing, corrupt, or unreplayable."""
+
+
+class IngestError(ReproError):
+    """A submitted update could not be queued or flushed.
+
+    When raised from :meth:`IngestQueue.drain`/``close()`` after worker
+    failures, carries the affected context: ``set_ids`` (the failing
+    flushes' allocated ids), ``shards`` (their shard indices), and
+    ``dead_letter_ids`` (entries parked for replay, possibly empty).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        set_ids: "tuple[str, ...]" = (),
+        shards: "tuple[int, ...]" = (),
+        dead_letter_ids: "tuple[str, ...]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.set_ids = tuple(set_ids)
+        self.shards = tuple(shards)
+        self.dead_letter_ids = tuple(dead_letter_ids)
+
+
+class IngestClosedError(IngestError):
+    """``submit()`` was called on a closed (or closing) ingest queue.
+
+    Raised deterministically the moment ``close()``/``abort()`` has
+    begun, regardless of worker-pool state — a submit racing a close
+    either fully lands before the close or raises this.
+    """
+
+
+class IngestBackpressureError(IngestError):
+    """A submission was refused by ingest admission control.
+
+    ``shed`` policy: raised immediately when the target shard's pending
+    load sits at the high watermark.  ``block`` policy: raised when the
+    blocking deadline expires before the load drains to the low
+    watermark.  Carries the target ``shards`` like any
+    :class:`IngestError`.
     """
 
 

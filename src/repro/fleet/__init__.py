@@ -23,12 +23,27 @@ See ``docs/operations.md`` ("Scaling out") for the on-disk layout and
 how to choose shard counts and flush deadlines.
 """
 
-from repro.fleet.ingest import IngestError, IngestQueue, SimClock
+from repro.fleet.deadletter import DeadLetterStore
+from repro.fleet.health import DEGRADED, DOWN, HEALTHY, FleetHealthTracker
+from repro.fleet.ingest import (
+    IngestBackpressureError,
+    IngestClosedError,
+    IngestError,
+    IngestQueue,
+    SimClock,
+)
 from repro.fleet.manager import SHARD_PREFIX, FleetManager, shard_for
 
 __all__ = [
+    "DEGRADED",
+    "DOWN",
+    "HEALTHY",
     "SHARD_PREFIX",
+    "DeadLetterStore",
+    "FleetHealthTracker",
     "FleetManager",
+    "IngestBackpressureError",
+    "IngestClosedError",
     "IngestError",
     "IngestQueue",
     "SimClock",

@@ -1,0 +1,233 @@
+"""Per-shard health state machine for fleet-level graceful degradation.
+
+The storage stack already isolates failures *below* the shard boundary
+(journal rollback, retries, replica quorums); this module gives the
+fleet its own failure domain on top: each shard carries a circuit
+breaker — the same consecutive-failures / half-open-probe pattern
+:mod:`repro.storage.replication` applies per replica, lifted to shard
+granularity and driven by save/flush outcomes:
+
+``HEALTHY`` --failures >= degraded_after--> ``DEGRADED``
+--failures >= down_after--> ``DOWN`` --every Nth refused op--> half-open
+probe --success--> ``HEALTHY``
+
+While a shard is DOWN, :meth:`FleetHealthTracker.allow` refuses
+operations (the :class:`~repro.fleet.FleetManager` turns a refusal into
+a typed :class:`~repro.errors.ShardUnavailableError`, after trying the
+shard's serving cache for a stale-but-committed hit) except for the
+periodic probe that lets the breaker close again.  A shard whose
+directory was missing or unreadable at open time is *pinned* DOWN:
+probes are disabled, because there is nothing behind the placeholder
+shard worth probing — the operator restores the directory and reopens.
+
+DEGRADED is a pure warning state: traffic flows untouched, but the
+``fleet_shard_<i>_health`` gauge and the transition trace events make
+the first failure visible before the breaker opens.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.config import FleetHealthConfig
+
+__all__ = [
+    "DEGRADED",
+    "DOWN",
+    "HEALTHY",
+    "FleetHealthTracker",
+    "ShardHealth",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DOWN = "down"
+
+#: Gauge encoding of each state (exported as ``fleet_shard_<i>_health``).
+HEALTH_LEVELS = {HEALTHY: 0, DEGRADED: 1, DOWN: 2}
+
+
+@dataclass
+class ShardHealth:
+    """Mutable health record of one shard (guarded by the tracker lock)."""
+
+    state: str = HEALTHY
+    #: Consecutive save/flush failures since the last success.
+    consecutive_failures: int = 0
+    #: Operations refused since the last half-open probe.
+    skipped: int = 0
+    #: DOWN-at-open shards never probe; only reopen clears this.
+    pinned: bool = False
+    #: Human-readable cause of the current non-HEALTHY state.
+    reason: str = ""
+    # -- counters ----------------------------------------------------------
+    transitions: int = 0
+    breaker_trips: int = 0  # entries into DOWN
+    probes: int = 0  # half-open probes let through
+    refused: int = 0  # operations refused while DOWN
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "pinned": self.pinned,
+            "reason": self.reason,
+            "transitions": self.transitions,
+            "breaker_trips": self.breaker_trips,
+            "probes": self.probes,
+            "refused": self.refused,
+        }
+
+
+class FleetHealthTracker:
+    """Thread-safe health map of every shard in a fleet.
+
+    ``on_transition(shard, old, new, reason)`` is invoked *outside* the
+    tracker lock after each state change — the fleet hooks trace events
+    and metrics counters there.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        config: "FleetHealthConfig | None" = None,
+        on_transition=None,
+    ) -> None:
+        self.config = config if config is not None else FleetHealthConfig()
+        self._lock = threading.Lock()
+        self.shards = [ShardHealth() for _ in range(num_shards)]
+        self._on_transition = on_transition
+
+    # -- introspection -----------------------------------------------------
+    def state(self, shard: int) -> str:
+        with self._lock:
+            return self.shards[shard].state
+
+    def level(self, shard: int) -> int:
+        """Numeric state for the ``fleet_shard_<i>_health`` gauge."""
+        return HEALTH_LEVELS[self.state(shard)]
+
+    def is_down(self, shard: int) -> bool:
+        return self.state(shard) == DOWN
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return [health.snapshot() for health in self.shards]
+
+    # -- transitions -------------------------------------------------------
+    def _set_state_locked(self, shard: int, state: str, reason: str):
+        """Move one shard to ``state``; returns the transition (or None)."""
+        health = self.shards[shard]
+        if health.state == state:
+            return None
+        old = health.state
+        health.state = state
+        health.reason = reason
+        health.transitions += 1
+        if state == DOWN:
+            health.breaker_trips += 1
+            health.skipped = 0
+        if state == HEALTHY:
+            health.consecutive_failures = 0
+            health.skipped = 0
+            health.pinned = False
+            health.reason = ""
+        return (shard, old, state, reason)
+
+    def _fire(self, transition) -> None:
+        if transition is not None and self._on_transition is not None:
+            self._on_transition(*transition)
+
+    def pin_down(self, shard: int, reason: str) -> None:
+        """Force a shard DOWN with probing disabled (missing at open)."""
+        with self._lock:
+            transition = self._set_state_locked(shard, DOWN, reason)
+            self.shards[shard].pinned = True
+        self._fire(transition)
+
+    def allow(self, shard: int) -> bool:
+        """Gate one operation against the shard's breaker.
+
+        HEALTHY/DEGRADED (or tracking disabled): always allowed.  DOWN:
+        refused, except every ``probe_interval_ops``-th refusal is let
+        through as a half-open probe (never on pinned shards).
+        """
+        if not self.config.enabled:
+            return True
+        with self._lock:
+            health = self.shards[shard]
+            if health.state != DOWN:
+                return True
+            health.refused += 1
+            if health.pinned:
+                return False
+            health.skipped += 1
+            if health.skipped >= int(self.config.probe_interval_ops):
+                health.skipped = 0
+                health.probes += 1
+                return True
+            return False
+
+    def gate_read(self, shard: int) -> bool:
+        """Read gate: DOWN refuses (counted) but never probes.
+
+        Reads can be satisfied from the serving cache without touching
+        the shard's stores, so a read "success" says nothing about the
+        shard — only save/flush outcomes (and their half-open probes via
+        :meth:`allow`) move the breaker.
+        """
+        if not self.config.enabled:
+            return True
+        with self._lock:
+            health = self.shards[shard]
+            if health.state != DOWN:
+                return True
+            health.refused += 1
+            return False
+
+    def reason(self, shard: int) -> str:
+        with self._lock:
+            return self.shards[shard].reason
+
+    def record_success(self, shard: int) -> None:
+        """A permitted save/flush/probe succeeded: close the breaker."""
+        if not self.config.enabled:
+            return
+        with self._lock:
+            health = self.shards[shard]
+            health.consecutive_failures = 0
+            transition = self._set_state_locked(
+                shard, HEALTHY, "operation succeeded"
+            )
+        self._fire(transition)
+
+    def record_failure(
+        self, shard: int, error: BaseException, saving: bool = True
+    ) -> None:
+        """A permitted operation failed.
+
+        Save/flush failures (``saving=True``) drive the breaker:
+        consecutive failures cross ``degraded_after`` then ``down_after``.
+        Read failures only matter as failed probes — they restart the
+        DOWN shard's probe window without deepening the state.
+        """
+        if not self.config.enabled:
+            return
+        reason = f"{type(error).__name__}: {error}"
+        with self._lock:
+            health = self.shards[shard]
+            if health.state == DOWN:
+                # A failed half-open probe: stay DOWN, restart the window.
+                health.skipped = 0
+                health.reason = reason
+                return
+            if not saving:
+                return
+            health.consecutive_failures += 1
+            transition = None
+            if health.consecutive_failures >= int(self.config.down_after):
+                transition = self._set_state_locked(shard, DOWN, reason)
+            elif health.consecutive_failures >= int(self.config.degraded_after):
+                transition = self._set_state_locked(shard, DEGRADED, reason)
+        self._fire(transition)

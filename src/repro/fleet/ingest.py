@@ -21,25 +21,54 @@ Determinism: set ids are allocated at *dispatch* time (under the queue
 lock, in flush order), not when a worker gets around to the save — so
 the archive an ingest run produces depends only on the submission
 streams, not on thread scheduling.
+
+Graceful degradation (config: :class:`~repro.config.FleetHealthConfig`
+on the fleet's :class:`~repro.config.ArchiveConfig`):
+
+* **Admission control** — per-shard pending load is bounded by
+  ``high_watermark``; a submit that would exceed it either *sheds*
+  (raises :class:`~repro.errors.IngestBackpressureError` immediately)
+  or *blocks* until the shard drains to ``low_watermark`` or the
+  wall-clock deadline expires.  A stuck shard can therefore never OOM
+  the queue.
+* **Flush retry** — storage failures retry with exponential backoff on
+  the shared :class:`SimClock` (``flush_retries`` ×
+  ``retry_base_s * retry_multiplier^k``); the retries double as
+  half-open probes against the shard's health breaker.
+* **Dead-lettering** — a batch whose retries are exhausted is parked,
+  journal-transactionally, in the fleet's
+  :class:`~repro.fleet.deadletter.DeadLetterStore` instead of being
+  dropped, and :meth:`IngestQueue.replay_dead_letters` re-submits it
+  through this same coalescing path once the shard is back — so
+  lineage and byte-identity of the recovered chain are preserved.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.model_set import ModelSet
-from repro.errors import ReproError
+from repro.errors import (
+    DocumentNotFoundError,
+    IngestBackpressureError,
+    IngestClosedError,
+    IngestError,
+    StorageError,
+)
 from repro.fleet.manager import FleetManager
 from repro.simtime import SimClock
 
-__all__ = ["IngestError", "IngestQueue", "SimClock"]
-
-
-class IngestError(ReproError):
-    """A submitted update could not be queued or flushed."""
+__all__ = [
+    "IngestBackpressureError",
+    "IngestClosedError",
+    "IngestError",
+    "IngestQueue",
+    "SimClock",
+]
 
 
 @dataclass
@@ -48,8 +77,10 @@ class _Chain:
 
     root: str
     head: str  # id the next flush derives from
+    shard: int = 0  # the shard every save of this chain routes to
     last_saved: str = ""  # newest id that definitely exists on the shard
     inflight: int = 0  # dispatched batches not yet saved
+    dispatched: int = 0  # batches dispatched so far (per-chain sequence)
     #: model index -> latest submitted state (last-writer-wins).
     pending: "OrderedDict[int, OrderedDict]" = field(default_factory=OrderedDict)
     updates: int = 0  # submissions absorbed by the current batch
@@ -71,7 +102,8 @@ class IngestQueue:
     ----------
     fleet:
         The :class:`~repro.fleet.manager.FleetManager` saves route
-        through.
+        through.  Its ``config.health`` drives admission control, flush
+        retry, and dead-lettering.
     flush_max_updates:
         Flush a chain once its batch has absorbed this many submitted
         updates (coalesced resubmissions count — they are work the
@@ -101,13 +133,27 @@ class IngestQueue:
         self.flush_max_age_s = flush_max_age_s
         self.clock = clock if clock is not None else SimClock()
         self._lock = threading.Lock()
+        #: Signalled whenever per-shard load drops (blocked submits wait
+        #: here) and when the queue starts closing.
+        self._cond = threading.Condition(self._lock)
         self._chains: dict[str, _Chain] = {}
         self._closed = False
+        self._closing = False
+        self._health = fleet.config.health
         # -- counters (exported through the fleet's metrics registry) ------
         self.updates_submitted = 0
         self.updates_coalesced = 0
         self.flushes = 0
         self.models_written = 0
+        self.updates_shed = 0
+        self.blocked_submits = 0
+        self.flush_retries = 0
+        self.retry_backoff_s = 0.0
+        self.dead_lettered = 0
+        self.updates_replayed = 0
+        #: Pending + in-flight per-model entries per shard (the bounded
+        #: memory admission control enforces watermarks against).
+        self._shard_load = [0] * fleet.num_shards
         #: One record per flush: set id, base, shard, batch accounting.
         self.flush_log: list[dict] = []
         # -- worker pool ---------------------------------------------------
@@ -117,7 +163,8 @@ class IngestQueue:
             queue.Queue() for _ in range(self._num_workers)
         ]
         self._threads: list[threading.Thread] = []
-        self._errors: list[BaseException] = []
+        #: ``(error, job, dead_letter_id | None)`` per failed flush.
+        self._errors: list[tuple] = []
         for index in range(self._num_workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -149,9 +196,15 @@ class IngestQueue:
         absorbed by last-writer-wins before they hit storage)."""
         return self.updates_submitted / max(1, self.models_written)
 
+    def shard_load(self) -> list[int]:
+        """Per-shard pending + in-flight entry counts (admission view)."""
+        with self._lock:
+            return list(self._shard_load)
+
     def _metrics(self) -> dict:
         with self._lock:
             depth = sum(len(chain.pending) for chain in self._chains.values())
+            load_max = max(self._shard_load) if self._shard_load else 0
         return {
             "ingest_queue_depth": depth,
             "ingest_updates_total": self.updates_submitted,
@@ -159,6 +212,13 @@ class IngestQueue:
             "ingest_flushes_total": self.flushes,
             "ingest_models_written_total": self.models_written,
             "ingest_coalescing_ratio": self.coalescing_ratio,
+            "ingest_shard_load_max": load_max,
+            "ingest_updates_shed_total": self.updates_shed,
+            "ingest_blocked_submits_total": self.blocked_submits,
+            "ingest_flush_retries_total": self.flush_retries,
+            "ingest_retry_backoff_s_total": self.retry_backoff_s,
+            "ingest_dead_lettered_total": self.dead_lettered,
+            "ingest_updates_replayed_total": self.updates_replayed,
         }
 
     # -- submission --------------------------------------------------------
@@ -170,24 +230,35 @@ class IngestQueue:
         reaches storage.  May trigger flushes (of this chain by count,
         of any chain by age); with inline workers those saves run before
         ``submit`` returns.
+
+        Raises :class:`~repro.errors.IngestClosedError` once
+        ``close()``/``abort()`` has begun (deterministic, regardless of
+        worker-pool state) and
+        :class:`~repro.errors.IngestBackpressureError` when the target
+        shard's admission watermark refuses the update.
         """
         if model_index < 0:
             raise IngestError(f"model index must be >= 0, got {model_index}")
         # Chain resolution may read descriptors; do it outside the queue
         # lock (memoized by the fleet).
         root = self.fleet.root_of(set_id)
+        shard = self.fleet.shard_of(set_id)
         jobs = []
-        with self._lock:
-            if self._closed:
-                raise IngestError("the ingest queue is closed")
+        with self._cond:
+            self._check_open_locked()
             chain = self._chains.get(root)
             if chain is None:
-                chain = _Chain(root=root, head=set_id, last_saved=set_id)
+                chain = _Chain(
+                    root=root, head=set_id, shard=shard, last_saved=set_id
+                )
                 self._chains[root] = chain
+            if model_index not in chain.pending:
+                self._admit_locked(chain.shard)
+                self._shard_load[chain.shard] += 1
+            else:
+                self.updates_coalesced += 1
             if not chain.pending:
                 chain.first_at = self.clock.now
-            if model_index in chain.pending:
-                self.updates_coalesced += 1
             chain.pending[model_index] = state
             chain.updates += 1
             self.updates_submitted += 1
@@ -195,6 +266,51 @@ class IngestQueue:
                 jobs.append(self._dispatch_locked(chain))
             jobs.extend(self._due_by_age_locked())
         self._run_or_enqueue(jobs)
+
+    def _check_open_locked(self) -> None:
+        if self._closing or self._closed:
+            raise IngestClosedError("the ingest queue is closed")
+
+    def _admit_locked(self, shard: int) -> None:
+        """Enforce the per-shard watermark for one new pending entry.
+
+        ``shed`` refuses immediately at the high watermark; ``block``
+        waits (wall clock, bounded by ``block_deadline_s``) for worker
+        flushes to drain the shard to the low watermark.  Inline pools
+        (``workers=0``) cannot drain concurrently, so ``block`` refuses
+        immediately there too rather than deadlocking.
+        """
+        config = self._health
+        if not config.enabled:
+            return
+        if self._shard_load[shard] < int(config.high_watermark):
+            return
+        if config.backpressure == "shed" or self._num_workers == 0:
+            self.updates_shed += 1
+            raise IngestBackpressureError(
+                f"shard {shard} ingest load {self._shard_load[shard]} is at "
+                f"the high watermark ({config.high_watermark}); update shed",
+                shards=(shard,),
+            )
+        self.blocked_submits += 1
+        deadline = time.monotonic() + float(config.block_deadline_s)
+        while self._shard_load[shard] > int(config.low_watermark):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                self.updates_shed += 1
+                raise IngestBackpressureError(
+                    f"shard {shard} ingest load did not drain to the low "
+                    f"watermark ({config.low_watermark}) within "
+                    f"{config.block_deadline_s}s; update shed",
+                    shards=(shard,),
+                )
+            self._check_open_locked()
+
+    def _release_load_locked(self, shard: int, count: int) -> None:
+        if count <= 0:
+            return
+        self._shard_load[shard] = max(0, self._shard_load[shard] - count)
+        self._cond.notify_all()
 
     def advance(self, seconds: float) -> None:
         """Move the simulated clock and flush chains past the age deadline."""
@@ -219,7 +335,10 @@ class IngestQueue:
     def drain(self) -> None:
         """Flush all pending batches and wait until every save finished.
 
-        Re-raises the first worker error, if any.
+        Raises one :class:`~repro.errors.IngestError` aggregating every
+        worker failure since the last drain — carrying the failing set
+        ids, their shard indices, and any dead-letter entry ids parked
+        for replay.
         """
         self.flush()
         for job_queue in self._queues:
@@ -231,12 +350,17 @@ class IngestQueue:
 
         Close *never discards*: every pending-but-unflushed update is
         flushed and saved before the pool stops (``close()`` ==
-        ``drain()`` + shutdown), and the first worker error — including
-        a failed flush whose allocation was rolled back — is re-raised
-        after the pool is already stopped, so no save can race the
-        shutdown.  Callers that want crash semantics (drop pending work
-        on the floor) use :meth:`abort` instead.
+        ``drain()`` + shutdown), and worker errors — including a failed
+        flush whose allocation was rolled back — are re-raised after the
+        pool is already stopped, so no save can race the shutdown.  From
+        the moment close begins, ``submit`` deterministically raises
+        :class:`~repro.errors.IngestClosedError`.  Callers that want
+        crash semantics (drop pending work on the floor) use
+        :meth:`abort` instead.
         """
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
         try:
             self.drain()
         finally:
@@ -252,10 +376,13 @@ class IngestQueue:
         swallowed — the caller is abandoning the queue, and the fleet
         allocation rollback in :meth:`_execute` already ran.
         """
-        with self._lock:
+        with self._cond:
+            self._closing = True
             for chain in self._chains.values():
+                self._release_load_locked(chain.shard, len(chain.pending))
                 chain.pending = OrderedDict()
                 chain.updates = 0
+            self._cond.notify_all()
         self._shutdown_pool()
         with self._lock:
             self._errors.clear()
@@ -279,6 +406,86 @@ class IngestQueue:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # -- dead-letter replay ------------------------------------------------
+    def replay_dead_letters(self, shard: "int | None" = None) -> dict:
+        """Re-submit parked batches through the normal ingest path.
+
+        Entries replay oldest-first, one flush per entry, so a replayed
+        chain extends from its last durable save exactly as if the
+        original flush had succeeded late — same coalescing, same id
+        allocation, same journaled save, hence preserved lineage and
+        byte-identity.  Entries whose shard is still DOWN are skipped
+        (replay them after the shard recovers); an entry whose replay
+        fails again is re-parked as a fresh entry (exactly one copy —
+        the original is discarded before the resubmit).
+
+        Returns ``{"replayed": [...], "skipped": [...], "failed": [...]}``.
+        """
+        store = self.fleet.deadletter
+        replayed: list[str] = []
+        skipped: list[str] = []
+        failed: list[dict] = []
+        for entry in store.entries(shard=shard):
+            entry_id = entry["id"]
+            target_shard = int(entry["shard"])
+            # An out-of-range shard index happens when the highest-index
+            # shard directories are missing at open (the detected
+            # topology shrinks): treat it like a DOWN shard — skip, keep
+            # the entry for replay once the directories are restored.
+            if (
+                target_shard >= self.fleet.num_shards
+                or self.fleet.health.is_down(target_shard)
+            ):
+                skipped.append(entry_id)
+                continue
+            states = store.load_states(entry_id)
+            # Discard before resubmitting: a replay that fails re-parks
+            # through the normal exhaustion path, leaving exactly one
+            # (fresh) copy rather than a duplicate.
+            store.discard(entry_id)
+            target = entry["base"]
+            try:
+                self.fleet.shard_of(target)
+            except DocumentNotFoundError:
+                # The failed flush's base was itself a rolled-back
+                # allocation; fall back to the chain root.
+                target = entry["root"]
+            try:
+                for model_index in sorted(states):
+                    self.submit(target, int(model_index), states[model_index])
+                self.flush(target)
+                self.drain()
+            except IngestError as error:
+                reparked = list(getattr(error, "dead_letter_ids", ()))
+                if not reparked:
+                    # The failure happened before any flush could park
+                    # (e.g. admission refused the resubmit): park the
+                    # loaded states back ourselves so nothing is lost.
+                    reparked = [
+                        store.park(
+                            shard=target_shard,
+                            root=entry["root"],
+                            base=entry["base"],
+                            states=states,
+                            updates=int(entry["updates"]),
+                            seq=int(entry["seq"]),
+                            error=f"replay failed: {error}",
+                            parked_at=self.clock.now,
+                        )
+                    ]
+                failed.append(
+                    {
+                        "id": entry_id,
+                        "error": str(error),
+                        "reparked": reparked,
+                    }
+                )
+            else:
+                replayed.append(entry_id)
+                with self._lock:
+                    self.updates_replayed += len(states)
+        return {"replayed": replayed, "skipped": skipped, "failed": failed}
 
     # -- dispatch ----------------------------------------------------------
     def _due_by_age_locked(self) -> list[dict]:
@@ -307,12 +514,14 @@ class IngestQueue:
             "base": base,
             "root": chain.root,
             "shard": shard,
+            "seq": chain.dispatched,
             "states": chain.pending,
             "updates": chain.updates,
             "chain": chain,
         }
         chain.head = set_id
         chain.inflight += 1
+        chain.dispatched += 1
         chain.pending = OrderedDict()
         chain.updates = 0
         return job
@@ -342,62 +551,143 @@ class IngestQueue:
 
         Runs on the worker owning the chain's shard (or inline), which
         is the chain's only mutator — the materialized set needs no
-        extra locking.
+        extra locking.  Storage failures retry with exponential backoff
+        on the shared sim clock (the retries double as half-open probes
+        of the shard's breaker); exhaustion dead-letters the batch.
         """
         chain: _Chain = job["chain"]
-        try:
-            if chain.materialized is None:
-                chain.materialized = self.fleet.recover_set(job["base"])
-            current = chain.materialized
-            for model_index, state in job["states"].items():
-                if not 0 <= model_index < len(current):
-                    raise IngestError(
-                        f"model index {model_index} out of range for the "
-                        f"{len(current)}-model chain rooted at {job['root']!r}"
+        config = self._health
+        attempts = 1 + (int(config.flush_retries) if config.enabled else 0)
+        error: "BaseException | None" = None
+        for attempt in range(attempts):
+            if attempt:
+                backoff = float(config.retry_base_s) * (
+                    float(config.retry_multiplier) ** (attempt - 1)
+                )
+                self.clock.advance(backoff)
+                with self._lock:
+                    self.flush_retries += 1
+                    self.retry_backoff_s += backoff
+                # A failed execute_save dropped the optimistic placement;
+                # the retried save reuses the same allocation.
+                self.fleet.reinstate_allocation(
+                    job["set_id"], job["shard"], root=job["root"]
+                )
+            try:
+                if chain.materialized is None:
+                    # Ungated read: flush admission (and half-open
+                    # probing) is execute_save's allow(), and a gated
+                    # read would starve the probe of its chain head.
+                    chain.materialized = self.fleet.recover_set_for_flush(
+                        job["base"]
                     )
-                current.states[model_index] = state
-            self.fleet.execute_save(
-                job["set_id"],
-                job["shard"],
-                current,
-                base_set_id=job["base"],
-                coalesce={
-                    "updates": job["updates"],
-                    "models": len(job["states"]),
-                },
-            )
-        except BaseException as error:  # noqa: BLE001 - surfaced by drain()
-            # Roll the chain back to its last durable save: release the
-            # phantom id, drop the half-applied materialization, and —
-            # once no younger batch is in flight — point the head back at
-            # a set that actually exists so later submissions still work.
-            self.fleet.forget_allocation(job["set_id"])
-            with self._lock:
-                chain.inflight -= 1
+                current = chain.materialized
+                for model_index, state in job["states"].items():
+                    if not 0 <= model_index < len(current):
+                        raise IngestError(
+                            f"model index {model_index} out of range for the "
+                            f"{len(current)}-model chain rooted at "
+                            f"{job['root']!r}"
+                        )
+                    current.states[model_index] = state
+                self.fleet.execute_save(
+                    job["set_id"],
+                    job["shard"],
+                    current,
+                    base_set_id=job["base"],
+                    coalesce={
+                        "updates": job["updates"],
+                        "models": len(job["states"]),
+                    },
+                )
+            except (OSError, StorageError) as storage_error:
+                error = storage_error
+                # Drop the half-applied materialization so the next
+                # attempt rebuilds it from the last durable save.
                 chain.materialized = None
-                if chain.inflight == 0:
-                    chain.head = chain.last_saved
-                self._errors.append(error)
-            return
+                continue
+            except BaseException as client_error:  # noqa: BLE001
+                # Client errors (bad index) and crash simulations are not
+                # the shard's fault: no retry, no dead-letter.
+                error = client_error
+                break
+            else:
+                with self._lock:
+                    chain.inflight -= 1
+                    chain.last_saved = job["set_id"]
+                    self.flushes += 1
+                    self.models_written += len(job["states"])
+                    self.flush_log.append(
+                        {
+                            "set_id": job["set_id"],
+                            "base": job["base"],
+                            "root": job["root"],
+                            "shard": job["shard"],
+                            "seq": job["seq"],
+                            "updates": job["updates"],
+                            "models": len(job["states"]),
+                        }
+                    )
+                    self._release_load_locked(job["shard"], len(job["states"]))
+                return
+        self._fail_job(job, error)
+
+    def _fail_job(self, job: dict, error: BaseException) -> None:
+        """Terminal flush failure: park the batch (when eligible), release
+        the phantom allocation, roll the chain back to its last durable
+        save, and record the failure for :meth:`drain` to surface."""
+        chain: _Chain = job["chain"]
+        entry_id = None
+        if self._health.enabled and self._health.dead_letter and isinstance(
+            error, (OSError, StorageError)
+        ):
+            try:
+                entry_id = self.fleet.deadletter.park(
+                    shard=job["shard"],
+                    root=job["root"],
+                    base=job["base"],
+                    states=job["states"],
+                    updates=job["updates"],
+                    seq=job["seq"],
+                    error=f"{type(error).__name__}: {error}",
+                    parked_at=self.clock.now,
+                )
+            except Exception:  # noqa: BLE001 - parking is best-effort
+                entry_id = None
+            else:
+                with self._lock:
+                    self.dead_lettered += 1
+        self.fleet.forget_allocation(job["set_id"])
         with self._lock:
             chain.inflight -= 1
-            chain.last_saved = job["set_id"]
-            self.flushes += 1
-            self.models_written += len(job["states"])
-            self.flush_log.append(
-                {
-                    "set_id": job["set_id"],
-                    "base": job["base"],
-                    "root": job["root"],
-                    "shard": job["shard"],
-                    "updates": job["updates"],
-                    "models": len(job["states"]),
-                }
-            )
+            chain.materialized = None
+            if chain.inflight == 0:
+                chain.head = chain.last_saved
+            self._errors.append((error, job, entry_id))
+            self._release_load_locked(job["shard"], len(job["states"]))
 
     def _raise_pending_error(self) -> None:
         with self._lock:
             if not self._errors:
                 return
-            error = self._errors.pop(0)
-        raise error
+            failures = list(self._errors)
+            self._errors.clear()
+        cause = failures[0][0]
+        set_ids = tuple(job["set_id"] for _, job, _ in failures)
+        shards = tuple(sorted({job["shard"] for _, job, _ in failures}))
+        parked = tuple(entry for _, _, entry in failures if entry is not None)
+        noun = "flush" if len(failures) == 1 else "flushes"
+        message = (
+            f"{len(failures)} ingest {noun} failed: set id(s) "
+            f"{', '.join(set_ids)} on shard(s) "
+            f"{', '.join(str(shard) for shard in shards)}"
+        )
+        if parked:
+            message += (
+                f"; {len(parked)} batch(es) dead-lettered for replay "
+                f"({', '.join(parked)})"
+            )
+        message += f" — first error: {cause}"
+        raise IngestError(
+            message, set_ids=set_ids, shards=shards, dead_letter_ids=parked
+        ) from cause

@@ -41,7 +41,13 @@ from repro.config import (
 from repro.core.manager import MultiModelManager
 from repro.core.model_set import ModelSet
 from repro.core.save_info import SetMetadata, UpdateInfo
-from repro.errors import ConfigError, DocumentNotFoundError, StorageError
+from repro.errors import (
+    ConfigError,
+    DocumentNotFoundError,
+    ShardUnavailableError,
+    StorageError,
+)
+from repro.fleet.health import FleetHealthTracker
 from repro.observability.metrics import TimedLock
 
 #: Directory name of shard ``i`` under a fleet root.
@@ -97,6 +103,7 @@ class FleetManager:
         approach_name: str,
         config: ArchiveConfig,
         root: "Path | None" = None,
+        down_at_open: "dict[int, str] | None" = None,
     ) -> None:
         if not shards:
             raise ConfigError("a fleet needs at least one shard")
@@ -121,9 +128,17 @@ class FleetManager:
         #: all of them share :attr:`chunk_cache` as their tier 2.
         self.serving_caches: list = []
         self.chunk_cache = None
+        #: Per-shard circuit breakers gating every save/recover route.
+        self.health = FleetHealthTracker(
+            len(shards), config.health, on_transition=self._on_health_transition
+        )
+        self._deadletter = None
+        self._deadletter_lock = threading.Lock()
         self._init_bookkeeping()
         self._init_observability()
         self._init_serving()
+        for shard, reason in sorted((down_at_open or {}).items()):
+            self.health.pin_down(shard, reason)
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -181,16 +196,45 @@ class FleetManager:
                     "fleet is not supported"
                 )
         shard_config = _shard_config(config)
-        managers = [
-            MultiModelManager.open(
-                str(root / f"{SHARD_PREFIX}{index}"),
-                approach,
-                shard_config,
-                **approach_kwargs,
-            )
-            for index in range(num)
-        ]
-        return cls(managers, approach, config, root=root)
+        managers = []
+        down_at_open: dict[int, str] = {}
+        for index in range(num):
+            shard_dir = root / f"{SHARD_PREFIX}{index}"
+            # On an *existing* fleet (detected > 0) a missing or unreadable
+            # shard directory pins that shard DOWN behind an in-memory
+            # placeholder instead of crashing the open (or silently
+            # recreating the shard empty); a fresh fleet still creates all
+            # of its directories normally.
+            if detected and not shard_dir.is_dir():
+                down_at_open[index] = (
+                    f"shard directory missing at open: {shard_dir}"
+                )
+                managers.append(
+                    MultiModelManager.with_approach(
+                        approach, shard_config, **approach_kwargs
+                    )
+                )
+                continue
+            try:
+                managers.append(
+                    MultiModelManager.open(
+                        str(shard_dir), approach, shard_config, **approach_kwargs
+                    )
+                )
+            except (OSError, StorageError) as error:
+                if not detected:
+                    raise
+                down_at_open[index] = (
+                    f"shard unreadable at open: {type(error).__name__}: {error}"
+                )
+                managers.append(
+                    MultiModelManager.with_approach(
+                        approach, shard_config, **approach_kwargs
+                    )
+                )
+        return cls(
+            managers, approach, config, root=root, down_at_open=down_at_open
+        )
 
     # -- bookkeeping -------------------------------------------------------
     def _init_bookkeeping(self) -> None:
@@ -317,7 +361,66 @@ class FleetManager:
             values[f"{prefix}_stored_bytes"] = manager.total_stored_bytes()
             values[f"{prefix}_simulated_s"] = self.shard_simulated_s()[index]
             values[f"{prefix}_lock_wait_s"] = self.shard_locks[index].wait_s
+            values[f"{prefix}_health"] = self.health.level(index)
         return values
+
+    def _on_health_transition(
+        self, shard: int, old: str, new: str, reason: str
+    ) -> None:
+        """Health state change: bump the counter, record a trace event."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fleet_health_transitions_total",
+                "shard health state transitions (any direction)",
+            ).inc()
+        if self.tracer is not None:
+            from repro.observability import trace as _trace
+
+            if _trace.active():
+                _trace.add_event(
+                    "health-transition",
+                    shard=shard,
+                    old=old,
+                    new=new,
+                    reason=reason,
+                )
+            else:
+                # No span is current (e.g. the transition fired from a
+                # bookkeeping path): record a zero-length marker span so
+                # the event still lands in the trace.
+                with self.tracer.trace(
+                    "health-transition",
+                    key=f"health-{SHARD_PREFIX}{shard}",
+                    shard=shard,
+                    old=old,
+                    new=new,
+                ):
+                    _trace.add_event(
+                        "health-transition",
+                        shard=shard,
+                        old=old,
+                        new=new,
+                        reason=reason,
+                    )
+
+    @property
+    def deadletter(self):
+        """The fleet's dead-letter store, built on first use.
+
+        Durable fleets keep it under ``root/deadletter/`` — outside every
+        shard directory, so parking still works while a shard is DOWN;
+        in-memory fleets get an in-memory store.  Lazy so that fleets
+        which never park anything never grow a ``deadletter/`` subtree.
+        """
+        with self._deadletter_lock:
+            if self._deadletter is None:
+                from repro.fleet.deadletter import DEADLETTER_DIR, DeadLetterStore
+
+                directory = (
+                    self.root / DEADLETTER_DIR if self.root is not None else None
+                )
+                self._deadletter = DeadLetterStore(directory)
+            return self._deadletter
 
     # -- introspection -----------------------------------------------------
     @property
@@ -450,6 +553,21 @@ class FleetManager:
         """
         self.forget_sets([set_id])
 
+    def reinstate_allocation(
+        self, set_id: str, shard: int, root: "str | None" = None
+    ) -> None:
+        """Restore placement for a previously allocated id before a retry.
+
+        :meth:`execute_save` drops the optimistic placement (and chain
+        root) when a save fails; a flush retry of the *same* allocation
+        must put them back so the retried save and any batches queued
+        behind the id still resolve.
+        """
+        with self._fleet_lock:
+            self._placement[set_id] = shard
+            if root is not None:
+                self._root_of[set_id] = root
+
     def forget_sets(self, set_ids: "list[str]") -> None:
         """Drop placement/root bookkeeping for sets no longer on a shard.
 
@@ -502,37 +620,52 @@ class FleetManager:
         ``coalesce`` attaches the ingest queue's batch accounting to a
         ``coalesce`` span between the fleet envelope and the shard save.
         """
+        if not self.health.allow(shard):
+            raise ShardUnavailableError(
+                f"shard {shard} is down ({self.health.reason(shard)}); "
+                f"refusing to save {set_id!r}",
+                shard=shard,
+                set_id=set_id,
+            )
         manager = self.shards[shard]
-        with self.shard_locks[shard]:
-            with self._fleet_span("save", set_id, shard):
-                context = manager.context
-                context.reserve_set_id(set_id)
-                try:
-                    if coalesce is not None:
-                        from repro.observability import trace as _trace
+        try:
+            with self.shard_locks[shard]:
+                with self._fleet_span("save", set_id, shard):
+                    context = manager.context
+                    context.reserve_set_id(set_id)
+                    try:
+                        if coalesce is not None:
+                            from repro.observability import trace as _trace
 
-                        with _trace.span("coalesce", **coalesce):
+                            with _trace.span("coalesce", **coalesce):
+                                saved = manager.save_set(
+                                    model_set,
+                                    base_set_id=base_set_id,
+                                    update_info=update_info,
+                                    metadata=metadata,
+                                )
+                        else:
                             saved = manager.save_set(
                                 model_set,
                                 base_set_id=base_set_id,
                                 update_info=update_info,
                                 metadata=metadata,
                             )
-                    else:
-                        saved = manager.save_set(
-                            model_set,
-                            base_set_id=base_set_id,
-                            update_info=update_info,
-                            metadata=metadata,
-                        )
-                finally:
-                    if context._reserved_set_id is not None:
-                        # The save failed before consuming its id; drop
-                        # the reservation and the optimistic placement.
-                        context._reserved_set_id = None
-                        with self._fleet_lock:
-                            self._placement.pop(set_id, None)
-                            self._root_of.pop(set_id, None)
+                    finally:
+                        if context._reserved_set_id is not None:
+                            # The save failed before consuming its id; drop
+                            # the reservation and the optimistic placement.
+                            context._reserved_set_id = None
+                            with self._fleet_lock:
+                                self._placement.pop(set_id, None)
+                                self._root_of.pop(set_id, None)
+        except (OSError, StorageError) as error:
+            # Storage-substrate failures drive the shard breaker; client
+            # errors (bad plans, crashes the journal handles at reopen)
+            # deliberately do not.
+            self.health.record_failure(shard, error, saving=True)
+            raise
+        self.health.record_success(shard)
         if saved != set_id:  # pragma: no cover - defensive
             raise StorageError(
                 f"shard {shard} saved under {saved!r}, expected {set_id!r}"
@@ -550,28 +683,84 @@ class FleetManager:
         """Persist a model set on its shard; same contract as the
         single-archive :meth:`MultiModelManager.save_set`."""
         set_id, shard = self.allocate_save(base_set_id)
-        return self.execute_save(
-            set_id,
-            shard,
-            model_set,
-            base_set_id=base_set_id,
-            update_info=update_info,
-            metadata=metadata,
+        try:
+            return self.execute_save(
+                set_id,
+                shard,
+                model_set,
+                base_set_id=base_set_id,
+                update_info=update_info,
+                metadata=metadata,
+            )
+        except BaseException:
+            # A save that never happened (breaker refusal, storage
+            # failure) must not leave its optimistic placement behind as
+            # a phantom listing.  Idempotent with execute_save's own
+            # mid-save cleanup; the ingest queue manages its allocations
+            # itself (retry reinstates, exhaustion forgets).
+            self.forget_allocation(set_id)
+            raise
+
+
+    def _refuse_read(self, set_id: str, shard: int, model_index=None):
+        """DOWN-shard read: stale serving-cache hit or a typed refusal.
+
+        The shard's tier-1 serving cache holds only committed states, so
+        serving from it while the shard is DOWN is stale-but-committed —
+        allowed, and counted (``stale_hits``) so operators can see how
+        much traffic is riding the cache through an outage.
+        """
+        if shard < len(self.serving_caches):
+            served = self.serving_caches[shard].serve_stale(
+                set_id, model_index=model_index
+            )
+            if served is not None:
+                return served
+        raise ShardUnavailableError(
+            f"shard {shard} is down ({self.health.reason(shard)}) and "
+            f"{set_id!r} is not servable from its cache",
+            shard=shard,
+            set_id=set_id,
         )
 
     def recover_set(self, set_id: str, salvage: bool = False):
         """Reconstruct a set from whichever shard owns it.
 
         Recovery never crosses shards: derived saves were routed to
-        their base's shard, so the whole chain is local.
+        their base's shard, so the whole chain is local.  A DOWN shard is
+        routed around: the set is served stale from the shard's serving
+        cache when possible, else :class:`ShardUnavailableError`.
         """
         shard = self.shard_of(set_id)
+        if not self.health.gate_read(shard):
+            return self._refuse_read(set_id, shard)
         with self.shard_locks[shard]:
             with self._fleet_span("recover", set_id, shard):
                 return self.shards[shard].recover_set(set_id, salvage=salvage)
 
+    def recover_set_for_flush(self, set_id: str):
+        """Materialization read for the ingest flush path: never gated.
+
+        A flush must rebuild its chain head before it can attempt the
+        save, and the save itself is what :meth:`FleetHealthTracker.allow`
+        admits (including the half-open probes that close the breaker).
+        Routing this read through :meth:`FleetHealthTracker.gate_read`
+        would therefore make probes unreachable — the read refusal would
+        fail every attempt before the probe's save could run.  The
+        shard's serving cache still fronts the read (it is read-through),
+        so a cached head costs no store I/O either way; a cold read
+        against a genuinely dead store fails like any storage error and
+        feeds the normal retry/dead-letter path.
+        """
+        shard = self.shard_of(set_id)
+        with self.shard_locks[shard]:
+            with self._fleet_span("recover", set_id, shard):
+                return self.shards[shard].recover_set(set_id)
+
     def recover_model(self, set_id: str, model_index: int):
         shard = self.shard_of(set_id)
+        if not self.health.gate_read(shard):
+            return self._refuse_read(set_id, shard, model_index=model_index)
         with self.shard_locks[shard]:
             with self._fleet_span("recover_model", set_id, shard):
                 return self.shards[shard].recover_model(set_id, model_index)

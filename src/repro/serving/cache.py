@@ -52,6 +52,9 @@ class ServingStats:
     bytes_saved: int = 0
     #: Entries dropped because delete/GC/scrub invalidated them.
     invalidations: int = 0
+    #: Tier-1 hits served while the owning shard was DOWN
+    #: (stale-but-committed reads routed around the outage).
+    stale_hits: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -73,6 +76,7 @@ class ServingStats:
                 "logical_bytes_served": self.logical_bytes_served,
                 "bytes_saved": self.bytes_saved,
                 "invalidations": self.invalidations,
+                "stale_hits": self.stale_hits,
             }
 
 

@@ -242,6 +242,66 @@ class ServingCache:
         self.stats.record(logical_bytes_served=nbytes)
         return state
 
+    def serve_stale(self, set_id: str, model_index: "int | None" = None):
+        """Tier-1-only lookup for routing reads around a DOWN shard.
+
+        Never touches tier 2 or the store (the shard's breaker is open),
+        so it can only return *committed* values a successful recovery
+        materialized earlier — stale at worst, never torn.  Returns the
+        copied set/state on a hit, ``None`` on a miss (the fleet then
+        raises :class:`~repro.errors.ShardUnavailableError`).  Hits count
+        as ``stale_hits`` on top of the normal hit counters.
+        """
+        self.stats.record(requests=1)
+        if model_index is None:
+            entry = self.sets.get((set_id, None))
+            if entry is not None:
+                with _trace.span(
+                    "tier1-stale-hit", kind="cache", set_id=set_id
+                ):
+                    self.stats.record(
+                        set_hits=1,
+                        stale_hits=1,
+                        logical_bytes_served=entry.nbytes,
+                        bytes_saved=entry.nbytes,
+                    )
+                    return entry.value.copy()
+            self.stats.record(set_misses=1)
+            return None
+        full = self.sets.get((set_id, None))
+        if full is not None and 0 <= model_index < len(full.value):
+            with _trace.span(
+                "tier1-stale-hit", kind="cache", set_id=set_id, model=model_index
+            ):
+                state = full.value.state(model_index)
+                nbytes = sum(array.nbytes for array in state.values())
+                self.stats.record(
+                    set_hits=1,
+                    stale_hits=1,
+                    logical_bytes_served=nbytes,
+                    bytes_saved=nbytes,
+                )
+                return OrderedDict(
+                    (name, array.copy()) for name, array in state.items()
+                )
+        single = self.sets.get((set_id, model_index))
+        if single is not None:
+            with _trace.span(
+                "tier1-stale-hit", kind="cache", set_id=set_id, model=model_index
+            ):
+                self.stats.record(
+                    set_hits=1,
+                    stale_hits=1,
+                    logical_bytes_served=single.nbytes,
+                    bytes_saved=single.nbytes,
+                )
+                return OrderedDict(
+                    (name, array.copy())
+                    for name, array in single.value.items()
+                )
+        self.stats.record(set_misses=1)
+        return None
+
     # -- miss paths --------------------------------------------------------
     def _peek(self, set_id: str) -> "dict | None":
         """Uncharged descriptor peek, for storage-format dispatch only."""

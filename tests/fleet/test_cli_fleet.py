@@ -115,6 +115,161 @@ class TestDegradedShardExitCodes:
         assert reopened.list_sets() == [sorted(ids)[-1]]
 
 
+class TestMissingShardExitCodes:
+    """A shard directory gone entirely: inspection runs degraded (exit
+    1, DOWN line per missing shard), mutation is refused (exit 2)."""
+
+    @pytest.fixture
+    def halved_fleet(self, tmp_path, tiny_set):
+        import shutil
+
+        root = tmp_path / "fleet"
+        fleet = FleetManager.open(root, "update", ArchiveConfig(shards=2))
+        ids = [fleet.save_set(tiny_set) for _ in range(6)]
+        survivors = [s for s in ids if fleet.shard_of(s) == 1]
+        assert survivors, "need at least one set on the surviving shard"
+        shutil.rmtree(root / "shard-0")
+        return str(root), survivors
+
+    def test_fsck_pins_missing_shard_and_floors_exit_at_1(
+        self, halved_fleet, capsys
+    ):
+        path, _survivors = halved_fleet
+        assert archive_main([path, "fsck"]) == 1
+        out = capsys.readouterr().out
+        assert "== shard-0 ==" in out and "== shard-1 ==" in out
+        assert "DOWN: shard directory missing" in out
+
+    def test_info_counts_down_shards(self, halved_fleet, capsys):
+        path, survivors = halved_fleet
+        assert archive_main([path, "info"]) == 1
+        out = capsys.readouterr().out
+        assert "fleet shards DOWN: 1" in out
+        assert f"fleet sets: {len(survivors)}" in out
+
+    def test_mutating_verb_on_degraded_fleet_is_operator_error(
+        self, halved_fleet, capsys
+    ):
+        path, _survivors = halved_fleet
+        assert archive_main([path, "gc", "--keep-last", "1"]) == 2
+        assert "degraded" in capsys.readouterr().err
+
+    def test_reopen_pins_down_and_serves_the_surviving_shard(
+        self, halved_fleet, tiny_set
+    ):
+        path, survivors = halved_fleet
+        reopened = FleetManager.open(path, "update")
+        assert reopened.health.is_down(0)
+        for set_id in survivors:
+            assert reopened.recover_set(set_id).equals(tiny_set)
+
+
+class TestDeadletterCli:
+    @pytest.fixture
+    def parked_fleet(self, tmp_path, tiny_set):
+        """Durable 2-shard fleet with one dead-lettered batch.
+
+        The outage is process-local fault injection, so the CLI's fresh
+        open sees a healthy (revived) shard — replay can land.
+        """
+        from collections import OrderedDict
+
+        from repro.config import FleetHealthConfig
+        from repro.errors import IngestError
+        from repro.fleet import IngestQueue
+        from repro.storage.faults import FaultInjector, inject_faults
+
+        root = tmp_path / "fleet"
+        config = ArchiveConfig(
+            shards=2,
+            health=FleetHealthConfig(
+                down_after=1, flush_retries=1, retry_base_s=0.01
+            ),
+        )
+        fleet = FleetManager.open(root, "update", config)
+        base = fleet.save_set(tiny_set)
+        shard = fleet.shard_of(base)
+        inject_faults(
+            fleet.shards[shard].context,
+            FaultInjector(seed=5, down_at=0, down_mode="before"),
+        )
+        queue = IngestQueue(fleet, flush_max_updates=1, workers=0)
+        parked_state = OrderedDict(
+            (name, (array + 2.0).astype(array.dtype))
+            for name, array in tiny_set.state(0).items()
+        )
+        with pytest.raises(IngestError):
+            queue.submit(base, 0, parked_state)
+        queue.abort()
+        assert (root / "deadletter").is_dir()
+        return str(root), base, shard, parked_state
+
+    def test_list_is_0_when_nothing_parked(self, fleet_archive, capsys):
+        clean_path, _ids = fleet_archive
+        assert archive_main([clean_path, "deadletter", "list"]) == 0
+        assert "0 dead-letter entries" in capsys.readouterr().out
+
+    def test_list_is_1_with_entries(self, parked_fleet, capsys):
+        parked_path, _base, shard, _state = parked_fleet
+        assert archive_main([parked_path, "deadletter", "list"]) == 1
+        out = capsys.readouterr().out
+        assert "1 dead-letter entries" in out
+        assert "dl-000000" in out and f"shard={shard}" in out
+        # The shard filter applies: the other shard has nothing parked.
+        assert (
+            archive_main(
+                [parked_path, "deadletter", "list", "--shard", str(1 - shard)]
+            )
+            == 0
+        )
+
+    def test_replay_lands_and_preserves_bytes(
+        self, parked_fleet, capsys, tiny_set
+    ):
+        path, base, _shard, parked_state = parked_fleet
+        assert archive_main([path, "deadletter", "replay"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed dl-000000" in out
+        assert "replayed 1 entries, 0 skipped, 0 failed" in out
+        assert archive_main([path, "deadletter", "list"]) == 0
+
+        reopened = FleetManager.open(path, "update")
+        (derived,) = [s for s in reopened.list_sets() if s != base]
+        expected = tiny_set.copy()
+        expected.states[0] = parked_state
+        assert reopened.recover_set(derived).equals(expected)
+
+    def test_replay_skips_entries_for_a_down_shard(self, parked_fleet, capsys):
+        import shutil
+
+        path, _base, shard, _state = parked_fleet
+        shutil.rmtree(Path(path) / f"shard-{shard}")
+        # --approach because the surviving shard may hold no sets to
+        # detect it from.
+        assert (
+            archive_main([path, "--approach", "update", "deadletter", "replay"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "skipped dl-000000 (shard still down)" in out
+        # The entry survives for replay after the shard is restored.
+        assert archive_main([path, "deadletter", "list"]) == 1
+
+    def test_purge_drops_entries(self, parked_fleet, capsys):
+        path, _base, _shard, _state = parked_fleet
+        assert archive_main([path, "deadletter", "purge"]) == 0
+        assert "purged 1 dead-letter entries" in capsys.readouterr().out
+        assert archive_main([path, "deadletter", "list"]) == 0
+
+    def test_deadletter_on_plain_archive_is_operator_error(
+        self, tmp_path, tiny_set, capsys
+    ):
+        plain = str(tmp_path / "plain")
+        MultiModelManager.open(plain, "update").save_set(tiny_set)
+        assert archive_main([plain, "deadletter", "list"]) == 2
+        assert "fleet archives" in capsys.readouterr().err
+
+
 class TestFleetExitCode2:
     def test_reshard_request_is_refused(self, fleet_archive):
         path, _ids = fleet_archive
