@@ -49,6 +49,7 @@ from repro.core.verify import ArchiveVerifier
 from repro.fleet import FleetManager, IngestQueue
 from repro.maintenance import MaintenanceScheduler
 from repro.observability import MetricsRegistry, TraceRecorder, global_registry
+from repro.registry import Registry, RegistryDiff, VersionRecord
 from repro.serving import ServingCache
 from repro.simtime import SimClock
 
@@ -70,6 +71,8 @@ __all__ = [
     "MultiModelManager",
     "ObservabilityConfig",
     "ProvenanceApproach",
+    "Registry",
+    "RegistryDiff",
     "RetentionManager",
     "SaveApproach",
     "SaveContext",
@@ -81,6 +84,7 @@ __all__ = [
     "TraceRecorder",
     "UpdateApproach",
     "UpdateInfo",
+    "VersionRecord",
     "__version__",
     "diff_sets",
     "errors",

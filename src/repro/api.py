@@ -1,0 +1,45 @@
+"""The stable convenience surface: ``from repro.api import ...``.
+
+``repro``'s top-level namespace re-exports everything a power user may
+touch (approach classes, verifiers, schedulers, observability).  This
+module is the deliberately *small* counterpart — the handful of names a
+deployment needs to save, recover, query, and serve model sets, with
+the same compatibility promise as the ``repro-archive`` CLI:
+
+* :class:`ArchiveConfig` — every archive knob, one frozen dataclass.
+* :class:`MultiModelManager` — save/recover on one archive.
+* :class:`FleetManager` / :class:`IngestQueue` — sharded fleets and
+  their coalescing async front door.
+* :class:`Registry` — the catalog: families, versions, tags, lineage,
+  and layer-level diffs (``manager.context.registry`` on plain
+  archives, ``fleet.registry`` on fleets).
+* :class:`ModelSet` / :class:`SetMetadata` — the payload and its
+  user-supplied metadata (``extra={"family": ...}`` names a family).
+* :class:`ServingCache` — the tiered read cache.
+* :mod:`errors <repro.errors>` — the exception taxonomy, re-exported as
+  a namespace so ``except api.errors.RegistryError`` reads naturally.
+
+Anything not importable from here may change between minor versions;
+the import-surface test pins this list.
+"""
+
+from repro import errors
+from repro.config import ArchiveConfig
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.core.save_info import SetMetadata
+from repro.fleet import FleetManager, IngestQueue
+from repro.registry import Registry
+from repro.serving import ServingCache
+
+__all__ = [
+    "ArchiveConfig",
+    "FleetManager",
+    "IngestQueue",
+    "ModelSet",
+    "MultiModelManager",
+    "Registry",
+    "ServingCache",
+    "SetMetadata",
+    "errors",
+]

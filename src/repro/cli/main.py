@@ -1,0 +1,461 @@
+"""Argument parsing and dispatch for ``repro-archive``.
+
+The parser is assembled here; the verb implementations live in the
+sibling modules (:mod:`repro.cli.archive`, :mod:`repro.cli.maintenance`,
+:mod:`repro.cli.fleet`, :mod:`repro.cli.query`).  Dispatch order:
+``trace`` runs before any archive is opened; ``deadletter``, ``query``,
+and ``register`` handle fleet routing themselves; every other verb goes
+through the fleet dispatcher when a ``shard-<i>/`` layout is detected
+and runs against the single opened context otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.archive import (
+    _cmd_compact,
+    _cmd_export,
+    _cmd_fsck,
+    _cmd_history,
+    _cmd_info,
+    _cmd_lineage,
+    _cmd_migrate,
+    _cmd_scrub,
+    _cmd_stats,
+    _cmd_trace,
+    _cmd_verify,
+)
+from repro.cli.common import PROFILES, config_from_args
+from repro.cli.fleet import _cmd_deadletter, _fleet_shard_count, _run_fleet
+from repro.cli.maintenance import _cmd_evict, _cmd_gc, _cmd_maintain, _cmd_warm
+from repro.cli.query import _cmd_query, _cmd_register
+from repro.core.manager import APPROACHES
+from repro.errors import ReproError
+from repro.storage.persistent import open_context
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-archive", description="Operate a durable model archive."
+    )
+    parser.add_argument("directory", help="archive root directory")
+    parser.add_argument(
+        "--approach",
+        default=None,
+        help="override the auto-detected approach (needed for mixed archives)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallelism of the save/recover engine (1 serial, 0 = one "
+        "lane per CPU); results are byte-identical at any setting",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the archive across N independent shard subtrees "
+        "operated as one fleet (default: auto-detect the existing "
+        "shard-<i>/ topology)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="replicate the archive across N backend subtrees (default: "
+        "auto-detect the existing topology); composes under sharding — "
+        "each shard carries its own replicas",
+    )
+    parser.add_argument(
+        "--write-quorum",
+        type=int,
+        default=None,
+        help="replica acknowledgements a write needs (default: majority)",
+    )
+    parser.add_argument(
+        "--read-quorum",
+        type=int,
+        default=None,
+        help="replicas a consistent document read polls (default: N-W+1)",
+    )
+    parser.add_argument(
+        "--profile",
+        dest="profile_name",
+        choices=sorted(PROFILES),
+        default=None,
+        help="simulated-latency hardware profile charged per store "
+        "operation (default: local, which charges zero)",
+    )
+    parser.add_argument(
+        "--dedup",
+        action="store_true",
+        help="route parameter writes through the content-addressed chunk "
+        "layer",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="skip the write-ahead save journal (saves are no longer "
+        "atomic under crashes)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry transiently failing store operations up to N times "
+        "with exponential backoff",
+    )
+    parser.add_argument(
+        "--serve-cache",
+        action="store_true",
+        help="serve reads through the tiered recovery cache (implied by "
+        "the warm and evict verbs)",
+    )
+    parser.add_argument(
+        "--set-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tier-1 budget: bytes of materialized model sets kept hot",
+    )
+    parser.add_argument(
+        "--chunk-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tier-2 budget: bytes of decoded chunks shared across sets",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record hierarchical spans for whatever command runs",
+    )
+    parser.add_argument(
+        "--trace-json",
+        default=None,
+        metavar="PATH",
+        help="write the recorded trace as a schema-validated JSON "
+        "document (implies --trace)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="summarize the archive")
+    subparsers.add_parser("lineage", help="print the derivation chains")
+
+    verify = subparsers.add_parser("verify", help="audit archive integrity")
+    verify.add_argument(
+        "--deep", action="store_true", help="also recover sets and recheck hashes"
+    )
+
+    fsck = subparsers.add_parser(
+        "fsck", help="audit archive consistency (journal, orphans, refcounts)"
+    )
+    fsck.add_argument(
+        "--deep",
+        action="store_true",
+        help="also re-hash every artifact and chunk against its checksum",
+    )
+
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="anti-entropy pass: converge every replica onto the majority "
+        "state and heal missing/corrupt copies",
+    )
+    scrub.add_argument(
+        "--shallow",
+        action="store_true",
+        help="trust recorded digests instead of re-hashing every copy "
+        "(misses torn writes)",
+    )
+
+    history = subparsers.add_parser("history", help="one model's drift over time")
+    history.add_argument("set_id")
+    history.add_argument("model_index", type=int)
+
+    compact = subparsers.add_parser(
+        "compact", help="rewrite a derived set as a full snapshot"
+    )
+    compact.add_argument("set_id")
+
+    gc = subparsers.add_parser("gc", help="garbage-collect old sets")
+    group = gc.add_mutually_exclusive_group(required=True)
+    group.add_argument("--keep-last", type=int, default=None)
+    group.add_argument("--keep", nargs="+", default=None, metavar="SET_ID")
+
+    maintain = subparsers.add_parser(
+        "maintain",
+        help="run background-maintenance passes: retention GC, chunk "
+        "sweep, and delta-chain compaction as one atomic journal txn "
+        "per shard, then repair-queue draining and an anti-entropy "
+        "scrub",
+    )
+    maintain.add_argument(
+        "--cycles",
+        type=int,
+        default=1,
+        metavar="N",
+        help="maintenance passes to run (default: one)",
+    )
+    maintain.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        metavar="K",
+        help="retention policy: keep the newest K sets fleet-wide "
+        "(default: no GC)",
+    )
+    maintain.add_argument(
+        "--compact-depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="compact kept delta chains at or beyond this recovery depth "
+        "(default: only the retention policy's oldest-kept compaction)",
+    )
+    maintain.add_argument(
+        "--no-scrub",
+        action="store_true",
+        help="skip the anti-entropy scrub passes",
+    )
+    maintain.add_argument(
+        "--deep",
+        action="store_true",
+        help="re-hash every replica copy during the scrub (catches torn "
+        "writes; default trusts recorded digests)",
+    )
+
+    export = subparsers.add_parser(
+        "export", help="write models as a self-contained deployment bundle"
+    )
+    export.add_argument("set_id")
+    export.add_argument("output_dir")
+    export.add_argument(
+        "--models", nargs="+", type=int, default=None, metavar="INDEX"
+    )
+    export.add_argument(
+        "--salvage",
+        action="store_true",
+        help="tolerate corruption: export every model that still verifies "
+        "and record the skipped ones in the manifest",
+    )
+
+    migrate = subparsers.add_parser(
+        "migrate", help="re-encode the archive under another approach"
+    )
+    migrate.add_argument("target_dir")
+    migrate.add_argument(
+        "--target-approach",
+        default="update",
+        choices=[n for n in sorted(APPROACHES) if n != "provenance"],
+    )
+    migrate.add_argument(
+        "--dedup",
+        action="store_true",
+        help="store the target archive through the content-addressed "
+        "chunk layer (identical layer tensors stored once)",
+    )
+
+    warm = subparsers.add_parser(
+        "warm", help="pre-materialize sets into the serving cache"
+    )
+    warm.add_argument("set_ids", nargs="*", metavar="SET_ID")
+    warm.add_argument(
+        "--all", action="store_true", help="warm every set in the archive"
+    )
+
+    evict = subparsers.add_parser(
+        "evict", help="drop serving-cache entries"
+    )
+    evict.add_argument(
+        "set_ids",
+        nargs="*",
+        metavar="SET_ID",
+        help="sets to drop from tier 1 (default: all of them)",
+    )
+    evict.add_argument(
+        "--chunks",
+        action="store_true",
+        help="also empty the tier-2 decoded-chunk cache",
+    )
+
+    stats = subparsers.add_parser(
+        "stats", help="storage accounting and metrics-registry export"
+    )
+    stats.add_argument(
+        "--live",
+        action="store_true",
+        help="export through the process-wide metrics registry instead "
+        "of printing a static storage summary",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["human", "json", "prometheus"],
+        default="human",
+        help="registry export format for --live",
+    )
+
+    deadletter = subparsers.add_parser(
+        "deadletter",
+        help="inspect, replay, or purge dead-lettered ingest batches "
+        "(fleet archives only)",
+    )
+    deadletter.add_argument(
+        "action",
+        choices=["list", "replay", "purge"],
+        help="list parked batches, replay them through the normal ingest "
+        "path, or drop them",
+    )
+    deadletter.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="restrict to entries parked for shard I",
+    )
+    deadletter.add_argument(
+        "--ids",
+        nargs="+",
+        default=None,
+        metavar="ENTRY_ID",
+        help="purge only these entry ids",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a traced synthetic U3 update cycle in memory and print "
+        "the span tree (the archive directory is not touched)",
+    )
+    trace.add_argument(
+        "--models",
+        type=int,
+        default=4,
+        metavar="N",
+        help="models in the synthetic set",
+    )
+    trace.add_argument(
+        "--replica-down",
+        action="store_true",
+        help="take the last replica down for the whole cycle (needs "
+        "--replicas >= 2) to show degraded-mode traces",
+    )
+
+    query = subparsers.add_parser(
+        "query",
+        help="answer catalog questions from the model registry: "
+        "families, versions, tags, derivation, layer-level diffs",
+    )
+    qsub = query.add_subparsers(dest="query_command", required=True)
+
+    qfamilies = qsub.add_parser("families", help="list registered model families")
+    qfamilies.add_argument("--json", action="store_true")
+
+    qversions = qsub.add_parser(
+        "versions", help="list a family's versions in save order"
+    )
+    qversions.add_argument("family")
+    qversions.add_argument("--json", action="store_true")
+
+    qderived = qsub.add_parser(
+        "derived-from", help="sets saved with this set as their base"
+    )
+    qderived.add_argument("set_id")
+    qderived.add_argument(
+        "--transitive",
+        action="store_true",
+        help="follow the derivation DAG to every descendant",
+    )
+    qderived.add_argument("--json", action="store_true")
+
+    qdiff = qsub.add_parser(
+        "diff",
+        help="layer-level change sets between two versions, computed "
+        "from stored hash metadata without reading parameter bytes",
+    )
+    qdiff.add_argument("set_a")
+    qdiff.add_argument("set_b")
+    qdiff.add_argument("--json", action="store_true")
+
+    qresolve = qsub.add_parser(
+        "resolve", help="the set id a family tag points at"
+    )
+    qresolve.add_argument("family")
+    qresolve.add_argument("tag", nargs="?", default="latest")
+    qresolve.add_argument("--json", action="store_true")
+
+    qtag = qsub.add_parser("tag", help="pin a named tag to a family version")
+    qtag.add_argument("family")
+    qtag.add_argument("tag")
+    qtag.add_argument("set_id")
+
+    register = subparsers.add_parser(
+        "register",
+        help="rebuild the registry from the archive's set descriptors "
+        "(fleets rebuild the single root-level catalog)",
+    )
+    register.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="drop the current catalog and re-derive it from stored "
+        "metadata (required; registration is otherwise automatic)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "trace":
+        try:
+            return _cmd_trace(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    commands = {
+        "info": _cmd_info,
+        "lineage": _cmd_lineage,
+        "verify": _cmd_verify,
+        "fsck": _cmd_fsck,
+        "scrub": _cmd_scrub,
+        "history": _cmd_history,
+        "compact": _cmd_compact,
+        "gc": _cmd_gc,
+        "export": _cmd_export,
+        "migrate": _cmd_migrate,
+        "stats": _cmd_stats,
+        "warm": _cmd_warm,
+        "evict": _cmd_evict,
+        "maintain": _cmd_maintain,
+    }
+    try:
+        config = config_from_args(args)
+        num_shards = _fleet_shard_count(args.directory, config)
+        if args.command == "deadletter":
+            return _cmd_deadletter(args, config, num_shards)
+        if args.command == "query":
+            return _cmd_query(args, config, num_shards)
+        if args.command == "register":
+            return _cmd_register(args, config, num_shards)
+        if num_shards > 0:
+            return _run_fleet(args, config, num_shards, commands)
+        context = open_context(args.directory, config=config)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = commands[args.command](context, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace_path = context.config.observability.trace_path if context.config else None
+    if trace_path and context.tracer is not None and context.tracer.roots:
+        from repro.observability import write_trace_json
+
+        path = write_trace_json(
+            trace_path, context.tracer.roots, meta={"command": args.command}
+        )
+        print(f"trace written to {path}")
+    return result

@@ -1,0 +1,116 @@
+"""Retention and cache-maintenance verbs: ``gc``/``maintain``/``warm``/``evict``.
+
+``gc`` applies a retention policy once; ``maintain`` runs scheduler
+passes (retention, compaction, chunk sweep, scrub) as atomic journal
+transactions; ``warm``/``evict`` manage the tiered serving cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.approach import SETS_COLLECTION, SaveContext
+from repro.core.retention import RetentionManager
+from repro.errors import ReproError
+
+
+def _cmd_gc(context: SaveContext, args: argparse.Namespace) -> int:
+    retention = RetentionManager(context)
+    if args.keep_last is not None:
+        report = retention.keep_last(args.keep_last)
+    else:
+        report = retention.collect(keep=args.keep or [])
+    print(f"deleted {len(report.deleted_sets)} sets")
+    for set_id in report.deleted_sets:
+        print(f"  - {set_id}")
+    if report.retained_for_chains:
+        print(f"retained for recovery chains: {report.retained_for_chains}")
+    if report.chunks_reclaimed:
+        print(f"swept {report.chunks_reclaimed} zero-reference chunks")
+    print(f"reclaimed {report.bytes_reclaimed:,} bytes")
+    return 0
+
+
+def _maintain(contexts: list[SaveContext], args: argparse.Namespace) -> int:
+    """Run ``--cycles`` maintenance passes over the given shard contexts.
+
+    Each pass runs every shard's mutating tasks (compaction, GC, chunk
+    sweep) as one atomic journal transaction, then drains replica repair
+    queues and scrubs.  Exit follows the 0/1/2 contract across all
+    cycles: 0 — nothing needed doing, 1 — maintenance did work
+    (reclaimed, compacted, healed), 2 — a scrub found unrecoverable
+    data.
+    """
+    from repro.config import MaintenanceConfig
+    from repro.maintenance import MaintenanceScheduler
+
+    config = MaintenanceConfig(
+        enabled=True,
+        gc_keep_last=args.keep_last,
+        compact_chain_depth=args.compact_depth,
+        scrub=not args.no_scrub,
+        scrub_deep=bool(args.deep),
+    )
+    scheduler = MaintenanceScheduler.for_contexts(contexts, config=config)
+    worst = 0
+    for cycle in range(args.cycles):
+        report = scheduler.run_pass()
+        worst = max(worst, report.exit_code)
+        for entry in report.shards:
+            line = (
+                f"pass {cycle} {entry.shard}: "
+                f"deleted {entry.sets_deleted} set(s), "
+                f"compacted {entry.sets_compacted}, "
+                f"reclaimed {entry.bytes_reclaimed:,} bytes"
+            )
+            if entry.chunks_swept:
+                line += f", swept {entry.chunks_swept} chunk(s)"
+            if entry.repairs_drained:
+                line += f", drained {entry.repairs_drained} repair(s)"
+            if entry.scrubbed:
+                line += f", scrub exit {entry.scrub_exit}"
+            print(line)
+            for artifact in entry.lost_artifacts:
+                print(f"  LOST: {artifact}")
+    return worst
+
+
+def _cmd_maintain(context: SaveContext, args: argparse.Namespace) -> int:
+    return _maintain([context], args)
+
+
+def _cmd_warm(context: SaveContext, args: argparse.Namespace) -> int:
+    from repro.cli.common import _manager_for
+
+    manager = _manager_for(context, args.approach)
+    serving = context.serving
+    if serving is None:  # pragma: no cover - warm implies --serve-cache
+        raise ReproError("serving cache is disabled; pass --serve-cache")
+    if args.all:
+        set_ids = context.document_store.collection_ids(SETS_COLLECTION)
+    else:
+        set_ids = args.set_ids
+    summary = serving.warm(set_ids, manager.approach)
+    print(f"warmed {len(summary['warmed'])} sets into the serving cache")
+    for set_id in summary["warmed"]:
+        print(f"  - {set_id}")
+    print(
+        f"tier 1 now holds {summary['set_cache_entries']} entries "
+        f"({summary['set_cache_bytes']:,} B), tier 2 "
+        f"{summary['chunk_cache_entries']} chunks "
+        f"({summary['chunk_cache_bytes']:,} B)"
+    )
+    return 0
+
+
+def _cmd_evict(context: SaveContext, args: argparse.Namespace) -> int:
+    serving = context.serving
+    if serving is None:  # pragma: no cover - evict implies --serve-cache
+        raise ReproError("serving cache is disabled; pass --serve-cache")
+    summary = serving.evict(
+        set_ids=args.set_ids or None, chunks=args.chunks
+    )
+    print(f"evicted {summary['evicted_sets']} set entries")
+    if args.chunks:
+        print(f"evicted {summary['evicted_chunks']} cached chunks")
+    return 0

@@ -198,6 +198,11 @@ class ArchiveConfig:
     read_quorum: int | None = None
     replication_policy: "ReplicationPolicy | None" = None
     shards: int | None = None
+    #: Maintain the model registry (families, versions, tags, derivation
+    #: DAG — see :mod:`repro.registry`): one catalog record per committed
+    #: save, written on the uncharged management plane.  Fleet shards run
+    #: with this off — the fleet keeps one registry at the root instead.
+    registry: bool = True
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     maintenance: MaintenanceConfig = field(default_factory=MaintenanceConfig)
@@ -354,7 +359,9 @@ def coalesce_legacy_config(
     if provided:
         warnings.warn(
             f"{where}: keyword arguments {sorted(provided)} are deprecated; "
-            f"pass ArchiveConfig({', '.join(sorted(provided))}) instead",
+            f"pass ArchiveConfig({', '.join(sorted(provided))}) instead. "
+            "This compatibility shim is scheduled for removal in ISSUE 12 — "
+            "after that, per-knob keyword arguments raise TypeError.",
             DeprecationWarning,
             stacklevel=stacklevel,
         )

@@ -92,6 +92,11 @@ class SaveContext:
     #: :func:`repro.serving.apply_serving`).  ``None`` leaves the read
     #: path on the classic approach code.
     serving: "object | None" = field(default=None, repr=False)
+    #: Model catalog over this archive (see :mod:`repro.registry`),
+    #: attached when ``config.registry`` is on.  ``None`` (fleet shards,
+    #: hand-assembled contexts, ``registry=False``) skips catalog
+    #: maintenance entirely.
+    registry: "object | None" = field(default=None, repr=False)
 
     @classmethod
     def create(
@@ -170,6 +175,10 @@ class SaveContext:
         from repro.serving import apply_serving
 
         apply_serving(context, config)
+        if config.registry:
+            from repro.registry import attach_registry
+
+            attach_registry(context)
         return context
 
     def chunk_store(self) -> ChunkStore:

@@ -36,6 +36,35 @@ APPROACHES: dict[str, type[SaveApproach]] = {
 }
 
 
+def _resolve_set_id(
+    registry,
+    set_id: "str | None",
+    family: "str | None",
+    tag: "str | None",
+) -> str:
+    """Resolve the ``set_id`` / ``family``+``tag`` recovery spellings.
+
+    Shared by :meth:`MultiModelManager.recover_set` and the fleet's
+    registry-driven recovery so both enforce identical argument rules.
+    """
+    if family is not None:
+        if set_id is not None:
+            raise ValueError("pass either set_id or family=..., not both")
+        if registry is None:
+            from repro.errors import RegistryError
+
+            raise RegistryError(
+                "this archive maintains no registry "
+                "(ArchiveConfig(registry=False)); recover by raw set id"
+            )
+        return registry.resolve(family, tag if tag is not None else "latest")
+    if tag is not None:
+        raise ValueError("tag= requires family=")
+    if set_id is None:
+        raise ValueError("recover_set needs a set_id or family=...")
+    return set_id
+
+
 class MultiModelManager:
     """Facade over one :class:`SaveApproach` and its storage context."""
 
@@ -231,15 +260,21 @@ class MultiModelManager:
             ):
                 with self.context.save_transaction("save", self.approach.name):
                     if base_set_id is None:
-                        return self.approach.save_initial(
+                        set_id = self.approach.save_initial(
                             model_set, metadata=metadata
                         )
-                    return self.approach.save_derived(
-                        model_set,
-                        base_set_id,
-                        update_info=update_info,
-                        metadata=metadata,
-                    )
+                    else:
+                        set_id = self.approach.save_derived(
+                            model_set,
+                            base_set_id,
+                            update_info=update_info,
+                            metadata=metadata,
+                        )
+                    # Still inside the transaction: the registry record
+                    # commits (or rolls back) atomically with the save.
+                    if self.context.registry is not None:
+                        self.context.registry.record_save(set_id)
+                    return set_id
 
     def save_set_streaming(
         self,
@@ -259,12 +294,27 @@ class MultiModelManager:
                 "save_set_streaming", approach=self.approach.name, mode="initial"
             ):
                 with self.context.save_transaction("save", self.approach.name):
-                    return self.approach.save_initial_streaming(
+                    set_id = self.approach.save_initial_streaming(
                         architecture, states, num_models, metadata=metadata
                     )
+                    if self.context.registry is not None:
+                        self.context.registry.record_save(set_id)
+                    return set_id
 
-    def recover_set(self, set_id: str, salvage: bool = False):
+    def recover_set(
+        self,
+        set_id: "str | None" = None,
+        salvage: bool = False,
+        *,
+        family: "str | None" = None,
+        tag: "str | None" = None,
+    ):
         """Reconstruct a saved model set.
+
+        The set is named either by its raw ``set_id`` or by registry
+        coordinates — ``family=`` plus an optional ``tag=`` (default
+        ``"latest"``) resolved through the archive's catalog to exactly
+        the id-based path, so both spellings recover identical bytes.
 
         The plain path returns a :class:`ModelSet` and raises on any
         corruption.  With ``salvage=True`` corruption does not abort the
@@ -279,6 +329,9 @@ class MultiModelManager:
         charging zero simulated store time.  Salvage always bypasses the
         cache: its job is inspecting the store as it actually is.
         """
+        set_id = _resolve_set_id(
+            self.context.registry, set_id, family=family, tag=tag
+        )
         with self.context.trace(
             "recover_set", approach=self.approach.name, set_id=set_id
         ):

@@ -79,6 +79,8 @@ class RetentionManager:
         model_set = approach.recover(set_id)
         with self.context.save_transaction("compact", approach_name):
             self._write_snapshot(set_id, document, model_set, approach_name)
+            if self.context.registry is not None:
+                self.context.registry.record_compact(set_id)
         # The bytes are unchanged but the read recipe is not: a cached
         # materialization must re-assemble from the new snapshot.
         if self.context.serving is not None:
@@ -161,6 +163,10 @@ class RetentionManager:
                 released_chunks |= document.get("storage") == "chunked"
                 report.bytes_reclaimed += self._delete_set(set_id)
                 report.deleted_sets.append(set_id)
+                # Inside the GC transaction: the catalog update (version
+                # removal, latest-tag retarget) rolls back with the pass.
+                if self.context.registry is not None:
+                    self.context.registry.record_delete(set_id)
             if released_chunks:
                 sweep = self.context.chunk_store().sweep(
                     workers=self.context.workers

@@ -39,6 +39,7 @@ __all__ = [
     "ProvenanceReplayError",
     "DatasetNotFoundError",
     "InvalidUpdatePlanError",
+    "RegistryError",
 ]
 
 
@@ -221,3 +222,13 @@ class DatasetNotFoundError(ReproError):
 
 class InvalidUpdatePlanError(ReproError):
     """Raised when an update plan is inconsistent with the model set."""
+
+
+class RegistryError(ReproError):
+    """Raised when a registry query or record cannot be satisfied.
+
+    Covers unknown families/tags/sets, malformed family or tag names,
+    and diff requests across incompatible sets.  A stale or missing
+    catalog (e.g. an archive written before the registry existed) is
+    repaired with ``repro-archive <dir> register --rebuild``.
+    """

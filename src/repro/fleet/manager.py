@@ -83,6 +83,10 @@ def _shard_config(config: ArchiveConfig) -> ArchiveConfig:
         # Maintenance is likewise fleet-owned: one scheduler coordinates
         # every shard (see repro.maintenance), shards never self-schedule.
         maintenance=MaintenanceConfig(),
+        # The registry too: the fleet keeps ONE catalog at the root
+        # (outside every shard, like deadletter/) so cross-shard families
+        # resolve in one place; shards must not each grow a private one.
+        registry=False,
     )
 
 
@@ -134,6 +138,8 @@ class FleetManager:
         )
         self._deadletter = None
         self._deadletter_lock = threading.Lock()
+        self._registry = None
+        self._registry_lock = threading.Lock()
         self._init_bookkeeping()
         self._init_observability()
         self._init_serving()
@@ -422,6 +428,56 @@ class FleetManager:
                 self._deadletter = DeadLetterStore(directory)
             return self._deadletter
 
+    @property
+    def registry(self):
+        """The fleet-level model registry, built on first use.
+
+        Durable fleets keep it under ``root/registry/`` — outside every
+        shard directory, like ``deadletter/``, so the catalog stays
+        queryable while a shard is DOWN; in-memory fleets get an
+        in-memory catalog.  Version records carry their owning shard, so
+        :meth:`recover_set` routes ``family=``/``tag=`` recoveries
+        through the placement map without touching other shards.
+        """
+        with self._registry_lock:
+            if self._registry is None:
+                from repro.registry import REGISTRY_DIR, open_fleet_registry
+
+                directory = (
+                    self.root / REGISTRY_DIR if self.root is not None else None
+                )
+                self._registry = open_fleet_registry(
+                    directory,
+                    resolver=lambda shard: self.shards[shard].context,
+                    metrics=lambda: self.metrics,
+                )
+            return self._registry
+
+    def _registry_if_active(self):
+        """The registry when it exists — without creating one as a side
+        effect (a fleet running ``registry=False`` that merely deletes
+        sets must not grow a ``registry/`` subtree)."""
+        with self._registry_lock:
+            if self._registry is not None:
+                return self._registry
+        if self.root is not None:
+            from repro.registry import REGISTRY_DIR
+
+            if (self.root / REGISTRY_DIR).is_dir():
+                return self.registry
+        return None
+
+    def rebuild_registry(self) -> int:
+        """Re-derive the fleet catalog from every shard's descriptors.
+
+        The ``repro-archive <root> register --rebuild`` entry point for
+        pre-existing fleets (or after losing the ``registry/`` subtree).
+        Returns the number of sets registered.
+        """
+        return self.registry.rebuild(
+            [(index, manager.context) for index, manager in enumerate(self.shards)]
+        )
+
     # -- introspection -----------------------------------------------------
     @property
     def num_shards(self) -> int:
@@ -579,6 +635,13 @@ class FleetManager:
             for set_id in set_ids:
                 self._placement.pop(set_id, None)
                 self._root_of.pop(set_id, None)
+        registry = self._registry_if_active()
+        if registry is not None:
+            # Unregistered ids (released allocations) are no-ops, so the
+            # same sync covers GC, maintenance passes, and allocation
+            # cleanup alike.
+            for set_id in set_ids:
+                registry.record_delete(set_id)
 
     @contextmanager
     def _fleet_span(self, operation: str, set_id: str, shard: int):
@@ -670,6 +733,11 @@ class FleetManager:
             raise StorageError(
                 f"shard {shard} saved under {saved!r}, expected {set_id!r}"
             )
+        if self.config.registry:
+            # Post-commit, outside the shard lock: the fleet catalog has
+            # its own journal, so a crash in the gap loses at most this
+            # one record — `register --rebuild` re-derives it.
+            self.registry.record_save(saved, shard=shard)
         return saved
 
     # -- save / recover / delete -------------------------------------------
@@ -723,14 +791,35 @@ class FleetManager:
             set_id=set_id,
         )
 
-    def recover_set(self, set_id: str, salvage: bool = False):
+    def recover_set(
+        self,
+        set_id: "str | None" = None,
+        salvage: bool = False,
+        *,
+        family: "str | None" = None,
+        tag: "str | None" = None,
+    ):
         """Reconstruct a set from whichever shard owns it.
+
+        The set is named by raw id or by registry coordinates
+        (``family=`` plus optional ``tag=``, default ``"latest"``) —
+        resolved through the fleet-level catalog, then routed via the
+        placement map exactly like an id-based recovery.
 
         Recovery never crosses shards: derived saves were routed to
         their base's shard, so the whole chain is local.  A DOWN shard is
         routed around: the set is served stale from the shard's serving
         cache when possible, else :class:`ShardUnavailableError`.
         """
+        if family is not None or tag is not None or set_id is None:
+            from repro.core.manager import _resolve_set_id
+
+            set_id = _resolve_set_id(
+                self.registry if self.config.registry else None,
+                set_id,
+                family=family,
+                tag=tag,
+            )
         shard = self.shard_of(set_id)
         if not self.health.gate_read(shard):
             return self._refuse_read(set_id, shard)

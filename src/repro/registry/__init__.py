@@ -1,0 +1,37 @@
+"""Model registry: the queryable catalog over families, versions, tags.
+
+See :mod:`repro.registry.catalog` for the data model and
+``docs/registry.md`` for the query cookbook and rebuild runbook.
+"""
+
+from repro.registry.catalog import (
+    LATEST_TAG,
+    Registry,
+    RegistryDiff,
+    RegistryModelDiff,
+    VersionRecord,
+    attach_registry,
+    open_fleet_registry,
+)
+from repro.registry.records import (
+    FAMILIES_COLLECTION,
+    REGISTRY_COLLECTIONS,
+    REGISTRY_DIR,
+    TAGS_COLLECTION,
+    VERSIONS_COLLECTION,
+)
+
+__all__ = [
+    "FAMILIES_COLLECTION",
+    "LATEST_TAG",
+    "REGISTRY_COLLECTIONS",
+    "REGISTRY_DIR",
+    "Registry",
+    "RegistryDiff",
+    "RegistryModelDiff",
+    "TAGS_COLLECTION",
+    "VERSIONS_COLLECTION",
+    "VersionRecord",
+    "attach_registry",
+    "open_fleet_registry",
+]

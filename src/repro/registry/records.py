@@ -1,0 +1,124 @@
+"""Registry record plumbing: collections, journaled raw writes, stores.
+
+The registry is management-plane bookkeeping, exactly like the save
+journal: its documents are written through the stores' uncharged
+``_write_raw``/``_delete_raw`` paths so attaching a registry changes no
+approach's benchmark accounting.  Unlike plain raw writes, every record
+mutation logs its undo information into the *active journal transaction
+first* — so a registry record made inside a save transaction commits or
+rolls back atomically with the save itself, and a crash mid-record is
+repaired by the same :meth:`~repro.storage.journal.SaveJournal.recover`
+pass that repairs torn saves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.storage.journal import SaveJournal, innermost
+
+#: Directory name of the fleet-level registry subtree under a fleet root
+#: (outside every shard, like ``deadletter/``).
+REGISTRY_DIR = "registry"
+
+#: One document per model family: ``{"root_set": <first recorded id>}``.
+FAMILIES_COLLECTION = "registry_families"
+#: One document per registered set, keyed by set id: family membership,
+#: version number, derivation edge, and (on fleets) shard placement.
+VERSIONS_COLLECTION = "registry_versions"
+#: One document per ``family:tag`` pair: ``{"family", "tag", "set_id"}``.
+TAGS_COLLECTION = "registry_tags"
+
+#: All collections owned by the registry (rebuild clears exactly these).
+REGISTRY_COLLECTIONS = (
+    FAMILIES_COLLECTION,
+    VERSIONS_COLLECTION,
+    TAGS_COLLECTION,
+)
+
+#: Mirrors :data:`repro.core.approach.SETS_COLLECTION` and
+#: :data:`repro.core.update.HASH_COLLECTION`.  Not imported: the core
+#: package builds registries, not the other way around (same convention
+#: as :mod:`repro.storage.journal`).
+SETS_COLLECTION = "model_sets"
+HASH_COLLECTION = "hash_info"
+
+
+def journaled_write(store, journal, collection: str, doc_id: str, document: dict):
+    """Raw-write one registry document, undo-logged against any open txn.
+
+    Inside a save transaction the op joins the save's journal entry;
+    standalone callers open their own transaction around this.  With no
+    journal (in-memory contexts) the write is plain raw.
+    """
+    txn = journal.active_txn() if journal is not None else None
+    if txn is not None:
+        prior = store._read_raw(collection, doc_id)
+        if prior is None:
+            txn.log_op(
+                {"op": "insert_doc", "collection": collection, "doc_id": doc_id}
+            )
+        else:
+            txn.log_op(
+                {
+                    "op": "replace_doc",
+                    "collection": collection,
+                    "doc_id": doc_id,
+                    "prior": prior,
+                }
+            )
+    store._write_raw(collection, doc_id, document)
+
+
+def journaled_delete(store, journal, collection: str, doc_id: str):
+    """Raw-delete one registry document, undo-logged against any open txn."""
+    txn = journal.active_txn() if journal is not None else None
+    if txn is not None:
+        prior = store._read_raw(collection, doc_id)
+        if prior is not None:
+            txn.log_op(
+                {
+                    "op": "delete_doc",
+                    "collection": collection,
+                    "doc_id": doc_id,
+                    "prior": prior,
+                }
+            )
+    store._delete_raw(collection, doc_id)
+
+
+def open_registry_store(directory: "str | Path | None"):
+    """Build the standalone (fleet-level) registry store pair.
+
+    ``directory=None`` builds an in-memory document store (in-memory
+    fleets and tests); a path builds the durable ``registry/documents``
+    subtree.  Either way the store gets a private
+    :class:`~repro.storage.journal.SaveJournal` whose recovery runs on
+    open, so a crash mid-record never surfaces a torn catalog entry.
+    The journal's file store is a throwaway in-memory store: registry
+    records are documents only.
+
+    Returns ``(document_store, journal)``.
+    """
+    from repro.storage.file_store import FileStore
+
+    if directory is None:
+        from repro.storage.document_store import DocumentStore
+
+        document_store = DocumentStore()
+    else:
+        from repro.storage.persistent import PersistentDocumentStore
+
+        document_store = PersistentDocumentStore(Path(directory) / "documents")
+    journal = SaveJournal(FileStore(), document_store)
+    journal.recover()
+    return document_store, journal
+
+
+def raw_documents(store, collection: str):
+    """``(doc_id, document)`` pairs of a collection, raw, in id order."""
+    inner = innermost(store)
+    return [
+        (doc_id, inner._read_raw(collection, doc_id))
+        for doc_id in inner.collection_ids(collection)
+    ]

@@ -619,6 +619,10 @@ def open_context(
             context.recovery_report = attach_journal(context).recover()
         apply_observability(context, config)
         apply_serving(context, config)
+        if config.registry:
+            from repro.registry import attach_registry
+
+            attach_registry(context)
         return context
     context = SaveContext(
         file_store=PersistentFileStore(root / "artifacts", profile=profile),
@@ -639,6 +643,10 @@ def open_context(
         context.recovery_report = attach_journal(context).recover()
     apply_observability(context, config)
     apply_serving(context, config)
+    if config.registry:
+        from repro.registry import attach_registry
+
+        attach_registry(context)
     return context
 
 

@@ -18,7 +18,12 @@ def models():
 
 class TestMeasureSave:
     def test_bytes_written_matches_store_delta(self, models):
-        manager = MultiModelManager.with_approach("baseline")
+        # registry=False: catalog records are management-plane writes
+        # (uncharged, like the journal), so charged bytes only equal the
+        # stored total on an archive without a registry.
+        manager = MultiModelManager.with_approach(
+            "baseline", ArchiveConfig(registry=False)
+        )
         _set_id, measurement = measure_save(manager, models)
         assert measurement.bytes_written == manager.total_stored_bytes()
         assert measurement.writes == 2  # one doc + one artifact

@@ -113,7 +113,12 @@ class TestSingleShardIdentity:
         with tempfile.TemporaryDirectory() as tmp:
             plain_root = Path(tmp) / "plain"
             fleet_root = Path(tmp) / "fleet"
-            plain = MultiModelManager.open(str(plain_root), "update")
+            # registry=False: a fleet keeps its catalog at the fleet root
+            # (outside shard-0/), so the byte-identity invariant covers
+            # the data plane — compare against a catalog-less plain archive.
+            plain = MultiModelManager.open(
+                str(plain_root), "update", ArchiveConfig(registry=False)
+            )
             fleet = FleetManager.open(
                 fleet_root, "update", ArchiveConfig(shards=1)
             )

@@ -1,0 +1,203 @@
+"""Property tests for the registry: diff-vs-oracle and rebuild idempotence.
+
+Two invariants the catalog must hold regardless of approach or shape:
+
+* ``Registry.diff`` is **byte-consistent with the ground-truth oracle**:
+  recover both sets and compare every layer's bytes — the diff computed
+  from stored hash metadata (or recover-and-hash fallback) must report
+  exactly the layers whose recovered bytes differ.  This is what makes
+  metadata-only diffs trustworthy.
+* ``Registry.rebuild`` is **idempotent**: rebuilding twice leaves the
+  catalog byte-identical to rebuilding once, on plain archives and on
+  sharded fleets.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ArchiveConfig
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.core.save_info import SetMetadata
+from repro.fleet import FleetManager
+from repro.registry import REGISTRY_COLLECTIONS
+
+NUM_MODELS = 3
+NUM_LAYERS = len(ModelSet.build("FFNN-48", num_models=1, seed=0).schema.layer_names())
+
+#: Approaches whose save_derived needs only (models, base_set_id).
+DERIVABLE = ["baseline", "update", "mmlib-base", "pas-delta", "baseline-fp16"]
+
+perturbations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_MODELS - 1),
+        st.integers(min_value=0, max_value=NUM_LAYERS - 1),
+    ),
+    min_size=0,
+    max_size=4,
+    unique=True,
+)
+
+
+def apply_perturbations(models, plan):
+    derived = models.copy()
+    names = models.schema.layer_names()
+    for model_index, layer_index in plan:
+        state = derived.state(model_index)
+        name = names[layer_index]
+        state[name] = (state[name] + 0.25).astype(state[name].dtype)
+    return derived
+
+
+def oracle_diff(set_a, set_b):
+    """Ground truth: recover both sets and compare layer bytes."""
+    names = set_a.schema.layer_names()
+    expected = {}
+    for index in range(len(set_a)):
+        changed = tuple(
+            name
+            for name in names
+            if not np.array_equal(set_a.state(index)[name], set_b.state(index)[name])
+        )
+        if changed:
+            expected[index] = changed
+    return expected
+
+
+def registry_documents(registry):
+    """Raw catalog contents, for byte-level idempotence comparison."""
+    store = registry._store
+    return {
+        collection: {
+            doc_id: store._read_raw(collection, doc_id)
+            for doc_id in store.collection_ids(collection)
+        }
+        for collection in REGISTRY_COLLECTIONS
+    }
+
+
+class TestDiffOracle:
+    @given(
+        approach=st.sampled_from(DERIVABLE),
+        plan=perturbations,
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_diff_matches_recover_and_compare(self, approach, plan):
+        manager = MultiModelManager.with_approach(approach)
+        models = ModelSet.build("FFNN-48", num_models=NUM_MODELS, seed=0)
+        base_id = manager.save_set(
+            models, metadata=SetMetadata(extra={"family": "prop"})
+        )
+        derived = apply_perturbations(models, plan)
+        derived_id = manager.save_set(derived, base_set_id=base_id)
+
+        diff = manager.context.registry.diff(base_id, derived_id)
+        reported = {
+            entry.model_index: entry.changed_layers for entry in diff.changed
+        }
+        expected = oracle_diff(
+            manager.recover_set(base_id), manager.recover_set(derived_id)
+        )
+        assert reported == expected
+
+    @given(plan=perturbations)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_update_diff_never_reads_parameter_bytes(self, plan):
+        manager = MultiModelManager.with_approach("update")
+        models = ModelSet.build("FFNN-48", num_models=NUM_MODELS, seed=0)
+        base_id = manager.save_set(
+            models, metadata=SetMetadata(extra={"family": "prop"})
+        )
+        derived_id = manager.save_set(
+            apply_perturbations(models, plan), base_set_id=base_id
+        )
+        before = manager.context.file_store.stats.snapshot()
+        diff = manager.context.registry.diff(base_id, derived_id)
+        delta = manager.context.file_store.stats.delta_since(before)
+        assert delta.reads == 0 and delta.bytes_read == 0
+        assert diff.source == "hash-info"
+
+    @given(plan=perturbations)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_dedup_archive_diff_consistent(self, plan):
+        manager = MultiModelManager.with_approach(
+            "update", ArchiveConfig(dedup=True)
+        )
+        models = ModelSet.build("FFNN-48", num_models=NUM_MODELS, seed=0)
+        base_id = manager.save_set(
+            models, metadata=SetMetadata(extra={"family": "prop"})
+        )
+        derived = apply_perturbations(models, plan)
+        derived_id = manager.save_set(derived, base_set_id=base_id)
+        diff = manager.context.registry.diff(base_id, derived_id)
+        reported = {
+            entry.model_index: entry.changed_layers for entry in diff.changed
+        }
+        assert reported == oracle_diff(
+            manager.recover_set(base_id), manager.recover_set(derived_id)
+        )
+
+
+class TestRebuildIdempotence:
+    @given(
+        num_saves=st.integers(min_value=1, max_value=4),
+        explicit_family=st.booleans(),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_plain_rebuild_twice_equals_once(self, num_saves, explicit_family):
+        manager = MultiModelManager.with_approach("update")
+        models = ModelSet.build("FFNN-48", num_models=NUM_MODELS, seed=0)
+        metadata = (
+            SetMetadata(extra={"family": "prop"}) if explicit_family else None
+        )
+        base_id = manager.save_set(models, metadata=metadata)
+        previous = base_id
+        for step in range(num_saves - 1):
+            models = apply_perturbations(models, [(step % NUM_MODELS, 0)])
+            previous = manager.save_set(models, base_set_id=previous)
+        registry = manager.context.registry
+        registry.rebuild([(None, manager.context)])
+        once = registry_documents(registry)
+        registry.rebuild([(None, manager.context)])
+        assert registry_documents(registry) == once
+
+    @given(num_saves=st.integers(min_value=1, max_value=3))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_fleet_rebuild_twice_equals_once(self, num_saves, tmp_path_factory):
+        root = tmp_path_factory.mktemp("fleet-rebuild") / "fleet"
+        fleet = FleetManager.open(root, "update", ArchiveConfig(shards=2))
+        models = ModelSet.build("FFNN-48", num_models=NUM_MODELS, seed=0)
+        previous = fleet.save_set(
+            models, metadata=SetMetadata(extra={"family": "prop"})
+        )
+        for step in range(num_saves - 1):
+            models = apply_perturbations(models, [(step % NUM_MODELS, 1)])
+            previous = fleet.save_set(models, base_set_id=previous)
+        count = fleet.rebuild_registry()
+        assert count == num_saves
+        once = registry_documents(fleet.registry)
+        assert fleet.rebuild_registry() == count
+        assert registry_documents(fleet.registry) == once
+        # The rebuilt catalog still answers family recovery correctly.
+        assert fleet.registry.resolve("prop") == previous

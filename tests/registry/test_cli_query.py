@@ -1,0 +1,209 @@
+"""``repro-archive query``/``register`` CLI contracts, plain and fleet.
+
+Exit codes keep the CLI's 0/1/2 convention: 0 — query answered, 2 —
+operational error (unknown family/tag/set, degraded fleet, archive
+without a registry).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as archive_main
+from repro.config import ArchiveConfig
+from repro.core.manager import MultiModelManager
+from repro.core.model_set import ModelSet
+from repro.core.save_info import SetMetadata
+from repro.fleet import FleetManager
+
+
+def build_models(num_models=3, seed=0):
+    return ModelSet.build("FFNN-48", num_models=num_models, seed=seed)
+
+
+def perturb(models, model_index, layer_index):
+    derived = models.copy()
+    name = models.schema.layer_names()[layer_index]
+    state = derived.state(model_index)
+    state[name] = (state[name] + 0.5).astype(state[name].dtype)
+    return derived
+
+
+@pytest.fixture
+def plain_archive(tmp_path):
+    path = str(tmp_path / "archive")
+    manager = MultiModelManager.open(path, "update")
+    models = build_models()
+    base_id = manager.save_set(
+        models, metadata=SetMetadata(extra={"family": "pack"})
+    )
+    derived_id = manager.save_set(perturb(models, 1, 0), base_set_id=base_id)
+    return path, base_id, derived_id
+
+
+@pytest.fixture
+def fleet_archive(tmp_path):
+    path = str(tmp_path / "fleet")
+    fleet = FleetManager.open(path, "update", ArchiveConfig(shards=2))
+    models = build_models()
+    base_id = fleet.save_set(
+        models, metadata=SetMetadata(extra={"family": "pack"})
+    )
+    derived_id = fleet.save_set(perturb(models, 1, 0), base_set_id=base_id)
+    return path, base_id, derived_id
+
+
+class TestQueryPlain:
+    def test_families(self, plain_archive, capsys):
+        path, _base, _derived = plain_archive
+        assert archive_main([path, "query", "families"]) == 0
+        assert "pack" in capsys.readouterr().out
+
+    def test_families_json(self, plain_archive, capsys):
+        path, _base, _derived = plain_archive
+        assert archive_main([path, "query", "families", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == ["pack"]
+
+    def test_versions(self, plain_archive, capsys):
+        path, base_id, derived_id = plain_archive
+        assert archive_main([path, "query", "versions", "pack"]) == 0
+        out = capsys.readouterr().out
+        assert f"v1  {base_id}" in out
+        assert f"v2  {derived_id}" in out
+        assert f"<- {base_id}" in out
+
+    def test_versions_json(self, plain_archive, capsys):
+        path, base_id, derived_id = plain_archive
+        assert archive_main([path, "query", "versions", "pack", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["set_id"] for r in records] == [base_id, derived_id]
+        assert records[1]["base_set"] == base_id
+
+    def test_resolve_defaults_to_latest(self, plain_archive, capsys):
+        path, _base, derived_id = plain_archive
+        assert archive_main([path, "query", "resolve", "pack"]) == 0
+        assert capsys.readouterr().out.strip() == derived_id
+
+    def test_diff_reports_layers_and_zero_parameter_reads(
+        self, plain_archive, capsys
+    ):
+        path, base_id, derived_id = plain_archive
+        assert archive_main([path, "query", "diff", base_id, derived_id]) == 0
+        out = capsys.readouterr().out
+        assert "1 of 3 models changed" in out
+        assert "source: hash-info" in out
+        assert "model 1:" in out
+        assert "parameter bytes read: 0 (0 reads)" in out
+
+    def test_diff_json_carries_stats(self, plain_archive, capsys):
+        path, base_id, derived_id = plain_archive
+        assert (
+            archive_main([path, "query", "diff", base_id, derived_id, "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameter_bytes_read"] == 0
+        assert payload["parameter_reads"] == 0
+        assert payload["source"] == "hash-info"
+        assert payload["changed"][0]["model_index"] == 1
+
+    def test_derived_from(self, plain_archive, capsys):
+        path, base_id, derived_id = plain_archive
+        assert (
+            archive_main([path, "query", "derived-from", base_id, "--transitive"])
+            == 0
+        )
+        assert derived_id in capsys.readouterr().out
+
+    def test_tag_then_resolve(self, plain_archive, capsys):
+        path, base_id, _derived = plain_archive
+        assert archive_main([path, "query", "tag", "pack", "prod", base_id]) == 0
+        assert archive_main([path, "query", "resolve", "pack", "prod"]) == 0
+        assert capsys.readouterr().out.strip().endswith(base_id)
+
+    def test_unknown_family_exits_2(self, plain_archive, capsys):
+        path, _base, _derived = plain_archive
+        assert archive_main([path, "query", "resolve", "ghost"]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+
+class TestRegisterPlain:
+    def test_rebuild(self, plain_archive, capsys):
+        path, _base, derived_id = plain_archive
+        assert archive_main([path, "register", "--rebuild"]) == 0
+        assert "registered 2 sets" in capsys.readouterr().out
+        assert archive_main([path, "query", "resolve", "pack"]) == 0
+        assert capsys.readouterr().out.strip() == derived_id
+
+    def test_register_without_rebuild_exits_2(self, plain_archive, capsys):
+        path, _base, _derived = plain_archive
+        assert archive_main([path, "register"]) == 2
+        assert "--rebuild" in capsys.readouterr().err
+
+    def test_rebuild_adopts_pre_registry_archive(self, tmp_path, capsys):
+        # An archive written with the registry off predates the catalog;
+        # register --rebuild adopts it.
+        path = str(tmp_path / "old")
+        manager = MultiModelManager.open(
+            path, "update", ArchiveConfig(registry=False)
+        )
+        models = build_models()
+        base_id = manager.save_set(
+            models, metadata=SetMetadata(extra={"family": "legacy"})
+        )
+        manager.save_set(perturb(models, 0, 0), base_set_id=base_id)
+        assert archive_main([path, "register", "--rebuild"]) == 0
+        assert "registered 2 sets" in capsys.readouterr().out
+        assert archive_main([path, "query", "families"]) == 0
+        assert "legacy" in capsys.readouterr().out
+
+
+class TestQueryFleet:
+    def test_families_and_versions(self, fleet_archive, capsys):
+        path, base_id, derived_id = fleet_archive
+        assert archive_main([path, "query", "families"]) == 0
+        assert "pack" in capsys.readouterr().out
+        assert archive_main([path, "query", "versions", "pack"]) == 0
+        out = capsys.readouterr().out
+        assert f"v1  {base_id}" in out and "shard=" in out
+
+    def test_diff_routes_across_shards_without_parameter_reads(
+        self, fleet_archive, capsys
+    ):
+        path, base_id, derived_id = fleet_archive
+        assert archive_main([path, "query", "diff", base_id, derived_id]) == 0
+        out = capsys.readouterr().out
+        assert "source: hash-info" in out
+        assert "parameter bytes read: 0 (0 reads)" in out
+
+    def test_register_rebuild(self, fleet_archive, capsys):
+        path, _base, derived_id = fleet_archive
+        assert archive_main([path, "register", "--rebuild"]) == 0
+        assert "registered 2 sets" in capsys.readouterr().out
+        assert archive_main([path, "query", "resolve", "pack"]) == 0
+        assert capsys.readouterr().out.strip() == derived_id
+
+    def test_fleet_gc_resyncs_catalog(self, fleet_archive, capsys):
+        path, _base, derived_id = fleet_archive
+        assert archive_main([path, "gc", "--keep-last", "1"]) == 0
+        capsys.readouterr()
+        assert archive_main([path, "query", "versions", "pack"]) == 0
+        out = capsys.readouterr().out
+        assert derived_id in out
+        # Incremental resync: the survivor keeps its version and the
+        # family name outlives its collected root set.
+        assert f"v2  {derived_id}" in out and "v1" not in out
+        assert archive_main([path, "query", "resolve", "pack"]) == 0
+        assert capsys.readouterr().out.strip() == derived_id
+
+    def test_degraded_fleet_refuses_query(self, fleet_archive, capsys):
+        import shutil
+        from pathlib import Path
+
+        # Drop shard-0: shard-1 still pins the detected topology at 2,
+        # so the fleet reopens degraded rather than silently smaller.
+        path, base_id, _derived = fleet_archive
+        shutil.rmtree(Path(path) / "shard-0")
+        assert archive_main([path, "query", "families"]) == 2
+        assert "degraded" in capsys.readouterr().err
